@@ -1,0 +1,500 @@
+// Benchmarks regenerating the paper's evaluation (Section 6). There is one
+// benchmark (or benchmark family) per figure panel and per in-text claim; the
+// mapping to the paper is listed in EXPERIMENTS.md. The cmd/bench* drivers
+// produce the full tables; these testing.B benchmarks produce the same
+// quantities as per-op metrics so they can be tracked with `go test -bench`.
+//
+// Custom metrics reported:
+//
+//	probes/Get    average number of test-and-set trials per registration
+//	              (Figure 2b)
+//	probes-stddev standard deviation of trials per registration (Figure 2c)
+//	worst-probes  worst-case trials observed by any single registration
+//	              (Figure 2d)
+//	ns/op         inverse throughput (Figure 2a)
+package levelarray_test
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/adversary"
+	"github.com/levelarray/levelarray/internal/core"
+	"github.com/levelarray/levelarray/internal/experiments"
+	"github.com/levelarray/levelarray/internal/registry"
+	"github.com/levelarray/levelarray/internal/sched"
+)
+
+// prefillArray registers `count` resident handles that stay registered for
+// the whole benchmark, establishing the paper's pre-fill load.
+func prefillArray(b *testing.B, arr activity.Array, count int) {
+	b.Helper()
+	for i := 0; i < count; i++ {
+		if _, err := arr.Handle().Get(); err != nil {
+			b.Fatalf("pre-fill registration %d: %v", i, err)
+		}
+	}
+}
+
+// fig2Bench builds the benchmark closure for one algorithm of Figure 2: the
+// paper's register/deregister churn at 50% pre-fill on an L = 2N array under
+// RunParallel, reporting the probe metrics.
+func fig2Bench(algo registry.Algorithm) func(b *testing.B) {
+	return func(b *testing.B) {
+		// The paper's configuration: N = 1000·n emulated registrations,
+		// L = 2N slots, 50% pre-fill. n is the benchmark's parallelism.
+		const emulationFactor = 1000
+		capacity := runtime.GOMAXPROCS(0) * emulationFactor
+		arr := registry.MustNew(algo, registry.Options{Capacity: capacity, Seed: 7})
+		prefillArray(b, arr, capacity/2)
+
+		var (
+			mu     sync.Mutex
+			merged activity.ProbeStats
+		)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			h := arr.Handle()
+			for pb.Next() {
+				if _, err := h.Get(); err != nil {
+					b.Errorf("Get: %v", err)
+					return
+				}
+				if err := h.Free(); err != nil {
+					b.Errorf("Free: %v", err)
+					return
+				}
+			}
+			mu.Lock()
+			merged.Merge(h.Stats())
+			mu.Unlock()
+		})
+		b.StopTimer()
+		reportProbeMetrics(b, merged)
+	}
+}
+
+// reportProbeMetrics attaches the Figure 2 panel quantities to the benchmark.
+func reportProbeMetrics(b *testing.B, s activity.ProbeStats) {
+	b.Helper()
+	if s.Ops == 0 {
+		return
+	}
+	b.ReportMetric(s.Mean(), "probes/Get")
+	b.ReportMetric(s.StdDev(), "probes-stddev")
+	b.ReportMetric(float64(s.MaxProbes), "worst-probes")
+}
+
+// BenchmarkFig2 reproduces Figure 2 (all four panels) at the current
+// GOMAXPROCS as the thread count: ns/op is the throughput panel, and the
+// custom metrics are the average, standard deviation and worst-case panels.
+// Sweep thread counts externally with -cpu 1,2,4,... to regenerate the x-axis.
+func BenchmarkFig2(b *testing.B) {
+	for _, algo := range registry.Randomized() {
+		b.Run(algo.String(), fig2Bench(algo))
+	}
+}
+
+// BenchmarkFig2Deterministic adds the deterministic left-to-right scan, which
+// the paper excludes from Figure 2 because its average cost is at least two
+// orders of magnitude higher; it is run at a reduced emulation factor so the
+// benchmark completes quickly.
+func BenchmarkFig2Deterministic(b *testing.B) {
+	const emulationFactor = 50
+	capacity := runtime.GOMAXPROCS(0) * emulationFactor
+	arr := registry.MustNew(registry.Deterministic, registry.Options{Capacity: capacity, Seed: 7})
+	prefillArray(b, arr, capacity/2)
+	var (
+		mu     sync.Mutex
+		merged activity.ProbeStats
+	)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		h := arr.Handle()
+		for pb.Next() {
+			if _, err := h.Get(); err != nil {
+				b.Errorf("Get: %v", err)
+				return
+			}
+			if err := h.Free(); err != nil {
+				b.Errorf("Free: %v", err)
+				return
+			}
+		}
+		mu.Lock()
+		merged.Merge(h.Stats())
+		mu.Unlock()
+	})
+	b.StopTimer()
+	reportProbeMetrics(b, merged)
+}
+
+// BenchmarkLongRunStability reproduces the in-text claim that the LevelArray
+// sustains a ~1.75 average and a single-digit worst case over very long runs
+// (the paper reports 0.2–2 billion operations; scale with -benchtime).
+func BenchmarkLongRunStability(b *testing.B) {
+	const capacity = 8 * 1000
+	arr := core.MustNew(core.Config{Capacity: capacity, Seed: 11})
+	prefillArray(b, arr, capacity/2)
+	var (
+		mu     sync.Mutex
+		merged activity.ProbeStats
+	)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		h := arr.Handle()
+		for pb.Next() {
+			if _, err := h.Get(); err != nil {
+				b.Errorf("Get: %v", err)
+				return
+			}
+			if err := h.Free(); err != nil {
+				b.Errorf("Free: %v", err)
+				return
+			}
+		}
+		mu.Lock()
+		merged.Merge(h.Stats())
+		mu.Unlock()
+	})
+	b.StopTimer()
+	reportProbeMetrics(b, merged)
+	if merged.BackupOps > 0 {
+		b.Errorf("backup array used %d times at 50%% load", merged.BackupOps)
+	}
+}
+
+// BenchmarkPrefillSweep reproduces the in-text claim that the results are
+// stable for pre-fill percentages between 0%% and 90%%.
+func BenchmarkPrefillSweep(b *testing.B) {
+	const capacity = 4 * 1000
+	for _, prefillPercent := range []int{0, 50, 90} {
+		prefillPercent := prefillPercent
+		b.Run(fmt.Sprintf("prefill=%d", prefillPercent), func(b *testing.B) {
+			arr := core.MustNew(core.Config{Capacity: capacity, Seed: 13})
+			prefillArray(b, arr, capacity*prefillPercent/100)
+			var (
+				mu     sync.Mutex
+				merged activity.ProbeStats
+			)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				h := arr.Handle()
+				for pb.Next() {
+					if _, err := h.Get(); err != nil {
+						b.Errorf("Get: %v", err)
+						return
+					}
+					if err := h.Free(); err != nil {
+						b.Errorf("Free: %v", err)
+						return
+					}
+				}
+				mu.Lock()
+				merged.Merge(h.Stats())
+				mu.Unlock()
+			})
+			b.StopTimer()
+			reportProbeMetrics(b, merged)
+		})
+	}
+}
+
+// BenchmarkArraySizeSweep reproduces the in-text claim that behaviour is
+// stable for array sizes L between 2N and 4N.
+func BenchmarkArraySizeSweep(b *testing.B) {
+	const capacity = 4 * 1000
+	for _, factor := range []float64{2, 3, 4} {
+		factor := factor
+		b.Run(fmt.Sprintf("L=%.0fN", factor), func(b *testing.B) {
+			arr := registry.MustNew(registry.LevelArray, registry.Options{
+				Capacity:   capacity,
+				SizeFactor: factor,
+				Seed:       17,
+			})
+			prefillArray(b, arr, capacity/2)
+			var (
+				mu     sync.Mutex
+				merged activity.ProbeStats
+			)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				h := arr.Handle()
+				for pb.Next() {
+					if _, err := h.Get(); err != nil {
+						b.Errorf("Get: %v", err)
+						return
+					}
+					if err := h.Free(); err != nil {
+						b.Errorf("Free: %v", err)
+						return
+					}
+				}
+				mu.Lock()
+				merged.Merge(h.Stats())
+				mu.Unlock()
+			})
+			b.StopTimer()
+			reportProbeMetrics(b, merged)
+		})
+	}
+}
+
+// BenchmarkFig3Healing reproduces Figure 3: each iteration sets up the
+// degraded initial state (batch 1 overcrowded) and runs churn until the
+// damage is repaired, reporting how many operations that took.
+func BenchmarkFig3Healing(b *testing.B) {
+	var totalOpsToHeal, healedRuns float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3Healing(experiments.HealingConfig{
+			Capacity:      2048,
+			SnapshotEvery: 1000,
+			Snapshots:     16,
+			Seed:          uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatalf("Fig3Healing: %v", err)
+		}
+		if res.HealedAfter >= 0 {
+			totalOpsToHeal += float64(res.Snapshots[res.HealedAfter].Step)
+			healedRuns++
+		}
+	}
+	if healedRuns > 0 {
+		b.ReportMetric(totalOpsToHeal/healedRuns, "ops-to-heal")
+	}
+	b.ReportMetric(healedRuns/float64(b.N), "healed-fraction")
+}
+
+// BenchmarkLogLogScaling reproduces the Theorem 1 scaling experiment in the
+// step-level simulator: the worst-case probe count as n grows (it should
+// track log log n, i.e. stay in the single digits across this whole sweep).
+func BenchmarkLogLogScaling(b *testing.B) {
+	for _, n := range []int{64, 256, 1024, 4096} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var worst, mean float64
+			for i := 0; i < b.N; i++ {
+				sim := sched.MustNew(sched.Config{
+					Capacity: n,
+					Seed:     uint64(i + 1),
+					Inputs: adversary.UniformInputs(n, adversary.InputSpec{
+						Rounds:        4,
+						CallsAfterGet: 1,
+					}),
+				})
+				schedule := adversary.UniformRandom(n, uint64(i+1))
+				if err := sim.RunUntilDone(schedule, uint64(n)*4*256); err != nil {
+					b.Fatalf("simulation: %v", err)
+				}
+				stats := sim.MergedStats()
+				if float64(stats.MaxProbes) > worst {
+					worst = float64(stats.MaxProbes)
+				}
+				mean += stats.Mean()
+			}
+			b.ReportMetric(worst, "worst-probes")
+			b.ReportMetric(mean/float64(b.N), "probes/Get")
+		})
+	}
+}
+
+// BenchmarkCollect measures the cost of the Collect scan (the paper's O(n)
+// operation) at several capacities and 50% occupancy.
+func BenchmarkCollect(b *testing.B) {
+	for _, n := range []int{1000, 10000, 80000} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			arr := core.MustNew(core.Config{Capacity: n, Seed: 23})
+			prefillArray(b, arr, n/2)
+			buf := make([]int, 0, arr.Size())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = arr.Collect(buf[:0])
+			}
+			b.StopTimer()
+			if len(buf) != n/2 {
+				b.Fatalf("Collect returned %d names, want %d", len(buf), n/2)
+			}
+		})
+	}
+}
+
+// BenchmarkUncontendedGetFree is the single-thread baseline cost of one
+// register/deregister pair (the leftmost point of Figure 2).
+func BenchmarkUncontendedGetFree(b *testing.B) {
+	for _, algo := range registry.All() {
+		algo := algo
+		b.Run(algo.String(), func(b *testing.B) {
+			arr := registry.MustNew(algo, registry.Options{Capacity: 1000, Seed: 29})
+			h := arr.Handle()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := h.Get(); err != nil {
+					b.Fatalf("Get: %v", err)
+				}
+				if err := h.Free(); err != nil {
+					b.Fatalf("Free: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProbesPerBatchAblation measures the effect of the per-batch trial
+// count c_i (the analysis uses a large constant, the implementation uses 1).
+func BenchmarkProbesPerBatchAblation(b *testing.B) {
+	const capacity = 4 * 1000
+	for _, probes := range []int{1, 2, 4, 16} {
+		probes := probes
+		b.Run(fmt.Sprintf("c=%d", probes), func(b *testing.B) {
+			arr := core.MustNew(core.Config{Capacity: capacity, ProbesPerBatch: probes, Seed: 31})
+			prefillArray(b, arr, capacity/2)
+			var (
+				mu     sync.Mutex
+				merged activity.ProbeStats
+			)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				h := arr.Handle()
+				for pb.Next() {
+					if _, err := h.Get(); err != nil {
+						b.Errorf("Get: %v", err)
+						return
+					}
+					if err := h.Free(); err != nil {
+						b.Errorf("Free: %v", err)
+						return
+					}
+				}
+				mu.Lock()
+				merged.Merge(h.Stats())
+				mu.Unlock()
+			})
+			b.StopTimer()
+			reportProbeMetrics(b, merged)
+		})
+	}
+}
+
+// BenchmarkSoftwareTAS compares the LevelArray running on hardware
+// compare-and-swap slots against the randomized read/write test-and-set
+// construction the paper describes as the fallback for machines without a
+// hardware primitive (Section 2).
+func BenchmarkSoftwareTAS(b *testing.B) {
+	const capacity = 2 * 1000
+	configs := map[string]core.Config{
+		"hardware": {Capacity: capacity, Seed: 41},
+		"software": {Capacity: capacity, Seed: 41, SoftwareTAS: true},
+	}
+	for name, cfg := range configs {
+		cfg := cfg
+		b.Run(name, func(b *testing.B) {
+			arr := core.MustNew(cfg)
+			prefillArray(b, arr, capacity/2)
+			var (
+				mu     sync.Mutex
+				merged activity.ProbeStats
+			)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				h := arr.Handle()
+				for pb.Next() {
+					if _, err := h.Get(); err != nil {
+						b.Errorf("Get: %v", err)
+						return
+					}
+					if err := h.Free(); err != nil {
+						b.Errorf("Free: %v", err)
+						return
+					}
+				}
+				mu.Lock()
+				merged.Merge(h.Stats())
+				mu.Unlock()
+			})
+			b.StopTimer()
+			reportProbeMetrics(b, merged)
+		})
+	}
+}
+
+// BenchmarkApplications measures registration cost end to end inside the
+// motivating applications (memory reclamation, STM, flat combining, barrier)
+// with the registry backed by the LevelArray vs the deterministic scan.
+func BenchmarkApplications(b *testing.B) {
+	for _, algo := range []registry.Algorithm{registry.LevelArray, registry.Deterministic} {
+		algo := algo
+		b.Run(algo.String(), func(b *testing.B) {
+			var totalProbes, totalRegs float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.Applications(experiments.ApplicationsConfig{
+					Workers:      4,
+					OpsPerWorker: 500,
+					Algorithms:   []registry.Algorithm{algo},
+					Seed:         uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatalf("Applications: %v", err)
+				}
+				for _, row := range res.Rows {
+					totalProbes += float64(row.Registration.TotalProbes)
+					totalRegs += float64(row.Registration.Ops)
+				}
+			}
+			if totalRegs > 0 {
+				b.ReportMetric(totalProbes/totalRegs, "probes/registration")
+			}
+		})
+	}
+}
+
+// BenchmarkAdopt measures the slot-adoption path used to hand registrations
+// over and to set up healing experiments.
+func BenchmarkAdopt(b *testing.B) {
+	arr := core.MustNew(core.Config{Capacity: 1024, Seed: 37})
+	h := arr.Handle().(*core.Handle)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.Adopt(i % arr.Layout().MainSize()); err != nil {
+			b.Fatalf("Adopt: %v", err)
+		}
+		if err := h.Free(); err != nil {
+			b.Fatalf("Free: %v", err)
+		}
+	}
+}
+
+// BenchmarkHealingConvergence measures, via the balance package, how quickly
+// an overcrowded batch drains as a function of capacity (an ablation on the
+// self-healing speed the paper notes is faster than the analysis predicts).
+func BenchmarkHealingConvergence(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var totalOps float64
+			healed := 0
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.Fig3Healing(experiments.HealingConfig{
+					Capacity:      n,
+					SnapshotEvery: n / 2,
+					Snapshots:     32,
+					Seed:          uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatalf("Fig3Healing: %v", err)
+				}
+				if res.HealedAfter >= 0 {
+					totalOps += float64(res.Snapshots[res.HealedAfter].Step)
+					healed++
+				}
+			}
+			if healed > 0 {
+				b.ReportMetric(totalOps/float64(healed), "ops-to-heal")
+			}
+		})
+	}
+}

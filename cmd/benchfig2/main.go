@@ -1,0 +1,115 @@
+// Command benchfig2 regenerates Figure 2 of the paper: throughput, average
+// number of trials, standard deviation of trials, and worst-case number of
+// trials per Get, for LevelArray vs Random vs LinearProbing across a sweep of
+// thread counts.
+//
+// The paper's full-scale configuration is N = 1000·n emulated registrations,
+// L = 2N slots, 50% pre-fill, and a 10-second timed run per point on an
+// 80-hardware-thread machine:
+//
+//	go run ./cmd/benchfig2 -threads 1,2,4,8,16,32,40,60,80 -duration 10s
+//
+// The defaults below are scaled down so the whole figure regenerates in about
+// a minute on a laptop; pass -long for the paper-scale run and -deterministic
+// to include the (two orders of magnitude slower) deterministic baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/levelarray/levelarray/internal/experiments"
+	"github.com/levelarray/levelarray/internal/registry"
+	"github.com/levelarray/levelarray/internal/rng"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfig2:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	threadsFlag := flag.String("threads", "1,2,4,8", "comma-separated thread counts to sweep")
+	duration := flag.Duration("duration", 300*time.Millisecond, "wall-clock budget per (algorithm, thread-count) point")
+	emulation := flag.Int("emulation", 1000, "emulated registrations per thread (the paper's N/n = 1000)")
+	prefill := flag.Int("prefill", 50, "pre-fill percentage (0..100)")
+	sizeFactor := flag.Float64("size-factor", 2, "array size L as a multiple of N")
+	deterministic := flag.Bool("deterministic", false, "include the deterministic linear-scan baseline")
+	long := flag.Bool("long", false, "run the paper-scale configuration (10s per point, thread sweep to 80)")
+	rngName := flag.String("rng", "xorshift", "random generator: xorshift, xorshift32, lehmer, splitmix")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	csv := flag.Bool("csv", false, "print CSV instead of aligned tables")
+	flag.Parse()
+
+	threadCounts, err := parseInts(*threadsFlag)
+	if err != nil {
+		return err
+	}
+	if *long {
+		threadCounts = experiments.DefaultThreadCounts()
+		*duration = 10 * time.Second
+	}
+	kind, ok := rng.ParseKind(*rngName)
+	if !ok {
+		return fmt.Errorf("unknown rng %q", *rngName)
+	}
+	algorithms := registry.Randomized()
+	if *deterministic {
+		algorithms = registry.All()
+	}
+
+	fmt.Printf("# Figure 2 reproduction: N = %d*n, L = %.1f*N, pre-fill %d%%, %v per point, rng=%s\n\n",
+		*emulation, *sizeFactor, *prefill, *duration, kind)
+
+	result, err := experiments.Fig2(experiments.Fig2Config{
+		CommonConfig: experiments.CommonConfig{
+			Algorithms:      algorithms,
+			EmulationFactor: *emulation,
+			PrefillPercent:  *prefill,
+			SizeFactor:      *sizeFactor,
+			Duration:        *duration,
+			RNG:             kind,
+			Seed:            *seed,
+		},
+		ThreadCounts: threadCounts,
+	})
+	if err != nil {
+		return err
+	}
+	for _, tbl := range result.Tables() {
+		if *csv {
+			fmt.Println("# " + tbl.Title())
+			fmt.Println(tbl.CSV())
+		} else {
+			fmt.Println(tbl.String())
+		}
+	}
+	return nil
+}
+
+// parseInts parses a comma-separated list of positive integers.
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("invalid thread count %q", p)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no thread counts given")
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+// Command benchhealing regenerates Figure 3 of the paper: the self-healing
+// experiment. The LevelArray starts in an unbalanced state (batch 0 a quarter
+// full, batch 1 half full and therefore overcrowded) and ordinary
+// register/deregister traffic is run against it; the per-batch occupancy
+// distribution is printed every snapshot interval and drifts back to the
+// stable shape, with no explicit rebuilding.
+//
+//	go run ./cmd/benchhealing -capacity 65536 -snapshot-every 4000 -snapshots 8
+//
+// Pass -b0 / -b1 to change the degraded initial state and -probes to run the
+// ablation with more than one test-and-set trial per batch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/levelarray/levelarray/internal/balance"
+	"github.com/levelarray/levelarray/internal/experiments"
+	"github.com/levelarray/levelarray/internal/rng"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchhealing:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	capacity := flag.Int("capacity", 65536, "LevelArray capacity n")
+	participants := flag.Int("participants", 0, "churning participants (default n/2)")
+	snapshotEvery := flag.Int("snapshot-every", 4000, "operations between snapshots (the paper uses 4000)")
+	snapshots := flag.Int("snapshots", 8, "number of states to record (the paper shows 8)")
+	b0 := flag.Float64("b0", 0.25, "initial fill fraction of batch 0")
+	b1 := flag.Float64("b1", 0.5, "initial fill fraction of batch 1")
+	probes := flag.Int("probes", 1, "test-and-set trials per batch (c_i)")
+	rngName := flag.String("rng", "xorshift", "random generator: xorshift, xorshift32, lehmer, splitmix")
+	seed := flag.Uint64("seed", 1, "random seed")
+	csv := flag.Bool("csv", false, "print CSV instead of an aligned table")
+	flag.Parse()
+
+	kind, ok := rng.ParseKind(*rngName)
+	if !ok {
+		return fmt.Errorf("unknown rng %q", *rngName)
+	}
+	state := balance.DegradedStateSpec{Fractions: []float64{*b0, *b1}}
+	result, err := experiments.Fig3Healing(experiments.HealingConfig{
+		Capacity:       *capacity,
+		Participants:   *participants,
+		InitialState:   &state,
+		SnapshotEvery:  *snapshotEvery,
+		Snapshots:      *snapshots,
+		ProbesPerBatch: *probes,
+		Seed:           *seed,
+		RNG:            kind,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# Figure 3 reproduction: n=%d, initial state batch0=%.0f%%, batch1=%.0f%% (overcrowded), snapshots every %d ops\n\n",
+		*capacity, *b0*100, *b1*100, *snapshotEvery)
+	if *csv {
+		fmt.Println(result.Table.CSV())
+	} else {
+		fmt.Println(result.Table.String())
+	}
+	if result.HealedAfter >= 0 {
+		fmt.Printf("damage repaired by state %d (%d operations)\n",
+			result.HealedAfter, result.Snapshots[result.HealedAfter].Step)
+	} else {
+		fmt.Println("damaged batches still overcrowded at the end of the run; increase -snapshots")
+	}
+	return nil
+}

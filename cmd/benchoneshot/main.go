@@ -1,0 +1,113 @@
+// Command benchoneshot runs the theory-validation experiments in the
+// step-level oblivious-adversary simulator:
+//
+//   - the O(log log n) scaling of the worst-case Get complexity (Theorem 1),
+//     in both one-shot and long-lived executions;
+//
+//   - the balance of the array under a family of adversarial schedules
+//     (Proposition 3 / Theorem 2), together with the distribution of the
+//     batch each Get stops in and a full linearizability/validity check of
+//     the recorded trace.
+//
+//     go run ./cmd/benchoneshot                # long-lived scaling sweep
+//     go run ./cmd/benchoneshot -oneshot       # one-shot scaling sweep
+//     go run ./cmd/benchoneshot -balance       # adversarial balance check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/levelarray/levelarray/internal/experiments"
+	"github.com/levelarray/levelarray/internal/rng"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchoneshot:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	capacities := flag.String("capacities", "16,32,64,128,256,512,1024,2048,4096", "comma-separated capacities n to sweep")
+	rounds := flag.Int("rounds", 32, "Get/Free rounds per process in long-lived mode")
+	oneshot := flag.Bool("oneshot", false, "run the one-shot (single Get per process) regime")
+	balanceCheck := flag.Bool("balance", false, "run the adversarial balance check instead of the scaling sweep")
+	probes := flag.Int("probes", 0, "test-and-set trials per batch (0 = experiment default)")
+	rngName := flag.String("rng", "xorshift", "random generator: xorshift, xorshift32, lehmer, splitmix")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	csv := flag.Bool("csv", false, "print CSV instead of aligned tables")
+	flag.Parse()
+
+	kind, ok := rng.ParseKind(*rngName)
+	if !ok {
+		return fmt.Errorf("unknown rng %q", *rngName)
+	}
+
+	if *balanceCheck {
+		res, err := experiments.BalanceCheck(experiments.BalanceCheckConfig{
+			RoundsPerProcess: *rounds,
+			ProbesPerBatch:   *probes,
+			Seed:             *seed,
+			RNG:              kind,
+		})
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Println(res.Table.CSV())
+			fmt.Println(res.ReachTable.CSV())
+		} else {
+			fmt.Println(res.Table.String())
+			fmt.Println(res.ReachTable.String())
+		}
+		return nil
+	}
+
+	ns, err := parseInts(*capacities)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.LogLogScaling(experiments.LogLogConfig{
+		Capacities:       ns,
+		RoundsPerProcess: *rounds,
+		OneShot:          *oneshot,
+		ProbesPerBatch:   *probes,
+		Seed:             *seed,
+		RNG:              kind,
+	})
+	if err != nil {
+		return err
+	}
+	if *csv {
+		fmt.Println(res.Table.CSV())
+	} else {
+		fmt.Println(res.Table.String())
+	}
+	return nil
+}
+
+// parseInts parses a comma-separated list of positive integers.
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 2 {
+			return nil, fmt.Errorf("invalid capacity %q", p)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no capacities given")
+	}
+	return out, nil
+}

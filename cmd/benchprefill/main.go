@@ -1,0 +1,93 @@
+// Command benchprefill regenerates the in-text robustness claims of the
+// paper's evaluation: that the Figure 2 results are stable for pre-fill
+// percentages between 0% and 90%, for array sizes L between 2N and 4N, and
+// that the deterministic left-to-right scan is at least two orders of
+// magnitude more expensive than the randomized algorithms.
+//
+//	go run ./cmd/benchprefill                 # pre-fill sweep
+//	go run ./cmd/benchprefill -sizes          # array-size sweep
+//	go run ./cmd/benchprefill -deterministic  # four-algorithm comparison
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/levelarray/levelarray/internal/experiments"
+	"github.com/levelarray/levelarray/internal/rng"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchprefill:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	threads := flag.Int("threads", 8, "number of worker threads")
+	emulation := flag.Int("emulation", 1000, "emulated registrations per thread")
+	duration := flag.Duration("duration", 300*time.Millisecond, "wall-clock budget per point")
+	sizes := flag.Bool("sizes", false, "sweep the array size L between 2N and 4N instead of the pre-fill percentage")
+	deterministic := flag.Bool("deterministic", false, "run the four-algorithm comparison including the deterministic baseline")
+	rngName := flag.String("rng", "xorshift", "random generator: xorshift, xorshift32, lehmer, splitmix")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	csv := flag.Bool("csv", false, "print CSV instead of aligned tables")
+	flag.Parse()
+
+	kind, ok := rng.ParseKind(*rngName)
+	if !ok {
+		return fmt.Errorf("unknown rng %q", *rngName)
+	}
+	common := experiments.CommonConfig{
+		EmulationFactor: *emulation,
+		Duration:        *duration,
+		RNG:             kind,
+		Seed:            *seed,
+	}
+	printTable := func(title, text, csvText string) {
+		if *csv {
+			fmt.Println("# " + title)
+			fmt.Println(csvText)
+			return
+		}
+		fmt.Println(text)
+	}
+
+	switch {
+	case *deterministic:
+		res, err := experiments.DeterministicComparison(experiments.DeterministicComparisonConfig{
+			CommonConfig: common,
+			Threads:      *threads,
+		})
+		if err != nil {
+			return err
+		}
+		printTable(res.Table.Title(), res.Table.String(), res.Table.CSV())
+	case *sizes:
+		res, err := experiments.SizeSweep(experiments.SizeSweepConfig{
+			CommonConfig: common,
+			Threads:      *threads,
+		})
+		if err != nil {
+			return err
+		}
+		for _, tbl := range res.Tables() {
+			printTable(tbl.Title(), tbl.String(), tbl.CSV())
+		}
+	default:
+		res, err := experiments.PrefillSweep(experiments.PrefillSweepConfig{
+			CommonConfig: common,
+			Threads:      *threads,
+		})
+		if err != nil {
+			return err
+		}
+		for _, tbl := range res.Tables() {
+			printTable(tbl.Title(), tbl.String(), tbl.CSV())
+		}
+	}
+	return nil
+}

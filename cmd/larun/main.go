@@ -1,0 +1,85 @@
+// Command larun is the general benchmark driver: it runs one configuration of
+// the concurrent harness against any of the four registration algorithms and
+// prints the resulting throughput and probe statistics. It is the building
+// block the figure-specific drivers are assembled from, and the quickest way
+// to poke at a single data point (e.g. the paper's in-text "one billion
+// operations at 80 threads, worst case 6 probes" claim).
+//
+//	go run ./cmd/larun -algorithm LevelArray -threads 8 -duration 2s
+//	go run ./cmd/larun -algorithm Random -threads 8 -prefill 90
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/levelarray/levelarray/internal/harness"
+	"github.com/levelarray/levelarray/internal/registry"
+	"github.com/levelarray/levelarray/internal/rng"
+	"github.com/levelarray/levelarray/internal/stats"
+	"github.com/levelarray/levelarray/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "larun:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	algorithmName := flag.String("algorithm", "LevelArray", "algorithm: LevelArray, Random, LinearProbing, Deterministic")
+	threads := flag.Int("threads", 8, "number of worker threads")
+	emulation := flag.Int("emulation", 1000, "emulated registrations per thread (N/n)")
+	prefill := flag.Int("prefill", 50, "pre-fill percentage (0..100)")
+	sizeFactor := flag.Float64("size-factor", 2, "array size L as a multiple of N")
+	duration := flag.Duration("duration", time.Second, "wall-clock run length (ignored when -rounds > 0)")
+	roundsPerThread := flag.Int("rounds", 0, "churn rounds per thread (0 = duration-based run)")
+	collectEvery := flag.Int("collect-every", 0, "perform a Collect every k-th round (0 = never)")
+	rngName := flag.String("rng", "xorshift", "random generator: xorshift, xorshift32, lehmer, splitmix")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	flag.Parse()
+
+	algo, err := registry.Parse(*algorithmName)
+	if err != nil {
+		return err
+	}
+	kind, ok := rng.ParseKind(*rngName)
+	if !ok {
+		return fmt.Errorf("unknown rng %q", *rngName)
+	}
+
+	result, err := harness.Run(harness.Config{
+		Algorithm: algo,
+		Workload: workload.Spec{
+			Threads:        *threads,
+			EmulatedN:      *threads * *emulation,
+			PrefillPercent: *prefill,
+		},
+		SizeFactor:      *sizeFactor,
+		RoundsPerThread: *roundsPerThread,
+		Duration:        *duration,
+		CollectEvery:    *collectEvery,
+		RNG:             kind,
+		Seed:            *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	tbl := stats.NewTable(fmt.Sprintf("%s: n=%d threads, N=%d, L=%d, pre-fill %d%%",
+		algo, result.Threads, result.Capacity, result.ArraySize, *prefill), "metric", "value")
+	tbl.AddRow("duration", result.Duration.Round(time.Millisecond).String())
+	tbl.AddRow("operations (Get+Free)", fmt.Sprintf("%d", result.Ops))
+	tbl.AddRow("throughput (ops/s)", fmt.Sprintf("%.0f", result.Throughput()))
+	tbl.AddRow("avg trials per Get", fmt.Sprintf("%.3f", result.Stats.Mean()))
+	tbl.AddRow("stddev trials", fmt.Sprintf("%.3f", result.Stats.StdDev()))
+	tbl.AddRow("worst case trials", fmt.Sprintf("%d", result.WorstCase()))
+	tbl.AddRow("worst case (avg over threads)", fmt.Sprintf("%.2f", result.MeanWorstCase()))
+	tbl.AddRow("backup array uses", fmt.Sprintf("%d", result.Stats.BackupOps))
+	tbl.AddRow("collect scans", fmt.Sprintf("%d", result.Collects))
+	fmt.Println(tbl.String())
+	return nil
+}

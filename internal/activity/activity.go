@@ -1,0 +1,182 @@
+// Package activity defines the activity-array abstraction shared by the
+// LevelArray and every comparator algorithm in this repository.
+//
+// An activity array (the paper's formalization of long-lived renaming /
+// dynamic collect) exports three operations:
+//
+//   - Get registers the caller and returns a unique index ("name");
+//   - Free releases the index returned by the caller's most recent Get;
+//   - Collect returns the set of indices currently held, with the validity
+//     guarantee that every returned index was held by some process at some
+//     point during the Collect.
+//
+// The package also defines the probe-reporting types used by the benchmark
+// harness: the paper's headline metric is the number of test-and-set trials
+// ("probes") per Get, which the algorithms report per operation so the
+// harness can compute averages, standard deviations and worst cases exactly
+// as in Figure 2.
+package activity
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Array is the long-lived renaming / dynamic collect interface.
+//
+// Implementations must be safe for concurrent use by multiple goroutines:
+// Get and Free are linearizable, and Collect satisfies the validity property
+// described in the package comment (it is not an atomic snapshot).
+//
+// The Get/Free discipline is per handle: a caller obtains a Handle once and
+// then alternates Get and Free on it, starting with Get, exactly as the
+// paper's well-formed inputs require.
+type Array interface {
+	// Capacity returns n, the maximum number of simultaneously registered
+	// handles the array was configured for.
+	Capacity() int
+
+	// Size returns the total number of slots (the namespace size), e.g. 2n
+	// for the LevelArray main array.
+	Size() int
+
+	// Handle returns a per-participant accessor. Handles are not safe for
+	// concurrent use; each goroutine or simulated process owns its handle.
+	Handle() Handle
+
+	// Collect appends the indices currently observed as held to dst and
+	// returns the extended slice. Passing a reused dst avoids allocation in
+	// steady state. The result is valid in the paper's sense but is not an
+	// atomic snapshot.
+	Collect(dst []int) []int
+}
+
+// Handle is the per-participant mutable endpoint of an Array.
+//
+// A Handle holds at most one name at a time. Get after Get (without an
+// intervening Free) and Free without a held name are usage errors and return
+// ErrAlreadyRegistered and ErrNotRegistered respectively.
+type Handle interface {
+	// Get registers the participant and returns the acquired index.
+	Get() (int, error)
+
+	// Free releases the index returned by the most recent Get.
+	Free() error
+
+	// Name returns the currently held index and true, or 0 and false if the
+	// participant is not registered.
+	Name() (int, bool)
+
+	// LastProbes returns the number of test-and-set trials performed by the
+	// most recent Get. It reports 0 before the first Get.
+	LastProbes() int
+
+	// Stats returns the cumulative probe statistics of this handle.
+	Stats() ProbeStats
+}
+
+// Usage and capacity errors returned by Array implementations.
+var (
+	// ErrAlreadyRegistered is returned by Get when the handle already holds
+	// a name.
+	ErrAlreadyRegistered = errors.New("activity: handle already holds a name")
+
+	// ErrNotRegistered is returned by Free when the handle holds no name.
+	ErrNotRegistered = errors.New("activity: handle holds no name")
+
+	// ErrFull is returned by Get when no free slot could be found. For the
+	// LevelArray this can only happen when more than Capacity participants
+	// hold names simultaneously, which is outside the model's contract.
+	ErrFull = errors.New("activity: no free slot available")
+)
+
+// ProbeStats accumulates per-operation probe counts. It is the unit of
+// measurement behind every panel of Figure 2: Ops and TotalProbes yield the
+// average number of trials, SumSquares yields the standard deviation, and
+// MaxProbes is the worst case.
+type ProbeStats struct {
+	// Ops is the number of completed Get operations.
+	Ops uint64
+	// TotalProbes is the total number of test-and-set trials across all Gets.
+	TotalProbes uint64
+	// SumSquares is the sum of squared per-operation probe counts.
+	SumSquares uint64
+	// MaxProbes is the largest number of trials any single Get performed.
+	MaxProbes uint64
+	// BackupOps counts Gets that had to resort to the backup array (or, for
+	// comparator algorithms without a backup, Gets that scanned the entire
+	// array at least once).
+	BackupOps uint64
+	// Frees is the number of completed Free operations.
+	Frees uint64
+}
+
+// Record folds one completed Get that used probes trials (and possibly the
+// backup path) into the statistics.
+func (s *ProbeStats) Record(probes int, usedBackup bool) {
+	p := uint64(probes)
+	s.Ops++
+	s.TotalProbes += p
+	s.SumSquares += p * p
+	if p > s.MaxProbes {
+		s.MaxProbes = p
+	}
+	if usedBackup {
+		s.BackupOps++
+	}
+}
+
+// RecordFree folds one completed Free into the statistics.
+func (s *ProbeStats) RecordFree() {
+	s.Frees++
+}
+
+// Merge adds other into s. It is used by the harness to aggregate per-thread
+// statistics into a per-run total.
+func (s *ProbeStats) Merge(other ProbeStats) {
+	s.Ops += other.Ops
+	s.TotalProbes += other.TotalProbes
+	s.SumSquares += other.SumSquares
+	if other.MaxProbes > s.MaxProbes {
+		s.MaxProbes = other.MaxProbes
+	}
+	s.BackupOps += other.BackupOps
+	s.Frees += other.Frees
+}
+
+// Mean returns the average number of probes per Get, or 0 if no Gets
+// completed.
+func (s ProbeStats) Mean() float64 {
+	if s.Ops == 0 {
+		return 0
+	}
+	return float64(s.TotalProbes) / float64(s.Ops)
+}
+
+// Variance returns the population variance of the per-operation probe count,
+// or 0 if no Gets completed.
+func (s ProbeStats) Variance() float64 {
+	if s.Ops == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	return float64(s.SumSquares)/float64(s.Ops) - mean*mean
+}
+
+// StdDev returns the population standard deviation of the per-operation probe
+// count.
+func (s ProbeStats) StdDev() float64 {
+	v := s.Variance()
+	if v < 0 {
+		// Guard against tiny negative values from floating-point cancellation.
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// String renders the statistics in a compact human-readable form.
+func (s ProbeStats) String() string {
+	return fmt.Sprintf("ops=%d avg=%.3f stddev=%.3f max=%d backup=%d frees=%d",
+		s.Ops, s.Mean(), s.StdDev(), s.MaxProbes, s.BackupOps, s.Frees)
+}

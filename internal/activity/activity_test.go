@@ -1,0 +1,146 @@
+package activity
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestProbeStatsRecord(t *testing.T) {
+	var s ProbeStats
+	s.Record(1, false)
+	s.Record(3, false)
+	s.Record(2, true)
+	s.RecordFree()
+	s.RecordFree()
+
+	if s.Ops != 3 {
+		t.Fatalf("Ops = %d, want 3", s.Ops)
+	}
+	if s.TotalProbes != 6 {
+		t.Fatalf("TotalProbes = %d, want 6", s.TotalProbes)
+	}
+	if s.SumSquares != 1+9+4 {
+		t.Fatalf("SumSquares = %d, want 14", s.SumSquares)
+	}
+	if s.MaxProbes != 3 {
+		t.Fatalf("MaxProbes = %d, want 3", s.MaxProbes)
+	}
+	if s.BackupOps != 1 {
+		t.Fatalf("BackupOps = %d, want 1", s.BackupOps)
+	}
+	if s.Frees != 2 {
+		t.Fatalf("Frees = %d, want 2", s.Frees)
+	}
+	if got, want := s.Mean(), 2.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+	// Population variance of {1,3,2} is 2/3.
+	if got, want := s.Variance(), 2.0/3.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Variance = %v, want %v", got, want)
+	}
+	if got, want := s.StdDev(), math.Sqrt(2.0/3.0); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("StdDev = %v, want %v", got, want)
+	}
+}
+
+func TestProbeStatsEmpty(t *testing.T) {
+	var s ProbeStats
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdDev() != 0 {
+		t.Fatalf("empty stats should report zeros, got %+v", s)
+	}
+}
+
+func TestProbeStatsMerge(t *testing.T) {
+	var a, b, whole ProbeStats
+	samplesA := []int{1, 2, 5}
+	samplesB := []int{3, 3, 1, 7}
+	for _, p := range samplesA {
+		a.Record(p, false)
+		whole.Record(p, false)
+	}
+	for _, p := range samplesB {
+		b.Record(p, p == 7)
+		whole.Record(p, p == 7)
+	}
+	a.RecordFree()
+	whole.RecordFree()
+
+	merged := a
+	merged.Merge(b)
+	if merged != whole {
+		t.Fatalf("merged = %+v, want %+v", merged, whole)
+	}
+}
+
+func TestProbeStatsString(t *testing.T) {
+	var s ProbeStats
+	s.Record(2, false)
+	out := s.String()
+	for _, field := range []string{"ops=1", "avg=2.000", "max=2", "frees=0"} {
+		if !strings.Contains(out, field) {
+			t.Fatalf("String() = %q missing %q", out, field)
+		}
+	}
+}
+
+// Property: merging statistics in either order gives the same totals as
+// recording all samples into a single accumulator.
+func TestQuickMergeAssociativity(t *testing.T) {
+	prop := func(rawA, rawB []uint8) bool {
+		var a, b, ba, whole ProbeStats
+		for _, p := range rawA {
+			probes := int(p%16) + 1
+			a.Record(probes, p%7 == 0)
+			whole.Record(probes, p%7 == 0)
+		}
+		for _, p := range rawB {
+			probes := int(p%16) + 1
+			b.Record(probes, p%7 == 0)
+			whole.Record(probes, p%7 == 0)
+		}
+		ab := a
+		ab.Merge(b)
+		ba = b
+		ba.Merge(a)
+		return ab == whole && ba == whole
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MaxProbes is always at least the mean, and the standard deviation
+// is non-negative.
+func TestQuickStatsSanity(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		var s ProbeStats
+		for _, p := range raw {
+			s.Record(int(p%32)+1, false)
+		}
+		if s.Ops == 0 {
+			return s.Mean() == 0 && s.StdDev() == 0
+		}
+		return float64(s.MaxProbes) >= s.Mean() && s.StdDev() >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorsAreDistinct(t *testing.T) {
+	errs := []error{ErrAlreadyRegistered, ErrNotRegistered, ErrFull}
+	for i := range errs {
+		for j := range errs {
+			if i != j && errs[i] == errs[j] {
+				t.Fatalf("errors %d and %d are identical", i, j)
+			}
+		}
+	}
+	for _, err := range errs {
+		if err.Error() == "" {
+			t.Fatal("error with empty message")
+		}
+	}
+}

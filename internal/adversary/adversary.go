@@ -1,0 +1,239 @@
+// Package adversary builds the oblivious-adversary side of a simulation: the
+// schedules (which process takes each step) and the process inputs (which
+// operations each process performs). Everything here is a deterministic
+// function of explicit seeds and the step index, never of the execution, so
+// any combination of these generators is a valid oblivious adversary in the
+// paper's model.
+package adversary
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/levelarray/levelarray/internal/rng"
+	"github.com/levelarray/levelarray/internal/sched"
+)
+
+// RoundRobin schedules processes 0..n-1 cyclically. It is the most benign
+// schedule: perfectly fair and perfectly interleaved.
+func RoundRobin(n int) sched.Schedule {
+	return sched.ScheduleFunc(func(step uint64) int {
+		return int(step % uint64(n))
+	})
+}
+
+// UniformRandom schedules a uniformly random process at every step. The
+// choice is a pure function of (seed, step), so the schedule is fixed in
+// advance as obliviousness requires.
+func UniformRandom(n int, seed uint64) sched.Schedule {
+	return sched.ScheduleFunc(func(step uint64) int {
+		return int(hash(seed, step) % uint64(n))
+	})
+}
+
+// Bursty schedules processes in bursts: the same process runs for burstLen
+// consecutive steps before another (pseudo-randomly chosen) process gets its
+// burst. Long bursts model an adversary that lets one thread run many
+// operations while others are stalled.
+func Bursty(n int, burstLen uint64, seed uint64) sched.Schedule {
+	if burstLen == 0 {
+		burstLen = 1
+	}
+	return sched.ScheduleFunc(func(step uint64) int {
+		burst := step / burstLen
+		return int(hash(seed, burst) % uint64(n))
+	})
+}
+
+// Skewed schedules process 0 with probability roughly weight/(weight+n-1) and
+// the remaining processes uniformly otherwise, modelling a heavily favoured
+// thread.
+func Skewed(n int, weight int, seed uint64) sched.Schedule {
+	if weight < 1 {
+		weight = 1
+	}
+	if n <= 1 {
+		return sched.ScheduleFunc(func(uint64) int { return 0 })
+	}
+	total := uint64(weight + n - 1)
+	return sched.ScheduleFunc(func(step uint64) int {
+		v := hash(seed, step) % total
+		if v < uint64(weight) {
+			return 0
+		}
+		return 1 + int((v-uint64(weight))%uint64(n-1))
+	})
+}
+
+// Partitioned alternates between two halves of the process set in long
+// phases: for phaseLen steps only the first half is scheduled (round-robin),
+// then only the second half, and so on. This produces the register-heavy /
+// deregister-heavy alternation that stresses rebalancing.
+func Partitioned(n int, phaseLen uint64) sched.Schedule {
+	if phaseLen == 0 {
+		phaseLen = 1
+	}
+	if n <= 1 {
+		return sched.ScheduleFunc(func(uint64) int { return 0 })
+	}
+	half := n / 2
+	return sched.ScheduleFunc(func(step uint64) int {
+		phaseIndex := step / phaseLen
+		if phaseIndex%2 == 0 {
+			return int(step % uint64(half))
+		}
+		return half + int(step%uint64(n-half))
+	})
+}
+
+// hash is a SplitMix64-style mix of (seed, x); it provides the deterministic
+// pseudo-random choices behind the oblivious schedules.
+func hash(seed, x uint64) uint64 {
+	z := seed ^ (x+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// InputSpec describes the shape of the per-process inputs for an experiment.
+type InputSpec struct {
+	// Rounds is the number of Get/Free pairs per process.
+	Rounds int
+	// CallsAfterGet is the number of Call steps inserted between each Get
+	// and its Free (the paper's adversary may insert arbitrary work there).
+	CallsAfterGet int
+	// CallsAfterFree is the number of Call steps inserted after each Free.
+	CallsAfterFree int
+	// CollectEvery inserts a Collect after every CollectEvery-th Free
+	// (0 disables collects).
+	CollectEvery int
+}
+
+// Validate reports the first problem with the specification.
+func (s InputSpec) Validate() error {
+	if s.Rounds < 0 || s.CallsAfterGet < 0 || s.CallsAfterFree < 0 || s.CollectEvery < 0 {
+		return fmt.Errorf("adversary: negative field in input spec %+v", s)
+	}
+	return nil
+}
+
+// Build constructs the input for one process.
+func (s InputSpec) Build() sched.Input {
+	var in sched.Input
+	for r := 0; r < s.Rounds; r++ {
+		in = append(in, sched.Op{Kind: sched.OpGet})
+		for i := 0; i < s.CallsAfterGet; i++ {
+			in = append(in, sched.Op{Kind: sched.OpCall})
+		}
+		in = append(in, sched.Op{Kind: sched.OpFree})
+		for i := 0; i < s.CallsAfterFree; i++ {
+			in = append(in, sched.Op{Kind: sched.OpCall})
+		}
+		if s.CollectEvery > 0 && (r+1)%s.CollectEvery == 0 {
+			in = append(in, sched.Op{Kind: sched.OpCollect})
+		}
+	}
+	return in
+}
+
+// UniformInputs builds identical inputs for n processes.
+func UniformInputs(n int, spec InputSpec) []sched.Input {
+	inputs := make([]sched.Input, n)
+	for i := range inputs {
+		inputs[i] = spec.Build()
+	}
+	return inputs
+}
+
+// OneShotInputs builds the one-shot renaming workload: every process performs
+// exactly one Get and nothing else. This is the regime analyzed by the
+// prior work the paper extends (Broder–Karlin hashing and one-shot loose
+// renaming).
+func OneShotInputs(n int) []sched.Input {
+	inputs := make([]sched.Input, n)
+	for i := range inputs {
+		inputs[i] = sched.Input{{Kind: sched.OpGet}}
+	}
+	return inputs
+}
+
+// JitteredInputs builds churn inputs whose Call padding varies pseudo-randomly
+// per process and per round (bounded by maxCalls), so operations of different
+// processes drift out of phase — the "arbitrary sequences of operations
+// between a thread's register and the corresponding deregister" the analysis
+// must tolerate (Lemma 2).
+func JitteredInputs(n, rounds, maxCalls int, seed uint64) []sched.Input {
+	src := rng.NewSplitMix64(seed)
+	inputs := make([]sched.Input, n)
+	for i := range inputs {
+		var in sched.Input
+		for r := 0; r < rounds; r++ {
+			in = append(in, sched.Op{Kind: sched.OpGet})
+			for c := 0; c < int(src.Uint64()%uint64(maxCalls+1)); c++ {
+				in = append(in, sched.Op{Kind: sched.OpCall})
+			}
+			in = append(in, sched.Op{Kind: sched.OpFree})
+			for c := 0; c < int(src.Uint64()%uint64(maxCalls+1)); c++ {
+				in = append(in, sched.Op{Kind: sched.OpCall})
+			}
+		}
+		inputs[i] = in
+	}
+	return inputs
+}
+
+// CollectorInputs builds inputs where the first collectors processes only
+// perform Collect operations (rounds of them) and the remaining processes run
+// the churn described by spec. This reproduces the memory-reclamation usage
+// pattern: worker threads register and deregister while a scanner thread
+// collects.
+func CollectorInputs(n, collectors, collectRounds int, spec InputSpec) []sched.Input {
+	inputs := make([]sched.Input, n)
+	for i := 0; i < n; i++ {
+		if i < collectors {
+			var in sched.Input
+			for r := 0; r < collectRounds; r++ {
+				in = append(in, sched.Op{Kind: sched.OpCollect})
+			}
+			inputs[i] = in
+			continue
+		}
+		inputs[i] = spec.Build()
+	}
+	return inputs
+}
+
+// IsCompact reports whether the combination of inputs and schedule is compact
+// with bound B in the sense of Definition 3, checked empirically over a
+// bounded horizon: every Get is followed by the matching Free within
+// capacity^B scheduled steps of the same process. Inputs built by InputSpec
+// with bounded Call padding are always compact; this helper documents and
+// verifies the property for arbitrary inputs.
+func IsCompact(inputs []sched.Input, capacity int, bound float64) bool {
+	if bound <= 0 {
+		return false
+	}
+	limit := math.Pow(float64(capacity), bound)
+	for _, in := range inputs {
+		stepsSinceGet := -1
+		for _, op := range in {
+			switch op.Kind {
+			case sched.OpGet:
+				stepsSinceGet = 0
+			case sched.OpFree:
+				stepsSinceGet = -1
+			default:
+				if stepsSinceGet >= 0 {
+					stepsSinceGet++
+					if float64(stepsSinceGet) > limit {
+						return false
+					}
+				}
+			}
+		}
+		if stepsSinceGet >= 0 && float64(stepsSinceGet) > limit {
+			return false
+		}
+	}
+	return true
+}

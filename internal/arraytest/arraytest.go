@@ -1,0 +1,361 @@
+// Package arraytest provides a reusable conformance suite for
+// activity.Array implementations. Both the LevelArray and every comparator
+// algorithm run the same suite, which checks the long-lived renaming
+// contract: handle discipline, name uniqueness under sequential and
+// concurrent use, Collect validity, namespace bounds, and probe accounting.
+package arraytest
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/levelarray/levelarray/internal/activity"
+)
+
+// Factory builds a fresh array with the given capacity for one subtest.
+type Factory func(capacity int) activity.Array
+
+// Run executes the full conformance suite against arrays built by factory.
+func Run(t *testing.T, factory Factory) {
+	t.Helper()
+	t.Run("HandleDiscipline", func(t *testing.T) { testHandleDiscipline(t, factory) })
+	t.Run("SequentialUniqueness", func(t *testing.T) { testSequentialUniqueness(t, factory) })
+	t.Run("ReuseAfterFree", func(t *testing.T) { testReuseAfterFree(t, factory) })
+	t.Run("CollectValidity", func(t *testing.T) { testCollectValidity(t, factory) })
+	t.Run("NamespaceBound", func(t *testing.T) { testNamespaceBound(t, factory) })
+	t.Run("ProbeAccounting", func(t *testing.T) { testProbeAccounting(t, factory) })
+	t.Run("ConcurrentUniqueness", func(t *testing.T) { testConcurrentUniqueness(t, factory) })
+	t.Run("ConcurrentChurn", func(t *testing.T) { testConcurrentChurn(t, factory) })
+	t.Run("CollectDuringChurn", func(t *testing.T) { testCollectDuringChurn(t, factory) })
+}
+
+func testHandleDiscipline(t *testing.T, factory Factory) {
+	arr := factory(8)
+	h := arr.Handle()
+
+	if _, held := h.Name(); held {
+		t.Fatal("fresh handle reports a held name")
+	}
+	if err := h.Free(); err != activity.ErrNotRegistered {
+		t.Fatalf("Free before Get: err = %v, want ErrNotRegistered", err)
+	}
+
+	name, err := h.Get()
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if got, held := h.Name(); !held || got != name {
+		t.Fatalf("Name() = (%d, %v), want (%d, true)", got, held, name)
+	}
+	if _, err := h.Get(); err != activity.ErrAlreadyRegistered {
+		t.Fatalf("second Get: err = %v, want ErrAlreadyRegistered", err)
+	}
+
+	if err := h.Free(); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if _, held := h.Name(); held {
+		t.Fatal("handle still reports a held name after Free")
+	}
+	if err := h.Free(); err != activity.ErrNotRegistered {
+		t.Fatalf("double Free: err = %v, want ErrNotRegistered", err)
+	}
+}
+
+func testSequentialUniqueness(t *testing.T, factory Factory) {
+	const capacity = 32
+	arr := factory(capacity)
+	if arr.Capacity() != capacity {
+		t.Fatalf("Capacity() = %d, want %d", arr.Capacity(), capacity)
+	}
+
+	handles := make([]activity.Handle, capacity)
+	names := make(map[int]int)
+	for i := range handles {
+		handles[i] = arr.Handle()
+		name, err := handles[i].Get()
+		if err != nil {
+			t.Fatalf("Get for handle %d: %v", i, err)
+		}
+		if name < 0 || name >= arr.Size() {
+			t.Fatalf("name %d outside namespace [0, %d)", name, arr.Size())
+		}
+		if prev, dup := names[name]; dup {
+			t.Fatalf("name %d issued to both handle %d and handle %d", name, prev, i)
+		}
+		names[name] = i
+	}
+	for i := range handles {
+		if err := handles[i].Free(); err != nil {
+			t.Fatalf("Free for handle %d: %v", i, err)
+		}
+	}
+}
+
+func testReuseAfterFree(t *testing.T, factory Factory) {
+	arr := factory(4)
+	h := arr.Handle()
+	seen := make(map[int]bool)
+	for i := 0; i < 100; i++ {
+		name, err := h.Get()
+		if err != nil {
+			t.Fatalf("iteration %d: Get: %v", i, err)
+		}
+		seen[name] = true
+		if err := h.Free(); err != nil {
+			t.Fatalf("iteration %d: Free: %v", i, err)
+		}
+	}
+	if len(seen) > arr.Size() {
+		t.Fatalf("observed %d distinct names, namespace is %d", len(seen), arr.Size())
+	}
+	// With the array otherwise empty, the collect after the loop must be
+	// empty as well.
+	if got := arr.Collect(nil); len(got) != 0 {
+		t.Fatalf("Collect after all Frees returned %v", got)
+	}
+}
+
+func testCollectValidity(t *testing.T, factory Factory) {
+	const capacity = 16
+	arr := factory(capacity)
+	handles := make([]activity.Handle, capacity)
+	held := make(map[int]bool)
+	for i := range handles {
+		handles[i] = arr.Handle()
+		name, err := handles[i].Get()
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		held[name] = true
+	}
+
+	collected := arr.Collect(nil)
+	if len(collected) != capacity {
+		t.Fatalf("Collect returned %d names, want %d", len(collected), capacity)
+	}
+	seen := make(map[int]bool)
+	for _, name := range collected {
+		if !held[name] {
+			t.Fatalf("Collect returned name %d that is not held", name)
+		}
+		if seen[name] {
+			t.Fatalf("Collect returned duplicate name %d", name)
+		}
+		seen[name] = true
+	}
+
+	// Free half the handles; a fresh Collect must not report their names.
+	for i := 0; i < capacity/2; i++ {
+		name, _ := handles[i].Name()
+		delete(held, name)
+		if err := handles[i].Free(); err != nil {
+			t.Fatalf("Free: %v", err)
+		}
+	}
+	collected = arr.Collect(nil)
+	if len(collected) != capacity/2 {
+		t.Fatalf("Collect after frees returned %d names, want %d", len(collected), capacity/2)
+	}
+	for _, name := range collected {
+		if !held[name] {
+			t.Fatalf("Collect returned freed name %d", name)
+		}
+	}
+
+	// Collect must append to the destination slice it is given.
+	prefix := []int{-1}
+	extended := arr.Collect(prefix)
+	if len(extended) != 1+capacity/2 || extended[0] != -1 {
+		t.Fatalf("Collect did not append to dst: %v", extended)
+	}
+
+	for i := capacity / 2; i < capacity; i++ {
+		if err := handles[i].Free(); err != nil {
+			t.Fatalf("Free: %v", err)
+		}
+	}
+}
+
+func testNamespaceBound(t *testing.T, factory Factory) {
+	// The paper's space bound: the namespace is linear in n. The LevelArray
+	// uses at most 2n main slots plus an n-slot backup; comparators use a
+	// 2n array. Allow 3n+1 to cover all of them.
+	for _, capacity := range []int{1, 2, 5, 16, 33, 100} {
+		arr := factory(capacity)
+		if arr.Size() > 3*capacity+1 {
+			t.Fatalf("capacity %d: namespace %d exceeds 3n+1", capacity, arr.Size())
+		}
+		if arr.Size() < capacity {
+			t.Fatalf("capacity %d: namespace %d smaller than n", capacity, arr.Size())
+		}
+	}
+}
+
+func testProbeAccounting(t *testing.T, factory Factory) {
+	arr := factory(16)
+	h := arr.Handle()
+	const rounds = 50
+	for i := 0; i < rounds; i++ {
+		if _, err := h.Get(); err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if h.LastProbes() < 1 {
+			t.Fatalf("LastProbes = %d after a successful Get", h.LastProbes())
+		}
+		if err := h.Free(); err != nil {
+			t.Fatalf("Free: %v", err)
+		}
+	}
+	s := h.Stats()
+	if s.Ops != rounds {
+		t.Fatalf("Stats.Ops = %d, want %d", s.Ops, rounds)
+	}
+	if s.Frees != rounds {
+		t.Fatalf("Stats.Frees = %d, want %d", s.Frees, rounds)
+	}
+	if s.TotalProbes < rounds {
+		t.Fatalf("Stats.TotalProbes = %d, want at least %d", s.TotalProbes, rounds)
+	}
+	if s.MaxProbes < 1 || s.Mean() < 1 {
+		t.Fatalf("probe statistics inconsistent: %+v", s)
+	}
+	if uint64(s.MaxProbes) > s.TotalProbes {
+		t.Fatalf("MaxProbes %d exceeds TotalProbes %d", s.MaxProbes, s.TotalProbes)
+	}
+}
+
+func testConcurrentUniqueness(t *testing.T, factory Factory) {
+	const capacity = 64
+	arr := factory(capacity)
+
+	names := make([]int, capacity)
+	var wg sync.WaitGroup
+	for i := 0; i < capacity; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := arr.Handle()
+			name, err := h.Get()
+			if err != nil {
+				t.Errorf("worker %d: Get: %v", i, err)
+				return
+			}
+			names[i] = name
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	seen := make(map[int]int)
+	for i, name := range names {
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("name %d issued to both worker %d and worker %d", name, prev, i)
+		}
+		seen[name] = i
+	}
+}
+
+func testConcurrentChurn(t *testing.T, factory Factory) {
+	const (
+		capacity   = 32
+		iterations = 400
+	)
+	arr := factory(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < capacity; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := arr.Handle()
+			for i := 0; i < iterations; i++ {
+				name, err := h.Get()
+				if err != nil {
+					t.Errorf("worker %d iteration %d: Get: %v", w, i, err)
+					return
+				}
+				if name < 0 || name >= arr.Size() {
+					t.Errorf("worker %d: name %d out of range", w, name)
+					return
+				}
+				if err := h.Free(); err != nil {
+					t.Errorf("worker %d iteration %d: Free: %v", w, i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if got := arr.Collect(nil); len(got) != 0 {
+		t.Fatalf("Collect after churn returned %v, want empty", got)
+	}
+}
+
+func testCollectDuringChurn(t *testing.T, factory Factory) {
+	const (
+		capacity   = 16
+		iterations = 300
+		collectors = 2
+	)
+	arr := factory(capacity)
+	var workers, scanners sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < capacity/2; w++ {
+		w := w
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			h := arr.Handle()
+			for i := 0; i < iterations; i++ {
+				if _, err := h.Get(); err != nil {
+					t.Errorf("worker %d: Get: %v", w, err)
+					return
+				}
+				if err := h.Free(); err != nil {
+					t.Errorf("worker %d: Free: %v", w, err)
+					return
+				}
+			}
+		}()
+	}
+
+	for c := 0; c < collectors; c++ {
+		scanners.Add(1)
+		go func() {
+			defer scanners.Done()
+			buf := make([]int, 0, arr.Size())
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				buf = arr.Collect(buf[:0])
+				// Validity here means every name is inside the namespace and
+				// there are never more names than could legally be held.
+				if len(buf) > capacity {
+					t.Errorf("Collect returned %d names with only %d workers registered",
+						len(buf), capacity)
+					return
+				}
+				for _, name := range buf {
+					if name < 0 || name >= arr.Size() {
+						t.Errorf("Collect returned out-of-range name %d", name)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	workers.Wait()
+	close(stop)
+	scanners.Wait()
+}

@@ -1,0 +1,162 @@
+package balance
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/levelarray/levelarray/internal/tas"
+)
+
+// Occupancy is a per-batch count of occupied slots, as observed by scanning
+// the slot space once. Index i holds the count for batch i; the final entry
+// (index Layout.NumBatches()) holds the backup-array count.
+type Occupancy []int
+
+// MeasureOccupancy scans space and returns the per-batch occupancy according
+// to layout. The space must have at least layout.TotalSize() slots; spaces
+// holding only the main array (layout.MainSize() slots) are also accepted, in
+// which case the backup count is zero.
+func MeasureOccupancy(layout *Layout, space tas.Space) Occupancy {
+	counts := make(Occupancy, layout.NumBatches()+1)
+	limit := space.Len()
+	if limit > layout.TotalSize() {
+		limit = layout.TotalSize()
+	}
+	for slot := 0; slot < limit; slot++ {
+		if space.Read(slot) {
+			counts[layout.BatchOf(slot)]++
+		}
+	}
+	return counts
+}
+
+// Total returns the total number of occupied slots.
+func (o Occupancy) Total() int {
+	sum := 0
+	for _, c := range o {
+		sum += c
+	}
+	return sum
+}
+
+// Overcrowded reports whether batch j is overcrowded under layout, i.e. its
+// occupancy is at least the threshold 16·n_j from Definition 2.
+func Overcrowded(layout *Layout, occ Occupancy, j int) bool {
+	return occ[j] >= layout.OvercrowdedThreshold(j)
+}
+
+// BalancedUpTo reports whether none of batches 0..j are overcrowded
+// (Definition 2's "balanced up to batch j").
+func BalancedUpTo(layout *Layout, occ Occupancy, j int) bool {
+	if j >= layout.NumBatches() {
+		j = layout.NumBatches() - 1
+	}
+	for k := 0; k <= j; k++ {
+		if Overcrowded(layout, occ, k) {
+			return false
+		}
+	}
+	return true
+}
+
+// FullyBalanced reports whether the array is balanced up to batch
+// log log n − 1, the analysis's "fully balanced" predicate.
+func FullyBalanced(layout *Layout, occ Occupancy) bool {
+	return BalancedUpTo(layout, occ, layout.AnalysisBatches()-1)
+}
+
+// Snapshot is a human-readable view of batch occupancy at a point in an
+// execution, used by the healing experiment (Figure 3) to show the
+// distribution of occupied slots across batches over time.
+type Snapshot struct {
+	// Step is the number of completed operations (or simulator steps) when
+	// the snapshot was taken.
+	Step uint64
+	// Counts is the per-batch occupancy (backup in the final entry).
+	Counts Occupancy
+	// Fractions is the per-batch fraction of slots occupied (0..1), index
+	// aligned with Counts; the backup entry uses the backup size.
+	Fractions []float64
+	// FullyBalanced reports whether the array was fully balanced at the
+	// snapshot.
+	FullyBalanced bool
+}
+
+// TakeSnapshot measures space and packages the result as a Snapshot taken at
+// the given step.
+func TakeSnapshot(layout *Layout, space tas.Space, step uint64) Snapshot {
+	occ := MeasureOccupancy(layout, space)
+	fractions := make([]float64, len(occ))
+	for j := 0; j < layout.NumBatches(); j++ {
+		fractions[j] = float64(occ[j]) / float64(layout.Batch(j).Size)
+	}
+	if layout.BackupSize() > 0 {
+		fractions[len(fractions)-1] = float64(occ[len(occ)-1]) / float64(layout.BackupSize())
+	}
+	return Snapshot{
+		Step:          step,
+		Counts:        occ,
+		Fractions:     fractions,
+		FullyBalanced: FullyBalanced(layout, occ),
+	}
+}
+
+// String renders the snapshot as "step=K b0=12% b1=3% ... backup=0% balanced".
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "step=%d", s.Step)
+	for j, f := range s.Fractions {
+		label := fmt.Sprintf("b%d", j)
+		if j == len(s.Fractions)-1 {
+			label = "backup"
+		}
+		fmt.Fprintf(&b, " %s=%.1f%%", label, f*100)
+	}
+	if s.FullyBalanced {
+		b.WriteString(" balanced")
+	} else {
+		b.WriteString(" UNBALANCED")
+	}
+	return b.String()
+}
+
+// DegradedStateSpec describes an artificial initial occupancy used by the
+// healing experiment: Fractions[j] of batch j's slots are pre-acquired before
+// traffic starts. Figure 3's initial state fills batch 0 to 25% and batch 1
+// to 50% (overcrowding it).
+type DegradedStateSpec struct {
+	Fractions []float64
+}
+
+// Fig3InitialState returns the degraded state used in the paper's healing
+// experiment: batch 0 a quarter full and batch 1 half full (overcrowded).
+func Fig3InitialState() DegradedStateSpec {
+	return DegradedStateSpec{Fractions: []float64{0.25, 0.5}}
+}
+
+// Apply acquires slots in space until each batch listed in the spec reaches
+// the requested fill fraction. Slots are taken from the front of each batch,
+// which produces the most adversarial (maximally clustered) arrangement. It
+// returns the indices of the acquired slots so the caller can later release
+// them or hand them to simulated processes.
+func (d DegradedStateSpec) Apply(layout *Layout, space tas.Space) []int {
+	var taken []int
+	for j, frac := range d.Fractions {
+		if j >= layout.NumBatches() || frac <= 0 {
+			continue
+		}
+		b := layout.Batch(j)
+		want := int(frac * float64(b.Size))
+		if want > b.Size {
+			want = b.Size
+		}
+		got := 0
+		for slot := b.Offset; slot < b.Offset+b.Size && got < want; slot++ {
+			if space.TestAndSet(slot) {
+				taken = append(taken, slot)
+				got++
+			}
+		}
+	}
+	return taken
+}

@@ -1,0 +1,451 @@
+package balance
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/levelarray/levelarray/internal/tas"
+)
+
+func TestNewLayoutValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		capacity int
+		epsilon  float64
+		wantErr  bool
+	}{
+		{"ok", 64, 1, false},
+		{"tiny", 1, 1, false},
+		{"fractional-epsilon", 128, 0.5, false},
+		{"large-epsilon", 128, 3, false},
+		{"zero-capacity", 0, 1, true},
+		{"negative-capacity", -4, 1, true},
+		{"zero-epsilon", 64, 0, true},
+		{"negative-epsilon", 64, -1, true},
+		{"nan-epsilon", 64, math.NaN(), true},
+		{"inf-epsilon", 64, math.Inf(1), true},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			l, err := NewLayout(c.capacity, c.epsilon)
+			if c.wantErr {
+				if err == nil {
+					t.Fatal("expected error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if l.Capacity() != c.capacity || l.Epsilon() != c.epsilon {
+				t.Fatalf("layout does not echo parameters: %+v", l)
+			}
+		})
+	}
+}
+
+func TestMustNewLayoutPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNewLayout(0, 1)
+}
+
+func TestPaperLayoutGeometry(t *testing.T) {
+	// With ε = 1 and n a power of two, the paper's construction gives
+	// B0 = 3n/2 and Bi = n/2^{i+1}.
+	const n = 1024
+	l := MustNewLayout(n, DefaultEpsilon)
+
+	b0 := l.Batch(0)
+	if b0.Offset != 0 || b0.Size != 3*n/2 {
+		t.Fatalf("B0 = %+v, want offset 0 size %d", b0, 3*n/2)
+	}
+	for i := 1; i < l.NumBatches(); i++ {
+		want := n / (1 << uint(i+1))
+		if got := l.Batch(i).Size; got != want {
+			t.Fatalf("B%d size = %d, want %d", i, got, want)
+		}
+	}
+	if l.MainSize() > 2*n {
+		t.Fatalf("main size %d exceeds 2n = %d", l.MainSize(), 2*n)
+	}
+	if l.BackupSize() != n {
+		t.Fatalf("backup size %d, want %d", l.BackupSize(), n)
+	}
+	if l.TotalSize() != l.MainSize()+n {
+		t.Fatalf("total size %d inconsistent", l.TotalSize())
+	}
+	// Last batch has at least one slot and the next would have none.
+	last := l.Batch(l.NumBatches() - 1)
+	if last.Size < 1 {
+		t.Fatalf("last batch empty: %+v", last)
+	}
+}
+
+func TestBatchesAreContiguous(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16, 100, 1000, 1 << 14} {
+		for _, eps := range []float64{0.5, 1, 2} {
+			l := MustNewLayout(n, eps)
+			offset := 0
+			for i := 0; i < l.NumBatches(); i++ {
+				b := l.Batch(i)
+				if b.Index != i {
+					t.Fatalf("n=%d eps=%v: batch %d has index %d", n, eps, i, b.Index)
+				}
+				if b.Offset != offset {
+					t.Fatalf("n=%d eps=%v: batch %d offset %d, want %d", n, eps, i, b.Offset, offset)
+				}
+				if b.Size < 1 {
+					t.Fatalf("n=%d eps=%v: batch %d empty", n, eps, i)
+				}
+				offset += b.Size
+			}
+			if offset != l.MainSize() {
+				t.Fatalf("n=%d eps=%v: batches cover %d slots, main size %d", n, eps, offset, l.MainSize())
+			}
+			// Space bound from the paper: main array is at most (1+ε)n slots.
+			if float64(l.MainSize()) > (1+eps)*float64(n)+1 {
+				t.Fatalf("n=%d eps=%v: main size %d exceeds (1+eps)n", n, eps, l.MainSize())
+			}
+		}
+	}
+}
+
+func TestBatchesCopy(t *testing.T) {
+	l := MustNewLayout(64, 1)
+	batches := l.Batches()
+	batches[0].Size = -1
+	if l.Batch(0).Size == -1 {
+		t.Fatal("Batches exposed internal storage")
+	}
+}
+
+func TestBatchOf(t *testing.T) {
+	l := MustNewLayout(256, 1)
+	for i := 0; i < l.NumBatches(); i++ {
+		b := l.Batch(i)
+		if got := l.BatchOf(b.Offset); got != i {
+			t.Fatalf("BatchOf(first slot of %d) = %d", i, got)
+		}
+		if got := l.BatchOf(b.Offset + b.Size - 1); got != i {
+			t.Fatalf("BatchOf(last slot of %d) = %d", i, got)
+		}
+	}
+	if got := l.BatchOf(l.MainSize()); got != l.NumBatches() {
+		t.Fatalf("BatchOf(first backup slot) = %d, want %d", got, l.NumBatches())
+	}
+	if got := l.BatchOf(l.TotalSize() - 1); got != l.NumBatches() {
+		t.Fatalf("BatchOf(last backup slot) = %d, want %d", got, l.NumBatches())
+	}
+}
+
+func TestBatchOfPanicsOutOfRange(t *testing.T) {
+	l := MustNewLayout(16, 1)
+	for _, slot := range []int{-1, l.TotalSize()} {
+		slot := slot
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("BatchOf(%d) did not panic", slot)
+				}
+			}()
+			l.BatchOf(slot)
+		}()
+	}
+}
+
+func TestQuickBatchOfConsistent(t *testing.T) {
+	prop := func(nRaw uint16, slotRaw uint32) bool {
+		n := int(nRaw%4096) + 1
+		l := MustNewLayout(n, 1)
+		slot := int(slotRaw) % l.TotalSize()
+		j := l.BatchOf(slot)
+		if slot >= l.MainSize() {
+			return j == l.NumBatches()
+		}
+		b := l.Batch(j)
+		return slot >= b.Offset && slot < b.Offset+b.Size
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalysisBatches(t *testing.T) {
+	cases := map[int]int{
+		2:    1,
+		4:    1,
+		16:   2,
+		256:  3,
+		1024: 4, // ceil(log2(log2(1024))) = ceil(log2(10)) = 4
+	}
+	for n, want := range cases {
+		l := MustNewLayout(n, 1)
+		got := l.AnalysisBatches()
+		if got != want && got != l.NumBatches() {
+			t.Errorf("AnalysisBatches(n=%d) = %d, want %d (or clamped to %d)",
+				n, got, want, l.NumBatches())
+		}
+		if got < 1 || got > l.NumBatches() {
+			t.Errorf("AnalysisBatches(n=%d) = %d outside [1, %d]", n, got, l.NumBatches())
+		}
+	}
+}
+
+func TestReachProbabilityTargets(t *testing.T) {
+	l := MustNewLayout(1<<16, 1)
+	if got := l.ReachProbabilityTarget(0); got != 1 {
+		t.Fatalf("pi_0 = %v, want 1", got)
+	}
+	// pi_1 = 1/2^7, pi_2 = 1/2^9, pi_3 = 1/2^13.
+	cases := map[int]float64{1: 1.0 / 128, 2: 1.0 / 512, 3: 1.0 / 8192}
+	for j, want := range cases {
+		if got := l.ReachProbabilityTarget(j); math.Abs(got-want) > 1e-15 {
+			t.Errorf("pi_%d = %v, want %v", j, got, want)
+		}
+	}
+	// Monotonically non-increasing and doubly-exponentially decreasing.
+	prev := 1.0
+	for j := 1; j < 8; j++ {
+		cur := l.ReachProbabilityTarget(j)
+		if cur >= prev {
+			t.Fatalf("pi_%d = %v not decreasing (prev %v)", j, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestOccupancyTarget(t *testing.T) {
+	const n = 1 << 16
+	l := MustNewLayout(n, 1)
+	if got := l.OccupancyTarget(0); got != n {
+		t.Fatalf("n_0 = %v, want %d", got, n)
+	}
+	if got, want := l.OccupancyTarget(1), float64(n)/128; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("n_1 = %v, want %v", got, want)
+	}
+}
+
+func TestOvercrowdedThreshold(t *testing.T) {
+	const n = 1 << 16
+	l := MustNewLayout(n, 1)
+	// Batch 0 can never be overcrowded: threshold exceeds its size.
+	if got := l.OvercrowdedThreshold(0); got != l.Batch(0).Size+1 {
+		t.Fatalf("threshold(0) = %d, want %d", got, l.Batch(0).Size+1)
+	}
+	// For j >= 1 the threshold is 16·n_j = n/2^{2^j+1}.
+	cases := map[int]int{1: n / 8, 2: n / 32, 3: n / 512}
+	for j, want := range cases {
+		if got := l.OvercrowdedThreshold(j); got != want {
+			t.Errorf("threshold(%d) = %d, want %d", j, got, want)
+		}
+	}
+	// Thresholds never drop below 1 even for deep batches of tiny arrays.
+	small := MustNewLayout(8, 1)
+	for j := 1; j < small.NumBatches(); j++ {
+		if small.OvercrowdedThreshold(j) < 1 {
+			t.Fatalf("threshold(%d) below 1 for n=8", j)
+		}
+	}
+}
+
+func TestOvercrowdedThresholdPanics(t *testing.T) {
+	l := MustNewLayout(64, 1)
+	for _, j := range []int{-1, l.NumBatches()} {
+		j := j
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("OvercrowdedThreshold(%d) did not panic", j)
+				}
+			}()
+			l.OvercrowdedThreshold(j)
+		}()
+	}
+}
+
+func TestMeasureOccupancyAndPredicates(t *testing.T) {
+	const n = 256
+	l := MustNewLayout(n, 1)
+	space := tas.NewAtomicSpace(l.TotalSize())
+
+	// Occupy 10 slots in batch 0, enough slots in batch 1 to overcrowd it,
+	// and 2 slots in the backup region.
+	b0 := l.Batch(0)
+	for i := 0; i < 10; i++ {
+		space.TestAndSet(b0.Offset + i)
+	}
+	b1 := l.Batch(1)
+	threshold1 := l.OvercrowdedThreshold(1)
+	for i := 0; i < threshold1; i++ {
+		space.TestAndSet(b1.Offset + i)
+	}
+	space.TestAndSet(l.MainSize())
+	space.TestAndSet(l.TotalSize() - 1)
+
+	occ := MeasureOccupancy(l, space)
+	if occ[0] != 10 {
+		t.Fatalf("occ[0] = %d, want 10", occ[0])
+	}
+	if occ[1] != threshold1 {
+		t.Fatalf("occ[1] = %d, want %d", occ[1], threshold1)
+	}
+	if occ[l.NumBatches()] != 2 {
+		t.Fatalf("backup occupancy = %d, want 2", occ[l.NumBatches()])
+	}
+	if occ.Total() != 12+threshold1 {
+		t.Fatalf("Total = %d, want %d", occ.Total(), 12+threshold1)
+	}
+
+	if Overcrowded(l, occ, 0) {
+		t.Fatal("batch 0 reported overcrowded")
+	}
+	if !Overcrowded(l, occ, 1) {
+		t.Fatal("batch 1 not reported overcrowded at threshold")
+	}
+	if BalancedUpTo(l, occ, 1) {
+		t.Fatal("BalancedUpTo(1) true despite overcrowded batch 1")
+	}
+	if !BalancedUpTo(l, occ, 0) {
+		t.Fatal("BalancedUpTo(0) false")
+	}
+	if FullyBalanced(l, occ) {
+		t.Fatal("FullyBalanced true despite overcrowded batch 1")
+	}
+
+	// Releasing one slot in batch 1 drops it below the threshold.
+	space.Reset(b1.Offset)
+	occ = MeasureOccupancy(l, space)
+	if Overcrowded(l, occ, 1) {
+		t.Fatal("batch 1 still overcrowded below threshold")
+	}
+	if !FullyBalanced(l, occ) {
+		t.Fatal("array not fully balanced after rebalancing batch 1")
+	}
+}
+
+func TestBalancedUpToClampsIndex(t *testing.T) {
+	l := MustNewLayout(64, 1)
+	space := tas.NewAtomicSpace(l.TotalSize())
+	occ := MeasureOccupancy(l, space)
+	if !BalancedUpTo(l, occ, l.NumBatches()+5) {
+		t.Fatal("BalancedUpTo with large index should clamp and succeed on empty array")
+	}
+}
+
+func TestMeasureOccupancyMainOnlySpace(t *testing.T) {
+	l := MustNewLayout(128, 1)
+	space := tas.NewAtomicSpace(l.MainSize())
+	space.TestAndSet(0)
+	occ := MeasureOccupancy(l, space)
+	if occ[0] != 1 {
+		t.Fatalf("occ[0] = %d, want 1", occ[0])
+	}
+	if occ[l.NumBatches()] != 0 {
+		t.Fatal("backup occupancy nonzero for main-only space")
+	}
+}
+
+func TestTakeSnapshot(t *testing.T) {
+	const n = 128
+	l := MustNewLayout(n, 1)
+	space := tas.NewAtomicSpace(l.TotalSize())
+	b0 := l.Batch(0)
+	for i := 0; i < b0.Size/2; i++ {
+		space.TestAndSet(b0.Offset + i)
+	}
+	snap := TakeSnapshot(l, space, 4000)
+	if snap.Step != 4000 {
+		t.Fatalf("Step = %d", snap.Step)
+	}
+	if math.Abs(snap.Fractions[0]-0.5) > 0.01 {
+		t.Fatalf("batch 0 fraction = %v, want ~0.5", snap.Fractions[0])
+	}
+	if !snap.FullyBalanced {
+		t.Fatal("half-full batch 0 should still be balanced")
+	}
+	out := snap.String()
+	for _, want := range []string{"step=4000", "b0=", "backup=", "balanced"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Snapshot.String() = %q missing %q", out, want)
+		}
+	}
+}
+
+func TestDegradedStateSpec(t *testing.T) {
+	const n = 256
+	l := MustNewLayout(n, 1)
+	space := tas.NewAtomicSpace(l.TotalSize())
+	spec := Fig3InitialState()
+	taken := spec.Apply(l, space)
+
+	occ := MeasureOccupancy(l, space)
+	wantB0 := int(0.25 * float64(l.Batch(0).Size))
+	wantB1 := int(0.5 * float64(l.Batch(1).Size))
+	if occ[0] != wantB0 {
+		t.Fatalf("batch 0 occupancy = %d, want %d", occ[0], wantB0)
+	}
+	if occ[1] != wantB1 {
+		t.Fatalf("batch 1 occupancy = %d, want %d", occ[1], wantB1)
+	}
+	if len(taken) != wantB0+wantB1 {
+		t.Fatalf("len(taken) = %d, want %d", len(taken), wantB0+wantB1)
+	}
+	// The Figure 3 initial state must actually be unbalanced (batch 1
+	// overcrowded), otherwise the healing experiment is vacuous.
+	if FullyBalanced(l, occ) {
+		t.Fatal("Fig3 initial state is not unbalanced")
+	}
+	snap := TakeSnapshot(l, space, 0)
+	if !strings.Contains(snap.String(), "UNBALANCED") {
+		t.Fatalf("snapshot should report UNBALANCED: %s", snap)
+	}
+
+	// Releasing everything returns the array to balanced.
+	for _, slot := range taken {
+		space.Reset(slot)
+	}
+	if !FullyBalanced(l, MeasureOccupancy(l, space)) {
+		t.Fatal("array not balanced after releasing degraded state")
+	}
+}
+
+func TestDegradedStateSpecIgnoresExcessBatches(t *testing.T) {
+	l := MustNewLayout(4, 1)
+	space := tas.NewAtomicSpace(l.TotalSize())
+	spec := DegradedStateSpec{Fractions: []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5}}
+	taken := spec.Apply(l, space)
+	if len(taken) > l.MainSize() {
+		t.Fatalf("took %d slots from a %d-slot main array", len(taken), l.MainSize())
+	}
+}
+
+// Property: for arbitrary occupancy patterns, FullyBalanced is equivalent to
+// no analysis batch being overcrowded.
+func TestQuickFullyBalancedDefinition(t *testing.T) {
+	l := MustNewLayout(512, 1)
+	prop := func(slots []uint16) bool {
+		space := tas.NewAtomicSpace(l.TotalSize())
+		for _, s := range slots {
+			space.TestAndSet(int(s) % l.TotalSize())
+		}
+		occ := MeasureOccupancy(l, space)
+		want := true
+		for j := 0; j < l.AnalysisBatches(); j++ {
+			if Overcrowded(l, occ, j) {
+				want = false
+				break
+			}
+		}
+		return FullyBalanced(l, occ) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+// Package balance contains the LevelArray batch-layout arithmetic and the
+// balance analysis used both by the algorithm itself and by the experiments
+// that validate the paper's theory.
+//
+// Layout implements Section 4's construction: an array of size (1+ε)n split
+// into geometrically shrinking batches, with ε = 1 (total size 2n) as the
+// paper's default. The analysis-side definitions from Section 5 — the
+// reach-probability targets π_j, the expected occupancy targets n_j, the
+// "overcrowded" thresholds, and the balanced/fully-balanced predicates — are
+// implemented here so that simulator experiments and the healing benchmark
+// can measure exactly the quantities the proofs reason about.
+package balance
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultEpsilon is the paper's ε = 1 choice, which makes the main array hold
+// exactly 2n slots (3n/2 in batch 0 and n/2^{i+1} in batch i ≥ 1).
+const DefaultEpsilon = 1.0
+
+// Batch describes one contiguous batch of slots in the main array.
+type Batch struct {
+	// Index is the batch number, starting at 0.
+	Index int
+	// Offset is the index of the batch's first slot in the main array.
+	Offset int
+	// Size is the number of slots in the batch.
+	Size int
+}
+
+// Layout is the immutable batch geometry for a LevelArray with capacity n.
+//
+// The main array has size roughly (1+ε)n and is divided into batches
+// B0, B1, ... where B0 holds n(1+ε/2) slots and Bi holds εn/2^{i+1} slots for
+// i ≥ 1, until batches would become empty. A backup array of exactly n slots
+// follows the main array, so every Get can be satisfied even in executions
+// that defeat the randomized path.
+type Layout struct {
+	capacity int
+	epsilon  float64
+	batches  []Batch
+	mainSize int
+}
+
+// NewLayout builds the batch geometry for capacity n and space parameter
+// epsilon. Capacity must be at least 1; epsilon must be positive. Use
+// DefaultEpsilon for the paper's 2n configuration.
+func NewLayout(capacity int, epsilon float64) (*Layout, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("balance: capacity %d must be at least 1", capacity)
+	}
+	if epsilon <= 0 || math.IsNaN(epsilon) || math.IsInf(epsilon, 0) {
+		return nil, fmt.Errorf("balance: epsilon %v must be a positive finite number", epsilon)
+	}
+
+	n := float64(capacity)
+	batch0 := int(math.Floor(n * (1 + epsilon/2)))
+	if batch0 < 1 {
+		batch0 = 1
+	}
+	batches := []Batch{{Index: 0, Offset: 0, Size: batch0}}
+	offset := batch0
+	for i := 1; ; i++ {
+		size := int(math.Floor(epsilon * n / math.Pow(2, float64(i+1))))
+		if size < 1 {
+			break
+		}
+		batches = append(batches, Batch{Index: i, Offset: offset, Size: size})
+		offset += size
+	}
+	return &Layout{
+		capacity: capacity,
+		epsilon:  epsilon,
+		batches:  batches,
+		mainSize: offset,
+	}, nil
+}
+
+// MustNewLayout is NewLayout but panics on invalid parameters. It is intended
+// for tests and for callers constructing layouts from compile-time constants.
+func MustNewLayout(capacity int, epsilon float64) *Layout {
+	l, err := NewLayout(capacity, epsilon)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Capacity returns n, the contention bound the layout was built for.
+func (l *Layout) Capacity() int { return l.capacity }
+
+// Epsilon returns the space parameter ε.
+func (l *Layout) Epsilon() float64 { return l.epsilon }
+
+// NumBatches returns the number of batches in the main array.
+func (l *Layout) NumBatches() int { return len(l.batches) }
+
+// Batch returns the geometry of batch i.
+func (l *Layout) Batch(i int) Batch { return l.batches[i] }
+
+// Batches returns a copy of all batch descriptors.
+func (l *Layout) Batches() []Batch {
+	out := make([]Batch, len(l.batches))
+	copy(out, l.batches)
+	return out
+}
+
+// MainSize returns the number of slots in the main (batched) array.
+func (l *Layout) MainSize() int { return l.mainSize }
+
+// BackupSize returns the number of slots in the backup array (always exactly
+// the capacity, per Section 4).
+func (l *Layout) BackupSize() int { return l.capacity }
+
+// TotalSize returns the total number of slots, main plus backup.
+func (l *Layout) TotalSize() int { return l.mainSize + l.capacity }
+
+// BatchOf returns the index of the batch containing main-array slot. Slots in
+// the backup region (slot >= MainSize) are reported as NumBatches(), i.e. one
+// past the last real batch. It panics for out-of-range slots.
+func (l *Layout) BatchOf(slot int) int {
+	if slot < 0 || slot >= l.TotalSize() {
+		panic(fmt.Sprintf("balance: slot %d out of range [0, %d)", slot, l.TotalSize()))
+	}
+	if slot >= l.mainSize {
+		return len(l.batches)
+	}
+	// Binary search over batch offsets.
+	lo, hi := 0, len(l.batches)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if l.batches[mid].Offset <= slot {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// AnalysisBatches returns the number of batches the paper's analysis tracks,
+// i.e. ceil(log2 log2 n), clamped to the number of real batches and to at
+// least 1. Overcrowding and balance are defined over these batches only.
+func (l *Layout) AnalysisBatches() int {
+	n := float64(l.capacity)
+	if n < 4 {
+		return 1
+	}
+	v := int(math.Ceil(math.Log2(math.Log2(n))))
+	if v < 1 {
+		v = 1
+	}
+	if v > len(l.batches) {
+		v = len(l.batches)
+	}
+	return v
+}
+
+// ReachProbabilityTarget returns π_j, the analysis's target upper bound on
+// the probability that a Get reaches batch j: 1 for j = 0 and 1/2^{2^j+5} for
+// j ≥ 1. For large j the value underflows to 0, which is the correct reading
+// ("essentially never").
+func (l *Layout) ReachProbabilityTarget(j int) float64 {
+	if j <= 0 {
+		return 1
+	}
+	exp := math.Pow(2, float64(j)) + 5
+	return math.Pow(2, -exp)
+}
+
+// OccupancyTarget returns n_j = π_j · n, the analysis's target occupancy of
+// batch j.
+func (l *Layout) OccupancyTarget(j int) float64 {
+	return l.ReachProbabilityTarget(j) * float64(l.capacity)
+}
+
+// OvercrowdedThreshold returns the minimum number of occupied slots at which
+// batch j counts as overcrowded: 16·n_j = n/2^{2^j+1} for j ≥ 1. Batch 0 is
+// never overcrowded in the analysis (16·n_0 = 16n exceeds its size), so its
+// threshold is reported as one more than the batch size. The returned
+// threshold is never below 1.
+func (l *Layout) OvercrowdedThreshold(j int) int {
+	if j < 0 || j >= len(l.batches) {
+		panic(fmt.Sprintf("balance: batch %d out of range [0, %d)", j, len(l.batches)))
+	}
+	if j == 0 {
+		return l.batches[0].Size + 1
+	}
+	threshold := 16 * l.OccupancyTarget(j)
+	t := int(math.Floor(threshold))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}

@@ -1,0 +1,172 @@
+// Package barrier implements the shared-memory barrier application the
+// paper's introduction motivates: a barrier with *dynamic membership*, where
+// threads may join and leave between rounds. Membership is managed through an
+// activity array — joining is a Get (the registration whose cost the
+// LevelArray minimizes), leaving is a Free, and the barrier's release
+// condition is computed from a Collect of the registered participants.
+//
+// The barrier itself is sense-reversing: each round has a sense bit;
+// participants arriving at the barrier increment the arrival counter, and the
+// last arrival of the round flips the sense, releasing everyone.
+package barrier
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/core"
+)
+
+// Config parameterizes a dynamic barrier.
+type Config struct {
+	// MaxThreads is the maximum number of simultaneously joined participants.
+	MaxThreads int
+	// Registry optionally supplies the membership activity array. Nil
+	// selects a LevelArray of capacity MaxThreads.
+	Registry activity.Array
+	// Seed seeds the default LevelArray registry.
+	Seed uint64
+}
+
+// Barrier is a sense-reversing barrier with dynamic membership.
+type Barrier struct {
+	registry activity.Array
+
+	// mu-free state: the current round's sense and arrival count, plus the
+	// number of currently joined participants (maintained on join/leave so
+	// the hot path does not need a Collect).
+	sense   atomic.Uint32
+	arrived atomic.Int64
+	joined  atomic.Int64
+
+	rounds atomic.Uint64
+}
+
+// New builds a dynamic barrier.
+func New(cfg Config) (*Barrier, error) {
+	if cfg.MaxThreads < 1 {
+		return nil, fmt.Errorf("barrier: max threads %d must be at least 1", cfg.MaxThreads)
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		la, err := core.New(core.Config{Capacity: cfg.MaxThreads, Seed: cfg.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("barrier: building registry: %w", err)
+		}
+		reg = la
+	}
+	return &Barrier{registry: reg}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Barrier {
+	b, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Registry returns the membership activity array.
+func (b *Barrier) Registry() activity.Array { return b.registry }
+
+// Joined returns the number of currently joined participants.
+func (b *Barrier) Joined() int { return int(b.joined.Load()) }
+
+// Rounds returns the number of completed barrier rounds.
+func (b *Barrier) Rounds() uint64 { return b.rounds.Load() }
+
+// Members returns the activity-array names of the currently joined
+// participants (a Collect over the membership registry).
+func (b *Barrier) Members() []int {
+	return b.registry.Collect(nil)
+}
+
+// Errors returned by participants.
+var (
+	// ErrNotJoined is returned by Await and Leave when the participant has
+	// not joined.
+	ErrNotJoined = errors.New("barrier: participant not joined")
+	// ErrAlreadyJoined is returned by Join when the participant already
+	// joined.
+	ErrAlreadyJoined = errors.New("barrier: participant already joined")
+)
+
+// Participant is a per-thread endpoint of the barrier. It is not safe for
+// concurrent use.
+type Participant struct {
+	barrier *Barrier
+	handle  activity.Handle
+	joined  bool
+}
+
+// Participant returns a new, not-yet-joined participant.
+func (b *Barrier) Participant() *Participant {
+	return &Participant{barrier: b, handle: b.registry.Handle()}
+}
+
+// Join registers the participant. It must not be called between another
+// participant's arrival and the round's release (joining is allowed only at
+// quiescent points or before a round starts); callers coordinate this
+// externally, typically by joining before starting their work loop.
+func (p *Participant) Join() error {
+	if p.joined {
+		return ErrAlreadyJoined
+	}
+	if _, err := p.handle.Get(); err != nil {
+		return fmt.Errorf("barrier: joining: %w", err)
+	}
+	p.barrier.joined.Add(1)
+	p.joined = true
+	return nil
+}
+
+// Leave deregisters the participant. Like Join it must be called at a
+// quiescent point (not while other participants are blocked in Await).
+func (p *Participant) Leave() error {
+	if !p.joined {
+		return ErrNotJoined
+	}
+	if err := p.handle.Free(); err != nil {
+		return fmt.Errorf("barrier: leaving: %w", err)
+	}
+	p.barrier.joined.Add(-1)
+	p.joined = false
+	return nil
+}
+
+// Joined reports whether the participant is currently a member.
+func (p *Participant) Joined() bool { return p.joined }
+
+// Name returns the participant's activity-array name.
+func (p *Participant) Name() (int, bool) { return p.handle.Name() }
+
+// RegistrationStats returns the probe statistics of the membership handle.
+func (p *Participant) RegistrationStats() activity.ProbeStats { return p.handle.Stats() }
+
+// Await blocks until every currently joined participant has called Await for
+// this round, then returns the round number that just completed.
+func (p *Participant) Await() (uint64, error) {
+	if !p.joined {
+		return 0, ErrNotJoined
+	}
+	b := p.barrier
+	mySense := b.sense.Load()
+	arrived := b.arrived.Add(1)
+	if arrived >= b.joined.Load() {
+		// Last arrival: release the round. The arrival counter is reset
+		// before the sense flips so late spinners never observe a stale
+		// counter for the next round.
+		round := b.rounds.Add(1)
+		b.arrived.Store(0)
+		b.sense.Store(mySense ^ 1)
+		return round, nil
+	}
+	for b.sense.Load() == mySense {
+		runtime.Gosched()
+	}
+	return b.rounds.Load(), nil
+}

@@ -1,0 +1,260 @@
+package barrier
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/levelarray/levelarray/internal/registry"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero MaxThreads accepted")
+	}
+	b, err := New(Config{MaxThreads: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if b.Registry().Capacity() != 4 {
+		t.Fatalf("registry capacity = %d, want 4", b.Registry().Capacity())
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestCustomRegistry(t *testing.T) {
+	reg := registry.MustNew(registry.Deterministic, registry.Options{Capacity: 4})
+	b := MustNew(Config{MaxThreads: 4, Registry: reg})
+	if b.Registry() != reg {
+		t.Fatal("custom registry not used")
+	}
+}
+
+func TestParticipantLifecycle(t *testing.T) {
+	b := MustNew(Config{MaxThreads: 2})
+	p := b.Participant()
+	if p.Joined() {
+		t.Fatal("fresh participant joined")
+	}
+	if _, err := p.Await(); err != ErrNotJoined {
+		t.Fatalf("Await before Join = %v, want ErrNotJoined", err)
+	}
+	if err := p.Leave(); err != ErrNotJoined {
+		t.Fatalf("Leave before Join = %v, want ErrNotJoined", err)
+	}
+	if err := p.Join(); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if err := p.Join(); err != ErrAlreadyJoined {
+		t.Fatalf("double Join = %v, want ErrAlreadyJoined", err)
+	}
+	if !p.Joined() || b.Joined() != 1 {
+		t.Fatal("membership accounting wrong after Join")
+	}
+	if name, ok := p.Name(); !ok || name < 0 {
+		t.Fatalf("Name = (%d, %v)", name, ok)
+	}
+	if members := b.Members(); len(members) != 1 {
+		t.Fatalf("Members = %v, want one entry", members)
+	}
+	// A single joined participant passes the barrier immediately.
+	round, err := p.Await()
+	if err != nil {
+		t.Fatalf("Await: %v", err)
+	}
+	if round != 1 || b.Rounds() != 1 {
+		t.Fatalf("round = %d, Rounds = %d, want 1", round, b.Rounds())
+	}
+	if err := p.Leave(); err != nil {
+		t.Fatalf("Leave: %v", err)
+	}
+	if b.Joined() != 0 || len(b.Members()) != 0 {
+		t.Fatal("membership accounting wrong after Leave")
+	}
+	if p.RegistrationStats().Ops != 1 {
+		t.Fatalf("registration stats = %+v", p.RegistrationStats())
+	}
+}
+
+// TestBarrierSynchronizesRounds runs several participants through many rounds
+// and checks the fundamental barrier property: no participant enters round
+// r+1 before every participant has finished round r.
+func TestBarrierSynchronizesRounds(t *testing.T) {
+	const (
+		participants = 8
+		rounds       = 50
+	)
+	b := MustNew(Config{MaxThreads: participants})
+
+	// Join everyone before any Await: membership changes are only allowed at
+	// quiescent points.
+	members := make([]*Participant, participants)
+	for i := range members {
+		members[i] = b.Participant()
+		if err := members[i].Join(); err != nil {
+			t.Fatalf("participant %d join: %v", i, err)
+		}
+	}
+
+	// perRound[r] counts how many participants have completed round r.
+	perRound := make([]atomic.Int64, rounds+1)
+	var wg sync.WaitGroup
+	for i := 0; i < participants; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := members[i]
+			for r := 0; r < rounds; r++ {
+				// Everyone must have finished the previous round before
+				// anyone is released from this one.
+				if r > 0 && perRound[r-1].Load() != participants {
+					t.Errorf("participant %d entered round %d before round %d completed",
+						i, r, r-1)
+					return
+				}
+				perRound[r].Add(1)
+				if _, err := p.Await(); err != nil {
+					t.Errorf("participant %d await: %v", i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if b.Rounds() < rounds {
+		t.Fatalf("completed %d rounds, want at least %d", b.Rounds(), rounds)
+	}
+	for r := 0; r < rounds; r++ {
+		if perRound[r].Load() != participants {
+			t.Fatalf("round %d completed by %d of %d participants", r, perRound[r].Load(), participants)
+		}
+	}
+}
+
+// TestDynamicMembership exercises joining and leaving between rounds.
+func TestDynamicMembership(t *testing.T) {
+	b := MustNew(Config{MaxThreads: 4})
+	p1 := b.Participant()
+	p2 := b.Participant()
+	if err := p1.Join(); err != nil {
+		t.Fatalf("p1 join: %v", err)
+	}
+	if err := p2.Join(); err != nil {
+		t.Fatalf("p2 join: %v", err)
+	}
+
+	// Round with two participants: p1 blocks until p2 arrives.
+	p1Done := make(chan struct{})
+	go func() {
+		if _, err := p1.Await(); err != nil {
+			t.Errorf("p1 await: %v", err)
+		}
+		close(p1Done)
+	}()
+	select {
+	case <-p1Done:
+		t.Fatal("p1 released before p2 arrived")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, err := p2.Await(); err != nil {
+		t.Fatalf("p2 await: %v", err)
+	}
+	<-p1Done
+
+	// p2 leaves; a round with only p1 completes immediately.
+	if err := p2.Leave(); err != nil {
+		t.Fatalf("p2 leave: %v", err)
+	}
+	if b.Joined() != 1 {
+		t.Fatalf("Joined = %d, want 1", b.Joined())
+	}
+	if _, err := p1.Await(); err != nil {
+		t.Fatalf("p1 solo await: %v", err)
+	}
+	if b.Rounds() != 2 {
+		t.Fatalf("Rounds = %d, want 2", b.Rounds())
+	}
+
+	// A third participant can reuse the released slot.
+	p3 := b.Participant()
+	if err := p3.Join(); err != nil {
+		t.Fatalf("p3 join: %v", err)
+	}
+	if b.Joined() != 2 {
+		t.Fatalf("Joined = %d, want 2", b.Joined())
+	}
+	if err := p1.Leave(); err != nil {
+		t.Fatalf("p1 leave: %v", err)
+	}
+	if err := p3.Leave(); err != nil {
+		t.Fatalf("p3 leave: %v", err)
+	}
+}
+
+// TestManyRoundsManyParticipants is a stress test for lost releases.
+func TestManyRoundsManyParticipants(t *testing.T) {
+	const (
+		participants = 16
+		rounds       = 200
+	)
+	b := MustNew(Config{MaxThreads: participants})
+	members := make([]*Participant, participants)
+	for i := range members {
+		members[i] = b.Participant()
+		if err := members[i].Join(); err != nil {
+			t.Fatalf("join: %v", err)
+		}
+	}
+	var wg sync.WaitGroup
+	var maxRound atomic.Uint64
+	for i := 0; i < participants; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := members[i]
+			for r := 0; r < rounds; r++ {
+				round, err := p.Await()
+				if err != nil {
+					t.Errorf("await: %v", err)
+					return
+				}
+				for {
+					cur := maxRound.Load()
+					if round <= cur || maxRound.CompareAndSwap(cur, round) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("barrier deadlocked; completed %d rounds of %d", maxRound.Load(), rounds)
+	}
+	if t.Failed() {
+		return
+	}
+	if b.Rounds() != rounds {
+		t.Fatalf("Rounds = %d, want %d", b.Rounds(), rounds)
+	}
+}

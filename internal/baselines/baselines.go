@@ -1,0 +1,290 @@
+// Package baselines implements the comparator registration algorithms the
+// paper evaluates the LevelArray against (Section 6):
+//
+//   - Random: probe uniformly random slots of the whole array until a
+//     test-and-set wins.
+//   - LinearProbing: pick a uniformly random start slot and scan linearly to
+//     the right (wrapping around) until a test-and-set wins.
+//   - Deterministic: scan linearly from slot 0, the classic Moir–Anderson /
+//     dynamic-collect strategy with Θ(n) average cost.
+//
+// All three implement the same activity.Array interface as the LevelArray,
+// use the same test-and-set substrate and report the same per-operation probe
+// statistics, so the benchmark harness can drive them interchangeably.
+package baselines
+
+import (
+	"fmt"
+
+	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/rng"
+	"github.com/levelarray/levelarray/internal/tas"
+)
+
+// Kind selects one of the comparator algorithms.
+type Kind int
+
+// The comparator algorithms from the paper's evaluation.
+const (
+	KindRandom Kind = iota + 1
+	KindLinearProbing
+	KindDeterministic
+)
+
+// String returns the algorithm's display name as used in the figures.
+func (k Kind) String() string {
+	switch k {
+	case KindRandom:
+		return "Random"
+	case KindLinearProbing:
+		return "LinearProbing"
+	case KindDeterministic:
+		return "Deterministic"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes a comparator array.
+type Config struct {
+	// Capacity is n, the maximum number of simultaneously held names. Must
+	// be at least 1.
+	Capacity int
+
+	// SizeFactor scales the array: the array holds SizeFactor·Capacity
+	// slots. Zero selects 2, matching the LevelArray's default 2n footprint
+	// so comparisons are space-fair (the paper sizes all algorithms
+	// identically).
+	SizeFactor float64
+
+	// RNG selects the generator family for the randomized comparators.
+	// Zero selects rng.KindXorshift.
+	RNG rng.Kind
+
+	// Seed is the base seed from which per-handle generators are derived.
+	Seed uint64
+
+	// CompactSlots selects the unpadded slot layout.
+	CompactSlots bool
+}
+
+// withDefaults returns a copy of c with zero values replaced by defaults.
+func (c Config) withDefaults() Config {
+	if c.SizeFactor == 0 {
+		c.SizeFactor = 2
+	}
+	if c.RNG == 0 {
+		c.RNG = rng.KindXorshift
+	}
+	return c
+}
+
+// validate reports the first problem with the configuration.
+func (c Config) validate() error {
+	if c.Capacity < 1 {
+		return fmt.Errorf("baselines: capacity %d must be at least 1", c.Capacity)
+	}
+	if c.SizeFactor < 1 {
+		return fmt.Errorf("baselines: size factor %v must be at least 1", c.SizeFactor)
+	}
+	return nil
+}
+
+// Array is a comparator activity array. The probing strategy is selected by
+// the Kind passed to New.
+type Array struct {
+	kind  Kind
+	cfg   Config
+	space tas.Space
+	seeds *rng.SeedSequence
+}
+
+var _ activity.Array = (*Array)(nil)
+
+// New builds a comparator array of the given kind.
+func New(kind Kind, cfg Config) (*Array, error) {
+	switch kind {
+	case KindRandom, KindLinearProbing, KindDeterministic:
+	default:
+		return nil, fmt.Errorf("baselines: unknown algorithm kind %d", int(kind))
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	size := int(cfg.SizeFactor * float64(cfg.Capacity))
+	if size < cfg.Capacity {
+		size = cfg.Capacity
+	}
+	var space tas.Space
+	if cfg.CompactSlots {
+		space = tas.NewCompactSpace(size)
+	} else {
+		space = tas.NewAtomicSpace(size)
+	}
+	return &Array{
+		kind:  kind,
+		cfg:   cfg,
+		space: space,
+		seeds: rng.NewSeedSequence(cfg.Seed),
+	}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(kind Kind, cfg Config) *Array {
+	a, err := New(kind, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Kind returns the probing strategy of this array.
+func (a *Array) Kind() Kind { return a.kind }
+
+// Capacity returns the contention bound n.
+func (a *Array) Capacity() int { return a.cfg.Capacity }
+
+// Size returns the number of slots (the namespace size).
+func (a *Array) Size() int { return a.space.Len() }
+
+// Space returns the underlying slot space, for tests and occupancy analysis.
+func (a *Array) Space() tas.Space { return a.space }
+
+// Handle returns a new per-participant handle.
+func (a *Array) Handle() activity.Handle {
+	return &Handle{
+		arr: a,
+		rng: rng.New(a.cfg.RNG, a.seeds.Next()),
+	}
+}
+
+// Collect appends every currently observed held name to dst and returns the
+// extended slice.
+func (a *Array) Collect(dst []int) []int {
+	for i := 0; i < a.space.Len(); i++ {
+		if a.space.Read(i) {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// Handle is the per-participant endpoint of a comparator array. Handles are
+// not safe for concurrent use.
+type Handle struct {
+	arr  *Array
+	rng  rng.Source
+	name int
+	held bool
+
+	lastProbes int
+	stats      activity.ProbeStats
+}
+
+var _ activity.Handle = (*Handle)(nil)
+
+// Get registers the participant using the array's probing strategy.
+func (h *Handle) Get() (int, error) {
+	if h.held {
+		return 0, activity.ErrAlreadyRegistered
+	}
+	var (
+		slot   int
+		probes int
+		ok     bool
+	)
+	switch h.arr.kind {
+	case KindRandom:
+		slot, probes, ok = h.getRandom()
+	case KindLinearProbing:
+		slot, probes, ok = h.getLinearProbing()
+	default:
+		slot, probes, ok = h.getDeterministic()
+	}
+	if !ok {
+		h.lastProbes = probes
+		return 0, activity.ErrFull
+	}
+	h.name = slot
+	h.held = true
+	h.lastProbes = probes
+	// An operation that probed at least a full array's worth of slots is the
+	// comparator-side analogue of hitting the LevelArray backup.
+	h.stats.Record(probes, probes >= h.arr.space.Len())
+	return slot, nil
+}
+
+// getRandom probes uniformly random slots until one is acquired. To keep the
+// operation wait-free even when the array is pathologically full (a misuse of
+// the data structure), it gives up after 4·size consecutive losses and falls
+// back to a linear sweep.
+func (h *Handle) getRandom() (slot, probes int, ok bool) {
+	size := h.arr.space.Len()
+	limit := 4 * size
+	for probes < limit {
+		s := h.rng.Intn(size)
+		probes++
+		if h.arr.space.TestAndSet(s) {
+			return s, probes, true
+		}
+	}
+	for i := 0; i < size; i++ {
+		probes++
+		if h.arr.space.TestAndSet(i) {
+			return i, probes, true
+		}
+	}
+	return 0, probes, false
+}
+
+// getLinearProbing picks a random start and scans right with wrap-around.
+func (h *Handle) getLinearProbing() (slot, probes int, ok bool) {
+	size := h.arr.space.Len()
+	start := h.rng.Intn(size)
+	for i := 0; i < size; i++ {
+		s := (start + i) % size
+		probes++
+		if h.arr.space.TestAndSet(s) {
+			return s, probes, true
+		}
+	}
+	return 0, probes, false
+}
+
+// getDeterministic scans from slot 0, the Moir–Anderson strategy.
+func (h *Handle) getDeterministic() (slot, probes int, ok bool) {
+	size := h.arr.space.Len()
+	for s := 0; s < size; s++ {
+		probes++
+		if h.arr.space.TestAndSet(s) {
+			return s, probes, true
+		}
+	}
+	return 0, probes, false
+}
+
+// Free releases the name acquired by the most recent Get.
+func (h *Handle) Free() error {
+	if !h.held {
+		return activity.ErrNotRegistered
+	}
+	h.arr.space.Reset(h.name)
+	h.held = false
+	h.stats.RecordFree()
+	return nil
+}
+
+// Name returns the currently held name, if any.
+func (h *Handle) Name() (int, bool) {
+	if !h.held {
+		return 0, false
+	}
+	return h.name, true
+}
+
+// LastProbes returns the number of trials performed by the most recent Get.
+func (h *Handle) LastProbes() int { return h.lastProbes }
+
+// Stats returns the cumulative probe statistics recorded by this handle.
+func (h *Handle) Stats() activity.ProbeStats { return h.stats }

@@ -1,0 +1,301 @@
+package baselines
+
+import (
+	"testing"
+
+	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/arraytest"
+	"github.com/levelarray/levelarray/internal/rng"
+	"github.com/levelarray/levelarray/internal/tas"
+)
+
+func allKinds() []Kind {
+	return []Kind{KindRandom, KindLinearProbing, KindDeterministic}
+}
+
+func TestConformance(t *testing.T) {
+	for _, kind := range allKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			arraytest.Run(t, func(capacity int) activity.Array {
+				return MustNew(kind, Config{Capacity: capacity, Seed: 42})
+			})
+		})
+	}
+}
+
+func TestConformanceCompactSlots(t *testing.T) {
+	arraytest.Run(t, func(capacity int) activity.Array {
+		return MustNew(KindRandom, Config{Capacity: capacity, Seed: 1, CompactSlots: true})
+	})
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindRandom:        "Random",
+		KindLinearProbing: "LinearProbing",
+		KindDeterministic: "Deterministic",
+		Kind(0):           "unknown",
+		Kind(42):          "unknown",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		kind    Kind
+		cfg     Config
+		wantErr bool
+	}{
+		{"ok-random", KindRandom, Config{Capacity: 8}, false},
+		{"ok-linear", KindLinearProbing, Config{Capacity: 8, SizeFactor: 4}, false},
+		{"ok-deterministic", KindDeterministic, Config{Capacity: 8, RNG: rng.KindLehmer}, false},
+		{"unknown-kind", Kind(99), Config{Capacity: 8}, true},
+		{"zero-capacity", KindRandom, Config{}, true},
+		{"size-factor-below-one", KindRandom, Config{Capacity: 8, SizeFactor: 0.5}, true},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			arr, err := New(c.kind, c.cfg)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("New error = %v, wantErr %v", err, c.wantErr)
+			}
+			if err == nil && arr.Kind() != c.kind {
+				t.Fatalf("Kind() = %v, want %v", arr.Kind(), c.kind)
+			}
+		})
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(KindRandom, Config{Capacity: -1})
+}
+
+func TestSizeFactor(t *testing.T) {
+	cases := []struct {
+		factor float64
+		want   int
+	}{
+		{0, 32},   // default is 2N
+		{2, 32},   // L = 2N
+		{3, 48},   // L = 3N
+		{4, 64},   // L = 4N (the paper's upper sweep point)
+		{1, 16},   // degenerate tight namespace
+		{2.5, 40}, // fractional factors are allowed
+	}
+	for _, c := range cases {
+		arr := MustNew(KindRandom, Config{Capacity: 16, SizeFactor: c.factor})
+		if arr.Size() != c.want {
+			t.Errorf("SizeFactor %v: Size = %d, want %d", c.factor, arr.Size(), c.want)
+		}
+	}
+}
+
+// TestDeterministicProbeCounts pins down the defining cost profile of the
+// deterministic baseline: the k-th registration (with no intervening frees)
+// takes exactly k probes, which is the Θ(n) behaviour the paper contrasts
+// against.
+func TestDeterministicProbeCounts(t *testing.T) {
+	const n = 32
+	arr := MustNew(KindDeterministic, Config{Capacity: n})
+	for i := 0; i < n; i++ {
+		h := arr.Handle()
+		name, err := h.Get()
+		if err != nil {
+			t.Fatalf("Get %d: %v", i, err)
+		}
+		if name != i {
+			t.Fatalf("deterministic Get %d returned name %d", i, name)
+		}
+		if h.LastProbes() != i+1 {
+			t.Fatalf("Get %d took %d probes, want %d", i, h.LastProbes(), i+1)
+		}
+	}
+}
+
+// TestLinearProbingScansRight checks that LinearProbing acquires the first
+// free slot at or after its random start, wrapping around the end.
+func TestLinearProbingScansRight(t *testing.T) {
+	const n = 16
+	arr := MustNew(KindLinearProbing, Config{Capacity: n, Seed: 5})
+	// Occupy everything except slot 3.
+	for i := 0; i < arr.Size(); i++ {
+		if i != 3 {
+			arr.Space().TestAndSet(i)
+		}
+	}
+	h := arr.Handle()
+	name, err := h.Get()
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if name != 3 {
+		t.Fatalf("Get = %d, want 3 (the only free slot)", name)
+	}
+	if h.LastProbes() > arr.Size() {
+		t.Fatalf("LastProbes = %d exceeds array size %d", h.LastProbes(), arr.Size())
+	}
+}
+
+// TestRandomFallbackSweep fills the array completely except one slot and
+// verifies Random still terminates and finds it (via its bounded retry plus
+// sweep), keeping the operation wait-free.
+func TestRandomFallbackSweep(t *testing.T) {
+	const n = 8
+	arr := MustNew(KindRandom, Config{Capacity: n, Seed: 11})
+	for i := 1; i < arr.Size(); i++ {
+		arr.Space().TestAndSet(i)
+	}
+	h := arr.Handle()
+	name, err := h.Get()
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if name != 0 {
+		t.Fatalf("Get = %d, want 0", name)
+	}
+}
+
+func TestErrFullWhenExhausted(t *testing.T) {
+	for _, kind := range allKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			const n = 4
+			arr := MustNew(kind, Config{Capacity: n, Seed: 3})
+			handles := make([]activity.Handle, arr.Size())
+			for i := range handles {
+				handles[i] = arr.Handle()
+				if _, err := handles[i].Get(); err != nil {
+					t.Fatalf("Get %d: %v", i, err)
+				}
+			}
+			extra := arr.Handle()
+			if _, err := extra.Get(); err != activity.ErrFull {
+				t.Fatalf("Get on full array = %v, want ErrFull", err)
+			}
+			// Statistics must not count the failed operation.
+			if extra.Stats().Ops != 0 {
+				t.Fatalf("failed Get recorded as an op: %+v", extra.Stats())
+			}
+			if err := handles[0].Free(); err != nil {
+				t.Fatalf("Free: %v", err)
+			}
+			if _, err := extra.Get(); err != nil {
+				t.Fatalf("Get after Free: %v", err)
+			}
+		})
+	}
+}
+
+// TestRandomVsDeterministicAverage reproduces, at unit-test scale, the
+// paper's observation that the deterministic scan is far more expensive on
+// average than randomized probing once the array is moderately loaded.
+func TestRandomVsDeterministicAverage(t *testing.T) {
+	const (
+		n      = 128
+		rounds = 300
+	)
+	random := MustNew(KindRandom, Config{Capacity: n, Seed: 7})
+	det := MustNew(KindDeterministic, Config{Capacity: n, Seed: 7})
+
+	// Pre-fill half of each array by registering residents that never leave.
+	for i := 0; i < n/2; i++ {
+		if _, err := random.Handle().Get(); err != nil {
+			t.Fatalf("random pre-fill: %v", err)
+		}
+		if _, err := det.Handle().Get(); err != nil {
+			t.Fatalf("det pre-fill: %v", err)
+		}
+	}
+
+	randomChurn := random.Handle()
+	detChurn := det.Handle()
+	for i := 0; i < rounds; i++ {
+		if _, err := randomChurn.Get(); err != nil {
+			t.Fatalf("random churn: %v", err)
+		}
+		if err := randomChurn.Free(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := detChurn.Get(); err != nil {
+			t.Fatalf("det churn: %v", err)
+		}
+		if err := detChurn.Free(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	randomMean := randomChurn.Stats().Mean()
+	detMean := detChurn.Stats().Mean()
+	if randomMean >= detMean {
+		t.Fatalf("random mean %.2f not below deterministic mean %.2f", randomMean, detMean)
+	}
+	// The deterministic scan must pay for the pre-filled prefix every time.
+	if detMean < float64(n/4) {
+		t.Fatalf("deterministic mean %.2f implausibly low for a half-full array", detMean)
+	}
+}
+
+// TestLinearProbingClustering demonstrates (qualitatively) the primary
+// clustering phenomenon the paper cites: with a contiguous occupied prefix,
+// linear probing pays long scans whenever its start lands inside the cluster.
+func TestLinearProbingClustering(t *testing.T) {
+	const n = 64
+	arr := MustNew(KindLinearProbing, Config{Capacity: n, Seed: 17})
+	// Build a contiguous cluster covering half the array.
+	for i := 0; i < arr.Size()/2; i++ {
+		arr.Space().TestAndSet(i)
+	}
+	h := arr.Handle()
+	var worst int
+	for i := 0; i < 200; i++ {
+		if _, err := h.Get(); err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if h.LastProbes() > worst {
+			worst = h.LastProbes()
+		}
+		if err := h.Free(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A start inside the cluster must scan to its end, so the worst case over
+	// 200 trials is very likely to be a long walk (> 8 probes).
+	if worst <= 8 {
+		t.Fatalf("worst case %d probes suspiciously small for a clustered array", worst)
+	}
+}
+
+func TestCollectIncludesBothHalves(t *testing.T) {
+	arr := MustNew(KindRandom, Config{Capacity: 16, Seed: 9})
+	arr.Space().TestAndSet(0)
+	arr.Space().TestAndSet(arr.Size() - 1)
+	got := arr.Collect(nil)
+	if len(got) != 2 || got[0] != 0 || got[1] != arr.Size()-1 {
+		t.Fatalf("Collect = %v, want [0 %d]", got, arr.Size()-1)
+	}
+}
+
+func TestSpaceAccessor(t *testing.T) {
+	arr := MustNew(KindDeterministic, Config{Capacity: 4})
+	if arr.Space().Len() != arr.Size() {
+		t.Fatalf("Space().Len() = %d, Size() = %d", arr.Space().Len(), arr.Size())
+	}
+	if _, ok := arr.Space().(*tas.AtomicSpace); !ok {
+		t.Fatalf("default space is %T, want *tas.AtomicSpace", arr.Space())
+	}
+	compact := MustNew(KindDeterministic, Config{Capacity: 4, CompactSlots: true})
+	if _, ok := compact.Space().(*tas.CompactSpace); !ok {
+		t.Fatalf("compact space is %T, want *tas.CompactSpace", compact.Space())
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/balance"
+)
+
+func TestAdoptBasics(t *testing.T) {
+	la := MustNew(Config{Capacity: 32, Seed: 1})
+	h := la.Handle().(*Handle)
+
+	target := la.Layout().Batch(1).Offset // a slot in batch 1
+	if err := h.Adopt(target); err != nil {
+		t.Fatalf("Adopt: %v", err)
+	}
+	if name, held := h.Name(); !held || name != target {
+		t.Fatalf("Name() = (%d, %v), want (%d, true)", name, held, target)
+	}
+	// Adoption must not be recorded as a probing Get.
+	if h.Stats().Ops != 0 {
+		t.Fatalf("Stats.Ops = %d after Adopt, want 0", h.Stats().Ops)
+	}
+	// The slot is visible to Collect and to the occupancy measurement.
+	if got := la.Collect(nil); len(got) != 1 || got[0] != target {
+		t.Fatalf("Collect = %v, want [%d]", got, target)
+	}
+	occ := la.Occupancy()
+	if occ[1] != 1 {
+		t.Fatalf("batch 1 occupancy = %d, want 1", occ[1])
+	}
+	// Free releases the adopted slot normally.
+	if err := h.Free(); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if la.Occupancy().Total() != 0 {
+		t.Fatal("occupancy nonzero after freeing adopted slot")
+	}
+}
+
+func TestAdoptErrors(t *testing.T) {
+	la := MustNew(Config{Capacity: 8, Seed: 2})
+	a := la.Handle().(*Handle)
+	b := la.Handle().(*Handle)
+
+	if err := a.Adopt(-1); err == nil {
+		t.Fatal("Adopt(-1) accepted")
+	}
+	if err := a.Adopt(la.Size()); err == nil {
+		t.Fatal("Adopt(Size()) accepted")
+	}
+	if err := a.Adopt(3); err != nil {
+		t.Fatalf("Adopt(3): %v", err)
+	}
+	if err := a.Adopt(4); err != activity.ErrAlreadyRegistered {
+		t.Fatalf("second Adopt = %v, want ErrAlreadyRegistered", err)
+	}
+	if err := b.Adopt(3); err != activity.ErrFull {
+		t.Fatalf("Adopt of taken slot = %v, want ErrFull", err)
+	}
+}
+
+func TestAdoptBackupSlot(t *testing.T) {
+	la := MustNew(Config{Capacity: 8, Seed: 3})
+	h := la.Handle().(*Handle)
+	backupName := la.Layout().MainSize() + 2
+	if err := h.Adopt(backupName); err != nil {
+		t.Fatalf("Adopt backup slot: %v", err)
+	}
+	if !h.LastUsedBackup() {
+		t.Fatal("LastUsedBackup() = false for an adopted backup slot")
+	}
+	if err := h.Free(); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if la.Occupancy().Total() != 0 {
+		t.Fatal("backup slot not released")
+	}
+}
+
+// TestAdoptBuildsDegradedState reproduces, in miniature, the set-up of the
+// healing experiment: handles adopt the slots prescribed by the Figure 3
+// degraded state, making the array unbalanced, and releasing them heals it.
+func TestAdoptBuildsDegradedState(t *testing.T) {
+	const n = 256
+	la := MustNew(Config{Capacity: n, Seed: 4})
+	spec := balance.Fig3InitialState()
+
+	var handles []*Handle
+	for j, frac := range spec.Fractions {
+		b := la.Layout().Batch(j)
+		want := int(frac * float64(b.Size))
+		for i := 0; i < want; i++ {
+			h := la.Handle().(*Handle)
+			if err := h.Adopt(b.Offset + i); err != nil {
+				t.Fatalf("Adopt(batch %d slot %d): %v", j, i, err)
+			}
+			handles = append(handles, h)
+		}
+	}
+	if balance.FullyBalanced(la.Layout(), la.Occupancy()) {
+		t.Fatal("degraded state is unexpectedly balanced")
+	}
+	for _, h := range handles {
+		if err := h.Free(); err != nil {
+			t.Fatalf("Free: %v", err)
+		}
+	}
+	if !balance.FullyBalanced(la.Layout(), la.Occupancy()) {
+		t.Fatal("array not balanced after releasing the degraded state")
+	}
+}

@@ -1,0 +1,128 @@
+// Package core implements the LevelArray, the paper's long-lived renaming /
+// activity-array algorithm (Section 4).
+//
+// The LevelArray is an array of roughly 2n test-and-set slots split into
+// log n geometrically shrinking batches. A Get probes a constant number of
+// uniformly random slots per batch, moving to the next batch after failures,
+// and falls back to a linear scan of a dedicated n-slot backup array in the
+// (essentially impossible) event that every randomized probe loses. Free
+// resets the acquired slot; Collect scans the array.
+//
+// The package exposes configuration knobs that correspond to the paper's
+// parameters: the contention bound n, the space parameter ε (default 1, i.e.
+// a 2n-slot main array), the per-batch probe counts c_i (default 1, as in the
+// paper's implementation; the analysis uses c_i ≥ 16), and the PRNG family.
+package core
+
+import (
+	"fmt"
+
+	"github.com/levelarray/levelarray/internal/balance"
+	"github.com/levelarray/levelarray/internal/rng"
+	"github.com/levelarray/levelarray/internal/tas"
+)
+
+// DefaultProbesPerBatch is the number of test-and-set trials a Get performs
+// in each batch before moving on. The paper's implementation uses 1; its
+// analysis uses a larger constant (≥ 16) purely to obtain high-probability
+// concentration bounds.
+const DefaultProbesPerBatch = 1
+
+// Config parameterizes a LevelArray.
+type Config struct {
+	// Capacity is n, the maximum number of participants that may hold names
+	// simultaneously. It must be at least 1.
+	Capacity int
+
+	// Epsilon is the space parameter ε: the main array holds roughly (1+ε)n
+	// slots. Zero selects balance.DefaultEpsilon (ε = 1, a 2n-slot array).
+	Epsilon float64
+
+	// ProbesPerBatch is the uniform probe count c applied to every batch.
+	// Zero selects DefaultProbesPerBatch. It is ignored if ProbeSchedule is
+	// non-empty.
+	ProbesPerBatch int
+
+	// ProbeSchedule optionally sets a per-batch probe count c_i. Batches
+	// beyond the end of the slice use the last entry. Entries must be
+	// positive.
+	ProbeSchedule []int
+
+	// RNG selects the pseudo-random generator family used for probe
+	// choices. Zero selects rng.KindXorshift (Marsaglia).
+	RNG rng.Kind
+
+	// Seed is the base seed from which per-handle generators are derived.
+	// Zero is a valid seed.
+	Seed uint64
+
+	// CompactSlots selects the unpadded slot layout (16 slots per cache
+	// line) instead of the default one-slot-per-cache-line layout. The
+	// compact layout is smaller and collects faster but exhibits false
+	// sharing under heavy contention.
+	CompactSlots bool
+
+	// SoftwareTAS replaces the hardware compare-and-swap slots with the
+	// randomized read/write test-and-set construction (tas.RandomizedSpace),
+	// the fallback the paper describes for machines without a hardware
+	// test-and-set primitive. It is slower and exists for the ablation
+	// benchmarks; it cannot be combined with CompactSlots.
+	SoftwareTAS bool
+}
+
+// withDefaults returns a copy of c with zero values replaced by defaults.
+func (c Config) withDefaults() Config {
+	if c.Epsilon == 0 {
+		c.Epsilon = balance.DefaultEpsilon
+	}
+	if c.ProbesPerBatch == 0 {
+		c.ProbesPerBatch = DefaultProbesPerBatch
+	}
+	if c.RNG == 0 {
+		c.RNG = rng.KindXorshift
+	}
+	return c
+}
+
+// validate reports the first problem with the configuration.
+func (c Config) validate() error {
+	if c.Capacity < 1 {
+		return fmt.Errorf("core: capacity %d must be at least 1", c.Capacity)
+	}
+	if c.ProbesPerBatch < 0 {
+		return fmt.Errorf("core: probes per batch %d must not be negative", c.ProbesPerBatch)
+	}
+	for i, p := range c.ProbeSchedule {
+		if p < 1 {
+			return fmt.Errorf("core: probe schedule entry %d is %d, must be at least 1", i, p)
+		}
+	}
+	if c.SoftwareTAS && c.CompactSlots {
+		return fmt.Errorf("core: SoftwareTAS cannot be combined with CompactSlots")
+	}
+	return nil
+}
+
+// newSpace builds a slot space of the given size; seed is only used by the
+// software test-and-set construction.
+func (c Config) newSpace(size int, seed uint64) tas.Space {
+	switch {
+	case c.SoftwareTAS:
+		return tas.NewRandomizedSpace(size, seed)
+	case c.CompactSlots:
+		return tas.NewCompactSpace(size)
+	default:
+		return tas.NewAtomicSpace(size)
+	}
+}
+
+// probesFor returns c_i for batch i under this configuration.
+func (c Config) probesFor(batch int) int {
+	if len(c.ProbeSchedule) > 0 {
+		if batch < len(c.ProbeSchedule) {
+			return c.ProbeSchedule[batch]
+		}
+		return c.ProbeSchedule[len(c.ProbeSchedule)-1]
+	}
+	return c.ProbesPerBatch
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/balance"
+	"github.com/levelarray/levelarray/internal/rng"
+	"github.com/levelarray/levelarray/internal/tas"
+)
+
+// LevelArray is the paper's long-lived renaming algorithm. It is safe for
+// concurrent use: any number of goroutines may operate on distinct handles
+// while others Collect.
+//
+// Names returned by Get are indices in [0, Size()): indices below
+// Layout().MainSize() identify main-array slots grouped into batches, and
+// indices at or above it identify backup-array slots. With honest randomness
+// the backup is essentially never used; it exists so Get is wait-free with a
+// deterministic worst case of O(n) probes.
+type LevelArray struct {
+	cfg    Config
+	layout *balance.Layout
+	main   tas.Space
+	backup tas.Space
+	seeds  *rng.SeedSequence
+}
+
+var _ activity.Array = (*LevelArray)(nil)
+
+// New builds a LevelArray from cfg. It returns an error if the configuration
+// is invalid.
+func New(cfg Config) (*LevelArray, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	layout, err := balance.NewLayout(cfg.Capacity, cfg.Epsilon)
+	if err != nil {
+		return nil, fmt.Errorf("core: building layout: %w", err)
+	}
+	return &LevelArray{
+		cfg:    cfg,
+		layout: layout,
+		main:   cfg.newSpace(layout.MainSize(), cfg.Seed^0xA11),
+		backup: cfg.newSpace(layout.BackupSize(), cfg.Seed^0xB22),
+		seeds:  rng.NewSeedSequence(cfg.Seed),
+	}, nil
+}
+
+// MustNew is New but panics on error; it is intended for tests and examples
+// with compile-time constant configurations.
+func MustNew(cfg Config) *LevelArray {
+	la, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return la
+}
+
+// Capacity returns the contention bound n.
+func (la *LevelArray) Capacity() int { return la.cfg.Capacity }
+
+// Size returns the total namespace size (main array plus backup array).
+func (la *LevelArray) Size() int { return la.layout.TotalSize() }
+
+// Layout returns the batch geometry of the main array.
+func (la *LevelArray) Layout() *balance.Layout { return la.layout }
+
+// MainSpace returns the main slot space. It is exported within the module so
+// the balance analyzer and the healing experiment can observe (and, for the
+// degraded-start experiment, pre-fill) the raw slots.
+func (la *LevelArray) MainSpace() tas.Space { return la.main }
+
+// BackupSpace returns the backup slot space.
+func (la *LevelArray) BackupSpace() tas.Space { return la.backup }
+
+// Handle returns a new per-participant handle. Handles are not safe for
+// concurrent use; each goroutine (or simulated process) must own its handle.
+func (la *LevelArray) Handle() activity.Handle {
+	return &Handle{
+		arr: la,
+		rng: rng.New(la.cfg.RNG, la.seeds.Next()),
+	}
+}
+
+// Collect appends every currently observed held name to dst and returns the
+// extended slice. It satisfies the paper's validity property (every returned
+// name was held at some point during the scan) but is not an atomic snapshot.
+func (la *LevelArray) Collect(dst []int) []int {
+	mainSize := la.main.Len()
+	for i := 0; i < mainSize; i++ {
+		if la.main.Read(i) {
+			dst = append(dst, i)
+		}
+	}
+	for i := 0; i < la.backup.Len(); i++ {
+		if la.backup.Read(i) {
+			dst = append(dst, mainSize+i)
+		}
+	}
+	return dst
+}
+
+// Occupancy measures the per-batch occupancy of the array (backup occupancy
+// in the final entry). Like Collect it is not an atomic snapshot.
+func (la *LevelArray) Occupancy() balance.Occupancy {
+	occ := balance.MeasureOccupancy(la.layout, la.main)
+	backupCount := 0
+	for i := 0; i < la.backup.Len(); i++ {
+		if la.backup.Read(i) {
+			backupCount++
+		}
+	}
+	occ[la.layout.NumBatches()] = backupCount
+	return occ
+}
+
+// Handle is the per-participant endpoint of a LevelArray. The zero value is
+// not usable; obtain handles from LevelArray.Handle.
+type Handle struct {
+	arr  *LevelArray
+	rng  rng.Source
+	name int
+	held bool
+
+	lastProbes int
+	lastBackup bool
+	stats      activity.ProbeStats
+}
+
+var _ activity.Handle = (*Handle)(nil)
+
+// Get registers the participant and returns the acquired name.
+//
+// The probe sequence follows Section 4: for each batch i in increasing order
+// the handle performs c_i test-and-set operations on uniformly random slots
+// of that batch, stopping at the first win. If every batch fails, the handle
+// scans the backup array linearly.
+func (h *Handle) Get() (int, error) {
+	if h.held {
+		return 0, activity.ErrAlreadyRegistered
+	}
+	layout := h.arr.layout
+	probes := 0
+	for b := 0; b < layout.NumBatches(); b++ {
+		batch := layout.Batch(b)
+		trials := h.arr.cfg.probesFor(b)
+		for t := 0; t < trials; t++ {
+			slot := batch.Offset + h.rng.Intn(batch.Size)
+			probes++
+			if h.arr.main.TestAndSet(slot) {
+				h.acquire(slot, probes, false)
+				return slot, nil
+			}
+		}
+	}
+	// Backup path: scan the dedicated n-slot array linearly. Reaching this
+	// point requires losing every randomized probe, which the analysis shows
+	// is essentially impossible; the scan keeps Get wait-free regardless.
+	mainSize := h.arr.main.Len()
+	for i := 0; i < h.arr.backup.Len(); i++ {
+		probes++
+		if h.arr.backup.TestAndSet(i) {
+			h.acquire(mainSize+i, probes, true)
+			return mainSize + i, nil
+		}
+	}
+	// Last resort: sweep the main array linearly. This is only reachable when
+	// more than Capacity participants are registered at once (outside the
+	// paper's model); the sweep guarantees that Get fails only when no free
+	// slot exists anywhere in the namespace.
+	for i := 0; i < mainSize; i++ {
+		probes++
+		if h.arr.main.TestAndSet(i) {
+			h.acquire(i, probes, true)
+			return i, nil
+		}
+	}
+	h.lastProbes = probes
+	h.lastBackup = true
+	return 0, activity.ErrFull
+}
+
+// acquire records a successful Get outcome.
+func (h *Handle) acquire(name, probes int, backup bool) {
+	h.name = name
+	h.held = true
+	h.lastProbes = probes
+	h.lastBackup = backup
+	h.stats.Record(probes, backup)
+}
+
+// Adopt registers the handle at a specific name instead of probing for one.
+// It performs a single test-and-set on that slot and fails with ErrFull if
+// the slot is already taken, or ErrAlreadyRegistered if the handle holds a
+// name. Adopt exists for two purposes: handing a registration over between
+// participants (e.g. a recovering thread re-attaching to a slot), and setting
+// up the degraded initial states used by the self-healing experiment
+// (Figure 3), where participants must start out holding badly placed names.
+func (h *Handle) Adopt(name int) error {
+	if h.held {
+		return activity.ErrAlreadyRegistered
+	}
+	if name < 0 || name >= h.arr.Size() {
+		return fmt.Errorf("core: adopt name %d outside namespace [0, %d)", name, h.arr.Size())
+	}
+	mainSize := h.arr.main.Len()
+	var won bool
+	if name < mainSize {
+		won = h.arr.main.TestAndSet(name)
+	} else {
+		won = h.arr.backup.TestAndSet(name - mainSize)
+	}
+	if !won {
+		return activity.ErrFull
+	}
+	// Adoption is not a probing Get; it is deliberately excluded from the
+	// probe statistics so experiment set-up does not skew the measurements.
+	h.name = name
+	h.held = true
+	h.lastProbes = 1
+	h.lastBackup = name >= mainSize
+	return nil
+}
+
+// Free releases the name acquired by the most recent Get.
+func (h *Handle) Free() error {
+	if !h.held {
+		return activity.ErrNotRegistered
+	}
+	mainSize := h.arr.main.Len()
+	if h.name < mainSize {
+		h.arr.main.Reset(h.name)
+	} else {
+		h.arr.backup.Reset(h.name - mainSize)
+	}
+	h.held = false
+	h.stats.RecordFree()
+	return nil
+}
+
+// Name returns the currently held name, if any.
+func (h *Handle) Name() (int, bool) {
+	if !h.held {
+		return 0, false
+	}
+	return h.name, true
+}
+
+// LastProbes returns the number of test-and-set trials performed by the most
+// recent Get (including a failed one).
+func (h *Handle) LastProbes() int { return h.lastProbes }
+
+// LastUsedBackup reports whether the most recent Get had to fall back to the
+// backup array.
+func (h *Handle) LastUsedBackup() bool { return h.lastBackup }
+
+// Stats returns the cumulative probe statistics recorded by this handle.
+func (h *Handle) Stats() activity.ProbeStats { return h.stats }

@@ -1,0 +1,576 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/arraytest"
+	"github.com/levelarray/levelarray/internal/balance"
+	"github.com/levelarray/levelarray/internal/rng"
+	"github.com/levelarray/levelarray/internal/tas"
+)
+
+func TestConformance(t *testing.T) {
+	arraytest.Run(t, func(capacity int) activity.Array {
+		return MustNew(Config{Capacity: capacity, Seed: 42})
+	})
+}
+
+func TestConformanceCompactSlots(t *testing.T) {
+	arraytest.Run(t, func(capacity int) activity.Array {
+		return MustNew(Config{Capacity: capacity, Seed: 7, CompactSlots: true})
+	})
+}
+
+func TestConformanceLehmerRNG(t *testing.T) {
+	arraytest.Run(t, func(capacity int) activity.Array {
+		return MustNew(Config{Capacity: capacity, Seed: 11, RNG: rng.KindLehmer})
+	})
+}
+
+func TestConformanceEpsilonHalf(t *testing.T) {
+	arraytest.Run(t, func(capacity int) activity.Array {
+		return MustNew(Config{Capacity: capacity, Seed: 3, Epsilon: 0.5})
+	})
+}
+
+func TestConformanceSoftwareTAS(t *testing.T) {
+	arraytest.Run(t, func(capacity int) activity.Array {
+		return MustNew(Config{Capacity: capacity, Seed: 17, SoftwareTAS: true})
+	})
+}
+
+func TestSoftwareTASRejectsCompactSlots(t *testing.T) {
+	if _, err := New(Config{Capacity: 8, SoftwareTAS: true, CompactSlots: true}); err == nil {
+		t.Fatal("SoftwareTAS combined with CompactSlots accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"defaults", Config{Capacity: 8}, false},
+		{"explicit", Config{Capacity: 8, Epsilon: 1, ProbesPerBatch: 2, RNG: rng.KindLehmer}, false},
+		{"probe-schedule", Config{Capacity: 8, ProbeSchedule: []int{2, 1, 1}}, false},
+		{"zero-capacity", Config{}, true},
+		{"negative-capacity", Config{Capacity: -1}, true},
+		{"negative-epsilon", Config{Capacity: 8, Epsilon: -1}, true},
+		{"bad-probe-schedule", Config{Capacity: 8, ProbeSchedule: []int{1, 0}}, true},
+		{"negative-probes", Config{Capacity: 8, ProbesPerBatch: -3}, true},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			_, err := New(c.cfg)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("New(%+v) error = %v, wantErr %v", c.cfg, err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(Config{Capacity: 0})
+}
+
+func TestGeometryMatchesPaper(t *testing.T) {
+	const n = 1024
+	la := MustNew(Config{Capacity: n})
+	layout := la.Layout()
+	if layout.Batch(0).Size != 3*n/2 {
+		t.Fatalf("batch 0 size = %d, want %d", layout.Batch(0).Size, 3*n/2)
+	}
+	if la.MainSpace().Len() != layout.MainSize() {
+		t.Fatalf("main space %d slots, layout says %d", la.MainSpace().Len(), layout.MainSize())
+	}
+	if la.BackupSpace().Len() != n {
+		t.Fatalf("backup space %d slots, want %d", la.BackupSpace().Len(), n)
+	}
+	if la.Size() != layout.MainSize()+n {
+		t.Fatalf("Size() = %d, want %d", la.Size(), layout.MainSize()+n)
+	}
+	if la.Capacity() != n {
+		t.Fatalf("Capacity() = %d, want %d", la.Capacity(), n)
+	}
+}
+
+// TestFullRegistrationWithinMainArray registers the full capacity n and
+// verifies the main 2n-slot array absorbs everyone (the backup stays empty),
+// which is the configuration the paper benchmarks.
+func TestFullRegistrationWithinMainArray(t *testing.T) {
+	const n = 128
+	la := MustNew(Config{Capacity: n, Seed: 5})
+	handles := make([]activity.Handle, n)
+	for i := range handles {
+		handles[i] = la.Handle()
+		name, err := handles[i].Get()
+		if err != nil {
+			t.Fatalf("Get %d: %v", i, err)
+		}
+		if name >= la.Layout().MainSize() {
+			t.Fatalf("Get %d landed in the backup array (name %d)", i, name)
+		}
+	}
+	occ := la.Occupancy()
+	if occ.Total() != n {
+		t.Fatalf("occupancy total = %d, want %d", occ.Total(), n)
+	}
+	if occ[la.Layout().NumBatches()] != 0 {
+		t.Fatalf("backup occupancy = %d, want 0", occ[la.Layout().NumBatches()])
+	}
+	for _, h := range handles {
+		if err := h.Free(); err != nil {
+			t.Fatalf("Free: %v", err)
+		}
+	}
+	if la.Occupancy().Total() != 0 {
+		t.Fatal("occupancy nonzero after releasing everything")
+	}
+}
+
+// TestOverSubscription registers more participants than the capacity. The
+// LevelArray still serves them from its 3n-slot namespace (2n main + n
+// backup); only beyond that does Get report ErrFull.
+func TestOverSubscription(t *testing.T) {
+	const n = 16
+	la := MustNew(Config{Capacity: n, Seed: 9})
+	total := la.Size()
+
+	handles := make([]activity.Handle, 0, total)
+	for i := 0; i < total; i++ {
+		h := la.Handle()
+		if _, err := h.Get(); err != nil {
+			t.Fatalf("Get %d of %d: %v", i, total, err)
+		}
+		handles = append(handles, h)
+	}
+	extra := la.Handle()
+	if _, err := extra.Get(); err != activity.ErrFull {
+		t.Fatalf("Get beyond namespace: err = %v, want ErrFull", err)
+	}
+	// Releasing one slot makes room again.
+	if err := handles[0].Free(); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if _, err := extra.Get(); err != nil {
+		t.Fatalf("Get after a Free: %v", err)
+	}
+}
+
+// TestBackupPathUnderInjectedLosses forces every main-array probe to lose and
+// checks that Get falls back to the backup array, returns names above the
+// main size, and records the backup usage in its statistics.
+func TestBackupPathUnderInjectedLosses(t *testing.T) {
+	const n = 32
+	la := MustNew(Config{Capacity: n, Seed: 13})
+	// Replace the main space with one that denies every probe.
+	flaky := tas.NewFlakySpace(la.MainSpace(), 0)
+	flaky.DenyRange(0, la.Layout().MainSize())
+	la.main = flaky
+
+	h := la.Handle().(*Handle)
+	name, err := h.Get()
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if name < la.Layout().MainSize() {
+		t.Fatalf("name %d is in the main array despite denied probes", name)
+	}
+	if !h.LastUsedBackup() {
+		t.Fatal("LastUsedBackup() = false after a backup acquisition")
+	}
+	if h.Stats().BackupOps != 1 {
+		t.Fatalf("BackupOps = %d, want 1", h.Stats().BackupOps)
+	}
+	// Probes: one per batch (c=1) plus one backup probe.
+	wantProbes := la.Layout().NumBatches() + 1
+	if h.LastProbes() != wantProbes {
+		t.Fatalf("LastProbes = %d, want %d", h.LastProbes(), wantProbes)
+	}
+	// Free must release the backup slot.
+	if err := h.Free(); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if got := la.Collect(nil); len(got) != 0 {
+		t.Fatalf("Collect after Free = %v, want empty", got)
+	}
+}
+
+// TestErrFullProbeCount exercises the pathological everything-denied case.
+func TestErrFullProbeCount(t *testing.T) {
+	const n = 8
+	la := MustNew(Config{Capacity: n, Seed: 1})
+	deniedMain := tas.NewFlakySpace(la.MainSpace(), 0)
+	deniedMain.DenyRange(0, la.Layout().MainSize())
+	la.main = deniedMain
+	deniedBackup := tas.NewFlakySpace(la.BackupSpace(), 0)
+	deniedBackup.DenyRange(0, n)
+	la.backup = deniedBackup
+
+	h := la.Handle().(*Handle)
+	if _, err := h.Get(); err != activity.ErrFull {
+		t.Fatalf("Get = %v, want ErrFull", err)
+	}
+	// One probe per batch, a full backup scan, and a full main-array sweep.
+	wantProbes := la.Layout().NumBatches() + n + la.Layout().MainSize()
+	if h.LastProbes() != wantProbes {
+		t.Fatalf("LastProbes = %d, want %d", h.LastProbes(), wantProbes)
+	}
+	// A failed Get must not be recorded as an operation.
+	if h.Stats().Ops != 0 {
+		t.Fatalf("Stats.Ops = %d after failed Get, want 0", h.Stats().Ops)
+	}
+}
+
+// TestProbeSchedule verifies that per-batch probe counts are honored: with
+// every slot of batch 0 denied, a Get must perform exactly c_0 probes before
+// moving to batch 1.
+func TestProbeSchedule(t *testing.T) {
+	const n = 64
+	la := MustNew(Config{Capacity: n, Seed: 21, ProbeSchedule: []int{3, 2}})
+	flaky := tas.NewFlakySpace(la.MainSpace(), 0)
+	b0 := la.Layout().Batch(0)
+	flaky.DenyRange(b0.Offset, b0.Offset+b0.Size)
+	la.main = flaky
+
+	h := la.Handle().(*Handle)
+	name, err := h.Get()
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if got := la.Layout().BatchOf(name); got == 0 {
+		t.Fatalf("name %d landed in denied batch 0", name)
+	}
+	// 3 failed probes in batch 0, then success within batch 1's 2 probes.
+	if h.LastProbes() < 4 || h.LastProbes() > 5 {
+		t.Fatalf("LastProbes = %d, want 4 or 5", h.LastProbes())
+	}
+}
+
+func TestProbesForScheduleExtension(t *testing.T) {
+	cfg := Config{Capacity: 8, ProbeSchedule: []int{4, 2}}.withDefaults()
+	if got := cfg.probesFor(0); got != 4 {
+		t.Fatalf("probesFor(0) = %d, want 4", got)
+	}
+	if got := cfg.probesFor(1); got != 2 {
+		t.Fatalf("probesFor(1) = %d, want 2", got)
+	}
+	// Batches beyond the schedule reuse the last entry.
+	if got := cfg.probesFor(7); got != 2 {
+		t.Fatalf("probesFor(7) = %d, want 2", got)
+	}
+	uniform := Config{Capacity: 8, ProbesPerBatch: 3}.withDefaults()
+	if got := uniform.probesFor(5); got != 3 {
+		t.Fatalf("uniform probesFor(5) = %d, want 3", got)
+	}
+}
+
+// TestAverageProbesNearPaperValue checks the headline empirical claim: with
+// half the array pre-filled (the paper's 50% pre-fill configuration), the
+// average number of probes per Get stays below 2 and the worst case stays
+// small.
+func TestAverageProbesNearPaperValue(t *testing.T) {
+	const (
+		n      = 256
+		rounds = 200
+	)
+	la := MustNew(Config{Capacity: n, Seed: 77})
+
+	// Pre-fill: half the capacity stays registered for the whole test.
+	resident := make([]activity.Handle, n/2)
+	for i := range resident {
+		resident[i] = la.Handle()
+		if _, err := resident[i].Get(); err != nil {
+			t.Fatalf("pre-fill Get: %v", err)
+		}
+	}
+
+	churn := la.Handle()
+	for i := 0; i < rounds; i++ {
+		if _, err := churn.Get(); err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if err := churn.Free(); err != nil {
+			t.Fatalf("Free: %v", err)
+		}
+	}
+	s := churn.Stats()
+	if s.Mean() >= 3 {
+		t.Fatalf("average probes %.3f, expected below 3 at 50%% load", s.Mean())
+	}
+	if s.MaxProbes > uint64(la.Layout().NumBatches()) {
+		t.Fatalf("worst case %d probes exceeds the number of batches %d",
+			s.MaxProbes, la.Layout().NumBatches())
+	}
+	if s.BackupOps != 0 {
+		t.Fatalf("backup used %d times in a half-loaded array", s.BackupOps)
+	}
+}
+
+// TestDistributionSkewsTowardsBatchZero verifies the qualitative shape of the
+// batch distribution the analysis predicts: under steady churn at 50% load,
+// the overwhelming majority of acquisitions land in batch 0.
+func TestDistributionSkewsTowardsBatchZero(t *testing.T) {
+	const (
+		n      = 512
+		rounds = 2000
+	)
+	la := MustNew(Config{Capacity: n, Seed: 101})
+	resident := make([]activity.Handle, n/2)
+	for i := range resident {
+		resident[i] = la.Handle()
+		if _, err := resident[i].Get(); err != nil {
+			t.Fatalf("pre-fill Get: %v", err)
+		}
+	}
+	churn := la.Handle()
+	batchHits := make([]int, la.Layout().NumBatches()+1)
+	for i := 0; i < rounds; i++ {
+		name, err := churn.Get()
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		batchHits[la.Layout().BatchOf(name)]++
+		if err := churn.Free(); err != nil {
+			t.Fatalf("Free: %v", err)
+		}
+	}
+	frac0 := float64(batchHits[0]) / rounds
+	if frac0 < 0.55 {
+		t.Fatalf("only %.2f of acquisitions landed in batch 0; distribution %v", frac0, batchHits)
+	}
+	deep := 0
+	for j := 3; j < len(batchHits); j++ {
+		deep += batchHits[j]
+	}
+	if float64(deep)/rounds > 0.05 {
+		t.Fatalf("%.4f of acquisitions landed in batch 3 or deeper; distribution %v",
+			float64(deep)/rounds, batchHits)
+	}
+}
+
+func TestOccupancyMatchesBalanceMeasurement(t *testing.T) {
+	const n = 64
+	la := MustNew(Config{Capacity: n, Seed: 3})
+	// Register a quarter of the capacity: a lightly loaded array, which the
+	// analysis predicts is fully balanced essentially always.
+	handles := make([]activity.Handle, n/4)
+	for i := range handles {
+		handles[i] = la.Handle()
+		if _, err := handles[i].Get(); err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+	}
+	occ := la.Occupancy()
+	direct := balance.MeasureOccupancy(la.Layout(), la.MainSpace())
+	for j := 0; j < la.Layout().NumBatches(); j++ {
+		if occ[j] != direct[j] {
+			t.Fatalf("batch %d: Occupancy()=%d, MeasureOccupancy=%d", j, occ[j], direct[j])
+		}
+	}
+	if occ.Total() != n/4 {
+		t.Fatalf("occupancy total = %d, want %d", occ.Total(), n/4)
+	}
+	if !balance.FullyBalanced(la.Layout(), occ) {
+		t.Fatalf("lightly loaded array should be fully balanced: %v", occ)
+	}
+}
+
+func TestHandleIndependence(t *testing.T) {
+	la := MustNew(Config{Capacity: 8, Seed: 19})
+	a := la.Handle()
+	b := la.Handle()
+	nameA, err := a.Get()
+	if err != nil {
+		t.Fatalf("a.Get: %v", err)
+	}
+	nameB, err := b.Get()
+	if err != nil {
+		t.Fatalf("b.Get: %v", err)
+	}
+	if nameA == nameB {
+		t.Fatalf("handles received the same name %d", nameA)
+	}
+	if err := a.Free(); err != nil {
+		t.Fatalf("a.Free: %v", err)
+	}
+	// b's registration must be unaffected by a's Free.
+	if got, held := b.Name(); !held || got != nameB {
+		t.Fatalf("b.Name() = (%d, %v) after a.Free, want (%d, true)", got, held, nameB)
+	}
+	if err := b.Free(); err != nil {
+		t.Fatalf("b.Free: %v", err)
+	}
+}
+
+// Property: arbitrary interleavings of Get/Free across a handful of handles
+// never violate uniqueness, and Collect always reflects exactly the held
+// names.
+func TestQuickSequentialLinearizability(t *testing.T) {
+	prop := func(script []uint8) bool {
+		const n = 8
+		la := MustNew(Config{Capacity: n, Seed: 23})
+		handles := make([]activity.Handle, n)
+		for i := range handles {
+			handles[i] = la.Handle()
+		}
+		held := make(map[int]int) // name -> handle index
+		for _, b := range script {
+			idx := int(b) % n
+			h := handles[idx]
+			if name, ok := h.Name(); ok {
+				if err := h.Free(); err != nil {
+					return false
+				}
+				delete(held, name)
+			} else {
+				name, err := h.Get()
+				if err != nil {
+					return false
+				}
+				if _, dup := held[name]; dup {
+					return false
+				}
+				held[name] = idx
+			}
+		}
+		collected := la.Collect(nil)
+		if len(collected) != len(held) {
+			return false
+		}
+		for _, name := range collected {
+			if _, ok := held[name]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for arbitrary capacities and seeds, registering k <= n
+// participants yields k distinct names, an occupancy total of k, and a
+// Collect of exactly those names.
+func TestQuickRegistrationInvariants(t *testing.T) {
+	prop := func(nRaw uint8, seed uint64) bool {
+		n := int(nRaw%200) + 1
+		k := n/2 + 1
+		la := MustNew(Config{Capacity: n, Seed: seed})
+		names := make(map[int]bool, k)
+		for i := 0; i < k; i++ {
+			h := la.Handle()
+			name, err := h.Get()
+			if err != nil {
+				return false
+			}
+			if name < 0 || name >= la.Size() || names[name] {
+				return false
+			}
+			names[name] = true
+		}
+		if la.Occupancy().Total() != k {
+			return false
+		}
+		collected := la.Collect(nil)
+		if len(collected) != k {
+			return false
+		}
+		for _, name := range collected {
+			if !names[name] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with a probe schedule of at least 4 trials in the first batches
+// (closer to the analysis's large constants) and load at most n/2, the array
+// remains fully balanced, matching Proposition 3's prediction.
+func TestQuickBalancedUnderModerateLoad(t *testing.T) {
+	prop := func(seed uint64) bool {
+		const n = 256
+		la := MustNew(Config{Capacity: n, Seed: seed, ProbesPerBatch: 4})
+		for i := 0; i < n/2; i++ {
+			h := la.Handle()
+			if _, err := h.Get(); err != nil {
+				return false
+			}
+		}
+		return balance.FullyBalanced(la.Layout(), la.Occupancy())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentHandleCreation(t *testing.T) {
+	la := MustNew(Config{Capacity: 64, Seed: 55})
+	const workers = 32
+	var wg sync.WaitGroup
+	names := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := la.Handle()
+			name, err := h.Get()
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			names[w] = name
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	seen := make(map[int]bool)
+	for _, name := range names {
+		if seen[name] {
+			t.Fatalf("duplicate name %d", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestStatsMeanConsistentWithTrials(t *testing.T) {
+	la := MustNew(Config{Capacity: 32, Seed: 4})
+	h := la.Handle()
+	var manualTotal int
+	const rounds = 128
+	for i := 0; i < rounds; i++ {
+		if _, err := h.Get(); err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		manualTotal += h.LastProbes()
+		if err := h.Free(); err != nil {
+			t.Fatalf("Free: %v", err)
+		}
+	}
+	s := h.Stats()
+	if s.TotalProbes != uint64(manualTotal) {
+		t.Fatalf("TotalProbes = %d, manual sum = %d", s.TotalProbes, manualTotal)
+	}
+	if math.Abs(s.Mean()-float64(manualTotal)/rounds) > 1e-9 {
+		t.Fatalf("Mean = %v, want %v", s.Mean(), float64(manualTotal)/rounds)
+	}
+}

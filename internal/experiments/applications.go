@@ -1,0 +1,358 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/barrier"
+	"github.com/levelarray/levelarray/internal/flatcombine"
+	"github.com/levelarray/levelarray/internal/mem"
+	"github.com/levelarray/levelarray/internal/registry"
+	"github.com/levelarray/levelarray/internal/stats"
+	"github.com/levelarray/levelarray/internal/stm"
+)
+
+// ApplicationsConfig parameterizes the end-to-end application experiment: the
+// four client systems the paper's introduction motivates (memory reclamation,
+// STM, flat combining, barriers) are each run with their registration
+// registry backed by a selectable algorithm, so the registration cost the
+// LevelArray optimizes can be observed inside realistic clients rather than
+// in a microbenchmark.
+type ApplicationsConfig struct {
+	// Workers is the number of client goroutines per application.
+	Workers int
+	// OpsPerWorker is the number of application-level operations each worker
+	// performs.
+	OpsPerWorker int
+	// Algorithms are the registry algorithms to compare. Empty selects
+	// LevelArray and Deterministic (the most informative contrast).
+	Algorithms []registry.Algorithm
+	// Seed drives every random choice.
+	Seed uint64
+}
+
+// withDefaults returns a copy of c with zero values replaced by defaults.
+func (c ApplicationsConfig) withDefaults() ApplicationsConfig {
+	if c.Workers == 0 {
+		c.Workers = 8
+	}
+	if c.OpsPerWorker == 0 {
+		c.OpsPerWorker = 2000
+	}
+	if len(c.Algorithms) == 0 {
+		c.Algorithms = []registry.Algorithm{registry.LevelArray, registry.Deterministic}
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	return c
+}
+
+// ApplicationRow is one (application, registry algorithm) measurement.
+type ApplicationRow struct {
+	// Application names the client system.
+	Application string
+	// Algorithm is the registry algorithm backing its registrations.
+	Algorithm registry.Algorithm
+	// Registration aggregates the probe statistics of every registration the
+	// application performed.
+	Registration activity.ProbeStats
+	// Duration is the wall-clock time of the run.
+	Duration time.Duration
+}
+
+// ApplicationsResult holds every measurement and the rendered table.
+type ApplicationsResult struct {
+	Rows  []ApplicationRow
+	Table *stats.Table
+}
+
+// Applications runs the application experiment.
+func Applications(cfg ApplicationsConfig) (ApplicationsResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Workers < 1 || cfg.OpsPerWorker < 1 {
+		return ApplicationsResult{}, fmt.Errorf("experiments: applications config must be positive: %+v", cfg)
+	}
+
+	type runner struct {
+		name string
+		run  func(reg activity.Array) (activity.ProbeStats, error)
+	}
+	runners := []runner{
+		{"memory-reclamation", func(reg activity.Array) (activity.ProbeStats, error) {
+			return runReclamation(cfg, reg)
+		}},
+		{"stm-bank", func(reg activity.Array) (activity.ProbeStats, error) {
+			return runSTMBank(cfg, reg)
+		}},
+		{"flat-combining", func(reg activity.Array) (activity.ProbeStats, error) {
+			return runFlatCombining(cfg, reg)
+		}},
+		{"barrier", func(reg activity.Array) (activity.ProbeStats, error) {
+			return runBarrier(cfg, reg)
+		}},
+	}
+
+	var result ApplicationsResult
+	for _, r := range runners {
+		for _, algo := range cfg.Algorithms {
+			reg, err := registry.New(algo, registry.Options{Capacity: cfg.Workers, Seed: cfg.Seed})
+			if err != nil {
+				return ApplicationsResult{}, fmt.Errorf("experiments: applications registry %s: %w", algo, err)
+			}
+			start := time.Now()
+			regStats, err := r.run(reg)
+			if err != nil {
+				return ApplicationsResult{}, fmt.Errorf("experiments: applications %s/%s: %w", r.name, algo, err)
+			}
+			result.Rows = append(result.Rows, ApplicationRow{
+				Application:  r.name,
+				Algorithm:    algo,
+				Registration: regStats,
+				Duration:     time.Since(start),
+			})
+		}
+	}
+
+	tbl := stats.NewTable("Registration cost inside the motivating applications",
+		"application", "registry", "registrations", "avg probes", "worst probes", "duration")
+	for _, row := range result.Rows {
+		tbl.AddRow(row.Application, row.Algorithm.String(),
+			fmt.Sprintf("%d", row.Registration.Ops),
+			fmt.Sprintf("%.3f", row.Registration.Mean()),
+			fmt.Sprintf("%d", row.Registration.MaxProbes),
+			row.Duration.Round(time.Millisecond).String())
+	}
+	result.Table = tbl
+	return result, nil
+}
+
+// runReclamation drives the Treiber stack + epoch reclamation client.
+func runReclamation(cfg ApplicationsConfig, reg activity.Array) (activity.ProbeStats, error) {
+	domain, err := mem.NewDomain(mem.Config{MaxThreads: cfg.Workers, Registry: reg})
+	if err != nil {
+		return activity.ProbeStats{}, err
+	}
+	stack := mem.NewStack(domain)
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		merged   activity.ProbeStats
+		firstErr error
+	)
+	stop := make(chan struct{})
+	var reclaimerWG sync.WaitGroup
+	reclaimerWG.Add(1)
+	go func() {
+		defer reclaimerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				domain.Advance()
+			}
+		}
+	}()
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			access := stack.Access()
+			for i := 0; i < cfg.OpsPerWorker; i++ {
+				if err := access.Push(int64(w*cfg.OpsPerWorker + i)); err != nil {
+					recordErr(&mu, &firstErr, err)
+					return
+				}
+				if _, _, err := access.Pop(); err != nil {
+					recordErr(&mu, &firstErr, err)
+					return
+				}
+			}
+			mu.Lock()
+			merged.Merge(access.RegistrationStats())
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	reclaimerWG.Wait()
+	if firstErr != nil {
+		return activity.ProbeStats{}, firstErr
+	}
+	return merged, nil
+}
+
+// recordErr stores the first error observed by a worker.
+func recordErr(mu *sync.Mutex, firstErr *error, err error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if *firstErr == nil {
+		*firstErr = err
+	}
+}
+
+// runSTMBank drives the bank-transfer STM client.
+func runSTMBank(cfg ApplicationsConfig, reg activity.Array) (activity.ProbeStats, error) {
+	system, err := stm.New(stm.Config{MaxThreads: cfg.Workers, Registry: reg})
+	if err != nil {
+		return activity.ProbeStats{}, err
+	}
+	const accounts = 32
+	vars := make([]*stm.Var, accounts)
+	for i := range vars {
+		vars[i] = system.NewVar(1000)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		merged   activity.ProbeStats
+		firstErr error
+	)
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			thread := system.Thread()
+			for i := 0; i < cfg.OpsPerWorker; i++ {
+				from := vars[(w+i)%accounts]
+				to := vars[(w*7+i*3+1)%accounts]
+				if from == to {
+					continue
+				}
+				err := thread.Atomically(func(tx *stm.Tx) error {
+					fv, err := tx.Read(from)
+					if err != nil {
+						return err
+					}
+					tv, err := tx.Read(to)
+					if err != nil {
+						return err
+					}
+					tx.Write(from, fv-1)
+					tx.Write(to, tv+1)
+					return nil
+				})
+				if err != nil {
+					recordErr(&mu, &firstErr, err)
+					return
+				}
+			}
+			mu.Lock()
+			merged.Merge(thread.RegistrationStats())
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return activity.ProbeStats{}, firstErr
+	}
+	return merged, nil
+}
+
+// runFlatCombining drives the flat-combining queue client.
+func runFlatCombining(cfg ApplicationsConfig, reg activity.Array) (activity.ProbeStats, error) {
+	queue, err := flatcombine.New(flatcombine.Config{MaxThreads: cfg.Workers, Registry: reg})
+	if err != nil {
+		return activity.ProbeStats{}, err
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		merged   activity.ProbeStats
+		firstErr error
+	)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := queue.Handle()
+			// Threads attach and detach around short bursts of operations,
+			// which is what makes registration cost matter for flat
+			// combining (a thread that never detaches registers only once).
+			const burst = 16
+			for i := 0; i < cfg.OpsPerWorker; i += burst {
+				if err := h.Attach(); err != nil {
+					recordErr(&mu, &firstErr, err)
+					return
+				}
+				for j := 0; j < burst && i+j < cfg.OpsPerWorker; j++ {
+					if err := h.Enqueue(int64(i + j)); err != nil {
+						recordErr(&mu, &firstErr, err)
+						return
+					}
+					if _, _, err := h.Dequeue(); err != nil {
+						recordErr(&mu, &firstErr, err)
+						return
+					}
+				}
+				if err := h.Detach(); err != nil {
+					recordErr(&mu, &firstErr, err)
+					return
+				}
+			}
+			mu.Lock()
+			merged.Merge(h.RegistrationStats())
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return activity.ProbeStats{}, firstErr
+	}
+	return merged, nil
+}
+
+// runBarrier drives the dynamic-membership barrier client.
+func runBarrier(cfg ApplicationsConfig, reg activity.Array) (activity.ProbeStats, error) {
+	b, err := barrier.New(barrier.Config{MaxThreads: cfg.Workers, Registry: reg})
+	if err != nil {
+		return activity.ProbeStats{}, err
+	}
+	// Rounds are application ops; keep them bounded so the experiment's
+	// runtime stays comparable to the other clients.
+	rounds := cfg.OpsPerWorker / 10
+	if rounds < 1 {
+		rounds = 1
+	}
+	participants := make([]*barrier.Participant, cfg.Workers)
+	for i := range participants {
+		participants[i] = b.Participant()
+		if err := participants[i].Join(); err != nil {
+			return activity.ProbeStats{}, err
+		}
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		merged   activity.ProbeStats
+		firstErr error
+	)
+	for i := range participants {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := participants[i]
+			for r := 0; r < rounds; r++ {
+				if _, err := p.Await(); err != nil {
+					recordErr(&mu, &firstErr, err)
+					return
+				}
+			}
+			mu.Lock()
+			merged.Merge(p.RegistrationStats())
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return activity.ProbeStats{}, firstErr
+	}
+	return merged, nil
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/levelarray/levelarray/internal/registry"
+)
+
+func TestApplicationsSmallScale(t *testing.T) {
+	res, err := Applications(ApplicationsConfig{
+		Workers:      4,
+		OpsPerWorker: 300,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatalf("Applications: %v", err)
+	}
+	// Four applications × two registry algorithms (the defaults).
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(res.Rows))
+	}
+	apps := map[string]bool{}
+	for _, row := range res.Rows {
+		apps[row.Application] = true
+		if row.Registration.Ops == 0 {
+			t.Fatalf("%s/%s recorded no registrations", row.Application, row.Algorithm)
+		}
+		if row.Registration.Mean() < 1 {
+			t.Fatalf("%s/%s mean probes %.3f below 1", row.Application, row.Algorithm, row.Registration.Mean())
+		}
+		if row.Duration <= 0 {
+			t.Fatalf("%s/%s duration not recorded", row.Application, row.Algorithm)
+		}
+	}
+	for _, want := range []string{"memory-reclamation", "stm-bank", "flat-combining", "barrier"} {
+		if !apps[want] {
+			t.Fatalf("application %q missing from results", want)
+		}
+	}
+	out := res.Table.String()
+	for _, want := range []string{"application", "registry", "avg probes", "LevelArray", "Deterministic"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestApplicationsCustomAlgorithms(t *testing.T) {
+	res, err := Applications(ApplicationsConfig{
+		Workers:      2,
+		OpsPerWorker: 100,
+		Algorithms:   []registry.Algorithm{registry.Random},
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatalf("Applications: %v", err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Algorithm != registry.Random {
+			t.Fatalf("row used algorithm %v", row.Algorithm)
+		}
+	}
+}
+
+func TestApplicationsInvalidConfig(t *testing.T) {
+	if _, err := Applications(ApplicationsConfig{Workers: -1, OpsPerWorker: 10}); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+}
+
+// TestApplicationsLevelArrayRegistrationCheaperThanDeterministic verifies the
+// end-to-end motivation: inside real clients, registrations through the
+// LevelArray cost close to one probe, while the deterministic scan pays for
+// the occupied prefix.
+func TestApplicationsLevelArrayRegistrationCheaperThanDeterministic(t *testing.T) {
+	res, err := Applications(ApplicationsConfig{
+		Workers:      8,
+		OpsPerWorker: 500,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatalf("Applications: %v", err)
+	}
+	means := map[string]map[registry.Algorithm]float64{}
+	for _, row := range res.Rows {
+		if means[row.Application] == nil {
+			means[row.Application] = map[registry.Algorithm]float64{}
+		}
+		means[row.Application][row.Algorithm] = row.Registration.Mean()
+	}
+	// The reclamation and STM clients churn registrations constantly under
+	// contention, so the gap must be visible there. (The barrier registers
+	// only once per participant, so both algorithms are cheap.)
+	for _, app := range []string{"memory-reclamation", "stm-bank"} {
+		la := means[app][registry.LevelArray]
+		det := means[app][registry.Deterministic]
+		if la <= 0 || det <= 0 {
+			t.Fatalf("%s missing measurements: %v", app, means[app])
+		}
+		if det < la {
+			t.Fatalf("%s: deterministic registration (%.3f probes) cheaper than LevelArray (%.3f)",
+				app, det, la)
+		}
+	}
+}

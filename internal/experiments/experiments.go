@@ -1,0 +1,105 @@
+// Package experiments implements, end to end, every experiment in the
+// paper's evaluation section (Section 6) plus the theory-validation
+// experiments suggested by the analysis (Section 5). Each experiment has a
+// configuration struct with sensible scaled-down defaults, a Run function,
+// and produces plain-text tables (internal/stats) whose rows and series match
+// the corresponding figure or in-text claim.
+//
+// The experiment inventory, with the paper artifact each one regenerates, is:
+//
+//   - Fig2            — Figure 2 (throughput, average trials, standard
+//     deviation, worst case vs thread count)
+//   - Fig3Healing     — Figure 3 (batch occupancy distribution over time from
+//     a degraded initial state)
+//   - PrefillSweep    — in-text claim that results hold for pre-fill 0%–90%
+//   - SizeSweep       — in-text claim that results hold for L between 2N and 4N
+//   - DeterministicComparison — in-text claim that the deterministic scan is
+//     at least two orders of magnitude more expensive
+//   - LongRunStability — in-text claim that worst case stays ≤ 6 probes and
+//     the average ≈ 1.75 over hundreds of millions of operations
+//   - LogLogScaling   — Theorem 1's O(log log n) worst-case growth, measured
+//     in the step-level simulator
+//   - BalanceCheck    — Proposition 3 / Theorem 2: the array stays fully
+//     balanced under long adversarial schedules
+package experiments
+
+import (
+	"time"
+
+	"github.com/levelarray/levelarray/internal/registry"
+	"github.com/levelarray/levelarray/internal/rng"
+)
+
+// Defaults shared by the experiment configurations. The paper's full-scale
+// parameters are noted next to each; the defaults here are scaled down so the
+// whole suite runs in seconds, and every cmd/ driver exposes flags to restore
+// the paper's scale.
+const (
+	// DefaultEmulationFactor is N/n, the paper's 1000 simulated registrations
+	// per thread.
+	DefaultEmulationFactor = 1000
+	// DefaultPrefillPercent is the paper's 50% pre-fill.
+	DefaultPrefillPercent = 50
+	// DefaultSizeFactor is the paper's L = 2N.
+	DefaultSizeFactor = 2.0
+	// DefaultSeed is used when a configuration does not specify one.
+	DefaultSeed = 0x1e7e1a88a7
+)
+
+// DefaultThreadCounts is the thread-count sweep of Figure 2 (1..80). The
+// scaled-down default used by tests and benchmarks covers the same range with
+// fewer points.
+func DefaultThreadCounts() []int {
+	return []int{1, 2, 4, 8, 16, 24, 32, 40, 48, 56, 64, 72, 80}
+}
+
+// ShortThreadCounts is a reduced sweep for quick runs.
+func ShortThreadCounts() []int {
+	return []int{1, 2, 4, 8}
+}
+
+// CommonConfig carries the options shared by the harness-based experiments.
+type CommonConfig struct {
+	// Algorithms are the algorithms to compare. Empty selects the three
+	// randomized algorithms of Figure 2.
+	Algorithms []registry.Algorithm
+	// EmulationFactor is N/n. Zero selects DefaultEmulationFactor.
+	EmulationFactor int
+	// PrefillPercent is the pre-fill percentage. Negative selects
+	// DefaultPrefillPercent (zero is a meaningful value).
+	PrefillPercent int
+	// SizeFactor is L/N. Zero selects DefaultSizeFactor.
+	SizeFactor float64
+	// RoundsPerThread selects deterministic round-based termination. If zero,
+	// Duration is used.
+	RoundsPerThread int
+	// Duration is the wall-clock budget per run when RoundsPerThread is zero.
+	Duration time.Duration
+	// RNG selects the generator family (zero: Marsaglia xorshift).
+	RNG rng.Kind
+	// Seed is the base seed. Zero selects DefaultSeed.
+	Seed uint64
+}
+
+// withDefaults returns a copy of c with zero values replaced by defaults.
+func (c CommonConfig) withDefaults() CommonConfig {
+	if len(c.Algorithms) == 0 {
+		c.Algorithms = registry.Randomized()
+	}
+	if c.EmulationFactor == 0 {
+		c.EmulationFactor = DefaultEmulationFactor
+	}
+	if c.PrefillPercent < 0 {
+		c.PrefillPercent = DefaultPrefillPercent
+	}
+	if c.SizeFactor == 0 {
+		c.SizeFactor = DefaultSizeFactor
+	}
+	if c.RoundsPerThread == 0 && c.Duration == 0 {
+		c.Duration = 200 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	return c
+}

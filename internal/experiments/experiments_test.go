@@ -1,0 +1,380 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/levelarray/levelarray/internal/balance"
+	"github.com/levelarray/levelarray/internal/registry"
+)
+
+func TestFig2SmallScale(t *testing.T) {
+	res, err := Fig2(Fig2Config{
+		CommonConfig: CommonConfig{
+			EmulationFactor: 20,
+			RoundsPerThread: 5,
+			Seed:            1,
+		},
+		ThreadCounts: []int{1, 2, 4},
+	})
+	if err != nil {
+		t.Fatalf("Fig2: %v", err)
+	}
+	if len(res.ThreadCounts) != 3 {
+		t.Fatalf("thread counts = %v", res.ThreadCounts)
+	}
+	if len(res.Runs) != 3 {
+		t.Fatalf("expected 3 algorithms, got %d", len(res.Runs))
+	}
+	for algo, runs := range res.Runs {
+		if len(runs) != 3 {
+			t.Fatalf("%v has %d runs, want 3", algo, len(runs))
+		}
+		for i, run := range runs {
+			if run.Ops == 0 {
+				t.Fatalf("%v run %d completed no operations", algo, i)
+			}
+		}
+	}
+	tables := res.Tables()
+	if len(tables) != 4 {
+		t.Fatalf("expected 4 panels, got %d", len(tables))
+	}
+	for _, tbl := range tables {
+		if tbl.NumRows() != 3 {
+			t.Fatalf("panel %q has %d rows, want 3", tbl.Title(), tbl.NumRows())
+		}
+		out := tbl.String()
+		if !strings.Contains(out, "threads") || !strings.Contains(out, "LevelArray") {
+			t.Fatalf("panel %q misses headers: %s", tbl.Title(), out)
+		}
+	}
+	// Figure 2's headline shape at this scale: the LevelArray's average cost
+	// stays below the deterministic regime and its worst case is small.
+	for i := range res.ThreadCounts {
+		la := res.Runs[registry.LevelArray][i]
+		if la.Stats.Mean() > 3 {
+			t.Fatalf("LevelArray mean %.2f too high at %d threads", la.Stats.Mean(), res.ThreadCounts[i])
+		}
+	}
+}
+
+func TestFig2WithExplicitAlgorithms(t *testing.T) {
+	res, err := Fig2(Fig2Config{
+		CommonConfig: CommonConfig{
+			Algorithms:      []registry.Algorithm{registry.LevelArray},
+			EmulationFactor: 10,
+			RoundsPerThread: 3,
+			Seed:            2,
+		},
+		ThreadCounts: []int{2},
+	})
+	if err != nil {
+		t.Fatalf("Fig2: %v", err)
+	}
+	if len(res.Runs) != 1 {
+		t.Fatalf("expected 1 algorithm, got %d", len(res.Runs))
+	}
+	headers := res.AvgTrials.Headers()
+	if len(headers) != 2 || headers[1] != "LevelArray" {
+		t.Fatalf("headers = %v", headers)
+	}
+}
+
+func TestFig2PropagatesErrors(t *testing.T) {
+	_, err := Fig2(Fig2Config{
+		CommonConfig: CommonConfig{
+			Algorithms:      []registry.Algorithm{registry.Algorithm(99)},
+			EmulationFactor: 10,
+			RoundsPerThread: 1,
+		},
+		ThreadCounts: []int{1},
+	})
+	if err == nil {
+		t.Fatal("unknown algorithm did not propagate an error")
+	}
+}
+
+func TestLongRunStabilitySmallScale(t *testing.T) {
+	res, err := LongRunStability(LongRunConfig{
+		CommonConfig: CommonConfig{
+			EmulationFactor: 50,
+			RoundsPerThread: 20,
+			Seed:            3,
+		},
+		Threads: 4,
+	})
+	if err != nil {
+		t.Fatalf("LongRunStability: %v", err)
+	}
+	if res.Run.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	// The paper's claim, scaled down: average below 2 probes, worst case in
+	// the single digits, backup never touched.
+	if res.Run.Stats.Mean() >= 2.5 {
+		t.Fatalf("mean %.2f probes, expected below 2.5", res.Run.Stats.Mean())
+	}
+	if res.Run.WorstCase() > 10 {
+		t.Fatalf("worst case %d probes, expected single digits", res.Run.WorstCase())
+	}
+	if res.Run.Stats.BackupOps != 0 {
+		t.Fatalf("backup used %d times", res.Run.Stats.BackupOps)
+	}
+	out := res.Table.String()
+	for _, want := range []string{"avg trials", "worst case", "operations"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestPrefillSweepSmallScale(t *testing.T) {
+	res, err := PrefillSweep(PrefillSweepConfig{
+		CommonConfig: CommonConfig{
+			Algorithms:      []registry.Algorithm{registry.LevelArray, registry.Random},
+			EmulationFactor: 20,
+			RoundsPerThread: 5,
+			Seed:            4,
+		},
+		Threads:  4,
+		Percents: []int{0, 50, 90},
+	})
+	if err != nil {
+		t.Fatalf("PrefillSweep: %v", err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %v", res.Points)
+	}
+	for _, tbl := range res.Tables() {
+		if tbl.NumRows() != 3 {
+			t.Fatalf("table %q has %d rows", tbl.Title(), tbl.NumRows())
+		}
+	}
+	// Higher pre-fill means a more loaded array, so the LevelArray's average
+	// cost must not decrease from 0% to 90%.
+	runs := res.Runs[registry.LevelArray]
+	if runs[2].Stats.Mean() < runs[0].Stats.Mean() {
+		t.Fatalf("mean at 90%% (%.3f) below mean at 0%% (%.3f)",
+			runs[2].Stats.Mean(), runs[0].Stats.Mean())
+	}
+}
+
+func TestSizeSweepSmallScale(t *testing.T) {
+	res, err := SizeSweep(SizeSweepConfig{
+		CommonConfig: CommonConfig{
+			Algorithms:      []registry.Algorithm{registry.LevelArray},
+			EmulationFactor: 20,
+			RoundsPerThread: 5,
+			Seed:            5,
+		},
+		Threads: 4,
+		Factors: []int{2, 4},
+	})
+	if err != nil {
+		t.Fatalf("SizeSweep: %v", err)
+	}
+	runs := res.Runs[registry.LevelArray]
+	if len(runs) != 2 {
+		t.Fatalf("runs = %d, want 2", len(runs))
+	}
+	if runs[1].ArraySize <= runs[0].ArraySize {
+		t.Fatalf("L=4N array (%d) not larger than L=2N array (%d)",
+			runs[1].ArraySize, runs[0].ArraySize)
+	}
+	// A roomier array can only make registration cheaper (or equal).
+	if runs[1].Stats.Mean() > runs[0].Stats.Mean()+0.5 {
+		t.Fatalf("mean at L=4N (%.3f) much higher than at L=2N (%.3f)",
+			runs[1].Stats.Mean(), runs[0].Stats.Mean())
+	}
+}
+
+func TestDeterministicComparisonSmallScale(t *testing.T) {
+	res, err := DeterministicComparison(DeterministicComparisonConfig{
+		CommonConfig: CommonConfig{
+			EmulationFactor: 50,
+			RoundsPerThread: 5,
+			Seed:            6,
+		},
+		Threads: 2,
+	})
+	if err != nil {
+		t.Fatalf("DeterministicComparison: %v", err)
+	}
+	if len(res.Runs) != 4 {
+		t.Fatalf("runs = %d, want 4", len(res.Runs))
+	}
+	det := res.Runs[registry.Deterministic]
+	la := res.Runs[registry.LevelArray]
+	// At 50% pre-fill with 50 emulated slots per thread, the deterministic
+	// scan pays tens of probes per Get while the LevelArray pays ~1.5; the
+	// paper reports a gap of at least two orders of magnitude at full scale.
+	if det.Stats.Mean() < 10*la.Stats.Mean() {
+		t.Fatalf("deterministic mean %.2f not at least 10x LevelArray mean %.2f",
+			det.Stats.Mean(), la.Stats.Mean())
+	}
+	if res.Table.NumRows() != 4 {
+		t.Fatalf("table rows = %d, want 4", res.Table.NumRows())
+	}
+}
+
+func TestFig3HealingConvergence(t *testing.T) {
+	res, err := Fig3Healing(HealingConfig{
+		Capacity:      2048,
+		SnapshotEvery: 2000,
+		Snapshots:     8,
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatalf("Fig3Healing: %v", err)
+	}
+	if len(res.Snapshots) != 8 {
+		t.Fatalf("snapshots = %d, want 8", len(res.Snapshots))
+	}
+	initial := res.Snapshots[0]
+	final := res.Snapshots[len(res.Snapshots)-1]
+	// State 0 must be the paper's degraded state: batch 1 overcrowded.
+	if res.Healed[0] {
+		t.Fatal("initial state is already healed; the experiment is vacuous")
+	}
+	if initial.Fractions[1] < 0.45 {
+		t.Fatalf("initial batch 1 fill %.2f, want ~0.5", initial.Fractions[1])
+	}
+	// The healing property: batch 1's load strictly decreases and the damage
+	// (batch 1 overcrowding) disappears within the run.
+	if final.Fractions[1] >= initial.Fractions[1] {
+		t.Fatalf("batch 1 fill did not decrease: %.3f -> %.3f",
+			initial.Fractions[1], final.Fractions[1])
+	}
+	if !res.Healed[len(res.Healed)-1] {
+		t.Fatalf("damaged batches still overcrowded at the end of the healing run: %v", final)
+	}
+	if res.HealedAfter < 1 {
+		t.Fatalf("HealedAfter = %d, want a positive snapshot index", res.HealedAfter)
+	}
+	out := res.Table.String()
+	for _, want := range []string{"state", "batch1", "healed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("healing table missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestFig3HealingValidation(t *testing.T) {
+	if _, err := Fig3Healing(HealingConfig{Capacity: 1}); err == nil {
+		t.Fatal("capacity 1 accepted")
+	}
+	if _, err := Fig3Healing(HealingConfig{Capacity: 64, Participants: 1000}); err == nil {
+		t.Fatal("participants above capacity accepted")
+	}
+	if _, err := Fig3Healing(HealingConfig{Capacity: 64, SnapshotEvery: -1}); err == nil {
+		t.Fatal("negative snapshot interval accepted")
+	}
+}
+
+func TestFig3HealingCustomInitialState(t *testing.T) {
+	state := balance.DegradedStateSpec{Fractions: []float64{0.1, 0.9}}
+	res, err := Fig3Healing(HealingConfig{
+		Capacity:      1024,
+		InitialState:  &state,
+		SnapshotEvery: 1500,
+		Snapshots:     6,
+		Seed:          8,
+	})
+	if err != nil {
+		t.Fatalf("Fig3Healing: %v", err)
+	}
+	if res.Snapshots[0].Fractions[1] < 0.8 {
+		t.Fatalf("custom initial state not applied: batch 1 fill %.2f", res.Snapshots[0].Fractions[1])
+	}
+	final := res.Snapshots[len(res.Snapshots)-1]
+	if final.Fractions[1] >= res.Snapshots[0].Fractions[1] {
+		t.Fatal("batch 1 fill did not decrease from a 90 percent full start")
+	}
+}
+
+func TestLogLogScalingSmallScale(t *testing.T) {
+	res, err := LogLogScaling(LogLogConfig{
+		Capacities:       []int{16, 64, 256},
+		RoundsPerProcess: 8,
+		Seed:             9,
+	})
+	if err != nil {
+		t.Fatalf("LogLogScaling: %v", err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Ops == 0 {
+			t.Fatalf("n=%d completed no operations", p.Capacity)
+		}
+		if p.Mean < 1 {
+			t.Fatalf("n=%d mean %.3f below 1", p.Capacity, p.Mean)
+		}
+		// The defining property: the worst case stays far below n (it should
+		// track log log n, i.e. single digits at these sizes).
+		if p.WorstCase > uint64(p.Capacity/2) {
+			t.Fatalf("n=%d worst case %d is linear in n", p.Capacity, p.WorstCase)
+		}
+	}
+	if res.Table.NumRows() != 3 {
+		t.Fatalf("table rows = %d", res.Table.NumRows())
+	}
+}
+
+func TestLogLogScalingOneShot(t *testing.T) {
+	res, err := LogLogScaling(LogLogConfig{
+		Capacities: []int{64, 256},
+		OneShot:    true,
+		Seed:       10,
+	})
+	if err != nil {
+		t.Fatalf("LogLogScaling: %v", err)
+	}
+	for _, p := range res.Points {
+		if p.Ops != uint64(p.Capacity) {
+			t.Fatalf("one-shot n=%d completed %d ops, want %d", p.Capacity, p.Ops, p.Capacity)
+		}
+		if p.WorstCase > 16 {
+			t.Fatalf("one-shot n=%d worst case %d probes", p.Capacity, p.WorstCase)
+		}
+	}
+}
+
+func TestBalanceCheckSmallScale(t *testing.T) {
+	res, err := BalanceCheck(BalanceCheckConfig{
+		Capacity:         128,
+		RoundsPerProcess: 8,
+		SampleEvery:      32,
+		Seed:             11,
+	})
+	if err != nil {
+		t.Fatalf("BalanceCheck: %v", err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 schedules", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Samples == 0 {
+			t.Fatalf("schedule %s took no samples", row.Schedule)
+		}
+		if row.SpecViolations != 0 {
+			t.Fatalf("schedule %s produced %d spec violations", row.Schedule, row.SpecViolations)
+		}
+		// With c=2 probes per batch and ~full contention, the array should be
+		// fully balanced for the overwhelming majority of samples.
+		if row.BalancedFraction() < 0.9 {
+			t.Fatalf("schedule %s balanced only %.1f%% of the time",
+				row.Schedule, row.BalancedFraction()*100)
+		}
+		// Regularity shape: the overwhelming majority of Gets stop in batch 0.
+		if len(row.ReachFractions) > 0 && row.ReachFractions[0] < 0.5 {
+			t.Fatalf("schedule %s: only %.2f of Gets stopped in batch 0",
+				row.Schedule, row.ReachFractions[0])
+		}
+	}
+	if res.Table.NumRows() != 5 || res.ReachTable.NumRows() != 5 {
+		t.Fatal("tables incomplete")
+	}
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/levelarray/levelarray/internal/harness"
+	"github.com/levelarray/levelarray/internal/registry"
+	"github.com/levelarray/levelarray/internal/stats"
+	"github.com/levelarray/levelarray/internal/workload"
+)
+
+// Fig2Config parameterizes the Figure 2 reproduction: the four-panel
+// comparison of LevelArray, Random and LinearProbing across thread counts.
+type Fig2Config struct {
+	CommonConfig
+	// ThreadCounts is the sweep over n. Empty selects DefaultThreadCounts.
+	ThreadCounts []int
+}
+
+// Fig2Result holds the per-(algorithm, thread-count) measurements and the
+// four rendered panels.
+type Fig2Result struct {
+	// ThreadCounts is the sweep that was run.
+	ThreadCounts []int
+	// Runs maps algorithm -> one harness result per thread count.
+	Runs map[registry.Algorithm][]harness.Result
+
+	// The four panels of Figure 2.
+	Throughput *stats.Table
+	AvgTrials  *stats.Table
+	StdDev     *stats.Table
+	WorstCase  *stats.Table
+}
+
+// Tables returns the four panels in figure order.
+func (r Fig2Result) Tables() []*stats.Table {
+	return []*stats.Table{r.Throughput, r.AvgTrials, r.StdDev, r.WorstCase}
+}
+
+// Fig2 runs the Figure 2 experiment.
+func Fig2(cfg Fig2Config) (Fig2Result, error) {
+	cfg.CommonConfig = cfg.CommonConfig.withDefaults()
+	if len(cfg.ThreadCounts) == 0 {
+		cfg.ThreadCounts = DefaultThreadCounts()
+	}
+
+	result := Fig2Result{
+		ThreadCounts: cfg.ThreadCounts,
+		Runs:         make(map[registry.Algorithm][]harness.Result, len(cfg.Algorithms)),
+	}
+	for _, algo := range cfg.Algorithms {
+		for _, threads := range cfg.ThreadCounts {
+			run, err := harness.Run(harness.Config{
+				Algorithm: algo,
+				Workload: workload.Spec{
+					Threads:        threads,
+					EmulatedN:      threads * cfg.EmulationFactor,
+					PrefillPercent: cfg.PrefillPercent,
+				},
+				SizeFactor:      cfg.SizeFactor,
+				RoundsPerThread: cfg.RoundsPerThread,
+				Duration:        cfg.Duration,
+				RNG:             cfg.RNG,
+				Seed:            cfg.Seed,
+			})
+			if err != nil {
+				return Fig2Result{}, fmt.Errorf("experiments: fig2 %s n=%d: %w", algo, threads, err)
+			}
+			result.Runs[algo] = append(result.Runs[algo], run)
+		}
+	}
+
+	result.Throughput = fig2Panel("Figure 2a: Throughput (total operations)", cfg, result.Runs,
+		func(r harness.Result) float64 { return float64(r.Ops) })
+	result.AvgTrials = fig2Panel("Figure 2b: Average number of trials per Get", cfg, result.Runs,
+		func(r harness.Result) float64 { return r.Stats.Mean() })
+	result.StdDev = fig2Panel("Figure 2c: Standard deviation of trials per Get", cfg, result.Runs,
+		func(r harness.Result) float64 { return r.Stats.StdDev() })
+	result.WorstCase = fig2Panel("Figure 2d: Worst-case number of trials (per-thread worst, averaged)", cfg, result.Runs,
+		func(r harness.Result) float64 { return r.MeanWorstCase() })
+	return result, nil
+}
+
+// fig2Panel renders one panel: rows are thread counts, one column per
+// algorithm.
+func fig2Panel(title string, cfg Fig2Config, runs map[registry.Algorithm][]harness.Result,
+	metric func(harness.Result) float64) *stats.Table {
+
+	headers := []string{"threads"}
+	for _, algo := range cfg.Algorithms {
+		headers = append(headers, algo.String())
+	}
+	tbl := stats.NewTable(title, headers...)
+	for i, threads := range cfg.ThreadCounts {
+		values := make([]float64, 0, len(cfg.Algorithms))
+		for _, algo := range cfg.Algorithms {
+			values = append(values, metric(runs[algo][i]))
+		}
+		tbl.AddFloatRow(fmt.Sprintf("%d", threads), values...)
+	}
+	return tbl
+}
+
+// LongRunConfig parameterizes the long-run stability experiment, the in-text
+// claim that over 200 million to 2 billion operations at 80 threads the
+// LevelArray's worst case stays at 6 probes and its average around 1.75.
+type LongRunConfig struct {
+	CommonConfig
+	// Threads is the number of worker threads (the paper uses 80).
+	Threads int
+}
+
+// LongRunResult reports the measured stability figures.
+type LongRunResult struct {
+	Run   harness.Result
+	Table *stats.Table
+}
+
+// LongRunStability runs a single long LevelArray configuration and reports
+// total operations, average, standard deviation, worst case and backup usage.
+func LongRunStability(cfg LongRunConfig) (LongRunResult, error) {
+	cfg.CommonConfig = cfg.CommonConfig.withDefaults()
+	if cfg.Threads == 0 {
+		cfg.Threads = 8
+	}
+	run, err := harness.Run(harness.Config{
+		Algorithm: registry.LevelArray,
+		Workload: workload.Spec{
+			Threads:        cfg.Threads,
+			EmulatedN:      cfg.Threads * cfg.EmulationFactor,
+			PrefillPercent: cfg.PrefillPercent,
+		},
+		SizeFactor:      cfg.SizeFactor,
+		RoundsPerThread: cfg.RoundsPerThread,
+		Duration:        cfg.Duration,
+		RNG:             cfg.RNG,
+		Seed:            cfg.Seed,
+	})
+	if err != nil {
+		return LongRunResult{}, fmt.Errorf("experiments: long-run stability: %w", err)
+	}
+	tbl := stats.NewTable("Long-run stability (LevelArray)", "metric", "value")
+	tbl.AddRow("threads", fmt.Sprintf("%d", run.Threads))
+	tbl.AddRow("operations", fmt.Sprintf("%d", run.Ops))
+	tbl.AddRow("avg trials", fmt.Sprintf("%.3f", run.Stats.Mean()))
+	tbl.AddRow("stddev trials", fmt.Sprintf("%.3f", run.Stats.StdDev()))
+	tbl.AddRow("worst case", fmt.Sprintf("%d", run.WorstCase()))
+	tbl.AddRow("backup uses", fmt.Sprintf("%d", run.Stats.BackupOps))
+	tbl.AddRow("throughput (ops/s)", fmt.Sprintf("%.0f", run.Throughput()))
+	return LongRunResult{Run: run, Table: tbl}, nil
+}

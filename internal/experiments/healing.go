@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/levelarray/levelarray/internal/balance"
+	"github.com/levelarray/levelarray/internal/core"
+	"github.com/levelarray/levelarray/internal/rng"
+	"github.com/levelarray/levelarray/internal/stats"
+)
+
+// HealingConfig parameterizes the Figure 3 reproduction: the self-healing
+// experiment in which the array starts in an unbalanced state (batch 0 a
+// quarter full, batch 1 half full and therefore overcrowded) and ordinary
+// register/deregister traffic gradually rebalances it.
+type HealingConfig struct {
+	// Capacity is n. Zero selects 4096, large enough that batch fractions are
+	// smooth; the paper uses the thread count × emulation factor.
+	Capacity int
+	// Participants is the number of churning participants (each owns one
+	// name at a time). Zero selects Capacity/2, matching the paper's ~50%
+	// steady-state load.
+	Participants int
+	// InitialState describes the degraded starting occupancy. Nil selects
+	// the paper's Figure 3 state.
+	InitialState *balance.DegradedStateSpec
+	// SnapshotEvery is the number of completed operations between occupancy
+	// snapshots. Zero selects the paper's 4000.
+	SnapshotEvery int
+	// Snapshots is the number of snapshots to take after the initial state.
+	// Zero selects the paper's 8 states (0..7).
+	Snapshots int
+	// ProbesPerBatch is the LevelArray's per-batch trial count. Zero selects 1.
+	ProbesPerBatch int
+	// Seed drives every random choice in the experiment.
+	Seed uint64
+	// RNG selects the generator family.
+	RNG rng.Kind
+}
+
+// withDefaults returns a copy of c with zero values replaced by defaults.
+func (c HealingConfig) withDefaults() HealingConfig {
+	if c.Capacity == 0 {
+		c.Capacity = 4096
+	}
+	if c.Participants == 0 {
+		c.Participants = c.Capacity / 2
+	}
+	if c.InitialState == nil {
+		state := balance.Fig3InitialState()
+		c.InitialState = &state
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 4000
+	}
+	if c.Snapshots == 0 {
+		c.Snapshots = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	return c
+}
+
+// validate reports the first problem with the configuration.
+func (c HealingConfig) validate() error {
+	if c.Capacity < 2 {
+		return fmt.Errorf("experiments: healing capacity %d must be at least 2", c.Capacity)
+	}
+	if c.Participants < 1 || c.Participants > c.Capacity {
+		return fmt.Errorf("experiments: healing participants %d must be in [1, %d]", c.Participants, c.Capacity)
+	}
+	if c.SnapshotEvery < 1 || c.Snapshots < 1 {
+		return fmt.Errorf("experiments: healing snapshot parameters must be positive")
+	}
+	return nil
+}
+
+// HealingResult holds the occupancy snapshots (state 0 is the degraded
+// initial state) and the rendered distribution table.
+type HealingResult struct {
+	// Snapshots holds one occupancy snapshot per state, stamped with the
+	// number of completed operations.
+	Snapshots []balance.Snapshot
+	// Healed records, per snapshot, whether the damage described by the
+	// initial state has been repaired: the array is balanced up to the
+	// deepest batch the initial state degraded. (The paper's Figure 3 shows
+	// the distribution converging back to its stable shape; with the
+	// implementation's c = 1 probes per batch, the stable shape satisfies
+	// the theoretical overcrowding thresholds for the shallow batches that
+	// the degraded state perturbs, which is what this records.)
+	Healed []bool
+	// HealedAfter is the index of the first snapshot at which the damaged
+	// batches are no longer overcrowded, or -1 if that never happens within
+	// the run.
+	HealedAfter int
+	// Table renders the per-batch fill fraction of every state (Figure 3's
+	// bars).
+	Table *stats.Table
+}
+
+// Fig3Healing runs the healing experiment.
+//
+// The degraded initial state is materialized exactly as in the paper: a set
+// of participants starts out *holding* badly placed names (via Adopt), so the
+// array is unbalanced but every occupied slot has an owner that will
+// eventually release it. The remaining participants start unregistered.
+// Traffic then proceeds as an arbitrary schedule of Free+Get pairs: at every
+// step a uniformly random participant releases its name (if it holds one) and
+// immediately re-registers, which is the paper's "typical schedule" of
+// register/deregister operations. Snapshots of the per-batch occupancy are
+// taken every SnapshotEvery completed operations.
+func Fig3Healing(cfg HealingConfig) (HealingResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return HealingResult{}, err
+	}
+
+	la, err := core.New(core.Config{
+		Capacity:       cfg.Capacity,
+		ProbesPerBatch: cfg.ProbesPerBatch,
+		RNG:            cfg.RNG,
+		Seed:           cfg.Seed,
+	})
+	if err != nil {
+		return HealingResult{}, fmt.Errorf("experiments: healing: %w", err)
+	}
+	layout := la.Layout()
+
+	// Materialize the degraded state: participants adopt the prescribed
+	// badly placed slots until the spec is satisfied or we run out of
+	// participants.
+	participants := make([]*core.Handle, cfg.Participants)
+	for i := range participants {
+		participants[i] = la.Handle().(*core.Handle)
+	}
+	next := 0
+	for j, frac := range cfg.InitialState.Fractions {
+		if j >= layout.NumBatches() || frac <= 0 {
+			continue
+		}
+		b := layout.Batch(j)
+		want := int(frac * float64(b.Size))
+		for i := 0; i < want && next < len(participants); i++ {
+			if err := participants[next].Adopt(b.Offset + i); err != nil {
+				return HealingResult{}, fmt.Errorf("experiments: healing adopt: %w", err)
+			}
+			next++
+		}
+	}
+
+	// The healing criterion: the batches perturbed by the degraded initial
+	// state are no longer overcrowded.
+	damagedUpTo := len(cfg.InitialState.Fractions) - 1
+	if damagedUpTo >= layout.NumBatches() {
+		damagedUpTo = layout.NumBatches() - 1
+	}
+	result := HealingResult{HealedAfter: -1}
+	record := func(ops uint64) {
+		snap := balance.TakeSnapshot(layout, la.MainSpace(), ops)
+		result.Snapshots = append(result.Snapshots, snap)
+		healed := balance.BalancedUpTo(layout, snap.Counts, damagedUpTo)
+		result.Healed = append(result.Healed, healed)
+		if result.HealedAfter < 0 && healed {
+			result.HealedAfter = len(result.Snapshots) - 1
+		}
+	}
+	record(0) // state 0: the degraded initial state
+
+	// Churn: a uniformly random participant frees (if holding) and
+	// re-registers. Each Free and each Get counts as one operation, matching
+	// the paper's operation counting.
+	src := rng.New(cfg.RNG, cfg.Seed^0xF19003)
+	var ops uint64
+	totalOps := uint64(cfg.SnapshotEvery) * uint64(cfg.Snapshots-1)
+	nextSnapshot := uint64(cfg.SnapshotEvery)
+	for ops < totalOps {
+		p := participants[src.Intn(len(participants))]
+		if _, holding := p.Name(); holding {
+			if err := p.Free(); err != nil {
+				return HealingResult{}, fmt.Errorf("experiments: healing free: %w", err)
+			}
+			ops++
+		}
+		if ops >= nextSnapshot {
+			record(ops)
+			nextSnapshot += uint64(cfg.SnapshotEvery)
+			if ops >= totalOps {
+				break
+			}
+		}
+		if _, err := p.Get(); err != nil {
+			return HealingResult{}, fmt.Errorf("experiments: healing get: %w", err)
+		}
+		ops++
+		if ops >= nextSnapshot {
+			record(ops)
+			nextSnapshot += uint64(cfg.SnapshotEvery)
+		}
+	}
+
+	result.Table = healingTable(layout, result.Snapshots, result.Healed)
+	return result, nil
+}
+
+// healingTable renders the snapshots as Figure 3's distribution-over-time
+// table: one row per state, one column per batch with the percentage full.
+func healingTable(layout *balance.Layout, snapshots []balance.Snapshot, healed []bool) *stats.Table {
+	batches := layout.NumBatches()
+	if batches > 8 {
+		batches = 8 // Figure 3 shows the first batches; deeper ones stay ~0%.
+	}
+	headers := []string{"state", "ops"}
+	for j := 0; j < batches; j++ {
+		headers = append(headers, fmt.Sprintf("batch%d %%full", j))
+	}
+	headers = append(headers, "healed")
+	tbl := stats.NewTable("Figure 3: Self-healing — batch distribution over time", headers...)
+	for i, snap := range snapshots {
+		cells := []string{fmt.Sprintf("%d", i), fmt.Sprintf("%d", snap.Step)}
+		for j := 0; j < batches; j++ {
+			cells = append(cells, fmt.Sprintf("%.1f", snap.Fractions[j]*100))
+		}
+		status := "no"
+		if i < len(healed) && healed[i] {
+			status = "yes"
+		}
+		cells = append(cells, status)
+		tbl.AddRow(cells...)
+	}
+	return tbl
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/levelarray/levelarray/internal/harness"
+	"github.com/levelarray/levelarray/internal/registry"
+	"github.com/levelarray/levelarray/internal/stats"
+	"github.com/levelarray/levelarray/internal/workload"
+)
+
+// PrefillSweepConfig parameterizes the pre-fill sweep that backs the in-text
+// claim "the results are similar for pre-fill percentages between 0% and
+// 90%".
+type PrefillSweepConfig struct {
+	CommonConfig
+	// Threads is the number of worker threads for every point of the sweep.
+	Threads int
+	// Percents are the pre-fill percentages to sweep. Empty selects the
+	// paper's 0..90 range.
+	Percents []int
+}
+
+// SweepResult is the generic result of a one-dimensional sweep: one harness
+// run per (algorithm, sweep point), plus rendered tables.
+type SweepResult struct {
+	// Points are the sweep's x-axis values.
+	Points []int
+	// Runs maps algorithm -> one result per point.
+	Runs map[registry.Algorithm][]harness.Result
+	// AvgTrials, WorstCase and Throughput are the rendered tables.
+	AvgTrials  *stats.Table
+	WorstCase  *stats.Table
+	Throughput *stats.Table
+}
+
+// Tables returns the rendered tables.
+func (r SweepResult) Tables() []*stats.Table {
+	return []*stats.Table{r.AvgTrials, r.WorstCase, r.Throughput}
+}
+
+// PrefillSweep runs the pre-fill percentage sweep.
+func PrefillSweep(cfg PrefillSweepConfig) (SweepResult, error) {
+	cfg.CommonConfig = cfg.CommonConfig.withDefaults()
+	if cfg.Threads == 0 {
+		cfg.Threads = 8
+	}
+	if len(cfg.Percents) == 0 {
+		cfg.Percents = []int{0, 25, 50, 75, 90}
+	}
+	runOne := func(algo registry.Algorithm, percent int) (harness.Result, error) {
+		return harness.Run(harness.Config{
+			Algorithm: algo,
+			Workload: workload.Spec{
+				Threads:        cfg.Threads,
+				EmulatedN:      cfg.Threads * cfg.EmulationFactor,
+				PrefillPercent: percent,
+			},
+			SizeFactor:      cfg.SizeFactor,
+			RoundsPerThread: cfg.RoundsPerThread,
+			Duration:        cfg.Duration,
+			RNG:             cfg.RNG,
+			Seed:            cfg.Seed,
+		})
+	}
+	return runSweep("pre-fill %", cfg.Algorithms, cfg.Percents, runOne)
+}
+
+// SizeSweepConfig parameterizes the array-size sweep backing the in-text
+// claim that the behaviour holds for L between 2N and 4N.
+type SizeSweepConfig struct {
+	CommonConfig
+	// Threads is the number of worker threads for every point of the sweep.
+	Threads int
+	// Factors are the L/N size factors to sweep. Empty selects {2, 3, 4}.
+	Factors []int
+}
+
+// SizeSweep runs the array-size sweep.
+func SizeSweep(cfg SizeSweepConfig) (SweepResult, error) {
+	cfg.CommonConfig = cfg.CommonConfig.withDefaults()
+	if cfg.Threads == 0 {
+		cfg.Threads = 8
+	}
+	if len(cfg.Factors) == 0 {
+		cfg.Factors = []int{2, 3, 4}
+	}
+	runOne := func(algo registry.Algorithm, factor int) (harness.Result, error) {
+		return harness.Run(harness.Config{
+			Algorithm: algo,
+			Workload: workload.Spec{
+				Threads:        cfg.Threads,
+				EmulatedN:      cfg.Threads * cfg.EmulationFactor,
+				PrefillPercent: cfg.PrefillPercent,
+			},
+			SizeFactor:      float64(factor),
+			RoundsPerThread: cfg.RoundsPerThread,
+			Duration:        cfg.Duration,
+			RNG:             cfg.RNG,
+			Seed:            cfg.Seed,
+		})
+	}
+	return runSweep("L/N", cfg.Algorithms, cfg.Factors, runOne)
+}
+
+// runSweep executes a one-dimensional sweep and renders its tables.
+func runSweep(axis string, algorithms []registry.Algorithm, points []int,
+	runOne func(registry.Algorithm, int) (harness.Result, error)) (SweepResult, error) {
+
+	result := SweepResult{
+		Points: points,
+		Runs:   make(map[registry.Algorithm][]harness.Result, len(algorithms)),
+	}
+	for _, algo := range algorithms {
+		for _, point := range points {
+			run, err := runOne(algo, point)
+			if err != nil {
+				return SweepResult{}, fmt.Errorf("experiments: sweep %s=%d %s: %w", axis, point, algo, err)
+			}
+			result.Runs[algo] = append(result.Runs[algo], run)
+		}
+	}
+	headers := []string{axis}
+	for _, algo := range algorithms {
+		headers = append(headers, algo.String())
+	}
+	makeTable := func(title string, metric func(harness.Result) float64) *stats.Table {
+		tbl := stats.NewTable(title, headers...)
+		for i, point := range points {
+			values := make([]float64, 0, len(algorithms))
+			for _, algo := range algorithms {
+				values = append(values, metric(result.Runs[algo][i]))
+			}
+			tbl.AddFloatRow(fmt.Sprintf("%d", point), values...)
+		}
+		return tbl
+	}
+	result.AvgTrials = makeTable("Average trials per Get vs "+axis,
+		func(r harness.Result) float64 { return r.Stats.Mean() })
+	result.WorstCase = makeTable("Worst-case trials vs "+axis,
+		func(r harness.Result) float64 { return float64(r.WorstCase()) })
+	result.Throughput = makeTable("Total operations vs "+axis,
+		func(r harness.Result) float64 { return float64(r.Ops) })
+	return result, nil
+}
+
+// DeterministicComparisonConfig parameterizes the comparison against the
+// deterministic left-to-right scan, which the paper excludes from Figure 2
+// because it is at least two orders of magnitude slower on average.
+type DeterministicComparisonConfig struct {
+	CommonConfig
+	// Threads is the number of worker threads.
+	Threads int
+}
+
+// DeterministicComparisonResult reports the average-cost ratio between the
+// deterministic baseline and every randomized algorithm.
+type DeterministicComparisonResult struct {
+	Runs  map[registry.Algorithm]harness.Result
+	Table *stats.Table
+}
+
+// DeterministicComparison runs all four algorithms at one configuration and
+// reports average trials, worst case, and the deterministic/LevelArray ratio.
+func DeterministicComparison(cfg DeterministicComparisonConfig) (DeterministicComparisonResult, error) {
+	cfg.CommonConfig = cfg.CommonConfig.withDefaults()
+	if cfg.Threads == 0 {
+		cfg.Threads = 4
+	}
+	algorithms := registry.All()
+	runs := make(map[registry.Algorithm]harness.Result, len(algorithms))
+	for _, algo := range algorithms {
+		run, err := harness.Run(harness.Config{
+			Algorithm: algo,
+			Workload: workload.Spec{
+				Threads:        cfg.Threads,
+				EmulatedN:      cfg.Threads * cfg.EmulationFactor,
+				PrefillPercent: cfg.PrefillPercent,
+			},
+			SizeFactor:      cfg.SizeFactor,
+			RoundsPerThread: cfg.RoundsPerThread,
+			Duration:        cfg.Duration,
+			RNG:             cfg.RNG,
+			Seed:            cfg.Seed,
+		})
+		if err != nil {
+			return DeterministicComparisonResult{}, fmt.Errorf("experiments: deterministic comparison %s: %w", algo, err)
+		}
+		runs[algo] = run
+	}
+	tbl := stats.NewTable("Deterministic baseline comparison",
+		"algorithm", "avg trials", "worst case", "avg vs LevelArray")
+	base := runs[registry.LevelArray].Stats.Mean()
+	for _, algo := range algorithms {
+		run := runs[algo]
+		ratio := 0.0
+		if base > 0 {
+			ratio = run.Stats.Mean() / base
+		}
+		tbl.AddRow(algo.String(),
+			fmt.Sprintf("%.3f", run.Stats.Mean()),
+			fmt.Sprintf("%d", run.WorstCase()),
+			fmt.Sprintf("%.1fx", ratio))
+	}
+	return DeterministicComparisonResult{Runs: runs, Table: tbl}, nil
+}

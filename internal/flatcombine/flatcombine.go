@@ -1,0 +1,258 @@
+// Package flatcombine implements the flat-combining application the paper's
+// introduction motivates: flat combining needs "to determine which threads
+// have work to be performed", which this implementation does by allocating
+// publication records through an activity array — threads register to obtain
+// a compact record index and deregister when they leave, and the combiner
+// Collects the registry to find the records it must serve (the [20] pattern).
+//
+// The combined structure here is a FIFO queue protected by a combiner lock:
+// a thread publishes its operation in its record, then either acquires the
+// combiner lock and serves everyone, or spins until its own record has been
+// served.
+package flatcombine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/core"
+)
+
+// opKind identifies the pending operation in a publication record.
+type opKind uint32
+
+const (
+	opNone opKind = iota
+	opEnqueue
+	opDequeue
+)
+
+// record is one publication record. Records are indexed by the activity-array
+// name the owning thread holds, so the combiner can find every active record
+// by Collecting the registry.
+type record struct {
+	// pending is the operation the owner has published and not yet seen
+	// completed (an opKind value).
+	pending atomic.Uint32
+	// arg is the enqueue argument.
+	arg atomic.Int64
+	// result is the dequeue result.
+	result atomic.Int64
+	// ok reports whether a dequeue found an element (1) or the queue was
+	// empty (0).
+	ok atomic.Uint32
+	// served counts how many of the owner's operations were applied by a
+	// combiner other than the owner; used by tests and benchmarks to verify
+	// combining actually happens.
+	served atomic.Uint64
+}
+
+// Config parameterizes a flat-combining queue.
+type Config struct {
+	// MaxThreads is the maximum number of threads attached at the same time.
+	MaxThreads int
+	// Registry optionally supplies the activity array used to allocate
+	// publication records. Nil selects a LevelArray of capacity MaxThreads.
+	Registry activity.Array
+	// Seed seeds the default LevelArray registry.
+	Seed uint64
+}
+
+// Queue is a flat-combining FIFO queue of int64 values.
+type Queue struct {
+	registry activity.Array
+	records  []record
+
+	combinerLock atomic.Uint32
+
+	// The sequential queue, only touched while holding the combiner lock.
+	items []int64
+
+	combines atomic.Uint64
+}
+
+// New builds a flat-combining queue.
+func New(cfg Config) (*Queue, error) {
+	if cfg.MaxThreads < 1 {
+		return nil, fmt.Errorf("flatcombine: max threads %d must be at least 1", cfg.MaxThreads)
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		la, err := core.New(core.Config{Capacity: cfg.MaxThreads, Seed: cfg.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("flatcombine: building registry: %w", err)
+		}
+		reg = la
+	}
+	return &Queue{
+		registry: reg,
+		records:  make([]record, reg.Size()),
+	}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Queue {
+	q, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Registry returns the activity array used for publication records.
+func (q *Queue) Registry() activity.Array { return q.registry }
+
+// Combines returns the number of combining passes executed.
+func (q *Queue) Combines() uint64 { return q.combines.Load() }
+
+// Len returns the queue length. It is exact only when no operations are in
+// flight.
+func (q *Queue) Len() int {
+	for !q.combinerLock.CompareAndSwap(0, 1) {
+		runtime.Gosched()
+	}
+	n := len(q.items)
+	q.combinerLock.Store(0)
+	return n
+}
+
+// ErrDetached is returned by operations on a Handle that is not attached.
+var ErrDetached = errors.New("flatcombine: handle not attached")
+
+// Handle is a per-thread endpoint of the queue. It must be attached before
+// use and detached when the thread leaves; attach/detach are the long-lived
+// renaming operations whose cost the LevelArray minimizes. A Handle is not
+// safe for concurrent use.
+type Handle struct {
+	queue    *Queue
+	handle   activity.Handle
+	recordID int
+	attached bool
+}
+
+// Handle returns a new, not-yet-attached per-thread handle.
+func (q *Queue) Handle() *Handle {
+	return &Handle{queue: q, handle: q.registry.Handle()}
+}
+
+// Attach registers the thread and allocates its publication record.
+func (h *Handle) Attach() error {
+	if h.attached {
+		return nil
+	}
+	name, err := h.handle.Get()
+	if err != nil {
+		return fmt.Errorf("flatcombine: attaching: %w", err)
+	}
+	h.recordID = name
+	h.attached = true
+	return nil
+}
+
+// Detach publishes nothing further and releases the publication record.
+func (h *Handle) Detach() error {
+	if !h.attached {
+		return ErrDetached
+	}
+	rec := &h.queue.records[h.recordID]
+	// The record must be idle before the index can be reused by another
+	// thread.
+	for rec.pending.Load() != uint32(opNone) {
+		h.combineOrWait(rec)
+	}
+	if err := h.handle.Free(); err != nil {
+		return fmt.Errorf("flatcombine: detaching: %w", err)
+	}
+	h.attached = false
+	return nil
+}
+
+// Attached reports whether the handle currently holds a publication record.
+func (h *Handle) Attached() bool { return h.attached }
+
+// RegistrationStats returns the probe statistics of the underlying
+// activity-array handle.
+func (h *Handle) RegistrationStats() activity.ProbeStats { return h.handle.Stats() }
+
+// Served returns how many of this handle's operations were applied by another
+// thread's combining pass.
+func (h *Handle) Served() uint64 {
+	if !h.attached {
+		return 0
+	}
+	return h.queue.records[h.recordID].served.Load()
+}
+
+// Enqueue appends value to the queue.
+func (h *Handle) Enqueue(value int64) error {
+	if !h.attached {
+		return ErrDetached
+	}
+	rec := &h.queue.records[h.recordID]
+	rec.arg.Store(value)
+	rec.pending.Store(uint32(opEnqueue))
+	h.combineOrWait(rec)
+	return nil
+}
+
+// Dequeue removes and returns the value at the head of the queue. The second
+// return value is false if the queue was empty.
+func (h *Handle) Dequeue() (int64, bool, error) {
+	if !h.attached {
+		return 0, false, ErrDetached
+	}
+	rec := &h.queue.records[h.recordID]
+	rec.pending.Store(uint32(opDequeue))
+	h.combineOrWait(rec)
+	return rec.result.Load(), rec.ok.Load() == 1, nil
+}
+
+// combineOrWait either becomes the combiner and serves every published
+// record, or waits until this thread's record has been served.
+func (h *Handle) combineOrWait(rec *record) {
+	for rec.pending.Load() != uint32(opNone) {
+		if h.queue.combinerLock.CompareAndSwap(0, 1) {
+			h.queue.combine(h.recordID)
+			h.queue.combinerLock.Store(0)
+			continue
+		}
+		runtime.Gosched()
+	}
+}
+
+// combine serves every pending publication record. The caller must hold the
+// combiner lock. ownID is the record of the combining thread itself (its
+// operations count as self-served).
+func (q *Queue) combine(ownID int) {
+	q.combines.Add(1)
+	// The registry tells the combiner which records can possibly be active;
+	// this is the Collect whose O(n) cost the paper's model accounts for.
+	names := q.registry.Collect(nil)
+	for _, name := range names {
+		rec := &q.records[name]
+		switch opKind(rec.pending.Load()) {
+		case opEnqueue:
+			q.items = append(q.items, rec.arg.Load())
+			if name != ownID {
+				rec.served.Add(1)
+			}
+			rec.pending.Store(uint32(opNone))
+		case opDequeue:
+			if len(q.items) == 0 {
+				rec.ok.Store(0)
+				rec.result.Store(0)
+			} else {
+				rec.ok.Store(1)
+				rec.result.Store(q.items[0])
+				q.items = q.items[1:]
+			}
+			if name != ownID {
+				rec.served.Add(1)
+			}
+			rec.pending.Store(uint32(opNone))
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package flatcombine
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/levelarray/levelarray/internal/registry"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero MaxThreads accepted")
+	}
+	q, err := New(Config{MaxThreads: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if q.Registry().Capacity() != 4 {
+		t.Fatalf("registry capacity = %d, want 4", q.Registry().Capacity())
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestCustomRegistry(t *testing.T) {
+	reg := registry.MustNew(registry.LinearProbing, registry.Options{Capacity: 8})
+	q := MustNew(Config{MaxThreads: 8, Registry: reg})
+	if q.Registry() != reg {
+		t.Fatal("custom registry not used")
+	}
+}
+
+func TestHandleLifecycle(t *testing.T) {
+	q := MustNew(Config{MaxThreads: 2})
+	h := q.Handle()
+	if h.Attached() {
+		t.Fatal("fresh handle attached")
+	}
+	if err := h.Enqueue(1); err != ErrDetached {
+		t.Fatalf("Enqueue detached = %v, want ErrDetached", err)
+	}
+	if _, _, err := h.Dequeue(); err != ErrDetached {
+		t.Fatalf("Dequeue detached = %v, want ErrDetached", err)
+	}
+	if err := h.Detach(); err != ErrDetached {
+		t.Fatalf("Detach before Attach = %v, want ErrDetached", err)
+	}
+	if err := h.Attach(); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	if !h.Attached() {
+		t.Fatal("handle not attached after Attach")
+	}
+	// Attach is idempotent.
+	if err := h.Attach(); err != nil {
+		t.Fatalf("second Attach: %v", err)
+	}
+	if err := h.Detach(); err != nil {
+		t.Fatalf("Detach: %v", err)
+	}
+	if h.Attached() {
+		t.Fatal("handle still attached after Detach")
+	}
+	// The registry slot was released.
+	if got := q.Registry().Collect(nil); len(got) != 0 {
+		t.Fatalf("registry still holds %v after Detach", got)
+	}
+}
+
+func TestSequentialFIFO(t *testing.T) {
+	q := MustNew(Config{MaxThreads: 2})
+	h := q.Handle()
+	if err := h.Attach(); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	if _, ok, err := h.Dequeue(); err != nil || ok {
+		t.Fatalf("Dequeue on empty = (%v, %v)", ok, err)
+	}
+	for i := int64(1); i <= 20; i++ {
+		if err := h.Enqueue(i); err != nil {
+			t.Fatalf("Enqueue(%d): %v", i, err)
+		}
+	}
+	if q.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", q.Len())
+	}
+	for i := int64(1); i <= 20; i++ {
+		v, ok, err := h.Dequeue()
+		if err != nil || !ok {
+			t.Fatalf("Dequeue: (%v, %v)", ok, err)
+		}
+		if v != i {
+			t.Fatalf("Dequeue = %d, want %d (FIFO order)", v, i)
+		}
+	}
+	if q.Combines() == 0 {
+		t.Fatal("no combining passes recorded")
+	}
+}
+
+func TestConcurrentEnqueueDequeue(t *testing.T) {
+	const (
+		workers   = 8
+		perWorker = 400
+	)
+	q := MustNew(Config{MaxThreads: workers})
+
+	// Phase 1: everyone enqueues.
+	var wg sync.WaitGroup
+	handles := make([]*Handle, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		handles[w] = q.Handle()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := handles[w]
+			if err := h.Attach(); err != nil {
+				t.Errorf("worker %d attach: %v", w, err)
+				return
+			}
+			for i := 0; i < perWorker; i++ {
+				if err := h.Enqueue(int64(w*perWorker + i)); err != nil {
+					t.Errorf("worker %d enqueue: %v", w, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if q.Len() != workers*perWorker {
+		t.Fatalf("Len = %d, want %d", q.Len(), workers*perWorker)
+	}
+
+	// Phase 2: everyone dequeues; the union of everything dequeued must be
+	// exactly the set of enqueued values, and per-producer FIFO order must be
+	// preserved.
+	results := make([][]int64, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := handles[w]
+			for i := 0; i < perWorker; i++ {
+				v, ok, err := h.Dequeue()
+				if err != nil || !ok {
+					t.Errorf("worker %d dequeue: (%v, %v)", w, ok, err)
+					return
+				}
+				results[w] = append(results[w], v)
+			}
+			if err := h.Detach(); err != nil {
+				t.Errorf("worker %d detach: %v", w, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	seen := make(map[int64]bool)
+	total := 0
+	for _, vs := range results {
+		for _, v := range vs {
+			if seen[v] {
+				t.Fatalf("value %d dequeued twice", v)
+			}
+			seen[v] = true
+			total++
+		}
+	}
+	if total != workers*perWorker {
+		t.Fatalf("dequeued %d values, want %d", total, workers*perWorker)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after draining", q.Len())
+	}
+}
+
+// TestPerConsumerProducerOrder checks the FIFO property visible to a single
+// consumer: the values it dequeues from any one producer appear in the order
+// that producer enqueued them.
+func TestPerConsumerProducerOrder(t *testing.T) {
+	const (
+		producers   = 4
+		perProducer = 300
+	)
+	q := MustNew(Config{MaxThreads: producers + 1})
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := q.Handle()
+			if err := h.Attach(); err != nil {
+				t.Errorf("producer %d attach: %v", p, err)
+				return
+			}
+			defer func() { _ = h.Detach() }()
+			for i := 0; i < perProducer; i++ {
+				if err := h.Enqueue(int64(p*perProducer + i)); err != nil {
+					t.Errorf("producer %d: %v", p, err)
+					return
+				}
+			}
+		}()
+	}
+
+	consumer := q.Handle()
+	if err := consumer.Attach(); err != nil {
+		t.Fatalf("consumer attach: %v", err)
+	}
+	lastSeen := make([]int64, producers)
+	for i := range lastSeen {
+		lastSeen[i] = -1
+	}
+	received := 0
+	for received < producers*perProducer {
+		v, ok, err := consumer.Dequeue()
+		if err != nil {
+			t.Fatalf("consumer dequeue: %v", err)
+		}
+		if !ok {
+			continue
+		}
+		producer := int(v) / perProducer
+		if v <= lastSeen[producer] {
+			t.Fatalf("producer %d values out of order: %d after %d", producer, v, lastSeen[producer])
+		}
+		lastSeen[producer] = v
+		received++
+	}
+	wg.Wait()
+	if err := consumer.Detach(); err != nil {
+		t.Fatalf("consumer detach: %v", err)
+	}
+}
+
+// TestCombiningHappens verifies that under contention some operations are
+// served by another thread's combining pass — the defining behaviour of flat
+// combining.
+func TestCombiningHappens(t *testing.T) {
+	const workers = 8
+	q := MustNew(Config{MaxThreads: workers})
+	var wg sync.WaitGroup
+	servedByOthers := make([]uint64, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := q.Handle()
+			if err := h.Attach(); err != nil {
+				t.Errorf("attach: %v", err)
+				return
+			}
+			for i := 0; i < 2000; i++ {
+				if err := h.Enqueue(int64(i)); err != nil {
+					t.Errorf("enqueue: %v", err)
+					return
+				}
+				if _, _, err := h.Dequeue(); err != nil {
+					t.Errorf("dequeue: %v", err)
+					return
+				}
+			}
+			servedByOthers[w] = h.Served()
+			if err := h.Detach(); err != nil {
+				t.Errorf("detach: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	var total uint64
+	for _, s := range servedByOthers {
+		total += s
+	}
+	if total == 0 {
+		t.Skip("no cross-thread combining observed (possible on a single-CPU runner)")
+	}
+}

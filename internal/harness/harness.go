@@ -1,0 +1,235 @@
+// Package harness runs the paper's concurrent benchmarks (Section 6) with
+// real goroutines: n worker threads repeatedly register and deregister from a
+// shared activity array while the harness records per-operation probe counts,
+// throughput, and worst-case behaviour.
+//
+// The harness reproduces the paper's methodology:
+//
+//   - the workload (threads, emulated concurrency N, pre-fill percentage)
+//     comes from internal/workload;
+//   - the algorithm under test is selected through internal/registry, so the
+//     same run configuration drives LevelArray, Random, LinearProbing and
+//     Deterministic;
+//   - probe counts are the primary metric (they are independent of the Go
+//     scheduler); wall-clock throughput is reported as a secondary metric.
+//
+// Runs terminate either after a fixed number of churn rounds per thread
+// (deterministic, used by tests) or after a wall-clock duration (used by the
+// throughput experiments).
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/registry"
+	"github.com/levelarray/levelarray/internal/rng"
+	"github.com/levelarray/levelarray/internal/workload"
+)
+
+// Config parameterizes one benchmark run.
+type Config struct {
+	// Algorithm selects the activity-array implementation under test.
+	Algorithm registry.Algorithm
+
+	// Workload describes threads, emulated concurrency and pre-fill.
+	Workload workload.Spec
+
+	// SizeFactor is L/N, the array size relative to the maximum number of
+	// registered slots. Zero selects 2 (the paper's default L = 2N).
+	SizeFactor float64
+
+	// RoundsPerThread terminates the run after each thread has executed this
+	// many churn rounds (a round registers and then releases every churn
+	// slot of the thread). Zero selects duration-based termination.
+	RoundsPerThread int
+
+	// Duration terminates the run after roughly this much wall-clock time
+	// when RoundsPerThread is zero. Zero defaults to one second.
+	Duration time.Duration
+
+	// CollectEvery makes each thread perform one Collect after every
+	// CollectEvery-th churn round (0 disables collects).
+	CollectEvery int
+
+	// RNG selects the generator family used by the randomized algorithms.
+	RNG rng.Kind
+
+	// Seed is the base seed; every run with the same configuration and seed
+	// performs the same probe choices in round-based mode.
+	Seed uint64
+
+	// CompactSlots selects the unpadded slot layout.
+	CompactSlots bool
+}
+
+// validate reports the first problem with the configuration.
+func (c Config) validate() error {
+	if c.Algorithm == 0 {
+		return errors.New("harness: algorithm must be specified")
+	}
+	if err := c.Workload.Validate(); err != nil {
+		return fmt.Errorf("harness: %w", err)
+	}
+	if c.RoundsPerThread < 0 {
+		return fmt.Errorf("harness: rounds per thread %d must not be negative", c.RoundsPerThread)
+	}
+	if c.Duration < 0 {
+		return fmt.Errorf("harness: duration %v must not be negative", c.Duration)
+	}
+	if c.CollectEvery < 0 {
+		return fmt.Errorf("harness: collect-every %d must not be negative", c.CollectEvery)
+	}
+	return nil
+}
+
+// Result is the outcome of one benchmark run.
+type Result struct {
+	// Algorithm is the algorithm that was run.
+	Algorithm registry.Algorithm
+	// Threads is the number of worker goroutines.
+	Threads int
+	// Capacity is N, the contention bound the array was built for.
+	Capacity int
+	// ArraySize is the namespace size of the array under test.
+	ArraySize int
+	// Duration is the wall-clock time of the main loop.
+	Duration time.Duration
+	// Ops is the number of completed Get and Free operations in the main
+	// loop (pre-fill operations are excluded, as in the paper).
+	Ops uint64
+	// Collects is the number of Collect scans performed.
+	Collects uint64
+	// Stats aggregates the probe statistics of every churn Get.
+	Stats activity.ProbeStats
+	// PerThread holds each thread's churn statistics.
+	PerThread []activity.ProbeStats
+	// PrefillStats aggregates the probe statistics of the pre-fill phase.
+	PrefillStats activity.ProbeStats
+}
+
+// Throughput returns completed operations per second.
+func (r Result) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Duration.Seconds()
+}
+
+// WorstCase returns the largest number of probes any single Get performed.
+func (r Result) WorstCase() uint64 { return r.Stats.MaxProbes }
+
+// MeanWorstCase returns the per-thread worst case averaged over threads,
+// which is how the paper reports Figure 2's worst-case panel ("to decrease
+// the impact of outlier executions, the worst-case shown is averaged over all
+// processes").
+func (r Result) MeanWorstCase() float64 {
+	if len(r.PerThread) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range r.PerThread {
+		sum += float64(s.MaxProbes)
+	}
+	return sum / float64(len(r.PerThread))
+}
+
+// Run executes one benchmark run.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.SizeFactor == 0 {
+		cfg.SizeFactor = 2
+	}
+	if cfg.RoundsPerThread == 0 && cfg.Duration == 0 {
+		cfg.Duration = time.Second
+	}
+
+	capacity := cfg.Workload.Capacity()
+	arr, err := registry.New(cfg.Algorithm, registry.Options{
+		Capacity:     capacity,
+		SizeFactor:   cfg.SizeFactor,
+		RNG:          cfg.RNG,
+		Seed:         cfg.Seed,
+		CompactSlots: cfg.CompactSlots,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("harness: building array: %w", err)
+	}
+
+	plans, err := cfg.Workload.Plans()
+	if err != nil {
+		return Result{}, fmt.Errorf("harness: %w", err)
+	}
+
+	var (
+		start     = make(chan struct{})
+		stop      atomic.Bool
+		readyWG   sync.WaitGroup
+		doneWG    sync.WaitGroup
+		workers   = make([]*worker, len(plans))
+		workerErr = make([]error, len(plans))
+	)
+	for i, plan := range plans {
+		workers[i] = newWorker(i, arr, plan, cfg.CollectEvery)
+	}
+
+	readyWG.Add(len(workers))
+	doneWG.Add(len(workers))
+	for i, w := range workers {
+		i, w := i, w
+		go func() {
+			defer doneWG.Done()
+			// Pre-fill before declaring readiness so the main loop starts on
+			// an array already at the target load.
+			if err := w.prefill(); err != nil {
+				workerErr[i] = err
+				readyWG.Done()
+				return
+			}
+			readyWG.Done()
+			<-start
+			if cfg.RoundsPerThread > 0 {
+				workerErr[i] = w.runRounds(cfg.RoundsPerThread)
+				return
+			}
+			workerErr[i] = w.runUntil(&stop)
+		}()
+	}
+
+	readyWG.Wait()
+	began := time.Now()
+	close(start)
+	if cfg.RoundsPerThread == 0 {
+		timer := time.AfterFunc(cfg.Duration, func() { stop.Store(true) })
+		defer timer.Stop()
+	}
+	doneWG.Wait()
+	elapsed := time.Since(began)
+
+	result := Result{
+		Algorithm: cfg.Algorithm,
+		Threads:   cfg.Workload.Threads,
+		Capacity:  capacity,
+		ArraySize: arr.Size(),
+		Duration:  elapsed,
+		PerThread: make([]activity.ProbeStats, len(workers)),
+	}
+	for i, w := range workers {
+		if workerErr[i] != nil {
+			return Result{}, fmt.Errorf("harness: worker %d: %w", i, workerErr[i])
+		}
+		stats := w.churnStats()
+		result.PerThread[i] = stats
+		result.Stats.Merge(stats)
+		result.PrefillStats.Merge(w.prefillStats())
+		result.Collects += w.collects
+	}
+	result.Ops = result.Stats.Ops + result.Stats.Frees
+	return result, nil
+}

@@ -1,0 +1,198 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"github.com/levelarray/levelarray/internal/registry"
+	"github.com/levelarray/levelarray/internal/workload"
+)
+
+func baseConfig(algo registry.Algorithm, threads int) Config {
+	return Config{
+		Algorithm:       algo,
+		Workload:        workload.Spec{Threads: threads, EmulatedN: threads * 20, PrefillPercent: 50},
+		RoundsPerThread: 10,
+		Seed:            42,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	invalid := []Config{
+		{},                               // no algorithm
+		{Algorithm: registry.LevelArray}, // zero threads
+		{Algorithm: registry.LevelArray, Workload: workload.Spec{Threads: -1}}, // bad workload
+		{Algorithm: registry.LevelArray, Workload: workload.Spec{Threads: 1}, RoundsPerThread: -1},
+		{Algorithm: registry.LevelArray, Workload: workload.Spec{Threads: 1}, Duration: -time.Second},
+		{Algorithm: registry.LevelArray, Workload: workload.Spec{Threads: 1}, CollectEvery: -1},
+	}
+	for i, cfg := range invalid {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestRunRoundsModeAllAlgorithms(t *testing.T) {
+	for _, algo := range registry.All() {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			threads := 4
+			if algo == registry.Deterministic {
+				// The deterministic scan is quadratic in the emulated load;
+				// keep its test configuration small.
+				threads = 2
+			}
+			cfg := baseConfig(algo, threads)
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if res.Algorithm != algo {
+				t.Fatalf("result algorithm = %v, want %v", res.Algorithm, algo)
+			}
+			if res.Threads != threads {
+				t.Fatalf("threads = %d, want %d", res.Threads, threads)
+			}
+			if res.Capacity != threads*20 {
+				t.Fatalf("capacity = %d, want %d", res.Capacity, threads*20)
+			}
+			// Each thread churns half its 20 slots for 10 rounds: 10 Gets
+			// and 10 Frees per slot.
+			wantOps := uint64(threads * 10 * 10 * 2)
+			if res.Ops != wantOps {
+				t.Fatalf("ops = %d, want %d", res.Ops, wantOps)
+			}
+			if res.Stats.Ops != wantOps/2 || res.Stats.Frees != wantOps/2 {
+				t.Fatalf("stats ops/frees = %d/%d, want %d each",
+					res.Stats.Ops, res.Stats.Frees, wantOps/2)
+			}
+			if res.Stats.Mean() < 1 {
+				t.Fatalf("mean probes %.3f below 1", res.Stats.Mean())
+			}
+			if res.WorstCase() < 1 || res.MeanWorstCase() < 1 {
+				t.Fatal("worst-case statistics missing")
+			}
+			if len(res.PerThread) != threads {
+				t.Fatalf("per-thread stats count %d, want %d", len(res.PerThread), threads)
+			}
+			if res.Duration <= 0 || res.Throughput() <= 0 {
+				t.Fatalf("duration/throughput not recorded: %+v", res)
+			}
+			// Pre-fill is half the slots, registered once per slot.
+			wantPrefill := uint64(threads * 10)
+			if res.PrefillStats.Ops != wantPrefill {
+				t.Fatalf("prefill ops = %d, want %d", res.PrefillStats.Ops, wantPrefill)
+			}
+		})
+	}
+}
+
+func TestRunDurationMode(t *testing.T) {
+	cfg := Config{
+		Algorithm: registry.LevelArray,
+		Workload:  workload.Spec{Threads: 4, EmulatedN: 40, PrefillPercent: 25},
+		Duration:  50 * time.Millisecond,
+		Seed:      7,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("duration mode completed no operations")
+	}
+	if res.Duration < cfg.Duration {
+		t.Fatalf("run finished after %v, configured duration %v", res.Duration, cfg.Duration)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("throughput not positive")
+	}
+}
+
+func TestRunWithCollects(t *testing.T) {
+	cfg := baseConfig(registry.LevelArray, 3)
+	cfg.CollectEvery = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// 3 threads × 10 rounds, collecting every 2nd round.
+	if res.Collects != 3*5 {
+		t.Fatalf("collects = %d, want 15", res.Collects)
+	}
+}
+
+func TestRunSingleThreadNoEmulation(t *testing.T) {
+	cfg := Config{
+		Algorithm:       registry.LevelArray,
+		Workload:        workload.Spec{Threads: 1},
+		RoundsPerThread: 100,
+		Seed:            3,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Ops != 200 {
+		t.Fatalf("ops = %d, want 200", res.Ops)
+	}
+	// A single uncontended thread on an empty array should almost always
+	// register on its first probe.
+	if res.Stats.Mean() > 1.5 {
+		t.Fatalf("uncontended mean probes %.3f, want close to 1", res.Stats.Mean())
+	}
+}
+
+func TestRunDeterministicIsMoreExpensive(t *testing.T) {
+	la, err := Run(baseConfig(registry.LevelArray, 2))
+	if err != nil {
+		t.Fatalf("LevelArray run: %v", err)
+	}
+	det, err := Run(baseConfig(registry.Deterministic, 2))
+	if err != nil {
+		t.Fatalf("Deterministic run: %v", err)
+	}
+	if det.Stats.Mean() <= la.Stats.Mean() {
+		t.Fatalf("deterministic mean %.2f not above LevelArray mean %.2f",
+			det.Stats.Mean(), la.Stats.Mean())
+	}
+}
+
+func TestRunPaperShapeAtModerateScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moderate-scale comparison skipped in short mode")
+	}
+	// A scaled-down Figure 2 point: LevelArray's worst case must stay small
+	// (the paper reports at most 6 probes) while Random's worst case is
+	// substantially larger.
+	mk := func(algo registry.Algorithm) Config {
+		return Config{
+			Algorithm:       algo,
+			Workload:        workload.Spec{Threads: 8, EmulatedN: 800, PrefillPercent: 50},
+			RoundsPerThread: 30,
+			Seed:            2024,
+		}
+	}
+	la, err := Run(mk(registry.LevelArray))
+	if err != nil {
+		t.Fatalf("LevelArray run: %v", err)
+	}
+	random, err := Run(mk(registry.Random))
+	if err != nil {
+		t.Fatalf("Random run: %v", err)
+	}
+	if la.Stats.Mean() >= 3 {
+		t.Fatalf("LevelArray mean %.2f probes, expected below 3", la.Stats.Mean())
+	}
+	if la.WorstCase() > 12 {
+		t.Fatalf("LevelArray worst case %d probes, expected at most 12", la.WorstCase())
+	}
+	if random.WorstCase() <= la.WorstCase() {
+		t.Fatalf("Random worst case %d not above LevelArray worst case %d",
+			random.WorstCase(), la.WorstCase())
+	}
+	if la.Stats.BackupOps != 0 {
+		t.Fatalf("LevelArray used the backup %d times at 50%% load", la.Stats.BackupOps)
+	}
+}

@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/workload"
+)
+
+// worker is the per-goroutine state of one benchmark thread. It owns one
+// handle per resident slot (registered during pre-fill and held until the end
+// of the run) and one handle per churn slot (registered and released every
+// round of the main loop).
+type worker struct {
+	id           int
+	array        activity.Array
+	plan         workload.Plan
+	collectEvery int
+
+	residentHandles []activity.Handle
+	churnHandles    []activity.Handle
+
+	collectBuf []int
+	collects   uint64
+	rounds     uint64
+}
+
+// newWorker allocates the handles for one thread.
+func newWorker(id int, arr activity.Array, plan workload.Plan, collectEvery int) *worker {
+	w := &worker{
+		id:           id,
+		array:        arr,
+		plan:         plan,
+		collectEvery: collectEvery,
+	}
+	w.residentHandles = make([]activity.Handle, plan.Resident)
+	for i := range w.residentHandles {
+		w.residentHandles[i] = arr.Handle()
+	}
+	w.churnHandles = make([]activity.Handle, plan.Churn)
+	for i := range w.churnHandles {
+		w.churnHandles[i] = arr.Handle()
+	}
+	w.collectBuf = make([]int, 0, arr.Size())
+	return w
+}
+
+// prefill registers every resident handle. The names stay held for the whole
+// run, keeping the array at the configured load.
+func (w *worker) prefill() error {
+	for i, h := range w.residentHandles {
+		if _, err := h.Get(); err != nil {
+			return fmt.Errorf("pre-fill registration %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// round performs one main-loop round: register every churn slot, optionally
+// collect, then release every churn slot. This is the paper's emulation of
+// N/n registrations per thread before deregistering.
+func (w *worker) round() error {
+	for i, h := range w.churnHandles {
+		if _, err := h.Get(); err != nil {
+			return fmt.Errorf("churn registration %d: %w", i, err)
+		}
+	}
+	w.rounds++
+	if w.collectEvery > 0 && w.rounds%uint64(w.collectEvery) == 0 {
+		w.collectBuf = w.array.Collect(w.collectBuf[:0])
+		w.collects++
+	}
+	for i, h := range w.churnHandles {
+		if err := h.Free(); err != nil {
+			return fmt.Errorf("churn release %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// runRounds executes a fixed number of rounds.
+func (w *worker) runRounds(rounds int) error {
+	for r := 0; r < rounds; r++ {
+		if err := w.round(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runUntil executes rounds until the stop flag is set.
+func (w *worker) runUntil(stop *atomic.Bool) error {
+	for !stop.Load() {
+		if err := w.round(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// churnStats merges the statistics of every churn handle.
+func (w *worker) churnStats() activity.ProbeStats {
+	var merged activity.ProbeStats
+	for _, h := range w.churnHandles {
+		merged.Merge(h.Stats())
+	}
+	return merged
+}
+
+// prefillStats merges the statistics of every resident handle.
+func (w *worker) prefillStats() activity.ProbeStats {
+	var merged activity.ProbeStats
+	for _, h := range w.residentHandles {
+		merged.Merge(h.Stats())
+	}
+	return merged
+}

@@ -1,0 +1,478 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/levelarray/levelarray/internal/registry"
+)
+
+func TestNewDomainValidation(t *testing.T) {
+	if _, err := NewDomain(Config{}); err == nil {
+		t.Fatal("zero MaxThreads accepted")
+	}
+	if _, err := NewDomain(Config{MaxThreads: -1}); err == nil {
+		t.Fatal("negative MaxThreads accepted")
+	}
+	d, err := NewDomain(Config{MaxThreads: 4})
+	if err != nil {
+		t.Fatalf("NewDomain: %v", err)
+	}
+	if d.Registry() == nil || d.Registry().Capacity() != 4 {
+		t.Fatalf("default registry wrong: %+v", d.Registry())
+	}
+}
+
+func TestMustNewDomainPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNewDomain(Config{})
+}
+
+func TestDomainWithCustomRegistry(t *testing.T) {
+	reg := registry.MustNew(registry.Random, registry.Options{Capacity: 8})
+	d := MustNewDomain(Config{MaxThreads: 8, Registry: reg})
+	if d.Registry() != reg {
+		t.Fatal("custom registry not used")
+	}
+	g := d.Guard()
+	if err := g.Enter(); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	if err := g.Exit(); err != nil {
+		t.Fatalf("Exit: %v", err)
+	}
+}
+
+func TestGuardDiscipline(t *testing.T) {
+	d := MustNewDomain(Config{MaxThreads: 2})
+	g := d.Guard()
+	if g.Active() {
+		t.Fatal("fresh guard active")
+	}
+	if err := g.Exit(); err != ErrGuardInactive {
+		t.Fatalf("Exit before Enter = %v, want ErrGuardInactive", err)
+	}
+	if err := g.Enter(); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	if !g.Active() {
+		t.Fatal("guard not active after Enter")
+	}
+	if err := g.Enter(); err != ErrGuardActive {
+		t.Fatalf("double Enter = %v, want ErrGuardActive", err)
+	}
+	if err := g.Exit(); err != nil {
+		t.Fatalf("Exit: %v", err)
+	}
+	if g.Active() {
+		t.Fatal("guard active after Exit")
+	}
+
+	ran := false
+	if err := g.Do(func() { ran = true }); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if !ran {
+		t.Fatal("Do did not run the function")
+	}
+	if g.Active() {
+		t.Fatal("guard left active by Do")
+	}
+}
+
+func TestAdvanceBlockedByActiveGuard(t *testing.T) {
+	d := MustNewDomain(Config{MaxThreads: 2})
+	g := d.Guard()
+	if err := g.Enter(); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	d.Retire("node")
+	if got := d.Advance(); got != 0 {
+		t.Fatalf("Advance reclaimed %d nodes while a guard from the current epoch is active "+
+			"and pending retirements exist in newer generations", got)
+	}
+	startEpoch := d.Epoch()
+	// The guard announced the current epoch, so the epoch may advance, but a
+	// node retired in the current epoch must survive at least two advances.
+	if err := g.Exit(); err != nil {
+		t.Fatalf("Exit: %v", err)
+	}
+	_ = startEpoch
+}
+
+func TestRetireReclaimGracePeriod(t *testing.T) {
+	var reclaimed []any
+	d := MustNewDomain(Config{MaxThreads: 2, OnReclaim: func(n any) { reclaimed = append(reclaimed, n) }})
+
+	d.Retire("a") // retired at epoch 0
+	if d.Retired() != 1 || d.Pending() != 1 {
+		t.Fatalf("accounting wrong: retired=%d pending=%d", d.Retired(), d.Pending())
+	}
+	// With no guards registered the epoch can advance freely, but "a" must
+	// only be reclaimed once its generation comes up again (two advances).
+	first := d.Advance()
+	if len(reclaimed) != 0 && first > 0 {
+		t.Fatalf("node reclaimed after a single advance: %v", reclaimed)
+	}
+	d.Advance()
+	d.Advance()
+	if len(reclaimed) != 1 || reclaimed[0] != "a" {
+		t.Fatalf("node not reclaimed after grace period: %v", reclaimed)
+	}
+	if d.Reclaimed() != 1 {
+		t.Fatalf("Reclaimed() = %d, want 1", d.Reclaimed())
+	}
+	if d.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", d.Pending())
+	}
+}
+
+func TestAdvanceBlockedByStaleGuard(t *testing.T) {
+	d := MustNewDomain(Config{MaxThreads: 4})
+	stale := d.Guard()
+	if err := stale.Enter(); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	// The stale guard announced epoch 0. Retire a node and let a fresh guard
+	// churn; the epoch must not advance past the stale announcement.
+	d.Retire("x")
+	if d.Advance() != 0 && d.Epoch() > 1 {
+		t.Fatal("epoch advanced past a stale guard announcement")
+	}
+	before := d.Epoch()
+	for i := 0; i < 5; i++ {
+		d.Advance()
+	}
+	if d.Epoch() > before+1 {
+		t.Fatalf("epoch advanced from %d to %d despite a guard stuck at epoch 0",
+			before, d.Epoch())
+	}
+	if err := stale.Exit(); err != nil {
+		t.Fatalf("Exit: %v", err)
+	}
+	if d.Drain() == 0 {
+		t.Fatal("nothing reclaimed after the stale guard exited")
+	}
+}
+
+func TestStackSequential(t *testing.T) {
+	d := MustNewDomain(Config{MaxThreads: 2})
+	s := NewStack(d)
+	a := s.Access()
+
+	if _, ok, err := a.Pop(); err != nil || ok {
+		t.Fatalf("Pop on empty = (%v, %v)", ok, err)
+	}
+	for i := int64(1); i <= 10; i++ {
+		if err := a.Push(i); err != nil {
+			t.Fatalf("Push(%d): %v", i, err)
+		}
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", s.Len())
+	}
+	for i := int64(10); i >= 1; i-- {
+		v, ok, err := a.Pop()
+		if err != nil || !ok {
+			t.Fatalf("Pop: (%v, %v)", ok, err)
+		}
+		if v != i {
+			t.Fatalf("Pop = %d, want %d (LIFO order)", v, i)
+		}
+	}
+	if d.Retired() != 10 {
+		t.Fatalf("Retired = %d, want 10", d.Retired())
+	}
+	if a.TraversedReclaimed != 0 {
+		t.Fatal("accessed a reclaimed node")
+	}
+}
+
+func TestQueueSequential(t *testing.T) {
+	d := MustNewDomain(Config{MaxThreads: 2})
+	q := NewQueue(d)
+	a := q.Access()
+
+	if _, ok, err := a.Dequeue(); err != nil || ok {
+		t.Fatalf("Dequeue on empty = (%v, %v)", ok, err)
+	}
+	for i := int64(1); i <= 10; i++ {
+		if err := a.Enqueue(i); err != nil {
+			t.Fatalf("Enqueue(%d): %v", i, err)
+		}
+	}
+	if q.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", q.Len())
+	}
+	for i := int64(1); i <= 10; i++ {
+		v, ok, err := a.Dequeue()
+		if err != nil || !ok {
+			t.Fatalf("Dequeue: (%v, %v)", ok, err)
+		}
+		if v != i {
+			t.Fatalf("Dequeue = %d, want %d (FIFO order)", v, i)
+		}
+	}
+	if a.TraversedReclaimed != 0 {
+		t.Fatal("accessed a reclaimed node")
+	}
+}
+
+// TestStackConcurrentWithReclamation runs producers, consumers and a
+// reclaimer concurrently and checks that (a) no value is lost or duplicated
+// and (b) no guarded operation ever touches a node whose grace period
+// expired.
+func TestStackConcurrentWithReclamation(t *testing.T) {
+	const (
+		workers   = 8
+		perWorker = 500
+	)
+	d := MustNewDomain(Config{
+		MaxThreads: workers,
+		OnReclaim: func(n any) {
+			n.(*stackNode).Reclaimed.Store(true)
+		},
+	})
+	s := NewStack(d)
+
+	var wg sync.WaitGroup
+	popped := make([][]int64, workers)
+	reclaimedAccess := make([]int, workers)
+	stop := make(chan struct{})
+
+	// Reclaimer: advance the epoch continuously while workers run.
+	var reclaimerWG sync.WaitGroup
+	reclaimerWG.Add(1)
+	go func() {
+		defer reclaimerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				d.Advance()
+			}
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := s.Access()
+			for i := 0; i < perWorker; i++ {
+				value := int64(w*perWorker + i)
+				if err := a.Push(value); err != nil {
+					t.Errorf("worker %d push: %v", w, err)
+					return
+				}
+				if v, ok, err := a.Pop(); err != nil || !ok {
+					t.Errorf("worker %d pop: (%v, %v)", w, ok, err)
+					return
+				} else {
+					popped[w] = append(popped[w], v)
+				}
+			}
+			reclaimedAccess[w] = a.TraversedReclaimed
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	reclaimerWG.Wait()
+
+	if t.Failed() {
+		return
+	}
+	// Every pushed value is popped exactly once (each worker pushes then
+	// pops, so globally the multiset of popped values equals the pushed one).
+	seen := make(map[int64]int)
+	total := 0
+	for _, vs := range popped {
+		for _, v := range vs {
+			seen[v]++
+			total++
+		}
+	}
+	if total != workers*perWorker {
+		t.Fatalf("popped %d values, want %d", total, workers*perWorker)
+	}
+	for v, count := range seen {
+		if count != 1 {
+			t.Fatalf("value %d popped %d times", v, count)
+		}
+	}
+	for w, count := range reclaimedAccess {
+		if count != 0 {
+			t.Fatalf("worker %d accessed %d reclaimed nodes", w, count)
+		}
+	}
+	// The stack is empty; once the epoch advances a few more times every
+	// retired node must be reclaimable.
+	if s.Len() != 0 {
+		t.Fatalf("stack length %d after balanced push/pop", s.Len())
+	}
+	d.Drain()
+	if d.Pending() != 0 {
+		t.Fatalf("pending retirements %d after drain", d.Pending())
+	}
+	if d.Reclaimed() != d.Retired() {
+		t.Fatalf("reclaimed %d of %d retired nodes", d.Reclaimed(), d.Retired())
+	}
+}
+
+// TestQueueConcurrentProducersConsumers checks the queue under a concurrent
+// producer/consumer workload with an active reclaimer.
+func TestQueueConcurrentProducersConsumers(t *testing.T) {
+	const (
+		producers   = 4
+		consumers   = 4
+		perProducer = 500
+	)
+	d := MustNewDomain(Config{
+		MaxThreads: producers + consumers,
+		OnReclaim: func(n any) {
+			n.(*queueNode).Reclaimed.Store(true)
+		},
+	})
+	q := NewQueue(d)
+
+	var produced, consumed sync.Map
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var reclaimerWG sync.WaitGroup
+	reclaimerWG.Add(1)
+	go func() {
+		defer reclaimerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				d.Advance()
+			}
+		}
+	}()
+
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := q.Access()
+			for i := 0; i < perProducer; i++ {
+				v := int64(p*perProducer + i)
+				if err := a.Enqueue(v); err != nil {
+					t.Errorf("producer %d: %v", p, err)
+					return
+				}
+				produced.Store(v, true)
+			}
+		}()
+	}
+
+	var consumedCount sync.WaitGroup
+	consumedCount.Add(producers * perProducer)
+	for c := 0; c < consumers; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := q.Access()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v, ok, err := a.Dequeue()
+				if err != nil {
+					t.Errorf("consumer %d: %v", c, err)
+					return
+				}
+				if !ok {
+					continue
+				}
+				if _, dup := consumed.LoadOrStore(v, true); dup {
+					t.Errorf("value %d consumed twice", v)
+					return
+				}
+				consumedCount.Done()
+			}
+		}()
+	}
+
+	// Wait until every produced value has been consumed, then stop.
+	done := make(chan struct{})
+	go func() {
+		consumedCount.Wait()
+		close(done)
+	}()
+	<-done
+	close(stop)
+	wg.Wait()
+	reclaimerWG.Wait()
+
+	if t.Failed() {
+		return
+	}
+	missing := 0
+	produced.Range(func(key, _ any) bool {
+		if _, ok := consumed.Load(key); !ok {
+			missing++
+		}
+		return true
+	})
+	if missing != 0 {
+		t.Fatalf("%d produced values never consumed", missing)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue length %d after draining", q.Len())
+	}
+}
+
+// TestReclamationActuallyHappensUnderChurn verifies the reclaimer makes
+// progress (nodes are freed during the run, not only at the end), which is
+// the whole point of registering operations cheaply.
+func TestReclamationActuallyHappensUnderChurn(t *testing.T) {
+	const workers = 4
+	d := MustNewDomain(Config{MaxThreads: workers})
+	s := NewStack(d)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := s.Access()
+			for i := 0; i < 2000; i++ {
+				if err := a.Push(int64(i)); err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
+				if _, _, err := a.Pop(); err != nil {
+					t.Errorf("pop: %v", err)
+					return
+				}
+				if i%64 == 0 {
+					d.Advance()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if d.Reclaimed() == 0 {
+		t.Fatal("no nodes reclaimed during the run")
+	}
+	d.Drain()
+	if d.Reclaimed() != d.Retired() {
+		t.Fatalf("reclaimed %d of %d retired", d.Reclaimed(), d.Retired())
+	}
+}

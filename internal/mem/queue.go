@@ -1,0 +1,123 @@
+package mem
+
+import (
+	"sync/atomic"
+
+	"github.com/levelarray/levelarray/internal/activity"
+)
+
+// Queue is a Michael–Scott lock-free FIFO queue whose dequeued nodes are
+// retired through a reclamation Domain. Together with Stack it provides the
+// second lock-free client used by the examples and benchmarks.
+type Queue struct {
+	domain *Domain
+	head   atomic.Pointer[queueNode]
+	tail   atomic.Pointer[queueNode]
+	length atomic.Int64
+}
+
+// queueNode is one queue cell; the first node is a dummy, as in the original
+// algorithm.
+type queueNode struct {
+	value int64
+	next  atomic.Pointer[queueNode]
+
+	// Reclaimed is set by the reclamation callback in tests to detect
+	// use-after-reclaim.
+	Reclaimed atomic.Bool
+}
+
+// NewQueue builds a queue whose retired nodes go to domain.
+func NewQueue(domain *Domain) *Queue {
+	q := &Queue{domain: domain}
+	dummy := &queueNode{}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// Len returns the current number of elements (approximate under concurrency).
+func (q *Queue) Len() int { return int(q.length.Load()) }
+
+// QueueAccess is the per-thread accessor for a Queue. It is not safe for
+// concurrent use; each goroutine owns one accessor.
+type QueueAccess struct {
+	queue *Queue
+	guard *Guard
+
+	// TraversedReclaimed counts nodes observed with the Reclaimed flag set
+	// while under guard; it must stay zero if reclamation is safe.
+	TraversedReclaimed int
+}
+
+// Access returns a new per-thread accessor.
+func (q *Queue) Access() *QueueAccess {
+	return &QueueAccess{queue: q, guard: q.domain.Guard()}
+}
+
+// RegistrationStats returns the probe statistics of the accessor's
+// reclamation guard.
+func (a *QueueAccess) RegistrationStats() activity.ProbeStats {
+	return a.guard.RegistrationStats()
+}
+
+// Enqueue appends value at the tail.
+func (a *QueueAccess) Enqueue(value int64) error {
+	if err := a.guard.Enter(); err != nil {
+		return err
+	}
+	defer func() { _ = a.guard.Exit() }()
+
+	node := &queueNode{value: value}
+	for {
+		tail := a.queue.tail.Load()
+		if tail.Reclaimed.Load() {
+			a.TraversedReclaimed++
+		}
+		next := tail.next.Load()
+		if next != nil {
+			// The tail pointer is lagging; help advance it.
+			a.queue.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, node) {
+			a.queue.tail.CompareAndSwap(tail, node)
+			a.queue.length.Add(1)
+			return nil
+		}
+	}
+}
+
+// Dequeue removes and returns the value at the head. The second return value
+// is false if the queue was observed empty.
+func (a *QueueAccess) Dequeue() (int64, bool, error) {
+	if err := a.guard.Enter(); err != nil {
+		return 0, false, err
+	}
+	defer func() { _ = a.guard.Exit() }()
+
+	for {
+		head := a.queue.head.Load()
+		tail := a.queue.tail.Load()
+		next := head.next.Load()
+		if head.Reclaimed.Load() {
+			a.TraversedReclaimed++
+		}
+		if next == nil {
+			return 0, false, nil
+		}
+		if head == tail {
+			// Tail is lagging behind an in-progress enqueue; help it.
+			a.queue.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		value := next.value
+		if a.queue.head.CompareAndSwap(head, next) {
+			a.queue.length.Add(-1)
+			// The old dummy node is unlinked; retire it. The new head (next)
+			// becomes the dummy and keeps its value slot unused.
+			a.queue.domain.Retire(head)
+			return value, true, nil
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package mem
+
+import (
+	"sync/atomic"
+
+	"github.com/levelarray/levelarray/internal/activity"
+)
+
+// Stack is a Treiber stack (lock-free LIFO) whose popped nodes are retired
+// through a reclamation Domain instead of being dropped, reproducing the
+// lock-free-data-structure client the paper's introduction describes.
+//
+// Values are int64 to keep the data structure allocation-free apart from the
+// nodes themselves; the point of the type is to exercise the guard and
+// retire paths, not to be a general-purpose container.
+type Stack struct {
+	domain *Domain
+	top    atomic.Pointer[stackNode]
+	length atomic.Int64
+}
+
+// stackNode is one stack cell. The reclaimed flag is set by the domain's
+// reclamation callback in tests to detect use-after-reclaim.
+type stackNode struct {
+	value int64
+	next  *stackNode
+
+	// Reclaimed is set (by the test harness through Domain.OnReclaim) when
+	// the node's grace period has expired. Operations assert it is unset for
+	// any node they traverse while guarded.
+	Reclaimed atomic.Bool
+}
+
+// NewStack builds a stack whose retired nodes go to domain.
+func NewStack(domain *Domain) *Stack {
+	return &Stack{domain: domain}
+}
+
+// StackAccess is the per-thread accessor for a Stack: it bundles the thread's
+// reclamation guard with the stack operations. It is not safe for concurrent
+// use; each goroutine owns one accessor.
+type StackAccess struct {
+	stack *Stack
+	guard *Guard
+
+	// TraversedReclaimed counts nodes observed with the Reclaimed flag set
+	// while under guard; it must stay zero if reclamation is safe.
+	TraversedReclaimed int
+}
+
+// Access returns a new per-thread accessor.
+func (s *Stack) Access() *StackAccess {
+	return &StackAccess{stack: s, guard: s.domain.Guard()}
+}
+
+// RegistrationStats returns the probe statistics of the accessor's
+// reclamation guard: what this thread paid, in test-and-set trials, to
+// register its stack operations.
+func (a *StackAccess) RegistrationStats() activity.ProbeStats {
+	return a.guard.RegistrationStats()
+}
+
+// Len returns the current number of elements (approximate under concurrency).
+func (s *Stack) Len() int { return int(s.length.Load()) }
+
+// Push adds value to the top of the stack.
+func (a *StackAccess) Push(value int64) error {
+	if err := a.guard.Enter(); err != nil {
+		return err
+	}
+	defer func() { _ = a.guard.Exit() }()
+
+	node := &stackNode{value: value}
+	for {
+		top := a.stack.top.Load()
+		node.next = top
+		if top != nil && top.Reclaimed.Load() {
+			a.TraversedReclaimed++
+		}
+		if a.stack.top.CompareAndSwap(top, node) {
+			a.stack.length.Add(1)
+			return nil
+		}
+	}
+}
+
+// Pop removes and returns the top value. The second return value is false if
+// the stack was observed empty.
+func (a *StackAccess) Pop() (int64, bool, error) {
+	if err := a.guard.Enter(); err != nil {
+		return 0, false, err
+	}
+	defer func() { _ = a.guard.Exit() }()
+
+	for {
+		top := a.stack.top.Load()
+		if top == nil {
+			return 0, false, nil
+		}
+		if top.Reclaimed.Load() {
+			a.TraversedReclaimed++
+		}
+		next := top.next
+		if a.stack.top.CompareAndSwap(top, next) {
+			a.stack.length.Add(-1)
+			value := top.value
+			// The node is now unlinked; hand it to the domain. It must not
+			// be reused until every operation that might still hold a
+			// reference has exited its guard.
+			a.stack.domain.Retire(top)
+			return value, true, nil
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package registry maps algorithm names to activity.Array constructors. The
+// benchmark harness, the cmd/ drivers and the examples use it so that every
+// experiment can be run against any of the four algorithms (LevelArray,
+// Random, LinearProbing, Deterministic) by name, exactly as the paper's
+// figures compare them.
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/baselines"
+	"github.com/levelarray/levelarray/internal/core"
+	"github.com/levelarray/levelarray/internal/rng"
+)
+
+// Algorithm identifies one of the registration algorithms under evaluation.
+type Algorithm int
+
+// The four algorithms compared in the paper's evaluation section.
+const (
+	LevelArray Algorithm = iota + 1
+	Random
+	LinearProbing
+	Deterministic
+)
+
+// String returns the display name used in figures and tables.
+func (a Algorithm) String() string {
+	switch a {
+	case LevelArray:
+		return "LevelArray"
+	case Random:
+		return "Random"
+	case LinearProbing:
+		return "LinearProbing"
+	case Deterministic:
+		return "Deterministic"
+	default:
+		return "unknown"
+	}
+}
+
+// All returns every algorithm, in the order the paper's figures list them.
+func All() []Algorithm {
+	return []Algorithm{LevelArray, Random, LinearProbing, Deterministic}
+}
+
+// Randomized returns the three algorithms shown in Figure 2 (the
+// deterministic scan is omitted there because it is off-scale).
+func Randomized() []Algorithm {
+	return []Algorithm{LevelArray, Random, LinearProbing}
+}
+
+// Parse maps a (case-sensitive) name or short alias to an Algorithm.
+func Parse(name string) (Algorithm, error) {
+	switch name {
+	case "LevelArray", "levelarray", "level", "la":
+		return LevelArray, nil
+	case "Random", "random", "rand":
+		return Random, nil
+	case "LinearProbing", "linearprobing", "linear", "lp":
+		return LinearProbing, nil
+	case "Deterministic", "deterministic", "det":
+		return Deterministic, nil
+	default:
+		return 0, fmt.Errorf("registry: unknown algorithm %q (known: %s)", name, KnownNames())
+	}
+}
+
+// KnownNames returns a comma-separated list of canonical algorithm names.
+func KnownNames() string {
+	names := make([]string, 0, len(All()))
+	for _, a := range All() {
+		names = append(names, a.String())
+	}
+	sort.Strings(names)
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+// Options carries the construction parameters shared by all algorithms.
+type Options struct {
+	// Capacity is n, the maximum number of simultaneously held names.
+	Capacity int
+	// SizeFactor scales comparator arrays (L = SizeFactor·Capacity). The
+	// LevelArray translates it into its ε parameter (SizeFactor = 1+ε), so a
+	// factor of 2 yields the paper's standard 2n main array. Zero selects 2.
+	SizeFactor float64
+	// ProbesPerBatch sets the LevelArray's per-batch trial count c. Zero
+	// selects the implementation default of 1. Ignored by the comparators.
+	ProbesPerBatch int
+	// RNG selects the generator family. Zero selects Marsaglia xorshift.
+	RNG rng.Kind
+	// Seed is the base seed for per-handle generators.
+	Seed uint64
+	// CompactSlots selects the unpadded slot layout.
+	CompactSlots bool
+}
+
+// New constructs an activity array implementing the chosen algorithm.
+func New(algo Algorithm, opts Options) (activity.Array, error) {
+	sizeFactor := opts.SizeFactor
+	if sizeFactor == 0 {
+		sizeFactor = 2
+	}
+	switch algo {
+	case LevelArray:
+		epsilon := sizeFactor - 1
+		if epsilon <= 0 {
+			return nil, fmt.Errorf("registry: LevelArray requires a size factor above 1, got %v", sizeFactor)
+		}
+		return core.New(core.Config{
+			Capacity:       opts.Capacity,
+			Epsilon:        epsilon,
+			ProbesPerBatch: opts.ProbesPerBatch,
+			RNG:            opts.RNG,
+			Seed:           opts.Seed,
+			CompactSlots:   opts.CompactSlots,
+		})
+	case Random, LinearProbing, Deterministic:
+		var kind baselines.Kind
+		switch algo {
+		case Random:
+			kind = baselines.KindRandom
+		case LinearProbing:
+			kind = baselines.KindLinearProbing
+		default:
+			kind = baselines.KindDeterministic
+		}
+		return baselines.New(kind, baselines.Config{
+			Capacity:     opts.Capacity,
+			SizeFactor:   sizeFactor,
+			RNG:          opts.RNG,
+			Seed:         opts.Seed,
+			CompactSlots: opts.CompactSlots,
+		})
+	default:
+		return nil, fmt.Errorf("registry: unknown algorithm %d", int(algo))
+	}
+}
+
+// MustNew is New but panics on error; for tests and examples.
+func MustNew(algo Algorithm, opts Options) activity.Array {
+	arr, err := New(algo, opts)
+	if err != nil {
+		panic(err)
+	}
+	return arr
+}

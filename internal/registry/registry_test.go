@@ -1,0 +1,160 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/arraytest"
+	"github.com/levelarray/levelarray/internal/baselines"
+	"github.com/levelarray/levelarray/internal/core"
+)
+
+func TestConformanceAllAlgorithms(t *testing.T) {
+	for _, algo := range All() {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			arraytest.Run(t, func(capacity int) activity.Array {
+				return MustNew(algo, Options{Capacity: capacity, Seed: 99})
+			})
+		})
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := map[string]Algorithm{
+		"LevelArray":    LevelArray,
+		"levelarray":    LevelArray,
+		"la":            LevelArray,
+		"level":         LevelArray,
+		"Random":        Random,
+		"random":        Random,
+		"rand":          Random,
+		"LinearProbing": LinearProbing,
+		"linear":        LinearProbing,
+		"lp":            LinearProbing,
+		"Deterministic": Deterministic,
+		"det":           Deterministic,
+	}
+	for name, want := range cases {
+		got, err := Parse(name)
+		if err != nil || got != want {
+			t.Errorf("Parse(%q) = (%v, %v), want %v", name, got, err, want)
+		}
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Fatal("Parse(bogus) did not error")
+	} else if !strings.Contains(err.Error(), "LevelArray") {
+		t.Fatalf("error %q does not list known names", err)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, algo := range All() {
+		parsed, err := Parse(algo.String())
+		if err != nil || parsed != algo {
+			t.Errorf("Parse(%q) = (%v, %v), want %v", algo.String(), parsed, err, algo)
+		}
+	}
+	if Algorithm(0).String() != "unknown" || Algorithm(99).String() != "unknown" {
+		t.Fatal("out-of-range algorithms should stringify as unknown")
+	}
+}
+
+func TestAllAndRandomized(t *testing.T) {
+	if len(All()) != 4 {
+		t.Fatalf("All() has %d entries, want 4", len(All()))
+	}
+	randomized := Randomized()
+	if len(randomized) != 3 {
+		t.Fatalf("Randomized() has %d entries, want 3", len(randomized))
+	}
+	for _, a := range randomized {
+		if a == Deterministic {
+			t.Fatal("Randomized() includes Deterministic")
+		}
+	}
+}
+
+func TestNewConcreteTypes(t *testing.T) {
+	la := MustNew(LevelArray, Options{Capacity: 16})
+	if _, ok := la.(*core.LevelArray); !ok {
+		t.Fatalf("LevelArray constructor returned %T", la)
+	}
+	for algo, wantKind := range map[Algorithm]baselines.Kind{
+		Random:        baselines.KindRandom,
+		LinearProbing: baselines.KindLinearProbing,
+		Deterministic: baselines.KindDeterministic,
+	} {
+		arr := MustNew(algo, Options{Capacity: 16})
+		b, ok := arr.(*baselines.Array)
+		if !ok {
+			t.Fatalf("%v constructor returned %T", algo, arr)
+		}
+		if b.Kind() != wantKind {
+			t.Fatalf("%v constructor returned kind %v", algo, b.Kind())
+		}
+	}
+}
+
+func TestSizeFactorMapping(t *testing.T) {
+	// SizeFactor 2 must give all algorithms roughly 2n slots (the LevelArray
+	// additionally keeps its n-slot backup).
+	const n = 64
+	for _, algo := range All() {
+		arr := MustNew(algo, Options{Capacity: n, SizeFactor: 2})
+		switch algo {
+		case LevelArray:
+			if arr.Size() < 2*n || arr.Size() > 3*n {
+				t.Errorf("LevelArray size %d outside [2n, 3n]", arr.Size())
+			}
+		default:
+			if arr.Size() != 2*n {
+				t.Errorf("%v size %d, want %d", algo, arr.Size(), 2*n)
+			}
+		}
+	}
+	// SizeFactor 4 (the paper's largest sweep point).
+	big := MustNew(Random, Options{Capacity: n, SizeFactor: 4})
+	if big.Size() != 4*n {
+		t.Fatalf("Random with factor 4: size %d, want %d", big.Size(), 4*n)
+	}
+	bigLA := MustNew(LevelArray, Options{Capacity: n, SizeFactor: 4})
+	if bigLA.Size() <= MustNew(LevelArray, Options{Capacity: n, SizeFactor: 2}).Size() {
+		t.Fatal("LevelArray did not grow with the size factor")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(Algorithm(42), Options{Capacity: 4}); err == nil {
+		t.Fatal("unknown algorithm did not error")
+	}
+	if _, err := New(LevelArray, Options{Capacity: 0}); err == nil {
+		t.Fatal("zero capacity did not error")
+	}
+	if _, err := New(Random, Options{Capacity: -1}); err == nil {
+		t.Fatal("negative capacity did not error")
+	}
+	// SizeFactor 1 makes the LevelArray epsilon zero, which is rejected.
+	if _, err := New(LevelArray, Options{Capacity: 8, SizeFactor: 1}); err == nil {
+		t.Fatal("size factor 1 for LevelArray did not error")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(LevelArray, Options{Capacity: 0})
+}
+
+func TestKnownNames(t *testing.T) {
+	names := KnownNames()
+	for _, want := range []string{"LevelArray", "Random", "LinearProbing", "Deterministic"} {
+		if !strings.Contains(names, want) {
+			t.Errorf("KnownNames() = %q missing %q", names, want)
+		}
+	}
+}

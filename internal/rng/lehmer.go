@@ -1,0 +1,55 @@
+package rng
+
+// Lehmer is the Park-Miller "minimal standard" multiplicative linear
+// congruential generator (MINSTD): x_{k+1} = 16807 * x_k mod (2^31 - 1).
+// The paper's implementation section lists it as the second generator used in
+// the benchmarks. State is a value in [1, 2^31-2].
+type Lehmer struct {
+	state uint64
+}
+
+var _ Source = (*Lehmer)(nil)
+
+const (
+	lehmerModulus    = 1<<31 - 1 // 2147483647, a Mersenne prime
+	lehmerMultiplier = 16807     // 7^5, the original Park-Miller multiplier
+)
+
+// NewLehmer returns a Park-Miller MINSTD generator seeded with seed.
+func NewLehmer(seed uint64) *Lehmer {
+	l := &Lehmer{}
+	l.Seed(seed)
+	return l
+}
+
+// Seed re-seeds the generator. The seed is reduced into the valid state range
+// [1, modulus-1]; zero (which would make the sequence degenerate) is remapped.
+func (l *Lehmer) Seed(seed uint64) {
+	s := seed % lehmerModulus
+	if s == 0 {
+		s = 1
+	}
+	l.state = s
+}
+
+// next advances the recurrence once and returns a value in [1, modulus-1],
+// i.e. slightly fewer than 31 random bits.
+func (l *Lehmer) next() uint64 {
+	l.state = l.state * lehmerMultiplier % lehmerModulus
+	return l.state
+}
+
+// Uint64 assembles 64 output bits from three successive 31-bit draws. The
+// small bias introduced by the state never being zero is irrelevant for the
+// probe-choice workloads this generator feeds.
+func (l *Lehmer) Uint64() uint64 {
+	a := l.next()
+	b := l.next()
+	c := l.next()
+	return a<<33 ^ b<<11 ^ c
+}
+
+// Intn returns a uniformly distributed integer in [0, n).
+func (l *Lehmer) Intn(n int) int {
+	return intn(l.Uint64, n)
+}

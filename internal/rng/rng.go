@@ -1,0 +1,66 @@
+// Package rng provides the pseudo-random number generators used by the
+// LevelArray reproduction.
+//
+// The paper's implementation section reports using the Marsaglia (xorshift)
+// and Park-Miller (Lehmer / MINSTD) generators interchangeably and finding no
+// difference in the results. Both are implemented here, together with a
+// SplitMix64 generator that is used exclusively to derive well-separated
+// per-thread seeds from a single benchmark seed.
+//
+// All generators in this package are deterministic, seedable, and NOT safe for
+// concurrent use; callers own one generator per goroutine or per simulated
+// process. This mirrors the paper's model in which every process has a local
+// random number generator accessible through random(1, v).
+package rng
+
+import "fmt"
+
+// Source is the minimal interface shared by all generators in this package.
+// It intentionally mirrors the shape of math/rand.Source64 so generators can
+// be adapted where needed, but adds Intn and Range helpers that correspond to
+// the paper's random(1, v) primitive.
+type Source interface {
+	// Uint64 returns the next 64 bits from the generator.
+	Uint64() uint64
+
+	// Intn returns a uniformly distributed integer in [0, n). It panics if
+	// n <= 0.
+	Intn(n int) int
+
+	// Seed re-seeds the generator. A zero seed is remapped internally by
+	// generators that cannot accept it.
+	Seed(seed uint64)
+}
+
+// Range returns a uniformly distributed integer in [lo, hi] drawn from src.
+// It corresponds to the paper's random(lo, hi) call. It panics if hi < lo.
+func Range(src Source, lo, hi int) int {
+	if hi < lo {
+		panic(fmt.Sprintf("rng: invalid range [%d, %d]", lo, hi))
+	}
+	return lo + src.Intn(hi-lo+1)
+}
+
+// intn implements a bias-free bounded draw on top of a Uint64 stream using
+// rejection sampling.
+func intn(next func() uint64, n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("rng: Intn called with non-positive bound %d", n))
+	}
+	bound := uint64(n)
+	// Fast path for powers of two: mask directly.
+	if bound&(bound-1) == 0 {
+		return int(next() & (bound - 1))
+	}
+	// Accept draws in [0, k*bound) where k = floor(2^64 / bound); everything
+	// above is rejected so every residue is equally likely. The rejection
+	// probability is below bound/2^64, i.e. negligible for the bounds used
+	// here (array sizes of at most a few million).
+	maxAccept := ^uint64(0) - (^uint64(0)%bound+1)%bound
+	for {
+		v := next()
+		if v <= maxAccept {
+			return int(v % bound)
+		}
+	}
+}

@@ -1,0 +1,335 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func allKinds() []Kind {
+	return []Kind{KindXorshift, KindXorshift32, KindLehmer, KindSplitMix}
+}
+
+func TestIntnRange(t *testing.T) {
+	for _, kind := range allKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			src := New(kind, 12345)
+			for _, bound := range []int{1, 2, 3, 7, 16, 100, 1023, 1024, 1 << 20} {
+				for i := 0; i < 1000; i++ {
+					v := src.Intn(bound)
+					if v < 0 || v >= bound {
+						t.Fatalf("Intn(%d) = %d out of range", bound, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	src := NewXorshift(1)
+	for _, bound := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", bound)
+				}
+			}()
+			src.Intn(bound)
+		}()
+	}
+}
+
+func TestRange(t *testing.T) {
+	src := NewLehmer(99)
+	for i := 0; i < 1000; i++ {
+		v := Range(src, 5, 10)
+		if v < 5 || v > 10 {
+			t.Fatalf("Range(5,10) = %d out of range", v)
+		}
+	}
+	// Degenerate single-value range.
+	if v := Range(src, 3, 3); v != 3 {
+		t.Fatalf("Range(3,3) = %d, want 3", v)
+	}
+}
+
+func TestRangePanicsOnInvertedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Range(10,5) did not panic")
+		}
+	}()
+	Range(NewXorshift(1), 10, 5)
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, kind := range allKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			a := New(kind, 42)
+			b := New(kind, 42)
+			for i := 0; i < 1000; i++ {
+				if av, bv := a.Uint64(), b.Uint64(); av != bv {
+					t.Fatalf("step %d: same seed diverged: %d vs %d", i, av, bv)
+				}
+			}
+		})
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	for _, kind := range allKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			a := New(kind, 1)
+			b := New(kind, 2)
+			same := 0
+			const draws = 64
+			for i := 0; i < draws; i++ {
+				if a.Uint64() == b.Uint64() {
+					same++
+				}
+			}
+			if same == draws {
+				t.Fatal("different seeds produced identical streams")
+			}
+		})
+	}
+}
+
+func TestZeroSeedIsValid(t *testing.T) {
+	for _, kind := range allKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			src := New(kind, 0)
+			var nonZero bool
+			for i := 0; i < 16; i++ {
+				if src.Uint64() != 0 {
+					nonZero = true
+				}
+			}
+			if !nonZero {
+				t.Fatal("zero seed produced an all-zero stream")
+			}
+		})
+	}
+}
+
+func TestReseedRestartsStream(t *testing.T) {
+	for _, kind := range allKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			src := New(kind, 7)
+			first := make([]uint64, 32)
+			for i := range first {
+				first[i] = src.Uint64()
+			}
+			src.Seed(7)
+			for i := range first {
+				if got := src.Uint64(); got != first[i] {
+					t.Fatalf("step %d after reseed: got %d want %d", i, got, first[i])
+				}
+			}
+		})
+	}
+}
+
+// TestUniformity applies a coarse chi-squared check over a small number of
+// buckets. The threshold is deliberately loose: this is a smoke test that the
+// generators are not grossly skewed, not a statistical test suite.
+func TestUniformity(t *testing.T) {
+	const (
+		buckets = 16
+		draws   = 160000
+	)
+	for _, kind := range allKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			src := New(kind, 2024)
+			counts := make([]int, buckets)
+			for i := 0; i < draws; i++ {
+				counts[src.Intn(buckets)]++
+			}
+			expected := float64(draws) / buckets
+			var chi2 float64
+			for _, c := range counts {
+				d := float64(c) - expected
+				chi2 += d * d / expected
+			}
+			// 15 degrees of freedom; 99.99-th percentile is ~44.3. Use 60 to
+			// keep the test robust across seeds.
+			if chi2 > 60 {
+				t.Fatalf("chi-squared %.2f too large; counts=%v", chi2, counts)
+			}
+		})
+	}
+}
+
+func TestLehmerStateStaysInRange(t *testing.T) {
+	l := NewLehmer(123456789)
+	for i := 0; i < 100000; i++ {
+		v := l.next()
+		if v == 0 || v >= lehmerModulus {
+			t.Fatalf("Lehmer state %d escaped [1, m-1] at step %d", v, i)
+		}
+	}
+}
+
+func TestLehmerKnownSequence(t *testing.T) {
+	// The MINSTD sequence from seed 1 is a classic reference vector:
+	// 16807, 282475249, 1622650073, ...
+	l := NewLehmer(1)
+	want := []uint64{16807, 282475249, 1622650073, 984943658, 1144108930}
+	for i, w := range want {
+		if got := l.next(); got != w {
+			t.Fatalf("step %d: got %d want %d", i, got, w)
+		}
+	}
+}
+
+func TestSeedStream(t *testing.T) {
+	seeds := SeedStream(7, 100)
+	if len(seeds) != 100 {
+		t.Fatalf("len = %d, want 100", len(seeds))
+	}
+	seen := make(map[uint64]bool, len(seeds))
+	for _, s := range seeds {
+		if seen[s] {
+			t.Fatalf("duplicate seed %d in stream", s)
+		}
+		seen[s] = true
+	}
+	again := SeedStream(7, 100)
+	for i := range seeds {
+		if seeds[i] != again[i] {
+			t.Fatal("SeedStream is not deterministic")
+		}
+	}
+	other := SeedStream(8, 100)
+	same := 0
+	for i := range seeds {
+		if seeds[i] == other[i] {
+			same++
+		}
+	}
+	if same == len(seeds) {
+		t.Fatal("SeedStream ignores the base seed")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	cases := []struct {
+		name string
+		want Kind
+		ok   bool
+	}{
+		{"xorshift", KindXorshift, true},
+		{"marsaglia", KindXorshift, true},
+		{"xorshift64", KindXorshift, true},
+		{"xorshift32", KindXorshift32, true},
+		{"lehmer", KindLehmer, true},
+		{"parkmiller", KindLehmer, true},
+		{"minstd", KindLehmer, true},
+		{"splitmix", KindSplitMix, true},
+		{"splitmix64", KindSplitMix, true},
+		{"mersenne", KindXorshift, false},
+		{"", KindXorshift, false},
+	}
+	for _, c := range cases {
+		got, ok := ParseKind(c.name)
+		if got != c.want || ok != c.ok {
+			t.Errorf("ParseKind(%q) = (%v, %v), want (%v, %v)", c.name, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindXorshift:   "xorshift64",
+		KindXorshift32: "xorshift32",
+		KindLehmer:     "lehmer",
+		KindSplitMix:   "splitmix64",
+		Kind(0):        "unknown",
+		Kind(99):       "unknown",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+// Property: Intn output is always within bounds for arbitrary seeds and
+// bounds, for every generator family.
+func TestQuickIntnBounds(t *testing.T) {
+	for _, kind := range allKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			prop := func(seed uint64, boundRaw uint16) bool {
+				bound := int(boundRaw%4096) + 1
+				src := New(kind, seed)
+				for i := 0; i < 32; i++ {
+					v := src.Intn(bound)
+					if v < 0 || v >= bound {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property: the empirical mean of Intn(n) over many draws is near (n-1)/2.
+func TestMeanOfIntn(t *testing.T) {
+	const bound = 1000
+	const draws = 200000
+	for _, kind := range allKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			src := New(kind, 31337)
+			var sum float64
+			for i := 0; i < draws; i++ {
+				sum += float64(src.Intn(bound))
+			}
+			mean := sum / draws
+			want := float64(bound-1) / 2
+			if math.Abs(mean-want) > 5 {
+				t.Fatalf("mean %.2f too far from %.2f", mean, want)
+			}
+		})
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	for _, kind := range allKinds() {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			src := New(kind, 1)
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				sink ^= src.Uint64()
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	for _, kind := range allKinds() {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			src := New(kind, 1)
+			var sink int
+			for i := 0; i < b.N; i++ {
+				sink ^= src.Intn(1500)
+			}
+			_ = sink
+		})
+	}
+}

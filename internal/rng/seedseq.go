@@ -1,0 +1,24 @@
+package rng
+
+import "sync"
+
+// SeedSequence hands out decorrelated seeds derived from a single base seed.
+// Array implementations use one sequence per array so that every handle gets
+// an independent generator stream even when handles are created concurrently;
+// the sequence is therefore safe for concurrent use.
+type SeedSequence struct {
+	mu  sync.Mutex
+	src *SplitMix64
+}
+
+// NewSeedSequence returns a seed sequence rooted at base.
+func NewSeedSequence(base uint64) *SeedSequence {
+	return &SeedSequence{src: NewSplitMix64(base)}
+}
+
+// Next returns the next seed in the sequence.
+func (s *SeedSequence) Next() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Uint64()
+}

@@ -1,0 +1,388 @@
+// Package sched is a deterministic, step-level execution simulator for the
+// LevelArray under the paper's asynchronous shared-memory model with an
+// oblivious adversary (Section 2).
+//
+// In this model an execution is fully described by (a) each process's input —
+// a well-formed sequence of Get, Free, Collect and Call operations — and (b)
+// a schedule: a string of process identifiers where the i-th identifier names
+// the process that takes the i-th shared-memory step. Both are fixed before
+// the execution starts, i.e. they cannot depend on random choices, which is
+// exactly the oblivious-adversary assumption the analysis needs.
+//
+// The simulator executes one shared-memory operation (test-and-set, reset, or
+// read) per scheduled step, so properties the proofs reason about — the batch
+// reached by each Get, per-step array balance, linearization order — can be
+// measured directly and checked against the theory (Section 5). The
+// goroutine-based harness (internal/harness) complements it with wall-clock
+// experiments; this package is single-goroutine by design so that the Go
+// runtime scheduler cannot perturb the adversarial schedule.
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/balance"
+	"github.com/levelarray/levelarray/internal/rng"
+	"github.com/levelarray/levelarray/internal/spec"
+	"github.com/levelarray/levelarray/internal/tas"
+)
+
+// OpKind identifies one operation in a process's input.
+type OpKind int
+
+// The four operation kinds of the model: Get/Free (registration), Collect
+// (query) and Call (a step of arbitrary unrelated computation, used by the
+// adversary to pad and misalign operations).
+const (
+	OpGet OpKind = iota + 1
+	OpFree
+	OpCollect
+	OpCall
+)
+
+// String returns the operation kind's name.
+func (k OpKind) String() string {
+	switch k {
+	case OpGet:
+		return "Get"
+	case OpFree:
+		return "Free"
+	case OpCollect:
+		return "Collect"
+	case OpCall:
+		return "Call"
+	default:
+		return "unknown"
+	}
+}
+
+// Op is one operation in a process input.
+type Op struct {
+	Kind OpKind
+}
+
+// Input is the well-formed operation sequence handed to one process.
+type Input []Op
+
+// Validate checks the well-formedness requirement from Section 2: Get and
+// Free alternate starting with Get; Collect and Call may appear anywhere.
+func (in Input) Validate() error {
+	holding := false
+	for i, op := range in {
+		switch op.Kind {
+		case OpGet:
+			if holding {
+				return fmt.Errorf("sched: input op %d is Get while already holding a name", i)
+			}
+			holding = true
+		case OpFree:
+			if !holding {
+				return fmt.Errorf("sched: input op %d is Free without a preceding Get", i)
+			}
+			holding = false
+		case OpCollect, OpCall:
+		default:
+			return fmt.Errorf("sched: input op %d has unknown kind %d", i, int(op.Kind))
+		}
+	}
+	return nil
+}
+
+// CountKind returns the number of operations of the given kind in the input.
+func (in Input) CountKind(kind OpKind) int {
+	n := 0
+	for _, op := range in {
+		if op.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule produces the process identifier that takes each step. It must be
+// oblivious: the identifier may depend on the step index only, never on the
+// execution so far.
+type Schedule interface {
+	// Next returns the process that takes step number step (0-based). The
+	// returned identifier must be in [0, processes).
+	Next(step uint64) int
+}
+
+// ScheduleFunc adapts a function to the Schedule interface.
+type ScheduleFunc func(step uint64) int
+
+// Next implements Schedule.
+func (f ScheduleFunc) Next(step uint64) int { return f(step) }
+
+// SliceSchedule replays a fixed string of process identifiers, cycling when
+// the string is exhausted.
+type SliceSchedule []int
+
+// Next implements Schedule.
+func (s SliceSchedule) Next(step uint64) int {
+	return s[int(step%uint64(len(s)))]
+}
+
+// Config parameterizes a simulation.
+type Config struct {
+	// Capacity is n, the contention bound of the simulated LevelArray. It
+	// must be at least the number of processes.
+	Capacity int
+	// Epsilon is the space parameter (zero selects the default 2n array).
+	Epsilon float64
+	// ProbesPerBatch is the per-batch trial count c (zero selects 1, the
+	// implementation default).
+	ProbesPerBatch int
+	// RNG selects the generator family for probe choices.
+	RNG rng.Kind
+	// Seed is the base seed for per-process generators.
+	Seed uint64
+	// Inputs holds one operation sequence per process; the number of
+	// processes is len(Inputs).
+	Inputs []Input
+	// RecordTrace enables recording of a spec.Trace for correctness
+	// checking. Disable it for very long runs to save memory.
+	RecordTrace bool
+}
+
+// Errors returned by the simulator.
+var (
+	// ErrNoFreeSlot is returned when a Get exhausts every slot including the
+	// backup array, which can only happen if the configuration violates the
+	// model's contention bound.
+	ErrNoFreeSlot = errors.New("sched: no free slot available (contention exceeds capacity)")
+)
+
+// phase describes where a process is inside its current operation.
+type phase int
+
+const (
+	phaseIdle phase = iota
+	phaseGetMain
+	phaseGetBackup
+	phaseCollect
+)
+
+// process is the simulator-side state of one simulated process.
+type process struct {
+	id    int
+	input Input
+	pc    int // index of the current operation in input
+
+	phase   phase
+	opStart uint64
+
+	// Get state.
+	batch  int
+	trial  int
+	probes int
+
+	// Collect state.
+	scanIndex int
+	collected []int
+
+	// Registration state.
+	heldSlot int
+	holding  bool
+	heldFrom uint64 // step at which the current name was acquired
+
+	rng   rng.Source
+	stats activity.ProbeStats
+
+	// batchHistogram counts completed Gets by the batch they stopped in
+	// (index NumBatches = backup).
+	batchHistogram []uint64
+}
+
+// done reports whether the process has executed its whole input.
+func (p *process) done() bool {
+	return p.pc >= len(p.input) && p.phase == phaseIdle
+}
+
+// Simulator executes a step-level simulation of the LevelArray.
+type Simulator struct {
+	cfg    Config
+	layout *balance.Layout
+	main   tas.Space
+	backup tas.Space
+
+	processes []*process
+	stepCount uint64
+	completed uint64 // completed Get+Free operations
+
+	trace spec.Trace
+}
+
+// New builds a simulator from cfg.
+func New(cfg Config) (*Simulator, error) {
+	if len(cfg.Inputs) == 0 {
+		return nil, errors.New("sched: at least one process input is required")
+	}
+	if cfg.Capacity < len(cfg.Inputs) {
+		return nil, fmt.Errorf("sched: capacity %d is below the number of processes %d",
+			cfg.Capacity, len(cfg.Inputs))
+	}
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = balance.DefaultEpsilon
+	}
+	if cfg.ProbesPerBatch == 0 {
+		cfg.ProbesPerBatch = 1
+	}
+	if cfg.ProbesPerBatch < 1 {
+		return nil, fmt.Errorf("sched: probes per batch %d must be at least 1", cfg.ProbesPerBatch)
+	}
+	if cfg.RNG == 0 {
+		cfg.RNG = rng.KindXorshift
+	}
+	layout, err := balance.NewLayout(cfg.Capacity, cfg.Epsilon)
+	if err != nil {
+		return nil, fmt.Errorf("sched: building layout: %w", err)
+	}
+
+	seeds := rng.SeedStream(cfg.Seed, len(cfg.Inputs))
+	processes := make([]*process, len(cfg.Inputs))
+	for i, input := range cfg.Inputs {
+		if err := input.Validate(); err != nil {
+			return nil, fmt.Errorf("sched: process %d: %w", i, err)
+		}
+		processes[i] = &process{
+			id:             i,
+			input:          input,
+			rng:            rng.New(cfg.RNG, seeds[i]),
+			batchHistogram: make([]uint64, layout.NumBatches()+1),
+		}
+	}
+	return &Simulator{
+		cfg:       cfg,
+		layout:    layout,
+		main:      tas.NewCompactSpace(layout.MainSize()),
+		backup:    tas.NewCompactSpace(layout.BackupSize()),
+		processes: processes,
+		trace: spec.Trace{
+			Capacity:      cfg.Capacity,
+			NamespaceSize: layout.TotalSize(),
+		},
+	}, nil
+}
+
+// MustNew is New but panics on error; for tests and experiment drivers with
+// known-good configurations.
+func MustNew(cfg Config) *Simulator {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumProcesses returns the number of simulated processes.
+func (s *Simulator) NumProcesses() int { return len(s.processes) }
+
+// Layout returns the batch geometry of the simulated array.
+func (s *Simulator) Layout() *balance.Layout { return s.layout }
+
+// StepCount returns the number of steps executed so far.
+func (s *Simulator) StepCount() uint64 { return s.stepCount }
+
+// CompletedOps returns the number of completed Get and Free operations.
+func (s *Simulator) CompletedOps() uint64 { return s.completed }
+
+// Done reports whether every process has exhausted its input.
+func (s *Simulator) Done() bool {
+	for _, p := range s.processes {
+		if !p.done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Trace returns the recorded trace. It is only populated when
+// Config.RecordTrace is set.
+func (s *Simulator) Trace() spec.Trace { return s.trace }
+
+// Occupancy measures the simulated array's per-batch occupancy.
+func (s *Simulator) Occupancy() balance.Occupancy {
+	occ := balance.MeasureOccupancy(s.layout, s.main)
+	backupCount := 0
+	for i := 0; i < s.backup.Len(); i++ {
+		if s.backup.Read(i) {
+			backupCount++
+		}
+	}
+	occ[s.layout.NumBatches()] = backupCount
+	return occ
+}
+
+// Snapshot packages the current occupancy as a balance.Snapshot stamped with
+// the current step count.
+func (s *Simulator) Snapshot() balance.Snapshot {
+	snap := balance.TakeSnapshot(s.layout, s.main, s.stepCount)
+	// Fold in backup occupancy measured separately (the main space holds
+	// only the batched slots).
+	backupCount := 0
+	for i := 0; i < s.backup.Len(); i++ {
+		if s.backup.Read(i) {
+			backupCount++
+		}
+	}
+	snap.Counts[s.layout.NumBatches()] = backupCount
+	snap.Fractions[s.layout.NumBatches()] = float64(backupCount) / float64(s.layout.BackupSize())
+	return snap
+}
+
+// ProcessStats returns the cumulative probe statistics of process id.
+func (s *Simulator) ProcessStats(id int) activity.ProbeStats {
+	return s.processes[id].stats
+}
+
+// MergedStats returns the probe statistics aggregated over all processes.
+func (s *Simulator) MergedStats() activity.ProbeStats {
+	var merged activity.ProbeStats
+	for _, p := range s.processes {
+		merged.Merge(p.stats)
+	}
+	return merged
+}
+
+// BatchHistogram returns, per batch index (backup last), how many completed
+// Gets stopped in that batch, aggregated over all processes.
+func (s *Simulator) BatchHistogram() []uint64 {
+	out := make([]uint64, s.layout.NumBatches()+1)
+	for _, p := range s.processes {
+		for j, c := range p.batchHistogram {
+			out[j] += c
+		}
+	}
+	return out
+}
+
+// ProcessHolding reports whether process id currently holds a name, and the
+// name if so.
+func (s *Simulator) ProcessHolding(id int) (int, bool) {
+	p := s.processes[id]
+	if !p.holding {
+		return 0, false
+	}
+	return p.heldSlot, true
+}
+
+// PreFill force-acquires main-array slots according to the degraded-state
+// specification, which is how the healing experiment reproduces Figure 3's
+// unbalanced initial state: the occupied slots model leftover registrations
+// of departed threads. It returns the acquired slot indices.
+func (s *Simulator) PreFill(state balance.DegradedStateSpec) []int {
+	return state.Apply(s.layout, s.main)
+}
+
+// ReleaseSlots resets previously pre-filled main-array slots, allowing
+// experiments to model departed threads eventually returning their names.
+func (s *Simulator) ReleaseSlots(slots []int) {
+	for _, slot := range slots {
+		if slot >= 0 && slot < s.main.Len() {
+			s.main.Reset(slot)
+		}
+	}
+}

@@ -1,0 +1,463 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/levelarray/levelarray/internal/balance"
+	"github.com/levelarray/levelarray/internal/spec"
+)
+
+// churnInputs builds n identical inputs of the given number of Get/Free
+// rounds with callPad Call steps after each operation.
+func churnInputs(n, rounds, callPad int) []Input {
+	inputs := make([]Input, n)
+	for i := range inputs {
+		var in Input
+		for r := 0; r < rounds; r++ {
+			in = append(in, Op{Kind: OpGet})
+			for c := 0; c < callPad; c++ {
+				in = append(in, Op{Kind: OpCall})
+			}
+			in = append(in, Op{Kind: OpFree})
+			for c := 0; c < callPad; c++ {
+				in = append(in, Op{Kind: OpCall})
+			}
+		}
+		inputs[i] = in
+	}
+	return inputs
+}
+
+func roundRobin(n int) Schedule {
+	return ScheduleFunc(func(step uint64) int { return int(step % uint64(n)) })
+}
+
+func TestOpKindString(t *testing.T) {
+	cases := map[OpKind]string{
+		OpGet:      "Get",
+		OpFree:     "Free",
+		OpCollect:  "Collect",
+		OpCall:     "Call",
+		OpKind(0):  "unknown",
+		OpKind(42): "unknown",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("OpKind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestInputValidate(t *testing.T) {
+	valid := Input{{Kind: OpGet}, {Kind: OpCall}, {Kind: OpFree}, {Kind: OpCollect}, {Kind: OpGet}}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid input rejected: %v", err)
+	}
+	cases := map[string]Input{
+		"double-get":      {{Kind: OpGet}, {Kind: OpGet}},
+		"free-first":      {{Kind: OpFree}},
+		"free-after-free": {{Kind: OpGet}, {Kind: OpFree}, {Kind: OpFree}},
+		"unknown-kind":    {{Kind: OpKind(99)}},
+	}
+	for name, in := range cases {
+		if err := in.Validate(); err == nil {
+			t.Errorf("%s: invalid input accepted", name)
+		}
+	}
+}
+
+func TestInputCountKind(t *testing.T) {
+	in := Input{{Kind: OpGet}, {Kind: OpCall}, {Kind: OpCall}, {Kind: OpFree}}
+	if got := in.CountKind(OpCall); got != 2 {
+		t.Fatalf("CountKind(Call) = %d, want 2", got)
+	}
+	if got := in.CountKind(OpCollect); got != 0 {
+		t.Fatalf("CountKind(Collect) = %d, want 0", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	valid := Config{Capacity: 4, Inputs: churnInputs(4, 1, 0)}
+	if _, err := New(valid); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := map[string]Config{
+		"no-inputs":            {Capacity: 4},
+		"capacity-below-procs": {Capacity: 2, Inputs: churnInputs(4, 1, 0)},
+		"invalid-input":        {Capacity: 4, Inputs: []Input{{{Kind: OpFree}}}},
+		"negative-probes":      {Capacity: 4, Inputs: churnInputs(4, 1, 0), ProbesPerBatch: -1},
+	}
+	for name, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestSliceSchedule(t *testing.T) {
+	s := SliceSchedule{3, 1, 2}
+	want := []int{3, 1, 2, 3, 1, 2}
+	for step, w := range want {
+		if got := s.Next(uint64(step)); got != w {
+			t.Fatalf("Next(%d) = %d, want %d", step, got, w)
+		}
+	}
+}
+
+func TestSingleProcessRoundTrip(t *testing.T) {
+	sim := MustNew(Config{
+		Capacity:    4,
+		Inputs:      []Input{{{Kind: OpGet}, {Kind: OpCall}, {Kind: OpFree}}},
+		Seed:        1,
+		RecordTrace: true,
+	})
+	if err := sim.RunUntilDone(roundRobin(1), 1000); err != nil {
+		t.Fatalf("RunUntilDone: %v", err)
+	}
+	if !sim.Done() {
+		t.Fatal("simulation not done")
+	}
+	if sim.CompletedOps() != 2 {
+		t.Fatalf("CompletedOps = %d, want 2 (one Get, one Free)", sim.CompletedOps())
+	}
+	stats := sim.ProcessStats(0)
+	if stats.Ops != 1 || stats.Frees != 1 {
+		t.Fatalf("stats = %+v, want one Get and one Free", stats)
+	}
+	if stats.MaxProbes < 1 {
+		t.Fatalf("MaxProbes = %d, want >= 1", stats.MaxProbes)
+	}
+	if violations := spec.Check(sim.Trace()); len(violations) != 0 {
+		t.Fatalf("trace violations: %v", violations)
+	}
+	if occ := sim.Occupancy(); occ.Total() != 0 {
+		t.Fatalf("occupancy after free = %v", occ)
+	}
+}
+
+func TestStepErrors(t *testing.T) {
+	sim := MustNew(Config{Capacity: 2, Inputs: churnInputs(2, 1, 0), Seed: 1})
+	if err := sim.Step(-1); err == nil {
+		t.Fatal("negative pid accepted")
+	}
+	if err := sim.Step(2); err == nil {
+		t.Fatal("out-of-range pid accepted")
+	}
+}
+
+func TestIdleProcessStepIsNoOp(t *testing.T) {
+	sim := MustNew(Config{Capacity: 2, Inputs: []Input{{{Kind: OpGet}}, {{Kind: OpGet}}}, Seed: 1})
+	// Run process 0's single Get to completion.
+	for !sim.processes[0].done() {
+		if err := sim.Step(0); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	before := sim.CompletedOps()
+	if err := sim.Step(0); err != nil {
+		t.Fatalf("idle step errored: %v", err)
+	}
+	if sim.CompletedOps() != before {
+		t.Fatal("idle step completed an operation")
+	}
+	if sim.StepCount() == 0 {
+		t.Fatal("step count not advancing")
+	}
+}
+
+func TestTraceValidUnderRoundRobinChurn(t *testing.T) {
+	const (
+		n      = 16
+		rounds = 30
+	)
+	sim := MustNew(Config{
+		Capacity:    n,
+		Inputs:      churnInputs(n, rounds, 2),
+		Seed:        7,
+		RecordTrace: true,
+	})
+	if err := sim.RunUntilDone(roundRobin(n), 10_000_000); err != nil {
+		t.Fatalf("RunUntilDone: %v", err)
+	}
+	tr := sim.Trace()
+	if len(tr.Events) != n*rounds*2 {
+		t.Fatalf("trace has %d events, want %d", len(tr.Events), n*rounds*2)
+	}
+	if violations := spec.Check(tr); len(violations) != 0 {
+		t.Fatalf("violations: %v", violations)
+	}
+	merged := sim.MergedStats()
+	if merged.Ops != uint64(n*rounds) {
+		t.Fatalf("merged Ops = %d, want %d", merged.Ops, n*rounds)
+	}
+	if merged.Mean() < 1 {
+		t.Fatalf("mean probes %v below 1", merged.Mean())
+	}
+	// With at most n/2... n concurrent holders on a 2n array and c=1, the
+	// worst case should stay well below the deterministic O(n) regime.
+	if merged.MaxProbes > uint64(sim.Layout().NumBatches()+sim.Layout().BackupSize()) {
+		t.Fatalf("worst case %d probes exceeds batches+backup", merged.MaxProbes)
+	}
+}
+
+func TestCollectObservedByTrace(t *testing.T) {
+	inputs := []Input{
+		{{Kind: OpGet}, {Kind: OpFree}},
+		{{Kind: OpCollect}},
+	}
+	sim := MustNew(Config{Capacity: 2, Inputs: inputs, Seed: 3, RecordTrace: true})
+	// Schedule: one step for process 0 (its Get completes on the first probe
+	// of an empty array), then process 1's whole collect (one read per slot),
+	// then process 0 again for its Free.
+	schedule := ScheduleFunc(func(step uint64) int {
+		switch {
+		case step == 0:
+			return 0
+		case step <= uint64(sim.Layout().TotalSize()):
+			return 1
+		default:
+			return 0
+		}
+	})
+	if err := sim.RunUntilDone(schedule, 100_000); err != nil {
+		t.Fatalf("RunUntilDone: %v", err)
+	}
+	tr := sim.Trace()
+	var collects int
+	var collectedNames []int
+	for _, ev := range tr.Events {
+		if ev.Kind == spec.CollectEvent {
+			collects++
+			collectedNames = ev.Names
+		}
+	}
+	if collects != 1 {
+		t.Fatalf("trace has %d collect events, want 1", collects)
+	}
+	if len(collectedNames) != 1 {
+		t.Fatalf("collect returned %v, want exactly the held name", collectedNames)
+	}
+	if violations := spec.Check(tr); len(violations) != 0 {
+		t.Fatalf("violations: %v", violations)
+	}
+}
+
+func TestProcessHolding(t *testing.T) {
+	sim := MustNew(Config{Capacity: 2, Inputs: churnInputs(2, 1, 0), Seed: 5})
+	if _, holding := sim.ProcessHolding(0); holding {
+		t.Fatal("process 0 holding before any step")
+	}
+	// Drive process 0 until it completes its Get.
+	for sim.ProcessStats(0).Ops == 0 {
+		if err := sim.Step(0); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	name, holding := sim.ProcessHolding(0)
+	if !holding {
+		t.Fatal("process 0 not holding after Get")
+	}
+	if name < 0 || name >= sim.Layout().TotalSize() {
+		t.Fatalf("held name %d out of range", name)
+	}
+}
+
+func TestBatchHistogramAccounting(t *testing.T) {
+	const n = 8
+	sim := MustNew(Config{Capacity: n, Inputs: churnInputs(n, 10, 0), Seed: 11})
+	if err := sim.RunUntilDone(roundRobin(n), 1_000_000); err != nil {
+		t.Fatalf("RunUntilDone: %v", err)
+	}
+	hist := sim.BatchHistogram()
+	var total uint64
+	for _, c := range hist {
+		total += c
+	}
+	if total != uint64(n*10) {
+		t.Fatalf("histogram total %d, want %d", total, n*10)
+	}
+	if hist[0] == 0 {
+		t.Fatal("no acquisitions in batch 0")
+	}
+}
+
+func TestRunStepLimit(t *testing.T) {
+	const n = 4
+	sim := MustNew(Config{Capacity: n, Inputs: churnInputs(n, 100, 0), Seed: 2})
+	executed, err := sim.Run(roundRobin(n), 37)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if executed != 37 {
+		t.Fatalf("executed %d steps, want 37", executed)
+	}
+	if sim.StepCount() != 37 {
+		t.Fatalf("StepCount = %d, want 37", sim.StepCount())
+	}
+	if sim.Done() {
+		t.Fatal("simulation done after only 37 steps")
+	}
+}
+
+func TestRunUntilDoneStarvation(t *testing.T) {
+	const n = 2
+	sim := MustNew(Config{Capacity: n, Inputs: churnInputs(n, 5, 0), Seed: 2})
+	// A schedule that never runs process 1 cannot finish.
+	onlyZero := ScheduleFunc(func(uint64) int { return 0 })
+	if err := sim.RunUntilDone(onlyZero, 10_000); err == nil {
+		t.Fatal("starving schedule reported completion")
+	}
+}
+
+func TestRunWithObserverEarlyStop(t *testing.T) {
+	const n = 4
+	sim := MustNew(Config{Capacity: n, Inputs: churnInputs(n, 100, 0), Seed: 9})
+	var observed int
+	executed, err := sim.RunWithObserver(roundRobin(n), 1000, func(step uint64) bool {
+		observed++
+		return observed < 10
+	})
+	if err != nil {
+		t.Fatalf("RunWithObserver: %v", err)
+	}
+	if executed != 10 || observed != 10 {
+		t.Fatalf("executed %d observed %d, want 10/10", executed, observed)
+	}
+}
+
+func TestPreFillAndRelease(t *testing.T) {
+	const n = 64
+	sim := MustNew(Config{Capacity: n, Inputs: churnInputs(n, 1, 0), Seed: 13})
+	taken := sim.PreFill(balance.Fig3InitialState())
+	if len(taken) == 0 {
+		t.Fatal("PreFill acquired nothing")
+	}
+	occ := sim.Occupancy()
+	if occ.Total() != len(taken) {
+		t.Fatalf("occupancy %d, want %d", occ.Total(), len(taken))
+	}
+	if balance.FullyBalanced(sim.Layout(), occ) {
+		t.Fatal("Fig3 initial state should be unbalanced")
+	}
+	snap := sim.Snapshot()
+	if snap.FullyBalanced {
+		t.Fatal("snapshot reports balanced for degraded state")
+	}
+	sim.ReleaseSlots(taken)
+	if sim.Occupancy().Total() != 0 {
+		t.Fatal("ReleaseSlots did not free everything")
+	}
+}
+
+func TestBackupReachedWhenMainSaturated(t *testing.T) {
+	// Saturate the entire main array via PreFill, then let one process Get:
+	// it must fall through every batch into the backup.
+	const n = 8
+	sim := MustNew(Config{Capacity: n, Inputs: []Input{{{Kind: OpGet}}}, Seed: 17})
+	full := balance.DegradedStateSpec{Fractions: make([]float64, sim.Layout().NumBatches())}
+	for i := range full.Fractions {
+		full.Fractions[i] = 1.0
+	}
+	sim.PreFill(full)
+	if err := sim.RunUntilDone(roundRobin(1), 100_000); err != nil {
+		t.Fatalf("RunUntilDone: %v", err)
+	}
+	stats := sim.ProcessStats(0)
+	if stats.BackupOps != 1 {
+		t.Fatalf("BackupOps = %d, want 1", stats.BackupOps)
+	}
+	name, holding := sim.ProcessHolding(0)
+	if !holding || name < sim.Layout().MainSize() {
+		t.Fatalf("process should hold a backup name, got (%d, %v)", name, holding)
+	}
+}
+
+func TestNoFreeSlotError(t *testing.T) {
+	// Two processes, capacity 1... not allowed by validation, so instead
+	// saturate main AND backup, then ask for a Get.
+	const n = 2
+	sim := MustNew(Config{Capacity: n, Inputs: []Input{{{Kind: OpGet}}, {}}, Seed: 19})
+	full := balance.DegradedStateSpec{Fractions: make([]float64, sim.Layout().NumBatches())}
+	for i := range full.Fractions {
+		full.Fractions[i] = 1.0
+	}
+	sim.PreFill(full)
+	for i := 0; i < sim.Layout().BackupSize(); i++ {
+		// Saturate the backup directly through the simulator's space by
+		// running a degenerate second prefill; the backup is not covered by
+		// DegradedStateSpec, so reach it via repeated steps instead: simply
+		// exhaust it by marking the slots below.
+		sim.backup.TestAndSet(i)
+	}
+	err := sim.RunUntilDone(roundRobin(n), 100_000)
+	if err == nil {
+		t.Fatal("expected ErrNoFreeSlot")
+	}
+}
+
+// Property: for arbitrary small process counts, rounds and seeds, a
+// round-robin execution completes, produces a spec-clean trace, and ends with
+// an empty array.
+func TestQuickRoundRobinExecutions(t *testing.T) {
+	prop := func(nRaw, roundsRaw uint8, seed uint64) bool {
+		n := int(nRaw%8) + 1
+		rounds := int(roundsRaw%10) + 1
+		sim := MustNew(Config{
+			Capacity:    n,
+			Inputs:      churnInputs(n, rounds, 1),
+			Seed:        seed,
+			RecordTrace: true,
+		})
+		if err := sim.RunUntilDone(roundRobin(n), 10_000_000); err != nil {
+			return false
+		}
+		if len(spec.Check(sim.Trace())) != 0 {
+			return false
+		}
+		return sim.Occupancy().Total() == 0 && sim.MergedStats().Ops == uint64(n*rounds)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: executions under arbitrary (hash-derived) oblivious schedules
+// remain spec-clean. The schedule is a pure function of the step index, as
+// obliviousness requires.
+func TestQuickObliviousScheduleExecutions(t *testing.T) {
+	prop := func(seed uint64) bool {
+		const n = 6
+		sim := MustNew(Config{
+			Capacity:    n,
+			Inputs:      churnInputs(n, 8, 3),
+			Seed:        seed,
+			RecordTrace: true,
+		})
+		schedule := ScheduleFunc(func(step uint64) int {
+			x := (step + 1) * (seed | 1)
+			x ^= x >> 13
+			return int(x % uint64(n))
+		})
+		// Hash schedules may starve a process for a while; allow generous
+		// budgets and tolerate an unfinished run as long as the trace is
+		// valid.
+		_, err := sim.Run(schedule, 200_000)
+		if err != nil {
+			return false
+		}
+		return len(spec.Check(sim.Trace())) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,241 @@
+package sched
+
+import (
+	"fmt"
+
+	"github.com/levelarray/levelarray/internal/spec"
+)
+
+// Step executes one shared-memory step of process pid and advances the global
+// step counter. If the process has exhausted its input, the step is consumed
+// as a no-op (the adversary scheduled an idle process). It returns an error
+// only if the simulation reaches a state outside the model's contract (e.g. a
+// Get finds no free slot anywhere).
+func (s *Simulator) Step(pid int) error {
+	if pid < 0 || pid >= len(s.processes) {
+		return fmt.Errorf("sched: scheduled process %d out of range [0, %d)", pid, len(s.processes))
+	}
+	s.stepCount++
+	p := s.processes[pid]
+
+	// If idle, start the next operation from the input.
+	if p.phase == phaseIdle {
+		if p.pc >= len(p.input) {
+			return nil // exhausted input: scheduled step is wasted
+		}
+		op := p.input[p.pc]
+		switch op.Kind {
+		case OpCall:
+			// A Call completes in exactly one step and touches nothing.
+			p.pc++
+			return nil
+		case OpGet:
+			p.phase = phaseGetMain
+			p.batch = 0
+			p.trial = 0
+			p.probes = 0
+			p.opStart = s.stepCount
+		case OpFree:
+			// Free completes in exactly one step: the reset.
+			return s.stepFree(p)
+		case OpCollect:
+			p.phase = phaseCollect
+			p.scanIndex = 0
+			p.collected = p.collected[:0]
+			p.opStart = s.stepCount
+		default:
+			return fmt.Errorf("sched: process %d has op of unknown kind %d", pid, int(op.Kind))
+		}
+	}
+
+	switch p.phase {
+	case phaseGetMain, phaseGetBackup:
+		return s.stepGet(p)
+	case phaseCollect:
+		return s.stepCollect(p)
+	default:
+		return nil
+	}
+}
+
+// stepGet performs one probe of the in-flight Get.
+func (s *Simulator) stepGet(p *process) error {
+	if p.phase == phaseGetMain {
+		batch := s.layout.Batch(p.batch)
+		slot := batch.Offset + p.rng.Intn(batch.Size)
+		p.probes++
+		if s.main.TestAndSet(slot) {
+			s.completeGet(p, slot, false)
+			return nil
+		}
+		// Advance to the next trial or batch.
+		p.trial++
+		if p.trial >= s.cfg.ProbesPerBatch {
+			p.trial = 0
+			p.batch++
+			if p.batch >= s.layout.NumBatches() {
+				p.phase = phaseGetBackup
+				p.scanIndex = 0
+			}
+		}
+		return nil
+	}
+
+	// Backup scan: one probe per step, linearly.
+	if p.scanIndex >= s.backup.Len() {
+		return ErrNoFreeSlot
+	}
+	slot := p.scanIndex
+	p.scanIndex++
+	p.probes++
+	if s.backup.TestAndSet(slot) {
+		s.completeGet(p, s.layout.MainSize()+slot, true)
+	}
+	return nil
+}
+
+// completeGet records the successful acquisition of name by process p.
+func (s *Simulator) completeGet(p *process, name int, backup bool) {
+	p.holding = true
+	p.heldSlot = name
+	p.heldFrom = s.stepCount
+	p.stats.Record(p.probes, backup)
+	batchIndex := s.layout.NumBatches()
+	if !backup {
+		batchIndex = s.layout.BatchOf(name)
+	}
+	p.batchHistogram[batchIndex]++
+	p.phase = phaseIdle
+	p.pc++
+	s.completed++
+	if s.cfg.RecordTrace {
+		s.trace.Append(spec.Event{
+			Kind:    spec.GetEvent,
+			Process: p.id,
+			Name:    name,
+			Start:   p.opStart,
+			End:     s.stepCount,
+			Probes:  p.probes,
+		})
+	}
+}
+
+// stepFree executes a Free operation (a single reset step).
+func (s *Simulator) stepFree(p *process) error {
+	if !p.holding {
+		return fmt.Errorf("sched: process %d scheduled a Free without holding a name", p.id)
+	}
+	name := p.heldSlot
+	if name < s.layout.MainSize() {
+		s.main.Reset(name)
+	} else {
+		s.backup.Reset(name - s.layout.MainSize())
+	}
+	p.holding = false
+	p.stats.RecordFree()
+	p.pc++
+	s.completed++
+	if s.cfg.RecordTrace {
+		s.trace.Append(spec.Event{
+			Kind:    spec.FreeEvent,
+			Process: p.id,
+			Name:    name,
+			Start:   s.stepCount,
+			End:     s.stepCount,
+		})
+	}
+	return nil
+}
+
+// stepCollect performs one read of the in-flight Collect. The scan covers the
+// main array and the backup array, one slot per step, matching the model's
+// O(n) collect cost.
+func (s *Simulator) stepCollect(p *process) error {
+	total := s.layout.TotalSize()
+	slot := p.scanIndex
+	var taken bool
+	if slot < s.layout.MainSize() {
+		taken = s.main.Read(slot)
+	} else {
+		taken = s.backup.Read(slot - s.layout.MainSize())
+	}
+	if taken {
+		p.collected = append(p.collected, slot)
+	}
+	p.scanIndex++
+	if p.scanIndex >= total {
+		if s.cfg.RecordTrace {
+			names := make([]int, len(p.collected))
+			copy(names, p.collected)
+			s.trace.Append(spec.Event{
+				Kind:    spec.CollectEvent,
+				Process: p.id,
+				Names:   names,
+				Start:   p.opStart,
+				End:     s.stepCount,
+			})
+		}
+		p.phase = phaseIdle
+		p.pc++
+	}
+	return nil
+}
+
+// Run executes steps scheduled by schedule until the given number of steps
+// have been taken or every process has exhausted its input. It returns the
+// number of steps actually executed.
+func (s *Simulator) Run(schedule Schedule, steps uint64) (uint64, error) {
+	var executed uint64
+	for executed < steps {
+		if s.Done() {
+			return executed, nil
+		}
+		pid := schedule.Next(s.stepCount)
+		if err := s.Step(pid); err != nil {
+			return executed, err
+		}
+		executed++
+	}
+	return executed, nil
+}
+
+// RunUntilDone keeps scheduling steps until every process has exhausted its
+// input or maxSteps have been executed. It returns an error if the limit is
+// reached first, which usually indicates a schedule that starves some
+// process.
+func (s *Simulator) RunUntilDone(schedule Schedule, maxSteps uint64) error {
+	for steps := uint64(0); steps < maxSteps; steps++ {
+		if s.Done() {
+			return nil
+		}
+		pid := schedule.Next(s.stepCount)
+		if err := s.Step(pid); err != nil {
+			return err
+		}
+	}
+	if !s.Done() {
+		return fmt.Errorf("sched: execution did not finish within %d steps", maxSteps)
+	}
+	return nil
+}
+
+// RunWithObserver is Run with a callback invoked after every step; the
+// healing experiment uses it to take periodic occupancy snapshots. Returning
+// false from the callback stops the run early.
+func (s *Simulator) RunWithObserver(schedule Schedule, steps uint64, observe func(step uint64) bool) (uint64, error) {
+	var executed uint64
+	for executed < steps {
+		if s.Done() {
+			return executed, nil
+		}
+		pid := schedule.Next(s.stepCount)
+		if err := s.Step(pid); err != nil {
+			return executed, err
+		}
+		executed++
+		if observe != nil && !observe(s.stepCount) {
+			return executed, nil
+		}
+	}
+	return executed, nil
+}

@@ -1,0 +1,262 @@
+// Package spec defines execution traces for activity-array executions and a
+// checker that validates them against the long-lived renaming specification
+// from Section 2 of the paper:
+//
+//   - Get and Free are linearizable and alternate per process (well-formed
+//     inputs);
+//   - no two processes hold the same name at the same time (uniqueness);
+//   - every name returned by a Collect was held by some process at some point
+//     during the Collect (validity);
+//   - all names fall inside the declared namespace (the space bound).
+//
+// The step-level simulator (internal/sched) emits traces in this format; the
+// checker is also usable on traces constructed by hand in tests.
+package spec
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EventKind identifies the operation recorded by an Event.
+type EventKind int
+
+// The operation kinds of the activity-array model.
+const (
+	GetEvent EventKind = iota + 1
+	FreeEvent
+	CollectEvent
+	CallEvent
+)
+
+// String returns the event kind's name.
+func (k EventKind) String() string {
+	switch k {
+	case GetEvent:
+		return "Get"
+	case FreeEvent:
+		return "Free"
+	case CollectEvent:
+		return "Collect"
+	case CallEvent:
+		return "Call"
+	default:
+		return "unknown"
+	}
+}
+
+// NoFree marks a hold interval whose name was never released.
+const NoFree = ^uint64(0)
+
+// Event is one completed operation in a trace.
+type Event struct {
+	// Kind is the operation type.
+	Kind EventKind
+	// Process is the identifier of the process that performed the operation.
+	Process int
+	// Name is the index acquired (Get) or released (Free). Unused otherwise.
+	Name int
+	// Start is the step time of the operation's first step.
+	Start uint64
+	// End is the step time of the operation's linearization point (its
+	// successful test-and-set for Get, its reset for Free, its last read for
+	// Collect).
+	End uint64
+	// Names is the set returned by a Collect. Unused otherwise.
+	Names []int
+	// Probes is the number of test-and-set trials a Get performed.
+	Probes int
+}
+
+// Trace is a sequence of completed operations plus the static parameters
+// needed to check them.
+type Trace struct {
+	// Capacity is n, the declared contention bound.
+	Capacity int
+	// NamespaceSize is the number of distinct names the array may return.
+	NamespaceSize int
+	// Events holds the completed operations. Order does not matter; the
+	// checker orders them by linearization time.
+	Events []Event
+}
+
+// Append adds an event to the trace.
+func (tr *Trace) Append(ev Event) {
+	tr.Events = append(tr.Events, ev)
+}
+
+// Violation describes one way a trace failed the specification.
+type Violation struct {
+	// Rule is the short name of the violated rule.
+	Rule string
+	// Detail is a human-readable description with the offending events.
+	Detail string
+}
+
+// Error formats the violation as an error string.
+func (v Violation) Error() string {
+	return fmt.Sprintf("spec violation [%s]: %s", v.Rule, v.Detail)
+}
+
+// Rule names reported by the checker.
+const (
+	RuleUniqueness      = "uniqueness"
+	RuleWellFormed      = "well-formed"
+	RuleCollectValidity = "collect-validity"
+	RuleNamespace       = "namespace"
+)
+
+// holdInterval is the period during which a name was held: from the Get's
+// linearization to the matching Free's linearization (or NoFree).
+type holdInterval struct {
+	process int
+	from    uint64
+	to      uint64
+}
+
+// Check validates the trace and returns every violation found (empty means
+// the trace satisfies the long-lived renaming specification).
+func Check(tr Trace) []Violation {
+	var violations []Violation
+
+	// Order Get/Free events by linearization time to replay the execution.
+	linear := make([]Event, 0, len(tr.Events))
+	collects := make([]Event, 0)
+	for _, ev := range tr.Events {
+		switch ev.Kind {
+		case GetEvent, FreeEvent:
+			linear = append(linear, ev)
+		case CollectEvent:
+			collects = append(collects, ev)
+		}
+	}
+	sort.SliceStable(linear, func(i, j int) bool { return linear[i].End < linear[j].End })
+
+	violations = append(violations, checkNamespace(tr, linear, collects)...)
+	holdsByName, wfViolations := replay(linear)
+	violations = append(violations, wfViolations...)
+	violations = append(violations, checkCollects(collects, holdsByName)...)
+	return violations
+}
+
+// checkNamespace verifies the space bound for every name in the trace.
+func checkNamespace(tr Trace, linear, collects []Event) []Violation {
+	var violations []Violation
+	outOfRange := func(name int) bool {
+		return name < 0 || (tr.NamespaceSize > 0 && name >= tr.NamespaceSize)
+	}
+	for _, ev := range linear {
+		if outOfRange(ev.Name) {
+			violations = append(violations, Violation{
+				Rule: RuleNamespace,
+				Detail: fmt.Sprintf("process %d %s name %d outside namespace [0, %d)",
+					ev.Process, ev.Kind, ev.Name, tr.NamespaceSize),
+			})
+		}
+	}
+	for _, ev := range collects {
+		for _, name := range ev.Names {
+			if outOfRange(name) {
+				violations = append(violations, Violation{
+					Rule: RuleNamespace,
+					Detail: fmt.Sprintf("collect by process %d returned name %d outside namespace [0, %d)",
+						ev.Process, name, tr.NamespaceSize),
+				})
+			}
+		}
+	}
+	return violations
+}
+
+// replay walks the Get/Free events in linearization order, checking
+// uniqueness and per-process well-formedness, and returns the hold intervals
+// per name for the collect-validity check.
+func replay(linear []Event) (map[int][]holdInterval, []Violation) {
+	var violations []Violation
+	holder := make(map[int]int) // name -> process currently holding it
+	heldBy := make(map[int]int) // process -> name currently held
+	processActive := make(map[int]bool)
+	openInterval := make(map[int]holdInterval) // name -> open interval
+	holds := make(map[int][]holdInterval)
+
+	for _, ev := range linear {
+		switch ev.Kind {
+		case GetEvent:
+			if processActive[ev.Process] {
+				violations = append(violations, Violation{
+					Rule: RuleWellFormed,
+					Detail: fmt.Sprintf("process %d performed Get at step %d while already holding name %d",
+						ev.Process, ev.End, heldBy[ev.Process]),
+				})
+			}
+			if other, taken := holder[ev.Name]; taken {
+				violations = append(violations, Violation{
+					Rule: RuleUniqueness,
+					Detail: fmt.Sprintf("name %d acquired by process %d at step %d while still held by process %d",
+						ev.Name, ev.Process, ev.End, other),
+				})
+			}
+			holder[ev.Name] = ev.Process
+			heldBy[ev.Process] = ev.Name
+			processActive[ev.Process] = true
+			openInterval[ev.Name] = holdInterval{process: ev.Process, from: ev.End, to: NoFree}
+		case FreeEvent:
+			if !processActive[ev.Process] {
+				violations = append(violations, Violation{
+					Rule: RuleWellFormed,
+					Detail: fmt.Sprintf("process %d performed Free at step %d without holding a name",
+						ev.Process, ev.End),
+				})
+				continue
+			}
+			if heldBy[ev.Process] != ev.Name {
+				violations = append(violations, Violation{
+					Rule: RuleWellFormed,
+					Detail: fmt.Sprintf("process %d freed name %d at step %d but holds name %d",
+						ev.Process, ev.Name, ev.End, heldBy[ev.Process]),
+				})
+			}
+			if iv, ok := openInterval[ev.Name]; ok && iv.process == ev.Process {
+				iv.to = ev.End
+				holds[ev.Name] = append(holds[ev.Name], iv)
+				delete(openInterval, ev.Name)
+			}
+			delete(holder, ev.Name)
+			delete(heldBy, ev.Process)
+			processActive[ev.Process] = false
+		}
+	}
+	// Close intervals still open at the end of the trace.
+	for name, iv := range openInterval {
+		holds[name] = append(holds[name], iv)
+	}
+	return holds, violations
+}
+
+// checkCollects verifies that every name returned by a Collect overlaps a
+// hold interval of that name and the Collect's execution window.
+func checkCollects(collects []Event, holds map[int][]holdInterval) []Violation {
+	var violations []Violation
+	for _, ev := range collects {
+		for _, name := range ev.Names {
+			if !heldDuring(holds[name], ev.Start, ev.End) {
+				violations = append(violations, Violation{
+					Rule: RuleCollectValidity,
+					Detail: fmt.Sprintf("collect by process %d over steps [%d, %d] returned name %d, which was not held during that window",
+						ev.Process, ev.Start, ev.End, name),
+				})
+			}
+		}
+	}
+	return violations
+}
+
+// heldDuring reports whether any hold interval overlaps [start, end].
+func heldDuring(intervals []holdInterval, start, end uint64) bool {
+	for _, iv := range intervals {
+		if iv.from <= end && (iv.to == NoFree || iv.to >= start) {
+			return true
+		}
+	}
+	return false
+}

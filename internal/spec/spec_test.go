@@ -1,0 +1,246 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func countRule(violations []Violation, rule string) int {
+	n := 0
+	for _, v := range violations {
+		if v.Rule == rule {
+			n++
+		}
+	}
+	return n
+}
+
+func TestEventKindString(t *testing.T) {
+	cases := map[EventKind]string{
+		GetEvent:      "Get",
+		FreeEvent:     "Free",
+		CollectEvent:  "Collect",
+		CallEvent:     "Call",
+		EventKind(0):  "unknown",
+		EventKind(99): "unknown",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("EventKind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestValidTrace(t *testing.T) {
+	tr := Trace{Capacity: 2, NamespaceSize: 4}
+	tr.Append(Event{Kind: GetEvent, Process: 0, Name: 1, Start: 1, End: 2})
+	tr.Append(Event{Kind: GetEvent, Process: 1, Name: 3, Start: 3, End: 4})
+	tr.Append(Event{Kind: CollectEvent, Process: 2, Names: []int{1, 3}, Start: 5, End: 6})
+	tr.Append(Event{Kind: FreeEvent, Process: 0, Name: 1, Start: 7, End: 8})
+	// Name 1 is reused by process 1... but process 1 still holds 3. Use a
+	// third worker instead.
+	tr.Append(Event{Kind: GetEvent, Process: 3, Name: 1, Start: 9, End: 10})
+	tr.Append(Event{Kind: FreeEvent, Process: 3, Name: 1, Start: 11, End: 12})
+	tr.Append(Event{Kind: FreeEvent, Process: 1, Name: 3, Start: 13, End: 14})
+
+	if violations := Check(tr); len(violations) != 0 {
+		t.Fatalf("valid trace reported violations: %v", violations)
+	}
+}
+
+func TestUniquenessViolation(t *testing.T) {
+	tr := Trace{Capacity: 2, NamespaceSize: 4}
+	tr.Append(Event{Kind: GetEvent, Process: 0, Name: 2, End: 1})
+	tr.Append(Event{Kind: GetEvent, Process: 1, Name: 2, End: 2})
+	violations := Check(tr)
+	if countRule(violations, RuleUniqueness) != 1 {
+		t.Fatalf("want exactly one uniqueness violation, got %v", violations)
+	}
+	if !strings.Contains(violations[0].Error(), "uniqueness") {
+		t.Fatalf("Error() = %q", violations[0].Error())
+	}
+}
+
+func TestNoViolationWhenNameReusedSequentially(t *testing.T) {
+	tr := Trace{Capacity: 2, NamespaceSize: 4}
+	tr.Append(Event{Kind: GetEvent, Process: 0, Name: 2, End: 1})
+	tr.Append(Event{Kind: FreeEvent, Process: 0, Name: 2, End: 2})
+	tr.Append(Event{Kind: GetEvent, Process: 1, Name: 2, End: 3})
+	if violations := Check(tr); len(violations) != 0 {
+		t.Fatalf("sequential reuse reported violations: %v", violations)
+	}
+}
+
+func TestWellFormednessViolations(t *testing.T) {
+	t.Run("GetWhileHolding", func(t *testing.T) {
+		tr := Trace{NamespaceSize: 8}
+		tr.Append(Event{Kind: GetEvent, Process: 0, Name: 1, End: 1})
+		tr.Append(Event{Kind: GetEvent, Process: 0, Name: 2, End: 2})
+		if countRule(Check(tr), RuleWellFormed) == 0 {
+			t.Fatal("double Get not reported")
+		}
+	})
+	t.Run("FreeWithoutGet", func(t *testing.T) {
+		tr := Trace{NamespaceSize: 8}
+		tr.Append(Event{Kind: FreeEvent, Process: 0, Name: 1, End: 1})
+		if countRule(Check(tr), RuleWellFormed) == 0 {
+			t.Fatal("free without get not reported")
+		}
+	})
+	t.Run("FreeWrongName", func(t *testing.T) {
+		tr := Trace{NamespaceSize: 8}
+		tr.Append(Event{Kind: GetEvent, Process: 0, Name: 1, End: 1})
+		tr.Append(Event{Kind: FreeEvent, Process: 0, Name: 5, End: 2})
+		if countRule(Check(tr), RuleWellFormed) == 0 {
+			t.Fatal("free of wrong name not reported")
+		}
+	})
+}
+
+func TestCollectValidity(t *testing.T) {
+	t.Run("NameNeverHeld", func(t *testing.T) {
+		tr := Trace{NamespaceSize: 8}
+		tr.Append(Event{Kind: GetEvent, Process: 0, Name: 1, End: 1})
+		tr.Append(Event{Kind: CollectEvent, Process: 1, Names: []int{5}, Start: 2, End: 3})
+		if countRule(Check(tr), RuleCollectValidity) != 1 {
+			t.Fatal("collect of never-held name not reported")
+		}
+	})
+	t.Run("NameFreedBeforeCollect", func(t *testing.T) {
+		tr := Trace{NamespaceSize: 8}
+		tr.Append(Event{Kind: GetEvent, Process: 0, Name: 1, End: 1})
+		tr.Append(Event{Kind: FreeEvent, Process: 0, Name: 1, End: 2})
+		tr.Append(Event{Kind: CollectEvent, Process: 1, Names: []int{1}, Start: 5, End: 6})
+		if countRule(Check(tr), RuleCollectValidity) != 1 {
+			t.Fatal("collect of stale name not reported")
+		}
+	})
+	t.Run("NameHeldDuringPartOfCollect", func(t *testing.T) {
+		// The name is freed midway through the collect window: still valid.
+		tr := Trace{NamespaceSize: 8}
+		tr.Append(Event{Kind: GetEvent, Process: 0, Name: 1, End: 1})
+		tr.Append(Event{Kind: FreeEvent, Process: 0, Name: 1, End: 5})
+		tr.Append(Event{Kind: CollectEvent, Process: 1, Names: []int{1}, Start: 4, End: 9})
+		if got := Check(tr); len(got) != 0 {
+			t.Fatalf("overlapping collect reported violations: %v", got)
+		}
+	})
+	t.Run("NameAcquiredDuringCollect", func(t *testing.T) {
+		tr := Trace{NamespaceSize: 8}
+		tr.Append(Event{Kind: CollectEvent, Process: 1, Names: []int{1}, Start: 4, End: 9})
+		tr.Append(Event{Kind: GetEvent, Process: 0, Name: 1, End: 7})
+		if got := Check(tr); len(got) != 0 {
+			t.Fatalf("name acquired mid-collect reported violations: %v", got)
+		}
+	})
+	t.Run("NameHeldForeverBeforeCollect", func(t *testing.T) {
+		tr := Trace{NamespaceSize: 8}
+		tr.Append(Event{Kind: GetEvent, Process: 0, Name: 3, End: 1})
+		tr.Append(Event{Kind: CollectEvent, Process: 1, Names: []int{3}, Start: 100, End: 200})
+		if got := Check(tr); len(got) != 0 {
+			t.Fatalf("never-freed name reported violations: %v", got)
+		}
+	})
+}
+
+func TestNamespaceViolations(t *testing.T) {
+	tr := Trace{NamespaceSize: 4}
+	tr.Append(Event{Kind: GetEvent, Process: 0, Name: 4, End: 1})
+	tr.Append(Event{Kind: GetEvent, Process: 1, Name: -1, End: 2})
+	tr.Append(Event{Kind: CollectEvent, Process: 2, Names: []int{9}, Start: 3, End: 4})
+	violations := Check(tr)
+	if countRule(violations, RuleNamespace) != 3 {
+		t.Fatalf("want 3 namespace violations, got %v", violations)
+	}
+}
+
+func TestZeroNamespaceSizeSkipsUpperBound(t *testing.T) {
+	// NamespaceSize 0 means "unknown": only negative names are flagged.
+	tr := Trace{NamespaceSize: 0}
+	tr.Append(Event{Kind: GetEvent, Process: 0, Name: 1000, End: 1})
+	if got := Check(tr); len(got) != 0 {
+		t.Fatalf("unexpected violations with unknown namespace: %v", got)
+	}
+}
+
+func TestCallEventsIgnored(t *testing.T) {
+	tr := Trace{NamespaceSize: 4}
+	tr.Append(Event{Kind: CallEvent, Process: 0, End: 1})
+	tr.Append(Event{Kind: GetEvent, Process: 0, Name: 1, End: 2})
+	tr.Append(Event{Kind: CallEvent, Process: 0, End: 3})
+	if got := Check(tr); len(got) != 0 {
+		t.Fatalf("call events caused violations: %v", got)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	if got := Check(Trace{}); len(got) != 0 {
+		t.Fatalf("empty trace reported violations: %v", got)
+	}
+}
+
+// Property: traces generated by a correct sequential reference implementation
+// (a simple free-list) always pass the checker.
+func TestQuickReferenceTracesPass(t *testing.T) {
+	prop := func(script []uint8) bool {
+		const (
+			processes = 4
+			namespace = 16
+		)
+		tr := Trace{Capacity: processes, NamespaceSize: namespace}
+		var step uint64
+		held := make(map[int]int) // process -> name
+		inUse := make(map[int]bool)
+		for _, b := range script {
+			p := int(b) % processes
+			step++
+			if name, ok := held[p]; ok {
+				tr.Append(Event{Kind: FreeEvent, Process: p, Name: name, Start: step, End: step})
+				delete(held, p)
+				delete(inUse, name)
+				continue
+			}
+			// Acquire the smallest free name, mimicking any correct array.
+			name := -1
+			for candidate := 0; candidate < namespace; candidate++ {
+				if !inUse[candidate] {
+					name = candidate
+					break
+				}
+			}
+			if name < 0 {
+				continue
+			}
+			tr.Append(Event{Kind: GetEvent, Process: p, Name: name, Start: step, End: step})
+			held[p] = name
+			inUse[name] = true
+		}
+		// A final collect of everything currently held is always valid.
+		step++
+		var names []int
+		for name := range inUse {
+			names = append(names, name)
+		}
+		tr.Append(Event{Kind: CollectEvent, Process: 99, Names: names, Start: step, End: step + 1})
+		return len(Check(tr)) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: swapping the holder of one Get in an otherwise valid trace to
+// collide with a concurrently held name is always caught.
+func TestQuickUniquenessAlwaysCaught(t *testing.T) {
+	prop := func(nameRaw uint8) bool {
+		name := int(nameRaw % 8)
+		tr := Trace{NamespaceSize: 8}
+		tr.Append(Event{Kind: GetEvent, Process: 0, Name: name, End: 1})
+		tr.Append(Event{Kind: GetEvent, Process: 1, Name: name, End: 2})
+		return countRule(Check(tr), RuleUniqueness) == 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,310 @@
+// Package stats provides the lightweight statistics and reporting utilities
+// used by the benchmark harness and the experiment drivers: streaming
+// summaries (mean / standard deviation / extremes), integer histograms,
+// time-series recorders for the healing experiment, and plain-text / CSV table
+// rendering for regenerating the paper's figures as terminal output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary is a streaming accumulator for a scalar metric. It tracks count,
+// sum, sum of squares, minimum and maximum, which is sufficient for every
+// aggregate reported in the paper's Figure 2.
+type Summary struct {
+	count      uint64
+	sum        float64
+	sumSquares float64
+	min        float64
+	max        float64
+}
+
+// Add folds one observation into the summary.
+func (s *Summary) Add(x float64) {
+	if s.count == 0 {
+		s.min = x
+		s.max = x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.count++
+	s.sum += x
+	s.sumSquares += x * x
+}
+
+// AddN folds n identical observations into the summary.
+func (s *Summary) AddN(x float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	if s.count == 0 {
+		s.min = x
+		s.max = x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.count += n
+	s.sum += x * float64(n)
+	s.sumSquares += x * x * float64(n)
+}
+
+// Merge folds another summary into s.
+func (s *Summary) Merge(other Summary) {
+	if other.count == 0 {
+		return
+	}
+	if s.count == 0 {
+		*s = other
+		return
+	}
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	s.count += other.count
+	s.sum += other.sum
+	s.sumSquares += other.sumSquares
+}
+
+// Count returns the number of observations.
+func (s Summary) Count() uint64 { return s.count }
+
+// Sum returns the sum of observations.
+func (s Summary) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s Summary) Mean() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.sum / float64(s.count)
+}
+
+// Variance returns the population variance, or 0 with no observations.
+func (s Summary) Variance() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumSquares/float64(s.count) - m*m
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// StdDev returns the population standard deviation.
+func (s Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (s Summary) Min() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation, or 0 with no observations.
+func (s Summary) Max() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f stddev=%.3f min=%.3f max=%.3f",
+		s.count, s.Mean(), s.StdDev(), s.Min(), s.Max())
+}
+
+// Histogram counts integer observations (e.g. probes per Get). Values above
+// the configured bound are clamped into the final overflow bucket.
+type Histogram struct {
+	buckets  []uint64
+	overflow uint64
+	total    uint64
+}
+
+// NewHistogram returns a histogram for values in [0, maxValue]; larger values
+// are counted in an overflow bucket. It panics if maxValue is negative.
+func NewHistogram(maxValue int) *Histogram {
+	if maxValue < 0 {
+		panic(fmt.Sprintf("stats: negative histogram bound %d", maxValue))
+	}
+	return &Histogram{buckets: make([]uint64, maxValue+1)}
+}
+
+// Add records one observation of value v (negative values are clamped to 0).
+func (h *Histogram) Add(v int) {
+	h.AddN(v, 1)
+}
+
+// AddN records n observations of value v.
+func (h *Histogram) AddN(v int, n uint64) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.buckets) {
+		h.overflow += n
+	} else {
+		h.buckets[v] += n
+	}
+	h.total += n
+}
+
+// Merge folds another histogram into h. The histograms may have different
+// bounds; counts that do not fit are added to the overflow bucket.
+func (h *Histogram) Merge(other *Histogram) {
+	for v, c := range other.buckets {
+		if c > 0 {
+			h.AddN(v, c)
+		}
+	}
+	if other.overflow > 0 {
+		h.overflow += other.overflow
+		h.total += other.overflow
+	}
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Count returns the number of observations equal to v, or the overflow count
+// if v exceeds the bound.
+func (h *Histogram) Count(v int) uint64 {
+	if v < 0 {
+		return 0
+	}
+	if v >= len(h.buckets) {
+		return h.overflow
+	}
+	return h.buckets[v]
+}
+
+// Overflow returns the number of observations above the configured bound.
+func (h *Histogram) Overflow() uint64 { return h.overflow }
+
+// Max returns the largest observed value within the bound, or -1 if the
+// histogram is empty inside the bound.
+func (h *Histogram) Max() int {
+	for v := len(h.buckets) - 1; v >= 0; v-- {
+		if h.buckets[v] > 0 {
+			return v
+		}
+	}
+	return -1
+}
+
+// Quantile returns the smallest value v such that at least q (0 < q <= 1) of
+// the observations are <= v. Overflowed observations count as the bound+1.
+// It returns -1 for an empty histogram.
+func (h *Histogram) Quantile(q float64) int {
+	if h.total == 0 {
+		return -1
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for v, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			return v
+		}
+	}
+	return len(h.buckets)
+}
+
+// Mean returns the mean of the observations within the bound (overflow
+// observations are treated as bound+1, a lower bound on the true mean).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for v, c := range h.buckets {
+		sum += float64(v) * float64(c)
+	}
+	sum += float64(len(h.buckets)) * float64(h.overflow)
+	return sum / float64(h.total)
+}
+
+// Buckets returns a copy of the in-bound bucket counts.
+func (h *Histogram) Buckets() []uint64 {
+	out := make([]uint64, len(h.buckets))
+	copy(out, h.buckets)
+	return out
+}
+
+// Distribution is a set of labeled non-negative weights that sum to a total,
+// used to report batch occupancy percentages in the healing experiment.
+type Distribution struct {
+	Labels []string
+	Values []float64
+}
+
+// Normalized returns the values scaled so they sum to 1. A zero-sum
+// distribution is returned unchanged.
+func (d Distribution) Normalized() []float64 {
+	var sum float64
+	for _, v := range d.Values {
+		sum += v
+	}
+	out := make([]float64, len(d.Values))
+	if sum == 0 {
+		copy(out, d.Values)
+		return out
+	}
+	for i, v := range d.Values {
+		out[i] = v / sum
+	}
+	return out
+}
+
+// Percentile computes the p-th percentile (0..100) of a slice of float64
+// samples using nearest-rank. It returns 0 for an empty slice.
+func Percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

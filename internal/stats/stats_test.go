@@ -1,0 +1,394 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", s.Count())
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := s.StdDev(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+	if s.Sum() != 40 {
+		t.Fatalf("Sum = %v, want 40", s.Sum())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 || s.Count() != 0 {
+		t.Fatalf("empty summary not all-zero: %+v", s)
+	}
+}
+
+func TestSummaryAddN(t *testing.T) {
+	var a, b Summary
+	for i := 0; i < 5; i++ {
+		a.Add(3)
+	}
+	b.AddN(3, 5)
+	if a != b {
+		t.Fatalf("AddN mismatch: %+v vs %+v", a, b)
+	}
+	b.AddN(7, 0)
+	if a != b {
+		t.Fatal("AddN with zero count changed the summary")
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	var a, b, whole Summary
+	for _, x := range []float64{1, 2, 3} {
+		a.Add(x)
+		whole.Add(x)
+	}
+	for _, x := range []float64{10, 20} {
+		b.Add(x)
+		whole.Add(x)
+	}
+	a.Merge(b)
+	if a != whole {
+		t.Fatalf("Merge mismatch: %+v vs %+v", a, whole)
+	}
+
+	var empty Summary
+	cp := whole
+	cp.Merge(empty)
+	if cp != whole {
+		t.Fatal("merging an empty summary changed the receiver")
+	}
+	empty.Merge(whole)
+	if empty != whole {
+		t.Fatal("merging into an empty summary did not copy")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Summary
+	s.Add(1)
+	s.Add(3)
+	out := s.String()
+	for _, want := range []string{"n=2", "mean=2.000", "min=1.000", "max=3.000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() = %q missing %q", out, want)
+		}
+	}
+}
+
+func TestQuickSummaryMergeEquivalence(t *testing.T) {
+	prop := func(rawA, rawB []uint8) bool {
+		var a, b, whole Summary
+		for _, x := range rawA {
+			a.Add(float64(x))
+			whole.Add(float64(x))
+		}
+		for _, x := range rawB {
+			b.Add(float64(x))
+			whole.Add(float64(x))
+		}
+		a.Merge(b)
+		return a.Count() == whole.Count() &&
+			math.Abs(a.Mean()-whole.Mean()) < 1e-9 &&
+			math.Abs(a.StdDev()-whole.StdDev()) < 1e-9 &&
+			a.Min() == whole.Min() && a.Max() == whole.Max()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(10)
+	for _, v := range []int{1, 1, 2, 3, 3, 3, 10} {
+		h.Add(v)
+	}
+	h.Add(25) // overflow
+	if h.Total() != 8 {
+		t.Fatalf("Total = %d, want 8", h.Total())
+	}
+	if h.Count(3) != 3 {
+		t.Fatalf("Count(3) = %d, want 3", h.Count(3))
+	}
+	if h.Count(25) != 1 || h.Overflow() != 1 {
+		t.Fatalf("overflow accounting wrong: Count(25)=%d Overflow=%d", h.Count(25), h.Overflow())
+	}
+	if h.Count(-1) != 0 {
+		t.Fatalf("Count(-1) = %d, want 0", h.Count(-1))
+	}
+	if h.Max() != 10 {
+		t.Fatalf("Max = %d, want 10", h.Max())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(100)
+	for v := 1; v <= 100; v++ {
+		h.Add(v)
+	}
+	cases := map[float64]int{0.01: 1, 0.5: 50, 0.9: 90, 1.0: 100}
+	for q, want := range cases {
+		if got := h.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %d, want %d", q, got, want)
+		}
+	}
+	empty := NewHistogram(4)
+	if empty.Quantile(0.5) != -1 {
+		t.Fatal("Quantile of empty histogram should be -1")
+	}
+	if empty.Max() != -1 {
+		t.Fatal("Max of empty histogram should be -1")
+	}
+}
+
+func TestHistogramQuantileClamping(t *testing.T) {
+	h := NewHistogram(10)
+	h.Add(5)
+	if got := h.Quantile(-0.5); got != 5 {
+		t.Fatalf("Quantile(-0.5) = %d, want 5", got)
+	}
+	if got := h.Quantile(2.0); got != 5 {
+		t.Fatalf("Quantile(2.0) = %d, want 5", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(5)
+	b := NewHistogram(8)
+	a.Add(1)
+	a.Add(9) // overflow for a
+	b.Add(7)
+	b.Add(3)
+	a.Merge(b)
+	if a.Total() != 4 {
+		t.Fatalf("Total = %d, want 4", a.Total())
+	}
+	if a.Count(1) != 1 || a.Count(3) != 1 {
+		t.Fatal("in-range counts lost in merge")
+	}
+	// b's 7 exceeds a's bound of 5, so it lands in overflow alongside a's 9.
+	if a.Overflow() != 2 {
+		t.Fatalf("Overflow = %d, want 2", a.Overflow())
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(10)
+	h.Add(2)
+	h.Add(4)
+	if got := h.Mean(); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("Mean = %v, want 3", got)
+	}
+	if NewHistogram(3).Mean() != 0 {
+		t.Fatal("Mean of empty histogram should be 0")
+	}
+}
+
+func TestHistogramNegativeBoundPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(-1)
+}
+
+func TestHistogramBucketsCopy(t *testing.T) {
+	h := NewHistogram(3)
+	h.Add(2)
+	buckets := h.Buckets()
+	buckets[2] = 99
+	if h.Count(2) != 1 {
+		t.Fatal("Buckets() exposed internal storage")
+	}
+}
+
+func TestQuickHistogramTotals(t *testing.T) {
+	prop := func(values []uint8) bool {
+		h := NewHistogram(64)
+		for _, v := range values {
+			h.Add(int(v))
+		}
+		var sum uint64
+		for _, c := range h.Buckets() {
+			sum += c
+		}
+		return sum+h.Overflow() == h.Total() && h.Total() == uint64(len(values))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributionNormalized(t *testing.T) {
+	d := Distribution{Labels: []string{"a", "b"}, Values: []float64{1, 3}}
+	norm := d.Normalized()
+	if math.Abs(norm[0]-0.25) > 1e-12 || math.Abs(norm[1]-0.75) > 1e-12 {
+		t.Fatalf("Normalized = %v", norm)
+	}
+	zero := Distribution{Labels: []string{"a"}, Values: []float64{0}}
+	if got := zero.Normalized(); got[0] != 0 {
+		t.Fatalf("Normalized zero distribution = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	samples := []float64{5, 1, 4, 2, 3}
+	cases := map[float64]float64{0: 1, 20: 1, 50: 3, 100: 5, 150: 5, -10: 1}
+	for p, want := range cases {
+		if got := Percentile(samples, p); got != want {
+			t.Errorf("Percentile(%v) = %v, want %v", p, got, want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("Percentile of empty slice should be 0")
+	}
+	// Input must not be reordered.
+	if samples[0] != 5 || samples[4] != 3 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries("batch0", "batch1")
+	ts.Append(0, 0.5, 0.1)
+	ts.Append(4000, 0.4, 0.2)
+	if ts.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ts.Len())
+	}
+	if ts.Step(1) != 4000 {
+		t.Fatalf("Step(1) = %d, want 4000", ts.Step(1))
+	}
+	row := ts.Row(0)
+	if row[0] != 0.5 || row[1] != 0.1 {
+		t.Fatalf("Row(0) = %v", row)
+	}
+	row[0] = 99
+	if ts.Row(0)[0] != 0.5 {
+		t.Fatal("Row exposed internal storage")
+	}
+	col, ok := ts.Column("batch1")
+	if !ok || len(col) != 2 || col[1] != 0.2 {
+		t.Fatalf("Column(batch1) = %v, %v", col, ok)
+	}
+	if _, ok := ts.Column("missing"); ok {
+		t.Fatal("Column(missing) reported ok")
+	}
+	cols := ts.Columns()
+	cols[0] = "mutated"
+	if ts.Columns()[0] != "batch0" {
+		t.Fatal("Columns exposed internal storage")
+	}
+}
+
+func TestTimeSeriesAppendPanicsOnArity(t *testing.T) {
+	ts := NewTimeSeries("a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ts.Append(0, 1.0)
+}
+
+func TestTimeSeriesTable(t *testing.T) {
+	ts := NewTimeSeries("x")
+	ts.Append(10, 1.5)
+	tbl := ts.Table("series")
+	out := tbl.String()
+	for _, want := range []string{"series", "step", "x", "10", "1.500"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output %q missing %q", out, want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Figure 2a", "threads", "levelarray", "random")
+	tbl.AddRow("1", "100", "120")
+	tbl.AddFloatRow("2", 200.5, 240)
+	if tbl.NumRows() != 2 {
+		t.Fatalf("NumRows = %d, want 2", tbl.NumRows())
+	}
+	if tbl.Title() != "Figure 2a" {
+		t.Fatalf("Title = %q", tbl.Title())
+	}
+	if got := tbl.Cell(1, 1); got != "200.500" {
+		t.Fatalf("Cell(1,1) = %q, want 200.500", got)
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "threads") || !strings.Contains(out, "200.500") {
+		t.Fatalf("String missing content: %q", out)
+	}
+	// Column alignment: header row and separator row have equal lengths.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("unexpected line count %d", len(lines))
+	}
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("header and separator widths differ: %q vs %q", lines[1], lines[2])
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tbl := NewTable("", "a", "b", "c")
+	tbl.AddRow("1")
+	tbl.AddRow("1", "2", "3", "4")
+	if got := tbl.Cell(0, 2); got != "" {
+		t.Fatalf("short row not padded: %q", got)
+	}
+	if got := tbl.Cell(1, 2); got != "3" {
+		t.Fatalf("long row mangled: %q", got)
+	}
+	headers := tbl.Headers()
+	headers[0] = "mutated"
+	if tbl.Headers()[0] != "a" {
+		t.Fatal("Headers exposed internal storage")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("t", "name", "value")
+	tbl.AddRow("plain", "1")
+	tbl.AddRow("with,comma", "2")
+	csv := tbl.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want 3", len(lines))
+	}
+	if lines[0] != "name,value" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "\"with,comma\"") {
+		t.Fatalf("CSV did not quote comma cell: %q", lines[2])
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		1:      "1",
+		-3:     "-3",
+		2.5:    "2.500",
+		0:      "0",
+		1.2344: "1.234",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

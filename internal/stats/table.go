@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table is a simple column-aligned text table with optional CSV rendering.
+// The cmd/bench* drivers use it to print the same rows and series the paper's
+// figures report.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns an empty table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	hs := make([]string, len(headers))
+	copy(hs, headers)
+	return &Table{title: title, headers: hs}
+}
+
+// Title returns the table title.
+func (t *Table) Title() string { return t.title }
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Headers returns a copy of the column headers.
+func (t *Table) Headers() []string {
+	out := make([]string, len(t.headers))
+	copy(out, t.headers)
+	return out
+}
+
+// AddRow appends a row. Missing cells are padded with empty strings and extra
+// cells are dropped so the table always stays rectangular.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddFloatRow appends a row whose first cell is a label and whose remaining
+// cells are formatted floats.
+func (t *Table) AddFloatRow(label string, values ...float64) {
+	cells := make([]string, 0, len(values)+1)
+	cells = append(cells, label)
+	for _, v := range values {
+		cells = append(cells, formatFloat(v))
+	}
+	t.AddRow(cells...)
+}
+
+// Cell returns the cell at row r, column c.
+func (t *Table) Cell(r, c int) string { return t.rows[r][c] }
+
+// String renders the table as aligned plain text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteString("\n")
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(fmt.Sprintf("%-*s", widths[i], cell))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row. Cells
+// containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteString(strconv.Quote(cell))
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.headers)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// formatFloat renders a float compactly: integers without a decimal point,
+// other values with three decimals.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 3, 64)
+}

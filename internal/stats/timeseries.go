@@ -1,0 +1,88 @@
+package stats
+
+import "fmt"
+
+// TimeSeries records a sequence of (step, values...) samples with a fixed set
+// of column labels. The healing experiment (Figure 3) uses it to record the
+// per-batch occupancy distribution every snapshot interval; the throughput
+// experiments use it to record per-thread-count series.
+type TimeSeries struct {
+	columns []string
+	steps   []uint64
+	rows    [][]float64
+}
+
+// NewTimeSeries returns an empty time series with the given column labels.
+func NewTimeSeries(columns ...string) *TimeSeries {
+	cols := make([]string, len(columns))
+	copy(cols, columns)
+	return &TimeSeries{columns: cols}
+}
+
+// Columns returns a copy of the column labels.
+func (ts *TimeSeries) Columns() []string {
+	out := make([]string, len(ts.columns))
+	copy(out, ts.columns)
+	return out
+}
+
+// Append records one sample. It panics if the number of values does not match
+// the number of columns, which always indicates a programming error in the
+// experiment driver.
+func (ts *TimeSeries) Append(step uint64, values ...float64) {
+	if len(values) != len(ts.columns) {
+		panic(fmt.Sprintf("stats: sample has %d values, series has %d columns",
+			len(values), len(ts.columns)))
+	}
+	row := make([]float64, len(values))
+	copy(row, values)
+	ts.steps = append(ts.steps, step)
+	ts.rows = append(ts.rows, row)
+}
+
+// Len returns the number of recorded samples.
+func (ts *TimeSeries) Len() int { return len(ts.rows) }
+
+// Step returns the step value of sample i.
+func (ts *TimeSeries) Step(i int) uint64 { return ts.steps[i] }
+
+// Row returns a copy of the values of sample i.
+func (ts *TimeSeries) Row(i int) []float64 {
+	out := make([]float64, len(ts.rows[i]))
+	copy(out, ts.rows[i])
+	return out
+}
+
+// Column returns a copy of the series for the named column. The second return
+// value is false if the column does not exist.
+func (ts *TimeSeries) Column(name string) ([]float64, bool) {
+	idx := -1
+	for i, c := range ts.columns {
+		if c == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, false
+	}
+	out := make([]float64, len(ts.rows))
+	for i, row := range ts.rows {
+		out[i] = row[idx]
+	}
+	return out, true
+}
+
+// Table converts the series into a Table with "step" as the first column.
+func (ts *TimeSeries) Table(title string) *Table {
+	tbl := NewTable(title, append([]string{"step"}, ts.columns...)...)
+	for i, row := range ts.rows {
+		cells := make([]string, 0, len(row)+1)
+		cells = append(cells, fmt.Sprintf("%d", ts.steps[i]))
+		for _, v := range row {
+			cells = append(cells, formatFloat(v))
+		}
+		tbl.AddRow(cells...)
+	}
+	return tbl
+}

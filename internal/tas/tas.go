@@ -1,0 +1,153 @@
+// Package tas provides the shared-memory test-and-set substrate used by every
+// activity-array algorithm in this repository.
+//
+// The paper's model assumes an array of memory locations supporting
+// test-and-set (win by flipping 0 -> 1) and reset (1 -> 0); the benchmark
+// implementation realizes test-and-set with compare-and-swap, which is exactly
+// what this package does on top of sync/atomic.
+//
+// Three implementations of the Space interface are provided:
+//
+//   - AtomicSpace: the real thing, padded to avoid false sharing, used by the
+//     concurrent harness and the applications.
+//   - CountingSpace: wraps any Space and counts probes, wins, losses and
+//     resets; used by tests and by the step-level simulator when exact
+//     counters are needed independently of the algorithms' own reporting.
+//   - FlakySpace: a failure-injection wrapper that forces a configurable
+//     number of artificial losses, used to drive Get operations into deep
+//     batches and the backup array in tests.
+package tas
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Space is an indexed collection of test-and-set locations.
+//
+// TestAndSet(i) attempts to atomically flip location i from free to taken and
+// reports whether the caller won. Reset(i) returns location i to the free
+// state; only the winner of the location may call it. Read(i) reports whether
+// the location is currently taken, and is the primitive Collect scans with.
+type Space interface {
+	// Len returns the number of locations in the space.
+	Len() int
+
+	// TestAndSet attempts to acquire location i, returning true on success.
+	TestAndSet(i int) bool
+
+	// Reset releases location i back to the free state.
+	Reset(i int)
+
+	// Read reports whether location i is currently taken.
+	Read(i int) bool
+}
+
+// slotsPerCacheLine controls the padding of AtomicSpace. A 64-byte cache line
+// holds sixteen uint32 values; spreading logically adjacent slots across
+// separate lines removes false sharing between threads probing nearby indices,
+// which matters for LinearProbing and the deterministic baseline.
+const slotsPerCacheLine = 16
+
+// paddedSlot is a single test-and-set location occupying a full cache line.
+type paddedSlot struct {
+	value uint32
+	_     [slotsPerCacheLine*4 - 4]byte
+}
+
+// AtomicSpace is a Space backed by sync/atomic compare-and-swap on padded
+// 32-bit words. It is safe for concurrent use.
+type AtomicSpace struct {
+	slots []paddedSlot
+}
+
+var _ Space = (*AtomicSpace)(nil)
+
+// NewAtomicSpace returns an AtomicSpace with size locations, all free.
+// It panics if size is not positive.
+func NewAtomicSpace(size int) *AtomicSpace {
+	if size <= 0 {
+		panic(fmt.Sprintf("tas: invalid space size %d", size))
+	}
+	return &AtomicSpace{slots: make([]paddedSlot, size)}
+}
+
+// Len returns the number of locations.
+func (s *AtomicSpace) Len() int { return len(s.slots) }
+
+// TestAndSet attempts to acquire location i with a single compare-and-swap.
+func (s *AtomicSpace) TestAndSet(i int) bool {
+	return atomic.CompareAndSwapUint32(&s.slots[i].value, 0, 1)
+}
+
+// Reset releases location i.
+func (s *AtomicSpace) Reset(i int) {
+	atomic.StoreUint32(&s.slots[i].value, 0)
+}
+
+// Read reports whether location i is taken.
+func (s *AtomicSpace) Read(i int) bool {
+	return atomic.LoadUint32(&s.slots[i].value) != 0
+}
+
+// CompactSpace is an unpadded variant of AtomicSpace: one uint32 per slot,
+// sixteen slots per cache line. It trades false sharing for a 16x smaller
+// footprint and better Collect locality, matching the paper's remark that the
+// activity array's "good cache behavior during collects" is part of its
+// appeal. Benchmarks can select either layout to expose the trade-off.
+type CompactSpace struct {
+	slots []uint32
+}
+
+var _ Space = (*CompactSpace)(nil)
+
+// NewCompactSpace returns a CompactSpace with size locations, all free.
+// It panics if size is not positive.
+func NewCompactSpace(size int) *CompactSpace {
+	if size <= 0 {
+		panic(fmt.Sprintf("tas: invalid space size %d", size))
+	}
+	return &CompactSpace{slots: make([]uint32, size)}
+}
+
+// Len returns the number of locations.
+func (s *CompactSpace) Len() int { return len(s.slots) }
+
+// TestAndSet attempts to acquire location i with a single compare-and-swap.
+func (s *CompactSpace) TestAndSet(i int) bool {
+	return atomic.CompareAndSwapUint32(&s.slots[i], 0, 1)
+}
+
+// Reset releases location i.
+func (s *CompactSpace) Reset(i int) {
+	atomic.StoreUint32(&s.slots[i], 0)
+}
+
+// Read reports whether location i is taken.
+func (s *CompactSpace) Read(i int) bool {
+	return atomic.LoadUint32(&s.slots[i]) != 0
+}
+
+// Occupancy returns the number of taken locations in sp. It is a helper for
+// tests, the balance analyzer and the healing experiment; it is not atomic
+// with respect to concurrent operations (and does not need to be, matching
+// the paper's non-snapshot Collect semantics).
+func Occupancy(sp Space) int {
+	taken := 0
+	for i := 0; i < sp.Len(); i++ {
+		if sp.Read(i) {
+			taken++
+		}
+	}
+	return taken
+}
+
+// Snapshot returns a boolean slice describing which locations are taken.
+// Like Occupancy it is not an atomic snapshot.
+func Snapshot(sp Space) []bool {
+	out := make([]bool, sp.Len())
+	for i := range out {
+		out[i] = sp.Read(i)
+	}
+	return out
+}

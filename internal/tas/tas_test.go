@@ -1,0 +1,324 @@
+package tas
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// spaceFactories enumerates the concrete Space implementations under test.
+func spaceFactories() map[string]func(size int) Space {
+	return map[string]func(size int) Space{
+		"atomic":  func(size int) Space { return NewAtomicSpace(size) },
+		"compact": func(size int) Space { return NewCompactSpace(size) },
+		"counting": func(size int) Space {
+			return NewCountingSpace(NewAtomicSpace(size))
+		},
+		"randomized": func(size int) Space { return NewRandomizedSpace(size, 5) },
+	}
+}
+
+func TestSpaceBasics(t *testing.T) {
+	for name, factory := range spaceFactories() {
+		factory := factory
+		t.Run(name, func(t *testing.T) {
+			sp := factory(8)
+			if sp.Len() != 8 {
+				t.Fatalf("Len = %d, want 8", sp.Len())
+			}
+			for i := 0; i < sp.Len(); i++ {
+				if sp.Read(i) {
+					t.Fatalf("slot %d taken before any TestAndSet", i)
+				}
+			}
+			if !sp.TestAndSet(3) {
+				t.Fatal("first TestAndSet(3) lost")
+			}
+			if !sp.Read(3) {
+				t.Fatal("Read(3) false after winning TestAndSet")
+			}
+			if sp.TestAndSet(3) {
+				t.Fatal("second TestAndSet(3) won")
+			}
+			sp.Reset(3)
+			if sp.Read(3) {
+				t.Fatal("Read(3) true after Reset")
+			}
+			if !sp.TestAndSet(3) {
+				t.Fatal("TestAndSet(3) lost after Reset")
+			}
+		})
+	}
+}
+
+func TestNewSpacePanicsOnInvalidSize(t *testing.T) {
+	cases := map[string]func(){
+		"atomic-zero":      func() { NewAtomicSpace(0) },
+		"atomic-negative":  func() { NewAtomicSpace(-1) },
+		"compact-zero":     func() { NewCompactSpace(0) },
+		"compact-negative": func() { NewCompactSpace(-5) },
+	}
+	for name, fn := range cases {
+		fn := fn
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// TestMutualExclusion checks the defining property of test-and-set: under
+// concurrency, exactly one caller wins each location.
+func TestMutualExclusion(t *testing.T) {
+	for name, factory := range spaceFactories() {
+		factory := factory
+		t.Run(name, func(t *testing.T) {
+			const (
+				slots      = 64
+				goroutines = 16
+			)
+			sp := factory(slots)
+			wins := make([][]int, goroutines)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < slots; i++ {
+						if sp.TestAndSet(i) {
+							wins[g] = append(wins[g], i)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			winners := make(map[int]int)
+			for g := range wins {
+				for _, slot := range wins[g] {
+					winners[slot]++
+				}
+			}
+			if len(winners) != slots {
+				t.Fatalf("only %d of %d slots were won", len(winners), slots)
+			}
+			for slot, count := range winners {
+				if count != 1 {
+					t.Fatalf("slot %d won %d times", slot, count)
+				}
+			}
+		})
+	}
+}
+
+func TestOccupancyAndSnapshot(t *testing.T) {
+	sp := NewAtomicSpace(10)
+	for _, i := range []int{0, 4, 9} {
+		if !sp.TestAndSet(i) {
+			t.Fatalf("TestAndSet(%d) lost on empty space", i)
+		}
+	}
+	if got := Occupancy(sp); got != 3 {
+		t.Fatalf("Occupancy = %d, want 3", got)
+	}
+	snap := Snapshot(sp)
+	if len(snap) != 10 {
+		t.Fatalf("Snapshot length %d, want 10", len(snap))
+	}
+	for i, taken := range snap {
+		want := i == 0 || i == 4 || i == 9
+		if taken != want {
+			t.Fatalf("Snapshot[%d] = %v, want %v", i, taken, want)
+		}
+	}
+}
+
+func TestCountingSpaceCounters(t *testing.T) {
+	cs := NewCountingSpace(NewAtomicSpace(4))
+	if !cs.TestAndSet(0) {
+		t.Fatal("first TestAndSet lost")
+	}
+	if cs.TestAndSet(0) {
+		t.Fatal("second TestAndSet won")
+	}
+	cs.Read(0)
+	cs.Read(1)
+	cs.Reset(0)
+	got := cs.Counters()
+	want := Counters{Probes: 2, Wins: 1, Losses: 1, Resets: 1, Reads: 2}
+	if got != want {
+		t.Fatalf("Counters = %+v, want %+v", got, want)
+	}
+	cs.ResetCounters()
+	if got := cs.Counters(); got != (Counters{}) {
+		t.Fatalf("Counters after reset = %+v, want zero", got)
+	}
+	// Slot state must survive counter reset.
+	if cs.Read(0) {
+		t.Fatal("slot 0 still taken after Reset")
+	}
+}
+
+func TestFlakySpaceForcedLosses(t *testing.T) {
+	fs := NewFlakySpace(NewAtomicSpace(4), 3)
+	losses := 0
+	for i := 0; i < 3; i++ {
+		if fs.TestAndSet(0) {
+			t.Fatalf("probe %d won during forced-loss window", i)
+		}
+		losses++
+	}
+	if fs.RemainingForcedLosses() != 0 {
+		t.Fatalf("RemainingForcedLosses = %d, want 0", fs.RemainingForcedLosses())
+	}
+	if !fs.TestAndSet(0) {
+		t.Fatal("probe after forced-loss window lost on a free slot")
+	}
+	if losses != 3 {
+		t.Fatalf("forced losses = %d, want 3", losses)
+	}
+}
+
+func TestFlakySpaceDenyRange(t *testing.T) {
+	fs := NewFlakySpace(NewAtomicSpace(10), 0)
+	fs.DenyRange(2, 5)
+	for i := 2; i < 5; i++ {
+		if fs.TestAndSet(i) {
+			t.Fatalf("TestAndSet(%d) won inside denied range", i)
+		}
+		if fs.Read(i) {
+			t.Fatalf("denied probe marked slot %d as taken", i)
+		}
+	}
+	if !fs.TestAndSet(5) {
+		t.Fatal("TestAndSet(5) lost outside denied range")
+	}
+	// Clearing the denial re-enables the range.
+	fs.DenyRange(0, 0)
+	if !fs.TestAndSet(2) {
+		t.Fatal("TestAndSet(2) lost after denial cleared")
+	}
+}
+
+func TestFlakySpaceRemainingNeverNegative(t *testing.T) {
+	fs := NewFlakySpace(NewAtomicSpace(2), 1)
+	fs.TestAndSet(0)
+	fs.TestAndSet(0)
+	fs.TestAndSet(1)
+	if got := fs.RemainingForcedLosses(); got != 0 {
+		t.Fatalf("RemainingForcedLosses = %d, want 0", got)
+	}
+}
+
+// Property: any interleaving of TestAndSet/Reset on a single slot maintains a
+// simple sequential model of the slot's state.
+func TestQuickSingleSlotModel(t *testing.T) {
+	prop := func(ops []bool) bool {
+		sp := NewAtomicSpace(1)
+		taken := false
+		for _, acquire := range ops {
+			if acquire {
+				won := sp.TestAndSet(0)
+				if won == taken {
+					// Winning while the model says taken, or losing while
+					// free, is a violation.
+					return false
+				}
+				if won {
+					taken = true
+				}
+			} else {
+				sp.Reset(0)
+				taken = false
+			}
+			if sp.Read(0) != taken {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: occupancy equals wins minus resets for sequences of wins and
+// resets generated on distinct slots.
+func TestQuickOccupancyAccounting(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		sp := NewCountingSpace(NewAtomicSpace(256))
+		held := make(map[int]bool)
+		for _, b := range raw {
+			slot := int(b)
+			if held[slot] {
+				sp.Reset(slot)
+				delete(held, slot)
+			} else if sp.TestAndSet(slot) {
+				held[slot] = true
+			}
+		}
+		c := sp.Counters()
+		return Occupancy(sp) == len(held) && c.Wins-c.Resets == uint64(len(held))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAcquireRelease(t *testing.T) {
+	const (
+		slots      = 128
+		goroutines = 8
+		iterations = 2000
+	)
+	sp := NewAtomicSpace(slots)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each goroutine works a disjoint stripe so releases are always
+			// performed by the owner, as the model requires.
+			for it := 0; it < iterations; it++ {
+				slot := g*(slots/goroutines) + it%(slots/goroutines)
+				if sp.TestAndSet(slot) {
+					if !sp.Read(slot) {
+						t.Errorf("slot %d not visible as taken to its owner", slot)
+						return
+					}
+					sp.Reset(slot)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := Occupancy(sp); got != 0 {
+		t.Fatalf("Occupancy = %d after all releases, want 0", got)
+	}
+}
+
+func BenchmarkTestAndSetUncontended(b *testing.B) {
+	sp := NewAtomicSpace(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % 1024
+		sp.TestAndSet(slot)
+		sp.Reset(slot)
+	}
+}
+
+func BenchmarkTestAndSetContended(b *testing.B) {
+	sp := NewAtomicSpace(1)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if sp.TestAndSet(0) {
+				sp.Reset(0)
+			}
+		}
+	})
+}

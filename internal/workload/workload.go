@@ -1,0 +1,120 @@
+// Package workload translates the paper's benchmark parameters (Section 6's
+// methodology) into per-thread execution plans for the concurrent harness:
+//
+//   - n is the number of real threads;
+//   - N is the emulated concurrency: the maximum number of array slots that
+//     may be registered simultaneously. For N > n each thread registers N/n
+//     times before deregistering, holding several names at once;
+//   - the pre-fill percentage is the fraction of each thread's registrations
+//     performed up-front and held for the whole run, so the main loop churns
+//     on an array that stays at that load;
+//   - L, the array size, is expressed as a size factor relative to N and is
+//     handled by the array constructors (registry.Options.SizeFactor).
+package workload
+
+import "fmt"
+
+// Plan describes what one benchmark thread does.
+type Plan struct {
+	// Resident is the number of names the thread acquires before the main
+	// loop and holds until the end of the run (the pre-fill portion).
+	Resident int
+	// Churn is the number of names the thread repeatedly acquires and
+	// releases in its main loop.
+	Churn int
+}
+
+// Slots returns the total number of handles the thread needs.
+func (p Plan) Slots() int { return p.Resident + p.Churn }
+
+// Spec is the benchmark parameterization shared by the Figure 2 experiments.
+type Spec struct {
+	// Threads is n, the number of real threads.
+	Threads int
+	// EmulatedN is N, the maximum number of simultaneously registered slots.
+	// Zero means N = Threads (no emulation).
+	EmulatedN int
+	// PrefillPercent is the percentage (0..100) of registrations performed
+	// up-front and held for the whole run.
+	PrefillPercent int
+}
+
+// Validate reports the first problem with the specification.
+func (s Spec) Validate() error {
+	if s.Threads < 1 {
+		return fmt.Errorf("workload: thread count %d must be at least 1", s.Threads)
+	}
+	if s.EmulatedN < 0 {
+		return fmt.Errorf("workload: emulated concurrency %d must not be negative", s.EmulatedN)
+	}
+	if s.EmulatedN > 0 && s.EmulatedN < s.Threads {
+		return fmt.Errorf("workload: emulated concurrency %d is below the thread count %d",
+			s.EmulatedN, s.Threads)
+	}
+	if s.PrefillPercent < 0 || s.PrefillPercent > 100 {
+		return fmt.Errorf("workload: pre-fill percentage %d outside [0, 100]", s.PrefillPercent)
+	}
+	return nil
+}
+
+// Capacity returns N, the contention bound the activity array must be built
+// for (EmulatedN, or Threads when no emulation is requested).
+func (s Spec) Capacity() int {
+	if s.EmulatedN > 0 {
+		return s.EmulatedN
+	}
+	return s.Threads
+}
+
+// Plans returns one Plan per thread. Slots are distributed as evenly as
+// possible: when N is not divisible by n the first N mod n threads hold one
+// extra slot. Within each thread, the pre-fill percentage determines how many
+// of its slots are resident; every thread keeps at least one churn slot so
+// the main loop always has work (matching the paper, whose pre-fill tops out
+// at 90%).
+func (s Spec) Plans() ([]Plan, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	capacity := s.Capacity()
+	base := capacity / s.Threads
+	extra := capacity % s.Threads
+
+	plans := make([]Plan, s.Threads)
+	for i := range plans {
+		slots := base
+		if i < extra {
+			slots++
+		}
+		if slots == 0 {
+			// More threads than emulated slots cannot happen (Validate
+			// rejects EmulatedN < Threads), but keep the invariant explicit.
+			slots = 1
+		}
+		resident := slots * s.PrefillPercent / 100
+		if resident >= slots {
+			resident = slots - 1
+		}
+		plans[i] = Plan{Resident: resident, Churn: slots - resident}
+	}
+	return plans, nil
+}
+
+// TotalResident returns the number of names held for the whole run across
+// all plans.
+func TotalResident(plans []Plan) int {
+	total := 0
+	for _, p := range plans {
+		total += p.Resident
+	}
+	return total
+}
+
+// TotalChurn returns the number of churn slots across all plans.
+func TotalChurn(plans []Plan) int {
+	total := 0
+	for _, p := range plans {
+		total += p.Churn
+	}
+	return total
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSpecValidate(t *testing.T) {
+	valid := []Spec{
+		{Threads: 1},
+		{Threads: 8, EmulatedN: 8000, PrefillPercent: 50},
+		{Threads: 80, EmulatedN: 80000, PrefillPercent: 90},
+		{Threads: 4, PrefillPercent: 0},
+	}
+	for _, s := range valid {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", s, err)
+		}
+	}
+	invalid := []Spec{
+		{},
+		{Threads: 0},
+		{Threads: -1},
+		{Threads: 4, EmulatedN: -1},
+		{Threads: 8, EmulatedN: 4},
+		{Threads: 4, PrefillPercent: -1},
+		{Threads: 4, PrefillPercent: 101},
+	}
+	for _, s := range invalid {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted an invalid spec", s)
+		}
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	if got := (Spec{Threads: 8}).Capacity(); got != 8 {
+		t.Fatalf("Capacity = %d, want 8", got)
+	}
+	if got := (Spec{Threads: 8, EmulatedN: 8000}).Capacity(); got != 8000 {
+		t.Fatalf("Capacity = %d, want 8000", got)
+	}
+}
+
+func TestPlansPaperConfiguration(t *testing.T) {
+	// The paper's Figure 2 configuration: N = 1000·n, 50% pre-fill.
+	const n = 40
+	spec := Spec{Threads: n, EmulatedN: 1000 * n, PrefillPercent: 50}
+	plans, err := spec.Plans()
+	if err != nil {
+		t.Fatalf("Plans: %v", err)
+	}
+	if len(plans) != n {
+		t.Fatalf("len(plans) = %d, want %d", len(plans), n)
+	}
+	totalSlots := 0
+	for i, p := range plans {
+		if p.Slots() != 1000 {
+			t.Fatalf("thread %d has %d slots, want 1000", i, p.Slots())
+		}
+		if p.Resident != 500 || p.Churn != 500 {
+			t.Fatalf("thread %d plan = %+v, want 500/500", i, p)
+		}
+		totalSlots += p.Slots()
+	}
+	if totalSlots != 1000*n {
+		t.Fatalf("total slots %d, want %d", totalSlots, 1000*n)
+	}
+	if TotalResident(plans) != 500*n || TotalChurn(plans) != 500*n {
+		t.Fatalf("totals wrong: resident %d churn %d", TotalResident(plans), TotalChurn(plans))
+	}
+}
+
+func TestPlansUnevenDivision(t *testing.T) {
+	spec := Spec{Threads: 3, EmulatedN: 10, PrefillPercent: 0}
+	plans, err := spec.Plans()
+	if err != nil {
+		t.Fatalf("Plans: %v", err)
+	}
+	sizes := []int{plans[0].Slots(), plans[1].Slots(), plans[2].Slots()}
+	if sizes[0] != 4 || sizes[1] != 3 || sizes[2] != 3 {
+		t.Fatalf("slot distribution %v, want [4 3 3]", sizes)
+	}
+}
+
+func TestPlansAlwaysLeaveChurnWork(t *testing.T) {
+	// Even at 90% (and even at an out-of-spec 100% clamped by Plans), every
+	// thread must keep at least one churn slot.
+	for _, prefill := range []int{0, 50, 90, 99} {
+		spec := Spec{Threads: 4, EmulatedN: 40, PrefillPercent: prefill}
+		plans, err := spec.Plans()
+		if err != nil {
+			t.Fatalf("Plans(%d%%): %v", prefill, err)
+		}
+		for i, p := range plans {
+			if p.Churn < 1 {
+				t.Fatalf("prefill %d%%: thread %d has no churn work: %+v", prefill, i, p)
+			}
+		}
+	}
+}
+
+func TestPlansNoEmulation(t *testing.T) {
+	spec := Spec{Threads: 8, PrefillPercent: 50}
+	plans, err := spec.Plans()
+	if err != nil {
+		t.Fatalf("Plans: %v", err)
+	}
+	for i, p := range plans {
+		if p.Slots() != 1 {
+			t.Fatalf("thread %d has %d slots, want 1", i, p.Slots())
+		}
+		if p.Resident != 0 {
+			t.Fatalf("thread %d with a single slot must not have residents: %+v", i, p)
+		}
+	}
+}
+
+func TestPlansError(t *testing.T) {
+	if _, err := (Spec{Threads: 0}).Plans(); err == nil {
+		t.Fatal("Plans accepted an invalid spec")
+	}
+}
+
+// Property: plans partition exactly Capacity() slots, the resident fraction
+// never exceeds the requested percentage, and every thread keeps churn work.
+func TestQuickPlansPartitionCapacity(t *testing.T) {
+	prop := func(threadsRaw, factorRaw, prefillRaw uint8) bool {
+		threads := int(threadsRaw%64) + 1
+		factor := int(factorRaw % 100)
+		prefill := int(prefillRaw % 101)
+		spec := Spec{Threads: threads, EmulatedN: threads * (factor + 1), PrefillPercent: prefill}
+		plans, err := spec.Plans()
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, p := range plans {
+			if p.Churn < 1 || p.Resident < 0 {
+				return false
+			}
+			total += p.Slots()
+		}
+		if total != spec.Capacity() {
+			return false
+		}
+		return TotalResident(plans) <= spec.Capacity()*prefill/100+threads
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

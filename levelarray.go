@@ -1,0 +1,91 @@
+// Package levelarray is the public API of the LevelArray library: a fast,
+// practical long-lived renaming / activity-array data structure, reproducing
+// Alistarh, Kopinsky, Matveev and Shavit, "The LevelArray: A Fast, Practical
+// Long-Lived Renaming Algorithm" (ICDCS 2014, arXiv:1405.5461).
+//
+// An activity array lets up to n concurrent participants register (Get a
+// unique small integer name), deregister (Free it), and lets any thread
+// Collect the set of currently registered names. The LevelArray implements
+// Get in O(1) expected and O(log log n) whp test-and-set probes over
+// long-lived executions, Free in one step, and Collect in O(n) steps, using
+// 2n+n slots of memory.
+//
+// Quick start:
+//
+//	arr, err := levelarray.New(levelarray.Config{Capacity: 64})
+//	if err != nil { ... }
+//	h := arr.Handle()            // one handle per goroutine
+//	name, err := h.Get()         // register
+//	...                          // use the name, e.g. index a slot array
+//	err = h.Free()               // deregister
+//	registered := arr.Collect(nil) // scan the registered set
+//
+// The public API is a thin façade over the internal packages; the comparator
+// algorithms, the benchmark harness, the execution simulator and the
+// application substrates (memory reclamation, STM, flat combining, barriers)
+// live under internal/ and are exercised by the cmd/ drivers and examples/.
+package levelarray
+
+import (
+	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/core"
+	"github.com/levelarray/levelarray/internal/rng"
+)
+
+// Array is the long-lived renaming interface: Get/Free/Collect with the
+// guarantees described in the package comment. The LevelArray implements it,
+// as do the comparator algorithms used by the benchmarks.
+type Array = activity.Array
+
+// Handle is the per-participant endpoint of an Array. Handles are not safe
+// for concurrent use; every goroutine owns its handle.
+type Handle = activity.Handle
+
+// ProbeStats are the per-handle registration cost statistics (number of
+// test-and-set trials per Get), the metric the paper's evaluation reports.
+type ProbeStats = activity.ProbeStats
+
+// LevelArray is the paper's algorithm. Construct it with New.
+type LevelArray = core.LevelArray
+
+// Config parameterizes a LevelArray. The zero value of every field except
+// Capacity selects the paper's defaults (a 2n-slot main array, one probe per
+// batch, a Marsaglia xorshift generator).
+type Config = core.Config
+
+// RNGKind selects the pseudo-random generator family used for probe choices.
+type RNGKind = rng.Kind
+
+// Available generator families: Marsaglia xorshift (64- and 32-bit), the
+// Park-Miller/Lehmer MINSTD generator, and SplitMix64.
+const (
+	RNGXorshift   = rng.KindXorshift
+	RNGXorshift32 = rng.KindXorshift32
+	RNGLehmer     = rng.KindLehmer
+	RNGSplitMix   = rng.KindSplitMix
+)
+
+// Errors returned by Array implementations.
+var (
+	// ErrAlreadyRegistered is returned by Get when the handle already holds
+	// a name.
+	ErrAlreadyRegistered = activity.ErrAlreadyRegistered
+	// ErrNotRegistered is returned by Free when the handle holds no name.
+	ErrNotRegistered = activity.ErrNotRegistered
+	// ErrFull is returned by Get when no free slot exists anywhere in the
+	// namespace, which can only happen when more participants than the
+	// configured capacity register simultaneously.
+	ErrFull = activity.ErrFull
+)
+
+// New builds a LevelArray for at most cfg.Capacity simultaneously registered
+// participants.
+func New(cfg Config) (*LevelArray, error) {
+	return core.New(cfg)
+}
+
+// MustNew is New but panics on error; intended for examples and tests with
+// constant configurations.
+func MustNew(cfg Config) *LevelArray {
+	return core.MustNew(cfg)
+}

@@ -1,0 +1,117 @@
+package levelarray_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	levelarray "github.com/levelarray/levelarray"
+)
+
+// TestPublicAPIQuickstart exercises the documented quick-start flow through
+// the public façade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	arr, err := levelarray.New(levelarray.Config{Capacity: 64})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	h := arr.Handle()
+	name, err := h.Get()
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if name < 0 || name >= arr.Size() {
+		t.Fatalf("name %d outside namespace [0, %d)", name, arr.Size())
+	}
+	registered := arr.Collect(nil)
+	if len(registered) != 1 || registered[0] != name {
+		t.Fatalf("Collect = %v, want [%d]", registered, name)
+	}
+	if err := h.Free(); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if got := arr.Collect(nil); len(got) != 0 {
+		t.Fatalf("Collect after Free = %v", got)
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	arr := levelarray.MustNew(levelarray.Config{Capacity: 4})
+	h := arr.Handle()
+	if err := h.Free(); !errors.Is(err, levelarray.ErrNotRegistered) {
+		t.Fatalf("Free before Get = %v", err)
+	}
+	if _, err := h.Get(); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if _, err := h.Get(); !errors.Is(err, levelarray.ErrAlreadyRegistered) {
+		t.Fatalf("second Get = %v", err)
+	}
+}
+
+func TestPublicAPIInvalidConfig(t *testing.T) {
+	if _, err := levelarray.New(levelarray.Config{}); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestPublicAPIRNGSelection(t *testing.T) {
+	arr := levelarray.MustNew(levelarray.Config{Capacity: 8, RNG: levelarray.RNGLehmer, Seed: 5})
+	h := arr.Handle()
+	if _, err := h.Get(); err != nil {
+		t.Fatalf("Get with Lehmer RNG: %v", err)
+	}
+	if h.LastProbes() < 1 {
+		t.Fatal("no probes recorded")
+	}
+	var stats levelarray.ProbeStats = h.Stats()
+	if stats.Ops != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestPublicAPIConcurrentUse(t *testing.T) {
+	const workers = 32
+	arr := levelarray.MustNew(levelarray.Config{Capacity: workers, Seed: 7})
+	var wg sync.WaitGroup
+	names := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var h levelarray.Handle = arr.Handle()
+			for i := 0; i < 200; i++ {
+				name, err := h.Get()
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				names[w] = name
+				if err := h.Free(); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if got := arr.Collect(nil); len(got) != 0 {
+		t.Fatalf("Collect after churn = %v", got)
+	}
+}
+
+// TestPublicAPIAsInterface checks the façade type aliases compose: a
+// LevelArray can be passed around as the generic Array interface.
+func TestPublicAPIAsInterface(t *testing.T) {
+	var arr levelarray.Array = levelarray.MustNew(levelarray.Config{Capacity: 16})
+	if arr.Capacity() != 16 {
+		t.Fatalf("Capacity = %d", arr.Capacity())
+	}
+	if arr.Size() < 16 {
+		t.Fatalf("Size = %d", arr.Size())
+	}
+}
