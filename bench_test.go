@@ -303,7 +303,8 @@ func BenchmarkLogLogScaling(b *testing.B) {
 }
 
 // BenchmarkCollect measures the cost of the Collect scan (the paper's O(n)
-// operation) at several capacities and 50% occupancy.
+// operation) at several capacities and 50% occupancy, on the default bitmap
+// substrate (64 slots per atomic load).
 func BenchmarkCollect(b *testing.B) {
 	for _, n := range []int{1000, 10000, 80000} {
 		n := n
@@ -318,6 +319,99 @@ func BenchmarkCollect(b *testing.B) {
 			b.StopTimer()
 			if len(buf) != n/2 {
 				b.Fatalf("Collect returned %d names, want %d", len(buf), n/2)
+			}
+		})
+	}
+}
+
+// substrateKinds enumerates the slot layouts compared by the substrate
+// benchmarks, in the order they should appear in reports.
+func substrateKinds() []core.SpaceKind {
+	return []core.SpaceKind{core.SpaceBitmap, core.SpaceBitmapPadded, core.SpacePadded, core.SpaceCompact}
+}
+
+// BenchmarkCollectSubstrates compares the Collect scan across slot layouts at
+// n=4096 and 50% occupancy: the bitmap substrates scan 64 slots per atomic
+// load while the unpacked layouts pay one atomic load per slot. This is the
+// headline comparison for the word-packed substrate (the bitmap word-scan is
+// expected to beat the per-slot CompactSpace scan by well over 4x).
+func BenchmarkCollectSubstrates(b *testing.B) {
+	const n = 4096
+	for _, kind := range substrateKinds() {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			arr := core.MustNew(core.Config{Capacity: n, Seed: 23, Space: kind})
+			prefillArray(b, arr, n/2)
+			buf := make([]int, 0, arr.Size())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = arr.Collect(buf[:0])
+			}
+			b.StopTimer()
+			if len(buf) != n/2 {
+				b.Fatalf("Collect returned %d names, want %d", len(buf), n/2)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(arr.Size()), "ns/slot")
+		})
+	}
+}
+
+// BenchmarkGetFreeSubstrates compares the register/deregister churn across
+// slot layouts under RunParallel at 50% pre-fill, exposing the contention
+// trade-off of packing 64 slots into one CAS word: the dispatch-free bitmap
+// path vs the interface-dispatch unpacked layouts.
+func BenchmarkGetFreeSubstrates(b *testing.B) {
+	const capacity = 4 * 1000
+	for _, kind := range substrateKinds() {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			arr := core.MustNew(core.Config{Capacity: capacity, Seed: 43, Space: kind})
+			prefillArray(b, arr, capacity/2)
+			var (
+				mu     sync.Mutex
+				merged activity.ProbeStats
+			)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				h := arr.Handle()
+				for pb.Next() {
+					if _, err := h.Get(); err != nil {
+						b.Errorf("Get: %v", err)
+						return
+					}
+					if err := h.Free(); err != nil {
+						b.Errorf("Free: %v", err)
+						return
+					}
+				}
+				mu.Lock()
+				merged.Merge(h.Stats())
+				mu.Unlock()
+			})
+			b.StopTimer()
+			reportProbeMetrics(b, merged)
+		})
+	}
+}
+
+// BenchmarkOccupancySubstrates compares the word-at-a-time occupancy count
+// against the per-slot scan, the primitive behind the healing experiment's
+// snapshots.
+func BenchmarkOccupancySubstrates(b *testing.B) {
+	const n = 4096
+	for _, kind := range substrateKinds() {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			arr := core.MustNew(core.Config{Capacity: n, Seed: 47, Space: kind})
+			prefillArray(b, arr, n/2)
+			b.ResetTimer()
+			total := 0
+			for i := 0; i < b.N; i++ {
+				total += arr.Occupancy().Total()
+			}
+			b.StopTimer()
+			if total != b.N*n/2 {
+				b.Fatalf("occupancy drifted: total %d over %d iterations", total, b.N)
 			}
 		})
 	}

@@ -19,6 +19,7 @@ import (
 	"github.com/levelarray/levelarray/internal/registry"
 	"github.com/levelarray/levelarray/internal/rng"
 	"github.com/levelarray/levelarray/internal/stats"
+	"github.com/levelarray/levelarray/internal/tas"
 	"github.com/levelarray/levelarray/internal/workload"
 )
 
@@ -39,6 +40,7 @@ func run() error {
 	roundsPerThread := flag.Int("rounds", 0, "churn rounds per thread (0 = duration-based run)")
 	collectEvery := flag.Int("collect-every", 0, "perform a Collect every k-th round (0 = never)")
 	rngName := flag.String("rng", "xorshift", "random generator: xorshift, xorshift32, lehmer, splitmix")
+	spaceName := flag.String("space", "bitmap", "slot substrate: bitmap, bitmap-padded, padded, compact")
 	seed := flag.Uint64("seed", 1, "base random seed")
 	flag.Parse()
 
@@ -49,6 +51,10 @@ func run() error {
 	kind, ok := rng.ParseKind(*rngName)
 	if !ok {
 		return fmt.Errorf("unknown rng %q", *rngName)
+	}
+	space, ok := tas.ParseKind(*spaceName)
+	if !ok {
+		return fmt.Errorf("unknown space layout %q", *spaceName)
 	}
 
 	result, err := harness.Run(harness.Config{
@@ -63,6 +69,7 @@ func run() error {
 		Duration:        *duration,
 		CollectEvery:    *collectEvery,
 		RNG:             kind,
+		Space:           space,
 		Seed:            *seed,
 	})
 	if err != nil {

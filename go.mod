@@ -1,0 +1,3 @@
+module github.com/levelarray/levelarray
+
+go 1.24

@@ -106,8 +106,13 @@ type ProbeStats struct {
 	MaxProbes uint64
 	// BackupOps counts Gets that had to resort to the backup array (or, for
 	// comparator algorithms without a backup, Gets that scanned the entire
-	// array at least once).
+	// array at least once). Failed Gets that swept the backup count too.
 	BackupOps uint64
+	// FailedOps is the number of Gets that returned ErrFull after exhausting
+	// the namespace. Their probes are included in TotalProbes, SumSquares and
+	// MaxProbes (a failed Get swept the whole array, which is exactly the
+	// cost the harness must not undercount), but not in Ops.
+	FailedOps uint64
 	// Frees is the number of completed Free operations.
 	Frees uint64
 }
@@ -127,6 +132,21 @@ func (s *ProbeStats) Record(probes int, usedBackup bool) {
 	}
 }
 
+// RecordFailure folds one failed Get (ErrFull) that used probes trials into
+// the statistics. The probes count towards the totals and the worst case but
+// the operation is tallied under FailedOps, not Ops; it also counts as a
+// backup operation, since a Get can only fail after sweeping the backup.
+func (s *ProbeStats) RecordFailure(probes int) {
+	p := uint64(probes)
+	s.FailedOps++
+	s.TotalProbes += p
+	s.SumSquares += p * p
+	if p > s.MaxProbes {
+		s.MaxProbes = p
+	}
+	s.BackupOps++
+}
+
 // RecordFree folds one completed Free into the statistics.
 func (s *ProbeStats) RecordFree() {
 	s.Frees++
@@ -142,26 +162,30 @@ func (s *ProbeStats) Merge(other ProbeStats) {
 		s.MaxProbes = other.MaxProbes
 	}
 	s.BackupOps += other.BackupOps
+	s.FailedOps += other.FailedOps
 	s.Frees += other.Frees
 }
 
-// Mean returns the average number of probes per Get, or 0 if no Gets
-// completed.
+// Attempts returns the number of Get attempts, successful or not.
+func (s ProbeStats) Attempts() uint64 { return s.Ops + s.FailedOps }
+
+// Mean returns the average number of probes per Get attempt (failed Gets
+// included), or 0 if no Gets were attempted.
 func (s ProbeStats) Mean() float64 {
-	if s.Ops == 0 {
+	if s.Attempts() == 0 {
 		return 0
 	}
-	return float64(s.TotalProbes) / float64(s.Ops)
+	return float64(s.TotalProbes) / float64(s.Attempts())
 }
 
-// Variance returns the population variance of the per-operation probe count,
-// or 0 if no Gets completed.
+// Variance returns the population variance of the per-attempt probe count,
+// or 0 if no Gets were attempted.
 func (s ProbeStats) Variance() float64 {
-	if s.Ops == 0 {
+	if s.Attempts() == 0 {
 		return 0
 	}
 	mean := s.Mean()
-	return float64(s.SumSquares)/float64(s.Ops) - mean*mean
+	return float64(s.SumSquares)/float64(s.Attempts()) - mean*mean
 }
 
 // StdDev returns the population standard deviation of the per-operation probe
@@ -177,6 +201,10 @@ func (s ProbeStats) StdDev() float64 {
 
 // String renders the statistics in a compact human-readable form.
 func (s ProbeStats) String() string {
-	return fmt.Sprintf("ops=%d avg=%.3f stddev=%.3f max=%d backup=%d frees=%d",
+	out := fmt.Sprintf("ops=%d avg=%.3f stddev=%.3f max=%d backup=%d frees=%d",
 		s.Ops, s.Mean(), s.StdDev(), s.MaxProbes, s.BackupOps, s.Frees)
+	if s.FailedOps > 0 {
+		out += fmt.Sprintf(" failed=%d", s.FailedOps)
+	}
+	return out
 }

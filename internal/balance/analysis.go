@@ -15,12 +15,28 @@ type Occupancy []int
 // MeasureOccupancy scans space and returns the per-batch occupancy according
 // to layout. The space must have at least layout.TotalSize() slots; spaces
 // holding only the main array (layout.MainSize() slots) are also accepted, in
-// which case the backup count is zero.
+// which case the backup count is zero. Word-packed spaces are scanned 64
+// slots per atomic load.
 func MeasureOccupancy(layout *Layout, space tas.Space) Occupancy {
 	counts := make(Occupancy, layout.NumBatches()+1)
 	limit := space.Len()
 	if limit > layout.TotalSize() {
 		limit = layout.TotalSize()
+	}
+	if bm, ok := space.(*tas.BitmapSpace); ok {
+		// Masked popcount per batch range; alignment-padding gaps between
+		// batches are attributed to the preceding batch, matching BatchOf.
+		pos := 0
+		for j := 0; j < layout.NumBatches(); j++ {
+			b := layout.Batch(j)
+			if b.Offset > pos && j > 0 {
+				counts[j-1] += bm.CountRange(pos, min(b.Offset, limit))
+			}
+			counts[j] = bm.CountRange(b.Offset, min(b.Offset+b.Size, limit))
+			pos = b.Offset + b.Size
+		}
+		counts[layout.NumBatches()] = bm.CountRange(layout.MainSize(), limit)
+		return counts
 	}
 	for slot := 0; slot < limit; slot++ {
 		if space.Read(slot) {

@@ -88,30 +88,56 @@ func TestPaperLayoutGeometry(t *testing.T) {
 	}
 }
 
-func TestBatchesAreContiguous(t *testing.T) {
+func TestBatchesAreOrderedAndWordAligned(t *testing.T) {
 	for _, n := range []int{1, 2, 3, 7, 16, 100, 1000, 1 << 14} {
 		for _, eps := range []float64{0.5, 1, 2} {
 			l := MustNewLayout(n, eps)
 			offset := 0
+			covered := 0
+			padding := 0
+			wordBatches := 0
 			for i := 0; i < l.NumBatches(); i++ {
 				b := l.Batch(i)
 				if b.Index != i {
 					t.Fatalf("n=%d eps=%v: batch %d has index %d", n, eps, i, b.Index)
 				}
-				if b.Offset != offset {
-					t.Fatalf("n=%d eps=%v: batch %d offset %d, want %d", n, eps, i, b.Offset, offset)
+				if b.Offset < offset {
+					t.Fatalf("n=%d eps=%v: batch %d offset %d overlaps previous end %d", n, eps, i, b.Offset, offset)
 				}
 				if b.Size < 1 {
 					t.Fatalf("n=%d eps=%v: batch %d empty", n, eps, i)
 				}
-				offset += b.Size
+				// Word-sized batches start on a bitmap-word boundary; sub-word
+				// batches are packed densely (no gap before them).
+				if b.Size >= WordSlots {
+					wordBatches++
+					if b.Offset%WordSlots != 0 {
+						t.Fatalf("n=%d eps=%v: batch %d (size %d) offset %d not word-aligned", n, eps, i, b.Size, b.Offset)
+					}
+				} else if b.Offset != offset {
+					t.Fatalf("n=%d eps=%v: sub-word batch %d padded (offset %d, want %d)", n, eps, i, b.Offset, offset)
+				}
+				padding += b.Offset - offset
+				covered += b.Size
+				offset = b.Offset + b.Size
 			}
 			if offset != l.MainSize() {
-				t.Fatalf("n=%d eps=%v: batches cover %d slots, main size %d", n, eps, offset, l.MainSize())
+				t.Fatalf("n=%d eps=%v: batches end at %d, main size %d", n, eps, offset, l.MainSize())
 			}
-			// Space bound from the paper: main array is at most (1+ε)n slots.
-			if float64(l.MainSize()) > (1+eps)*float64(n)+1 {
-				t.Fatalf("n=%d eps=%v: main size %d exceeds (1+eps)n", n, eps, l.MainSize())
+			if padding != l.PaddingSlots() {
+				t.Fatalf("n=%d eps=%v: measured padding %d, PaddingSlots() %d", n, eps, padding, l.PaddingSlots())
+			}
+			if covered+padding != l.MainSize() {
+				t.Fatalf("n=%d eps=%v: sizes %d + padding %d != main size %d", n, eps, covered, padding, l.MainSize())
+			}
+			// ε-accounting with alignment: the batches themselves stay within
+			// the paper's (1+ε)n bound; the alignment may add at most one
+			// word's worth of padding per word-sized batch.
+			if float64(covered) > (1+eps)*float64(n)+1 {
+				t.Fatalf("n=%d eps=%v: batch slots %d exceed (1+eps)n", n, eps, covered)
+			}
+			if padding > WordSlots*wordBatches {
+				t.Fatalf("n=%d eps=%v: padding %d exceeds %d word-sized batches worth", n, eps, padding, wordBatches)
 			}
 		}
 	}
@@ -169,8 +195,16 @@ func TestQuickBatchOfConsistent(t *testing.T) {
 		if slot >= l.MainSize() {
 			return j == l.NumBatches()
 		}
+		// Slots inside a batch map to that batch; alignment-padding slots map
+		// to the nearest preceding batch.
 		b := l.Batch(j)
-		return slot >= b.Offset && slot < b.Offset+b.Size
+		if slot >= b.Offset && slot < b.Offset+b.Size {
+			return true
+		}
+		if slot < b.Offset+b.Size {
+			return false
+		}
+		return j+1 >= l.NumBatches() || slot < l.Batch(j+1).Offset
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)

@@ -30,6 +30,12 @@ type Batch struct {
 	Size int
 }
 
+// WordSlots is the number of slots per bitmap word of the word-packed
+// substrate (tas.WordBits). Batch offsets are aligned to this boundary so
+// word-at-a-time scans and probes never straddle a batch boundary within a
+// word ambiguously.
+const WordSlots = 64
+
 // Layout is the immutable batch geometry for a LevelArray with capacity n.
 //
 // The main array has size roughly (1+ε)n and is divided into batches
@@ -37,11 +43,22 @@ type Batch struct {
 // i ≥ 1, until batches would become empty. A backup array of exactly n slots
 // follows the main array, so every Get can be satisfied even in executions
 // that defeat the randomized path.
+//
+// Batches spanning at least one full bitmap word (WordSlots slots) start at a
+// word-aligned offset; the unused padding slots between such batches belong
+// to no batch and are never probed by the randomized path (only the
+// last-resort linear sweep and Adopt can occupy them). Sub-word batches are
+// packed densely at the tail — aligning them would inflate small arrays by a
+// factor of WordSlots while the few words they share are scanned in a couple
+// of loads anyway. The ε-accounting therefore reads: MainSize ≤
+// floor((1+ε)n) + WordSlots·(number of word-sized batches), with the padding
+// reported by PaddingSlots.
 type Layout struct {
 	capacity int
 	epsilon  float64
 	batches  []Batch
 	mainSize int
+	padding  int
 }
 
 // NewLayout builds the batch geometry for capacity n and space parameter
@@ -62,10 +79,16 @@ func NewLayout(capacity int, epsilon float64) (*Layout, error) {
 	}
 	batches := []Batch{{Index: 0, Offset: 0, Size: batch0}}
 	offset := batch0
+	padding := 0
 	for i := 1; ; i++ {
 		size := int(math.Floor(epsilon * n / math.Pow(2, float64(i+1))))
 		if size < 1 {
 			break
+		}
+		if size >= WordSlots {
+			aligned := (offset + WordSlots - 1) / WordSlots * WordSlots
+			padding += aligned - offset
+			offset = aligned
 		}
 		batches = append(batches, Batch{Index: i, Offset: offset, Size: size})
 		offset += size
@@ -75,6 +98,7 @@ func NewLayout(capacity int, epsilon float64) (*Layout, error) {
 		epsilon:  epsilon,
 		batches:  batches,
 		mainSize: offset,
+		padding:  padding,
 	}, nil
 }
 
@@ -107,8 +131,14 @@ func (l *Layout) Batches() []Batch {
 	return out
 }
 
-// MainSize returns the number of slots in the main (batched) array.
+// MainSize returns the number of slots in the main (batched) array,
+// including alignment padding between word-sized batches.
 func (l *Layout) MainSize() int { return l.mainSize }
+
+// PaddingSlots returns the number of main-array slots that belong to no
+// batch: the gaps inserted to word-align every batch of at least WordSlots
+// slots. The randomized probe path never targets them.
+func (l *Layout) PaddingSlots() int { return l.padding }
 
 // BackupSize returns the number of slots in the backup array (always exactly
 // the capacity, per Section 4).
@@ -119,7 +149,9 @@ func (l *Layout) TotalSize() int { return l.mainSize + l.capacity }
 
 // BatchOf returns the index of the batch containing main-array slot. Slots in
 // the backup region (slot >= MainSize) are reported as NumBatches(), i.e. one
-// past the last real batch. It panics for out-of-range slots.
+// past the last real batch; alignment-padding slots (which belong to no
+// batch) are attributed to the nearest preceding batch. It panics for
+// out-of-range slots.
 func (l *Layout) BatchOf(slot int) int {
 	if slot < 0 || slot >= l.TotalSize() {
 		panic(fmt.Sprintf("balance: slot %d out of range [0, %d)", slot, l.TotalSize()))

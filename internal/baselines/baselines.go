@@ -64,7 +64,13 @@ type Config struct {
 	// Seed is the base seed from which per-handle generators are derived.
 	Seed uint64
 
-	// CompactSlots selects the unpadded slot layout.
+	// Space selects the slot substrate layout. The zero value is the
+	// word-packed bitmap (tas.KindBitmap), matching the LevelArray default so
+	// comparisons stay substrate-fair.
+	Space tas.Kind
+
+	// CompactSlots is a deprecated alias for Space: tas.KindCompact, only
+	// honored when Space is left at its zero value.
 	CompactSlots bool
 }
 
@@ -76,6 +82,9 @@ func (c Config) withDefaults() Config {
 	if c.RNG == 0 {
 		c.RNG = rng.KindXorshift
 	}
+	if c.Space == tas.KindBitmap && c.CompactSlots {
+		c.Space = tas.KindCompact
+	}
 	return c
 }
 
@@ -86,6 +95,11 @@ func (c Config) validate() error {
 	}
 	if c.SizeFactor < 1 {
 		return fmt.Errorf("baselines: size factor %v must be at least 1", c.SizeFactor)
+	}
+	switch c.Space {
+	case tas.KindBitmap, tas.KindBitmapPadded, tas.KindPadded, tas.KindCompact:
+	default:
+		return fmt.Errorf("baselines: unknown Space kind %d", int(c.Space))
 	}
 	return nil
 }
@@ -116,12 +130,7 @@ func New(kind Kind, cfg Config) (*Array, error) {
 	if size < cfg.Capacity {
 		size = cfg.Capacity
 	}
-	var space tas.Space
-	if cfg.CompactSlots {
-		space = tas.NewCompactSpace(size)
-	} else {
-		space = tas.NewAtomicSpace(size)
-	}
+	space := tas.NewSpace(cfg.Space, size)
 	return &Array{
 		kind:  kind,
 		cfg:   cfg,
@@ -160,8 +169,11 @@ func (a *Array) Handle() activity.Handle {
 }
 
 // Collect appends every currently observed held name to dst and returns the
-// extended slice.
+// extended slice. Bitmap substrates are scanned 64 slots per atomic load.
 func (a *Array) Collect(dst []int) []int {
+	if bm, ok := a.space.(*tas.BitmapSpace); ok {
+		return bm.AppendSet(dst, 0)
+	}
 	for i := 0; i < a.space.Len(); i++ {
 		if a.space.Read(i) {
 			dst = append(dst, i)

@@ -291,11 +291,21 @@ func TestSpaceAccessor(t *testing.T) {
 	if arr.Space().Len() != arr.Size() {
 		t.Fatalf("Space().Len() = %d, Size() = %d", arr.Space().Len(), arr.Size())
 	}
-	if _, ok := arr.Space().(*tas.AtomicSpace); !ok {
-		t.Fatalf("default space is %T, want *tas.AtomicSpace", arr.Space())
+	if _, ok := arr.Space().(*tas.BitmapSpace); !ok {
+		t.Fatalf("default space is %T, want *tas.BitmapSpace", arr.Space())
+	}
+	padded := MustNew(KindDeterministic, Config{Capacity: 4, Space: tas.KindPadded})
+	if _, ok := padded.Space().(*tas.AtomicSpace); !ok {
+		t.Fatalf("padded space is %T, want *tas.AtomicSpace", padded.Space())
 	}
 	compact := MustNew(KindDeterministic, Config{Capacity: 4, CompactSlots: true})
 	if _, ok := compact.Space().(*tas.CompactSpace); !ok {
 		t.Fatalf("compact space is %T, want *tas.CompactSpace", compact.Space())
+	}
+}
+
+func TestUnknownSpaceKindRejected(t *testing.T) {
+	if _, err := New(KindRandom, Config{Capacity: 8, Space: tas.Kind(99)}); err == nil {
+		t.Fatal("unknown Space kind accepted")
 	}
 }

@@ -28,6 +28,36 @@ import (
 // concentration bounds.
 const DefaultProbesPerBatch = 1
 
+// SpaceKind selects the slot substrate layout. See the Config.Space field.
+type SpaceKind = tas.Kind
+
+// The substrate layouts a LevelArray can run on. SpaceBitmap is the default:
+// 64 slots per word, word-at-a-time Collect, and a dispatch-free hot path.
+// The unpacked layouts remain for the benchmarks that compare them.
+const (
+	SpaceBitmap       = tas.KindBitmap
+	SpaceBitmapPadded = tas.KindBitmapPadded
+	SpacePadded       = tas.KindPadded
+	SpaceCompact      = tas.KindCompact
+)
+
+// SpaceRole tells an Instrument decorator which space it is wrapping.
+type SpaceRole int
+
+// The two spaces a LevelArray owns.
+const (
+	RoleMain SpaceRole = iota
+	RoleBackup
+)
+
+// String returns the role name.
+func (r SpaceRole) String() string {
+	if r == RoleBackup {
+		return "backup"
+	}
+	return "main"
+}
+
 // Config parameterizes a LevelArray.
 type Config struct {
 	// Capacity is n, the maximum number of participants that may hold names
@@ -56,17 +86,38 @@ type Config struct {
 	// Zero is a valid seed.
 	Seed uint64
 
-	// CompactSlots selects the unpadded slot layout (16 slots per cache
-	// line) instead of the default one-slot-per-cache-line layout. The
-	// compact layout is smaller and collects faster but exhibits false
-	// sharing under heavy contention.
+	// Space selects the slot substrate layout. The zero value, SpaceBitmap,
+	// is the word-packed bitmap: 64 slots per uint64 word, test-and-set as a
+	// wait-free fetch-or on the bit mask, Collect and Occupancy scanning 64 slots per
+	// atomic load, and — when no Instrument decorator is installed — a Get/
+	// Free hot path with zero interface dispatch. SpaceBitmapPadded places
+	// each bitmap word on its own cache line for heavily contended arrays.
+	// SpacePadded (one slot per cache line) and SpaceCompact (one uint32 per
+	// slot) are the historical unpacked layouts, kept for the substrate-
+	// comparison benchmarks; they always run through the tas.Space
+	// interface.
+	Space SpaceKind
+
+	// Instrument, when non-nil, is applied to each freshly built slot space
+	// and may return a wrapped tas.Space (tas.CountingSpace, tas.FlakySpace,
+	// or any custom decorator). Returning the inner space unchanged keeps
+	// the dispatch-free fast path; returning a wrapper routes every probe,
+	// reset and read of that space through the interface. Instrumentation is
+	// therefore strictly pay-when-requested: the hot path of an
+	// uninstrumented bitmap array contains no tas.Space interface calls.
+	Instrument func(role SpaceRole, inner tas.Space) tas.Space
+
+	// CompactSlots is a deprecated alias for Space: SpaceCompact, kept for
+	// configurations written against the pre-bitmap substrate. It is only
+	// honored when Space is left at its zero value.
 	CompactSlots bool
 
 	// SoftwareTAS replaces the hardware compare-and-swap slots with the
 	// randomized read/write test-and-set construction (tas.RandomizedSpace),
 	// the fallback the paper describes for machines without a hardware
 	// test-and-set primitive. It is slower and exists for the ablation
-	// benchmarks; it cannot be combined with CompactSlots.
+	// benchmarks; it cannot be combined with CompactSlots or a non-default
+	// Space.
 	SoftwareTAS bool
 }
 
@@ -80,6 +131,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RNG == 0 {
 		c.RNG = rng.KindXorshift
+	}
+	if c.Space == SpaceBitmap && c.CompactSlots {
+		c.Space = SpaceCompact
 	}
 	return c
 }
@@ -100,20 +154,32 @@ func (c Config) validate() error {
 	if c.SoftwareTAS && c.CompactSlots {
 		return fmt.Errorf("core: SoftwareTAS cannot be combined with CompactSlots")
 	}
+	if c.SoftwareTAS && c.Space != SpaceBitmap {
+		return fmt.Errorf("core: SoftwareTAS cannot be combined with Space %v", c.Space)
+	}
+	switch c.Space {
+	case SpaceBitmap, SpaceBitmapPadded, SpacePadded, SpaceCompact:
+	default:
+		return fmt.Errorf("core: unknown Space kind %d", int(c.Space))
+	}
 	return nil
 }
 
-// newSpace builds a slot space of the given size; seed is only used by the
-// software test-and-set construction.
-func (c Config) newSpace(size int, seed uint64) tas.Space {
-	switch {
-	case c.SoftwareTAS:
-		return tas.NewRandomizedSpace(size, seed)
-	case c.CompactSlots:
-		return tas.NewCompactSpace(size)
-	default:
-		return tas.NewAtomicSpace(size)
+// newSpace builds a slot space of the given size and applies the Instrument
+// decorator; seed is only used by the software test-and-set construction.
+func (c Config) newSpace(role SpaceRole, size int, seed uint64) tas.Space {
+	var sp tas.Space
+	if c.SoftwareTAS {
+		sp = tas.NewRandomizedSpace(size, seed)
+	} else {
+		sp = tas.NewSpace(c.Space, size)
 	}
+	if c.Instrument != nil {
+		if wrapped := c.Instrument(role, sp); wrapped != nil {
+			sp = wrapped
+		}
+	}
+	return sp
 }
 
 // probesFor returns c_i for batch i under this configuration.

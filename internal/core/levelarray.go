@@ -18,12 +18,29 @@ import (
 // indices at or above it identify backup-array slots. With honest randomness
 // the backup is essentially never used; it exists so Get is wait-free with a
 // deterministic worst case of O(n) probes.
+//
+// On the default bitmap substrate with no Instrument decorator, every Get,
+// Free and Adopt operates directly on concrete *tas.BitmapSpace values
+// (fastMain/fastBackup below), so the hot path contains no tas.Space
+// interface dispatch; Collect and Occupancy scan 64 slots per atomic load.
+// Selecting an unpacked substrate or installing instrumentation routes the
+// same operations through the tas.Space interface instead.
 type LevelArray struct {
 	cfg    Config
 	layout *balance.Layout
+
+	// main and backup are the spaces every operation logically targets,
+	// possibly wrapped by the Instrument decorator.
 	main   tas.Space
 	backup tas.Space
-	seeds  *rng.SeedSequence
+
+	// fastMain and fastBackup are the dispatch-free view: non-nil exactly
+	// when the corresponding space is an uninstrumented *tas.BitmapSpace,
+	// in which case they alias main/backup.
+	fastMain   *tas.BitmapSpace
+	fastBackup *tas.BitmapSpace
+
+	seeds *rng.SeedSequence
 }
 
 var _ activity.Array = (*LevelArray)(nil)
@@ -39,13 +56,18 @@ func New(cfg Config) (*LevelArray, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: building layout: %w", err)
 	}
-	return &LevelArray{
+	la := &LevelArray{
 		cfg:    cfg,
 		layout: layout,
-		main:   cfg.newSpace(layout.MainSize(), cfg.Seed^0xA11),
-		backup: cfg.newSpace(layout.BackupSize(), cfg.Seed^0xB22),
+		main:   cfg.newSpace(RoleMain, layout.MainSize(), cfg.Seed^0xA11),
+		backup: cfg.newSpace(RoleBackup, layout.BackupSize(), cfg.Seed^0xB22),
 		seeds:  rng.NewSeedSequence(cfg.Seed),
-	}, nil
+	}
+	// The fast path keys off the dynamic type, so an Instrument decorator
+	// that returns the inner space unchanged keeps dispatch-free operation.
+	la.fastMain, _ = la.main.(*tas.BitmapSpace)
+	la.fastBackup, _ = la.backup.(*tas.BitmapSpace)
+	return la, nil
 }
 
 // MustNew is New but panics on error; it is intended for tests and examples
@@ -67,9 +89,10 @@ func (la *LevelArray) Size() int { return la.layout.TotalSize() }
 // Layout returns the batch geometry of the main array.
 func (la *LevelArray) Layout() *balance.Layout { return la.layout }
 
-// MainSpace returns the main slot space. It is exported within the module so
-// the balance analyzer and the healing experiment can observe (and, for the
-// degraded-start experiment, pre-fill) the raw slots.
+// MainSpace returns the main slot space (instrumented view, if any). It is
+// exported within the module so the balance analyzer and the healing
+// experiment can observe (and, for the degraded-start experiment, pre-fill)
+// the raw slots.
 func (la *LevelArray) MainSpace() tas.Space { return la.main }
 
 // BackupSpace returns the backup slot space.
@@ -87,12 +110,21 @@ func (la *LevelArray) Handle() activity.Handle {
 // Collect appends every currently observed held name to dst and returns the
 // extended slice. It satisfies the paper's validity property (every returned
 // name was held at some point during the scan) but is not an atomic snapshot.
+// On the bitmap substrate the scan reads 64 slots per atomic load and peels
+// set bits with TrailingZeros64.
 func (la *LevelArray) Collect(dst []int) []int {
-	mainSize := la.main.Len()
-	for i := 0; i < mainSize; i++ {
-		if la.main.Read(i) {
-			dst = append(dst, i)
+	mainSize := la.layout.MainSize()
+	if la.fastMain != nil {
+		dst = la.fastMain.AppendSet(dst, 0)
+	} else {
+		for i := 0; i < mainSize; i++ {
+			if la.main.Read(i) {
+				dst = append(dst, i)
+			}
 		}
+	}
+	if la.fastBackup != nil {
+		return la.fastBackup.AppendSet(dst, mainSize)
 	}
 	for i := 0; i < la.backup.Len(); i++ {
 		if la.backup.Read(i) {
@@ -103,16 +135,11 @@ func (la *LevelArray) Collect(dst []int) []int {
 }
 
 // Occupancy measures the per-batch occupancy of the array (backup occupancy
-// in the final entry). Like Collect it is not an atomic snapshot.
+// in the final entry). Like Collect it is not an atomic snapshot. Bitmap
+// substrates are counted word-at-a-time.
 func (la *LevelArray) Occupancy() balance.Occupancy {
 	occ := balance.MeasureOccupancy(la.layout, la.main)
-	backupCount := 0
-	for i := 0; i < la.backup.Len(); i++ {
-		if la.backup.Read(i) {
-			backupCount++
-		}
-	}
-	occ[la.layout.NumBatches()] = backupCount
+	occ[la.layout.NumBatches()] = tas.Occupancy(la.backup)
 	return occ
 }
 
@@ -136,11 +163,67 @@ var _ activity.Handle = (*Handle)(nil)
 // The probe sequence follows Section 4: for each batch i in increasing order
 // the handle performs c_i test-and-set operations on uniformly random slots
 // of that batch, stopping at the first win. If every batch fails, the handle
-// scans the backup array linearly.
+// scans the backup array linearly, and as a last resort sweeps the main
+// array. A Get that exhausts the whole namespace returns ErrFull and records
+// the failed attempt (including its full probe count) in the handle's
+// statistics.
 func (h *Handle) Get() (int, error) {
 	if h.held {
 		return 0, activity.ErrAlreadyRegistered
 	}
+	if h.arr.fastMain != nil && h.arr.fastBackup != nil {
+		return h.getBitmap()
+	}
+	return h.getGeneric()
+}
+
+// getBitmap is the dispatch-free Get: every test-and-set is a direct call on
+// the concrete bitmap spaces.
+func (h *Handle) getBitmap() (int, error) {
+	main, backup := h.arr.fastMain, h.arr.fastBackup
+	layout := h.arr.layout
+	probes := 0
+	for b := 0; b < layout.NumBatches(); b++ {
+		batch := layout.Batch(b)
+		trials := h.arr.cfg.probesFor(b)
+		for t := 0; t < trials; t++ {
+			slot := batch.Offset + h.rng.Intn(batch.Size)
+			probes++
+			if main.TestAndSet(slot) {
+				h.acquire(slot, probes, false)
+				return slot, nil
+			}
+		}
+	}
+	// Backup path: scan the dedicated n-slot array linearly. Reaching this
+	// point requires losing every randomized probe, which the analysis shows
+	// is essentially impossible; the scan keeps Get wait-free regardless.
+	mainSize := main.Len()
+	for i := 0; i < backup.Len(); i++ {
+		probes++
+		if backup.TestAndSet(i) {
+			h.acquire(mainSize+i, probes, true)
+			return mainSize + i, nil
+		}
+	}
+	// Last resort: sweep the main array linearly. This is only reachable when
+	// more than Capacity participants are registered at once (outside the
+	// paper's model); the sweep guarantees that Get fails only when no free
+	// slot exists anywhere in the namespace.
+	for i := 0; i < mainSize; i++ {
+		probes++
+		if main.TestAndSet(i) {
+			h.acquire(i, probes, true)
+			return i, nil
+		}
+	}
+	return 0, h.fail(probes)
+}
+
+// getGeneric is the interface-dispatch Get used by the unpacked substrates,
+// the software test-and-set construction, and instrumented arrays. The probe
+// sequence is identical to getBitmap.
+func (h *Handle) getGeneric() (int, error) {
 	layout := h.arr.layout
 	probes := 0
 	for b := 0; b < layout.NumBatches(); b++ {
@@ -155,10 +238,7 @@ func (h *Handle) Get() (int, error) {
 			}
 		}
 	}
-	// Backup path: scan the dedicated n-slot array linearly. Reaching this
-	// point requires losing every randomized probe, which the analysis shows
-	// is essentially impossible; the scan keeps Get wait-free regardless.
-	mainSize := h.arr.main.Len()
+	mainSize := h.arr.layout.MainSize()
 	for i := 0; i < h.arr.backup.Len(); i++ {
 		probes++
 		if h.arr.backup.TestAndSet(i) {
@@ -166,10 +246,6 @@ func (h *Handle) Get() (int, error) {
 			return mainSize + i, nil
 		}
 	}
-	// Last resort: sweep the main array linearly. This is only reachable when
-	// more than Capacity participants are registered at once (outside the
-	// paper's model); the sweep guarantees that Get fails only when no free
-	// slot exists anywhere in the namespace.
 	for i := 0; i < mainSize; i++ {
 		probes++
 		if h.arr.main.TestAndSet(i) {
@@ -177,9 +253,7 @@ func (h *Handle) Get() (int, error) {
 			return i, nil
 		}
 	}
-	h.lastProbes = probes
-	h.lastBackup = true
-	return 0, activity.ErrFull
+	return 0, h.fail(probes)
 }
 
 // acquire records a successful Get outcome.
@@ -189,6 +263,16 @@ func (h *Handle) acquire(name, probes int, backup bool) {
 	h.lastProbes = probes
 	h.lastBackup = backup
 	h.stats.Record(probes, backup)
+}
+
+// fail records a Get that exhausted the namespace and returns ErrFull. The
+// failed attempt's probes are folded into the statistics so the harness's
+// error accounting does not undercount the work performed.
+func (h *Handle) fail(probes int) error {
+	h.lastProbes = probes
+	h.lastBackup = true
+	h.stats.RecordFailure(probes)
+	return activity.ErrFull
 }
 
 // Adopt registers the handle at a specific name instead of probing for one.
@@ -205,11 +289,16 @@ func (h *Handle) Adopt(name int) error {
 	if name < 0 || name >= h.arr.Size() {
 		return fmt.Errorf("core: adopt name %d outside namespace [0, %d)", name, h.arr.Size())
 	}
-	mainSize := h.arr.main.Len()
+	mainSize := h.arr.layout.MainSize()
 	var won bool
-	if name < mainSize {
+	switch {
+	case name < mainSize && h.arr.fastMain != nil:
+		won = h.arr.fastMain.TestAndSet(name)
+	case name < mainSize:
 		won = h.arr.main.TestAndSet(name)
-	} else {
+	case h.arr.fastBackup != nil:
+		won = h.arr.fastBackup.TestAndSet(name - mainSize)
+	default:
 		won = h.arr.backup.TestAndSet(name - mainSize)
 	}
 	if !won {
@@ -229,10 +318,15 @@ func (h *Handle) Free() error {
 	if !h.held {
 		return activity.ErrNotRegistered
 	}
-	mainSize := h.arr.main.Len()
-	if h.name < mainSize {
+	mainSize := h.arr.layout.MainSize()
+	switch {
+	case h.name < mainSize && h.arr.fastMain != nil:
+		h.arr.fastMain.Reset(h.name)
+	case h.name < mainSize:
 		h.arr.main.Reset(h.name)
-	} else {
+	case h.arr.fastBackup != nil:
+		h.arr.fastBackup.Reset(h.name - mainSize)
+	default:
 		h.arr.backup.Reset(h.name - mainSize)
 	}
 	h.held = false

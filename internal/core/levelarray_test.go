@@ -25,6 +25,28 @@ func TestConformanceCompactSlots(t *testing.T) {
 	})
 }
 
+func TestConformancePaddedBitmap(t *testing.T) {
+	arraytest.Run(t, func(capacity int) activity.Array {
+		return MustNew(Config{Capacity: capacity, Seed: 29, Space: SpaceBitmapPadded})
+	})
+}
+
+func TestConformancePaddedSlots(t *testing.T) {
+	arraytest.Run(t, func(capacity int) activity.Array {
+		return MustNew(Config{Capacity: capacity, Seed: 31, Space: SpacePadded})
+	})
+}
+
+// TestConformanceInstrumented runs the suite with counting decorators on both
+// spaces, i.e. entirely on the interface path.
+func TestConformanceInstrumented(t *testing.T) {
+	arraytest.Run(t, func(capacity int) activity.Array {
+		return MustNew(Config{Capacity: capacity, Seed: 37, Instrument: func(role SpaceRole, inner tas.Space) tas.Space {
+			return tas.NewCountingSpace(inner)
+		}})
+	})
+}
+
 func TestConformanceLehmerRNG(t *testing.T) {
 	arraytest.Run(t, func(capacity int) activity.Array {
 		return MustNew(Config{Capacity: capacity, Seed: 11, RNG: rng.KindLehmer})
@@ -170,14 +192,21 @@ func TestOverSubscription(t *testing.T) {
 
 // TestBackupPathUnderInjectedLosses forces every main-array probe to lose and
 // checks that Get falls back to the backup array, returns names above the
-// main size, and records the backup usage in its statistics.
+// main size, and records the backup usage in its statistics. The loss
+// injection goes through the Instrument decorator, which is the supported way
+// to wrap the slot spaces (and disables the dispatch-free fast path for the
+// wrapped space).
 func TestBackupPathUnderInjectedLosses(t *testing.T) {
 	const n = 32
-	la := MustNew(Config{Capacity: n, Seed: 13})
-	// Replace the main space with one that denies every probe.
-	flaky := tas.NewFlakySpace(la.MainSpace(), 0)
+	var flaky *tas.FlakySpace
+	la := MustNew(Config{Capacity: n, Seed: 13, Instrument: func(role SpaceRole, inner tas.Space) tas.Space {
+		if role != RoleMain {
+			return inner
+		}
+		flaky = tas.NewFlakySpace(inner, 0)
+		return flaky
+	}})
 	flaky.DenyRange(0, la.Layout().MainSize())
-	la.main = flaky
 
 	h := la.Handle().(*Handle)
 	name, err := h.Get()
@@ -210,13 +239,14 @@ func TestBackupPathUnderInjectedLosses(t *testing.T) {
 // TestErrFullProbeCount exercises the pathological everything-denied case.
 func TestErrFullProbeCount(t *testing.T) {
 	const n = 8
-	la := MustNew(Config{Capacity: n, Seed: 1})
-	deniedMain := tas.NewFlakySpace(la.MainSpace(), 0)
-	deniedMain.DenyRange(0, la.Layout().MainSize())
-	la.main = deniedMain
-	deniedBackup := tas.NewFlakySpace(la.BackupSpace(), 0)
-	deniedBackup.DenyRange(0, n)
-	la.backup = deniedBackup
+	spaces := make(map[SpaceRole]*tas.FlakySpace)
+	la := MustNew(Config{Capacity: n, Seed: 1, Instrument: func(role SpaceRole, inner tas.Space) tas.Space {
+		fs := tas.NewFlakySpace(inner, 0)
+		spaces[role] = fs
+		return fs
+	}})
+	spaces[RoleMain].DenyRange(0, la.Layout().MainSize())
+	spaces[RoleBackup].DenyRange(0, n)
 
 	h := la.Handle().(*Handle)
 	if _, err := h.Get(); err != activity.ErrFull {
@@ -227,9 +257,27 @@ func TestErrFullProbeCount(t *testing.T) {
 	if h.LastProbes() != wantProbes {
 		t.Fatalf("LastProbes = %d, want %d", h.LastProbes(), wantProbes)
 	}
-	// A failed Get must not be recorded as an operation.
-	if h.Stats().Ops != 0 {
-		t.Fatalf("Stats.Ops = %d after failed Get, want 0", h.Stats().Ops)
+	// A failed Get must not be recorded as a completed operation, but it must
+	// be recorded: the attempt's probes feed the totals and FailedOps tallies
+	// the failure, so harness error accounting does not undercount work.
+	s := h.Stats()
+	if s.Ops != 0 {
+		t.Fatalf("Stats.Ops = %d after failed Get, want 0", s.Ops)
+	}
+	if s.FailedOps != 1 {
+		t.Fatalf("Stats.FailedOps = %d after failed Get, want 1", s.FailedOps)
+	}
+	if s.TotalProbes != uint64(wantProbes) {
+		t.Fatalf("Stats.TotalProbes = %d after failed Get, want %d", s.TotalProbes, wantProbes)
+	}
+	if s.MaxProbes != uint64(wantProbes) {
+		t.Fatalf("Stats.MaxProbes = %d after failed Get, want %d", s.MaxProbes, wantProbes)
+	}
+	if s.BackupOps != 1 {
+		t.Fatalf("Stats.BackupOps = %d after failed Get, want 1", s.BackupOps)
+	}
+	if s.Attempts() != 1 {
+		t.Fatalf("Stats.Attempts() = %d after failed Get, want 1", s.Attempts())
 	}
 }
 
@@ -238,11 +286,16 @@ func TestErrFullProbeCount(t *testing.T) {
 // moving to batch 1.
 func TestProbeSchedule(t *testing.T) {
 	const n = 64
-	la := MustNew(Config{Capacity: n, Seed: 21, ProbeSchedule: []int{3, 2}})
-	flaky := tas.NewFlakySpace(la.MainSpace(), 0)
+	var flaky *tas.FlakySpace
+	la := MustNew(Config{Capacity: n, Seed: 21, ProbeSchedule: []int{3, 2}, Instrument: func(role SpaceRole, inner tas.Space) tas.Space {
+		if role != RoleMain {
+			return inner
+		}
+		flaky = tas.NewFlakySpace(inner, 0)
+		return flaky
+	}})
 	b0 := la.Layout().Batch(0)
 	flaky.DenyRange(b0.Offset, b0.Offset+b0.Size)
-	la.main = flaky
 
 	h := la.Handle().(*Handle)
 	name, err := h.Get()
@@ -549,6 +602,115 @@ func TestConcurrentHandleCreation(t *testing.T) {
 			t.Fatalf("duplicate name %d", name)
 		}
 		seen[name] = true
+	}
+}
+
+// TestFastPathSelection pins down when the dispatch-free bitmap path is
+// active: on by default, off for unpacked substrates, software TAS and
+// instrumented arrays — unless the decorator declines to wrap.
+func TestFastPathSelection(t *testing.T) {
+	identity := func(role SpaceRole, inner tas.Space) tas.Space { return inner }
+	wrap := func(role SpaceRole, inner tas.Space) tas.Space { return tas.NewCountingSpace(inner) }
+	cases := []struct {
+		name string
+		cfg  Config
+		fast bool
+	}{
+		{"default", Config{Capacity: 64}, true},
+		{"bitmap-padded", Config{Capacity: 64, Space: SpaceBitmapPadded}, true},
+		{"padded", Config{Capacity: 64, Space: SpacePadded}, false},
+		{"compact", Config{Capacity: 64, Space: SpaceCompact}, false},
+		{"compact-legacy", Config{Capacity: 64, CompactSlots: true}, false},
+		{"software", Config{Capacity: 64, SoftwareTAS: true}, false},
+		{"instrumented", Config{Capacity: 64, Instrument: wrap}, false},
+		{"identity-instrument", Config{Capacity: 64, Instrument: identity}, true},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			la := MustNew(c.cfg)
+			if got := la.fastMain != nil && la.fastBackup != nil; got != c.fast {
+				t.Fatalf("fast path active = %v, want %v", got, c.fast)
+			}
+		})
+	}
+}
+
+// TestCollectEquivalentAcrossSubstrates runs the same seeded operation
+// sequence on every substrate and checks that Collect returns the same set
+// of names, so the word-at-a-time scan and the per-slot scan agree.
+func TestCollectEquivalentAcrossSubstrates(t *testing.T) {
+	const n = 100 // main size not divisible by 64, tail word partial
+	collectFor := func(space SpaceKind) []int {
+		la := MustNew(Config{Capacity: n, Seed: 99, Space: space})
+		handles := make([]activity.Handle, n/2)
+		for i := range handles {
+			handles[i] = la.Handle()
+			if _, err := handles[i].Get(); err != nil {
+				t.Fatalf("space %v: Get: %v", space, err)
+			}
+		}
+		for i := 0; i < len(handles); i += 3 {
+			if err := handles[i].Free(); err != nil {
+				t.Fatalf("space %v: Free: %v", space, err)
+			}
+		}
+		return la.Collect(nil)
+	}
+	want := collectFor(SpaceBitmap)
+	for _, space := range []SpaceKind{SpaceBitmapPadded, SpacePadded, SpaceCompact} {
+		got := collectFor(space)
+		if len(got) != len(want) {
+			t.Fatalf("space %v: Collect returned %d names, bitmap returned %d", space, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("space %v: Collect[%d] = %d, bitmap has %d", space, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAdoptPaddingSlot adopts a word-alignment padding slot (one that belongs
+// to no batch): it must be acquirable, collectable and freeable like any
+// other main-array name, with its occupancy attributed to the preceding
+// batch.
+func TestAdoptPaddingSlot(t *testing.T) {
+	const n = 1000 // layout has alignment padding between batches 1 and 2
+	la := MustNew(Config{Capacity: n})
+	layout := la.Layout()
+	if layout.PaddingSlots() == 0 {
+		t.Skip("layout has no padding at this capacity")
+	}
+	// Find the first gap between consecutive batches.
+	pad := -1
+	for i := 1; i < layout.NumBatches(); i++ {
+		prev := layout.Batch(i - 1)
+		if end := prev.Offset + prev.Size; end < layout.Batch(i).Offset {
+			pad = end
+			break
+		}
+	}
+	if pad < 0 {
+		t.Fatalf("PaddingSlots=%d but no inter-batch gap found", layout.PaddingSlots())
+	}
+	h := la.Handle().(*Handle)
+	if err := h.Adopt(pad); err != nil {
+		t.Fatalf("Adopt(%d): %v", pad, err)
+	}
+	collected := la.Collect(nil)
+	if len(collected) != 1 || collected[0] != pad {
+		t.Fatalf("Collect = %v, want [%d]", collected, pad)
+	}
+	occ := la.Occupancy()
+	if occ.Total() != 1 {
+		t.Fatalf("occupancy total = %d, want 1", occ.Total())
+	}
+	if err := h.Free(); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if la.Occupancy().Total() != 0 {
+		t.Fatal("padding slot still occupied after Free")
 	}
 }
 

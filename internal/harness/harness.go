@@ -28,6 +28,7 @@ import (
 	"github.com/levelarray/levelarray/internal/activity"
 	"github.com/levelarray/levelarray/internal/registry"
 	"github.com/levelarray/levelarray/internal/rng"
+	"github.com/levelarray/levelarray/internal/tas"
 	"github.com/levelarray/levelarray/internal/workload"
 )
 
@@ -63,7 +64,12 @@ type Config struct {
 	// performs the same probe choices in round-based mode.
 	Seed uint64
 
-	// CompactSlots selects the unpadded slot layout.
+	// Space selects the slot substrate layout. The zero value is the
+	// word-packed bitmap.
+	Space tas.Kind
+
+	// CompactSlots is a deprecated alias for Space: tas.KindCompact, only
+	// honored when Space is left at its zero value.
 	CompactSlots bool
 }
 
@@ -156,6 +162,7 @@ func Run(cfg Config) (Result, error) {
 		SizeFactor:   cfg.SizeFactor,
 		RNG:          cfg.RNG,
 		Seed:         cfg.Seed,
+		Space:        cfg.Space,
 		CompactSlots: cfg.CompactSlots,
 	})
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"github.com/levelarray/levelarray/internal/baselines"
 	"github.com/levelarray/levelarray/internal/core"
 	"github.com/levelarray/levelarray/internal/rng"
+	"github.com/levelarray/levelarray/internal/tas"
 )
 
 // Algorithm identifies one of the registration algorithms under evaluation.
@@ -101,7 +102,11 @@ type Options struct {
 	RNG rng.Kind
 	// Seed is the base seed for per-handle generators.
 	Seed uint64
-	// CompactSlots selects the unpadded slot layout.
+	// Space selects the slot substrate layout for every algorithm. The zero
+	// value is the word-packed bitmap.
+	Space tas.Kind
+	// CompactSlots is a deprecated alias for Space: tas.KindCompact, only
+	// honored when Space is left at its zero value.
 	CompactSlots bool
 }
 
@@ -123,6 +128,7 @@ func New(algo Algorithm, opts Options) (activity.Array, error) {
 			ProbesPerBatch: opts.ProbesPerBatch,
 			RNG:            opts.RNG,
 			Seed:           opts.Seed,
+			Space:          opts.Space,
 			CompactSlots:   opts.CompactSlots,
 		})
 	case Random, LinearProbing, Deterministic:
@@ -140,6 +146,7 @@ func New(algo Algorithm, opts Options) (activity.Array, error) {
 			SizeFactor:   sizeFactor,
 			RNG:          opts.RNG,
 			Seed:         opts.Seed,
+			Space:        opts.Space,
 			CompactSlots: opts.CompactSlots,
 		})
 	default:

@@ -257,8 +257,8 @@ func New(cfg Config) (*Simulator, error) {
 	return &Simulator{
 		cfg:       cfg,
 		layout:    layout,
-		main:      tas.NewCompactSpace(layout.MainSize()),
-		backup:    tas.NewCompactSpace(layout.BackupSize()),
+		main:      tas.NewBitmapSpace(layout.MainSize()),
+		backup:    tas.NewBitmapSpace(layout.BackupSize()),
 		processes: processes,
 		trace: spec.Trace{
 			Capacity:      cfg.Capacity,

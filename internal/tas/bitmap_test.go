@@ -1,0 +1,374 @@
+package tas
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// bitmapVariants enumerates the packed layouts (dense and cache-line padded).
+func bitmapVariants() map[string]func(size int) *BitmapSpace {
+	return map[string]func(size int) *BitmapSpace{
+		"dense":  NewBitmapSpace,
+		"padded": NewPaddedBitmapSpace,
+	}
+}
+
+// TestBitmapUnevenSizes exercises capacities that do not divide 64: the tail
+// word is only partially used and must behave exactly like the full words.
+func TestBitmapUnevenSizes(t *testing.T) {
+	for name, build := range bitmapVariants() {
+		build := build
+		t.Run(name, func(t *testing.T) {
+			for _, size := range []int{1, 2, 63, 64, 65, 100, 127, 128, 129, 1000} {
+				sp := build(size)
+				if sp.Len() != size {
+					t.Fatalf("size %d: Len = %d", size, sp.Len())
+				}
+				wantWords := (size + WordBits - 1) / WordBits
+				if sp.NumWords() != wantWords {
+					t.Fatalf("size %d: NumWords = %d, want %d", size, sp.NumWords(), wantWords)
+				}
+				// Every slot, including the last, is individually acquirable.
+				for i := 0; i < size; i++ {
+					if !sp.TestAndSet(i) {
+						t.Fatalf("size %d: TestAndSet(%d) lost on empty space", size, i)
+					}
+				}
+				if got := sp.OccupancyFast(); got != size {
+					t.Fatalf("size %d: OccupancyFast = %d after filling", size, got)
+				}
+				// The tail word must not carry bits beyond Len.
+				words := sp.SnapshotWords()
+				if len(words) != wantWords {
+					t.Fatalf("size %d: SnapshotWords returned %d words", size, len(words))
+				}
+				total := 0
+				for _, w := range words {
+					total += bits.OnesCount64(w)
+				}
+				if total != size {
+					t.Fatalf("size %d: snapshot carries %d bits", size, total)
+				}
+				sp.Reset(size - 1)
+				if got := sp.OccupancyFast(); got != size-1 {
+					t.Fatalf("size %d: OccupancyFast = %d after one Reset", size, got)
+				}
+			}
+		})
+	}
+}
+
+// TestBitmapOutOfRangePanics verifies that indices beyond Len panic instead
+// of silently aliasing the unused tail bits of the last word.
+func TestBitmapOutOfRangePanics(t *testing.T) {
+	sp := NewBitmapSpace(100) // words hold 128 bits; 100..127 must not be usable
+	for _, i := range []int{-1, 100, 127} {
+		for name, op := range map[string]func(int){
+			"TestAndSet": func(i int) { sp.TestAndSet(i) },
+			"Reset":      func(i int) { sp.Reset(i) },
+			"Read":       func(i int) { sp.Read(i) },
+		} {
+			i, op := i, op
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s(%d) did not panic", name, i)
+					}
+				}()
+				op(i)
+			}()
+		}
+	}
+}
+
+// TestBitmapAppendSetOrdering checks the word-at-a-time Collect primitive:
+// set bits come back sorted, offset by base, with nothing added or lost.
+func TestBitmapAppendSetOrdering(t *testing.T) {
+	sp := NewBitmapSpace(200)
+	want := []int{0, 1, 63, 64, 65, 127, 128, 199}
+	for _, i := range want {
+		sp.TestAndSet(i)
+	}
+	got := sp.AppendSet([]int{-7}, 1000)
+	if got[0] != -7 {
+		t.Fatalf("AppendSet did not append to dst: %v", got[:1])
+	}
+	got = got[1:]
+	if len(got) != len(want) {
+		t.Fatalf("AppendSet returned %d names, want %d: %v", len(got), len(want), got)
+	}
+	for i, name := range got {
+		if name != want[i]+1000 {
+			t.Fatalf("AppendSet[%d] = %d, want %d", i, name, want[i]+1000)
+		}
+	}
+}
+
+// TestBitmapScanWordsSkipsEmpty verifies the scan invokes its callback only
+// for nonzero words and reports consistent word indices.
+func TestBitmapScanWordsSkipsEmpty(t *testing.T) {
+	sp := NewPaddedBitmapSpace(64 * 8)
+	sp.TestAndSet(0)
+	sp.TestAndSet(64*3 + 17)
+	sp.TestAndSet(64*7 + 63)
+	var visited []int
+	sp.ScanWords(func(w int, word uint64) {
+		visited = append(visited, w)
+		if word == 0 {
+			t.Errorf("callback invoked for empty word %d", w)
+		}
+	})
+	if len(visited) != 3 || visited[0] != 0 || visited[1] != 3 || visited[2] != 7 {
+		t.Fatalf("visited words %v, want [0 3 7]", visited)
+	}
+}
+
+// TestBitmapWordRaces hammers TestAndSet/Reset on slots that all share one
+// bitmap word, from many goroutines, under the race detector: each slot must
+// still be won by exactly one goroutine per round, and a neighbouring bit's
+// concurrent churn must never make a fetch-or on a free bit spuriously lose.
+func TestBitmapWordRaces(t *testing.T) {
+	for name, build := range bitmapVariants() {
+		build := build
+		t.Run(name, func(t *testing.T) {
+			const (
+				slots      = 48 // all within word 0 of a 60-slot space
+				goroutines = 8
+				rounds     = 200
+			)
+			sp := build(60)
+			winners := make([][]int32, goroutines)
+			for g := range winners {
+				winners[g] = make([]int32, slots)
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						for i := 0; i < slots; i++ {
+							if sp.TestAndSet(i) {
+								winners[g][i]++
+								// Owner releases immediately, keeping the word
+								// churning under everyone else's CAS loops.
+								sp.Reset(i)
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if got := sp.OccupancyFast(); got != 0 {
+				t.Fatalf("occupancy %d after all releases", got)
+			}
+			// Liveness sanity: the word was not wedged — overall a healthy
+			// number of acquisitions succeeded.
+			var total int64
+			for g := range winners {
+				for i := range winners[g] {
+					total += int64(winners[g][i])
+				}
+			}
+			if total == 0 {
+				t.Fatal("no goroutine ever won any slot")
+			}
+		})
+	}
+}
+
+// TestBitmapSingleWinnerPerSlot is the mutual-exclusion property restricted
+// to one shared word: with no resets, every slot of the word has exactly one
+// winner even under maximal CAS interference.
+func TestBitmapSingleWinnerPerSlot(t *testing.T) {
+	const (
+		slots      = 64
+		goroutines = 12
+	)
+	sp := NewBitmapSpace(slots)
+	wins := make([][]int, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < slots; i++ {
+				if sp.TestAndSet(i) {
+					wins[g] = append(wins[g], i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	counts := make([]int, slots)
+	for g := range wins {
+		for _, slot := range wins[g] {
+			counts[slot]++
+		}
+	}
+	for slot, c := range counts {
+		if c != 1 {
+			t.Fatalf("slot %d won %d times", slot, c)
+		}
+	}
+}
+
+// TestBitmapCollectValidityUnderChurn checks the paper's Collect validity
+// property on the packed representation: every name AppendSet returns must
+// have been held at some point during the scan. Churners only ever acquire
+// even slots, so collecting an odd name — a bit that was never set, e.g.
+// fabricated by a misaligned mask, a lost CAS retry, or tail-bit aliasing in
+// the partial last word — is a hard failure. Runs meaningfully under -race.
+func TestBitmapCollectValidityUnderChurn(t *testing.T) {
+	const (
+		size       = 130 // three words, last one partial
+		goroutines = 10
+		iterations = 300
+	)
+	sp := NewBitmapSpace(size)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Disjoint ownership of even slots: churner g handles every
+			// goroutines-th even slot, so resets are always by the owner.
+			for it := 0; it < iterations; it++ {
+				for slot := 2 * g; slot < size; slot += 2 * goroutines {
+					if sp.TestAndSet(slot) {
+						sp.Reset(slot)
+					}
+				}
+			}
+		}()
+	}
+
+	collectorDone := make(chan error, 1)
+	go func() {
+		buf := make([]int, 0, size)
+		for {
+			select {
+			case <-stop:
+				collectorDone <- nil
+				return
+			default:
+			}
+			buf = sp.AppendSet(buf[:0], 0)
+			for _, name := range buf {
+				if name < 0 || name >= size {
+					collectorDone <- fmt.Errorf("collected out-of-range name %d", name)
+					return
+				}
+				if name%2 != 0 {
+					collectorDone <- fmt.Errorf("collected name %d, which was never held", name)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	if err := <-collectorDone; err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.OccupancyFast(); got != 0 {
+		t.Fatalf("occupancy %d after churn", got)
+	}
+}
+
+// TestNewSpacePanicsOnUnknownKind verifies an invalid substrate selection
+// fails loudly instead of silently running on the default layout, which
+// would corrupt substrate-comparison measurements.
+func TestNewSpacePanicsOnUnknownKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSpace(Kind(99), ...) did not panic")
+		}
+	}()
+	NewSpace(Kind(99), 8)
+}
+
+// TestBitmapCountRange cross-validates the masked popcount against a naive
+// per-slot count over arbitrary ranges, including partial first/last words
+// and out-of-bounds clamping.
+func TestBitmapCountRange(t *testing.T) {
+	const size = 200
+	sp := NewBitmapSpace(size)
+	for i := 0; i < size; i += 3 {
+		sp.TestAndSet(i)
+	}
+	naive := func(lo, hi int) int {
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > size {
+			hi = size
+		}
+		n := 0
+		for i := lo; i < hi; i++ {
+			if sp.Read(i) {
+				n++
+			}
+		}
+		return n
+	}
+	cases := [][2]int{
+		{0, size}, {0, 0}, {5, 5}, {10, 5}, {-10, 300},
+		{0, 1}, {63, 64}, {63, 65}, {64, 128}, {1, 199},
+		{60, 70}, {100, 130}, {199, 200}, {128, 129},
+	}
+	for _, c := range cases {
+		if got, want := sp.CountRange(c[0], c[1]), naive(c[0], c[1]); got != want {
+			t.Errorf("CountRange(%d, %d) = %d, want %d", c[0], c[1], got, want)
+		}
+	}
+}
+
+// TestBitmapMatchesModel cross-validates the packed layout against the
+// unpacked CompactSpace on identical operation sequences.
+func TestBitmapMatchesModel(t *testing.T) {
+	prop := func(ops []uint16, sizeRaw uint8) bool {
+		size := int(sizeRaw)%150 + 1
+		bm := NewBitmapSpace(size)
+		model := NewCompactSpace(size)
+		for _, op := range ops {
+			slot := int(op % uint16(size))
+			switch (op / uint16(size)) % 3 {
+			case 0:
+				if bm.TestAndSet(slot) != model.TestAndSet(slot) {
+					return false
+				}
+			case 1:
+				bm.Reset(slot)
+				model.Reset(slot)
+			default:
+				if bm.Read(slot) != model.Read(slot) {
+					return false
+				}
+			}
+		}
+		if bm.OccupancyFast() != Occupancy(model) {
+			return false
+		}
+		want := Snapshot(model)
+		got := Snapshot(bm)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

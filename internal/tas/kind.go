@@ -1,0 +1,74 @@
+package tas
+
+import "fmt"
+
+// Kind selects a slot-space layout. The zero value is KindBitmap, the
+// word-packed default substrate; the unpacked layouts remain available so the
+// benchmarks can compare them.
+type Kind int
+
+const (
+	// KindBitmap packs 64 slots per uint64 word (BitmapSpace). Default.
+	KindBitmap Kind = iota
+	// KindBitmapPadded is the bitmap with one word per cache line, isolating
+	// word-level contention at an 8x footprint cost.
+	KindBitmapPadded
+	// KindPadded is the original one-slot-per-cache-line layout
+	// (AtomicSpace): no false sharing, 16x the footprint of KindCompact.
+	KindPadded
+	// KindCompact is one uint32 per slot (CompactSpace), sixteen slots per
+	// cache line.
+	KindCompact
+)
+
+// String returns the layout's display name as used in benchmark labels.
+func (k Kind) String() string {
+	switch k {
+	case KindBitmap:
+		return "bitmap"
+	case KindBitmapPadded:
+		return "bitmap-padded"
+	case KindPadded:
+		return "padded"
+	case KindCompact:
+		return "compact"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind maps a layout name (as accepted by the cmd/ drivers' -space
+// flags) to a Kind.
+func ParseKind(name string) (Kind, bool) {
+	switch name {
+	case "bitmap", "":
+		return KindBitmap, true
+	case "bitmap-padded", "bitmappadded":
+		return KindBitmapPadded, true
+	case "padded", "atomic":
+		return KindPadded, true
+	case "compact":
+		return KindCompact, true
+	default:
+		return 0, false
+	}
+}
+
+// NewSpace builds a slot space of the given layout kind and size. It panics
+// on an unknown kind: silently substituting a default layout would corrupt
+// exactly the substrate comparisons the knob exists for, so callers must
+// validate (or ParseKind) untrusted values first.
+func NewSpace(kind Kind, size int) Space {
+	switch kind {
+	case KindBitmap:
+		return NewBitmapSpace(size)
+	case KindBitmapPadded:
+		return NewPaddedBitmapSpace(size)
+	case KindPadded:
+		return NewAtomicSpace(size)
+	case KindCompact:
+		return NewCompactSpace(size)
+	default:
+		panic(fmt.Sprintf("tas: unknown space kind %d", int(kind)))
+	}
+}

@@ -6,20 +6,32 @@
 // implementation realizes test-and-set with compare-and-swap, which is exactly
 // what this package does on top of sync/atomic.
 //
-// Three implementations of the Space interface are provided:
+// Several implementations of the Space interface are provided:
 //
-//   - AtomicSpace: the real thing, padded to avoid false sharing, used by the
-//     concurrent harness and the applications.
+//   - BitmapSpace: the default substrate — 64 slots packed per uint64 word,
+//     test-and-set as a wait-free fetch-or on the bit mask, with word-at-a-
+//     time bulk scans
+//     (ScanWords, OccupancyFast, SnapshotWords, AppendSet) so Collect costs
+//     one atomic load per 64 slots. An optional padded variant places each
+//     word on its own cache line for heavily contended arrays.
+//   - AtomicSpace: one slot per cache line, the original padded layout kept
+//     for the substrate-comparison benchmarks.
+//   - CompactSpace: one uint32 per slot, sixteen slots per cache line.
 //   - CountingSpace: wraps any Space and counts probes, wins, losses and
 //     resets; used by tests and by the step-level simulator when exact
 //     counters are needed independently of the algorithms' own reporting.
 //   - FlakySpace: a failure-injection wrapper that forces a configurable
 //     number of artificial losses, used to drive Get operations into deep
 //     batches and the backup array in tests.
+//
+// Kind selects among the concrete layouts; instrumentation wrappers are
+// applied by callers (see core.Config.Instrument) so the uninstrumented hot
+// path stays free of interface dispatch.
 package tas
 
 import (
 	"fmt"
+	"math/bits"
 	"sync/atomic"
 )
 
@@ -131,8 +143,12 @@ func (s *CompactSpace) Read(i int) bool {
 // Occupancy returns the number of taken locations in sp. It is a helper for
 // tests, the balance analyzer and the healing experiment; it is not atomic
 // with respect to concurrent operations (and does not need to be, matching
-// the paper's non-snapshot Collect semantics).
+// the paper's non-snapshot Collect semantics). Bitmap spaces are counted
+// word-at-a-time (one atomic load per 64 slots).
 func Occupancy(sp Space) int {
+	if bm, ok := sp.(*BitmapSpace); ok {
+		return bm.OccupancyFast()
+	}
 	taken := 0
 	for i := 0; i < sp.Len(); i++ {
 		if sp.Read(i) {
@@ -146,6 +162,16 @@ func Occupancy(sp Space) int {
 // Like Occupancy it is not an atomic snapshot.
 func Snapshot(sp Space) []bool {
 	out := make([]bool, sp.Len())
+	if bm, ok := sp.(*BitmapSpace); ok {
+		bm.ScanWords(func(w int, word uint64) {
+			base := w * WordBits
+			for word != 0 {
+				out[base+bits.TrailingZeros64(word)] = true
+				word &= word - 1
+			}
+		})
+		return out
+	}
 	for i := range out {
 		out[i] = sp.Read(i)
 	}

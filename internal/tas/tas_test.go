@@ -9,10 +9,15 @@ import (
 // spaceFactories enumerates the concrete Space implementations under test.
 func spaceFactories() map[string]func(size int) Space {
 	return map[string]func(size int) Space{
-		"atomic":  func(size int) Space { return NewAtomicSpace(size) },
-		"compact": func(size int) Space { return NewCompactSpace(size) },
+		"atomic":        func(size int) Space { return NewAtomicSpace(size) },
+		"compact":       func(size int) Space { return NewCompactSpace(size) },
+		"bitmap":        func(size int) Space { return NewBitmapSpace(size) },
+		"bitmap-padded": func(size int) Space { return NewPaddedBitmapSpace(size) },
 		"counting": func(size int) Space {
 			return NewCountingSpace(NewAtomicSpace(size))
+		},
+		"counting-bitmap": func(size int) Space {
+			return NewCountingSpace(NewBitmapSpace(size))
 		},
 		"randomized": func(size int) Space { return NewRandomizedSpace(size, 5) },
 	}
@@ -57,6 +62,9 @@ func TestNewSpacePanicsOnInvalidSize(t *testing.T) {
 		"atomic-negative":  func() { NewAtomicSpace(-1) },
 		"compact-zero":     func() { NewCompactSpace(0) },
 		"compact-negative": func() { NewCompactSpace(-5) },
+		"bitmap-zero":      func() { NewBitmapSpace(0) },
+		"bitmap-negative":  func() { NewBitmapSpace(-64) },
+		"padded-zero":      func() { NewPaddedBitmapSpace(0) },
 	}
 	for name, fn := range cases {
 		fn := fn

@@ -56,6 +56,20 @@ type Config = core.Config
 // RNGKind selects the pseudo-random generator family used for probe choices.
 type RNGKind = rng.Kind
 
+// SpaceKind selects the slot substrate layout (the Config.Space knob).
+type SpaceKind = core.SpaceKind
+
+// Available substrate layouts. SpaceBitmap — 64 slots per word, word-at-a-
+// time Collect, dispatch-free hot path — is the default; the others exist
+// for contention tuning (SpaceBitmapPadded) and for the layout-comparison
+// benchmarks (SpacePadded, SpaceCompact).
+const (
+	SpaceBitmap       = core.SpaceBitmap
+	SpaceBitmapPadded = core.SpaceBitmapPadded
+	SpacePadded       = core.SpacePadded
+	SpaceCompact      = core.SpaceCompact
+)
+
 // Available generator families: Marsaglia xorshift (64- and 32-bit), the
 // Park-Miller/Lehmer MINSTD generator, and SplitMix64.
 const (

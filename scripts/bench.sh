@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs the benchmark suite and records the results under benchmarks/, so a
+# baseline can be diffed against after performance work (e.g. with
+# golang.org/x/perf/cmd/benchstat when available):
+#
+#   scripts/bench.sh                 # full suite -> benchmarks/latest.txt
+#   BENCH='Substrates' scripts/bench.sh   # just the substrate comparisons
+#   COUNT=5 scripts/bench.sh         # repetitions for stable statistics
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-.}"
+COUNT="${COUNT:-1}"
+BENCHTIME="${BENCHTIME:-1s}"
+OUT_DIR=benchmarks
+OUT="$OUT_DIR/latest.txt"
+
+mkdir -p "$OUT_DIR"
+
+# Keep the previous run around for manual diffing.
+if [ -f "$OUT" ]; then
+  cp "$OUT" "$OUT_DIR/previous.txt"
+fi
+
+{
+  echo "# go test -bench $BENCH -benchtime $BENCHTIME -count $COUNT"
+  echo "# $(date -u +"%Y-%m-%dT%H:%M:%SZ") $(go version)"
+  go test -run xxx -bench "$BENCH" -benchtime "$BENCHTIME" -count "$COUNT" .
+} | tee "$OUT"
+
+echo "wrote $OUT"
