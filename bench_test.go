@@ -26,6 +26,7 @@ import (
 	"github.com/levelarray/levelarray/internal/experiments"
 	"github.com/levelarray/levelarray/internal/registry"
 	"github.com/levelarray/levelarray/internal/sched"
+	"github.com/levelarray/levelarray/internal/shard"
 )
 
 // prefillArray registers `count` resident handles that stay registered for
@@ -433,6 +434,83 @@ func BenchmarkUncontendedGetFree(b *testing.B) {
 				if err := h.Free(); err != nil {
 					b.Fatalf("Free: %v", err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedScaling measures aggregate Get/Free throughput as the
+// shard count grows in a scale-out deployment: the per-shard capacity and
+// the offered load (resident names at fill% of one shard's capacity, plus g
+// churning goroutines) are held fixed while shards are added, so S=1 runs a
+// single array near its contention bound and S=8 spreads the same load over
+// 8x the capacity. ns/op is the cost of one Get+Free pair; exactly g worker
+// goroutines run regardless of GOMAXPROCS, so the numbers are comparable
+// across machines. This is the recorded scaling evidence for the sharded
+// subsystem (benchmarks/latest.json).
+func BenchmarkShardedScaling(b *testing.B) {
+	const (
+		shardCapacity = 64
+		goroutines    = 8
+	)
+	for _, fill := range []int{50, 85} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			fill, shards := fill, shards
+			b.Run(fmt.Sprintf("fill=%d/g=%d/S=%d", fill, goroutines, shards), func(b *testing.B) {
+				arr := shard.MustNew(shard.Config{
+					Shards:   shards,
+					Capacity: shards * shardCapacity,
+					Seed:     7,
+				})
+				// Fixed offered load: the residents fill one shard's worth of
+				// capacity to fill%, regardless of how many shards exist.
+				prefillArray(b, arr, shardCapacity*fill/100)
+				var wg sync.WaitGroup
+				b.ResetTimer()
+				for w := 0; w < goroutines; w++ {
+					iters := b.N / goroutines
+					if w < b.N%goroutines {
+						iters++
+					}
+					wg.Add(1)
+					go func(iters int) {
+						defer wg.Done()
+						h := arr.Handle()
+						for i := 0; i < iters; i++ {
+							if _, err := h.Get(); err != nil {
+								b.Errorf("Get: %v", err)
+								return
+							}
+							if err := h.Free(); err != nil {
+								b.Errorf("Free: %v", err)
+								return
+							}
+						}
+					}(iters)
+				}
+				wg.Wait()
+			})
+		}
+	}
+}
+
+// BenchmarkShardedCollect measures the merged cross-shard Collect: the same
+// total namespace at the same occupancy, scanned word-at-a-time through 1 or
+// 8 bitmap views. The merge should cost the same per slot as a single array.
+func BenchmarkShardedCollect(b *testing.B) {
+	const capacity = 4096
+	for _, shards := range []int{1, 8} {
+		shards := shards
+		b.Run(fmt.Sprintf("S=%d", shards), func(b *testing.B) {
+			arr := shard.MustNew(shard.Config{Shards: shards, Capacity: capacity, Seed: 7})
+			prefillArray(b, arr, capacity/2)
+			dst := make([]int, 0, capacity)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = arr.Collect(dst[:0])
+			}
+			if len(dst) != capacity/2 {
+				b.Fatalf("Collect returned %d names, want %d", len(dst), capacity/2)
 			}
 		})
 	}

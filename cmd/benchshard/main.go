@@ -1,0 +1,220 @@
+// Command benchshard is the throughput-scaling driver for the sharded
+// subsystem: it sweeps shard counts against goroutine counts and contention
+// levels in a scale-out configuration (fixed per-shard capacity, fixed
+// offered load) and reports aggregate Get/Free throughput, probe cost and
+// steal counts, with the speedup of every shard count over the single-array
+// baseline.
+//
+//	go run ./cmd/benchshard
+//	go run ./cmd/benchshard -shards 1,2,4,8 -goroutines 1,8 -fill 50,85
+//	go run ./cmd/benchshard -json results.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/shard"
+	"github.com/levelarray/levelarray/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchshard:", err)
+		os.Exit(1)
+	}
+}
+
+// cell is one measured configuration.
+type cell struct {
+	Fill       int     `json:"fill_percent"`
+	Goroutines int     `json:"goroutines"`
+	Shards     int     `json:"shards"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	AvgProbes  float64 `json:"avg_probes"`
+	Steals     uint64  `json:"steals"`
+	// Speedup is relative to this sweep's measured S=1 cell; 0 when the
+	// sweep did not include (or could not run) S=1.
+	Speedup float64 `json:"speedup_vs_one_shard,omitempty"`
+}
+
+// parseIntList parses a comma-separated list of positive integers.
+func parseIntList(flagName, s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("invalid -%s entry %q (valid: comma-separated positive integers)", flagName, part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func run() error {
+	shardsFlag := flag.String("shards", "1,2,4,8", "comma-separated shard counts (each a power of two)")
+	goroutinesFlag := flag.String("goroutines", "1,2,4,8", "comma-separated churn goroutine counts")
+	fillFlag := flag.String("fill", "50,85", "comma-separated resident fill percentages of one shard's capacity")
+	shardCapacity := flag.Int("shard-capacity", 64, "per-shard contention bound (fixed while shards scale out)")
+	duration := flag.Duration("duration", 200*time.Millisecond, "measurement length per configuration")
+	stealName := flag.String("steal", "occupancy", "steal policy: "+shard.StealKindNames)
+	seed := flag.Uint64("seed", 1, "base random seed")
+	jsonPath := flag.String("json", "", "also write the cells as JSON to this file")
+	flag.Parse()
+
+	// Validate everything up-front with one-line errors, as larun does.
+	shardCounts, err := parseIntList("shards", *shardsFlag)
+	if err != nil {
+		return err
+	}
+	for _, s := range shardCounts {
+		if s&(s-1) != 0 {
+			return fmt.Errorf("invalid -shards entry %d (valid: powers of two)", s)
+		}
+	}
+	goroutineCounts, err := parseIntList("goroutines", *goroutinesFlag)
+	if err != nil {
+		return err
+	}
+	fills, err := parseIntList("fill", *fillFlag)
+	if err != nil {
+		return err
+	}
+	for _, f := range fills {
+		if f > 100 {
+			return fmt.Errorf("invalid -fill entry %d (valid: 1..100)", f)
+		}
+	}
+	steal, ok := shard.ParseStealKind(*stealName)
+	if !ok {
+		return fmt.Errorf("unknown -steal %q (valid: %s)", *stealName, shard.StealKindNames)
+	}
+	if *shardCapacity < 1 {
+		return fmt.Errorf("invalid -shard-capacity %d (valid: at least 1)", *shardCapacity)
+	}
+
+	var cells []cell
+	for _, fill := range fills {
+		for _, g := range goroutineCounts {
+			resident := *shardCapacity * fill / 100
+			tbl := stats.NewTable(
+				fmt.Sprintf("scale-out: %d resident (fill %d%%), %d goroutines, per-shard capacity %d, %v/cell",
+					resident, fill, g, *shardCapacity, *duration),
+				"shards", "throughput (ops/s)", "avg probes", "steals", "speedup vs S=1")
+			var baseline float64
+			for _, s := range shardCounts {
+				if resident+g > s**shardCapacity {
+					tbl.AddRow(fmt.Sprintf("%d", s), "oversubscribed", "-", "-", "-")
+					continue
+				}
+				c, err := runCell(s, *shardCapacity, resident, g, steal, *seed, *duration)
+				if err != nil {
+					return fmt.Errorf("S=%d g=%d fill=%d: %w", s, g, fill, err)
+				}
+				c.Fill = fill
+				speedup := "-"
+				if s == 1 {
+					baseline = c.OpsPerSec
+				}
+				if baseline > 0 {
+					c.Speedup = c.OpsPerSec / baseline
+					speedup = fmt.Sprintf("%.2fx", c.Speedup)
+				}
+				cells = append(cells, c)
+				tbl.AddRow(fmt.Sprintf("%d", s),
+					fmt.Sprintf("%.0f", c.OpsPerSec),
+					fmt.Sprintf("%.3f", c.AvgProbes),
+					fmt.Sprintf("%d", c.Steals),
+					speedup)
+			}
+			fmt.Println(tbl.String())
+		}
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(cells, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	return nil
+}
+
+// runCell measures one (shards, goroutines, load) configuration: resident
+// names are registered up-front and held, then g goroutines churn Get/Free
+// pairs for the configured duration.
+func runCell(shards, shardCapacity, resident, goroutines int, steal shard.StealKind, seed uint64, d time.Duration) (cell, error) {
+	arr, err := shard.New(shard.Config{
+		Shards:   shards,
+		Capacity: shards * shardCapacity,
+		Steal:    steal,
+		Seed:     seed,
+	})
+	if err != nil {
+		return cell{}, err
+	}
+	for i := 0; i < resident; i++ {
+		if _, err := arr.Handle().Get(); err != nil {
+			return cell{}, fmt.Errorf("resident registration %d: %w", i, err)
+		}
+	}
+
+	var (
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		merged  activity.ProbeStats
+		workErr error
+	)
+	start := time.Now()
+	timer := time.AfterFunc(d, func() { stop.Store(true) })
+	defer timer.Stop()
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := arr.Handle()
+			for !stop.Load() {
+				if _, err := h.Get(); err != nil {
+					mu.Lock()
+					workErr = err
+					mu.Unlock()
+					return
+				}
+				if err := h.Free(); err != nil {
+					mu.Lock()
+					workErr = err
+					mu.Unlock()
+					return
+				}
+			}
+			mu.Lock()
+			merged.Merge(h.Stats())
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if workErr != nil {
+		return cell{}, workErr
+	}
+	return cell{
+		Goroutines: goroutines,
+		Shards:     shards,
+		OpsPerSec:  float64(merged.Ops+merged.Frees) / elapsed.Seconds(),
+		AvgProbes:  merged.Mean(),
+		Steals:     merged.Steals,
+	}, nil
+}

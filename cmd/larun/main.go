@@ -1,5 +1,5 @@
 // Command larun is the general benchmark driver: it runs one configuration of
-// the concurrent harness against any of the four registration algorithms and
+// the concurrent harness against any of the registration algorithms and
 // prints the resulting throughput and probe statistics. It is the building
 // block the figure-specific drivers are assembled from, and the quickest way
 // to poke at a single data point (e.g. the paper's in-text "one billion
@@ -7,6 +7,7 @@
 //
 //	go run ./cmd/larun -algorithm LevelArray -threads 8 -duration 2s
 //	go run ./cmd/larun -algorithm Random -threads 8 -prefill 90
+//	go run ./cmd/larun -algorithm LevelArray -shards 8 -steal occupancy
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"github.com/levelarray/levelarray/internal/harness"
 	"github.com/levelarray/levelarray/internal/registry"
 	"github.com/levelarray/levelarray/internal/rng"
+	"github.com/levelarray/levelarray/internal/shard"
 	"github.com/levelarray/levelarray/internal/stats"
 	"github.com/levelarray/levelarray/internal/tas"
 	"github.com/levelarray/levelarray/internal/workload"
@@ -30,8 +32,57 @@ func main() {
 	}
 }
 
+// Flag-value vocabularies, listed verbatim in the early-validation errors so
+// a typo fails with a one-line correction instead of deep in construction.
+const (
+	validRNGs    = "xorshift, xorshift32, lehmer, splitmix"
+	validSpaces  = "bitmap, bitmap-padded, padded, compact"
+	validShards  = "0 (auto: GOMAXPROCS rounded up), 1 (unsharded), or a power of two (2, 4, 8, ...)"
+	validPercent = "0..100"
+)
+
+// parsedFlags is the validated run configuration.
+type parsedFlags struct {
+	algo   registry.Algorithm
+	rng    rng.Kind
+	space  tas.Kind
+	steal  shard.StealKind
+	shards int
+}
+
+// validateFlags checks every enumerated or constrained flag up-front and
+// returns a one-line error naming the valid options on the first problem.
+func validateFlags(algorithm, rngName, spaceName, stealName string, shards, prefill int) (parsedFlags, error) {
+	var p parsedFlags
+	var err error
+	if p.algo, err = registry.Parse(algorithm); err != nil {
+		return p, err
+	}
+	var ok bool
+	if p.rng, ok = rng.ParseKind(rngName); !ok {
+		return p, fmt.Errorf("unknown -rng %q (valid: %s)", rngName, validRNGs)
+	}
+	if p.space, ok = tas.ParseKind(spaceName); !ok {
+		return p, fmt.Errorf("unknown -space %q (valid: %s)", spaceName, validSpaces)
+	}
+	if p.steal, ok = shard.ParseStealKind(stealName); !ok {
+		return p, fmt.Errorf("unknown -steal %q (valid: %s)", stealName, shard.StealKindNames)
+	}
+	if shards < 0 || (shards > 1 && shards&(shards-1) != 0) {
+		return p, fmt.Errorf("invalid -shards %d (valid: %s)", shards, validShards)
+	}
+	if prefill < 0 || prefill > 100 {
+		return p, fmt.Errorf("invalid -prefill %d (valid: %s)", prefill, validPercent)
+	}
+	p.shards = shards
+	if shards == 0 {
+		p.shards = shard.DefaultShards()
+	}
+	return p, nil
+}
+
 func run() error {
-	algorithmName := flag.String("algorithm", "LevelArray", "algorithm: LevelArray, Random, LinearProbing, Deterministic")
+	algorithmName := flag.String("algorithm", "LevelArray", "algorithm: "+registry.KnownNames())
 	threads := flag.Int("threads", 8, "number of worker threads")
 	emulation := flag.Int("emulation", 1000, "emulated registrations per thread (N/n)")
 	prefill := flag.Int("prefill", 50, "pre-fill percentage (0..100)")
@@ -39,26 +90,20 @@ func run() error {
 	duration := flag.Duration("duration", time.Second, "wall-clock run length (ignored when -rounds > 0)")
 	roundsPerThread := flag.Int("rounds", 0, "churn rounds per thread (0 = duration-based run)")
 	collectEvery := flag.Int("collect-every", 0, "perform a Collect every k-th round (0 = never)")
-	rngName := flag.String("rng", "xorshift", "random generator: xorshift, xorshift32, lehmer, splitmix")
-	spaceName := flag.String("space", "bitmap", "slot substrate: bitmap, bitmap-padded, padded, compact")
+	rngName := flag.String("rng", "xorshift", "random generator: "+validRNGs)
+	spaceName := flag.String("space", "bitmap", "slot substrate: "+validSpaces)
+	shards := flag.Int("shards", 1, "shard count: "+validShards)
+	stealName := flag.String("steal", "occupancy", "sharded steal policy: "+shard.StealKindNames)
 	seed := flag.Uint64("seed", 1, "base random seed")
 	flag.Parse()
 
-	algo, err := registry.Parse(*algorithmName)
+	p, err := validateFlags(*algorithmName, *rngName, *spaceName, *stealName, *shards, *prefill)
 	if err != nil {
 		return err
 	}
-	kind, ok := rng.ParseKind(*rngName)
-	if !ok {
-		return fmt.Errorf("unknown rng %q", *rngName)
-	}
-	space, ok := tas.ParseKind(*spaceName)
-	if !ok {
-		return fmt.Errorf("unknown space layout %q", *spaceName)
-	}
 
 	result, err := harness.Run(harness.Config{
-		Algorithm: algo,
+		Algorithm: p.algo,
 		Workload: workload.Spec{
 			Threads:        *threads,
 			EmulatedN:      *threads * *emulation,
@@ -68,16 +113,22 @@ func run() error {
 		RoundsPerThread: *roundsPerThread,
 		Duration:        *duration,
 		CollectEvery:    *collectEvery,
-		RNG:             kind,
-		Space:           space,
+		RNG:             p.rng,
+		Space:           p.space,
+		Shards:          p.shards,
+		Steal:           p.steal,
 		Seed:            *seed,
 	})
 	if err != nil {
 		return err
 	}
 
-	tbl := stats.NewTable(fmt.Sprintf("%s: n=%d threads, N=%d, L=%d, pre-fill %d%%",
-		algo, result.Threads, result.Capacity, result.ArraySize, *prefill), "metric", "value")
+	title := fmt.Sprintf("%s: n=%d threads, N=%d, L=%d, pre-fill %d%%",
+		p.algo, result.Threads, result.Capacity, result.ArraySize, *prefill)
+	if len(result.ShardStats) > 0 {
+		title = fmt.Sprintf("%s, %d shards (%s steal)", title, len(result.ShardStats), p.steal)
+	}
+	tbl := stats.NewTable(title, "metric", "value")
 	tbl.AddRow("duration", result.Duration.Round(time.Millisecond).String())
 	tbl.AddRow("operations (Get+Free)", fmt.Sprintf("%d", result.Ops))
 	tbl.AddRow("throughput (ops/s)", fmt.Sprintf("%.0f", result.Throughput()))
@@ -87,6 +138,18 @@ func run() error {
 	tbl.AddRow("worst case (avg over threads)", fmt.Sprintf("%.2f", result.MeanWorstCase()))
 	tbl.AddRow("backup array uses", fmt.Sprintf("%d", result.Stats.BackupOps))
 	tbl.AddRow("collect scans", fmt.Sprintf("%d", result.Collects))
+	if len(result.ShardStats) > 0 {
+		tbl.AddRow("cross-shard steals", fmt.Sprintf("%d", result.Stats.Steals))
+	}
 	fmt.Println(tbl.String())
+
+	if len(result.ShardStats) > 0 {
+		shardTbl := stats.NewTable("per-shard breakdown", "shard", "capacity", "occupancy", "steals-in", "home-fulls")
+		for _, s := range result.ShardStats {
+			shardTbl.AddRow(fmt.Sprintf("%d", s.Shard), fmt.Sprintf("%d", s.Capacity),
+				fmt.Sprintf("%d", s.Occupancy), fmt.Sprintf("%d", s.StealsIn), fmt.Sprintf("%d", s.HomeFulls))
+		}
+		fmt.Println(shardTbl.String())
+	}
 	return nil
 }

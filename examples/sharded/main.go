@@ -1,0 +1,133 @@
+// Command sharded walks through the sharded LevelArray: a pool of worker
+// goroutines churns registrations across S independent shards behind one
+// global namespace, a scanner merges cross-shard Collects word-at-a-time,
+// and the final report decodes global names into (shard, local) pairs and
+// prints the per-shard breakdown. The last act force-fills one shard to
+// demonstrate the steal path: a handle homed on a full shard transparently
+// registers on the emptiest sibling.
+//
+// Run with:
+//
+//	go run ./examples/sharded -shards 4 -workers 16 -rounds 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	levelarray "github.com/levelarray/levelarray"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sharded:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	shards := flag.Int("shards", 4, "shard count (power of two)")
+	workers := flag.Int("workers", 16, "number of worker goroutines")
+	rounds := flag.Int("rounds", 2000, "register/deregister rounds per worker")
+	seed := flag.Uint64("seed", 42, "base random seed")
+	flag.Parse()
+
+	arr, err := levelarray.NewSharded(levelarray.ShardedConfig{
+		Shards:   *shards,
+		Capacity: *workers,
+		Steal:    levelarray.StealOccupancy,
+		Seed:     *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Sharded LevelArray: %d shards x capacity %d, global namespace %d (stride %d)\n\n",
+		arr.Shards(), arr.ShardCapacity(), arr.Size(), arr.Stride())
+
+	// Churn: every worker owns one handle (with a round-robin home shard)
+	// and repeatedly registers and deregisters, exactly as against a single
+	// array — the global names just happen to live on different shards.
+	var wg sync.WaitGroup
+	errs := make([]error, *workers)
+	for w := 0; w < *workers; w++ {
+		w := w
+		h := arr.Handle()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < *rounds; i++ {
+				if _, err := h.Get(); err != nil {
+					errs[w] = fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+				if err := h.Free(); err != nil {
+					errs[w] = fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+			}
+			// Hold one last registration so the merged Collect below has
+			// something to report.
+			if _, err := h.Get(); err != nil {
+				errs[w] = fmt.Errorf("worker %d: %w", w, err)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Merged Collect: one scan over all shards, word-at-a-time, returning
+	// global names. ShardOf decodes the shard*stride+local layout.
+	held := arr.Collect(nil)
+	fmt.Printf("merged Collect sees %d registered names:\n", len(held))
+	perShard := make(map[int][]int)
+	for _, name := range held {
+		s, local := arr.ShardOf(name)
+		perShard[s] = append(perShard[s], local)
+	}
+	for s := 0; s < arr.Shards(); s++ {
+		fmt.Printf("  shard %d: %2d names (locals %v)\n", s, len(perShard[s]), perShard[s])
+	}
+
+	fmt.Println("\nper-shard stats after the churn:")
+	for _, s := range arr.ShardStats() {
+		fmt.Printf("  shard %d: occupancy %d/%d, steals-in %d, home-fulls %d\n",
+			s.Shard, s.Occupancy, s.Capacity, s.StealsIn, s.HomeFulls)
+	}
+
+	// Steal demonstration: exhaust shard 0's namespace directly, then Get
+	// through a handle homed there. The Get finds its home full and steals
+	// a slot on the emptiest sibling instead of failing.
+	if arr.Shards() > 1 {
+		var fillers []levelarray.Handle
+		for {
+			fh := arr.Shard(0).Handle()
+			if _, err := fh.Get(); err != nil {
+				break // shard 0 namespace exhausted
+			}
+			fillers = append(fillers, fh)
+		}
+		h := arr.HandleWithHome(0)
+		name, err := h.Get()
+		if err != nil {
+			return fmt.Errorf("steal Get: %w", err)
+		}
+		s, local := arr.ShardOf(name)
+		fmt.Printf("\nsteal path: home shard 0 is full (%d fillers); Get stole global name %d = shard %d, local %d (stolen=%v)\n",
+			len(fillers), name, s, local, h.LastStolen())
+		if err := h.Free(); err != nil {
+			return err
+		}
+		for _, fh := range fillers {
+			if err := fh.Free(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -113,6 +113,10 @@ type ProbeStats struct {
 	// MaxProbes (a failed Get swept the whole array, which is exactly the
 	// cost the harness must not undercount), but not in Ops.
 	FailedOps uint64
+	// Steals is the number of Gets satisfied by a shard other than the
+	// caller's home shard. Single-array algorithms leave it zero; the
+	// sharded composition records one steal per cross-shard registration.
+	Steals uint64
 	// Frees is the number of completed Free operations.
 	Frees uint64
 }
@@ -147,6 +151,13 @@ func (s *ProbeStats) RecordFailure(probes int) {
 	s.BackupOps++
 }
 
+// RecordSteal folds one cross-shard registration into the statistics. The
+// operation itself is recorded separately via Record; RecordSteal only tags
+// it as satisfied away from the caller's home shard.
+func (s *ProbeStats) RecordSteal() {
+	s.Steals++
+}
+
 // RecordFree folds one completed Free into the statistics.
 func (s *ProbeStats) RecordFree() {
 	s.Frees++
@@ -163,6 +174,7 @@ func (s *ProbeStats) Merge(other ProbeStats) {
 	}
 	s.BackupOps += other.BackupOps
 	s.FailedOps += other.FailedOps
+	s.Steals += other.Steals
 	s.Frees += other.Frees
 }
 
@@ -205,6 +217,9 @@ func (s ProbeStats) String() string {
 		s.Ops, s.Mean(), s.StdDev(), s.MaxProbes, s.BackupOps, s.Frees)
 	if s.FailedOps > 0 {
 		out += fmt.Sprintf(" failed=%d", s.FailedOps)
+	}
+	if s.Steals > 0 {
+		out += fmt.Sprintf(" steals=%d", s.Steals)
 	}
 	return out
 }

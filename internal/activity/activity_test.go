@@ -144,3 +144,27 @@ func TestErrorsAreDistinct(t *testing.T) {
 		}
 	}
 }
+
+func TestProbeStatsSteals(t *testing.T) {
+	var s ProbeStats
+	s.Record(3, false)
+	s.RecordSteal()
+	s.RecordSteal()
+	if s.Steals != 2 {
+		t.Fatalf("Steals = %d, want 2", s.Steals)
+	}
+	var other ProbeStats
+	other.RecordSteal()
+	s.Merge(other)
+	if s.Steals != 3 {
+		t.Fatalf("Steals after Merge = %d, want 3", s.Steals)
+	}
+	if out := s.String(); !strings.Contains(out, "steals=3") {
+		t.Fatalf("String() = %q missing steals=3", out)
+	}
+	var clean ProbeStats
+	clean.Record(1, false)
+	if out := clean.String(); strings.Contains(out, "steals") {
+		t.Fatalf("String() = %q mentions steals with none recorded", out)
+	}
+}

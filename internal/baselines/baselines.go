@@ -72,6 +72,13 @@ type Config struct {
 	// CompactSlots is a deprecated alias for Space: tas.KindCompact, only
 	// honored when Space is left at its zero value.
 	CompactSlots bool
+
+	// Instrument, when non-nil, is applied to the freshly built slot space
+	// and may return a wrapped tas.Space (e.g. tas.CountingSpace), mirroring
+	// core.Config.Instrument so sharded comparator variants are observable
+	// the same way. Returning the inner space unchanged (or nil) keeps the
+	// bitmap fast path for Collect.
+	Instrument func(inner tas.Space) tas.Space
 }
 
 // withDefaults returns a copy of c with zero values replaced by defaults.
@@ -131,6 +138,11 @@ func New(kind Kind, cfg Config) (*Array, error) {
 		size = cfg.Capacity
 	}
 	space := tas.NewSpace(cfg.Space, size)
+	if cfg.Instrument != nil {
+		if wrapped := cfg.Instrument(space); wrapped != nil {
+			space = wrapped
+		}
+	}
 	return &Array{
 		kind:  kind,
 		cfg:   cfg,

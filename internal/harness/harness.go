@@ -28,6 +28,7 @@ import (
 	"github.com/levelarray/levelarray/internal/activity"
 	"github.com/levelarray/levelarray/internal/registry"
 	"github.com/levelarray/levelarray/internal/rng"
+	"github.com/levelarray/levelarray/internal/shard"
 	"github.com/levelarray/levelarray/internal/tas"
 	"github.com/levelarray/levelarray/internal/workload"
 )
@@ -71,6 +72,16 @@ type Config struct {
 	// CompactSlots is a deprecated alias for Space: tas.KindCompact, only
 	// honored when Space is left at its zero value.
 	CompactSlots bool
+
+	// Shards, when above 1, runs the algorithm in a sharded composition of
+	// that many independent arrays (must be a power of two). Zero and 1 run
+	// the plain single array, except for the Sharded algorithm, where zero
+	// selects the default shard count.
+	Shards int
+
+	// Steal selects the sharded composition's steal policy. Ignored when
+	// unsharded.
+	Steal shard.StealKind
 }
 
 // validate reports the first problem with the configuration.
@@ -89,6 +100,12 @@ func (c Config) validate() error {
 	}
 	if c.CollectEvery < 0 {
 		return fmt.Errorf("harness: collect-every %d must not be negative", c.CollectEvery)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("harness: shard count %d must not be negative", c.Shards)
+	}
+	if c.Shards > 1 && c.Shards&(c.Shards-1) != 0 {
+		return fmt.Errorf("harness: shard count %d must be a power of two", c.Shards)
 	}
 	return nil
 }
@@ -116,6 +133,9 @@ type Result struct {
 	PerThread []activity.ProbeStats
 	// PrefillStats aggregates the probe statistics of the pre-fill phase.
 	PrefillStats activity.ProbeStats
+	// ShardStats holds the per-shard breakdown (occupancy, steals, home-full
+	// events) when the array under test was sharded; nil otherwise.
+	ShardStats []shard.ShardStats
 }
 
 // Throughput returns completed operations per second.
@@ -164,6 +184,8 @@ func Run(cfg Config) (Result, error) {
 		Seed:         cfg.Seed,
 		Space:        cfg.Space,
 		CompactSlots: cfg.CompactSlots,
+		Shards:       cfg.Shards,
+		Steal:        cfg.Steal,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("harness: building array: %w", err)
@@ -238,5 +260,8 @@ func Run(cfg Config) (Result, error) {
 		result.Collects += w.collects
 	}
 	result.Ops = result.Stats.Ops + result.Stats.Frees
+	if sharded, ok := arr.(*shard.Sharded); ok {
+		result.ShardStats = sharded.ShardStats()
+	}
 	return result, nil
 }

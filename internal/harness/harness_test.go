@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/levelarray/levelarray/internal/registry"
+	"github.com/levelarray/levelarray/internal/shard"
 	"github.com/levelarray/levelarray/internal/workload"
 )
 
@@ -194,5 +195,49 @@ func TestRunPaperShapeAtModerateScale(t *testing.T) {
 	}
 	if la.Stats.BackupOps != 0 {
 		t.Fatalf("LevelArray used the backup %d times at 50%% load", la.Stats.BackupOps)
+	}
+}
+
+func TestRunSharded(t *testing.T) {
+	res, err := Run(Config{
+		Algorithm: registry.LevelArray,
+		Workload:  workload.Spec{Threads: 4, EmulatedN: 64, PrefillPercent: 50},
+		Shards:    4,
+		Steal:     shard.StealOccupancy,
+
+		RoundsPerThread: 50,
+		Seed:            9,
+	})
+	if err != nil {
+		t.Fatalf("Run sharded: %v", err)
+	}
+	if len(res.ShardStats) != 4 {
+		t.Fatalf("ShardStats has %d entries, want 4", len(res.ShardStats))
+	}
+	if res.Stats.Ops == 0 {
+		t.Fatal("sharded run recorded no operations")
+	}
+	// The workload stays within the aggregate capacity, so no Get may fail.
+	if res.Stats.FailedOps != 0 {
+		t.Fatalf("sharded run recorded %d failed Gets", res.Stats.FailedOps)
+	}
+	// After the run only the pre-fill residents (50% of N = 32) remain
+	// registered, spread across the shards.
+	total := 0
+	for _, s := range res.ShardStats {
+		total += s.Occupancy
+	}
+	if total != 32 {
+		t.Fatalf("residual occupancy %d across shards, want the 32 residents", total)
+	}
+
+	// Invalid shard counts are rejected up-front.
+	if _, err := Run(Config{
+		Algorithm:       registry.LevelArray,
+		Workload:        workload.Spec{Threads: 2},
+		Shards:          6,
+		RoundsPerThread: 1,
+	}); err == nil {
+		t.Fatal("Run accepted non-power-of-two shard count")
 	}
 }

@@ -2,7 +2,8 @@
 // benchmark harness, the cmd/ drivers and the examples use it so that every
 // experiment can be run against any of the four algorithms (LevelArray,
 // Random, LinearProbing, Deterministic) by name, exactly as the paper's
-// figures compare them.
+// figures compare them — plus the Sharded composition, which can wrap any of
+// them in S independent shards (Options.Shards).
 package registry
 
 import (
@@ -13,18 +14,22 @@ import (
 	"github.com/levelarray/levelarray/internal/baselines"
 	"github.com/levelarray/levelarray/internal/core"
 	"github.com/levelarray/levelarray/internal/rng"
+	"github.com/levelarray/levelarray/internal/shard"
 	"github.com/levelarray/levelarray/internal/tas"
 )
 
 // Algorithm identifies one of the registration algorithms under evaluation.
 type Algorithm int
 
-// The four algorithms compared in the paper's evaluation section.
+// The four algorithms compared in the paper's evaluation section, plus the
+// sharded LevelArray composition (this repository's scaling layer, not part
+// of the paper's comparison).
 const (
 	LevelArray Algorithm = iota + 1
 	Random
 	LinearProbing
 	Deterministic
+	Sharded
 )
 
 // String returns the display name used in figures and tables.
@@ -38,6 +43,8 @@ func (a Algorithm) String() string {
 		return "LinearProbing"
 	case Deterministic:
 		return "Deterministic"
+	case Sharded:
+		return "Sharded"
 	default:
 		return "unknown"
 	}
@@ -65,6 +72,8 @@ func Parse(name string) (Algorithm, error) {
 		return LinearProbing, nil
 	case "Deterministic", "deterministic", "det":
 		return Deterministic, nil
+	case "Sharded", "sharded", "sla", "sharded-levelarray":
+		return Sharded, nil
 	default:
 		return 0, fmt.Errorf("registry: unknown algorithm %q (known: %s)", name, KnownNames())
 	}
@@ -72,10 +81,11 @@ func Parse(name string) (Algorithm, error) {
 
 // KnownNames returns a comma-separated list of canonical algorithm names.
 func KnownNames() string {
-	names := make([]string, 0, len(All()))
+	names := make([]string, 0, len(All())+1)
 	for _, a := range All() {
 		names = append(names, a.String())
 	}
+	names = append(names, Sharded.String())
 	sort.Strings(names)
 	out := ""
 	for i, n := range names {
@@ -108,6 +118,19 @@ type Options struct {
 	// CompactSlots is a deprecated alias for Space: tas.KindCompact, only
 	// honored when Space is left at its zero value.
 	CompactSlots bool
+	// Shards, when above 1, wraps the chosen algorithm in a shard.Sharded
+	// composition of that many independent per-shard arrays (the value must
+	// be a power of two). Zero and 1 select the plain single array, except
+	// for the Sharded algorithm itself, where zero selects the default
+	// shard count (GOMAXPROCS rounded up to a power of two).
+	Shards int
+	// Steal selects the steal-target policy of the sharded composition. The
+	// zero value is occupancy-guided stealing. Ignored when unsharded.
+	Steal shard.StealKind
+	// StealAttempts bounds the policy-guided steal attempts before the
+	// all-shard sweep. Zero selects the shard package default. Ignored when
+	// unsharded.
+	StealAttempts int
 }
 
 // New constructs an activity array implementing the chosen algorithm.
@@ -115,6 +138,9 @@ func New(algo Algorithm, opts Options) (activity.Array, error) {
 	sizeFactor := opts.SizeFactor
 	if sizeFactor == 0 {
 		sizeFactor = 2
+	}
+	if algo == Sharded || opts.Shards > 1 {
+		return newSharded(algo, opts, sizeFactor)
 	}
 	switch algo {
 	case LevelArray:
@@ -152,6 +178,62 @@ func New(algo Algorithm, opts Options) (activity.Array, error) {
 	default:
 		return nil, fmt.Errorf("registry: unknown algorithm %d", int(algo))
 	}
+}
+
+// newSharded wraps the chosen algorithm in a shard.Sharded composition. The
+// Sharded algorithm name shards the LevelArray; any other algorithm with
+// Options.Shards > 1 is sharded through a per-shard factory, so the
+// comparator algorithms can be benchmarked in sharded form too.
+func newSharded(algo Algorithm, opts Options, sizeFactor float64) (activity.Array, error) {
+	cfg := shard.Config{
+		Shards:        opts.Shards,
+		Capacity:      opts.Capacity,
+		Steal:         opts.Steal,
+		StealAttempts: opts.StealAttempts,
+		Seed:          opts.Seed,
+	}
+	inner := algo
+	if inner == Sharded {
+		inner = LevelArray
+	}
+	switch inner {
+	case LevelArray:
+		epsilon := sizeFactor - 1
+		if epsilon <= 0 {
+			return nil, fmt.Errorf("registry: LevelArray requires a size factor above 1, got %v", sizeFactor)
+		}
+		cfg.Array = core.Config{
+			Epsilon:        epsilon,
+			ProbesPerBatch: opts.ProbesPerBatch,
+			RNG:            opts.RNG,
+			Space:          opts.Space,
+			CompactSlots:   opts.CompactSlots,
+		}
+	case Random, LinearProbing, Deterministic:
+		var kind baselines.Kind
+		switch inner {
+		case Random:
+			kind = baselines.KindRandom
+		case LinearProbing:
+			kind = baselines.KindLinearProbing
+		default:
+			kind = baselines.KindDeterministic
+		}
+		cfg.Array.RNG = opts.RNG // sharded handles draw steal choices from the same family
+		cfg.NewShard = func(_, capacity int, seed uint64) (activity.Array, error) {
+			return baselines.New(kind, baselines.Config{
+				Capacity:     capacity,
+				SizeFactor:   sizeFactor,
+				RNG:          opts.RNG,
+				Seed:         seed,
+				Space:        opts.Space,
+				CompactSlots: opts.CompactSlots,
+			})
+		}
+	default:
+		return nil, fmt.Errorf("registry: unknown algorithm %d", int(algo))
+	}
+	return shard.New(cfg)
 }
 
 // MustNew is New but panics on error; for tests and examples.

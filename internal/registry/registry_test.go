@@ -8,6 +8,7 @@ import (
 	"github.com/levelarray/levelarray/internal/arraytest"
 	"github.com/levelarray/levelarray/internal/baselines"
 	"github.com/levelarray/levelarray/internal/core"
+	"github.com/levelarray/levelarray/internal/shard"
 )
 
 func TestConformanceAllAlgorithms(t *testing.T) {
@@ -156,5 +157,79 @@ func TestKnownNames(t *testing.T) {
 		if !strings.Contains(names, want) {
 			t.Errorf("KnownNames() = %q missing %q", names, want)
 		}
+	}
+}
+
+func TestParseSharded(t *testing.T) {
+	for _, name := range []string{"Sharded", "sharded", "sla", "sharded-levelarray"} {
+		got, err := Parse(name)
+		if err != nil || got != Sharded {
+			t.Errorf("Parse(%q) = (%v, %v), want Sharded", name, got, err)
+		}
+	}
+	if Sharded.String() != "Sharded" {
+		t.Errorf("Sharded.String() = %q", Sharded.String())
+	}
+	if !strings.Contains(KnownNames(), "Sharded") {
+		t.Errorf("KnownNames() = %q missing Sharded", KnownNames())
+	}
+}
+
+func TestShardedConformance(t *testing.T) {
+	arraytest.Run(t, func(capacity int) activity.Array {
+		return MustNew(Sharded, Options{Capacity: capacity, Seed: 99, Shards: 2})
+	})
+}
+
+func TestShardedConstruction(t *testing.T) {
+	// The Sharded algorithm name builds a sharded LevelArray.
+	arr, err := New(Sharded, Options{Capacity: 64, Shards: 4, Seed: 1})
+	if err != nil {
+		t.Fatalf("New(Sharded): %v", err)
+	}
+	sharded, ok := arr.(*shard.Sharded)
+	if !ok {
+		t.Fatalf("New(Sharded) returned %T, want *shard.Sharded", arr)
+	}
+	if sharded.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", sharded.Shards())
+	}
+	if _, ok := sharded.Shard(0).(*core.LevelArray); !ok {
+		t.Fatalf("Sharded shard is %T, want *core.LevelArray", sharded.Shard(0))
+	}
+
+	// Options.Shards > 1 wraps any algorithm, including comparators.
+	arr, err = New(Random, Options{Capacity: 64, Shards: 2, Seed: 1})
+	if err != nil {
+		t.Fatalf("New(Random, Shards=2): %v", err)
+	}
+	sharded, ok = arr.(*shard.Sharded)
+	if !ok {
+		t.Fatalf("New(Random, Shards=2) returned %T, want *shard.Sharded", arr)
+	}
+	if ba, ok := sharded.Shard(0).(*baselines.Array); !ok || ba.Kind() != baselines.KindRandom {
+		t.Fatalf("sharded Random shard is %T, want *baselines.Array of KindRandom", sharded.Shard(0))
+	}
+
+	// Uniqueness smoke test through the sharded comparator.
+	seen := make(map[int]bool)
+	for i := 0; i < 64; i++ {
+		h := arr.Handle()
+		name, err := h.Get()
+		if err != nil {
+			t.Fatalf("Get %d: %v", i, err)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate name %d from sharded Random", name)
+		}
+		seen[name] = true
+	}
+
+	// Invalid shard counts and size factors are rejected.
+	if _, err := New(Sharded, Options{Capacity: 64, Shards: 3}); err == nil {
+		t.Error("New accepted non-power-of-two shard count")
+	}
+	if _, err := New(Sharded, Options{Capacity: 64, Shards: 2, SizeFactor: 1}); err == nil {
+		t.Error("New accepted sharded LevelArray with size factor 1")
 	}
 }

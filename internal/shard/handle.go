@@ -1,0 +1,216 @@
+package shard
+
+import (
+	"errors"
+	"sort"
+
+	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/rng"
+)
+
+// Handle is the per-participant endpoint of a Sharded array. It owns one
+// lazily created sub-handle per shard (the home sub-handle in the common
+// case; sibling sub-handles only materialize on the steal path) and reports
+// probe statistics at the sharded level: a Get satisfied by a steal counts as
+// one operation whose probe count spans every shard it touched. Handles are
+// not safe for concurrent use.
+type Handle struct {
+	arr  *Sharded
+	home int
+	subs []activity.Handle
+	rng  rng.Source
+
+	name int // global name, valid when held
+	cur  int // shard holding the name, valid when held
+	held bool
+
+	lastProbes int
+	lastStolen bool
+	stats      activity.ProbeStats
+
+	order []stealTarget // scratch for steal-target ordering
+}
+
+var _ activity.Handle = (*Handle)(nil)
+
+// stealTarget pairs a sibling shard with its cached occupancy for ordering.
+type stealTarget struct {
+	shard int
+	occ   int64
+}
+
+// Home returns the handle's home shard.
+func (h *Handle) Home() int { return h.home }
+
+// sub returns the sub-handle for shard s, creating it on first use.
+func (h *Handle) sub(s int) activity.Handle {
+	if h.subs[s] == nil {
+		h.subs[s] = h.arr.shards[s].Handle()
+	}
+	return h.subs[s]
+}
+
+// Get registers the participant and returns the acquired global name.
+//
+// The home shard is tried first; with honest randomness and a load within
+// the home shard's capacity this is the whole story and costs exactly one
+// single-array Get. A full home shard triggers the steal path: up to
+// StealAttempts siblings chosen by the steal policy, then a deterministic
+// sweep of every shard (home included, since a concurrent Free may have
+// made room). ErrFull is returned only when the sweep found every shard
+// full, preserving the aggregate-capacity guarantee.
+func (h *Handle) Get() (int, error) {
+	if h.held {
+		return 0, activity.ErrAlreadyRegistered
+	}
+	probes := 0
+	local, err := h.tryShard(h.home, &probes)
+	if err == nil {
+		return h.acquire(h.home, local, probes, false), nil
+	}
+	if !errors.Is(err, activity.ErrFull) {
+		return 0, err
+	}
+	h.arr.counters[h.home].homeFulls.Add(1)
+	h.arr.counters[h.home].occupancy.Store(int64(h.arr.perShard))
+
+	for _, target := range h.stealOrder() {
+		local, err := h.tryShard(target.shard, &probes)
+		if err == nil {
+			h.arr.counters[target.shard].stealsIn.Add(1)
+			h.arr.counters[target.shard].occupancy.Add(1)
+			return h.acquire(target.shard, local, probes, true), nil
+		}
+		if !errors.Is(err, activity.ErrFull) {
+			return 0, err
+		}
+		h.arr.counters[target.shard].occupancy.Store(int64(h.arr.perShard))
+	}
+
+	// Last resort: sweep every shard in order. Like the LevelArray's own
+	// linear sweep this is only reachable under loads at or beyond the
+	// aggregate capacity; it keeps Get's failure condition exact.
+	for s := range h.arr.shards {
+		local, err := h.tryShard(s, &probes)
+		if err == nil {
+			if s != h.home {
+				h.arr.counters[s].stealsIn.Add(1)
+			}
+			return h.acquire(s, local, probes, s != h.home), nil
+		}
+		if !errors.Is(err, activity.ErrFull) {
+			return 0, err
+		}
+	}
+	h.lastProbes = probes
+	h.lastStolen = false
+	h.stats.RecordFailure(probes)
+	h.arr.failures.Add(1)
+	return 0, activity.ErrFull
+}
+
+// tryShard attempts one Get on shard s, folding its probe count into probes.
+func (h *Handle) tryShard(s int, probes *int) (int, error) {
+	sub := h.sub(s)
+	local, err := sub.Get()
+	*probes += sub.LastProbes()
+	return local, err
+}
+
+// acquire records a successful Get and returns the global name.
+func (h *Handle) acquire(s, local, probes int, stolen bool) int {
+	h.cur = s
+	h.name = s*h.arr.stride + local
+	h.held = true
+	h.lastProbes = probes
+	h.lastStolen = stolen
+	usedBackup := false
+	if bh, ok := h.subs[s].(interface{ LastUsedBackup() bool }); ok {
+		usedBackup = bh.LastUsedBackup()
+	}
+	h.stats.Record(probes, usedBackup)
+	if stolen {
+		h.stats.RecordSteal()
+	}
+	return h.name
+}
+
+// stealOrder returns up to StealAttempts sibling shards in the order the
+// configured policy wants them probed. The slice aliases the handle's
+// scratch buffer and is only valid until the next call.
+func (h *Handle) stealOrder() []stealTarget {
+	s := h.arr
+	siblings := len(s.shards) - 1
+	if siblings == 0 {
+		return nil
+	}
+	h.order = h.order[:0]
+	switch s.cfg.Steal {
+	case StealRandom:
+		// Sample without replacement from the sibling ring: a random start
+		// and a random odd stride visit each sibling at most once (the
+		// stride is coprime with the power-of-two ring size).
+		mask := len(s.shards) - 1
+		start := h.rng.Intn(len(s.shards))
+		step := h.rng.Intn(len(s.shards))&^1 | 1
+		for i := 0; i < len(s.shards) && len(h.order) < s.cfg.StealAttempts; i++ {
+			t := (start + i*step) & mask
+			if t != h.home {
+				h.order = append(h.order, stealTarget{shard: t})
+			}
+		}
+	case StealSequential:
+		for i := 1; i <= siblings && len(h.order) < s.cfg.StealAttempts; i++ {
+			h.order = append(h.order, stealTarget{shard: (h.home + i) & (len(s.shards) - 1)})
+		}
+	default: // StealOccupancy
+		for t := range s.shards {
+			if t != h.home {
+				h.order = append(h.order, stealTarget{shard: t, occ: s.counters[t].occupancy.Load()})
+			}
+		}
+		sort.Slice(h.order, func(i, j int) bool { return h.order[i].occ < h.order[j].occ })
+		if len(h.order) > s.cfg.StealAttempts {
+			h.order = h.order[:s.cfg.StealAttempts]
+		}
+	}
+	return h.order
+}
+
+// Free releases the global name acquired by the most recent Get.
+func (h *Handle) Free() error {
+	if !h.held {
+		return activity.ErrNotRegistered
+	}
+	if err := h.subs[h.cur].Free(); err != nil {
+		return err
+	}
+	// The occupancy cache is deliberately not decremented here: it is a
+	// steal-ordering heuristic refreshed by scans and steal events, and
+	// keeping Free free of bookkeeping keeps the uncontended hot path at
+	// exactly one sub-handle call.
+	h.held = false
+	h.stats.RecordFree()
+	return nil
+}
+
+// Name returns the currently held global name, if any.
+func (h *Handle) Name() (int, bool) {
+	if !h.held {
+		return 0, false
+	}
+	return h.name, true
+}
+
+// LastProbes returns the number of test-and-set trials performed by the most
+// recent Get across every shard it touched.
+func (h *Handle) LastProbes() int { return h.lastProbes }
+
+// LastStolen reports whether the most recent Get was satisfied by a shard
+// other than the handle's home.
+func (h *Handle) LastStolen() bool { return h.lastStolen }
+
+// Stats returns the cumulative sharded-level probe statistics: one Op per
+// successful Get regardless of how many shards it touched, with Steals
+// counting the Gets satisfied away from home.
+func (h *Handle) Stats() activity.ProbeStats { return h.stats }

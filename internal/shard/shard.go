@@ -1,0 +1,490 @@
+// Package shard composes many independent LevelArrays (or comparator
+// arrays) behind one global namespace, the scaling layer on top of the
+// paper's single-array algorithm.
+//
+// A Sharded array owns S independent shards (S a power of two), each a
+// complete activity array with its own slot spaces and its own probe bounds.
+// The global namespace interleaves the shards at a fixed stride: the global
+// name of local name l on shard s is s*stride + l, where stride is the
+// largest per-shard namespace size. Every handle is assigned a home
+// shard — round-robin by default, or by a cheap rng-derived hash — and a Get
+// probes only the home shard in the common case, so the paper's O(1)-expected
+// per-array bound is preserved while aggregate capacity and throughput scale
+// with S.
+//
+// When the home shard is full, the handle steals: it retries the Get on a
+// bounded number of sibling shards chosen by the configured StealPolicy
+// (least-occupied first by default, driven by a cached per-shard occupancy),
+// and as a last resort sweeps every shard in order, so ErrFull is returned
+// only when no shard had a free slot at probe time — the cross-shard analogue
+// of the LevelArray's backup-array guarantee.
+//
+// Collect and Occupancies merge per-shard results word-at-a-time: shards
+// whose slot spaces are uninstrumented tas.BitmapSpace values are scanned
+// with AppendSet/OccupancyFast (one atomic load per 64 slots), so a
+// cross-shard scan costs the same per slot as a single-array scan.
+package shard
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+
+	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/core"
+	"github.com/levelarray/levelarray/internal/rng"
+	"github.com/levelarray/levelarray/internal/tas"
+)
+
+// StealKind selects the policy used to pick sibling shards when the home
+// shard is full.
+type StealKind int
+
+const (
+	// StealOccupancy tries siblings in ascending cached-occupancy order, so
+	// a stealing handle lands on the emptiest shard it knows about. Default.
+	StealOccupancy StealKind = iota
+	// StealRandom tries uniformly random siblings.
+	StealRandom
+	// StealSequential tries siblings in ring order starting at home+1.
+	StealSequential
+)
+
+// String returns the policy name as accepted by the cmd/ drivers' -steal flag.
+func (k StealKind) String() string {
+	switch k {
+	case StealOccupancy:
+		return "occupancy"
+	case StealRandom:
+		return "random"
+	case StealSequential:
+		return "sequential"
+	default:
+		return fmt.Sprintf("StealKind(%d)", int(k))
+	}
+}
+
+// StealKindNames lists the valid -steal flag values.
+const StealKindNames = "occupancy, random, sequential"
+
+// ParseStealKind maps a policy name to a StealKind.
+func ParseStealKind(name string) (StealKind, bool) {
+	switch name {
+	case "occupancy", "":
+		return StealOccupancy, true
+	case "random":
+		return StealRandom, true
+	case "sequential", "ring":
+		return StealSequential, true
+	default:
+		return 0, false
+	}
+}
+
+// AffinityKind selects how handles are assigned their home shard.
+type AffinityKind int
+
+const (
+	// AffinityRoundRobin hands out homes cyclically, which balances the
+	// resident load exactly. Default.
+	AffinityRoundRobin AffinityKind = iota
+	// AffinityRandom derives the home from a SplitMix64 hash of the handle's
+	// seed, the cheap stateless assignment for callers that create handles
+	// from many goroutines and care only about expected balance.
+	AffinityRandom
+)
+
+// DefaultShards returns the default shard count: GOMAXPROCS rounded up to a
+// power of two, one contention domain per processor.
+func DefaultShards() int {
+	return ceilPow2(runtime.GOMAXPROCS(0))
+}
+
+// ceilPow2 returns the smallest power of two >= n (minimum 1).
+func ceilPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Config parameterizes a Sharded array.
+type Config struct {
+	// Shards is S, the number of independent shards. It must be a power of
+	// two; zero selects DefaultShards (GOMAXPROCS rounded up).
+	Shards int
+
+	// Capacity is the total contention bound across all shards. Each shard
+	// is built for ceil(Capacity/Shards) participants, so the aggregate
+	// capacity is at least Capacity. It must be at least 1.
+	Capacity int
+
+	// Steal selects the steal-target policy used when the home shard is
+	// full. The zero value is StealOccupancy.
+	Steal StealKind
+
+	// StealAttempts bounds the number of policy-guided steal attempts before
+	// the deterministic all-shard sweep. Zero selects min(Shards-1, 2): two
+	// guided choices keep the steal path cheap while the sweep preserves the
+	// aggregate-capacity guarantee.
+	StealAttempts int
+
+	// Affinity selects how handles are assigned home shards. The zero value
+	// is AffinityRoundRobin.
+	Affinity AffinityKind
+
+	// Seed is the base seed; per-shard and per-handle seeds are derived from
+	// it, so runs with equal configurations make equal probe choices.
+	Seed uint64
+
+	// Array is the configuration template for the default LevelArray shards.
+	// Capacity and Seed are overridden per shard; every other field (Epsilon,
+	// ProbesPerBatch, RNG, Space, Instrument, ...) applies to each shard
+	// as-is. Ignored when NewShard is set.
+	Array core.Config
+
+	// NewShard, when non-nil, replaces the default LevelArray factory: it is
+	// called once per shard with the shard index, the per-shard capacity and
+	// a derived seed, and may build any activity.Array (e.g. a comparator
+	// algorithm, for the sharded-baseline benchmarks). Shards whose slot
+	// spaces are reachable as *tas.BitmapSpace keep the word-level merged
+	// Collect; any other array falls back to its own Collect plus offsetting.
+	NewShard func(shard, capacity int, seed uint64) (activity.Array, error)
+
+	// CountProbes, when true, wraps every shard's slot spaces in a
+	// tas.CountingSpace (stacked on top of any user Instrument decorator) so
+	// ShardStats reports per-shard probe counts. Like every Instrument use
+	// this routes the shard's hot path through the tas.Space interface; leave
+	// it false to keep the dispatch-free fast path.
+	CountProbes bool
+}
+
+// validate reports the first problem with the configuration.
+func (c Config) validate() error {
+	if c.Capacity < 1 {
+		return fmt.Errorf("shard: capacity %d must be at least 1", c.Capacity)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("shard: shard count %d must not be negative", c.Shards)
+	}
+	if c.Shards > 0 && c.Shards&(c.Shards-1) != 0 {
+		return fmt.Errorf("shard: shard count %d must be a power of two", c.Shards)
+	}
+	if c.StealAttempts < 0 {
+		return fmt.Errorf("shard: steal attempts %d must not be negative", c.StealAttempts)
+	}
+	switch c.Steal {
+	case StealOccupancy, StealRandom, StealSequential:
+	default:
+		return fmt.Errorf("shard: unknown steal policy %d (valid: %s)", int(c.Steal), StealKindNames)
+	}
+	switch c.Affinity {
+	case AffinityRoundRobin, AffinityRandom:
+	default:
+		return fmt.Errorf("shard: unknown affinity kind %d", int(c.Affinity))
+	}
+	return nil
+}
+
+// bitmapView is the word-level fast path into one shard's slot spaces. main
+// is nil when the shard's spaces are not uninstrumented bitmap spaces, in
+// which case the merged scans fall back to the shard's own Collect.
+type bitmapView struct {
+	main     *tas.BitmapSpace
+	backup   *tas.BitmapSpace // nil for single-space arrays
+	mainSize int              // local offset of the first backup name
+}
+
+// pad keeps the per-shard counters on distinct cache lines so steal-path
+// bookkeeping on one shard does not bounce its siblings' counters.
+type shardCounters struct {
+	occupancy atomic.Int64  // cached occupancy, refreshed by scans and steals
+	stealsIn  atomic.Uint64 // registrations stolen into this shard
+	homeFulls atomic.Uint64 // Gets that found this shard full as their home
+	_         [40]byte
+}
+
+// Sharded is S independent activity arrays behind one global namespace. It
+// implements activity.Array and is safe for concurrent use under the same
+// rules as a single array: any number of goroutines on distinct handles,
+// concurrent Collects allowed.
+type Sharded struct {
+	cfg      Config
+	perShard int // capacity of each shard
+	stride   int // global-name stride between shards, a multiple of 64
+
+	shards   []activity.Array
+	views    []bitmapView
+	counting []countingPair // per-shard probe counters, only when CountProbes
+	counters []shardCounters
+
+	nextHome atomic.Uint64
+	failures atomic.Uint64 // Gets that returned ErrFull after the full sweep
+	seeds    *rng.SeedSequence
+}
+
+// countingPair holds the probe-counting decorators of one shard's spaces.
+type countingPair struct {
+	main, backup *tas.CountingSpace
+}
+
+var _ activity.Array = (*Sharded)(nil)
+
+// New builds a Sharded array from cfg.
+func New(cfg Config) (*Sharded, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = DefaultShards()
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.StealAttempts == 0 {
+		cfg.StealAttempts = cfg.Shards - 1
+		if cfg.StealAttempts > 2 {
+			cfg.StealAttempts = 2
+		}
+	}
+	s := &Sharded{
+		cfg:      cfg,
+		perShard: (cfg.Capacity + cfg.Shards - 1) / cfg.Shards,
+		shards:   make([]activity.Array, cfg.Shards),
+		views:    make([]bitmapView, cfg.Shards),
+		counters: make([]shardCounters, cfg.Shards),
+		seeds:    rng.NewSeedSequence(cfg.Seed ^ 0x5A4D),
+	}
+	if cfg.CountProbes {
+		s.counting = make([]countingPair, cfg.Shards)
+	}
+	for i := range s.shards {
+		sh, err := s.buildShard(i)
+		if err != nil {
+			return nil, fmt.Errorf("shard: building shard %d: %w", i, err)
+		}
+		s.shards[i] = sh
+		s.views[i] = viewOf(sh)
+		if size := sh.Size(); size > s.stride {
+			s.stride = size
+		}
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error; for tests and examples.
+func MustNew(cfg Config) *Sharded {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// buildShard constructs shard i from the factory or the LevelArray template.
+func (s *Sharded) buildShard(i int) (activity.Array, error) {
+	seed := s.seeds.Next()
+	if s.cfg.NewShard != nil {
+		return s.cfg.NewShard(i, s.perShard, seed)
+	}
+	tmpl := s.cfg.Array
+	tmpl.Capacity = s.perShard
+	tmpl.Seed = seed
+	if s.cfg.CountProbes {
+		user := tmpl.Instrument
+		shardIdx := i
+		tmpl.Instrument = func(role core.SpaceRole, inner tas.Space) tas.Space {
+			if user != nil {
+				if wrapped := user(role, inner); wrapped != nil {
+					inner = wrapped
+				}
+			}
+			counting := tas.NewCountingSpace(inner)
+			if role == core.RoleBackup {
+				s.counting[shardIdx].backup = counting
+			} else {
+				s.counting[shardIdx].main = counting
+			}
+			return counting
+		}
+	}
+	return core.New(tmpl)
+}
+
+// viewOf extracts the word-level bitmap view of a shard, if it has one.
+func viewOf(sh activity.Array) bitmapView {
+	switch a := sh.(type) {
+	case interface {
+		MainSpace() tas.Space
+		BackupSpace() tas.Space
+	}:
+		main, mok := a.MainSpace().(*tas.BitmapSpace)
+		backup, bok := a.BackupSpace().(*tas.BitmapSpace)
+		if mok && bok {
+			return bitmapView{main: main, backup: backup, mainSize: main.Len()}
+		}
+	case interface{ Space() tas.Space }:
+		if main, ok := a.Space().(*tas.BitmapSpace); ok {
+			return bitmapView{main: main}
+		}
+	}
+	return bitmapView{}
+}
+
+// Shards returns S, the number of shards.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Shard returns shard i, for tests and analysis.
+func (s *Sharded) Shard(i int) activity.Array { return s.shards[i] }
+
+// ShardCapacity returns the per-shard contention bound.
+func (s *Sharded) ShardCapacity() int { return s.perShard }
+
+// Stride returns the global-name stride: local name l on shard i has global
+// name i*Stride() + l.
+func (s *Sharded) Stride() int { return s.stride }
+
+// ShardOf decomposes a global name into its shard index and local name.
+func (s *Sharded) ShardOf(name int) (shard, local int) {
+	return name / s.stride, name % s.stride
+}
+
+// Capacity returns the configured total contention bound. The aggregate
+// capacity across shards is Shards()*ShardCapacity(), which may exceed it
+// when Capacity is not divisible by the shard count.
+func (s *Sharded) Capacity() int { return s.cfg.Capacity }
+
+// Size returns the global namespace size, Shards()*Stride(). Names in the
+// alignment gap between a shard's Size() and the stride are never issued.
+func (s *Sharded) Size() int { return len(s.shards) * s.stride }
+
+// Handle returns a new per-participant handle with a freshly assigned home
+// shard. Handles are not safe for concurrent use.
+func (s *Sharded) Handle() activity.Handle {
+	seed := s.seeds.Next()
+	var home int
+	if s.cfg.Affinity == AffinityRandom {
+		// A cheap stateless hash: one SplitMix64 scramble of the handle
+		// seed, masked down to the power-of-two shard count.
+		home = int(rng.NewSplitMix64(seed).Uint64() & uint64(len(s.shards)-1))
+	} else {
+		home = int(s.nextHome.Add(1)-1) & (len(s.shards) - 1)
+	}
+	return s.HandleWithHome(home)
+}
+
+// HandleWithHome returns a new handle pinned to the given home shard,
+// bypassing the affinity policy. It exists for callers that already maintain
+// their own placement (e.g. one shard per NUMA node or per listener) and for
+// tests that need deterministic steal behaviour.
+func (s *Sharded) HandleWithHome(home int) *Handle {
+	if home < 0 || home >= len(s.shards) {
+		panic(fmt.Sprintf("shard: home shard %d out of range [0, %d)", home, len(s.shards)))
+	}
+	return &Handle{
+		arr:  s,
+		home: home,
+		subs: make([]activity.Handle, len(s.shards)),
+		rng:  rng.New(s.cfg.Array.RNG, s.seeds.Next()),
+	}
+}
+
+// Collect appends every currently observed held global name to dst and
+// returns the extended slice. Shards with bitmap views are merged
+// word-at-a-time (AppendSet with the shard's global base, one atomic load
+// per 64 slots); other shards are collected locally and offset. The scan has
+// the same validity guarantee as a single array's Collect and refreshes the
+// cached per-shard occupancy as a side effect.
+func (s *Sharded) Collect(dst []int) []int {
+	for i, sh := range s.shards {
+		base := i * s.stride
+		before := len(dst)
+		if v := s.views[i]; v.main != nil {
+			dst = v.main.AppendSet(dst, base)
+			if v.backup != nil {
+				dst = v.backup.AppendSet(dst, base+v.mainSize)
+			}
+		} else {
+			start := len(dst)
+			dst = sh.Collect(dst)
+			for j := start; j < len(dst); j++ {
+				dst[j] += base
+			}
+		}
+		s.counters[i].occupancy.Store(int64(len(dst) - before))
+	}
+	return dst
+}
+
+// occupancyOf measures shard i's current occupancy, word-at-a-time when the
+// shard has a bitmap view, and refreshes the cache.
+func (s *Sharded) occupancyOf(i int) int {
+	var occ int
+	if v := s.views[i]; v.main != nil {
+		occ = v.main.OccupancyFast()
+		if v.backup != nil {
+			occ += v.backup.OccupancyFast()
+		}
+	} else {
+		occ = len(s.shards[i].Collect(nil))
+	}
+	s.counters[i].occupancy.Store(int64(occ))
+	return occ
+}
+
+// Occupancies returns the current occupancy of every shard (index i holds
+// shard i's count), refreshing the steal-target cache.
+func (s *Sharded) Occupancies() []int {
+	out := make([]int, len(s.shards))
+	for i := range s.shards {
+		out[i] = s.occupancyOf(i)
+	}
+	return out
+}
+
+// FailedGets returns the number of Gets that returned ErrFull after sweeping
+// every shard.
+func (s *Sharded) FailedGets() uint64 { return s.failures.Load() }
+
+// ShardStats is the per-shard observability record. Occupancy is freshly
+// measured; StealsIn and HomeFulls are exact counters maintained off the hot
+// path (they are only touched when a home shard is found full); Probes, Wins
+// and Resets are populated only when the array was built with CountProbes
+// (they require the counting decorator, which the uninstrumented hot path
+// deliberately avoids).
+type ShardStats struct {
+	Shard     int
+	Capacity  int
+	Occupancy int
+	StealsIn  uint64
+	HomeFulls uint64
+	Probes    uint64
+	Wins      uint64
+	Resets    uint64
+}
+
+// ShardStats returns one record per shard.
+func (s *Sharded) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(s.shards))
+	for i := range out {
+		out[i] = ShardStats{
+			Shard:     i,
+			Capacity:  s.perShard,
+			Occupancy: s.occupancyOf(i),
+			StealsIn:  s.counters[i].stealsIn.Load(),
+			HomeFulls: s.counters[i].homeFulls.Load(),
+		}
+		if s.counting != nil {
+			merge := func(c *tas.CountingSpace) {
+				if c == nil {
+					return
+				}
+				counts := c.Counters()
+				out[i].Probes += counts.Probes
+				out[i].Wins += counts.Wins
+				out[i].Resets += counts.Resets
+			}
+			merge(s.counting[i].main)
+			merge(s.counting[i].backup)
+		}
+	}
+	return out
+}

@@ -1,0 +1,573 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/arraytest"
+	"github.com/levelarray/levelarray/internal/baselines"
+	"github.com/levelarray/levelarray/internal/core"
+)
+
+// TestConformance runs the shared activity-array suite against sharded
+// compositions. S=1 checks that the composition is a faithful wrapper; S=2
+// checks the full suite across a real shard boundary. (Higher shard counts
+// are exercised by the sharded-specific tests below; the suite's namespace
+// bound assumes single-array layout slack, which 8 backup arrays exceed.)
+func TestConformance(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		shards := shards
+		t.Run(fmt.Sprintf("S=%d", shards), func(t *testing.T) {
+			arraytest.Run(t, func(capacity int) activity.Array {
+				return MustNew(Config{Shards: shards, Capacity: capacity, Seed: 42})
+			})
+		})
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero capacity", Config{Shards: 2}},
+		{"negative capacity", Config{Shards: 2, Capacity: -5}},
+		{"non-power-of-two shards", Config{Shards: 3, Capacity: 8}},
+		{"negative shards", Config{Shards: -2, Capacity: 8}},
+		{"negative steal attempts", Config{Shards: 2, Capacity: 8, StealAttempts: -1}},
+		{"unknown steal kind", Config{Shards: 2, Capacity: 8, Steal: StealKind(99)}},
+		{"unknown affinity kind", Config{Shards: 2, Capacity: 8, Affinity: AffinityKind(7)}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); err == nil {
+			t.Errorf("%s: New accepted invalid config %+v", tc.name, tc.cfg)
+		}
+	}
+	if _, err := New(Config{Capacity: 8}); err != nil {
+		t.Fatalf("default shard count rejected: %v", err)
+	}
+}
+
+func TestDefaultShardsPowerOfTwo(t *testing.T) {
+	s := DefaultShards()
+	if s < 1 || s&(s-1) != 0 {
+		t.Fatalf("DefaultShards() = %d, not a power of two", s)
+	}
+	for in, want := range map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 8: 8, 9: 16} {
+		if got := ceilPow2(in); got != want {
+			t.Errorf("ceilPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestParseStealKind(t *testing.T) {
+	for name, want := range map[string]StealKind{
+		"":           StealOccupancy,
+		"occupancy":  StealOccupancy,
+		"random":     StealRandom,
+		"sequential": StealSequential,
+		"ring":       StealSequential,
+	} {
+		got, ok := ParseStealKind(name)
+		if !ok || got != want {
+			t.Errorf("ParseStealKind(%q) = (%v, %v), want %v", name, got, ok, want)
+		}
+	}
+	if _, ok := ParseStealKind("bogus"); ok {
+		t.Error("ParseStealKind accepted bogus name")
+	}
+	for _, k := range []StealKind{StealOccupancy, StealRandom, StealSequential} {
+		if round, ok := ParseStealKind(k.String()); !ok || round != k {
+			t.Errorf("String/Parse round trip failed for %v", k)
+		}
+	}
+}
+
+// TestGlobalNameLayout checks the shard*stride+local decomposition and that
+// names from different shards never collide.
+func TestGlobalNameLayout(t *testing.T) {
+	arr := MustNew(Config{Shards: 4, Capacity: 32, Seed: 3})
+	if arr.Size() != arr.Shards()*arr.Stride() {
+		t.Fatalf("Size() = %d, want Shards*Stride = %d", arr.Size(), arr.Shards()*arr.Stride())
+	}
+	handles := make([]*Handle, 32)
+	for i := range handles {
+		handles[i] = arr.HandleWithHome(i % 4)
+		name, err := handles[i].Get()
+		if err != nil {
+			t.Fatalf("Get %d: %v", i, err)
+		}
+		shardIdx, local := arr.ShardOf(name)
+		if shardIdx != i%4 {
+			t.Fatalf("name %d decodes to shard %d, want home %d (no steal expected)", name, shardIdx, i%4)
+		}
+		if local < 0 || local >= arr.Shard(shardIdx).Size() {
+			t.Fatalf("name %d decodes to local %d outside shard %d namespace [0, %d)",
+				name, local, shardIdx, arr.Shard(shardIdx).Size())
+		}
+	}
+	for _, h := range handles {
+		if err := h.Free(); err != nil {
+			t.Fatalf("Free: %v", err)
+		}
+	}
+}
+
+// TestGlobalNameUniquenessUnderChurn is the acceptance-criteria test: under
+// concurrent Get/Free churn across shards, no two handles ever hold the same
+// global name at the same time. Ownership is tracked in an atomic claim
+// table keyed by global name; a failed claim is a uniqueness violation.
+func TestGlobalNameUniquenessUnderChurn(t *testing.T) {
+	const (
+		shards     = 8
+		capacity   = 64
+		goroutines = 32
+		iterations = 500
+	)
+	arr := MustNew(Config{Shards: shards, Capacity: capacity, Seed: 99})
+	claims := make([]atomic.Int32, arr.Size())
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := arr.Handle()
+			for i := 0; i < iterations; i++ {
+				name, err := h.Get()
+				if err != nil {
+					t.Errorf("worker %d iteration %d: Get: %v", g, i, err)
+					return
+				}
+				if !claims[name].CompareAndSwap(0, 1) {
+					t.Errorf("worker %d: global name %d already held by another handle", g, name)
+					return
+				}
+				claims[name].Store(0)
+				if err := h.Free(); err != nil {
+					t.Errorf("worker %d iteration %d: Free: %v", g, i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if leftover := arr.Collect(nil); len(leftover) != 0 {
+		t.Fatalf("Collect after churn returned %v, want empty", leftover)
+	}
+}
+
+// TestStealWhenHomeFull fills one shard's entire namespace and checks that a
+// handle homed there steals a name from a sibling, with the steal recorded
+// in the handle statistics and the per-shard counters.
+func TestStealWhenHomeFull(t *testing.T) {
+	for _, steal := range []StealKind{StealOccupancy, StealRandom, StealSequential} {
+		steal := steal
+		t.Run(steal.String(), func(t *testing.T) {
+			arr := MustNew(Config{Shards: 2, Capacity: 8, Steal: steal, Seed: 5})
+			// Fill shard 0's whole namespace (capacity is only the contention
+			// bound; ErrFull requires every slot taken) through its own
+			// handles, bypassing the sharded routing.
+			fillers := fillShard(t, arr, 0)
+			h := arr.HandleWithHome(0)
+			name, err := h.Get()
+			if err != nil {
+				t.Fatalf("Get with full home: %v", err)
+			}
+			shardIdx, _ := arr.ShardOf(name)
+			if shardIdx != 1 {
+				t.Fatalf("name %d decodes to shard %d, want steal into shard 1", name, shardIdx)
+			}
+			if !h.LastStolen() {
+				t.Error("LastStolen() = false after a cross-shard Get")
+			}
+			if got := h.Stats().Steals; got != 1 {
+				t.Errorf("Stats().Steals = %d, want 1", got)
+			}
+			stats := arr.ShardStats()
+			if stats[0].HomeFulls == 0 {
+				t.Errorf("shard 0 HomeFulls = 0, want at least 1")
+			}
+			if stats[1].StealsIn != 1 {
+				t.Errorf("shard 1 StealsIn = %d, want 1", stats[1].StealsIn)
+			}
+			if err := h.Free(); err != nil {
+				t.Fatalf("Free of stolen name: %v", err)
+			}
+			for _, f := range fillers {
+				if err := f.Free(); err != nil {
+					t.Fatalf("filler Free: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// fillShard registers handles directly on shard idx until its namespace is
+// exhausted, returning the handles that hold its slots.
+func fillShard(t *testing.T, arr *Sharded, idx int) []activity.Handle {
+	t.Helper()
+	var fillers []activity.Handle
+	for {
+		h := arr.Shard(idx).Handle()
+		if _, err := h.Get(); err != nil {
+			if errors.Is(err, activity.ErrFull) {
+				return fillers
+			}
+			t.Fatalf("filling shard %d: %v", idx, err)
+		}
+		fillers = append(fillers, h)
+	}
+}
+
+// TestAggregateCapacity checks that the composition serves at least the
+// configured total capacity even when it does not divide evenly, and that
+// ErrFull is returned (and counted) only once every shard is truly full.
+func TestAggregateCapacity(t *testing.T) {
+	arr := MustNew(Config{Shards: 4, Capacity: 10, Seed: 17})
+	if got := arr.ShardCapacity(); got != 3 {
+		t.Fatalf("ShardCapacity() = %d, want ceil(10/4) = 3", got)
+	}
+	var handles []activity.Handle
+	for i := 0; i < arr.Capacity(); i++ {
+		h := arr.Handle()
+		if _, err := h.Get(); err != nil {
+			t.Fatalf("Get %d within configured capacity: %v", i, err)
+		}
+		handles = append(handles, h)
+	}
+	// Beyond the configured capacity, Gets may still succeed until every
+	// slot of every shard is taken; after that, ErrFull.
+	for {
+		h := arr.Handle()
+		_, err := h.Get()
+		if err == nil {
+			handles = append(handles, h)
+			continue
+		}
+		if !errors.Is(err, activity.ErrFull) {
+			t.Fatalf("Get beyond capacity: %v", err)
+		}
+		break
+	}
+	if got := arr.FailedGets(); got != 1 {
+		t.Errorf("FailedGets() = %d, want 1", got)
+	}
+	collected := arr.Collect(nil)
+	if len(collected) != len(handles) {
+		t.Fatalf("Collect returned %d names with %d held", len(collected), len(handles))
+	}
+	for _, h := range handles {
+		if err := h.Free(); err != nil {
+			t.Fatalf("Free: %v", err)
+		}
+	}
+}
+
+// TestCollectDuringChurnValidity checks the paper's validity property at the
+// sharded level: every collected global name was registered at some point
+// during the scan. Churners run only on shards 0 and 2 of four (within
+// per-shard capacity, so no steals), making any name on shards 1 or 3 — or
+// in the alignment gap past a shard's namespace — a fabricated name and a
+// hard failure. Suspected-unregistered names are re-checked against the
+// monotone ever-registered table after the churn stops, so the check is
+// race-free. Runs meaningfully under -race.
+func TestCollectDuringChurnValidity(t *testing.T) {
+	const (
+		shards     = 4
+		capacity   = 64 // 16 per shard
+		churners   = 8  // 4 per active shard, within per-shard capacity
+		iterations = 400
+	)
+	arr := MustNew(Config{Shards: shards, Capacity: capacity, Seed: 23})
+	everRegistered := make([]atomic.Bool, arr.Size())
+
+	var workers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < churners; g++ {
+		home := (g % 2) * 2 // shards 0 and 2 only
+		h := arr.HandleWithHome(home)
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for i := 0; i < iterations; i++ {
+				name, err := h.Get()
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				everRegistered[name].Store(true)
+				if err := h.Free(); err != nil {
+					t.Errorf("Free: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	type suspect struct{ name int }
+	suspectsCh := make(chan []suspect, 1)
+	collectorErr := make(chan error, 1)
+	go func() {
+		var suspects []suspect
+		buf := make([]int, 0, arr.Size())
+		for {
+			select {
+			case <-stop:
+				suspectsCh <- suspects
+				collectorErr <- nil
+				return
+			default:
+			}
+			buf = arr.Collect(buf[:0])
+			for _, name := range buf {
+				shardIdx, local := arr.ShardOf(name)
+				if shardIdx < 0 || shardIdx >= shards || local >= arr.Shard(shardIdx).Size() {
+					collectorErr <- fmt.Errorf("collected name %d outside any shard namespace", name)
+					suspectsCh <- nil
+					return
+				}
+				if shardIdx == 1 || shardIdx == 3 {
+					collectorErr <- fmt.Errorf("collected name %d on idle shard %d — never registered", name, shardIdx)
+					suspectsCh <- nil
+					return
+				}
+				if !everRegistered[name].Load() {
+					// Possibly a registration whose bookkeeping store has not
+					// landed yet; re-verify after the churn stops.
+					suspects = append(suspects, suspect{name: name})
+				}
+			}
+		}
+	}()
+
+	workers.Wait()
+	close(stop)
+	if err := <-collectorErr; err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range <-suspectsCh {
+		if !everRegistered[s.name].Load() {
+			t.Fatalf("collected name %d was never registered during the run", s.name)
+		}
+	}
+}
+
+// TestMergedCollectGenericShards checks that the merged Collect falls back
+// correctly (with global offsetting) for shards without a bitmap fast path.
+func TestMergedCollectGenericShards(t *testing.T) {
+	arr := MustNew(Config{
+		Shards:   2,
+		Capacity: 8,
+		Seed:     7,
+		Array:    core.Config{Space: core.SpacePadded},
+	})
+	if arr.views[0].main != nil {
+		t.Fatal("padded substrate unexpectedly produced a bitmap view")
+	}
+	want := make(map[int]bool)
+	var handles []activity.Handle
+	for i := 0; i < 6; i++ {
+		h := arr.Handle()
+		name, err := h.Get()
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		want[name] = true
+		handles = append(handles, h)
+	}
+	got := arr.Collect(nil)
+	if len(got) != len(want) {
+		t.Fatalf("Collect returned %d names, want %d", len(got), len(want))
+	}
+	for _, name := range got {
+		if !want[name] {
+			t.Fatalf("Collect returned unexpected name %d (held: %v)", name, want)
+		}
+	}
+	for _, h := range handles {
+		if err := h.Free(); err != nil {
+			t.Fatalf("Free: %v", err)
+		}
+	}
+}
+
+// TestShardedBaselineFactory shards a comparator algorithm through the
+// NewShard factory and checks uniqueness plus the single-space bitmap view.
+func TestShardedBaselineFactory(t *testing.T) {
+	arr := MustNew(Config{
+		Shards:   4,
+		Capacity: 32,
+		Seed:     11,
+		NewShard: func(_, capacity int, seed uint64) (activity.Array, error) {
+			return baselines.New(baselines.KindRandom, baselines.Config{Capacity: capacity, Seed: seed})
+		},
+	})
+	if arr.views[0].main == nil || arr.views[0].backup != nil {
+		t.Fatal("baseline shard should expose a single-space bitmap view")
+	}
+	seen := make(map[int]bool)
+	var handles []activity.Handle
+	for i := 0; i < 32; i++ {
+		h := arr.Handle()
+		name, err := h.Get()
+		if err != nil {
+			t.Fatalf("Get %d: %v", i, err)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate global name %d", name)
+		}
+		seen[name] = true
+		handles = append(handles, h)
+	}
+	if got := arr.Collect(nil); len(got) != 32 {
+		t.Fatalf("Collect returned %d names, want 32", len(got))
+	}
+	for _, h := range handles {
+		if err := h.Free(); err != nil {
+			t.Fatalf("Free: %v", err)
+		}
+	}
+}
+
+// TestOccupanciesAndCache checks the per-shard occupancy measurement and the
+// steal-ordering cache refresh.
+func TestOccupanciesAndCache(t *testing.T) {
+	arr := MustNew(Config{Shards: 4, Capacity: 16, Seed: 31})
+	var handles []activity.Handle
+	for i := 0; i < 10; i++ {
+		h := arr.Handle()
+		if _, err := h.Get(); err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		handles = append(handles, h)
+	}
+	occ := arr.Occupancies()
+	total := 0
+	for i, o := range occ {
+		total += o
+		if cached := arr.counters[i].occupancy.Load(); int(cached) != o {
+			t.Errorf("shard %d cache %d != measured %d", i, cached, o)
+		}
+	}
+	if total != 10 {
+		t.Fatalf("Occupancies sum = %d, want 10", total)
+	}
+	for _, h := range handles {
+		if err := h.Free(); err != nil {
+			t.Fatalf("Free: %v", err)
+		}
+	}
+}
+
+// TestShardStatsCountProbes checks that probe counts are surfaced through
+// the Instrument-based counting decorator only when requested.
+func TestShardStatsCountProbes(t *testing.T) {
+	counted := MustNew(Config{Shards: 2, Capacity: 8, Seed: 13, CountProbes: true})
+	plain := MustNew(Config{Shards: 2, Capacity: 8, Seed: 13})
+	ops := 0
+	for _, arr := range []*Sharded{counted, plain} {
+		h := arr.Handle()
+		for i := 0; i < 20; i++ {
+			if _, err := h.Get(); err != nil {
+				t.Fatalf("Get: %v", err)
+			}
+			if err := h.Free(); err != nil {
+				t.Fatalf("Free: %v", err)
+			}
+			ops++
+		}
+	}
+	var probes, wins, resets uint64
+	for _, s := range counted.ShardStats() {
+		probes += s.Probes
+		wins += s.Wins
+		resets += s.Resets
+	}
+	if probes < 20 || wins != 20 || resets != 20 {
+		t.Fatalf("counted stats probes=%d wins=%d resets=%d, want >=20/20/20", probes, wins, resets)
+	}
+	for _, s := range plain.ShardStats() {
+		if s.Probes != 0 || s.Wins != 0 {
+			t.Fatalf("uninstrumented shard %d reports probes=%d wins=%d, want 0", s.Shard, s.Probes, s.Wins)
+		}
+	}
+	// The uninstrumented composition must keep the shards' dispatch-free
+	// bitmap fast path; the counted one necessarily gives it up.
+	if plain.views[0].main == nil {
+		t.Error("uninstrumented shard lost its bitmap view")
+	}
+	if counted.views[0].main != nil {
+		t.Error("counted shard unexpectedly kept a raw bitmap view")
+	}
+}
+
+// TestRaceStress churns handles, collectors and steal paths concurrently at
+// several shard counts; its value is running under -race in CI.
+func TestRaceStress(t *testing.T) {
+	for _, shards := range []int{1, 2, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("S=%d", shards), func(t *testing.T) {
+			const (
+				goroutines = 16
+				iterations = 200
+			)
+			// Tight capacity (2 per shard) forces frequent home-full events
+			// and steals while goroutines churn.
+			arr := MustNew(Config{Shards: shards, Capacity: 2 * shards, Seed: uint64(shards)})
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for g := 0; g < goroutines; g++ {
+				h := arr.Handle()
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < iterations; i++ {
+						name, err := h.Get()
+						if err != nil {
+							if errors.Is(err, activity.ErrFull) {
+								continue // oversubscribed by design
+							}
+							t.Errorf("Get: %v", err)
+							return
+						}
+						if name < 0 || name >= arr.Size() {
+							t.Errorf("name %d out of range", name)
+							return
+						}
+						if err := h.Free(); err != nil {
+							t.Errorf("Free: %v", err)
+							return
+						}
+					}
+				}()
+			}
+			var collectors sync.WaitGroup
+			collectors.Add(1)
+			go func() {
+				defer collectors.Done()
+				buf := make([]int, 0, arr.Size())
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					buf = arr.Collect(buf[:0])
+					arr.Occupancies()
+					arr.ShardStats()
+				}
+			}()
+			wg.Wait()
+			close(stop)
+			collectors.Wait()
+		})
+	}
+}

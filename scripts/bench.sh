@@ -3,9 +3,14 @@
 # baseline can be diffed against after performance work (e.g. with
 # golang.org/x/perf/cmd/benchstat when available):
 #
-#   scripts/bench.sh                 # full suite -> benchmarks/latest.txt
+#   scripts/bench.sh                 # full suite -> benchmarks/latest.{txt,json}
 #   BENCH='Substrates' scripts/bench.sh   # just the substrate comparisons
+#   BENCH='Sharded' scripts/bench.sh      # just the shard-scaling benchmarks
 #   COUNT=5 scripts/bench.sh         # repetitions for stable statistics
+#
+# latest.txt is the raw `go test -bench` output; latest.json maps benchmark
+# name -> ns/op (averaged over COUNT repetitions), so the perf trajectory is
+# diffable across PRs with plain JSON tooling.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,12 +20,16 @@ COUNT="${COUNT:-1}"
 BENCHTIME="${BENCHTIME:-1s}"
 OUT_DIR=benchmarks
 OUT="$OUT_DIR/latest.txt"
+OUT_JSON="$OUT_DIR/latest.json"
 
 mkdir -p "$OUT_DIR"
 
 # Keep the previous run around for manual diffing.
 if [ -f "$OUT" ]; then
   cp "$OUT" "$OUT_DIR/previous.txt"
+fi
+if [ -f "$OUT_JSON" ]; then
+  cp "$OUT_JSON" "$OUT_DIR/previous.json"
 fi
 
 {
@@ -29,4 +38,28 @@ fi
   go test -run xxx -bench "$BENCH" -benchtime "$BENCHTIME" -count "$COUNT" .
 } | tee "$OUT"
 
-echo "wrote $OUT"
+# Distill the raw output into benchmark name -> ns/op. The -N GOMAXPROCS
+# suffix is stripped and repetitions (COUNT > 1) are averaged.
+awk '
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    for (i = 3; i < NF; i++) {
+      if ($(i + 1) == "ns/op") {
+        if (!(name in sum)) order[++k] = name
+        sum[name] += $(i)
+        cnt[name]++
+      }
+    }
+  }
+  END {
+    printf "{\n"
+    for (j = 1; j <= k; j++) {
+      n = order[j]
+      printf "  \"%s\": %.2f%s\n", n, sum[n] / cnt[n], (j < k ? "," : "")
+    }
+    printf "}\n"
+  }
+' "$OUT" > "$OUT_JSON"
+
+echo "wrote $OUT and $OUT_JSON"

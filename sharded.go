@@ -1,0 +1,79 @@
+package levelarray
+
+import (
+	"github.com/levelarray/levelarray/internal/shard"
+)
+
+// Sharded composes S independent LevelArray shards behind one global
+// namespace: the scaling layer for deployments whose load exceeds what a
+// single contention domain should absorb. Each shard keeps the paper's
+// per-array probe bounds; aggregate capacity and throughput scale with the
+// shard count. See the package shard documentation for the global-name
+// layout (shard*Stride + local) and the steal policy.
+//
+//	arr, err := levelarray.NewSharded(levelarray.ShardedConfig{
+//		Shards:   8,          // power of two; 0 = GOMAXPROCS rounded up
+//		Capacity: 8 * 1024,   // total across shards
+//	})
+//	h := arr.Handle()         // handle with a home shard; one per goroutine
+//	name, err := h.Get()      // home-shard Get, stealing only when full
+//	...
+//	err = h.Free()
+//	all := arr.Collect(nil)   // merged word-at-a-time scan of every shard
+type Sharded = shard.Sharded
+
+// ShardedConfig parameterizes a Sharded array. The zero value of every field
+// except Capacity selects the defaults: GOMAXPROCS-rounded shard count,
+// occupancy-guided stealing, round-robin home assignment, and the paper's
+// LevelArray defaults (via the embedded Array template) for every shard.
+type ShardedConfig = shard.Config
+
+// ShardedHandle is the concrete handle type returned by Sharded.Handle, with
+// the shard-specific accessors (Home, LastStolen) beyond the Handle
+// interface.
+type ShardedHandle = shard.Handle
+
+// ShardStats is the per-shard observability record returned by
+// Sharded.ShardStats.
+type ShardStats = shard.ShardStats
+
+// StealKind selects the steal-target policy used when a handle's home shard
+// is full.
+type StealKind = shard.StealKind
+
+// Available steal policies.
+const (
+	// StealOccupancy tries the emptiest siblings first, by cached occupancy.
+	StealOccupancy = shard.StealOccupancy
+	// StealRandom tries uniformly random siblings.
+	StealRandom = shard.StealRandom
+	// StealSequential tries siblings in ring order.
+	StealSequential = shard.StealSequential
+)
+
+// AffinityKind selects how new handles are assigned their home shard.
+type AffinityKind = shard.AffinityKind
+
+// Available home-shard affinity policies.
+const (
+	// AffinityRoundRobin hands out homes cyclically (exact balance).
+	AffinityRoundRobin = shard.AffinityRoundRobin
+	// AffinityRandom hashes the handle seed to a home (expected balance).
+	AffinityRandom = shard.AffinityRandom
+)
+
+// DefaultShards returns the default shard count: GOMAXPROCS rounded up to a
+// power of two.
+func DefaultShards() int { return shard.DefaultShards() }
+
+// NewSharded builds a Sharded array for at most cfg.Capacity simultaneously
+// registered participants spread across cfg.Shards shards.
+func NewSharded(cfg ShardedConfig) (*Sharded, error) {
+	return shard.New(cfg)
+}
+
+// MustNewSharded is NewSharded but panics on error; intended for examples
+// and tests with constant configurations.
+func MustNewSharded(cfg ShardedConfig) *Sharded {
+	return shard.MustNew(cfg)
+}

@@ -1,0 +1,87 @@
+package levelarray_test
+
+import (
+	"sync"
+	"testing"
+
+	levelarray "github.com/levelarray/levelarray"
+)
+
+// TestPublicShardedAPI exercises the documented sharded flow through the
+// public façade only: construction, home-shard Gets from concurrent
+// goroutines, a merged Collect, per-shard stats and steal configuration.
+func TestPublicShardedAPI(t *testing.T) {
+	arr, err := levelarray.NewSharded(levelarray.ShardedConfig{
+		Shards:   4,
+		Capacity: 64,
+		Steal:    levelarray.StealOccupancy,
+	})
+	if err != nil {
+		t.Fatalf("NewSharded: %v", err)
+	}
+	if arr.Shards() != 4 || arr.Capacity() != 64 {
+		t.Fatalf("Shards=%d Capacity=%d, want 4/64", arr.Shards(), arr.Capacity())
+	}
+
+	const goroutines = 16
+	names := make([]int, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		h := arr.Handle()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name, err := h.Get()
+			if err != nil {
+				t.Errorf("goroutine %d: Get: %v", g, err)
+				return
+			}
+			names[g] = name
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	seen := make(map[int]bool)
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate global name %d", n)
+		}
+		seen[n] = true
+	}
+	collected := arr.Collect(nil)
+	if len(collected) != goroutines {
+		t.Fatalf("Collect returned %d names, want %d", len(collected), goroutines)
+	}
+	for _, n := range collected {
+		if !seen[n] {
+			t.Fatalf("Collect returned unheld name %d", n)
+		}
+		shardIdx, _ := arr.ShardOf(n)
+		if shardIdx < 0 || shardIdx >= arr.Shards() {
+			t.Fatalf("name %d decodes to shard %d", n, shardIdx)
+		}
+	}
+
+	stats := arr.ShardStats()
+	if len(stats) != 4 {
+		t.Fatalf("ShardStats has %d entries, want 4", len(stats))
+	}
+	total := 0
+	for _, s := range stats {
+		total += s.Occupancy
+	}
+	if total != goroutines {
+		t.Fatalf("ShardStats occupancy sum %d, want %d", total, goroutines)
+	}
+
+	if s := levelarray.DefaultShards(); s < 1 || s&(s-1) != 0 {
+		t.Fatalf("DefaultShards() = %d, not a power of two", s)
+	}
+	if _, err := levelarray.NewSharded(levelarray.ShardedConfig{Shards: 3, Capacity: 8}); err == nil {
+		t.Fatal("NewSharded accepted a non-power-of-two shard count")
+	}
+}
