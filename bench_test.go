@@ -516,6 +516,75 @@ func BenchmarkShardedCollect(b *testing.B) {
 	}
 }
 
+// probeModeBench measures one probe-mode cell: `fill`% of capacity stays
+// resident while exactly g goroutines churn Get/Free pairs, so ns/op is the
+// cost of one pair at that load, comparable across machines regardless of
+// GOMAXPROCS.
+func probeModeBench(mode core.ProbeMode, epsilon float64, capacity, fill, goroutines int) func(b *testing.B) {
+	return func(b *testing.B) {
+		arr := core.MustNew(core.Config{Capacity: capacity, Epsilon: epsilon, Seed: 61, Probe: mode})
+		prefillArray(b, arr, capacity*fill/100)
+		var wg sync.WaitGroup
+		b.ResetTimer()
+		for w := 0; w < goroutines; w++ {
+			iters := b.N / goroutines
+			if w < b.N%goroutines {
+				iters++
+			}
+			wg.Add(1)
+			go func(iters int) {
+				defer wg.Done()
+				h := arr.Handle()
+				for i := 0; i < iters; i++ {
+					if _, err := h.Get(); err != nil {
+						b.Errorf("Get: %v", err)
+						return
+					}
+					if err := h.Free(); err != nil {
+						b.Errorf("Free: %v", err)
+					}
+				}
+			}(iters)
+		}
+		wg.Wait()
+	}
+}
+
+// BenchmarkProbeModes compares the write-side probing strategies across
+// fill levels and goroutine counts: "slot" pays one test-and-set per probed
+// slot (and so loses probes at exactly the array's fill fraction), "word"
+// claims any free bit of the probed 64-slot window with one load plus one
+// fetch-or, so a trial fails only when the whole window is full. At 50% fill
+// the modes are nearly tied (the first slot probe usually wins anyway); the
+// word claim pulls ahead as fill grows. The fill=95 cells are the headline
+// high-fill comparison recorded in benchmarks/latest.json.
+func BenchmarkProbeModes(b *testing.B) {
+	const capacity = 4 * 1000
+	for _, mode := range []core.ProbeMode{core.ProbeSlot, core.ProbeWord} {
+		for _, fill := range []int{50, 85, 95} {
+			for _, goroutines := range []int{1, 8} {
+				b.Run(fmt.Sprintf("probe=%s/fill=%d/g=%d", mode, fill, goroutines),
+					probeModeBench(mode, 0, capacity, fill, goroutines))
+			}
+		}
+	}
+}
+
+// BenchmarkProbeModesTightArray is the word-mode showcase: a space-tight
+// ε = 0.25 main array (1.25n slots) at 95% fill, where a random slot probe
+// loses roughly three times out of four while a word claim still finds a free
+// bit in essentially every window. This is the regime the word-claim fast
+// path exists for.
+func BenchmarkProbeModesTightArray(b *testing.B) {
+	const capacity = 4 * 1000
+	for _, mode := range []core.ProbeMode{core.ProbeSlot, core.ProbeWord} {
+		for _, goroutines := range []int{1, 8} {
+			b.Run(fmt.Sprintf("probe=%s/fill=95/g=%d", mode, goroutines),
+				probeModeBench(mode, 0.25, capacity, 95, goroutines))
+		}
+	}
+}
+
 // BenchmarkProbesPerBatchAblation measures the effect of the per-batch trial
 // count c_i (the analysis uses a large constant, the implementation uses 1).
 func BenchmarkProbesPerBatchAblation(b *testing.B) {

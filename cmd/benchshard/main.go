@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/core"
 	"github.com/levelarray/levelarray/internal/shard"
 	"github.com/levelarray/levelarray/internal/stats"
 )
@@ -66,6 +67,7 @@ func run() error {
 	shardCapacity := flag.Int("shard-capacity", 64, "per-shard contention bound (fixed while shards scale out)")
 	duration := flag.Duration("duration", 200*time.Millisecond, "measurement length per configuration")
 	stealName := flag.String("steal", "occupancy", "steal policy: "+shard.StealKindNames)
+	probeName := flag.String("probe", "slot", "per-shard LevelArray probe strategy: "+core.ProbeModeNames)
 	seed := flag.Uint64("seed", 1, "base random seed")
 	jsonPath := flag.String("json", "", "also write the cells as JSON to this file")
 	flag.Parse()
@@ -97,6 +99,10 @@ func run() error {
 	if !ok {
 		return fmt.Errorf("unknown -steal %q (valid: %s)", *stealName, shard.StealKindNames)
 	}
+	probe, ok := core.ParseProbeMode(*probeName)
+	if !ok {
+		return fmt.Errorf("unknown -probe %q (valid: %s)", *probeName, core.ProbeModeNames)
+	}
 	if *shardCapacity < 1 {
 		return fmt.Errorf("invalid -shard-capacity %d (valid: at least 1)", *shardCapacity)
 	}
@@ -115,7 +121,7 @@ func run() error {
 					tbl.AddRow(fmt.Sprintf("%d", s), "oversubscribed", "-", "-", "-")
 					continue
 				}
-				c, err := runCell(s, *shardCapacity, resident, g, steal, *seed, *duration)
+				c, err := runCell(s, *shardCapacity, resident, g, steal, probe, *seed, *duration)
 				if err != nil {
 					return fmt.Errorf("S=%d g=%d fill=%d: %w", s, g, fill, err)
 				}
@@ -155,12 +161,13 @@ func run() error {
 // runCell measures one (shards, goroutines, load) configuration: resident
 // names are registered up-front and held, then g goroutines churn Get/Free
 // pairs for the configured duration.
-func runCell(shards, shardCapacity, resident, goroutines int, steal shard.StealKind, seed uint64, d time.Duration) (cell, error) {
+func runCell(shards, shardCapacity, resident, goroutines int, steal shard.StealKind, probe core.ProbeMode, seed uint64, d time.Duration) (cell, error) {
 	arr, err := shard.New(shard.Config{
 		Shards:   shards,
 		Capacity: shards * shardCapacity,
 		Steal:    steal,
 		Seed:     seed,
+		Array:    core.Config{Probe: probe},
 	})
 	if err != nil {
 		return cell{}, err

@@ -8,6 +8,7 @@
 //	go run ./cmd/larun -algorithm LevelArray -threads 8 -duration 2s
 //	go run ./cmd/larun -algorithm Random -threads 8 -prefill 90
 //	go run ./cmd/larun -algorithm LevelArray -shards 8 -steal occupancy
+//	go run ./cmd/larun -algorithm LevelArray -probe word -prefill 95
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/levelarray/levelarray/internal/core"
 	"github.com/levelarray/levelarray/internal/harness"
 	"github.com/levelarray/levelarray/internal/registry"
 	"github.com/levelarray/levelarray/internal/rng"
@@ -46,13 +48,14 @@ type parsedFlags struct {
 	algo   registry.Algorithm
 	rng    rng.Kind
 	space  tas.Kind
+	probe  core.ProbeMode
 	steal  shard.StealKind
 	shards int
 }
 
 // validateFlags checks every enumerated or constrained flag up-front and
 // returns a one-line error naming the valid options on the first problem.
-func validateFlags(algorithm, rngName, spaceName, stealName string, shards, prefill int) (parsedFlags, error) {
+func validateFlags(algorithm, rngName, spaceName, probeName, stealName string, shards, prefill int) (parsedFlags, error) {
 	var p parsedFlags
 	var err error
 	if p.algo, err = registry.Parse(algorithm); err != nil {
@@ -64,6 +67,12 @@ func validateFlags(algorithm, rngName, spaceName, stealName string, shards, pref
 	}
 	if p.space, ok = tas.ParseKind(spaceName); !ok {
 		return p, fmt.Errorf("unknown -space %q (valid: %s)", spaceName, validSpaces)
+	}
+	if p.probe, ok = core.ParseProbeMode(probeName); !ok {
+		return p, fmt.Errorf("unknown -probe %q (valid: %s)", probeName, core.ProbeModeNames)
+	}
+	if p.probe == core.ProbeWord && p.space != tas.KindBitmap && p.space != tas.KindBitmapPadded {
+		return p, fmt.Errorf("-probe word requires a bitmap -space (valid: bitmap, bitmap-padded), got %q", spaceName)
 	}
 	if p.steal, ok = shard.ParseStealKind(stealName); !ok {
 		return p, fmt.Errorf("unknown -steal %q (valid: %s)", stealName, shard.StealKindNames)
@@ -92,12 +101,13 @@ func run() error {
 	collectEvery := flag.Int("collect-every", 0, "perform a Collect every k-th round (0 = never)")
 	rngName := flag.String("rng", "xorshift", "random generator: "+validRNGs)
 	spaceName := flag.String("space", "bitmap", "slot substrate: "+validSpaces)
+	probeName := flag.String("probe", "slot", "LevelArray probe strategy: "+core.ProbeModeNames)
 	shards := flag.Int("shards", 1, "shard count: "+validShards)
 	stealName := flag.String("steal", "occupancy", "sharded steal policy: "+shard.StealKindNames)
 	seed := flag.Uint64("seed", 1, "base random seed")
 	flag.Parse()
 
-	p, err := validateFlags(*algorithmName, *rngName, *spaceName, *stealName, *shards, *prefill)
+	p, err := validateFlags(*algorithmName, *rngName, *spaceName, *probeName, *stealName, *shards, *prefill)
 	if err != nil {
 		return err
 	}
@@ -115,6 +125,7 @@ func run() error {
 		CollectEvery:    *collectEvery,
 		RNG:             p.rng,
 		Space:           p.space,
+		Probe:           p.probe,
 		Shards:          p.shards,
 		Steal:           p.steal,
 		Seed:            *seed,

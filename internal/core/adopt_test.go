@@ -79,6 +79,71 @@ func TestAdoptBackupSlot(t *testing.T) {
 	}
 }
 
+// TestAdoptResetsLastOpTelemetry pins down the documented LastProbes /
+// LastUsedBackup contract around Adopt: a successful Adopt reports exactly
+// one trial (replacing whatever the previous Get left), and the next Get —
+// including a failed one — overwrites the adoption's telemetry in turn.
+func TestAdoptResetsLastOpTelemetry(t *testing.T) {
+	const n = 16
+	la := MustNew(Config{Capacity: n, Seed: 6})
+	mainSize := la.Layout().MainSize()
+
+	h := la.Handle().(*Handle)
+	if h.LastProbes() != 0 {
+		t.Fatalf("fresh handle LastProbes = %d, want 0", h.LastProbes())
+	}
+	// A Get leaves its own probe count behind...
+	if _, err := h.Get(); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if err := h.Free(); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	// ...and a subsequent Adopt resets it to a single trial.
+	if err := h.Adopt(mainSize + 3); err != nil {
+		t.Fatalf("Adopt: %v", err)
+	}
+	if h.LastProbes() != 1 {
+		t.Fatalf("LastProbes after Adopt = %d, want 1", h.LastProbes())
+	}
+	if !h.LastUsedBackup() {
+		t.Fatal("LastUsedBackup() = false after adopting a backup slot")
+	}
+	if err := h.Free(); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if err := h.Adopt(2); err != nil {
+		t.Fatalf("Adopt main slot: %v", err)
+	}
+	if h.LastProbes() != 1 || h.LastUsedBackup() {
+		t.Fatalf("after adopting a main slot: LastProbes = %d, LastUsedBackup = %v, want 1, false",
+			h.LastProbes(), h.LastUsedBackup())
+	}
+	if err := h.Free(); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+
+	// Take the whole namespace so the next Get fails: the failed Get's full
+	// sweep count must overwrite the stale post-Adopt value of 1.
+	for i := 0; i < la.Size(); i++ {
+		filler := la.Handle().(*Handle)
+		if err := filler.Adopt(i); err != nil {
+			t.Fatalf("filler Adopt(%d): %v", i, err)
+		}
+	}
+	if _, err := h.Get(); err != activity.ErrFull {
+		t.Fatalf("Get on full namespace = %v, want ErrFull", err)
+	}
+	want := la.Layout().NumBatches() + la.BackupSpace().Len() + mainSize
+	if h.LastProbes() != want {
+		t.Fatalf("LastProbes after failed Get = %d, want %d (Adopt's 1 must be overwritten)",
+			h.LastProbes(), want)
+	}
+	if !h.LastUsedBackup() {
+		t.Fatal("LastUsedBackup() = false after a failed Get swept the backup")
+	}
+}
+
 // TestAdoptBuildsDegradedState reproduces, in miniature, the set-up of the
 // healing experiment: handles adopt the slots prescribed by the Figure 3
 // degraded state, making the array unbalanced, and releasing them heals it.

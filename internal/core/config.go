@@ -12,6 +12,11 @@
 // parameters: the contention bound n, the space parameter ε (default 1, i.e.
 // a 2n-slot main array), the per-batch probe counts c_i (default 1, as in the
 // paper's implementation; the analysis uses c_i ≥ 16), and the PRNG family.
+// Beyond the paper, Config.Probe selects the write-side probing strategy on
+// the bitmap substrate: "slot" is the paper-faithful one-test-and-set-per-
+// probed-slot reference, "word" resolves each random probe to its covering
+// 64-slot bitmap word and claims any free slot there with a single load plus
+// a single fetch-or (see the ProbeMode constants).
 package core
 
 import (
@@ -40,6 +45,56 @@ const (
 	SpacePadded       = tas.KindPadded
 	SpaceCompact      = tas.KindCompact
 )
+
+// ProbeMode selects the write-side probing strategy of Get on word-claim-
+// capable substrates. See the Config.Probe field.
+type ProbeMode int
+
+const (
+	// ProbeSlot is the paper-faithful strategy and the conformance
+	// reference: every probe is one test-and-set on the exact slot the RNG
+	// chose. Default.
+	ProbeSlot ProbeMode = iota
+
+	// ProbeWord resolves each random batch probe to its covering bitmap
+	// word and claims any free slot of that word (clamped to the batch, so
+	// batches stay isolated) with one atomic load plus one fetch-or. The
+	// batch-level trial sequence — which batches are visited, and how many
+	// trials each receives — is unchanged; only the within-batch slot choice
+	// deviates from the paper's model (first free bit of the probed word
+	// instead of the probed slot itself). A trial now fails only when the
+	// whole probed window is full, which is what makes word mode dominate at
+	// high fill. It requires a bitmap substrate (and, when instrumented, a
+	// decorator that forwards tas.Claimer).
+	ProbeWord
+)
+
+// ProbeModeNames lists the valid -probe flag values.
+const ProbeModeNames = "slot, word"
+
+// String returns the mode name as accepted by the cmd/ drivers' -probe flag.
+func (m ProbeMode) String() string {
+	switch m {
+	case ProbeSlot:
+		return "slot"
+	case ProbeWord:
+		return "word"
+	default:
+		return fmt.Sprintf("ProbeMode(%d)", int(m))
+	}
+}
+
+// ParseProbeMode maps a mode name to a ProbeMode.
+func ParseProbeMode(name string) (ProbeMode, bool) {
+	switch name {
+	case "slot", "":
+		return ProbeSlot, true
+	case "word":
+		return ProbeWord, true
+	default:
+		return 0, false
+	}
+}
 
 // SpaceRole tells an Instrument decorator which space it is wrapping.
 type SpaceRole int
@@ -97,6 +152,16 @@ type Config struct {
 	// comparison benchmarks; they always run through the tas.Space
 	// interface.
 	Space SpaceKind
+
+	// Probe selects the write-side probing strategy. The zero value,
+	// ProbeSlot, performs one test-and-set per probed slot, exactly as the
+	// paper specifies; ProbeWord claims any free slot of the bitmap word
+	// covering each probe (single load + single fetch-or), preserving the
+	// batch-level probe distribution while collapsing up to 64 per-slot
+	// trials into one atomic pair. ProbeWord requires a bitmap Space and is
+	// rejected for the unpacked layouts and SoftwareTAS. The deterministic
+	// backup and last-resort sweeps are word-stepped in both modes.
+	Probe ProbeMode
 
 	// Instrument, when non-nil, is applied to each freshly built slot space
 	// and may return a wrapped tas.Space (tas.CountingSpace, tas.FlakySpace,
@@ -161,6 +226,19 @@ func (c Config) validate() error {
 	case SpaceBitmap, SpaceBitmapPadded, SpacePadded, SpaceCompact:
 	default:
 		return fmt.Errorf("core: unknown Space kind %d", int(c.Space))
+	}
+	switch c.Probe {
+	case ProbeSlot, ProbeWord:
+	default:
+		return fmt.Errorf("core: unknown Probe mode %d (valid: %s)", int(c.Probe), ProbeModeNames)
+	}
+	if c.Probe == ProbeWord {
+		if c.SoftwareTAS {
+			return fmt.Errorf("core: Probe %q cannot be combined with SoftwareTAS", ProbeWord)
+		}
+		if c.Space != SpaceBitmap && c.Space != SpaceBitmapPadded {
+			return fmt.Errorf("core: Probe %q requires a bitmap Space, got %v", ProbeWord, c.Space)
+		}
 	}
 	return nil
 }

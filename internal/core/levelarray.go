@@ -40,6 +40,13 @@ type LevelArray struct {
 	fastMain   *tas.BitmapSpace
 	fastBackup *tas.BitmapSpace
 
+	// mainClaim and backupClaim are the word-claim views of main/backup:
+	// non-nil when the (possibly instrumented) space supports tas.Claimer.
+	// They back the word probe mode and the word-stepped backup and
+	// last-resort sweeps on the interface-dispatch path.
+	mainClaim   tas.Claimer
+	backupClaim tas.Claimer
+
 	seeds *rng.SeedSequence
 }
 
@@ -67,6 +74,11 @@ func New(cfg Config) (*LevelArray, error) {
 	// that returns the inner space unchanged keeps dispatch-free operation.
 	la.fastMain, _ = la.main.(*tas.BitmapSpace)
 	la.fastBackup, _ = la.backup.(*tas.BitmapSpace)
+	la.mainClaim, _ = la.main.(tas.Claimer)
+	la.backupClaim, _ = la.backup.(tas.Claimer)
+	if cfg.Probe == ProbeWord && (la.mainClaim == nil || la.backupClaim == nil) {
+		return nil, fmt.Errorf("core: Probe %q requires word-claim-capable slot spaces; the Instrument decorator returned a space without tas.Claimer", ProbeWord)
+	}
 	return la, nil
 }
 
@@ -177,11 +189,30 @@ func (h *Handle) Get() (int, error) {
 	return h.getGeneric()
 }
 
-// getBitmap is the dispatch-free Get: every test-and-set is a direct call on
-// the concrete bitmap spaces.
+// wordWindow returns the intersection of slot's covering bitmap word with its
+// batch, the window a word-mode probe may claim from. The clamp keeps batches
+// isolated even when a word straddles a batch boundary (batch 0's unaligned
+// end, the densely packed sub-word tail batches), so word mode never claims
+// alignment-padding or sibling-batch slots and the per-batch occupancy
+// distribution matches slot mode's.
+func wordWindow(slot int, batch balance.Batch) (lo, hi int) {
+	lo = slot / tas.WordBits * tas.WordBits
+	hi = lo + tas.WordBits
+	if lo < batch.Offset {
+		lo = batch.Offset
+	}
+	if end := batch.Offset + batch.Size; hi > end {
+		hi = end
+	}
+	return lo, hi
+}
+
+// getBitmap is the dispatch-free Get: every test-and-set or word claim is a
+// direct call on the concrete bitmap spaces.
 func (h *Handle) getBitmap() (int, error) {
 	main, backup := h.arr.fastMain, h.arr.fastBackup
 	layout := h.arr.layout
+	wordMode := h.arr.cfg.Probe == ProbeWord
 	probes := 0
 	for b := 0; b < layout.NumBatches(); b++ {
 		batch := layout.Batch(b)
@@ -189,42 +220,56 @@ func (h *Handle) getBitmap() (int, error) {
 		for t := 0; t < trials; t++ {
 			slot := batch.Offset + h.rng.Intn(batch.Size)
 			probes++
-			if main.TestAndSet(slot) {
+			if wordMode {
+				// One trial = one window: a single load, plus a single
+				// fetch-or when the window has a free bit. The trial count
+				// per batch (and so the batch reach distribution) is the
+				// same as slot mode's; only the within-batch placement
+				// differs.
+				lo, hi := wordWindow(slot, batch)
+				if s, ok := main.ClaimRange(lo, hi); ok {
+					h.acquire(s, probes, false)
+					return s, nil
+				}
+			} else if main.TestAndSet(slot) {
 				h.acquire(slot, probes, false)
 				return slot, nil
 			}
 		}
 	}
-	// Backup path: scan the dedicated n-slot array linearly. Reaching this
-	// point requires losing every randomized probe, which the analysis shows
-	// is essentially impossible; the scan keeps Get wait-free regardless.
+	// Backup path: claim the first free slot of the dedicated n-slot array,
+	// word-stepped (full words cost one load each). Reaching this point
+	// requires losing every randomized probe, which the analysis shows is
+	// essentially impossible; the sweep keeps Get wait-free regardless. The
+	// sweep is deterministic, so word-stepping picks the same slot a per-slot
+	// scan would; probe accounting records slots examined, not atomics
+	// issued, so the reported cost model is unchanged.
 	mainSize := main.Len()
-	for i := 0; i < backup.Len(); i++ {
-		probes++
-		if backup.TestAndSet(i) {
-			h.acquire(mainSize+i, probes, true)
-			return mainSize + i, nil
-		}
+	if s, ok := backup.ClaimRange(0, backup.Len()); ok {
+		h.acquire(mainSize+s, probes+s+1, true)
+		return mainSize + s, nil
 	}
-	// Last resort: sweep the main array linearly. This is only reachable when
-	// more than Capacity participants are registered at once (outside the
-	// paper's model); the sweep guarantees that Get fails only when no free
-	// slot exists anywhere in the namespace.
-	for i := 0; i < mainSize; i++ {
-		probes++
-		if main.TestAndSet(i) {
-			h.acquire(i, probes, true)
-			return i, nil
-		}
+	probes += backup.Len()
+	// Last resort: sweep the main array, again word-stepped. This is only
+	// reachable when more than Capacity participants are registered at once
+	// (outside the paper's model); the sweep guarantees that Get fails only
+	// when no free slot exists anywhere in the namespace.
+	if s, ok := main.ClaimRange(0, mainSize); ok {
+		h.acquire(s, probes+s+1, true)
+		return s, nil
 	}
+	probes += mainSize
 	return 0, h.fail(probes)
 }
 
 // getGeneric is the interface-dispatch Get used by the unpacked substrates,
 // the software test-and-set construction, and instrumented arrays. The probe
-// sequence is identical to getBitmap.
+// sequence is identical to getBitmap; spaces that expose tas.Claimer (e.g. a
+// counting decorator over a bitmap) keep the word-mode probes and the
+// word-stepped sweeps, everything else runs per-slot.
 func (h *Handle) getGeneric() (int, error) {
 	layout := h.arr.layout
+	wordMode := h.arr.cfg.Probe == ProbeWord && h.arr.mainClaim != nil
 	probes := 0
 	for b := 0; b < layout.NumBatches(); b++ {
 		batch := layout.Batch(b)
@@ -232,25 +277,47 @@ func (h *Handle) getGeneric() (int, error) {
 		for t := 0; t < trials; t++ {
 			slot := batch.Offset + h.rng.Intn(batch.Size)
 			probes++
-			if h.arr.main.TestAndSet(slot) {
+			if wordMode {
+				lo, hi := wordWindow(slot, batch)
+				if s, ok := h.arr.mainClaim.ClaimRange(lo, hi); ok {
+					h.acquire(s, probes, false)
+					return s, nil
+				}
+			} else if h.arr.main.TestAndSet(slot) {
 				h.acquire(slot, probes, false)
 				return slot, nil
 			}
 		}
 	}
-	mainSize := h.arr.layout.MainSize()
-	for i := 0; i < h.arr.backup.Len(); i++ {
-		probes++
-		if h.arr.backup.TestAndSet(i) {
-			h.acquire(mainSize+i, probes, true)
-			return mainSize + i, nil
+	mainSize := layout.MainSize()
+	if bc := h.arr.backupClaim; bc != nil {
+		if s, ok := bc.ClaimRange(0, h.arr.backup.Len()); ok {
+			h.acquire(mainSize+s, probes+s+1, true)
+			return mainSize + s, nil
+		}
+		probes += h.arr.backup.Len()
+	} else {
+		for i := 0; i < h.arr.backup.Len(); i++ {
+			probes++
+			if h.arr.backup.TestAndSet(i) {
+				h.acquire(mainSize+i, probes, true)
+				return mainSize + i, nil
+			}
 		}
 	}
-	for i := 0; i < mainSize; i++ {
-		probes++
-		if h.arr.main.TestAndSet(i) {
-			h.acquire(i, probes, true)
-			return i, nil
+	if mc := h.arr.mainClaim; mc != nil {
+		if s, ok := mc.ClaimRange(0, mainSize); ok {
+			h.acquire(s, probes+s+1, true)
+			return s, nil
+		}
+		probes += mainSize
+	} else {
+		for i := 0; i < mainSize; i++ {
+			probes++
+			if h.arr.main.TestAndSet(i) {
+				h.acquire(i, probes, true)
+				return i, nil
+			}
 		}
 	}
 	return 0, h.fail(probes)
@@ -282,6 +349,14 @@ func (h *Handle) fail(probes int) error {
 // participants (e.g. a recovering thread re-attaching to a slot), and setting
 // up the degraded initial states used by the self-healing experiment
 // (Figure 3), where participants must start out holding badly placed names.
+//
+// A successful Adopt resets the last-operation telemetry to its own single
+// trial: LastProbes() reports 1 and LastUsedBackup() reports whether the
+// adopted name lies in the backup region, replacing whatever the previous
+// Get left behind. The next Get — including a failed one — overwrites both
+// again. Only the cumulative Stats() are exempt: adoption is not a probing
+// Get and is deliberately excluded from probe statistics so experiment
+// set-up does not skew the measurements.
 func (h *Handle) Adopt(name int) error {
 	if h.held {
 		return activity.ErrAlreadyRegistered
@@ -310,6 +385,29 @@ func (h *Handle) Adopt(name int) error {
 	h.held = true
 	h.lastProbes = 1
 	h.lastBackup = name >= mainSize
+	return nil
+}
+
+// BindClaimed attaches the handle to a slot whose bit the caller has already
+// won directly on the array's slot spaces — the sharded composition's
+// last-resort sweep claims shard slots with tas.Claimer.ClaimRange and then
+// binds the winning shard's sub-handle here. Unlike Adopt it performs no
+// test-and-set of its own, so the caller must own the claimed bit and hand it
+// to exactly one handle; a bound name is freed and re-acquired like any
+// other. Like Adopt it sets LastProbes() to 1, sets LastUsedBackup() from the
+// name's region, and records nothing in the cumulative statistics (the
+// sharded layer accounts the sweep's probes at its own level).
+func (h *Handle) BindClaimed(name int) error {
+	if h.held {
+		return activity.ErrAlreadyRegistered
+	}
+	if name < 0 || name >= h.arr.Size() {
+		return fmt.Errorf("core: bind name %d outside namespace [0, %d)", name, h.arr.Size())
+	}
+	h.name = name
+	h.held = true
+	h.lastProbes = 1
+	h.lastBackup = name >= h.arr.layout.MainSize()
 	return nil
 }
 

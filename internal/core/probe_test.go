@@ -1,0 +1,362 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/arraytest"
+	"github.com/levelarray/levelarray/internal/tas"
+)
+
+func TestConformanceWordProbe(t *testing.T) {
+	arraytest.Run(t, func(capacity int) activity.Array {
+		return MustNew(Config{Capacity: capacity, Seed: 53, Probe: ProbeWord})
+	})
+}
+
+func TestConformanceWordProbePaddedBitmap(t *testing.T) {
+	arraytest.Run(t, func(capacity int) activity.Array {
+		return MustNew(Config{Capacity: capacity, Seed: 59, Probe: ProbeWord, Space: SpaceBitmapPadded})
+	})
+}
+
+// TestConformanceWordProbeInstrumented runs word mode entirely on the
+// interface path: the counting decorator forwards tas.Claimer, so word
+// probes and word-stepped sweeps survive instrumentation.
+func TestConformanceWordProbeInstrumented(t *testing.T) {
+	arraytest.Run(t, func(capacity int) activity.Array {
+		return MustNew(Config{Capacity: capacity, Seed: 61, Probe: ProbeWord, Instrument: func(role SpaceRole, inner tas.Space) tas.Space {
+			return tas.NewCountingSpace(inner)
+		}})
+	})
+}
+
+func TestParseProbeMode(t *testing.T) {
+	cases := []struct {
+		name string
+		want ProbeMode
+		ok   bool
+	}{
+		{"slot", ProbeSlot, true},
+		{"", ProbeSlot, true},
+		{"word", ProbeWord, true},
+		{"Word", 0, false},
+		{"bitmap", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ParseProbeMode(c.name)
+		if got != c.want || ok != c.ok {
+			t.Errorf("ParseProbeMode(%q) = (%v, %v), want (%v, %v)", c.name, got, ok, c.want, c.ok)
+		}
+	}
+	if ProbeSlot.String() != "slot" || ProbeWord.String() != "word" {
+		t.Errorf("String() = %q, %q", ProbeSlot, ProbeWord)
+	}
+}
+
+// TestProbeModeValidation pins down which configurations word mode accepts:
+// bitmap substrates only, and instrumentation must forward word claims.
+func TestProbeModeValidation(t *testing.T) {
+	flaky := func(role SpaceRole, inner tas.Space) tas.Space { return tas.NewFlakySpace(inner, 0) }
+	counting := func(role SpaceRole, inner tas.Space) tas.Space { return tas.NewCountingSpace(inner) }
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"word-bitmap", Config{Capacity: 8, Probe: ProbeWord}, false},
+		{"word-bitmap-padded", Config{Capacity: 8, Probe: ProbeWord, Space: SpaceBitmapPadded}, false},
+		{"word-counting", Config{Capacity: 8, Probe: ProbeWord, Instrument: counting}, false},
+		{"word-padded", Config{Capacity: 8, Probe: ProbeWord, Space: SpacePadded}, true},
+		{"word-compact", Config{Capacity: 8, Probe: ProbeWord, Space: SpaceCompact}, true},
+		{"word-compact-legacy", Config{Capacity: 8, Probe: ProbeWord, CompactSlots: true}, true},
+		{"word-software-tas", Config{Capacity: 8, Probe: ProbeWord, SoftwareTAS: true}, true},
+		{"word-flaky", Config{Capacity: 8, Probe: ProbeWord, Instrument: flaky}, true},
+		{"unknown-mode", Config{Capacity: 8, Probe: ProbeMode(99)}, true},
+		{"slot-anything", Config{Capacity: 8, Space: SpaceCompact}, false},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			_, err := New(c.cfg)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("New(%+v) error = %v, wantErr %v", c.cfg, err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestWordModeProbeSingleAtomic verifies the headline cost collapse: on an
+// array with free capacity, one word-mode Get issues exactly one word-level
+// atomic operation (measured by the counting decorator) and records exactly
+// one probe.
+func TestWordModeProbeSingleAtomic(t *testing.T) {
+	var main *tas.CountingSpace
+	la := MustNew(Config{Capacity: 256, Seed: 3, Probe: ProbeWord, Instrument: func(role SpaceRole, inner tas.Space) tas.Space {
+		c := tas.NewCountingSpace(inner)
+		if role == RoleMain {
+			main = c
+		}
+		return c
+	}})
+	h := la.Handle().(*Handle)
+	if _, err := h.Get(); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if h.LastProbes() != 1 {
+		t.Fatalf("LastProbes = %d, want 1", h.LastProbes())
+	}
+	counts := main.Counters()
+	if counts.Probes != 1 || counts.Wins != 1 {
+		t.Fatalf("main space counters = %+v, want exactly 1 probe / 1 win", counts)
+	}
+}
+
+// batchOfStrict returns the index of the batch whose slot range contains
+// slot, or -1 for slots (alignment padding, backup) outside every batch.
+func batchOfStrict(la *LevelArray, slot int) int {
+	for j := 0; j < la.Layout().NumBatches(); j++ {
+		b := la.Layout().Batch(j)
+		if slot >= b.Offset && slot < b.Offset+b.Size {
+			return j
+		}
+	}
+	return -1
+}
+
+// TestWordModeStaysInBatches churns word mode at high fill on a layout with
+// alignment padding and asserts every issued name lies inside a real batch:
+// the claim window is clamped to the probed batch, so word mode can never
+// claim padding slots or leak into a sibling batch.
+func TestWordModeStaysInBatches(t *testing.T) {
+	const n = 1000 // this layout has padding between word-sized batches
+	la := MustNew(Config{Capacity: n, Seed: 67, Probe: ProbeWord})
+	if la.Layout().PaddingSlots() == 0 {
+		t.Fatal("test requires a layout with alignment padding")
+	}
+	resident := make([]activity.Handle, n*9/10)
+	for i := range resident {
+		resident[i] = la.Handle()
+		name, err := resident[i].Get()
+		if err != nil {
+			t.Fatalf("pre-fill Get %d: %v", i, err)
+		}
+		if batchOfStrict(la, name) < 0 {
+			t.Fatalf("pre-fill name %d lies outside every batch", name)
+		}
+	}
+	churn := la.Handle()
+	for i := 0; i < 2000; i++ {
+		name, err := churn.Get()
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if batchOfStrict(la, name) < 0 {
+			t.Fatalf("churn name %d lies outside every batch (padding leak)", name)
+		}
+		if err := churn.Free(); err != nil {
+			t.Fatalf("Free: %v", err)
+		}
+	}
+}
+
+// steadyStateFills churns every resident through Free/Get until the placement
+// distribution reaches the mode's steady state, then returns the per-batch
+// occupancy fractions.
+func steadyStateFills(t *testing.T, cfg Config, residents, rounds int) []float64 {
+	t.Helper()
+	la := MustNew(cfg)
+	handles := make([]activity.Handle, residents)
+	for i := range handles {
+		handles[i] = la.Handle()
+		if _, err := handles[i].Get(); err != nil {
+			t.Fatalf("pre-fill Get: %v", err)
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		h := handles[r%residents]
+		if err := h.Free(); err != nil {
+			t.Fatalf("churn Free: %v", err)
+		}
+		if _, err := h.Get(); err != nil {
+			t.Fatalf("churn Get: %v", err)
+		}
+	}
+	occ := la.Occupancy()
+	out := make([]float64, la.Layout().NumBatches())
+	var total int
+	for j := range out {
+		out[j] = float64(occ[j]) / float64(la.Layout().Batch(j).Size)
+		total += occ[j]
+	}
+	if total+occ[la.Layout().NumBatches()] != residents {
+		t.Fatalf("steady-state occupancy %d, want %d residents", total, residents)
+	}
+	return out
+}
+
+// TestWordModeOccupancyConformance compares steady-state per-batch fill
+// fractions between the probe modes. Word mode's only sanctioned deviation is
+// placement within the probed window, which makes trials succeed earlier, so
+// names may sit *shallower* than slot mode's — never deeper. A deeper word-
+// mode distribution would mean the low-bit clustering of word claims is
+// filling whole words and pushing probes down the batch sequence, exactly the
+// skew this test guards against. At the analysis's larger per-batch probe
+// counts both modes concentrate in batch 0 and the fractions must agree
+// tightly.
+func TestWordModeOccupancyConformance(t *testing.T) {
+	const (
+		n         = 512
+		residents = n / 2
+		rounds    = 6 * n
+	)
+	t.Run("c=1", func(t *testing.T) {
+		slot := steadyStateFills(t, Config{Capacity: n, Seed: 131}, residents, rounds)
+		word := steadyStateFills(t, Config{Capacity: n, Seed: 131, Probe: ProbeWord}, residents, rounds)
+		if math.Abs(slot[0]-word[0]) > 0.10 {
+			t.Errorf("batch 0 fill: slot %.3f vs word %.3f, |Δ| > 0.10", slot[0], word[0])
+		}
+		for j := 1; j < len(slot); j++ {
+			if word[j] > slot[j]+0.10 {
+				t.Errorf("batch %d fill: word %.3f exceeds slot %.3f by more than 0.10 (names pushed deeper)",
+					j, word[j], slot[j])
+			}
+		}
+	})
+	t.Run("c=4", func(t *testing.T) {
+		slot := steadyStateFills(t, Config{Capacity: n, Seed: 137, ProbesPerBatch: 4}, residents, rounds)
+		word := steadyStateFills(t, Config{Capacity: n, Seed: 137, ProbesPerBatch: 4, Probe: ProbeWord}, residents, rounds)
+		for j := range slot {
+			if math.Abs(slot[j]-word[j]) > 0.08 {
+				t.Errorf("batch %d fill: slot %.3f vs word %.3f, |Δ| > 0.08", j, slot[j], word[j])
+			}
+		}
+	})
+}
+
+// fillSpace takes every slot of sp directly, leaving the top `spare` slots
+// free; it bypasses handles because the point is the array state, not how it
+// was reached.
+func fillSpace(t *testing.T, sp tas.Space, spare int) {
+	t.Helper()
+	for i := 0; i < sp.Len()-spare; i++ {
+		if !sp.TestAndSet(i) {
+			t.Fatalf("setup TestAndSet(%d) lost on a fresh space", i)
+		}
+	}
+}
+
+// TestSweepWordOps is the acceptance check for the word-stepped sweeps: when
+// a Get falls through to the backup scan (and, on ErrFull, the last-resort
+// main sweep), the counting decorator must observe O(n/64) word-level atomics
+// — not O(n) per-slot probes — while the handle's probe accounting still
+// records slots examined, so LastProbes and ErrFull semantics are unchanged
+// from the per-slot implementation.
+func TestSweepWordOps(t *testing.T) {
+	const n = 256
+	counters := make(map[SpaceRole]*tas.CountingSpace)
+	la := MustNew(Config{Capacity: n, Seed: 1, Instrument: func(role SpaceRole, inner tas.Space) tas.Space {
+		c := tas.NewCountingSpace(inner)
+		counters[role] = c
+		return c
+	}})
+	layout := la.Layout()
+	mainSize := layout.MainSize()
+
+	// Fill the whole main array and all but the last backup slot.
+	fillSpace(t, la.MainSpace(), 0)
+	fillSpace(t, la.BackupSpace(), 1)
+	counters[RoleMain].ResetCounters()
+	counters[RoleBackup].ResetCounters()
+
+	h := la.Handle().(*Handle)
+	name, err := h.Get()
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if want := mainSize + n - 1; name != want {
+		t.Fatalf("Get = %d, want the last backup slot %d", name, want)
+	}
+	if !h.LastUsedBackup() {
+		t.Fatal("LastUsedBackup() = false after a backup sweep")
+	}
+	// Slots examined: one per batch trial plus the full backup scan.
+	if want := layout.NumBatches() + n; h.LastProbes() != want {
+		t.Fatalf("LastProbes = %d, want %d slots examined", h.LastProbes(), want)
+	}
+	// Atomics issued: one test-and-set per batch trial, then one word
+	// operation per 64 backup slots.
+	backupWords := (n + tas.WordBits - 1) / tas.WordBits
+	if got, want := counters[RoleMain].Counters().Probes, uint64(layout.NumBatches()); got != want {
+		t.Errorf("main space atomics = %d during the backup sweep, want %d", got, want)
+	}
+	if got, want := counters[RoleBackup].Counters().Probes, uint64(backupWords); got != want {
+		t.Errorf("backup sweep atomics = %d, want %d (= ceil(n/64) word ops)", got, want)
+	}
+
+	// With the namespace now completely full, a Get must sweep everything,
+	// fail with ErrFull, and still only issue O(n/64) word atomics.
+	counters[RoleMain].ResetCounters()
+	counters[RoleBackup].ResetCounters()
+	h2 := la.Handle().(*Handle)
+	if _, err := h2.Get(); err != activity.ErrFull {
+		t.Fatalf("Get on a full namespace = %v, want ErrFull", err)
+	}
+	if want := layout.NumBatches() + n + mainSize; h2.LastProbes() != want {
+		t.Fatalf("failed-Get LastProbes = %d, want %d slots examined", h2.LastProbes(), want)
+	}
+	mainWords := (mainSize + tas.WordBits - 1) / tas.WordBits
+	if got, want := counters[RoleMain].Counters().Probes, uint64(layout.NumBatches()+mainWords); got != want {
+		t.Errorf("failed-Get main atomics = %d, want %d (batch trials + ceil(mainSize/64))", got, want)
+	}
+	if got, want := counters[RoleBackup].Counters().Probes, uint64(backupWords); got != want {
+		t.Errorf("failed-Get backup atomics = %d, want %d", got, want)
+	}
+	if h2.Stats().FailedOps != 1 {
+		t.Fatalf("FailedOps = %d, want 1", h2.Stats().FailedOps)
+	}
+}
+
+// TestSweepFindsLastFreeSlotFastPath is TestSweepWordOps's dispatch-free
+// sibling: on the uninstrumented bitmap path the word-stepped sweeps must
+// find the single remaining slot anywhere in the namespace and report the
+// same slots-examined probe counts.
+func TestSweepFindsLastFreeSlotFastPath(t *testing.T) {
+	const n = 192
+	for _, probe := range []ProbeMode{ProbeSlot, ProbeWord} {
+		probe := probe
+		t.Run(probe.String(), func(t *testing.T) {
+			la := MustNew(Config{Capacity: n, Seed: 7, Probe: probe})
+			mainSize := la.Layout().MainSize()
+			fillSpace(t, la.MainSpace(), 0)
+			fillSpace(t, la.BackupSpace(), 1)
+
+			h := la.Handle().(*Handle)
+			name, err := h.Get()
+			if err != nil {
+				t.Fatalf("Get: %v", err)
+			}
+			if want := mainSize + n - 1; name != want {
+				t.Fatalf("Get = %d, want %d", name, want)
+			}
+			if want := la.Layout().NumBatches() + n; h.LastProbes() != want {
+				t.Fatalf("LastProbes = %d, want %d", h.LastProbes(), want)
+			}
+			h2 := la.Handle().(*Handle)
+			if _, err := h2.Get(); err != activity.ErrFull {
+				t.Fatalf("Get on full namespace = %v, want ErrFull", err)
+			}
+			if want := la.Layout().NumBatches() + n + mainSize; h2.LastProbes() != want {
+				t.Fatalf("failed-Get LastProbes = %d, want %d", h2.LastProbes(), want)
+			}
+			// Freeing the swept-up slot reopens the namespace.
+			if err := h.Free(); err != nil {
+				t.Fatalf("Free: %v", err)
+			}
+			if _, err := h2.Get(); err != nil {
+				t.Fatalf("Get after Free: %v", err)
+			}
+		})
+	}
+}

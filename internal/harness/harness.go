@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/core"
 	"github.com/levelarray/levelarray/internal/registry"
 	"github.com/levelarray/levelarray/internal/rng"
 	"github.com/levelarray/levelarray/internal/shard"
@@ -68,6 +69,10 @@ type Config struct {
 	// Space selects the slot substrate layout. The zero value is the
 	// word-packed bitmap.
 	Space tas.Kind
+
+	// Probe selects the LevelArray's write-side probing strategy (per-slot
+	// test-and-set vs word claims). Ignored by the comparator algorithms.
+	Probe core.ProbeMode
 
 	// CompactSlots is a deprecated alias for Space: tas.KindCompact, only
 	// honored when Space is left at its zero value.
@@ -183,6 +188,7 @@ func Run(cfg Config) (Result, error) {
 		RNG:          cfg.RNG,
 		Seed:         cfg.Seed,
 		Space:        cfg.Space,
+		Probe:        cfg.Probe,
 		CompactSlots: cfg.CompactSlots,
 		Shards:       cfg.Shards,
 		Steal:        cfg.Steal,

@@ -4,8 +4,10 @@ import (
 	"testing"
 	"time"
 
+	"github.com/levelarray/levelarray/internal/core"
 	"github.com/levelarray/levelarray/internal/registry"
 	"github.com/levelarray/levelarray/internal/shard"
+	"github.com/levelarray/levelarray/internal/tas"
 	"github.com/levelarray/levelarray/internal/workload"
 )
 
@@ -239,5 +241,36 @@ func TestRunSharded(t *testing.T) {
 		RoundsPerThread: 1,
 	}); err == nil {
 		t.Fatal("Run accepted non-power-of-two shard count")
+	}
+}
+
+// TestRunWordProbe runs the harness with the word-claim probe mode, plain
+// and sharded, checking the knob reaches the array (same workload contract
+// as the slot-mode runs: no failures within capacity).
+func TestRunWordProbe(t *testing.T) {
+	cfg := baseConfig(registry.LevelArray, 4)
+	cfg.Probe = core.ProbeWord
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run word probe: %v", err)
+	}
+	if res.Stats.Ops == 0 || res.Stats.FailedOps != 0 {
+		t.Fatalf("word-probe run stats: %+v", res.Stats)
+	}
+
+	cfg.Shards = 2
+	if res, err = Run(cfg); err != nil {
+		t.Fatalf("Run sharded word probe: %v", err)
+	}
+	if res.Stats.FailedOps != 0 {
+		t.Fatalf("sharded word-probe run recorded %d failed Gets", res.Stats.FailedOps)
+	}
+
+	// Incompatible substrate combinations surface as construction errors.
+	bad := baseConfig(registry.LevelArray, 2)
+	bad.Probe = core.ProbeWord
+	bad.Space = tas.KindPadded
+	if _, err := Run(bad); err == nil {
+		t.Fatal("Run accepted Probe word on the padded substrate")
 	}
 }

@@ -115,6 +115,11 @@ type Options struct {
 	// Space selects the slot substrate layout for every algorithm. The zero
 	// value is the word-packed bitmap.
 	Space tas.Kind
+	// Probe selects the LevelArray's write-side probing strategy: per-slot
+	// test-and-set (the paper-faithful default) or word claims on the bitmap
+	// substrate. Ignored by the comparator algorithms, which define their
+	// own probe disciplines.
+	Probe core.ProbeMode
 	// CompactSlots is a deprecated alias for Space: tas.KindCompact, only
 	// honored when Space is left at its zero value.
 	CompactSlots bool
@@ -155,6 +160,7 @@ func New(algo Algorithm, opts Options) (activity.Array, error) {
 			RNG:            opts.RNG,
 			Seed:           opts.Seed,
 			Space:          opts.Space,
+			Probe:          opts.Probe,
 			CompactSlots:   opts.CompactSlots,
 		})
 	case Random, LinearProbing, Deterministic:
@@ -207,6 +213,7 @@ func newSharded(algo Algorithm, opts Options, sizeFactor float64) (activity.Arra
 			ProbesPerBatch: opts.ProbesPerBatch,
 			RNG:            opts.RNG,
 			Space:          opts.Space,
+			Probe:          opts.Probe,
 			CompactSlots:   opts.CompactSlots,
 		}
 	case Random, LinearProbing, Deterministic:

@@ -9,6 +9,7 @@ import (
 	"github.com/levelarray/levelarray/internal/baselines"
 	"github.com/levelarray/levelarray/internal/core"
 	"github.com/levelarray/levelarray/internal/shard"
+	"github.com/levelarray/levelarray/internal/tas"
 )
 
 func TestConformanceAllAlgorithms(t *testing.T) {
@@ -231,5 +232,36 @@ func TestShardedConstruction(t *testing.T) {
 	}
 	if _, err := New(Sharded, Options{Capacity: 64, Shards: 2, SizeFactor: 1}); err == nil {
 		t.Error("New accepted sharded LevelArray with size factor 1")
+	}
+}
+
+// TestProbeModePlumbing checks that Options.Probe reaches the LevelArray in
+// both the plain and the sharded construction, and that word mode behaves
+// through the registry.
+func TestProbeModePlumbing(t *testing.T) {
+	arraytest.Run(t, func(capacity int) activity.Array {
+		return MustNew(LevelArray, Options{Capacity: capacity, Seed: 71, Probe: core.ProbeWord})
+	})
+
+	arr, err := New(Sharded, Options{Capacity: 32, Shards: 2, Seed: 3, Probe: core.ProbeWord})
+	if err != nil {
+		t.Fatalf("New(Sharded, Probe=word): %v", err)
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 32; i++ {
+		h := arr.Handle()
+		name, err := h.Get()
+		if err != nil {
+			t.Fatalf("Get %d: %v", i, err)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate name %d from sharded word-mode LevelArray", name)
+		}
+		seen[name] = true
+	}
+
+	// Word mode is rejected with incompatible substrates at construction.
+	if _, err := New(LevelArray, Options{Capacity: 32, Probe: core.ProbeWord, Space: tas.KindCompact}); err == nil {
+		t.Error("New accepted Probe word on a compact substrate")
 	}
 }

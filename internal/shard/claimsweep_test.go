@@ -1,0 +1,144 @@
+package shard
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/core"
+)
+
+// sweepCosts returns the slots-examined cost of one full-shard Get (batch
+// trials plus both linear sweeps) and of one word-level sweep (both spaces),
+// for shards built from the default LevelArray template.
+func sweepCosts(t *testing.T, arr *Sharded) (fullGet, swept int) {
+	t.Helper()
+	la, ok := arr.Shard(0).(*core.LevelArray)
+	if !ok {
+		t.Fatalf("shard 0 is %T, want *core.LevelArray", arr.Shard(0))
+	}
+	layout := la.Layout()
+	swept = layout.MainSize() + layout.BackupSize()
+	return layout.NumBatches() + swept, swept
+}
+
+// TestClaimSweepFindsLastSlot drives a Get into the deterministic all-shard
+// sweep with the only free slot sitting in the last shard's backup array: the
+// word-level ClaimRange sweep must claim it, bind the shard's sub-handle (so
+// Free works normally), account probes as slots examined, and record the
+// steal. The steal policy is pinned to one sequential attempt so the
+// configuration is fully deterministic.
+func TestClaimSweepFindsLastSlot(t *testing.T) {
+	arr := MustNew(Config{
+		Shards:        4,
+		Capacity:      16, // 4 per shard
+		Steal:         StealSequential,
+		StealAttempts: 1,
+		Seed:          11,
+	})
+	fullGet, swept := sweepCosts(t, arr)
+
+	// Fill shards 0..2 completely; fill shard 3 except its very last backup
+	// slot, which only the final sweep (not the home Get, not the steal
+	// attempt on shard 1) can reach.
+	var fillers []activity.Handle
+	for s := 0; s < 3; s++ {
+		fillers = append(fillers, fillShard(t, arr, s)...)
+	}
+	lastLocal := arr.Shard(3).Size() - 1
+	for _, f := range fillShard(t, arr, 3) {
+		if name, _ := f.Name(); name == lastLocal {
+			if err := f.Free(); err != nil {
+				t.Fatalf("freeing the target slot: %v", err)
+			}
+			continue
+		}
+		fillers = append(fillers, f)
+	}
+
+	h := arr.HandleWithHome(0)
+	name, err := h.Get()
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if want := 3*arr.Stride() + lastLocal; name != want {
+		t.Fatalf("Get = %d, want the last backup slot of shard 3 (%d)", name, want)
+	}
+	if !h.LastStolen() {
+		t.Error("LastStolen() = false after a sweep acquisition away from home")
+	}
+	if got := h.Stats().Steals; got != 1 {
+		t.Errorf("Stats().Steals = %d, want 1", got)
+	}
+	if got := h.Stats().BackupOps; got != 1 {
+		t.Errorf("Stats().BackupOps = %d, want 1 (bound slot is in the backup region)", got)
+	}
+	if got := arr.ShardStats()[3].StealsIn; got != 1 {
+		t.Errorf("shard 3 StealsIn = %d, want 1", got)
+	}
+	// Probes count slots examined: two full-shard Gets (home, one steal
+	// attempt) plus word-level sweeps of shards 0-2 and all of shard 3 up to
+	// and including its last slot.
+	if want := 2*fullGet + 3*swept + swept; h.LastProbes() != want {
+		t.Fatalf("LastProbes = %d, want %d slots examined", h.LastProbes(), want)
+	}
+	// The bound registration is visible to Collect and releasable normally.
+	found := false
+	for _, c := range arr.Collect(nil) {
+		if c == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Collect does not report the swept-up name %d", name)
+	}
+	if err := h.Free(); err != nil {
+		t.Fatalf("Free of bound name: %v", err)
+	}
+	if _, err := arr.HandleWithHome(2).Get(); err != nil {
+		t.Fatalf("Get after Free (slot must be reusable): %v", err)
+	}
+	for _, f := range fillers {
+		if err := f.Free(); err != nil {
+			t.Fatalf("filler Free: %v", err)
+		}
+	}
+}
+
+// TestClaimSweepErrFull pins down the failure path: with every slot of every
+// shard taken, the sweep must examine the whole aggregate namespace (probe
+// accounting in slots), return ErrFull exactly once, and recover as soon as
+// one slot frees up.
+func TestClaimSweepErrFull(t *testing.T) {
+	arr := MustNew(Config{
+		Shards:        4,
+		Capacity:      16,
+		Steal:         StealSequential,
+		StealAttempts: 1,
+		Seed:          13,
+	})
+	fullGet, swept := sweepCosts(t, arr)
+	var fillers []activity.Handle
+	for s := 0; s < arr.Shards(); s++ {
+		fillers = append(fillers, fillShard(t, arr, s)...)
+	}
+
+	h := arr.HandleWithHome(0)
+	if _, err := h.Get(); !errors.Is(err, activity.ErrFull) {
+		t.Fatalf("Get on a full composition = %v, want ErrFull", err)
+	}
+	if got := arr.FailedGets(); got != 1 {
+		t.Errorf("FailedGets() = %d, want 1", got)
+	}
+	// Home Get + one steal attempt (both full per-shard Gets), then a
+	// word-level sweep of all four shards.
+	if want := 2*fullGet + 4*swept; h.LastProbes() != want {
+		t.Fatalf("failed-Get LastProbes = %d, want %d slots examined", h.LastProbes(), want)
+	}
+	if err := fillers[len(fillers)-1].Free(); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if _, err := h.Get(); err != nil {
+		t.Fatalf("Get after one Free: %v", err)
+	}
+}

@@ -89,8 +89,23 @@ func (h *Handle) Get() (int, error) {
 
 	// Last resort: sweep every shard in order. Like the LevelArray's own
 	// linear sweep this is only reachable under loads at or beyond the
-	// aggregate capacity; it keeps Get's failure condition exact.
+	// aggregate capacity; it keeps Get's failure condition exact. Shards
+	// with a word-level bitmap view are swept with ClaimRange — one atomic
+	// load per 64 slots instead of a full per-slot probe sequence — and the
+	// claimed slot is bound to the shard's sub-handle; other shards fall
+	// back to a full sub-handle Get.
 	for s := range h.arr.shards {
+		local, examined, won, swept := h.claimShard(s)
+		probes += examined
+		if won {
+			if s != h.home {
+				h.arr.counters[s].stealsIn.Add(1)
+			}
+			return h.acquire(s, local, probes, s != h.home), nil
+		}
+		if swept {
+			continue
+		}
 		local, err := h.tryShard(s, &probes)
 		if err == nil {
 			if s != h.home {
@@ -107,6 +122,43 @@ func (h *Handle) Get() (int, error) {
 	h.stats.RecordFailure(probes)
 	h.arr.failures.Add(1)
 	return 0, activity.ErrFull
+}
+
+// claimShard is the word-level arm of the last-resort sweep: it claims the
+// first free slot of shard s directly on its bitmap view (main array first,
+// then backup, the order a healthy Get fills them in) and binds the shard's
+// sub-handle to the claimed name, so Free works exactly as after a normal
+// Get. examined is the number of slots the sweep covered — probe accounting
+// records slots examined, not the O(slots/64) word atomics actually issued —
+// and swept reports whether the word-level sweep ran at all: it is false for
+// shards without a bitmap view or without a bindable sub-handle, which the
+// caller sweeps with a full sub-handle Get instead.
+func (h *Handle) claimShard(s int) (local, examined int, won, swept bool) {
+	v := h.arr.views[s]
+	if v.main == nil || v.backup == nil {
+		return 0, 0, false, false
+	}
+	binder, ok := h.sub(s).(interface{ BindClaimed(int) error })
+	if !ok {
+		return 0, 0, false, false
+	}
+	if slot, claimed := v.main.ClaimRange(0, v.main.Len()); claimed {
+		if err := binder.BindClaimed(slot); err != nil {
+			v.main.Reset(slot)
+			return 0, 0, false, false
+		}
+		return slot, slot + 1, true, true
+	}
+	examined = v.main.Len()
+	if slot, claimed := v.backup.ClaimRange(0, v.backup.Len()); claimed {
+		local = v.mainSize + slot
+		if err := binder.BindClaimed(local); err != nil {
+			v.backup.Reset(slot)
+			return 0, 0, false, false
+		}
+		return local, examined + slot + 1, true, true
+	}
+	return 0, examined + v.backup.Len(), false, true
 }
 
 // tryShard attempts one Get on shard s, folding its probe count into probes.

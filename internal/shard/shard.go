@@ -17,7 +17,10 @@
 // (least-occupied first by default, driven by a cached per-shard occupancy),
 // and as a last resort sweeps every shard in order, so ErrFull is returned
 // only when no shard had a free slot at probe time — the cross-shard analogue
-// of the LevelArray's backup-array guarantee.
+// of the LevelArray's backup-array guarantee. Shards whose slot spaces are
+// uninstrumented bitmaps are swept word-at-a-time (tas.Claimer.ClaimRange, a
+// full shard costs one atomic load per 64 slots) with the claimed slot bound
+// to the shard's sub-handle; probe accounting still records slots examined.
 //
 // Collect and Occupancies merge per-shard results word-at-a-time: shards
 // whose slot spaces are uninstrumented tas.BitmapSpace values are scanned

@@ -33,7 +33,10 @@ type BitmapSpace struct {
 	words  []uint64 // len = ceil(size/64) * stride
 }
 
-var _ Space = (*BitmapSpace)(nil)
+var (
+	_ Space   = (*BitmapSpace)(nil)
+	_ Claimer = (*BitmapSpace)(nil)
+)
 
 // NewBitmapSpace returns a densely packed BitmapSpace with size locations,
 // all free. It panics if size is not positive.
@@ -177,6 +180,87 @@ func (s *BitmapSpace) SnapshotWords() []uint64 {
 		out[w] = atomic.LoadUint64(s.word(w))
 	}
 	return out
+}
+
+// wordMask returns the mask of valid bits in word w: all ones, except in the
+// final word of a space whose Len is not a multiple of WordBits, where the
+// unused tail bits are masked off so claims can never invent slots past Len.
+func (s *BitmapSpace) wordMask(w int) uint64 {
+	if w == s.NumWords()-1 {
+		if tail := uint(s.size) % WordBits; tail != 0 {
+			return (uint64(1) << tail) - 1
+		}
+	}
+	return ^uint64(0)
+}
+
+// claimWord attempts to claim the lowest free bit of word w among the bits
+// selected by eligible: one atomic load, then a fetch-or per attempt. Losing
+// an attempt means another writer took the contested bit, which shrinks the
+// free set, so the loop is bounded by the word width — like TestAndSet the
+// claim cannot be starved by neighbouring churn.
+func (s *BitmapSpace) claimWord(w int, eligible uint64) (int, bool) {
+	addr := s.word(w)
+	cur := atomic.LoadUint64(addr)
+	for {
+		free := ^cur & eligible
+		if free == 0 {
+			return 0, false
+		}
+		mask := free & -free
+		old := atomic.OrUint64(addr, mask)
+		if old&mask == 0 {
+			return bits.TrailingZeros64(mask), true
+		}
+		cur = old
+	}
+}
+
+// ClaimInWord attempts to claim any free slot in bitmap word w, returning the
+// bit index of the claimed slot (slot = w*WordBits + bit). It costs one
+// atomic load plus one fetch-or per contested bit, so claiming from a word
+// with any free capacity collapses up to WordBits per-slot trials into a
+// single load/claim pair; a full word is detected with the load alone. It
+// panics if w is out of range.
+func (s *BitmapSpace) ClaimInWord(w int) (int, bool) {
+	if w < 0 || w >= s.NumWords() {
+		panic(fmt.Sprintf("tas: word %d out of range [0, %d)", w, s.NumWords()))
+	}
+	return s.claimWord(w, s.wordMask(w))
+}
+
+// ClaimRange claims the first free slot in [lo, hi), clamped to the space
+// bounds, stepping word-at-a-time: each full word is skipped with a single
+// atomic load, and the first word with free capacity is claimed from with a
+// fetch-or. The claimed slot is always the lowest free slot the sweep
+// observed, so the deterministic first-free semantics of a per-slot
+// test-and-set sweep are preserved at 1/64th the atomics.
+func (s *BitmapSpace) ClaimRange(lo, hi int) (int, bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.size {
+		hi = s.size
+	}
+	if lo >= hi {
+		return 0, false
+	}
+	firstWord, lastWord := lo/WordBits, (hi-1)/WordBits
+	for w := firstWord; w <= lastWord; w++ {
+		eligible := s.wordMask(w)
+		if w == firstWord {
+			eligible &= ^uint64(0) << (uint(lo) % WordBits)
+		}
+		if w == lastWord {
+			if tail := uint(hi) % WordBits; tail != 0 {
+				eligible &= (uint64(1) << tail) - 1
+			}
+		}
+		if bit, ok := s.claimWord(w, eligible); ok {
+			return w*WordBits + bit, true
+		}
+	}
+	return 0, false
 }
 
 // AppendSet appends base+i to dst for every taken location i, in increasing

@@ -1,0 +1,282 @@
+package tas
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClaimInWordLowestFreeBit(t *testing.T) {
+	s := NewBitmapSpace(128)
+	// Occupy bits 0 and 2 of word 0; the claim must take bit 1.
+	if !s.TestAndSet(0) || !s.TestAndSet(2) {
+		t.Fatal("setup TestAndSet lost on an empty space")
+	}
+	bit, ok := s.ClaimInWord(0)
+	if !ok || bit != 1 {
+		t.Fatalf("ClaimInWord(0) = (%d, %v), want (1, true)", bit, ok)
+	}
+	if !s.Read(1) {
+		t.Fatal("claimed slot 1 not marked taken")
+	}
+	// Word 1 is empty: the claim must take its lowest bit, slot 64.
+	bit, ok = s.ClaimInWord(1)
+	if !ok || bit != 0 {
+		t.Fatalf("ClaimInWord(1) = (%d, %v), want (0, true)", bit, ok)
+	}
+	if !s.Read(64) {
+		t.Fatal("claimed slot 64 not marked taken")
+	}
+}
+
+func TestClaimInWordFullWord(t *testing.T) {
+	s := NewBitmapSpace(64)
+	for i := 0; i < 64; i++ {
+		if !s.TestAndSet(i) {
+			t.Fatalf("setup TestAndSet(%d) lost", i)
+		}
+	}
+	if bit, ok := s.ClaimInWord(0); ok {
+		t.Fatalf("ClaimInWord on a full word claimed bit %d", bit)
+	}
+}
+
+// TestClaimInWordTailClamp checks that the final, partially used word never
+// yields a slot at or beyond Len.
+func TestClaimInWordTailClamp(t *testing.T) {
+	const size = 70 // word 1 has only 6 valid bits
+	s := NewBitmapSpace(size)
+	for i := 64; i < size; i++ {
+		if bit, ok := s.ClaimInWord(1); !ok || 64+bit != i {
+			t.Fatalf("ClaimInWord(1) = (%d, %v), want (%d, true)", bit, ok, i-64)
+		}
+	}
+	if bit, ok := s.ClaimInWord(1); ok {
+		t.Fatalf("ClaimInWord claimed invented bit %d past Len", bit)
+	}
+	if got := s.OccupancyFast(); got != size-64 {
+		t.Fatalf("occupancy = %d, want %d", got, size-64)
+	}
+}
+
+func TestClaimInWordOutOfRangePanics(t *testing.T) {
+	s := NewBitmapSpace(64)
+	for _, w := range []int{-1, 1, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ClaimInWord(%d) did not panic", w)
+				}
+			}()
+			s.ClaimInWord(w)
+		}()
+	}
+}
+
+func TestClaimRangeFirstFree(t *testing.T) {
+	const size = 300
+	s := NewBitmapSpace(size)
+	// Fill everything below 170, so words 0 and 1 are full and word 2 is
+	// partially occupied.
+	for i := 0; i < 170; i++ {
+		if !s.TestAndSet(i) {
+			t.Fatalf("setup TestAndSet(%d) lost", i)
+		}
+	}
+	slot, ok := s.ClaimRange(0, size)
+	if !ok || slot != 170 {
+		t.Fatalf("ClaimRange(0, %d) = (%d, %v), want (170, true)", size, slot, ok)
+	}
+	// A range starting inside the occupied prefix still yields its first
+	// free slot; one starting past it yields its own lower bound.
+	slot, ok = s.ClaimRange(100, size)
+	if !ok || slot != 171 {
+		t.Fatalf("ClaimRange(100, %d) = (%d, %v), want (171, true)", size, slot, ok)
+	}
+	slot, ok = s.ClaimRange(200, size)
+	if !ok || slot != 200 {
+		t.Fatalf("ClaimRange(200, %d) = (%d, %v), want (200, true)", size, slot, ok)
+	}
+	// The claimed slots are really taken.
+	for _, want := range []int{170, 171, 200} {
+		if !s.Read(want) {
+			t.Fatalf("slot %d not marked taken after claim", want)
+		}
+	}
+}
+
+func TestClaimRangeRespectsUpperBound(t *testing.T) {
+	s := NewBitmapSpace(256)
+	for i := 0; i < 100; i++ {
+		if !s.TestAndSet(i) {
+			t.Fatalf("setup TestAndSet(%d) lost", i)
+		}
+	}
+	// [0, 100) is exactly the occupied prefix: nothing to claim, even though
+	// slot 100 (same word) is free.
+	if slot, ok := s.ClaimRange(0, 100); ok {
+		t.Fatalf("ClaimRange(0, 100) claimed %d beyond the range", slot)
+	}
+	// Sub-word window in the middle of a free word.
+	slot, ok := s.ClaimRange(130, 140)
+	if !ok || slot != 130 {
+		t.Fatalf("ClaimRange(130, 140) = (%d, %v), want (130, true)", slot, ok)
+	}
+}
+
+func TestClaimRangeDegenerate(t *testing.T) {
+	s := NewBitmapSpace(100)
+	if _, ok := s.ClaimRange(10, 10); ok {
+		t.Fatal("ClaimRange on an empty range claimed a slot")
+	}
+	if _, ok := s.ClaimRange(50, 20); ok {
+		t.Fatal("ClaimRange on an inverted range claimed a slot")
+	}
+	// Bounds are clamped, not panicked on.
+	slot, ok := s.ClaimRange(-5, 1000)
+	if !ok || slot != 0 {
+		t.Fatalf("ClaimRange(-5, 1000) = (%d, %v), want (0, true)", slot, ok)
+	}
+	if _, ok := s.ClaimRange(200, 300); ok {
+		t.Fatal("ClaimRange entirely past Len claimed a slot")
+	}
+}
+
+// TestClaimRangeExhausts claims one slot at a time until the space is full:
+// every claim must return a distinct slot and the final claim must fail.
+func TestClaimRangeExhausts(t *testing.T) {
+	const size = 130
+	s := NewBitmapSpace(size)
+	seen := make(map[int]bool)
+	for i := 0; i < size; i++ {
+		slot, ok := s.ClaimRange(0, size)
+		if !ok {
+			t.Fatalf("claim %d failed with %d slots taken", i, len(seen))
+		}
+		if seen[slot] {
+			t.Fatalf("slot %d claimed twice", slot)
+		}
+		seen[slot] = true
+	}
+	if slot, ok := s.ClaimRange(0, size); ok {
+		t.Fatalf("claim on a full space returned %d", slot)
+	}
+}
+
+// TestClaimConcurrentUniqueness races claimers against each other: every
+// claimed slot must be unique and the occupancy must equal the claim count.
+// Run under -race.
+func TestClaimConcurrentUniqueness(t *testing.T) {
+	const (
+		size    = 64 * 6
+		workers = 8
+	)
+	s := NewBitmapSpace(size)
+	results := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Alternate the two claim entry points under contention.
+				var slot int
+				var ok bool
+				if len(results[w])%2 == 0 {
+					slot, ok = s.ClaimRange(0, size)
+				} else {
+					var bit int
+					// Aim at the word covering the last claim to contend.
+					bit, ok = s.ClaimInWord(results[w][len(results[w])-1] / WordBits)
+					slot = results[w][len(results[w])-1]/WordBits*WordBits + bit
+				}
+				if !ok {
+					// ClaimInWord may fail on a full word while the space
+					// still has room elsewhere; fall back to the full range.
+					if slot, ok = s.ClaimRange(0, size); !ok {
+						return
+					}
+				}
+				results[w] = append(results[w], slot)
+			}
+		}()
+	}
+	wg.Wait()
+	seen := make(map[int]int)
+	total := 0
+	for w, slots := range results {
+		total += len(slots)
+		for _, slot := range slots {
+			if prev, dup := seen[slot]; dup {
+				t.Fatalf("slot %d claimed by both worker %d and worker %d", slot, prev, w)
+			}
+			seen[slot] = w
+		}
+	}
+	if total != size {
+		t.Fatalf("claimed %d slots in a %d-slot space", total, size)
+	}
+	if got := s.OccupancyFast(); got != size {
+		t.Fatalf("occupancy = %d after exhausting claims, want %d", got, size)
+	}
+}
+
+// TestCountingClaimsForwardAndCount checks that the counting decorator
+// forwards word claims and records one probe per word-level atomic, the
+// measurement the O(n/64) sweep assertions rely on.
+func TestCountingClaimsForwardAndCount(t *testing.T) {
+	const size = 256 // 4 words
+	inner := NewBitmapSpace(size)
+	c := NewCountingSpace(inner)
+	// Fill the first three words through the decorator's per-slot path.
+	for i := 0; i < 192; i++ {
+		if !c.TestAndSet(i) {
+			t.Fatalf("setup TestAndSet(%d) lost", i)
+		}
+	}
+	c.ResetCounters()
+	slot, ok := c.ClaimRange(0, size)
+	if !ok || slot != 192 {
+		t.Fatalf("ClaimRange = (%d, %v), want (192, true)", slot, ok)
+	}
+	counts := c.Counters()
+	// Three full words skipped plus the winning word: four word probes.
+	if counts.Probes != 4 {
+		t.Fatalf("Probes = %d for a 4-word sweep, want 4", counts.Probes)
+	}
+	if counts.Wins != 1 {
+		t.Fatalf("Wins = %d, want 1", counts.Wins)
+	}
+	c.ResetCounters()
+	// A window within one word costs exactly one counted word atomic.
+	if slot, ok := c.ClaimRange(193, 256); !ok || slot != 193 {
+		t.Fatalf("ClaimRange(193, 256) = (%d, %v), want (193, true)", slot, ok)
+	}
+	if counts = c.Counters(); counts.Probes != 1 || counts.Wins != 1 {
+		t.Fatalf("single-word ClaimRange counters = %+v, want 1 probe / 1 win", counts)
+	}
+}
+
+// TestCountingClaimsFallback checks the per-slot degradation when the wrapped
+// space has no word claims: the outcome is identical (first free slot) and
+// the counters record per-slot probes.
+func TestCountingClaimsFallback(t *testing.T) {
+	inner := NewCompactSpace(100)
+	c := NewCountingSpace(inner)
+	for i := 0; i < 10; i++ {
+		if !c.TestAndSet(i) {
+			t.Fatalf("setup TestAndSet(%d) lost", i)
+		}
+	}
+	c.ResetCounters()
+	slot, ok := c.ClaimRange(0, 100)
+	if !ok || slot != 10 {
+		t.Fatalf("fallback ClaimRange = (%d, %v), want (10, true)", slot, ok)
+	}
+	if counts := c.Counters(); counts.Probes != 11 {
+		t.Fatalf("fallback Probes = %d, want 11 per-slot trials", counts.Probes)
+	}
+	if _, ok := c.ClaimRange(0, 5); ok {
+		t.Fatal("fallback ClaimRange claimed in a full range")
+	}
+}

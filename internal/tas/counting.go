@@ -60,6 +60,62 @@ func (c *CountingSpace) Read(i int) bool {
 	return c.inner.Read(i)
 }
 
+var _ Claimer = (*CountingSpace)(nil)
+
+// ClaimRange forwards the range claim word by word, recording one probe per
+// word touched (each word costs the wrapped bitmap one load, plus a fetch-or
+// when it wins), so the counters measure atomics issued — the quantity the
+// word-claim optimization reduces — not slots covered. If the wrapped space
+// has no word claims, the call degrades to a counted per-slot test-and-set
+// sweep with identical first-free semantics.
+func (c *CountingSpace) ClaimRange(lo, hi int) (int, bool) {
+	inner, ok := c.inner.(Claimer)
+	if !ok {
+		return c.claimSlots(lo, hi)
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > c.inner.Len() {
+		hi = c.inner.Len()
+	}
+	if lo >= hi {
+		return 0, false
+	}
+	for w := lo / WordBits; w <= (hi-1)/WordBits; w++ {
+		wLo, wHi := w*WordBits, (w+1)*WordBits
+		if wLo < lo {
+			wLo = lo
+		}
+		if wHi > hi {
+			wHi = hi
+		}
+		atomic.AddUint64(&c.probes, 1)
+		if slot, won := inner.ClaimRange(wLo, wHi); won {
+			atomic.AddUint64(&c.wins, 1)
+			return slot, true
+		}
+	}
+	return 0, false
+}
+
+// claimSlots is the per-slot claim fallback for wrapped spaces without word
+// claims: a counted TestAndSet sweep with the same first-free outcome.
+func (c *CountingSpace) claimSlots(lo, hi int) (int, bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > c.inner.Len() {
+		hi = c.inner.Len()
+	}
+	for i := lo; i < hi; i++ {
+		if c.TestAndSet(i) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
 // Counters returns a consistent-enough snapshot of the recorded counts.
 func (c *CountingSpace) Counters() Counters {
 	probes := atomic.LoadUint64(&c.probes)

@@ -12,8 +12,12 @@
 //     test-and-set as a wait-free fetch-or on the bit mask, with word-at-a-
 //     time bulk scans
 //     (ScanWords, OccupancyFast, SnapshotWords, AppendSet) so Collect costs
-//     one atomic load per 64 slots. An optional padded variant places each
-//     word on its own cache line for heavily contended arrays.
+//     one atomic load per 64 slots, and word-at-a-time claims (ClaimRange —
+//     the Claimer interface — plus the concrete ClaimInWord) so the write
+//     side can acquire any free slot of a 64-slot window with one load plus
+//     one fetch-or. An
+//     optional padded variant places each word on its own cache line for
+//     heavily contended arrays.
 //   - AtomicSpace: one slot per cache line, the original padded layout kept
 //     for the substrate-comparison benchmarks.
 //   - CompactSpace: one uint32 per slot, sixteen slots per cache line.
@@ -53,6 +57,22 @@ type Space interface {
 
 	// Read reports whether location i is currently taken.
 	Read(i int) bool
+}
+
+// Claimer is the optional write-side word-claim extension of Space,
+// implemented by the bitmap substrates (and forwarded by decorators such as
+// CountingSpace). ClaimRange claims the first free slot of [lo, hi)
+// word-at-a-time: full words are skipped with one load each, and a window
+// within a single word costs one load plus one fetch-or. It returns the same
+// outcome a per-slot TestAndSet sweep of the same region would (the lowest
+// eligible free slot), just with O(range/64) atomics instead of O(range) —
+// callers that account probes as slots examined must therefore keep doing so
+// regardless of which primitive ran. (BitmapSpace additionally exposes the
+// word-granular ClaimInWord as a concrete convenience.)
+type Claimer interface {
+	// ClaimRange claims the first free slot in [lo, hi), clamped to the
+	// space bounds.
+	ClaimRange(lo, hi int) (slot int, ok bool)
 }
 
 // slotsPerCacheLine controls the padding of AtomicSpace. A 64-byte cache line

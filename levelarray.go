@@ -70,6 +70,19 @@ const (
 	SpaceCompact      = core.SpaceCompact
 )
 
+// ProbeMode selects the write-side probing strategy (the Config.Probe knob).
+type ProbeMode = core.ProbeMode
+
+// Available probe modes. ProbeSlot — one test-and-set on the exact slot the
+// RNG chose, as the paper specifies — is the default; ProbeWord claims any
+// free slot of the probed slot's covering 64-slot bitmap word with a single
+// load plus a single fetch-or, which dominates at high fill (see the README's
+// "Probe modes" section for the faithfulness trade-off).
+const (
+	ProbeSlot = core.ProbeSlot
+	ProbeWord = core.ProbeWord
+)
+
 // Available generator families: Marsaglia xorshift (64- and 32-bit), the
 // Park-Miller/Lehmer MINSTD generator, and SplitMix64.
 const (

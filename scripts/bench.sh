@@ -6,11 +6,16 @@
 #   scripts/bench.sh                 # full suite -> benchmarks/latest.{txt,json}
 #   BENCH='Substrates' scripts/bench.sh   # just the substrate comparisons
 #   BENCH='Sharded' scripts/bench.sh      # just the shard-scaling benchmarks
+#   BENCH='ProbeModes' scripts/bench.sh   # just the probe-mode comparisons
 #   COUNT=5 scripts/bench.sh         # repetitions for stable statistics
 #
 # latest.txt is the raw `go test -bench` output; latest.json maps benchmark
 # name -> ns/op (averaged over COUNT repetitions), so the perf trajectory is
-# diffable across PRs with plain JSON tooling.
+# diffable across PRs with plain JSON tooling. Before each run the previous
+# latest.{txt,json} are rotated to previous.{txt,json}, and afterwards a
+# per-benchmark delta table (prev ns/op, new ns/op, %) is printed and written
+# to benchmarks/delta.txt so regressions are visible at a glance (and in the
+# PR diff when the recorded files are committed).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -62,4 +67,34 @@ awk '
   }
 ' "$OUT" > "$OUT_JSON"
 
-echo "wrote $OUT and $OUT_JSON"
+# Per-benchmark delta table against the rotated previous run. Both files are
+# the flat `"name": ns_op` JSON written above, so plain awk can join them.
+OUT_DELTA="$OUT_DIR/delta.txt"
+if [ -f "$OUT_DIR/previous.json" ]; then
+  awk -F'"' '
+    /":/ {
+      name = $2
+      val = $3
+      gsub(/[:, ]/, "", val)
+      if (NR == FNR) { prev[name] = val; next }
+      order[++k] = name
+      new[name] = val
+    }
+    END {
+      printf "%-60s %12s %12s %8s\n", "benchmark", "prev ns/op", "new ns/op", "delta"
+      for (j = 1; j <= k; j++) {
+        n = order[j]
+        if (n in prev && prev[n] + 0 > 0) {
+          pct = (new[n] - prev[n]) / prev[n] * 100
+          printf "%-60s %12.2f %12.2f %+7.1f%%\n", n, prev[n], new[n], pct
+        } else {
+          printf "%-60s %12s %12.2f %8s\n", n, "-", new[n], "new"
+        }
+      }
+    }
+  ' "$OUT_DIR/previous.json" "$OUT_JSON" | tee "$OUT_DELTA"
+else
+  echo "no previous.json; skipping delta table" | tee "$OUT_DELTA"
+fi
+
+echo "wrote $OUT, $OUT_JSON and $OUT_DELTA"
