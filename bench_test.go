@@ -16,16 +16,20 @@ package levelarray_test
 
 import (
 	"fmt"
+	"net/http/httptest"
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/levelarray/levelarray/internal/activity"
 	"github.com/levelarray/levelarray/internal/adversary"
 	"github.com/levelarray/levelarray/internal/core"
 	"github.com/levelarray/levelarray/internal/experiments"
+	"github.com/levelarray/levelarray/internal/lease"
 	"github.com/levelarray/levelarray/internal/registry"
 	"github.com/levelarray/levelarray/internal/sched"
+	"github.com/levelarray/levelarray/internal/server"
 	"github.com/levelarray/levelarray/internal/shard"
 )
 
@@ -737,5 +741,139 @@ func BenchmarkHealingConvergence(b *testing.B) {
 				b.ReportMetric(totalOps/float64(healed), "ops-to-heal")
 			}
 		})
+	}
+}
+
+// leaseBench measures one Acquire+Release pair through the lease manager at
+// the given TTL with exactly g goroutines churning, comparable to the raw
+// handle Get+Free benchmarks: the delta over those is the cost of leasing
+// (token mint, entry transition, wheel insert for finite TTLs).
+func leaseBench(ttl time.Duration, capacity, goroutines int) func(b *testing.B) {
+	return func(b *testing.B) {
+		arr := core.MustNew(core.Config{Capacity: capacity, Seed: 71})
+		mgr := lease.MustNewManager(arr, lease.Config{TickInterval: 100 * time.Millisecond})
+		mgr.Start()
+		defer mgr.Close()
+		var wg sync.WaitGroup
+		b.ResetTimer()
+		for w := 0; w < goroutines; w++ {
+			iters := b.N / goroutines
+			if w < b.N%goroutines {
+				iters++
+			}
+			wg.Add(1)
+			go func(iters int) {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					l, err := mgr.Acquire(ttl)
+					if err != nil {
+						b.Errorf("Acquire: %v", err)
+						return
+					}
+					if err := mgr.Release(l.Name, l.Token); err != nil {
+						b.Errorf("Release: %v", err)
+						return
+					}
+				}
+			}(iters)
+		}
+		wg.Wait()
+	}
+}
+
+// BenchmarkLeaseAcquireRelease compares the lease manager's session cost for
+// infinite leases (no deadline, no wheel traffic) against finite-TTL leases
+// (deadline computation plus a hashed-wheel insert per acquire), at 1 and 8
+// goroutines.
+func BenchmarkLeaseAcquireRelease(b *testing.B) {
+	const capacity = 4 * 1000
+	for _, tc := range []struct {
+		name string
+		ttl  time.Duration
+	}{
+		{"ttl=inf", 0},
+		{"ttl=1s", time.Second},
+	} {
+		for _, goroutines := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%s/g=%d", tc.name, goroutines),
+				leaseBench(tc.ttl, capacity, goroutines))
+		}
+	}
+}
+
+// BenchmarkLeaseServiceLoopback measures one acquire+release session over
+// the HTTP loopback service (two JSON POSTs through the full
+// server -> lease -> shard -> core stack), with g concurrent clients.
+func BenchmarkLeaseServiceLoopback(b *testing.B) {
+	for _, goroutines := range []int{1, 8} {
+		goroutines := goroutines
+		b.Run(fmt.Sprintf("g=%d", goroutines), func(b *testing.B) {
+			arr := shard.MustNew(shard.Config{Shards: 4, Capacity: 4096, Seed: 71})
+			mgr := lease.MustNewManager(arr, lease.Config{TickInterval: 100 * time.Millisecond})
+			mgr.Start()
+			defer mgr.Close()
+			srv := httptest.NewServer(server.New(mgr, server.Config{}))
+			defer srv.Close()
+			client := server.NewClient(srv.URL, nil)
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for w := 0; w < goroutines; w++ {
+				iters := b.N / goroutines
+				if w < b.N%goroutines {
+					iters++
+				}
+				wg.Add(1)
+				go func(iters int) {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						l, status, err := client.Acquire(60_000)
+						if err != nil || status != 200 {
+							b.Errorf("acquire: status %d err %v", status, err)
+							return
+						}
+						if status, err := client.Release(l.Name, l.Token); err != nil || status != 200 {
+							b.Errorf("release: status %d err %v", status, err)
+							return
+						}
+					}
+				}(iters)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkLaloadLoopbackSmoke is the laload loopback smoke run in benchmark
+// form: each iteration drives one full closed-loop load run (3000 acquires,
+// 8 clients, 10% crash fraction, 20% renews) against an in-process service
+// and fails the benchmark on any lease-contract violation. ns/op is the wall
+// time of one complete verified run — including the post-run expiry drain —
+// so the recorded number tracks the end-to-end health of the service stack
+// rather than a single hot path.
+func BenchmarkLaloadLoopbackSmoke(b *testing.B) {
+	arr := shard.MustNew(shard.Config{Shards: 4, Capacity: 2048, Seed: 71})
+	mgr := lease.MustNewManager(arr, lease.Config{TickInterval: 20 * time.Millisecond})
+	mgr.Start()
+	defer mgr.Close()
+	srv := httptest.NewServer(server.New(mgr, server.Config{DefaultTTL: time.Second}))
+	defer srv.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report, err := server.RunLoad(server.LoadConfig{
+			BaseURL:      srv.URL,
+			Clients:      8,
+			Acquires:     3000,
+			TTL:          300 * time.Millisecond,
+			HoldMean:     100 * time.Microsecond,
+			CrashPercent: 10,
+			RenewPercent: 20,
+			Seed:         uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatalf("RunLoad: %v", err)
+		}
+		if v := report.Violations(); v != nil {
+			b.Fatalf("lease contract violated: %v", v)
+		}
 	}
 }

@@ -23,8 +23,10 @@ import (
 
 	"github.com/levelarray/levelarray/internal/activity"
 	"github.com/levelarray/levelarray/internal/core"
+	"github.com/levelarray/levelarray/internal/registry"
 	"github.com/levelarray/levelarray/internal/shard"
 	"github.com/levelarray/levelarray/internal/stats"
+	"github.com/levelarray/levelarray/internal/tas"
 )
 
 func main() {
@@ -72,14 +74,15 @@ func run() error {
 	jsonPath := flag.String("json", "", "also write the cells as JSON to this file")
 	flag.Parse()
 
-	// Validate everything up-front with one-line errors, as larun does.
+	// Validate everything up-front with one-line errors through the shared
+	// registry vocabulary helpers, as larun does.
 	shardCounts, err := parseIntList("shards", *shardsFlag)
 	if err != nil {
 		return err
 	}
 	for _, s := range shardCounts {
-		if s&(s-1) != 0 {
-			return fmt.Errorf("invalid -shards entry %d (valid: powers of two)", s)
+		if _, err := registry.ValidateShardCount(s); err != nil {
+			return err
 		}
 	}
 	goroutineCounts, err := parseIntList("goroutines", *goroutinesFlag)
@@ -91,17 +94,17 @@ func run() error {
 		return err
 	}
 	for _, f := range fills {
-		if f > 100 {
-			return fmt.Errorf("invalid -fill entry %d (valid: 1..100)", f)
+		if err := registry.ValidatePercent("fill", f); err != nil {
+			return err
 		}
 	}
-	steal, ok := shard.ParseStealKind(*stealName)
-	if !ok {
-		return fmt.Errorf("unknown -steal %q (valid: %s)", *stealName, shard.StealKindNames)
+	steal, err := registry.ParseStealFlag(*stealName)
+	if err != nil {
+		return err
 	}
-	probe, ok := core.ParseProbeMode(*probeName)
-	if !ok {
-		return fmt.Errorf("unknown -probe %q (valid: %s)", *probeName, core.ProbeModeNames)
+	probe, err := registry.ParseProbeFlag(*probeName, tas.KindBitmap)
+	if err != nil {
+		return err
 	}
 	if *shardCapacity < 1 {
 		return fmt.Errorf("invalid -shard-capacity %d (valid: at least 1)", *shardCapacity)

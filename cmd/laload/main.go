@@ -1,0 +1,114 @@
+// Command laload is the closed-loop load generator and contract verifier for
+// the laserve name service. Configurable clients acquire, hold (with an
+// exponential hold-time distribution), renew and release leases over HTTP;
+// a crash fraction abandons leases without releasing, exercising server-side
+// expiry. Besides throughput and acquire-latency percentiles, the run
+// verifies the lease contract end to end and exits non-zero on any
+// violation: duplicate names among concurrently held leases, names reissued
+// before an abandoned lease's TTL elapsed, lost releases, stale tokens
+// accepted after the reclaim deadline, or abandoned leases that never
+// expired.
+//
+//	go run ./cmd/laload -addr http://127.0.0.1:8080 -clients 32 -ops 50000 -crash 10
+//	go run ./cmd/laload -ops 5000 -hold 1ms -renew 25 -json report.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/levelarray/levelarray/internal/registry"
+	"github.com/levelarray/levelarray/internal/server"
+	"github.com/levelarray/levelarray/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "laload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "service base URL")
+	clients := flag.Int("clients", 16, "concurrent closed-loop clients")
+	ops := flag.Int64("ops", 10000, "total acquire operations (renews/releases come on top)")
+	ttl := flag.Duration("ttl", 2*time.Second, "lease TTL requested per acquire")
+	holdMean := flag.Duration("hold", 500*time.Microsecond, "mean of the exponential hold-time distribution")
+	crash := flag.Int("crash", 10, "percentage of leases abandoned without release: "+registry.ValidPercentRange)
+	renew := flag.Int("renew", 20, "percentage of held leases renewed once mid-hold: "+registry.ValidPercentRange)
+	seed := flag.Uint64("seed", 1, "base random seed")
+	jsonPath := flag.String("json", "", "also write the report as JSON to this file")
+	flag.Parse()
+
+	if err := registry.ValidatePercent("crash", *crash); err != nil {
+		return err
+	}
+	if err := registry.ValidatePercent("renew", *renew); err != nil {
+		return err
+	}
+	if *clients < 1 {
+		return fmt.Errorf("invalid -clients %d (valid: at least 1)", *clients)
+	}
+	if *ops < 1 {
+		return fmt.Errorf("invalid -ops %d (valid: at least 1)", *ops)
+	}
+
+	report, err := server.RunLoad(server.LoadConfig{
+		BaseURL:      *addr,
+		Clients:      *clients,
+		Acquires:     *ops,
+		TTL:          *ttl,
+		HoldMean:     *holdMean,
+		CrashPercent: *crash,
+		RenewPercent: *renew,
+		Seed:         *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	tbl := stats.NewTable(
+		fmt.Sprintf("laload: %d clients, ttl %v, crash %d%%, renew %d%% against %s",
+			*clients, *ttl, *crash, *renew, *addr),
+		"metric", "value")
+	tbl.AddRow("operations (verified)", fmt.Sprintf("%d", report.Ops()))
+	tbl.AddRow("  acquires", fmt.Sprintf("%d", report.Acquires))
+	tbl.AddRow("  renews", fmt.Sprintf("%d", report.Renews))
+	tbl.AddRow("  releases", fmt.Sprintf("%d", report.Releases))
+	tbl.AddRow("  crashes (abandoned)", fmt.Sprintf("%d", report.Crashes))
+	tbl.AddRow("  stale probes rejected", fmt.Sprintf("%d", report.StaleRejected))
+	tbl.AddRow("duration", report.Elapsed.Round(time.Millisecond).String())
+	tbl.AddRow("throughput (ops/s)", fmt.Sprintf("%.0f", report.Throughput()))
+	tbl.AddRow("acquire latency p50", report.AcquireP50.String())
+	tbl.AddRow("acquire latency p90", report.AcquireP90.String())
+	tbl.AddRow("acquire latency p99", report.AcquireP99.String())
+	tbl.AddRow("acquire latency max", report.AcquireMax.String())
+	tbl.AddRow("full-namespace retries", fmt.Sprintf("%d", report.FullRetries))
+	tbl.AddRow("server expirations", fmt.Sprintf("%d", report.FinalStats.Lease.Expirations))
+	tbl.AddRow("server renew races", fmt.Sprintf("%d", report.FinalStats.Lease.RenewRaces))
+	fmt.Println(tbl.String())
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+
+	if violations := report.Violations(); violations != nil {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "laload: VIOLATION:", v)
+		}
+		return fmt.Errorf("%d lease-contract violations", len(violations))
+	}
+	fmt.Println("laload: lease contract verified: no duplicates, no early reissues, no lost releases, all abandoned leases reclaimed")
+	return nil
+}

@@ -34,15 +34,6 @@ func main() {
 	}
 }
 
-// Flag-value vocabularies, listed verbatim in the early-validation errors so
-// a typo fails with a one-line correction instead of deep in construction.
-const (
-	validRNGs    = "xorshift, xorshift32, lehmer, splitmix"
-	validSpaces  = "bitmap, bitmap-padded, padded, compact"
-	validShards  = "0 (auto: GOMAXPROCS rounded up), 1 (unsharded), or a power of two (2, 4, 8, ...)"
-	validPercent = "0..100"
-)
-
 // parsedFlags is the validated run configuration.
 type parsedFlags struct {
 	algo   registry.Algorithm
@@ -53,39 +44,32 @@ type parsedFlags struct {
 	shards int
 }
 
-// validateFlags checks every enumerated or constrained flag up-front and
-// returns a one-line error naming the valid options on the first problem.
+// validateFlags checks every enumerated or constrained flag up-front through
+// the registry's shared vocabulary helpers, so the first problem fails with a
+// one-line error naming the valid options.
 func validateFlags(algorithm, rngName, spaceName, probeName, stealName string, shards, prefill int) (parsedFlags, error) {
 	var p parsedFlags
 	var err error
 	if p.algo, err = registry.Parse(algorithm); err != nil {
 		return p, err
 	}
-	var ok bool
-	if p.rng, ok = rng.ParseKind(rngName); !ok {
-		return p, fmt.Errorf("unknown -rng %q (valid: %s)", rngName, validRNGs)
+	if p.rng, err = registry.ParseRNGFlag(rngName); err != nil {
+		return p, err
 	}
-	if p.space, ok = tas.ParseKind(spaceName); !ok {
-		return p, fmt.Errorf("unknown -space %q (valid: %s)", spaceName, validSpaces)
+	if p.space, err = registry.ParseSpaceFlag(spaceName); err != nil {
+		return p, err
 	}
-	if p.probe, ok = core.ParseProbeMode(probeName); !ok {
-		return p, fmt.Errorf("unknown -probe %q (valid: %s)", probeName, core.ProbeModeNames)
+	if p.probe, err = registry.ParseProbeFlag(probeName, p.space); err != nil {
+		return p, err
 	}
-	if p.probe == core.ProbeWord && p.space != tas.KindBitmap && p.space != tas.KindBitmapPadded {
-		return p, fmt.Errorf("-probe word requires a bitmap -space (valid: bitmap, bitmap-padded), got %q", spaceName)
+	if p.steal, err = registry.ParseStealFlag(stealName); err != nil {
+		return p, err
 	}
-	if p.steal, ok = shard.ParseStealKind(stealName); !ok {
-		return p, fmt.Errorf("unknown -steal %q (valid: %s)", stealName, shard.StealKindNames)
+	if p.shards, err = registry.ValidateShardCount(shards); err != nil {
+		return p, err
 	}
-	if shards < 0 || (shards > 1 && shards&(shards-1) != 0) {
-		return p, fmt.Errorf("invalid -shards %d (valid: %s)", shards, validShards)
-	}
-	if prefill < 0 || prefill > 100 {
-		return p, fmt.Errorf("invalid -prefill %d (valid: %s)", prefill, validPercent)
-	}
-	p.shards = shards
-	if shards == 0 {
-		p.shards = shard.DefaultShards()
+	if err = registry.ValidatePercent("prefill", prefill); err != nil {
+		return p, err
 	}
 	return p, nil
 }
@@ -99,17 +83,25 @@ func run() error {
 	duration := flag.Duration("duration", time.Second, "wall-clock run length (ignored when -rounds > 0)")
 	roundsPerThread := flag.Int("rounds", 0, "churn rounds per thread (0 = duration-based run)")
 	collectEvery := flag.Int("collect-every", 0, "perform a Collect every k-th round (0 = never)")
-	rngName := flag.String("rng", "xorshift", "random generator: "+validRNGs)
-	spaceName := flag.String("space", "bitmap", "slot substrate: "+validSpaces)
+	rngName := flag.String("rng", "xorshift", "random generator: "+registry.ValidRNGNames)
+	spaceName := flag.String("space", "bitmap", "slot substrate: "+registry.ValidSpaceNames)
 	probeName := flag.String("probe", "slot", "LevelArray probe strategy: "+core.ProbeModeNames)
-	shards := flag.Int("shards", 1, "shard count: "+validShards)
+	shards := flag.Int("shards", 1, "shard count: "+registry.ValidShardCounts)
 	stealName := flag.String("steal", "occupancy", "sharded steal policy: "+shard.StealKindNames)
+	leaseTTL := flag.Duration("lease-ttl", 0, "run the workload through a lease manager with this churn TTL (0 = raw handles)")
+	leaseCrash := flag.Int("lease-crash", 0, "percentage of churn leases abandoned to the expirer (requires -lease-ttl): "+registry.ValidPercentRange)
 	seed := flag.Uint64("seed", 1, "base random seed")
 	flag.Parse()
 
 	p, err := validateFlags(*algorithmName, *rngName, *spaceName, *probeName, *stealName, *shards, *prefill)
 	if err != nil {
 		return err
+	}
+	if err := registry.ValidatePercent("lease-crash", *leaseCrash); err != nil {
+		return err
+	}
+	if *leaseCrash > 0 && *leaseTTL <= 0 {
+		return fmt.Errorf("-lease-crash requires -lease-ttl")
 	}
 
 	result, err := harness.Run(harness.Config{
@@ -119,16 +111,18 @@ func run() error {
 			EmulatedN:      *threads * *emulation,
 			PrefillPercent: *prefill,
 		},
-		SizeFactor:      *sizeFactor,
-		RoundsPerThread: *roundsPerThread,
-		Duration:        *duration,
-		CollectEvery:    *collectEvery,
-		RNG:             p.rng,
-		Space:           p.space,
-		Probe:           p.probe,
-		Shards:          p.shards,
-		Steal:           p.steal,
-		Seed:            *seed,
+		SizeFactor:        *sizeFactor,
+		RoundsPerThread:   *roundsPerThread,
+		Duration:          *duration,
+		CollectEvery:      *collectEvery,
+		RNG:               p.rng,
+		Space:             p.space,
+		Probe:             p.probe,
+		Shards:            p.shards,
+		Steal:             p.steal,
+		LeaseTTL:          *leaseTTL,
+		LeaseCrashPercent: *leaseCrash,
+		Seed:              *seed,
 	})
 	if err != nil {
 		return err
@@ -161,6 +155,20 @@ func run() error {
 				fmt.Sprintf("%d", s.Occupancy), fmt.Sprintf("%d", s.StealsIn), fmt.Sprintf("%d", s.HomeFulls))
 		}
 		fmt.Println(shardTbl.String())
+	}
+
+	if ls := result.LeaseStats; ls != nil {
+		leaseTbl := stats.NewTable(fmt.Sprintf("lease manager (ttl %v, crash %d%%)", *leaseTTL, *leaseCrash), "metric", "value")
+		leaseTbl.AddRow("acquires", fmt.Sprintf("%d", ls.Acquires))
+		leaseTbl.AddRow("releases", fmt.Sprintf("%d", ls.Releases))
+		leaseTbl.AddRow("abandoned by workload", fmt.Sprintf("%d", result.Abandoned))
+		leaseTbl.AddRow("expirations", fmt.Sprintf("%d", ls.Expirations))
+		leaseTbl.AddRow("failed acquires (ErrFull)", fmt.Sprintf("%d", ls.FailedAcquires))
+		leaseTbl.AddRow("renew/release races", fmt.Sprintf("%d", ls.RenewRaces+ls.ReleaseRaces))
+		leaseTbl.AddRow("orphans reclaimed", fmt.Sprintf("%d", ls.OrphansReclaimed))
+		leaseTbl.AddRow("still active (residents)", fmt.Sprintf("%d", ls.Active))
+		leaseTbl.AddRow("expirer ticks", fmt.Sprintf("%d", ls.Ticks))
+		fmt.Println(leaseTbl.String())
 	}
 	return nil
 }

@@ -1,0 +1,112 @@
+// Command leases walks through the lease layer: workers acquire TTL-bounded,
+// token-fenced sessions over a sharded LevelArray, some "crash" without
+// releasing, and the background expirer reclaims their slots — after which
+// the crashed workers' stale tokens can neither renew nor free anything.
+// This is the crash-safety contract the laserve name service exports over
+// HTTP; here it runs in-process.
+//
+// Run with:
+//
+//	go run ./examples/leases -workers 8 -crash 25
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	levelarray "github.com/levelarray/levelarray"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "leases:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	workers := flag.Int("workers", 8, "concurrent lease holders")
+	rounds := flag.Int("rounds", 200, "acquire/release rounds per worker")
+	crash := flag.Int("crash", 25, "percentage of leases abandoned without release")
+	ttl := flag.Duration("ttl", 50*time.Millisecond, "lease TTL")
+	flag.Parse()
+
+	arr, err := levelarray.NewSharded(levelarray.ShardedConfig{Shards: 4, Capacity: 256})
+	if err != nil {
+		return err
+	}
+	mgr, err := levelarray.NewLeased(arr, levelarray.LeaseConfig{TickInterval: 10 * time.Millisecond})
+	if err != nil {
+		return err
+	}
+	mgr.Start()
+	defer mgr.Close()
+
+	// Phase 1: churn with crashes. A crashed worker keeps its token but
+	// never releases; the expirer reaps the slot at the TTL deadline.
+	type crashed struct {
+		lease levelarray.Lease
+	}
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		abandoned []crashed
+	)
+	for w := 0; w < *workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < *rounds; r++ {
+				l, err := mgr.Acquire(*ttl)
+				if err != nil {
+					if errors.Is(err, levelarray.ErrFull) {
+						time.Sleep(10 * time.Millisecond)
+						continue
+					}
+					fmt.Fprintf(os.Stderr, "worker %d: %v\n", w, err)
+					return
+				}
+				if (w+r)%100 < *crash {
+					mu.Lock()
+					abandoned = append(abandoned, crashed{lease: l})
+					mu.Unlock()
+					continue // crash: no Release
+				}
+				if err := mgr.Release(l.Name, l.Token); err != nil {
+					fmt.Fprintf(os.Stderr, "worker %d: release: %v\n", w, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("churned %d workers x %d rounds, %d leases abandoned mid-flight\n",
+		*workers, *rounds, len(abandoned))
+
+	// Phase 2: wait out the TTL; the expirer drains every abandoned slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for mgr.Active() > 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	stats := mgr.Stats()
+	fmt.Printf("after the dust settles: active=%d expirations=%d (sum of crashes)\n",
+		stats.Active, stats.Expirations)
+
+	// Phase 3: the crashed workers come back with their old tokens. Every
+	// renew and release is fenced off, so a zombie can never free a slot
+	// that has since been reissued.
+	rejected := 0
+	for _, c := range abandoned {
+		if _, err := mgr.Renew(c.lease.Name, c.lease.Token, *ttl); err != nil {
+			rejected++
+		}
+	}
+	fmt.Printf("zombie renew attempts rejected: %d/%d\n", rejected, len(abandoned))
+	fmt.Printf("final stats: %+v\n", stats)
+	return nil
+}

@@ -76,6 +76,17 @@ type Handle interface {
 	Stats() ProbeStats
 }
 
+// Identified is implemented by handles that expose a stable identity: an
+// identifier assigned once at Handle() time and never reused for another
+// handle of the same array. The lease manager folds it into its fencing
+// tokens so a token records which pooled handle holds the slot, and tests
+// use it to assert handle reuse.
+type Identified interface {
+	// ID returns the handle's stable identifier. IDs start at 1; 0 is never
+	// issued, so it can serve as a sentinel.
+	ID() uint64
+}
+
 // Usage and capacity errors returned by Array implementations.
 var (
 	// ErrAlreadyRegistered is returned by Get when the handle already holds

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/levelarray/levelarray/internal/activity"
 	"github.com/levelarray/levelarray/internal/balance"
@@ -47,7 +48,8 @@ type LevelArray struct {
 	mainClaim   tas.Claimer
 	backupClaim tas.Claimer
 
-	seeds *rng.SeedSequence
+	seeds     *rng.SeedSequence
+	handleIDs atomic.Uint64
 }
 
 var _ activity.Array = (*LevelArray)(nil)
@@ -115,6 +117,7 @@ func (la *LevelArray) BackupSpace() tas.Space { return la.backup }
 func (la *LevelArray) Handle() activity.Handle {
 	return &Handle{
 		arr: la,
+		id:  la.handleIDs.Add(1),
 		rng: rng.New(la.cfg.RNG, la.seeds.Next()),
 	}
 }
@@ -159,6 +162,7 @@ func (la *LevelArray) Occupancy() balance.Occupancy {
 // not usable; obtain handles from LevelArray.Handle.
 type Handle struct {
 	arr  *LevelArray
+	id   uint64
 	rng  rng.Source
 	name int
 	held bool
@@ -168,7 +172,15 @@ type Handle struct {
 	stats      activity.ProbeStats
 }
 
-var _ activity.Handle = (*Handle)(nil)
+var (
+	_ activity.Handle     = (*Handle)(nil)
+	_ activity.Identified = (*Handle)(nil)
+)
+
+// ID returns the handle's stable identity: a counter assigned at Handle()
+// time, unique within the array and never reused. The lease manager embeds it
+// in fencing tokens so a token records which pooled handle holds the slot.
+func (h *Handle) ID() uint64 { return h.id }
 
 // Get registers the participant and returns the acquired name.
 //

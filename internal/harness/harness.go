@@ -27,6 +27,7 @@ import (
 
 	"github.com/levelarray/levelarray/internal/activity"
 	"github.com/levelarray/levelarray/internal/core"
+	"github.com/levelarray/levelarray/internal/lease"
 	"github.com/levelarray/levelarray/internal/registry"
 	"github.com/levelarray/levelarray/internal/rng"
 	"github.com/levelarray/levelarray/internal/shard"
@@ -87,6 +88,22 @@ type Config struct {
 	// Steal selects the sharded composition's steal policy. Ignored when
 	// unsharded.
 	Steal shard.StealKind
+
+	// LeaseTTL, when positive, runs the workload through a lease.Manager
+	// wrapped around the array: resident slots hold infinite leases, churn
+	// slots hold LeaseTTL-bounded leases, and a background expirer reclaims
+	// abandoned slots. Probe statistics then come from the manager's pooled
+	// handles (pre-fill included) instead of per-thread handles.
+	LeaseTTL time.Duration
+
+	// LeaseCrashPercent is the percentage of churn leases abandoned without
+	// release in lease mode, exercising the expirer under load. Requires
+	// LeaseTTL.
+	LeaseCrashPercent int
+
+	// LeaseTick overrides the lease expirer tick interval in lease mode.
+	// Zero selects 10ms.
+	LeaseTick time.Duration
 }
 
 // validate reports the first problem with the configuration.
@@ -111,6 +128,15 @@ func (c Config) validate() error {
 	}
 	if c.Shards > 1 && c.Shards&(c.Shards-1) != 0 {
 		return fmt.Errorf("harness: shard count %d must be a power of two", c.Shards)
+	}
+	if c.LeaseTTL < 0 {
+		return fmt.Errorf("harness: lease TTL %v must not be negative", c.LeaseTTL)
+	}
+	if c.LeaseCrashPercent < 0 || c.LeaseCrashPercent > 100 {
+		return fmt.Errorf("harness: lease crash percent %d outside 0..100", c.LeaseCrashPercent)
+	}
+	if c.LeaseCrashPercent > 0 && c.LeaseTTL == 0 {
+		return fmt.Errorf("harness: lease crash percent requires a lease TTL")
 	}
 	return nil
 }
@@ -141,6 +167,12 @@ type Result struct {
 	// ShardStats holds the per-shard breakdown (occupancy, steals, home-full
 	// events) when the array under test was sharded; nil otherwise.
 	ShardStats []shard.ShardStats
+	// LeaseStats holds the lease manager's counters (active leases,
+	// expirations, renew races) when the run used lease mode; nil otherwise.
+	LeaseStats *lease.Stats
+	// Abandoned is the number of churn leases deliberately abandoned to the
+	// expirer in lease mode.
+	Abandoned uint64
 }
 
 // Throughput returns completed operations per second.
@@ -202,6 +234,18 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("harness: %w", err)
 	}
 
+	var mgr *lease.Manager
+	leaseTick := cfg.LeaseTick
+	if leaseTick <= 0 {
+		leaseTick = 10 * time.Millisecond
+	}
+	if cfg.LeaseTTL > 0 {
+		if mgr, err = lease.NewManager(arr, lease.Config{TickInterval: leaseTick}); err != nil {
+			return Result{}, fmt.Errorf("harness: building lease manager: %w", err)
+		}
+		mgr.Start()
+	}
+
 	var (
 		start     = make(chan struct{})
 		stop      atomic.Bool
@@ -211,7 +255,11 @@ func Run(cfg Config) (Result, error) {
 		workerErr = make([]error, len(plans))
 	)
 	for i, plan := range plans {
-		workers[i] = newWorker(i, arr, plan, cfg.CollectEvery)
+		if mgr != nil {
+			workers[i] = newLeaseWorker(i, mgr, plan, cfg.CollectEvery, cfg.LeaseTTL, leaseTick, cfg.LeaseCrashPercent, cfg.Seed)
+		} else {
+			workers[i] = newWorker(i, arr, plan, cfg.CollectEvery)
+		}
 	}
 
 	readyWG.Add(len(workers))
@@ -257,6 +305,9 @@ func Run(cfg Config) (Result, error) {
 	}
 	for i, w := range workers {
 		if workerErr[i] != nil {
+			if mgr != nil {
+				mgr.Close()
+			}
 			return Result{}, fmt.Errorf("harness: worker %d: %w", i, workerErr[i])
 		}
 		stats := w.churnStats()
@@ -264,6 +315,25 @@ func Run(cfg Config) (Result, error) {
 		result.Stats.Merge(stats)
 		result.PrefillStats.Merge(w.prefillStats())
 		result.Collects += w.collects
+		result.Abandoned += w.abandoned
+	}
+	if mgr != nil {
+		// Drain: once the abandoned churn leases have expired, only the
+		// resident (infinite) leases remain active.
+		residents := 0
+		for _, plan := range plans {
+			residents += plan.Resident
+		}
+		drainDeadline := time.Now().Add(10 * time.Second)
+		for mgr.Active() > residents && time.Now().Before(drainDeadline) {
+			time.Sleep(leaseTick)
+		}
+		leaseStats := mgr.Stats()
+		result.LeaseStats = &leaseStats
+		mgr.Close()
+		// Per-thread handle statistics do not exist in lease mode: every Get
+		// ran through the manager's pooled handles, pre-fill included.
+		result.Stats = mgr.ProbeStats()
 	}
 	result.Ops = result.Stats.Ops + result.Stats.Frees
 	if sharded, ok := arr.(*shard.Sharded); ok {

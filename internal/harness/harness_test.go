@@ -274,3 +274,78 @@ func TestRunWordProbe(t *testing.T) {
 		t.Fatal("Run accepted Probe word on the padded substrate")
 	}
 }
+
+func TestRunLeaseMode(t *testing.T) {
+	cfg := baseConfig(registry.LevelArray, 4)
+	cfg.LeaseTTL = 20 * time.Millisecond
+	cfg.LeaseTick = 2 * time.Millisecond
+	cfg.LeaseCrashPercent = 20
+	cfg.RoundsPerThread = 25
+	result, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if result.LeaseStats == nil {
+		t.Fatal("lease mode must report LeaseStats")
+	}
+	ls := result.LeaseStats
+	if result.Abandoned == 0 {
+		t.Fatal("crash fraction produced no abandoned leases")
+	}
+	if ls.Expirations < result.Abandoned {
+		t.Fatalf("expirations %d < abandoned %d: expirer did not drain", ls.Expirations, result.Abandoned)
+	}
+	if ls.Acquires != ls.Releases+ls.Expirations+uint64(ls.Active) {
+		t.Fatalf("lease ledger mismatch: %+v", ls)
+	}
+	// Residents (infinite leases) must survive the whole run.
+	residents := 0
+	for _, plan := range mustPlans(t, cfg.Workload) {
+		residents += plan.Resident
+	}
+	if int(ls.Active) != residents {
+		t.Fatalf("Active = %d, want the %d residents", ls.Active, residents)
+	}
+	if result.Ops == 0 || result.Stats.Ops == 0 {
+		t.Fatal("lease mode must surface probe statistics from the manager's handles")
+	}
+}
+
+func TestRunLeaseModeSharded(t *testing.T) {
+	cfg := baseConfig(registry.Sharded, 4)
+	cfg.Shards = 4
+	cfg.LeaseTTL = 20 * time.Millisecond
+	cfg.LeaseTick = 2 * time.Millisecond
+	cfg.LeaseCrashPercent = 10
+	cfg.RoundsPerThread = 10
+	result, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if result.LeaseStats == nil || len(result.ShardStats) != 4 {
+		t.Fatalf("want lease stats and 4 shard stats, got %+v / %d shards", result.LeaseStats, len(result.ShardStats))
+	}
+}
+
+func TestLeaseConfigValidation(t *testing.T) {
+	cfg := baseConfig(registry.LevelArray, 1)
+	cfg.LeaseCrashPercent = 10 // without a TTL
+	if _, err := Run(cfg); err == nil {
+		t.Error("crash percent without lease TTL accepted")
+	}
+	cfg = baseConfig(registry.LevelArray, 1)
+	cfg.LeaseTTL = time.Second
+	cfg.LeaseCrashPercent = 101
+	if _, err := Run(cfg); err == nil {
+		t.Error("crash percent above 100 accepted")
+	}
+}
+
+func mustPlans(t *testing.T, spec workload.Spec) []workload.Plan {
+	t.Helper()
+	plans, err := spec.Plans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plans
+}

@@ -1,10 +1,14 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/lease"
+	"github.com/levelarray/levelarray/internal/rng"
 	"github.com/levelarray/levelarray/internal/workload"
 )
 
@@ -12,6 +16,11 @@ import (
 // handle per resident slot (registered during pre-fill and held until the end
 // of the run) and one handle per churn slot (registered and released every
 // round of the main loop).
+//
+// In lease mode (leaser non-nil) the worker holds leases instead of handles:
+// resident slots become infinite leases, churn slots become TTL-bounded
+// leases released — or, for the configured crash fraction, abandoned to the
+// expirer — every round.
 type worker struct {
 	id           int
 	array        activity.Array
@@ -21,12 +30,20 @@ type worker struct {
 	residentHandles []activity.Handle
 	churnHandles    []activity.Handle
 
+	leaser       *lease.Manager
+	leaseTTL     time.Duration
+	leaseTick    time.Duration
+	crashPercent int
+	leaseRNG     rng.Source
+	churnLeases  []lease.Lease
+	abandoned    uint64
+
 	collectBuf []int
 	collects   uint64
 	rounds     uint64
 }
 
-// newWorker allocates the handles for one thread.
+// newWorker allocates the handles (or lease slots) for one thread.
 func newWorker(id int, arr activity.Array, plan workload.Plan, collectEvery int) *worker {
 	w := &worker{
 		id:           id,
@@ -46,9 +63,36 @@ func newWorker(id int, arr activity.Array, plan workload.Plan, collectEvery int)
 	return w
 }
 
-// prefill registers every resident handle. The names stay held for the whole
-// run, keeping the array at the configured load.
+// newLeaseWorker builds a worker that churns through a lease manager instead
+// of raw handles.
+func newLeaseWorker(id int, mgr *lease.Manager, plan workload.Plan, collectEvery int, ttl, tick time.Duration, crashPercent int, seed uint64) *worker {
+	return &worker{
+		id:           id,
+		array:        mgr.Array(),
+		plan:         plan,
+		collectEvery: collectEvery,
+		leaser:       mgr,
+		leaseTTL:     ttl,
+		leaseTick:    tick,
+		crashPercent: crashPercent,
+		leaseRNG:     rng.New(rng.KindSplitMix, seed+uint64(id)+1),
+		churnLeases:  make([]lease.Lease, plan.Churn),
+		collectBuf:   make([]int, 0, mgr.Size()),
+	}
+}
+
+// prefill registers every resident slot. The names stay held for the whole
+// run, keeping the array at the configured load. Lease-mode residents hold
+// infinite leases, so only churn slots ever expire.
 func (w *worker) prefill() error {
+	if w.leaser != nil {
+		for i := 0; i < w.plan.Resident; i++ {
+			if _, err := w.acquireLease(0); err != nil {
+				return fmt.Errorf("pre-fill lease %d: %w", i, err)
+			}
+		}
+		return nil
+	}
 	for i, h := range w.residentHandles {
 		if _, err := h.Get(); err != nil {
 			return fmt.Errorf("pre-fill registration %d: %w", i, err)
@@ -57,10 +101,32 @@ func (w *worker) prefill() error {
 	return nil
 }
 
+// acquireLease acquires one lease, absorbing transient full-namespace
+// conditions: abandoned leases hold slots until the expirer reaps them, so
+// ErrFull under a crashy workload means "wait one tick", not failure.
+func (w *worker) acquireLease(ttl time.Duration) (lease.Lease, error) {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		l, err := w.leaser.Acquire(ttl)
+		if err == nil {
+			return l, nil
+		}
+		if !errors.Is(err, activity.ErrFull) || time.Now().After(deadline) {
+			return lease.Lease{}, err
+		}
+		time.Sleep(w.leaseTick)
+	}
+}
+
 // round performs one main-loop round: register every churn slot, optionally
 // collect, then release every churn slot. This is the paper's emulation of
-// N/n registrations per thread before deregistering.
+// N/n registrations per thread before deregistering. Lease mode follows the
+// same round structure, except that a crash fraction of the churn leases is
+// abandoned instead of released.
 func (w *worker) round() error {
+	if w.leaser != nil {
+		return w.leaseRound()
+	}
 	for i, h := range w.churnHandles {
 		if _, err := h.Get(); err != nil {
 			return fmt.Errorf("churn registration %d: %w", i, err)
@@ -74,6 +140,33 @@ func (w *worker) round() error {
 	for i, h := range w.churnHandles {
 		if err := h.Free(); err != nil {
 			return fmt.Errorf("churn release %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// leaseRound is round in lease mode.
+func (w *worker) leaseRound() error {
+	for i := range w.churnLeases {
+		l, err := w.acquireLease(w.leaseTTL)
+		if err != nil {
+			return fmt.Errorf("churn lease %d: %w", i, err)
+		}
+		w.churnLeases[i] = l
+	}
+	w.rounds++
+	if w.collectEvery > 0 && w.rounds%uint64(w.collectEvery) == 0 {
+		w.collectBuf = w.leaser.Collect(w.collectBuf[:0])
+		w.collects++
+	}
+	for i, l := range w.churnLeases {
+		if w.crashPercent > 0 && w.leaseRNG.Intn(100) < w.crashPercent {
+			// Crash: walk away and leave the slot to the expirer.
+			w.abandoned++
+			continue
+		}
+		if err := w.leaser.Release(l.Name, l.Token); err != nil {
+			return fmt.Errorf("churn lease release %d: %w", i, err)
 		}
 	}
 	return nil

@@ -1,0 +1,271 @@
+package lease
+
+import (
+	"time"
+
+	"github.com/levelarray/levelarray/internal/activity"
+)
+
+// tickOf maps a deadline to the first tick at or after it, so a lease is
+// reaped at the first expirer pass whose wall clock has reached the deadline
+// — never early, at most one tick late.
+func (m *Manager) tickOf(deadlineNanos int64) int64 {
+	tick := int64(m.cfg.TickInterval)
+	return (deadlineNanos + tick - 1) / tick
+}
+
+// wheelInsert hashes a (name, token, deadline) record into the bucket of its
+// deadline tick. Records are never searched or deleted in place: releases
+// and renews leave stale records behind, and the expirer pass drops any
+// record whose token or deadline no longer matches the live entry.
+func (m *Manager) wheelInsert(deadlineNanos int64, name int, token uint64) {
+	b := &m.wheel[int(m.tickOf(deadlineNanos)%int64(len(m.wheel)))]
+	b.mu.Lock()
+	b.items = append(b.items, wheelItem{name: name, token: token})
+	b.mu.Unlock()
+}
+
+// Tick runs one expirer pass at the current clock: every wheel bucket whose
+// tick has elapsed since the previous pass is scanned, due leases are
+// expired, and the orphan cross-check sweep runs. The background expirer
+// calls it every TickInterval; tests with a fake clock call it directly.
+func (m *Manager) Tick() {
+	m.tickMu.Lock()
+	defer m.tickMu.Unlock()
+
+	now := m.now().UnixNano()
+	cur := now / int64(m.cfg.TickInterval)
+	if n := int64(len(m.wheel)); cur-m.lastTick >= n {
+		// The clock jumped a full wheel revolution (or more): every bucket
+		// may hold due records, so scan each exactly once.
+		m.lastTick = cur - n
+	}
+	for t := m.lastTick + 1; t <= cur; t++ {
+		m.expireBucket(&m.wheel[int(t%int64(len(m.wheel)))], t)
+	}
+	m.lastTick = cur
+	m.sweep()
+	m.ticks.Add(1)
+}
+
+// expireBucket drains one bucket at pass tick t: due records expire their
+// lease, records renewed to a later deadline are re-hashed, and records
+// whose token no longer matches the entry (released, expired, reissued) are
+// dropped. Due-ness is decided purely by tick arithmetic: a record is due
+// when its deadline tick (rounded up by tickOf) has been reached, and the
+// pass only runs once the wall clock has passed that tick boundary, so
+// expiry is always at-or-after the nominal deadline.
+func (m *Manager) expireBucket(b *bucket, t int64) {
+	b.mu.Lock()
+	items := b.items
+	b.items = nil
+	b.mu.Unlock()
+
+	for _, it := range items {
+		e := &m.entries[it.name]
+		e.mu.Lock()
+		if !e.active || e.token != it.token {
+			e.mu.Unlock()
+			continue
+		}
+		if e.deadline == 0 {
+			// Renewed to an infinite lease: this record dies here, so a
+			// later finite renew must know it needs a fresh one. Clearing
+			// unconditionally can at worst cost one redundant record if
+			// another record for this lease is still live; leaving a stale
+			// wheelTick would instead let a finite renew skip its insert and
+			// never expire.
+			e.wheelTick = 0
+			e.mu.Unlock()
+			continue
+		}
+		if m.tickOf(e.deadline) > t {
+			// Renewed (or hashed for a later wheel revolution): re-insert at
+			// its current deadline and keep waiting.
+			deadline := e.deadline
+			e.wheelTick = m.tickOf(deadline)
+			e.mu.Unlock()
+			m.wheelInsert(deadline, it.name, it.token)
+			continue
+		}
+		h := e.handle
+		_ = h.Free()
+		e.active = false
+		e.wheelTick = 0
+		e.handle = nil
+		e.mu.Unlock()
+		m.putHandle(h)
+		m.active.Add(-1)
+		m.expirations.Add(1)
+	}
+}
+
+// sweep is the word-level cross-check: it walks every bitmap view
+// (tas.BitmapSpace.ForEachSet, one atomic load per 64 slots) and compares
+// set bits against the lease table. A bit observed set with no active lease
+// on two consecutive sweeps — one full tick apart, far longer than the
+// instant between a Get and its lease activation — is an orphan and is
+// reclaimed directly on the bitmap. Reclamation additionally requires that
+// no Acquire is between its Get and its activation (pendingGets), which
+// makes a false positive impossible rather than merely improbable: if no
+// acquisition is in flight and the entry is inactive under its lock, no
+// handle holds the bit.
+func (m *Manager) sweep() {
+	if len(m.views) == 0 {
+		return
+	}
+	next := make(map[int]struct{})
+	for _, v := range m.views {
+		v.space.ForEachSet(v.base, func(name int) bool {
+			e := &m.entries[name]
+			e.mu.Lock()
+			if e.active {
+				e.mu.Unlock()
+				return true
+			}
+			if _, suspected := m.suspects[name]; suspected && m.pendingGets.Load() == 0 {
+				v.space.Reset(name - v.base)
+				e.mu.Unlock()
+				m.orphans.Add(1)
+				return true
+			}
+			e.mu.Unlock()
+			// First sighting — or an acquire was in flight, which keeps the
+			// name suspected rather than restarting its two-sweep clock.
+			next[name] = struct{}{}
+			return true
+		})
+	}
+	m.suspects = next
+}
+
+// Start launches the background expirer, one Tick per TickInterval. It is
+// idempotent, and a no-op on a closed manager; Close stops it.
+func (m *Manager) Start() {
+	m.lifeMu.Lock()
+	defer m.lifeMu.Unlock()
+	if m.started || m.closed.Load() {
+		return
+	}
+	m.started = true
+	go func() {
+		defer close(m.done)
+		ticker := time.NewTicker(m.cfg.TickInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-ticker.C:
+				m.Tick()
+			}
+		}
+	}()
+}
+
+// Close stops the background expirer (waiting for an in-flight pass to
+// finish) and rejects further Acquire/Renew/Release calls; a Start after (or
+// racing) Close never launches an expirer. It is idempotent. Active leases
+// are not released; callers that want a clean shutdown drain them first.
+func (m *Manager) Close() {
+	m.lifeMu.Lock()
+	m.closed.Store(true)
+	wasStarted := m.started
+	if !m.stopClosed {
+		close(m.stop)
+		m.stopClosed = true
+	}
+	m.lifeMu.Unlock()
+	if wasStarted {
+		<-m.done
+	}
+}
+
+// Stats is the manager's observability snapshot.
+type Stats struct {
+	// Active is the number of currently held leases.
+	Active int64 `json:"active"`
+	// Acquires, Renews and Releases count successful operations.
+	Acquires uint64 `json:"acquires"`
+	Renews   uint64 `json:"renews"`
+	Releases uint64 `json:"releases"`
+	// Expirations counts leases reaped by the expirer.
+	Expirations uint64 `json:"expirations"`
+	// FailedAcquires counts Acquires that failed with ErrFull.
+	FailedAcquires uint64 `json:"failed_acquires"`
+	// RenewRaces and ReleaseRaces count stale-token (or not-leased)
+	// rejections: a renewer or releaser losing the race against expiry or
+	// reissue.
+	RenewRaces   uint64 `json:"renew_races"`
+	ReleaseRaces uint64 `json:"release_races"`
+	// OrphansReclaimed counts bits the cross-check sweep reclaimed because
+	// they stayed set with no lease record.
+	OrphansReclaimed uint64 `json:"orphans_reclaimed"`
+	// Ticks counts completed expirer passes.
+	Ticks uint64 `json:"ticks"`
+}
+
+// Stats returns a point-in-time snapshot of the manager's counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Active:           m.active.Load(),
+		Acquires:         m.acquires.Load(),
+		Renews:           m.renews.Load(),
+		Releases:         m.releases.Load(),
+		Expirations:      m.expirations.Load(),
+		FailedAcquires:   m.failedAcquires.Load(),
+		RenewRaces:       m.renewRaces.Load(),
+		ReleaseRaces:     m.releaseRaces.Load(),
+		OrphansReclaimed: m.orphans.Load(),
+		Ticks:            m.ticks.Load(),
+	}
+}
+
+// ProbeStats merges the registration-cost statistics of every handle the
+// manager ever created, connecting the lease layer to the repository's
+// probe-count reporting. Handles are not safe for concurrent use, so this
+// must only be called on a quiesced manager (no in-flight operations and the
+// expirer stopped), e.g. after Close.
+func (m *Manager) ProbeStats() activity.ProbeStats {
+	m.poolMu.Lock()
+	defer m.poolMu.Unlock()
+	var merged activity.ProbeStats
+	for _, h := range m.all {
+		merged.Merge(h.Stats())
+	}
+	return merged
+}
+
+// Verify cross-checks the lease table against the bitmap state in both
+// directions and returns the disagreements: set bits with no active lease
+// (orphan candidates the sweep would reclaim) and active leases whose bit is
+// clear (a double free bypassing the manager). Like Collect it is not an
+// atomic snapshot, so call it on a quiesced manager for exact results; nil
+// slices mean agreement. Arrays without bitmap views report no orphans.
+func (m *Manager) Verify() (orphanBits, missingBits []int) {
+	covered := make(map[int]bool)
+	for _, v := range m.views {
+		v.space.ForEachSet(v.base, func(name int) bool {
+			covered[name] = true
+			e := &m.entries[name]
+			e.mu.Lock()
+			if !e.active {
+				orphanBits = append(orphanBits, name)
+			}
+			e.mu.Unlock()
+			return true
+		})
+	}
+	if len(m.views) == 0 {
+		return nil, nil
+	}
+	for name := range m.entries {
+		e := &m.entries[name]
+		e.mu.Lock()
+		if e.active && !covered[name] {
+			missingBits = append(missingBits, name)
+		}
+		e.mu.Unlock()
+	}
+	return orphanBits, missingBits
+}

@@ -1,0 +1,89 @@
+package registry
+
+import (
+	"fmt"
+
+	"github.com/levelarray/levelarray/internal/core"
+	"github.com/levelarray/levelarray/internal/rng"
+	"github.com/levelarray/levelarray/internal/shard"
+	"github.com/levelarray/levelarray/internal/tas"
+)
+
+// Flag-vocabulary helpers shared by the cmd/ drivers (larun, benchshard,
+// laserve, laload): every enumerated flag is validated up front through one
+// of these functions, so a typo fails with a one-line error naming every
+// registered option instead of deep in construction — and the vocabulary
+// lives in exactly one place.
+
+// Canonical flag vocabularies, suitable for flag usage strings. The
+// registry's own algorithm names come from KnownNames.
+const (
+	// ValidRNGNames lists the -rng flag values.
+	ValidRNGNames = "xorshift, xorshift32, lehmer, splitmix"
+	// ValidSpaceNames lists the -space flag values.
+	ValidSpaceNames = "bitmap, bitmap-padded, padded, compact"
+	// ValidShardCounts describes the -shards flag domain.
+	ValidShardCounts = "0 (auto: GOMAXPROCS rounded up), 1 (unsharded), or a power of two (2, 4, 8, ...)"
+	// ValidPercentRange describes percentage-valued flags.
+	ValidPercentRange = "0..100"
+)
+
+// ParseRNGFlag maps a -rng flag value to its generator kind.
+func ParseRNGFlag(name string) (rng.Kind, error) {
+	kind, ok := rng.ParseKind(name)
+	if !ok {
+		return 0, fmt.Errorf("unknown -rng %q (valid: %s)", name, ValidRNGNames)
+	}
+	return kind, nil
+}
+
+// ParseSpaceFlag maps a -space flag value to its substrate kind.
+func ParseSpaceFlag(name string) (tas.Kind, error) {
+	kind, ok := tas.ParseKind(name)
+	if !ok {
+		return 0, fmt.Errorf("unknown -space %q (valid: %s)", name, ValidSpaceNames)
+	}
+	return kind, nil
+}
+
+// ParseProbeFlag maps a -probe flag value to its probe mode, enforcing the
+// cross-flag constraint that word claims need a bitmap substrate.
+func ParseProbeFlag(name string, space tas.Kind) (core.ProbeMode, error) {
+	mode, ok := core.ParseProbeMode(name)
+	if !ok {
+		return 0, fmt.Errorf("unknown -probe %q (valid: %s)", name, core.ProbeModeNames)
+	}
+	if mode == core.ProbeWord && space != tas.KindBitmap && space != tas.KindBitmapPadded {
+		return 0, fmt.Errorf("-probe word requires a bitmap -space (valid: bitmap, bitmap-padded), got %q", space)
+	}
+	return mode, nil
+}
+
+// ParseStealFlag maps a -steal flag value to its steal policy.
+func ParseStealFlag(name string) (shard.StealKind, error) {
+	kind, ok := shard.ParseStealKind(name)
+	if !ok {
+		return 0, fmt.Errorf("unknown -steal %q (valid: %s)", name, shard.StealKindNames)
+	}
+	return kind, nil
+}
+
+// ValidateShardCount checks a -shards flag value (0 = auto, 1 = unsharded,
+// otherwise a power of two) and resolves 0 to the default shard count.
+func ValidateShardCount(shards int) (int, error) {
+	if shards < 0 || (shards > 1 && shards&(shards-1) != 0) {
+		return 0, fmt.Errorf("invalid -shards %d (valid: %s)", shards, ValidShardCounts)
+	}
+	if shards == 0 {
+		return shard.DefaultShards(), nil
+	}
+	return shards, nil
+}
+
+// ValidatePercent checks a percentage-valued flag.
+func ValidatePercent(flagName string, v int) error {
+	if v < 0 || v > 100 {
+		return fmt.Errorf("invalid -%s %d (valid: %s)", flagName, v, ValidPercentRange)
+	}
+	return nil
+}

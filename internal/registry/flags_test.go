@@ -1,0 +1,166 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/levelarray/levelarray/internal/core"
+	"github.com/levelarray/levelarray/internal/rng"
+	"github.com/levelarray/levelarray/internal/shard"
+	"github.com/levelarray/levelarray/internal/tas"
+)
+
+// splitNames splits a ", "-separated vocabulary constant.
+func splitNames(vocab string) []string {
+	parts := strings.Split(vocab, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// TestRNGVocabularyCoversEveryKind asserts the -rng error string enumerates a
+// spelling for every registered generator family — so adding a family
+// without extending the vocabulary fails here, not in a user's shell.
+func TestRNGVocabularyCoversEveryKind(t *testing.T) {
+	_, err := ParseRNGFlag("no-such-rng")
+	if err == nil {
+		t.Fatal("ParseRNGFlag accepted garbage")
+	}
+	if !strings.Contains(err.Error(), ValidRNGNames) {
+		t.Fatalf("error %q does not list the vocabulary %q", err, ValidRNGNames)
+	}
+	registered := []rng.Kind{rng.KindXorshift, rng.KindXorshift32, rng.KindLehmer, rng.KindSplitMix}
+	covered := make(map[rng.Kind]bool)
+	for _, name := range splitNames(ValidRNGNames) {
+		kind, perr := ParseRNGFlag(name)
+		if perr != nil {
+			t.Fatalf("vocabulary entry %q does not parse: %v", name, perr)
+		}
+		covered[kind] = true
+	}
+	for _, kind := range registered {
+		if !covered[kind] {
+			t.Errorf("registered generator %v has no spelling in the -rng vocabulary %q", kind, ValidRNGNames)
+		}
+	}
+}
+
+// TestSpaceVocabularyCoversEveryKind is the -space analogue.
+func TestSpaceVocabularyCoversEveryKind(t *testing.T) {
+	_, err := ParseSpaceFlag("no-such-space")
+	if err == nil {
+		t.Fatal("ParseSpaceFlag accepted garbage")
+	}
+	if !strings.Contains(err.Error(), ValidSpaceNames) {
+		t.Fatalf("error %q does not list the vocabulary %q", err, ValidSpaceNames)
+	}
+	registered := []tas.Kind{tas.KindBitmap, tas.KindBitmapPadded, tas.KindPadded, tas.KindCompact}
+	covered := make(map[tas.Kind]bool)
+	for _, name := range splitNames(ValidSpaceNames) {
+		kind, perr := ParseSpaceFlag(name)
+		if perr != nil {
+			t.Fatalf("vocabulary entry %q does not parse: %v", name, perr)
+		}
+		covered[kind] = true
+	}
+	for _, kind := range registered {
+		if !covered[kind] {
+			t.Errorf("registered substrate %v has no spelling in the -space vocabulary %q", kind, ValidSpaceNames)
+		}
+		// Canonical display names must round-trip, since tables print them.
+		if _, perr := ParseSpaceFlag(kind.String()); perr != nil {
+			t.Errorf("display name %q does not parse: %v", kind.String(), perr)
+		}
+	}
+}
+
+// TestProbeVocabularyCoversEveryMode is the -probe analogue, including the
+// cross-flag bitmap constraint.
+func TestProbeVocabularyCoversEveryMode(t *testing.T) {
+	_, err := ParseProbeFlag("no-such-probe", tas.KindBitmap)
+	if err == nil {
+		t.Fatal("ParseProbeFlag accepted garbage")
+	}
+	if !strings.Contains(err.Error(), core.ProbeModeNames) {
+		t.Fatalf("error %q does not list the vocabulary %q", err, core.ProbeModeNames)
+	}
+	registered := []core.ProbeMode{core.ProbeSlot, core.ProbeWord}
+	covered := make(map[core.ProbeMode]bool)
+	for _, name := range splitNames(core.ProbeModeNames) {
+		mode, perr := ParseProbeFlag(name, tas.KindBitmap)
+		if perr != nil {
+			t.Fatalf("vocabulary entry %q does not parse: %v", name, perr)
+		}
+		covered[mode] = true
+	}
+	for _, mode := range registered {
+		if !covered[mode] {
+			t.Errorf("registered probe mode %v has no spelling in the vocabulary %q", mode, core.ProbeModeNames)
+		}
+	}
+	if _, err := ParseProbeFlag("word", tas.KindCompact); err == nil {
+		t.Error("word probes on a compact space must be rejected")
+	}
+	if _, err := ParseProbeFlag("word", tas.KindBitmapPadded); err != nil {
+		t.Errorf("word probes on the padded bitmap must be accepted: %v", err)
+	}
+}
+
+// TestStealVocabularyCoversEveryKind is the -steal analogue.
+func TestStealVocabularyCoversEveryKind(t *testing.T) {
+	_, err := ParseStealFlag("no-such-steal")
+	if err == nil {
+		t.Fatal("ParseStealFlag accepted garbage")
+	}
+	if !strings.Contains(err.Error(), shard.StealKindNames) {
+		t.Fatalf("error %q does not list the vocabulary %q", err, shard.StealKindNames)
+	}
+	registered := []shard.StealKind{shard.StealOccupancy, shard.StealRandom, shard.StealSequential}
+	covered := make(map[shard.StealKind]bool)
+	for _, name := range splitNames(shard.StealKindNames) {
+		kind, perr := ParseStealFlag(name)
+		if perr != nil {
+			t.Fatalf("vocabulary entry %q does not parse: %v", name, perr)
+		}
+		covered[kind] = true
+	}
+	for _, kind := range registered {
+		if !covered[kind] {
+			t.Errorf("registered steal policy %v has no spelling in the vocabulary %q", kind, shard.StealKindNames)
+		}
+	}
+}
+
+func TestValidateShardCount(t *testing.T) {
+	for _, bad := range []int{-1, 3, 6, 12} {
+		if _, err := ValidateShardCount(bad); err == nil {
+			t.Errorf("ValidateShardCount(%d) accepted", bad)
+		} else if !strings.Contains(err.Error(), ValidShardCounts) {
+			t.Errorf("ValidateShardCount(%d) error %q does not describe the domain", bad, err)
+		}
+	}
+	for _, good := range []int{1, 2, 4, 64} {
+		got, err := ValidateShardCount(good)
+		if err != nil || got != good {
+			t.Errorf("ValidateShardCount(%d) = %d, %v", good, got, err)
+		}
+	}
+	if got, err := ValidateShardCount(0); err != nil || got != shard.DefaultShards() {
+		t.Errorf("ValidateShardCount(0) = %d, %v, want the default %d", got, err, shard.DefaultShards())
+	}
+}
+
+func TestValidatePercent(t *testing.T) {
+	if err := ValidatePercent("prefill", 101); err == nil || !strings.Contains(err.Error(), "prefill") {
+		t.Errorf("ValidatePercent(101) = %v, want an error naming the flag", err)
+	}
+	if err := ValidatePercent("prefill", -1); err == nil {
+		t.Error("ValidatePercent(-1) accepted")
+	}
+	for _, good := range []int{0, 50, 100} {
+		if err := ValidatePercent("prefill", good); err != nil {
+			t.Errorf("ValidatePercent(%d) = %v", good, err)
+		}
+	}
+}

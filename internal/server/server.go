@@ -1,0 +1,283 @@
+// Package server exposes a lease.Manager over HTTP/JSON: the network name
+// service that turns the in-process Get/Free/Collect contract into something
+// remote clients can consume, with TTL-bounded sessions standing in for the
+// crash-safety the in-process discipline gets for free.
+//
+// Endpoints (all JSON):
+//
+//	POST /acquire  {"ttl_ms": 5000}                      -> lease
+//	POST /renew    {"name": 3, "token": 97, "ttl_ms": 5000} -> lease
+//	POST /release  {"name": 3, "token": 97}              -> {"released": true}
+//	GET  /collect                                        -> {"count": n, "names": [...]}
+//	GET  /stats                                          -> lease + shard statistics
+//	GET  /healthz                                        -> {"ok": true}
+//
+// Status codes map the lease-layer errors: 503 when the namespace is
+// exhausted (activity.ErrFull) or the manager is shut down, 409 on fencing
+// failures (stale token, not leased), 400 on malformed requests. The 409
+// body carries an error code distinguishing the two fencing cases.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/lease"
+	"github.com/levelarray/levelarray/internal/shard"
+)
+
+// maxBodyBytes bounds request bodies; every request fits in a handful of
+// integers.
+const maxBodyBytes = 4096
+
+// AcquireRequest is the body of POST /acquire.
+type AcquireRequest struct {
+	// TTLMillis is the requested lease TTL; 0 (or omitted) selects the
+	// server's default TTL, a negative value requests an infinite lease.
+	TTLMillis int64 `json:"ttl_ms"`
+}
+
+// RenewRequest is the body of POST /renew.
+type RenewRequest struct {
+	Name      int    `json:"name"`
+	Token     uint64 `json:"token"`
+	TTLMillis int64  `json:"ttl_ms"`
+}
+
+// ReleaseRequest is the body of POST /release.
+type ReleaseRequest struct {
+	Name  int    `json:"name"`
+	Token uint64 `json:"token"`
+}
+
+// LeaseResponse is the body returned by /acquire and /renew.
+type LeaseResponse struct {
+	Name  int    `json:"name"`
+	Token uint64 `json:"token"`
+	// DeadlineUnixMillis is the lease deadline; 0 for an infinite lease.
+	DeadlineUnixMillis int64 `json:"deadline_unix_ms"`
+}
+
+// ReleaseResponse is the body returned by /release.
+type ReleaseResponse struct {
+	Released bool `json:"released"`
+}
+
+// CollectResponse is the body returned by /collect.
+type CollectResponse struct {
+	Count int   `json:"count"`
+	Names []int `json:"names"`
+}
+
+// StatsResponse is the body returned by /stats.
+type StatsResponse struct {
+	Lease        lease.Stats        `json:"lease"`
+	Capacity     int                `json:"capacity"`
+	Size         int                `json:"size"`
+	TickMillis   int64              `json:"tick_ms"`
+	UptimeMillis int64              `json:"uptime_ms"`
+	Shards       []shard.ShardStats `json:"shards,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Error codes returned in ErrorResponse.Error.
+const (
+	ErrCodeFull       = "full"
+	ErrCodeStaleToken = "stale_token"
+	ErrCodeNotLeased  = "not_leased"
+	ErrCodeClosed     = "closed"
+	ErrCodeTTL        = "ttl_too_long"
+	ErrCodeBadRequest = "bad_request"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// DefaultTTL is applied when an acquire request omits its TTL (or sends
+	// 0). Zero selects 10s.
+	DefaultTTL time.Duration
+}
+
+// Server serves the lease API for one manager. Build it with New; it
+// implements http.Handler.
+type Server struct {
+	mgr     *lease.Manager
+	cfg     Config
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New builds a Server over mgr. The caller remains responsible for starting
+// the manager's expirer (mgr.Start) and closing it on shutdown.
+func New(mgr *lease.Manager, cfg Config) *Server {
+	if cfg.DefaultTTL <= 0 {
+		cfg.DefaultTTL = 10 * time.Second
+	}
+	s := &Server{mgr: mgr, cfg: cfg, mux: http.NewServeMux(), started: time.Now()}
+	s.mux.HandleFunc("POST /acquire", s.handleAcquire)
+	s.mux.HandleFunc("POST /renew", s.handleRenew)
+	s.mux.HandleFunc("POST /release", s.handleRelease)
+	s.mux.HandleFunc("GET /collect", s.handleCollect)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP dispatches to the lease API.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Serve runs the service on addr until ctx is cancelled, then shuts the
+// listener down gracefully (draining in-flight requests) and closes the
+// manager. It returns nil on a clean shutdown.
+func (s *Server) Serve(ctx context.Context, addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		s.mgr.Close()
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := srv.Shutdown(shutdownCtx)
+	s.mgr.Close()
+	if err != nil {
+		return fmt.Errorf("server: shutdown: %w", err)
+	}
+	return nil
+}
+
+// decode parses a JSON request body into dst with a size cap.
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, code string) {
+	writeJSON(w, status, ErrorResponse{Error: code})
+}
+
+// writeLeaseError maps a lease-layer error to its status and code.
+func writeLeaseError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, activity.ErrFull):
+		writeError(w, http.StatusServiceUnavailable, ErrCodeFull)
+	case errors.Is(err, lease.ErrStaleToken):
+		writeError(w, http.StatusConflict, ErrCodeStaleToken)
+	case errors.Is(err, lease.ErrNotLeased):
+		writeError(w, http.StatusConflict, ErrCodeNotLeased)
+	case errors.Is(err, lease.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, ErrCodeClosed)
+	case errors.Is(err, lease.ErrTTLTooLong):
+		writeError(w, http.StatusBadRequest, ErrCodeTTL)
+	default:
+		writeError(w, http.StatusInternalServerError, ErrCodeBadRequest)
+	}
+}
+
+// ttlOf maps the wire TTL encoding (0 = server default, negative = infinite)
+// to the lease layer's (<= 0 = infinite).
+func (s *Server) ttlOf(millis int64) time.Duration {
+	switch {
+	case millis == 0:
+		return s.cfg.DefaultTTL
+	case millis < 0:
+		return 0
+	default:
+		return time.Duration(millis) * time.Millisecond
+	}
+}
+
+func leaseResponse(l lease.Lease) LeaseResponse {
+	resp := LeaseResponse{Name: l.Name, Token: l.Token}
+	if !l.Deadline.IsZero() {
+		resp.DeadlineUnixMillis = l.Deadline.UnixMilli()
+	}
+	return resp
+}
+
+func (s *Server) handleAcquire(w http.ResponseWriter, r *http.Request) {
+	var req AcquireRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	l, err := s.mgr.Acquire(s.ttlOf(req.TTLMillis))
+	if err != nil {
+		writeLeaseError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, leaseResponse(l))
+}
+
+func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
+	var req RenewRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	l, err := s.mgr.Renew(req.Name, req.Token, s.ttlOf(req.TTLMillis))
+	if err != nil {
+		writeLeaseError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, leaseResponse(l))
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var req ReleaseRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.mgr.Release(req.Name, req.Token); err != nil {
+		writeLeaseError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ReleaseResponse{Released: true})
+}
+
+func (s *Server) handleCollect(w http.ResponseWriter, r *http.Request) {
+	names := s.mgr.Collect(nil)
+	if names == nil {
+		names = []int{}
+	}
+	writeJSON(w, http.StatusOK, CollectResponse{Count: len(names), Names: names})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{
+		Lease:        s.mgr.Stats(),
+		Capacity:     s.mgr.Capacity(),
+		Size:         s.mgr.Size(),
+		TickMillis:   s.mgr.TickInterval().Milliseconds(),
+		UptimeMillis: time.Since(s.started).Milliseconds(),
+	}
+	if sharded, ok := s.mgr.Array().(*shard.Sharded); ok {
+		resp.Shards = sharded.ShardStats()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}

@@ -1,0 +1,313 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/levelarray/levelarray/internal/core"
+	"github.com/levelarray/levelarray/internal/lease"
+	"github.com/levelarray/levelarray/internal/shard"
+)
+
+// newTestService starts an httptest service over a fresh manager.
+func newTestService(t *testing.T, capacity int, tick time.Duration) (*httptest.Server, *lease.Manager) {
+	t.Helper()
+	arr := core.MustNew(core.Config{Capacity: capacity})
+	mgr := lease.MustNewManager(arr, lease.Config{TickInterval: tick})
+	mgr.Start()
+	srv := httptest.NewServer(New(mgr, Config{DefaultTTL: time.Second}))
+	t.Cleanup(func() {
+		srv.Close()
+		mgr.Close()
+	})
+	return srv, mgr
+}
+
+func TestAcquireRenewReleaseOverHTTP(t *testing.T) {
+	srv, _ := newTestService(t, 8, 10*time.Millisecond)
+	c := NewClient(srv.URL, srv.Client())
+
+	l, status, err := c.Acquire(5000)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("acquire: status %d err %v", status, err)
+	}
+	if l.DeadlineUnixMillis == 0 {
+		t.Fatal("finite lease must report a deadline")
+	}
+
+	renewed, status, err := c.Renew(l.Name, l.Token, 5000)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("renew: status %d err %v", status, err)
+	}
+	if renewed.DeadlineUnixMillis < l.DeadlineUnixMillis {
+		t.Fatalf("renewed deadline %d before original %d", renewed.DeadlineUnixMillis, l.DeadlineUnixMillis)
+	}
+
+	if status, err = c.Release(l.Name, l.Token); err != nil || status != http.StatusOK {
+		t.Fatalf("release: status %d err %v", status, err)
+	}
+	// A released token is stale: both follow-ups must bounce with 409.
+	if _, status, _ = c.Renew(l.Name, l.Token, 5000); status != http.StatusConflict {
+		t.Fatalf("stale renew status = %d, want 409", status)
+	}
+	if status, _ = c.Release(l.Name, l.Token); status != http.StatusConflict {
+		t.Fatalf("stale release status = %d, want 409", status)
+	}
+}
+
+func TestInfiniteTTLOverHTTP(t *testing.T) {
+	srv, _ := newTestService(t, 8, 10*time.Millisecond)
+	c := NewClient(srv.URL, srv.Client())
+	l, status, err := c.Acquire(-1)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("acquire: status %d err %v", status, err)
+	}
+	if l.DeadlineUnixMillis != 0 {
+		t.Fatalf("infinite lease deadline = %d, want 0", l.DeadlineUnixMillis)
+	}
+	if status, err = c.Release(l.Name, l.Token); err != nil || status != http.StatusOK {
+		t.Fatalf("release: status %d err %v", status, err)
+	}
+}
+
+func TestFullNamespaceReturns503(t *testing.T) {
+	srv, mgr := newTestService(t, 1, 10*time.Millisecond)
+	c := NewClient(srv.URL, srv.Client())
+	for i := 0; i < mgr.Size(); i++ {
+		if _, status, err := c.Acquire(-1); err != nil || status != http.StatusOK {
+			t.Fatalf("acquire %d: status %d err %v", i, status, err)
+		}
+	}
+	if _, status, _ := c.Acquire(-1); status != http.StatusServiceUnavailable {
+		t.Fatalf("acquire on full namespace status = %d, want 503", status)
+	}
+}
+
+func TestCollectAndStatsEndpoints(t *testing.T) {
+	srv, _ := newTestService(t, 8, 10*time.Millisecond)
+	c := NewClient(srv.URL, srv.Client())
+	l, _, err := c.Acquire(5000)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/collect")
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	var collected CollectResponse
+	if err := json.NewDecoder(resp.Body).Decode(&collected); err != nil {
+		t.Fatalf("decoding collect: %v", err)
+	}
+	resp.Body.Close()
+	if collected.Count != 1 || len(collected.Names) != 1 || collected.Names[0] != l.Name {
+		t.Fatalf("collect = %+v, want just name %d", collected, l.Name)
+	}
+
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if stats.Lease.Active != 1 || stats.Lease.Acquires != 1 {
+		t.Fatalf("stats.Lease = %+v", stats.Lease)
+	}
+	if stats.TickMillis != 10 {
+		t.Fatalf("stats.TickMillis = %d, want 10", stats.TickMillis)
+	}
+	if stats.Capacity != 8 {
+		t.Fatalf("stats.Capacity = %d, want 8", stats.Capacity)
+	}
+}
+
+func TestStatsReportsShards(t *testing.T) {
+	arr := shard.MustNew(shard.Config{Shards: 4, Capacity: 32})
+	mgr := lease.MustNewManager(arr, lease.Config{TickInterval: 10 * time.Millisecond})
+	srv := httptest.NewServer(New(mgr, Config{}))
+	defer srv.Close()
+	defer mgr.Close()
+	c := NewClient(srv.URL, srv.Client())
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if len(stats.Shards) != 4 {
+		t.Fatalf("stats.Shards has %d entries, want 4", len(stats.Shards))
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv, _ := newTestService(t, 8, 10*time.Millisecond)
+	for _, tc := range []struct {
+		method, path, body string
+		wantStatus         int
+	}{
+		{"POST", "/acquire", "{not json", http.StatusBadRequest},
+		{"POST", "/acquire", `{"surprise": 1}`, http.StatusBadRequest},
+		{"POST", "/renew", `{"name": -5, "token": 1}`, http.StatusConflict},
+		{"POST", "/release", `{"name": 999999, "token": 1}`, http.StatusConflict},
+		{"GET", "/acquire", "", http.StatusMethodNotAllowed},
+		{"POST", "/collect", "", http.StatusMethodNotAllowed},
+	} {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", tc.method, tc.path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s %s %q: status %d, want %d", tc.method, tc.path, tc.body, resp.StatusCode, tc.wantStatus)
+		}
+	}
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	arr := core.MustNew(core.Config{Capacity: 8})
+	mgr := lease.MustNewManager(arr, lease.Config{TickInterval: 10 * time.Millisecond})
+	mgr.Start()
+	srv := New(mgr, Config{})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, addr) }()
+
+	c := NewClient("http://"+addr, nil)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, _, err := c.Acquire(-1); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("service did not come up within 2s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve returned %v on graceful shutdown, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after cancellation")
+	}
+	if _, err := mgr.Acquire(0); err != lease.ErrClosed {
+		t.Fatalf("manager not closed after shutdown: %v", err)
+	}
+}
+
+// TestLoadgenLoopbackSmoke is the in-process version of the CI service-smoke
+// job: a closed-loop run with a 10% crash fraction over HTTP loopback whose
+// report must be violation-free — zero duplicate names among concurrently
+// held leases, no early reissues, no lost releases, every abandoned lease
+// reclaimed (and its token fenced) within two expirer ticks. The full
+// >= 100k-op acceptance run lives in CI via cmd/laload; this keeps a scaled
+// version in `go test` so regressions fail fast locally.
+func TestLoadgenLoopbackSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback load run in -short mode")
+	}
+	acquires := int64(3000)
+	arr := shard.MustNew(shard.Config{Shards: 4, Capacity: 1024})
+	mgr := lease.MustNewManager(arr, lease.Config{TickInterval: 20 * time.Millisecond})
+	mgr.Start()
+	srv := httptest.NewServer(New(mgr, Config{DefaultTTL: time.Second}))
+	defer srv.Close()
+	defer mgr.Close()
+
+	report, err := RunLoad(LoadConfig{
+		BaseURL:      srv.URL,
+		Clients:      8,
+		Acquires:     acquires,
+		TTL:          300 * time.Millisecond,
+		HoldMean:     200 * time.Microsecond,
+		CrashPercent: 10,
+		RenewPercent: 20,
+		Seed:         42,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if v := report.Violations(); v != nil {
+		t.Fatalf("load run violated the lease contract: %v\nreport: %+v", v, report)
+	}
+	if report.Acquires != uint64(acquires) {
+		t.Fatalf("completed %d acquires, want %d", report.Acquires, acquires)
+	}
+	if report.Crashes == 0 || report.Renews == 0 {
+		t.Fatalf("scenario did not exercise crashes/renews: %+v", report)
+	}
+	if report.StaleRejected == 0 {
+		t.Fatal("no stale-token probes were verified")
+	}
+	t.Logf("ops=%d (%.0f ops/s) p50=%v p99=%v crashes=%d stale-rejected=%d",
+		report.Ops(), report.Throughput(), report.AcquireP50, report.AcquireP99,
+		report.Crashes, report.StaleRejected)
+}
+
+// TestLoadgenDetectsViolations feeds the verifier a deliberately broken
+// service (it reissues a constant name) and asserts the ledger catches it —
+// the smoke test is only as good as its ability to fail.
+func TestLoadgenDetectsViolations(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /acquire", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, LeaseResponse{Name: 7, Token: 1, DeadlineUnixMillis: time.Now().Add(time.Hour).UnixMilli()})
+	})
+	mux.HandleFunc("POST /release", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, ReleaseResponse{Released: true})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, StatsResponse{TickMillis: 10})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	report, err := RunLoad(LoadConfig{
+		BaseURL:  srv.URL,
+		Clients:  4,
+		Acquires: 64,
+		TTL:      50 * time.Millisecond,
+		HoldMean: 2 * time.Millisecond, // overlapping holds expose the reissue
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if report.DuplicateNames == 0 {
+		t.Fatalf("verifier missed the duplicate names: %+v", report)
+	}
+	if report.Violations() == nil {
+		t.Fatal("Violations() empty for a broken service")
+	}
+}
+
+// TestClientHelpers exercises the typed client against error statuses.
+func TestClientHelpers(t *testing.T) {
+	srv, _ := newTestService(t, 2, 10*time.Millisecond)
+	c := NewClient(srv.URL, nil)
+	l, status, err := c.Acquire(0) // 0 selects the server default TTL
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("acquire: status %d err %v", status, err)
+	}
+	if status, err = c.Release(l.Name, l.Token); err != nil || status != http.StatusOK {
+		t.Fatalf("release: status %d err %v", status, err)
+	}
+	if _, err := c.Stats(); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+}

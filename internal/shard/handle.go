@@ -16,6 +16,7 @@ import (
 // not safe for concurrent use.
 type Handle struct {
 	arr  *Sharded
+	id   uint64
 	home int
 	subs []activity.Handle
 	rng  rng.Source
@@ -31,7 +32,14 @@ type Handle struct {
 	order []stealTarget // scratch for steal-target ordering
 }
 
-var _ activity.Handle = (*Handle)(nil)
+var (
+	_ activity.Handle     = (*Handle)(nil)
+	_ activity.Identified = (*Handle)(nil)
+)
+
+// ID returns the handle's stable identity: a counter assigned at Handle()
+// time, unique within the Sharded array (across all homes) and never reused.
+func (h *Handle) ID() uint64 { return h.id }
 
 // stealTarget pairs a sibling shard with its cached occupancy for ordering.
 type stealTarget struct {

@@ -222,9 +222,10 @@ type Sharded struct {
 	counting []countingPair // per-shard probe counters, only when CountProbes
 	counters []shardCounters
 
-	nextHome atomic.Uint64
-	failures atomic.Uint64 // Gets that returned ErrFull after the full sweep
-	seeds    *rng.SeedSequence
+	nextHome  atomic.Uint64
+	failures  atomic.Uint64 // Gets that returned ErrFull after the full sweep
+	handleIDs atomic.Uint64
+	seeds     *rng.SeedSequence
 }
 
 // countingPair holds the probe-counting decorators of one shard's spaces.
@@ -384,6 +385,7 @@ func (s *Sharded) HandleWithHome(home int) *Handle {
 	}
 	return &Handle{
 		arr:  s,
+		id:   s.handleIDs.Add(1),
 		home: home,
 		subs: make([]activity.Handle, len(s.shards)),
 		rng:  rng.New(s.cfg.Array.RNG, s.seeds.Next()),

@@ -263,6 +263,28 @@ func (s *BitmapSpace) ClaimRange(lo, hi int) (int, bool) {
 	return 0, false
 }
 
+// ForEachSet calls fn with base+i for every taken location i, in increasing
+// order, and reports whether the sweep ran to completion; fn returning false
+// stops it early. Like AppendSet it costs one atomic load per 64 slots, but
+// it hands each set slot to a callback instead of materializing a slice — it
+// is the exported sweep hook the lease manager's orphan cross-check walks
+// every expirer tick. The sweep has Collect's validity guarantee, not
+// snapshot semantics.
+func (s *BitmapSpace) ForEachSet(base int, fn func(name int) bool) bool {
+	n := s.NumWords()
+	for w := 0; w < n; w++ {
+		word := atomic.LoadUint64(s.word(w))
+		wordBase := base + w*WordBits
+		for word != 0 {
+			if !fn(wordBase + bits.TrailingZeros64(word)) {
+				return false
+			}
+			word &= word - 1
+		}
+	}
+	return true
+}
+
 // AppendSet appends base+i to dst for every taken location i, in increasing
 // order, and returns the extended slice. It is the word-at-a-time Collect
 // primitive: one atomic load per 64 slots, then TrailingZeros64 to peel the

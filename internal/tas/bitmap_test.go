@@ -372,3 +372,43 @@ func TestBitmapMatchesModel(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestBitmapForEachSet checks the exported sweep hook against AppendSet
+// (same order, same names) and its early-stop contract.
+func TestBitmapForEachSet(t *testing.T) {
+	sp := NewBitmapSpace(200)
+	taken := []int{0, 1, 63, 64, 100, 199}
+	for _, i := range taken {
+		if !sp.TestAndSet(i) {
+			t.Fatalf("TestAndSet(%d) lost on an empty space", i)
+		}
+	}
+	var got []int
+	if !sp.ForEachSet(1000, func(name int) bool {
+		got = append(got, name)
+		return true
+	}) {
+		t.Fatal("full sweep must report completion")
+	}
+	want := sp.AppendSet(nil, 1000)
+	if len(got) != len(want) {
+		t.Fatalf("ForEachSet visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEachSet visited %v, want %v", got, want)
+		}
+	}
+
+	// Early stop: the callback's false return ends the sweep immediately.
+	var visited int
+	if sp.ForEachSet(0, func(name int) bool {
+		visited++
+		return visited < 3
+	}) {
+		t.Fatal("stopped sweep must report early termination")
+	}
+	if visited != 3 {
+		t.Fatalf("visited %d slots after stop at 3", visited)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	levelarray "github.com/levelarray/levelarray"
 )
@@ -113,5 +114,35 @@ func TestPublicAPIAsInterface(t *testing.T) {
 	}
 	if arr.Size() < 16 {
 		t.Fatalf("Size = %d", arr.Size())
+	}
+}
+
+func TestPublicAPILeased(t *testing.T) {
+	arr := levelarray.MustNew(levelarray.Config{Capacity: 16})
+	mgr := levelarray.MustNewLeased(arr, levelarray.LeaseConfig{TickInterval: 5 * time.Millisecond})
+	mgr.Start()
+	defer mgr.Close()
+
+	l, err := mgr.Acquire(30 * time.Millisecond)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if _, err := mgr.Renew(l.Name, l.Token+1, time.Second); err != levelarray.ErrStaleToken {
+		t.Fatalf("Renew with a forged token = %v, want ErrStaleToken", err)
+	}
+	if err := mgr.Release(l.Name, l.Token); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+
+	// An abandoned lease is reclaimed by the background expirer.
+	if _, err := mgr.Acquire(20 * time.Millisecond); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for mgr.Active() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned lease not reclaimed; stats %+v", mgr.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

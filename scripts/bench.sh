@@ -7,6 +7,9 @@
 #   BENCH='Substrates' scripts/bench.sh   # just the substrate comparisons
 #   BENCH='Sharded' scripts/bench.sh      # just the shard-scaling benchmarks
 #   BENCH='ProbeModes' scripts/bench.sh   # just the probe-mode comparisons
+#   BENCH='Lease|Laload' scripts/bench.sh # lease manager + name-service benchmarks,
+#                                    # incl. the laload loopback smoke (one full
+#                                    # verified closed-loop run per iteration)
 #   COUNT=5 scripts/bench.sh         # repetitions for stable statistics
 #
 # latest.txt is the raw `go test -bench` output; latest.json maps benchmark
