@@ -24,6 +24,7 @@ import (
 
 	"github.com/levelarray/levelarray/internal/activity"
 	"github.com/levelarray/levelarray/internal/adversary"
+	"github.com/levelarray/levelarray/internal/cluster"
 	"github.com/levelarray/levelarray/internal/core"
 	"github.com/levelarray/levelarray/internal/experiments"
 	"github.com/levelarray/levelarray/internal/lease"
@@ -826,7 +827,7 @@ func BenchmarkLeaseServiceLoopback(b *testing.B) {
 				go func(iters int) {
 					defer wg.Done()
 					for i := 0; i < iters; i++ {
-						l, status, err := client.Acquire(60_000)
+						l, status, _, err := client.Acquire(60_000)
 						if err != nil || status != 200 {
 							b.Errorf("acquire: status %d err %v", status, err)
 							return
@@ -875,5 +876,60 @@ func BenchmarkLaloadLoopbackSmoke(b *testing.B) {
 		if v := report.Violations(); v != nil {
 			b.Fatalf("lease contract violated: %v", v)
 		}
+	}
+}
+
+// BenchmarkClusterRouteLoopback measures one acquire+release session routed
+// through a 3-node in-process cluster (table lookup, epoch header, owner
+// dispatch, two JSON POSTs through node -> lease -> core), with g concurrent
+// routed clients' goroutines sharing one cluster.Client.
+func BenchmarkClusterRouteLoopback(b *testing.B) {
+	for _, goroutines := range []int{1, 8} {
+		goroutines := goroutines
+		b.Run(fmt.Sprintf("g=%d", goroutines), func(b *testing.B) {
+			local, err := cluster.StartLocal(cluster.LocalConfig{
+				Nodes:      3,
+				Partitions: 8,
+				Capacity:   4096,
+				Seed:       71,
+				Node: cluster.NodeConfig{
+					Lease:      lease.Config{TickInterval: 100 * time.Millisecond},
+					DefaultTTL: time.Minute,
+					MaxTTL:     time.Minute,
+				},
+			})
+			if err != nil {
+				b.Fatalf("StartLocal: %v", err)
+			}
+			defer local.Close()
+			client, err := cluster.NewClient(cluster.ClientConfig{Targets: local.Targets()})
+			if err != nil {
+				b.Fatalf("NewClient: %v", err)
+			}
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for w := 0; w < goroutines; w++ {
+				iters := b.N / goroutines
+				if w < b.N%goroutines {
+					iters++
+				}
+				wg.Add(1)
+				go func(iters int) {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						g, status, _, err := client.Acquire(60_000)
+						if err != nil || status != 200 {
+							b.Errorf("acquire: status %d err %v", status, err)
+							return
+						}
+						if status, err := client.Release(g.Name, g.Token); err != nil || status != 200 {
+							b.Errorf("release: status %d err %v", status, err)
+							return
+						}
+					}
+				}(iters)
+			}
+			wg.Wait()
+		})
 	}
 }

@@ -1,0 +1,212 @@
+// Command lactl inspects a running laserve cluster (or a standalone
+// laserve): membership, per-partition load, and active sessions.
+//
+//	lactl -addr http://127.0.0.1:7001 members   # epoch, members, partition map
+//	lactl -addr http://127.0.0.1:7001 stats     # per-partition load across the cluster
+//	lactl -addr http://127.0.0.1:7001 leases    # active sessions (paged via /leases)
+//
+// members and stats need a cluster member; leases also works against a
+// standalone laserve (which serves the same /leases endpoint).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/levelarray/levelarray/internal/cluster"
+	"github.com/levelarray/levelarray/internal/server"
+	"github.com/levelarray/levelarray/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lactl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() string {
+	return "usage: lactl [-addr URL] [-limit N] members|stats|leases"
+}
+
+func run() error {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "any cluster member (or standalone laserve) base URL")
+	limit := flag.Int("limit", 50, "maximum sessions to list (leases)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("%s", usage())
+	}
+	base := strings.TrimRight(*addr, "/")
+	hc := &http.Client{Timeout: 5 * time.Second}
+
+	switch flag.Arg(0) {
+	case "members":
+		return runMembers(hc, base)
+	case "stats":
+		return runStats(hc, base)
+	case "leases":
+		return runLeases(hc, base, *limit)
+	default:
+		return fmt.Errorf("unknown command %q\n%s", flag.Arg(0), usage())
+	}
+}
+
+// getJSON fetches url and decodes the 2xx body into out.
+func getJSON(hc *http.Client, url string, out any) error {
+	resp, err := hc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("GET %s returned %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// fetchTable pulls the membership table; a 404 means the target is a
+// standalone laserve, not a cluster member.
+func fetchTable(hc *http.Client, base string) (cluster.Table, error) {
+	var t cluster.Table
+	resp, err := hc.Get(base + "/cluster")
+	if err != nil {
+		return t, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusNotFound {
+		return t, fmt.Errorf("%s serves no /cluster endpoint (standalone laserve?)", base)
+	}
+	if resp.StatusCode/100 != 2 {
+		return t, fmt.Errorf("GET %s/cluster returned %d", base, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&t); err != nil {
+		return t, err
+	}
+	return t, t.Validate()
+}
+
+func runMembers(hc *http.Client, base string) error {
+	t, err := fetchTable(hc, base)
+	if err != nil {
+		return err
+	}
+	tbl := stats.NewTable(
+		fmt.Sprintf("cluster epoch %d: %d partitions x stride %d (namespace %d, capacity %d)",
+			t.Epoch, t.Partitions, t.Stride, t.Size(), t.Capacity),
+		"member", "addr", "state", "partitions")
+	for _, m := range t.Members {
+		state := "up"
+		if m.Down {
+			state = "down"
+		}
+		tbl.AddRow(fmt.Sprintf("%d", m.ID), m.Addr, state, fmt.Sprintf("%v", t.PartitionsOf(m.ID)))
+	}
+	fmt.Println(tbl.String())
+	return nil
+}
+
+func runStats(hc *http.Client, base string) error {
+	t, err := fetchTable(hc, base)
+	if err != nil {
+		return err
+	}
+	tbl := stats.NewTable(
+		fmt.Sprintf("cluster epoch %d: per-partition load", t.Epoch),
+		"partition", "member", "active", "capacity", "load", "acquires", "expirations", "quarantine")
+	var unreachable []string
+	for _, m := range t.Alive() {
+		var ns cluster.NodeStatsResponse
+		if err := getJSON(hc, m.Addr+"/stats", &ns); err != nil {
+			unreachable = append(unreachable, m.Addr)
+			continue
+		}
+		for _, p := range ns.Partitions {
+			quarantine := "-"
+			if p.QuarantinedMillis > 0 {
+				quarantine = (time.Duration(p.QuarantinedMillis) * time.Millisecond).String()
+			}
+			tbl.AddRow(
+				fmt.Sprintf("%d", p.Partition),
+				fmt.Sprintf("%d", ns.NodeID),
+				fmt.Sprintf("%d", p.Lease.Active),
+				fmt.Sprintf("%d", p.Capacity),
+				fmt.Sprintf("%.0f%%", p.LoadFactor*100),
+				fmt.Sprintf("%d", p.Lease.Acquires),
+				fmt.Sprintf("%d", p.Lease.Expirations),
+				quarantine,
+			)
+		}
+	}
+	fmt.Println(tbl.String())
+	for _, addr := range unreachable {
+		fmt.Printf("lactl: member %s unreachable\n", addr)
+	}
+	return nil
+}
+
+func runLeases(hc *http.Client, base string, limit int) error {
+	// Cluster members are walked via the table; a standalone laserve is
+	// paged directly.
+	t, terr := fetchTable(hc, base)
+	type row struct {
+		name     int
+		token    uint64
+		deadline int64
+		member   string
+	}
+	var rows []row
+	page := func(addr, member string) error {
+		start := 0
+		for start != -1 && len(rows) < limit {
+			var resp server.LeasesResponse
+			url := fmt.Sprintf("%s/leases?start=%d&limit=%d", addr, start, min(limit-len(rows), server.MaxLeasesPageLimit))
+			if err := getJSON(hc, url, &resp); err != nil {
+				return err
+			}
+			for _, s := range resp.Sessions {
+				rows = append(rows, row{name: s.Name, token: s.Token, deadline: s.DeadlineUnixMillis, member: member})
+			}
+			start = resp.Next
+		}
+		return nil
+	}
+	if terr != nil {
+		if err := page(base, "-"); err != nil {
+			return fmt.Errorf("%v (and not a cluster member: %v)", err, terr)
+		}
+	} else {
+		for _, m := range t.Alive() {
+			if len(rows) >= limit {
+				break
+			}
+			if err := page(m.Addr, fmt.Sprintf("%d", m.ID)); err != nil {
+				fmt.Printf("lactl: member %s unreachable: %v\n", m.Addr, err)
+			}
+		}
+	}
+
+	tbl := stats.NewTable(
+		fmt.Sprintf("active sessions (first %d)", limit),
+		"name", "member", "token", "deadline")
+	for _, r := range rows {
+		deadline := "infinite"
+		if r.deadline != 0 {
+			deadline = time.UnixMilli(r.deadline).Format(time.RFC3339Nano)
+		}
+		tbl.AddRow(fmt.Sprintf("%d", r.name), r.member, fmt.Sprintf("%d", r.token), deadline)
+	}
+	fmt.Println(tbl.String())
+	return nil
+}

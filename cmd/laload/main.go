@@ -7,10 +7,24 @@
 // violation: duplicate names among concurrently held leases, names reissued
 // before an abandoned lease's TTL elapsed, lost releases, stale tokens
 // accepted after the reclaim deadline, or abandoned leases that never
-// expired.
+// expired. Saturation (503) responses are paced by the server's Retry-After
+// hint, so saturated runs measure service time, not spin.
 //
 //	go run ./cmd/laload -addr http://127.0.0.1:8080 -clients 32 -ops 50000 -crash 10
 //	go run ./cmd/laload -ops 5000 -hold 1ms -renew 25 -json report.json
+//
+// Cluster mode drives a partitioned laserve cluster through the routed
+// client instead, verifying the same contract *across* nodes — zero
+// duplicate names cluster-wide, failed-over names fenced and reissued:
+//
+//	go run ./cmd/laload -targets http://127.0.0.1:7001,http://127.0.0.1:7002 -ops 100000
+//
+// Chaos mode boots the cluster in-process (no external laserve needed) and
+// kills a live node mid-run every -kill-every, verifying fenced failover and
+// quarantine-bounded reissue on top:
+//
+//	go run ./cmd/laload -spawn 3 -partitions 8 -capacity 4096 \
+//	    -ops 100000 -crash 10 -kill-every 4s
 package main
 
 import (
@@ -20,6 +34,8 @@ import (
 	"os"
 	"time"
 
+	"github.com/levelarray/levelarray/internal/cluster"
+	"github.com/levelarray/levelarray/internal/lease"
 	"github.com/levelarray/levelarray/internal/registry"
 	"github.com/levelarray/levelarray/internal/server"
 	"github.com/levelarray/levelarray/internal/stats"
@@ -33,7 +49,14 @@ func main() {
 }
 
 func run() error {
-	addr := flag.String("addr", "http://127.0.0.1:8080", "service base URL")
+	addr := flag.String("addr", "http://127.0.0.1:8080", "service base URL (standalone mode)")
+	targets := flag.String("targets", "", "cluster member URLs ("+registry.ValidPeersFormat+"); selects cluster mode")
+	spawn := flag.Int("spawn", 0, "boot this many in-process cluster nodes and load them (chaos mode)")
+	partitions := flag.Int("partitions", 0, "partitions for -spawn: "+registry.ValidPartitionCounts)
+	capacity := flag.Int("capacity", 4096, "total capacity for -spawn")
+	killEvery := flag.Duration("kill-every", 0, "kill one live node every interval (requires -spawn; 0 = never)")
+	minAlive := flag.Int("min-alive", 2, "the node killer stops at this many survivors")
+	tick := flag.Duration("tick", 100*time.Millisecond, "lease expirer tick for -spawn nodes")
 	clients := flag.Int("clients", 16, "concurrent closed-loop clients")
 	ops := flag.Int64("ops", 10000, "total acquire operations (renews/releases come on top)")
 	ttl := flag.Duration("ttl", 2*time.Second, "lease TTL requested per acquire")
@@ -55,6 +78,28 @@ func run() error {
 	}
 	if *ops < 1 {
 		return fmt.Errorf("invalid -ops %d (valid: at least 1)", *ops)
+	}
+	if *killEvery > 0 && *spawn == 0 {
+		return fmt.Errorf("-kill-every needs -spawn (laload can only kill nodes it booted)")
+	}
+	if *spawn != 0 || *targets != "" {
+		return runCluster(clusterOptions{
+			targets:    *targets,
+			spawn:      *spawn,
+			partitions: *partitions,
+			capacity:   *capacity,
+			killEvery:  *killEvery,
+			minAlive:   *minAlive,
+			tick:       *tick,
+			clients:    *clients,
+			ops:        *ops,
+			ttl:        *ttl,
+			holdMean:   *holdMean,
+			crash:      *crash,
+			renew:      *renew,
+			seed:       *seed,
+			jsonPath:   *jsonPath,
+		})
 	}
 
 	report, err := server.RunLoad(server.LoadConfig{
@@ -92,17 +137,9 @@ func run() error {
 	tbl.AddRow("server renew races", fmt.Sprintf("%d", report.FinalStats.Lease.RenewRaces))
 	fmt.Println(tbl.String())
 
-	if *jsonPath != "" {
-		data, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", *jsonPath)
+	if err := writeJSONReport(*jsonPath, report); err != nil {
+		return err
 	}
-
 	if violations := report.Violations(); violations != nil {
 		for _, v := range violations {
 			fmt.Fprintln(os.Stderr, "laload: VIOLATION:", v)
@@ -110,5 +147,143 @@ func run() error {
 		return fmt.Errorf("%d lease-contract violations", len(violations))
 	}
 	fmt.Println("laload: lease contract verified: no duplicates, no early reissues, no lost releases, all abandoned leases reclaimed")
+	return nil
+}
+
+// clusterOptions carries the resolved cluster/chaos-mode configuration.
+type clusterOptions struct {
+	targets    string
+	spawn      int
+	partitions int
+	capacity   int
+	killEvery  time.Duration
+	minAlive   int
+	tick       time.Duration
+	clients    int
+	ops        int64
+	ttl        time.Duration
+	holdMean   time.Duration
+	crash      int
+	renew      int
+	seed       uint64
+	jsonPath   string
+}
+
+// runCluster drives the chaos verifier against an external cluster
+// (-targets) or an in-process one (-spawn).
+func runCluster(opts clusterOptions) error {
+	cfg := cluster.ChaosConfig{
+		Clients:      opts.clients,
+		Acquires:     opts.ops,
+		TTL:          opts.ttl,
+		HoldMean:     opts.holdMean,
+		CrashPercent: opts.crash,
+		RenewPercent: opts.renew,
+		Seed:         opts.seed,
+		KillEvery:    opts.killEvery,
+		MinAlive:     opts.minAlive,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	}
+	where := opts.targets
+	if opts.spawn != 0 {
+		if opts.spawn < 2 {
+			return fmt.Errorf("invalid -spawn %d (valid: at least 2 nodes)", opts.spawn)
+		}
+		partitions, err := registry.ValidatePartitionCount(opts.partitions)
+		if err != nil {
+			return err
+		}
+		if opts.capacity < partitions {
+			return fmt.Errorf("invalid -capacity %d (valid: at least -partitions = %d)", opts.capacity, partitions)
+		}
+		local, err := cluster.StartLocal(cluster.LocalConfig{
+			Nodes:      opts.spawn,
+			Partitions: partitions,
+			Capacity:   opts.capacity,
+			Seed:       opts.seed,
+			Node: cluster.NodeConfig{
+				Lease:      lease.Config{TickInterval: opts.tick},
+				DefaultTTL: opts.ttl,
+				// MaxTTL bounds the failover quarantine; matching the load's
+				// TTL keeps the reissue window exactly TTL + 2 ticks.
+				MaxTTL: opts.ttl,
+				Logf: func(format string, args ...any) {
+					fmt.Printf(format+"\n", args...)
+				},
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer local.Close()
+		cfg.Local = local
+		where = fmt.Sprintf("%d in-process nodes x %d partitions", opts.spawn, partitions)
+	} else {
+		urls, err := registry.ParsePeersFlag(opts.targets)
+		if err != nil {
+			return err
+		}
+		cfg.Targets = urls
+	}
+
+	report, err := cluster.RunChaos(cfg)
+	if err != nil {
+		return err
+	}
+
+	tbl := stats.NewTable(
+		fmt.Sprintf("laload cluster: %d clients, ttl %v, crash %d%%, kill-every %v against %s",
+			opts.clients, opts.ttl, opts.crash, opts.killEvery, where),
+		"metric", "value")
+	tbl.AddRow("operations (verified)", fmt.Sprintf("%d", report.Ops()))
+	tbl.AddRow("  acquires", fmt.Sprintf("%d", report.Acquires))
+	tbl.AddRow("  renews", fmt.Sprintf("%d", report.Renews))
+	tbl.AddRow("  releases", fmt.Sprintf("%d", report.Releases))
+	tbl.AddRow("  crashes (abandoned)", fmt.Sprintf("%d", report.Crashes))
+	tbl.AddRow("  stale probes rejected", fmt.Sprintf("%d", report.StaleRejected))
+	tbl.AddRow("  fill sweep grants", fmt.Sprintf("%d", report.FillAcquired))
+	tbl.AddRow("duration (main phase)", report.Elapsed.Round(time.Millisecond).String())
+	tbl.AddRow("throughput (ops/s)", fmt.Sprintf("%.0f", report.Throughput()))
+	tbl.AddRow("acquire latency p50", report.AcquireP50.String())
+	tbl.AddRow("acquire latency p90", report.AcquireP90.String())
+	tbl.AddRow("acquire latency p99", report.AcquireP99.String())
+	tbl.AddRow("acquire latency max", report.AcquireMax.String())
+	tbl.AddRow("full/warming retries", fmt.Sprintf("%d", report.FullRetries))
+	tbl.AddRow("nodes killed", fmt.Sprintf("%d %v", report.Kills, report.KilledNodes))
+	tbl.AddRow("epoch bumps observed", fmt.Sprintf("%d (final epoch %d)", report.EpochBumps, report.FinalEpoch))
+	tbl.AddRow("orphaned by kills", fmt.Sprintf("%d (reissued %d)", report.OrphanEvents, report.OrphansReissued))
+	tbl.AddRow("killed-session ops fenced", fmt.Sprintf("%d", report.KilledSessions))
+	tbl.AddRow("routing refresh/412/421/dead", fmt.Sprintf("%d/%d/%d/%d",
+		report.Routing.Refreshes, report.Routing.StaleEpochs, report.Routing.Misroutes, report.Routing.DeadHops))
+	fmt.Println(tbl.String())
+
+	if err := writeJSONReport(opts.jsonPath, report); err != nil {
+		return err
+	}
+	if violations := report.Violations(); violations != nil {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "laload: VIOLATION:", v)
+		}
+		return fmt.Errorf("%d cluster lease-contract violations", len(violations))
+	}
+	fmt.Println("laload: cluster lease contract verified: no duplicates across nodes, no early reissues, no lost releases, all orphans fenced and reissued")
+	return nil
+}
+
+// writeJSONReport writes the report to path when set.
+func writeJSONReport(path string, report any) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
 	return nil
 }

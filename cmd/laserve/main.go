@@ -8,8 +8,18 @@
 //	curl -s -X POST localhost:8080/acquire -d '{"ttl_ms": 5000}'
 //	curl -s localhost:8080/stats | jq .lease
 //
+// Member mode joins a cluster instead: -peers lists every member's
+// advertised URL (the same list on every node), -node-id is this member's
+// index into it, and -partitions cuts the global namespace into P slices
+// dealt across the members. Each node serves the same API plus GET/POST
+// /cluster (the epoch-versioned membership table), health-probes its peers,
+// and fails partitions over when a member dies:
+//
+//	go run ./cmd/laserve -addr :7001 -node-id 0 -partitions 8 \
+//	    -peers http://127.0.0.1:7001,http://127.0.0.2:7002,http://127.0.0.1:7003
+//
 // The service shuts down gracefully on SIGINT/SIGTERM: the listener drains
-// in-flight requests, then the lease manager stops.
+// in-flight requests, then the lease managers stop.
 package main
 
 import (
@@ -21,6 +31,8 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/cluster"
 	"github.com/levelarray/levelarray/internal/lease"
 	"github.com/levelarray/levelarray/internal/registry"
 	"github.com/levelarray/levelarray/internal/server"
@@ -37,7 +49,7 @@ func main() {
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	algorithmName := flag.String("algorithm", "Sharded", "algorithm: "+registry.KnownNames())
-	capacity := flag.Int("capacity", 4096, "maximum simultaneously leased names")
+	capacity := flag.Int("capacity", 4096, "maximum simultaneously leased names (whole cluster in member mode)")
 	sizeFactor := flag.Float64("size-factor", 2, "namespace size as a multiple of capacity")
 	shards := flag.Int("shards", 0, "shard count: "+registry.ValidShardCounts)
 	stealName := flag.String("steal", "occupancy", "sharded steal policy: "+shard.StealKindNames)
@@ -46,8 +58,15 @@ func run() error {
 	rngName := flag.String("rng", "xorshift", "random generator: "+registry.ValidRNGNames)
 	tick := flag.Duration("tick", 100*time.Millisecond, "lease expirer tick interval")
 	defaultTTL := flag.Duration("default-ttl", 10*time.Second, "TTL applied when an acquire omits ttl_ms")
-	maxTTL := flag.Duration("max-ttl", 0, "reject TTLs above this (0 = unlimited, infinite leases allowed)")
+	maxTTL := flag.Duration("max-ttl", 0, "reject TTLs above this (0: unlimited standalone, 30s in member mode)")
 	seed := flag.Uint64("seed", 1, "base random seed")
+
+	// Member (cluster) mode.
+	peersFlag := flag.String("peers", "", "cluster member URLs ("+registry.ValidPeersFormat+"); empty = standalone")
+	nodeID := flag.Int("node-id", 0, "this member's index into -peers")
+	partitions := flag.Int("partitions", 0, "cluster partition count: "+registry.ValidPartitionCounts)
+	probeEvery := flag.Duration("probe-interval", 250*time.Millisecond, "peer health-probe cadence (member mode)")
+	downAfter := flag.Int("down-after", 3, "consecutive probe misses before a peer is marked down (member mode)")
 	flag.Parse()
 
 	algo, err := registry.Parse(*algorithmName)
@@ -81,16 +100,41 @@ func run() error {
 		return fmt.Errorf("invalid -tick %v (valid: above 0)", *tick)
 	}
 
-	arr, err := registry.New(algo, registry.Options{
-		Capacity:   *capacity,
-		SizeFactor: *sizeFactor,
-		RNG:        rngKind,
-		Seed:       *seed,
-		Space:      space,
-		Probe:      probe,
-		Shards:     shardCount,
-		Steal:      steal,
-	})
+	newArray := func(capacity int, seed uint64) (activity.Array, error) {
+		return registry.New(algo, registry.Options{
+			Capacity:   capacity,
+			SizeFactor: *sizeFactor,
+			RNG:        rngKind,
+			Seed:       seed,
+			Space:      space,
+			Probe:      probe,
+			Shards:     shardCount,
+			Steal:      steal,
+		})
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *peersFlag != "" {
+		return runMember(ctx, memberOptions{
+			addr:       *addr,
+			peers:      *peersFlag,
+			nodeID:     *nodeID,
+			partitions: *partitions,
+			capacity:   *capacity,
+			tick:       *tick,
+			defaultTTL: *defaultTTL,
+			maxTTL:     *maxTTL,
+			probeEvery: *probeEvery,
+			downAfter:  *downAfter,
+			seed:       *seed,
+			algo:       algo,
+			newArray:   newArray,
+		})
+	}
+
+	arr, err := newArray(*capacity, *seed)
 	if err != nil {
 		return err
 	}
@@ -100,10 +144,69 @@ func run() error {
 	}
 	mgr.Start()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	fmt.Printf("laserve: %s capacity=%d size=%d tick=%v listening on %s\n",
 		algo, mgr.Capacity(), mgr.Size(), *tick, *addr)
 	return server.New(mgr, server.Config{DefaultTTL: *defaultTTL}).Serve(ctx, *addr)
+}
+
+// memberOptions carries the resolved member-mode configuration.
+type memberOptions struct {
+	addr       string
+	peers      string
+	nodeID     int
+	partitions int
+	capacity   int
+	tick       time.Duration
+	defaultTTL time.Duration
+	maxTTL     time.Duration
+	probeEvery time.Duration
+	downAfter  int
+	seed       uint64
+	algo       registry.Algorithm
+	newArray   func(capacity int, seed uint64) (activity.Array, error)
+}
+
+// runMember boots one cluster member.
+func runMember(ctx context.Context, opts memberOptions) error {
+	peers, err := registry.ParsePeersFlag(opts.peers)
+	if err != nil {
+		return err
+	}
+	if err := registry.ValidateNodeID(opts.nodeID, len(peers)); err != nil {
+		return err
+	}
+	partitions, err := registry.ValidatePartitionCount(opts.partitions)
+	if err != nil {
+		return err
+	}
+	if opts.maxTTL <= 0 {
+		// The failover quarantine is bounded by MaxTTL, so member mode needs
+		// a finite ceiling; 30s keeps handover windows short by default.
+		opts.maxTTL = 30 * time.Second
+	}
+	perPartition := (opts.capacity + partitions - 1) / partitions
+
+	node, err := cluster.NewNode(cluster.NodeConfig{
+		NodeID:     opts.nodeID,
+		Peers:      peers,
+		Partitions: partitions,
+		NewPartitionArray: func(partition int) (activity.Array, error) {
+			return opts.newArray(perPartition, opts.seed+uint64(partition)*0x9E3779B97F4A7C15+1)
+		},
+		Lease:         lease.Config{TickInterval: opts.tick},
+		DefaultTTL:    opts.defaultTTL,
+		MaxTTL:        opts.maxTTL,
+		ProbeInterval: opts.probeEvery,
+		DownAfter:     opts.downAfter,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	t := node.Table()
+	fmt.Printf("laserve: member %d/%d, %s x %d partitions (capacity %d each, stride %d, namespace %d), epoch %d, listening on %s\n",
+		opts.nodeID, len(peers), opts.algo, partitions, perPartition, t.Stride, t.Size(), t.Epoch, opts.addr)
+	return node.Serve(ctx, opts.addr)
 }

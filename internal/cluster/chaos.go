@@ -1,0 +1,970 @@
+package cluster
+
+// The chaos load runner: the cluster-wide analogue of server.RunLoad. Closed-
+// loop clients drive acquire/renew/release through the routed Client while a
+// killer tears down live nodes mid-run; a global ledger verifies the cluster
+// lease contract the ISSUE demands — zero duplicate names across nodes, no
+// reissue of a name before its server-stated deadline, zero lost releases,
+// stale tokens fenced — and a post-run phase proves failover healed the
+// namespace: once the reclaim deadline (TTL + 2 wheel ticks after the epoch
+// bump, plus slack) has passed, every adopted partition must grant again and
+// none of the killed node's names may be leaked.
+//
+// Every legitimacy bound in the ledger is the server's own statement — the
+// deadline_unix_ms it returned with the grant — never a client-side guess,
+// so the checks are exact: a name reissued strictly before its previous
+// lease's deadline is a violation, one reissued at or after it is not.
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/levelarray/levelarray/internal/rng"
+)
+
+// ChaosConfig parameterizes one chaos run.
+type ChaosConfig struct {
+	// Targets addresses an external cluster. Ignored when Local is set.
+	Targets []string
+	// Local is an in-process cluster; required for kills.
+	Local *Local
+	// Clients is the number of concurrent closed-loop clients. Zero selects 16.
+	Clients int
+	// Acquires is the total acquires across all clients. Zero selects 10000.
+	Acquires int64
+	// TTL is the lease TTL per acquire. Zero selects 2s. It should equal the
+	// servers' MaxTTL so the quarantine horizon matches the ledger's bound.
+	TTL time.Duration
+	// HoldMean is the mean exponential hold time (capped at 10x).
+	HoldMean time.Duration
+	// CrashPercent abandons that percentage of leases without release.
+	CrashPercent int
+	// RenewPercent renews that percentage of held leases once mid-hold.
+	RenewPercent int
+	// Seed feeds the per-client generators and the killer's victim draws.
+	Seed uint64
+	// KillEvery, when positive, kills one random live node every interval
+	// (first at KillEvery into the run) while more than MinAlive remain.
+	// Requires Local.
+	KillEvery time.Duration
+	// MinAlive is the floor the killer respects. Zero selects 2.
+	MinAlive int
+	// ReclaimSlack pads every reclaim/reissue deadline, absorbing HTTP,
+	// scheduler and failover-observation latency. Zero selects 750ms.
+	ReclaimSlack time.Duration
+	// HTTPClient overrides the routed client's transport.
+	HTTPClient *http.Client
+	// Logf, when set, receives run-progress logs.
+	Logf func(format string, args ...any)
+}
+
+func (c ChaosConfig) withDefaults() (ChaosConfig, error) {
+	if c.Local == nil && len(c.Targets) == 0 {
+		return c, fmt.Errorf("chaos: either Local or Targets must be set")
+	}
+	if c.Local != nil {
+		c.Targets = c.Local.Targets()
+	}
+	if c.KillEvery > 0 && c.Local == nil {
+		return c, fmt.Errorf("chaos: node kills need an in-process cluster (Local)")
+	}
+	if c.Clients <= 0 {
+		c.Clients = 16
+	}
+	if c.Acquires <= 0 {
+		c.Acquires = 10000
+	}
+	if c.TTL <= 0 {
+		c.TTL = 2 * time.Second
+	}
+	if c.CrashPercent < 0 || c.CrashPercent > 100 {
+		return c, fmt.Errorf("chaos: crash percent %d outside 0..100", c.CrashPercent)
+	}
+	if c.RenewPercent < 0 || c.RenewPercent > 100 {
+		return c, fmt.Errorf("chaos: renew percent %d outside 0..100", c.RenewPercent)
+	}
+	if c.MinAlive <= 0 {
+		c.MinAlive = 2
+	}
+	if c.ReclaimSlack <= 0 {
+		c.ReclaimSlack = 750 * time.Millisecond
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c, nil
+}
+
+// ChaosReport is the outcome of one chaos run: the traffic mix, failover
+// accounting, and the verification ledger.
+type ChaosReport struct {
+	Acquires    uint64        `json:"acquires"`
+	Renews      uint64        `json:"renews"`
+	Releases    uint64        `json:"releases"`
+	Crashes     uint64        `json:"crashes"`
+	FullRetries uint64        `json:"full_retries"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+
+	AcquireP50 time.Duration `json:"acquire_p50_ns"`
+	AcquireP90 time.Duration `json:"acquire_p90_ns"`
+	AcquireP99 time.Duration `json:"acquire_p99_ns"`
+	AcquireMax time.Duration `json:"acquire_max_ns"`
+
+	// Failover accounting.
+	Kills           int    `json:"kills"`
+	KilledNodes     []int  `json:"killed_nodes"`
+	EpochBumps      int    `json:"epoch_bumps"`
+	FinalEpoch      uint64 `json:"final_epoch"`
+	OrphanEvents    int    `json:"orphan_events"`
+	OrphansReissued int    `json:"orphans_reissued"`
+	// OrphansFree counts orphans never observed reissued but verified free
+	// (absent from the new owner's /collect) after the reclaim deadline —
+	// equally healed, just not re-granted during the run.
+	OrphansFree int `json:"orphans_free"`
+	// KilledSessions counts operations on leases that died with their node:
+	// expected collateral, verified to be fenced, never a violation.
+	KilledSessions uint64 `json:"killed_sessions"`
+	// HolderLapses counts leases that expired under a paused holder (the
+	// client outslept its own TTL): its later renew/release is fenced, which
+	// is the contract working, not a violation.
+	HolderLapses uint64 `json:"holder_lapses"`
+	// FillAcquired counts the post-failover grantability probe's grants: the
+	// probe keeps acquiring until every adopted partition has granted at
+	// least once after the reclaim deadline.
+	FillAcquired uint64        `json:"fill_acquired"`
+	FillElapsed  time.Duration `json:"fill_elapsed_ns"`
+
+	// StaleRejected counts stale-token probes correctly bounced with 409.
+	StaleRejected uint64 `json:"stale_rejected"`
+	// ProbesDropped counts fencing probes discarded because the verifier
+	// backlog was full: those sessions' drains are still covered by the
+	// final drain check, but their tokens went unprobed. Reported so a
+	// shrunken verification surface is never silent.
+	ProbesDropped uint64 `json:"probes_dropped"`
+
+	// Violations.
+	DuplicateNames  uint64 `json:"duplicate_names"`
+	EarlyReissues   uint64 `json:"early_reissues"`
+	LostReleases    uint64 `json:"lost_releases"`
+	UnexpectedStale uint64 `json:"unexpected_stale"`
+	StaleAccepted   uint64 `json:"stale_accepted"`
+	// OrphansLeaked counts killed-node names still registered (per /collect)
+	// after the reclaim deadline with no live lease the ledger knows of.
+	OrphansLeaked int `json:"orphans_leaked"`
+	// AdoptedUnserved counts failed-over partitions that never granted a
+	// name after the reclaim deadline: the quarantine failed to lift.
+	AdoptedUnserved  int   `json:"adopted_unserved"`
+	FailoverTimeouts int   `json:"failover_timeouts"`
+	Undrained        int64 `json:"undrained"`
+
+	Routing ClientCounters      `json:"routing"`
+	Nodes   []NodeStatsResponse `json:"nodes"`
+}
+
+// Ops returns the total number of verified operations.
+func (r ChaosReport) Ops() uint64 {
+	return r.Acquires + r.Renews + r.Releases + r.StaleRejected
+}
+
+// Throughput returns verified operations per second of the main phase.
+func (r ChaosReport) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Acquires+r.Renews+r.Releases) / r.Elapsed.Seconds()
+}
+
+// Violations lists every broken cluster-contract invariant, nil when clean.
+func (r ChaosReport) Violations() []string {
+	var v []string
+	if r.DuplicateNames > 0 {
+		v = append(v, fmt.Sprintf("%d duplicate names held concurrently across the cluster", r.DuplicateNames))
+	}
+	if r.EarlyReissues > 0 {
+		v = append(v, fmt.Sprintf("%d names reissued before the previous lease's deadline", r.EarlyReissues))
+	}
+	if r.LostReleases > 0 {
+		v = append(v, fmt.Sprintf("%d releases of live leases rejected (lost release)", r.LostReleases))
+	}
+	if r.UnexpectedStale > 0 {
+		v = append(v, fmt.Sprintf("%d live renews rejected as stale", r.UnexpectedStale))
+	}
+	if r.StaleAccepted > 0 {
+		v = append(v, fmt.Sprintf("%d stale-token operations accepted after the reclaim deadline", r.StaleAccepted))
+	}
+	if r.OrphansLeaked > 0 {
+		v = append(v, fmt.Sprintf("%d of the killed nodes' names leaked (still registered after the reclaim deadline)", r.OrphansLeaked))
+	}
+	if r.AdoptedUnserved > 0 {
+		v = append(v, fmt.Sprintf("%d failed-over partitions never granted after the reclaim deadline", r.AdoptedUnserved))
+	}
+	if r.FailoverTimeouts > 0 {
+		v = append(v, fmt.Sprintf("%d node kills produced no epoch bump", r.FailoverTimeouts))
+	}
+	if r.Undrained != 0 {
+		v = append(v, fmt.Sprintf("%d leases still active after every deadline passed", r.Undrained))
+	}
+	return v
+}
+
+// heldInfo is the ledger's record of one lease some client currently holds.
+// deadline is the server's own statement from the grant (or last renew).
+type heldInfo struct {
+	token    uint64
+	node     int
+	deadline time.Time
+}
+
+// orphanInfo tracks one name a killed node held: when it may legitimately
+// reappear and whether it did.
+type orphanInfo struct {
+	name          int
+	token         uint64
+	earliestLegit time.Time // the dead lease's server-stated deadline
+	deadline      time.Time // epoch bump + TTL + 2 ticks + slack
+	reissuedAt    time.Time // zero until observed
+}
+
+// chaosLedger is the shared verification state. One mutex guards it all:
+// operations are HTTP-paced (milliseconds), so contention is negligible.
+type chaosLedger struct {
+	mu        sync.Mutex
+	held      map[int]heldInfo
+	abandoned map[int]time.Time // client-crash abandons: the lease deadline
+	orphaned  map[int]*orphanInfo
+	resolved  []*orphanInfo // orphan records whose reissue was observed
+	killed    map[int]bool  // node ID -> killed
+	// lapsed records (name, token) sessions whose lease expired under its
+	// own holder (the ledger saw the name re-granted at/after the old
+	// deadline); the holder's eventual renew/release 409 is then expected.
+	// Tokens alone would not do: every partition's manager mints from its
+	// own sequence, so a bare token value can be live on several names at
+	// once.
+	lapsed map[lapseKey]bool
+	// adopted records the partitions kills moved to new owners; the
+	// post-run probe must see each grant again.
+	adopted map[int]bool
+
+	duplicates      atomic.Uint64
+	earlyReissues   atomic.Uint64
+	lostReleases    atomic.Uint64
+	unexpectedStale atomic.Uint64
+	staleAccepted   atomic.Uint64
+	staleRejected   atomic.Uint64
+	fullRetries     atomic.Uint64
+	killedSessions  atomic.Uint64
+	holderLapses    atomic.Uint64
+
+	acquires      atomic.Uint64
+	renews        atomic.Uint64
+	releases      atomic.Uint64
+	crashes       atomic.Uint64
+	fills         atomic.Uint64
+	probesDropped atomic.Uint64
+
+	lastAbandon atomic.Int64 // UnixNano of the latest abandoned-lease deadline
+}
+
+// lapseKey identifies one session: token values collide across partitions,
+// names recycle — together they are unique.
+type lapseKey struct {
+	name  int
+	token uint64
+}
+
+func newChaosLedger() *chaosLedger {
+	return &chaosLedger{
+		held:      make(map[int]heldInfo),
+		abandoned: make(map[int]time.Time),
+		orphaned:  make(map[int]*orphanInfo),
+		killed:    make(map[int]bool),
+		lapsed:    make(map[lapseKey]bool),
+		adopted:   make(map[int]bool),
+	}
+}
+
+// onAcquire classifies a fresh grant against everything the ledger knows —
+// duplicate of a live lease, orphan reissue (checked against the dead
+// lease's deadline), reissue of an expired-under-holder lease, abandoned-
+// name reissue — then records the grant as held.
+func (led *chaosLedger) onAcquire(g GrantResponse, now time.Time) {
+	led.mu.Lock()
+	defer led.mu.Unlock()
+	switch {
+	case led.orphaned[g.Name] != nil:
+		rec := led.orphaned[g.Name]
+		rec.reissuedAt = now
+		if now.Before(rec.earliestLegit) {
+			led.earlyReissues.Add(1)
+		}
+		led.lapsed[lapseKey{g.Name, rec.token}] = true
+		led.resolved = append(led.resolved, rec)
+		delete(led.orphaned, g.Name)
+	case led.held[g.Name].token != 0:
+		old := led.held[g.Name]
+		switch {
+		case led.killed[old.node]:
+			// The lease died with its node but the kill sweep had not run
+			// yet: an orphan reissue, bounded by the dead lease's deadline.
+			if now.Before(old.deadline) {
+				led.earlyReissues.Add(1)
+			}
+			led.lapsed[lapseKey{g.Name, old.token}] = true
+			led.resolved = append(led.resolved, &orphanInfo{name: g.Name, token: old.token, earliestLegit: old.deadline, reissuedAt: now})
+		case !now.Before(old.deadline):
+			// The old lease expired under a holder that outslept its TTL;
+			// reissue at/after the deadline is the contract working.
+			led.lapsed[lapseKey{g.Name, old.token}] = true
+			led.holderLapses.Add(1)
+		default:
+			led.duplicates.Add(1)
+		}
+	default:
+		if earliest, ok := led.abandoned[g.Name]; ok {
+			if now.Before(earliest) {
+				led.earlyReissues.Add(1)
+			}
+			delete(led.abandoned, g.Name)
+		}
+	}
+	led.held[g.Name] = heldInfo{token: g.Token, node: g.NodeID, deadline: time.UnixMilli(g.DeadlineUnixMillis)}
+	led.acquires.Add(1)
+}
+
+// onRenewOK installs the renewed deadline.
+func (led *chaosLedger) onRenewOK(name int, token uint64, deadlineMillis int64) {
+	led.mu.Lock()
+	if h, ok := led.held[name]; ok && h.token == token {
+		h.deadline = time.UnixMilli(deadlineMillis)
+		led.held[name] = h
+	}
+	led.mu.Unlock()
+	led.renews.Add(1)
+}
+
+// failureKind classifies a fenced (or transport-failed) renew/release of the
+// lease (name, token).
+type failureKind int
+
+const (
+	failureViolation failureKind = iota // nothing explains it: a real violation
+	failureKilled                       // the lease died with its killed node
+	failureLapsed                       // the lease expired under its holder
+)
+
+// classifyFailure explains a fenced renew/release. It removes the held
+// record for explained failures, since the lease is dead either way.
+func (led *chaosLedger) classifyFailure(name int, token uint64, now time.Time) failureKind {
+	led.mu.Lock()
+	defer led.mu.Unlock()
+	if rec, ok := led.orphaned[name]; ok && rec.token == token {
+		return failureKilled
+	}
+	if led.lapsed[lapseKey{name, token}] {
+		return failureLapsed
+	}
+	for _, rec := range led.resolved {
+		if rec.name == name && rec.token == token {
+			return failureKilled
+		}
+	}
+	if h, ok := led.held[name]; ok && h.token == token {
+		if led.killed[h.node] {
+			delete(led.held, name)
+			return failureKilled
+		}
+		if !now.Before(h.deadline) {
+			delete(led.held, name)
+			led.lapsed[lapseKey{name, token}] = true
+			return failureLapsed
+		}
+	}
+	return failureViolation
+}
+
+// beginRelease removes the held record BEFORE the release request is sent:
+// the server frees the name at some instant inside the HTTP exchange, and a
+// concurrent client can legitimately be granted it before our response comes
+// back — the ledger must not call that a duplicate.
+func (led *chaosLedger) beginRelease(name int, token uint64) (heldInfo, bool) {
+	led.mu.Lock()
+	defer led.mu.Unlock()
+	h, ok := led.held[name]
+	if !ok || h.token != token {
+		return heldInfo{}, false
+	}
+	delete(led.held, name)
+	return h, true
+}
+
+// onCrash abandons the lease: the name may be reissued once its
+// server-stated deadline passes. Returns the deadline, or false when the
+// lease was already orphaned or lapsed.
+func (led *chaosLedger) onCrash(name int, token uint64) (time.Time, bool) {
+	led.mu.Lock()
+	defer led.mu.Unlock()
+	h, ok := led.held[name]
+	if !ok || h.token != token {
+		return time.Time{}, false
+	}
+	delete(led.held, name)
+	led.abandoned[name] = h.deadline
+	for {
+		last := led.lastAbandon.Load()
+		if h.deadline.UnixNano() <= last || led.lastAbandon.CompareAndSwap(last, h.deadline.UnixNano()) {
+			break
+		}
+	}
+	led.crashes.Add(1)
+	return h.deadline, true
+}
+
+// onKill sweeps every lease granted by the killed node into the orphan set,
+// records the partitions that changed hands, and returns the swept records
+// for fencing verification.
+func (led *chaosLedger) onKill(victim int, victimParts []int, bumpAt time.Time, reclaimBound time.Duration) []staleProbe {
+	led.mu.Lock()
+	defer led.mu.Unlock()
+	led.killed[victim] = true
+	for _, p := range victimParts {
+		led.adopted[p] = true
+	}
+	var probes []staleProbe
+	for name, h := range led.held {
+		if h.node != victim {
+			continue
+		}
+		rec := &orphanInfo{
+			name:          name,
+			token:         h.token,
+			earliestLegit: h.deadline,
+			deadline:      bumpAt.Add(reclaimBound),
+		}
+		delete(led.held, name)
+		led.orphaned[name] = rec
+		probes = append(probes, staleProbe{name: name, token: h.token, notBefore: rec.deadline})
+	}
+	return probes
+}
+
+// adoptedSnapshot returns the partitions that failed over so far.
+func (led *chaosLedger) adoptedSnapshot() []int {
+	led.mu.Lock()
+	defer led.mu.Unlock()
+	out := make([]int, 0, len(led.adopted))
+	for p := range led.adopted {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// unresolvedOrphans returns the orphan names never observed reissued.
+func (led *chaosLedger) unresolvedOrphans() []int {
+	led.mu.Lock()
+	defer led.mu.Unlock()
+	out := make([]int, 0, len(led.orphaned))
+	for name := range led.orphaned {
+		out = append(out, name)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// resolveOrphanFree marks an unresolved orphan verified-free (absent from
+// its owner's registered set after the deadline).
+func (led *chaosLedger) resolveOrphanFree(name int) {
+	led.mu.Lock()
+	defer led.mu.Unlock()
+	if rec, ok := led.orphaned[name]; ok {
+		led.resolved = append(led.resolved, rec)
+		delete(led.orphaned, name)
+	}
+}
+
+// orphanTally counts the orphan records: total events, observed reissues,
+// verified-free, and leaked (neither).
+func (led *chaosLedger) orphanTally() (events, reissued, free, leaked int) {
+	led.mu.Lock()
+	defer led.mu.Unlock()
+	events = len(led.orphaned) + len(led.resolved)
+	for _, rec := range led.resolved {
+		if rec.reissuedAt.IsZero() {
+			free++
+		} else {
+			reissued++
+		}
+	}
+	leaked = len(led.orphaned)
+	return
+}
+
+// staleProbe is one dead token queued for fencing verification.
+type staleProbe struct {
+	name      int
+	token     uint64
+	notBefore time.Time
+}
+
+// RunChaos drives one chaos run and verifies the cluster lease contract end
+// to end. See ChaosConfig and ChaosReport.
+func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return ChaosReport{}, err
+	}
+	// The client must outlast a failover: an operation addressed to a node
+	// that just died keeps failing until the survivors detect the failure
+	// (DownAfter * ProbeInterval), bump the epoch and push the new table.
+	// 30 rounds at 150ms give ~4.5s of patience, comfortably beyond the
+	// default 750ms detection horizon even on a loaded CI runner.
+	client, err := NewClient(ClientConfig{
+		Targets:      cfg.Targets,
+		HTTPClient:   cfg.HTTPClient,
+		RouteRounds:  30,
+		RouteBackoff: 150 * time.Millisecond,
+	})
+	if err != nil {
+		return ChaosReport{}, err
+	}
+
+	// The expirer tick comes from a member so reclaim bounds agree with the
+	// servers' actual granularity.
+	tick := 100 * time.Millisecond
+	if s, serr := client.NodeStats(client.Table().Alive()[0].Addr); serr == nil && s.TickMillis > 0 {
+		tick = time.Duration(s.TickMillis) * time.Millisecond
+	}
+	// reclaimBound is the contractual window after an epoch bump within
+	// which a killed node's names must be fenced and reissuable: the TTL any
+	// of its leases could still run, plus two wheel ticks, plus slack.
+	reclaimBound := cfg.TTL + 2*tick + cfg.ReclaimSlack
+
+	led := newChaosLedger()
+	var (
+		remaining atomic.Int64
+		wg        sync.WaitGroup
+		probeWG   sync.WaitGroup
+		probes    = make(chan staleProbe, 8192)
+		latMu     sync.Mutex
+		latencies []time.Duration
+		errOnce   sync.Once
+		runErr    error
+		killDone  = make(chan struct{})
+		killStop  = make(chan struct{})
+		report    ChaosReport
+		reportMu  sync.Mutex // guards report's failover fields written by the killer
+	)
+	remaining.Store(cfg.Acquires)
+	fail := func(err error) {
+		errOnce.Do(func() { runErr = err })
+		remaining.Store(0)
+	}
+
+	// Fencing verifiers: once an orphan or abandon deadline has passed, its
+	// token must be dead cluster-wide — renew and release must both bounce.
+	for i := 0; i < 4; i++ {
+		probeWG.Add(1)
+		go func() {
+			defer probeWG.Done()
+			for p := range probes {
+				if wait := time.Until(p.notBefore); wait > 0 {
+					time.Sleep(wait)
+				}
+				if _, status, err := client.Renew(p.name, p.token, cfg.TTL.Milliseconds()); err == nil {
+					if status/100 == 2 {
+						led.staleAccepted.Add(1)
+					} else {
+						led.staleRejected.Add(1)
+					}
+				}
+				if status, err := client.Release(p.name, p.token); err == nil {
+					if status/100 == 2 {
+						led.staleAccepted.Add(1)
+					} else {
+						led.staleRejected.Add(1)
+					}
+				}
+			}
+		}()
+	}
+
+	// The killer: every KillEvery, one random live node dies abruptly; the
+	// run then observes the epoch bump and sweeps the dead node's leases
+	// into the orphan ledger.
+	if cfg.KillEvery > 0 {
+		go func() {
+			defer close(killDone)
+			gen := rng.New(rng.KindSplitMix, cfg.Seed^0xD1CEB00C)
+			ticker := time.NewTicker(cfg.KillEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-killStop:
+					return
+				case <-ticker.C:
+				}
+				alive := cfg.Local.AliveIDs()
+				if len(alive) <= cfg.MinAlive {
+					return
+				}
+				victim := alive[gen.Intn(len(alive))]
+				node := cfg.Local.Node(victim)
+				if node == nil {
+					continue
+				}
+				victimParts := node.Table().PartitionsOf(victim)
+				before := cfg.Local.MaxEpoch()
+				cfg.Logf("chaos: killing node %d (epoch %d, %d alive, partitions %v)", victim, before, len(alive), victimParts)
+				cfg.Local.Kill(victim)
+				bumped := cfg.Local.WaitForEpoch(before+1, 30*time.Second)
+				bumpAt := time.Now()
+				reportMu.Lock()
+				report.Kills++
+				report.KilledNodes = append(report.KilledNodes, victim)
+				if bumped {
+					report.EpochBumps++
+				} else {
+					report.FailoverTimeouts++
+				}
+				reportMu.Unlock()
+				cfg.Logf("chaos: node %d dead; epoch now %d (bump observed: %v)", victim, cfg.Local.MaxEpoch(), bumped)
+				for _, p := range led.onKill(victim, victimParts, bumpAt, reclaimBound) {
+					select {
+					case probes <- p:
+					default:
+						led.probesDropped.Add(1)
+					}
+				}
+			}
+		}()
+	} else {
+		close(killDone)
+	}
+
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			gen := rng.New(rng.KindSplitMix, cfg.Seed+uint64(id)*0x9E3779B97F4A7C15+1)
+			for remaining.Add(-1) >= 0 {
+				if err := chaosRound(client, cfg, led, gen, tick, probes, &latMu, &latencies); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	report.Elapsed = time.Since(start)
+	close(killStop)
+	<-killDone
+	close(probes)
+	probeWG.Wait()
+	if runErr != nil {
+		return ChaosReport{}, fmt.Errorf("chaos: %w", runErr)
+	}
+
+	// Post-run verification: wait out every reclaim deadline, then prove the
+	// failover healed the namespace — every adopted partition grants again,
+	// and none of the killed nodes' names is leaked.
+	sleepUntilDeadlines(led, tick, cfg.ReclaimSlack)
+	if report.Kills > 0 {
+		fillStart := time.Now()
+		unserved, err := adoptionProbe(client, cfg, led)
+		if err != nil {
+			return report, err
+		}
+		report.AdoptedUnserved = unserved
+		report.FillElapsed = time.Since(fillStart)
+		if leaked, err := verifyOrphansFree(client, led); err != nil {
+			cfg.Logf("chaos: orphan collect verification incomplete: %v", err)
+		} else if leaked > 0 {
+			cfg.Logf("chaos: %d orphans still registered after the deadline", leaked)
+		}
+	}
+
+	report.Acquires = led.acquires.Load()
+	report.Renews = led.renews.Load()
+	report.Releases = led.releases.Load()
+	report.Crashes = led.crashes.Load()
+	report.FullRetries = led.fullRetries.Load()
+	report.KilledSessions = led.killedSessions.Load()
+	report.HolderLapses = led.holderLapses.Load()
+	report.FillAcquired = led.fills.Load()
+	report.StaleRejected = led.staleRejected.Load()
+	report.ProbesDropped = led.probesDropped.Load()
+	if report.ProbesDropped > 0 {
+		cfg.Logf("chaos: %d fencing probes dropped (verifier backlog full)", report.ProbesDropped)
+	}
+	report.DuplicateNames = led.duplicates.Load()
+	report.EarlyReissues = led.earlyReissues.Load()
+	report.LostReleases = led.lostReleases.Load()
+	report.UnexpectedStale = led.unexpectedStale.Load()
+	report.StaleAccepted = led.staleAccepted.Load()
+	report.OrphanEvents, report.OrphansReissued, report.OrphansFree, report.OrphansLeaked = led.orphanTally()
+	report.Routing = client.Counters()
+
+	// Drain: once every deadline has passed and the probe released its
+	// grants, no lease may remain active anywhere in the cluster.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		active, reporting := client.ClusterActive()
+		report.Undrained = active
+		if (active == 0 && reporting > 0) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	report.FinalEpoch = client.Table().Epoch
+	for _, m := range client.Table().Alive() {
+		if s, err := client.NodeStats(m.Addr); err == nil {
+			report.Nodes = append(report.Nodes, s)
+		}
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	report.AcquireP50 = chaosPercentile(latencies, 0.50)
+	report.AcquireP90 = chaosPercentile(latencies, 0.90)
+	report.AcquireP99 = chaosPercentile(latencies, 0.99)
+	if n := len(latencies); n > 0 {
+		report.AcquireMax = latencies[n-1]
+	}
+	return report, nil
+}
+
+// chaosRound is one closed-loop iteration over the routed client.
+func chaosRound(client *Client, cfg ChaosConfig, led *chaosLedger, gen rng.Source, tick time.Duration, probes chan<- staleProbe, latMu *sync.Mutex, latencies *[]time.Duration) error {
+	ttlMillis := cfg.TTL.Milliseconds()
+	var g GrantResponse
+	for {
+		t0 := time.Now()
+		grant, status, hint, err := client.Acquire(ttlMillis)
+		lat := time.Since(t0)
+		if err != nil {
+			return err
+		}
+		if status/100 == 2 {
+			g = grant
+			latMu.Lock()
+			*latencies = append(*latencies, lat)
+			latMu.Unlock()
+			break
+		}
+		if status == http.StatusServiceUnavailable {
+			led.fullRetries.Add(1)
+			if hint <= 0 {
+				hint = tick
+			}
+			time.Sleep(hint)
+			continue
+		}
+		return fmt.Errorf("acquire returned status %d", status)
+	}
+	led.onAcquire(g, time.Now())
+
+	chaosHold(cfg, gen)
+	if cfg.RenewPercent > 0 && gen.Intn(100) < cfg.RenewPercent {
+		renewed, status, err := client.Renew(g.Name, g.Token, ttlMillis)
+		switch {
+		case err != nil || status/100 != 2:
+			// A renew may legitimately fail only because the lease died with
+			// its node or expired under us; anything else is a violation.
+			switch led.classifyFailure(g.Name, g.Token, time.Now()) {
+			case failureKilled:
+				led.killedSessions.Add(1)
+				return nil
+			case failureLapsed:
+				led.holderLapses.Add(1)
+				return nil
+			}
+			if err != nil {
+				return fmt.Errorf("renew: %w", err)
+			}
+			led.unexpectedStale.Add(1)
+		default:
+			led.onRenewOK(g.Name, g.Token, renewed.DeadlineUnixMillis)
+		}
+		chaosHold(cfg, gen)
+	}
+
+	if cfg.CrashPercent > 0 && gen.Intn(100) < cfg.CrashPercent {
+		if deadline, ok := led.onCrash(g.Name, g.Token); ok {
+			select {
+			case probes <- staleProbe{name: g.Name, token: g.Token, notBefore: deadline.Add(2*tick + cfg.ReclaimSlack)}:
+			default:
+				led.probesDropped.Add(1)
+			}
+		}
+		return nil
+	}
+
+	h, ok := led.beginRelease(g.Name, g.Token)
+	if !ok {
+		// A kill sweep (or an observed lapse) took the lease from under us.
+		led.killedSessions.Add(1)
+		return nil
+	}
+	status, err := client.Release(g.Name, g.Token)
+	if err != nil || status/100 != 2 {
+		switch led.classifyFailure(g.Name, g.Token, time.Now()) {
+		case failureKilled:
+			led.killedSessions.Add(1)
+			return nil
+		case failureLapsed:
+			led.holderLapses.Add(1)
+			return nil
+		}
+		// classifyFailure no longer sees the held record (beginRelease took
+		// it): judge by the record we removed.
+		if led.killedNode(h.node) {
+			led.killedSessions.Add(1)
+			return nil
+		}
+		if !time.Now().Before(h.deadline) {
+			led.holderLapses.Add(1)
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("release: %w", err)
+		}
+		led.lostReleases.Add(1)
+		return nil
+	}
+	led.releases.Add(1)
+	return nil
+}
+
+// killedNode reports whether the node is known killed.
+func (led *chaosLedger) killedNode(id int) bool {
+	led.mu.Lock()
+	defer led.mu.Unlock()
+	return led.killed[id]
+}
+
+// sleepUntilDeadlines waits until every orphan and abandon deadline has
+// passed, so the healing probes and drain check measure obligations, not
+// races.
+func sleepUntilDeadlines(led *chaosLedger, tick, slack time.Duration) {
+	var until time.Time
+	led.mu.Lock()
+	for _, rec := range led.orphaned {
+		if rec.deadline.After(until) {
+			until = rec.deadline
+		}
+	}
+	led.mu.Unlock()
+	if last := led.lastAbandon.Load(); last != 0 {
+		if t := time.Unix(0, last).Add(2*tick + slack); t.After(until) {
+			until = t
+		}
+	}
+	if wait := time.Until(until); wait > 0 {
+		time.Sleep(wait)
+	}
+}
+
+// adoptionProbe proves the failover healed: starting at the reclaim
+// deadline, it keeps acquiring (and promptly releasing) until every adopted
+// partition has granted at least once, and returns how many never did.
+// Scale-free: it needs on the order of partitions-many grants, not a full
+// namespace sweep.
+func adoptionProbe(client *Client, cfg ChaosConfig, led *chaosLedger) (unserved int, err error) {
+	waiting := make(map[int]bool)
+	for _, p := range led.adoptedSnapshot() {
+		waiting[p] = true
+	}
+	if len(waiting) == 0 {
+		return 0, nil
+	}
+	budget := time.Now().Add(15 * time.Second)
+	for len(waiting) > 0 && time.Now().Before(budget) {
+		g, status, hint, aerr := client.Acquire(cfg.TTL.Milliseconds())
+		if aerr != nil {
+			return len(waiting), fmt.Errorf("chaos: adoption probe: %w", aerr)
+		}
+		switch {
+		case status/100 == 2:
+			led.onAcquire(g, time.Now())
+			led.fills.Add(1)
+			delete(waiting, g.Partition)
+			if h, ok := led.beginRelease(g.Name, g.Token); ok {
+				if status, rerr := client.Release(g.Name, g.Token); rerr == nil && status/100 == 2 {
+					led.releases.Add(1)
+				} else if time.Now().Before(h.deadline) {
+					led.lostReleases.Add(1)
+				}
+			}
+		case status == http.StatusServiceUnavailable:
+			// Full or still warming: both push the probe past its budget if
+			// they persist, which is exactly the failure being tested for.
+			if hint <= 0 {
+				hint = 20 * time.Millisecond
+			}
+			time.Sleep(hint)
+		default:
+			return len(waiting), fmt.Errorf("chaos: adoption probe acquire returned %d", status)
+		}
+	}
+	return len(waiting), nil
+}
+
+// verifyOrphansFree checks every orphan never observed reissued against its
+// current owner's /collect: absent means the slot healed (grantable again),
+// present means the name is leaked. Returns how many remain leaked.
+func verifyOrphansFree(client *Client, led *chaosLedger) (int, error) {
+	unresolved := led.unresolvedOrphans()
+	if len(unresolved) == 0 {
+		return 0, nil
+	}
+	t := client.Table()
+	registered := make(map[int]map[int]bool) // member ID -> registered set
+	for _, name := range unresolved {
+		owner, ok := t.Owner(t.PartitionOf(name))
+		if !ok {
+			continue
+		}
+		set, ok := registered[owner.ID]
+		if !ok {
+			names, err := client.CollectNode(owner.Addr)
+			if err != nil {
+				return len(led.unresolvedOrphans()), err
+			}
+			set = make(map[int]bool, len(names))
+			for _, n := range names {
+				set[n] = true
+			}
+			registered[owner.ID] = set
+		}
+		if !set[name] {
+			led.resolveOrphanFree(name)
+		}
+	}
+	return len(led.unresolvedOrphans()), nil
+}
+
+// chaosHold sleeps for an exponential draw with mean HoldMean, capped at 10x.
+func chaosHold(cfg ChaosConfig, gen rng.Source) {
+	if cfg.HoldMean <= 0 {
+		return
+	}
+	u := float64(gen.Uint64()>>11) / float64(1<<53)
+	d := time.Duration(-float64(cfg.HoldMean) * math.Log(1-u))
+	if d > 10*cfg.HoldMean {
+		d = 10 * cfg.HoldMean
+	}
+	time.Sleep(d)
+}
+
+// chaosPercentile returns the q-quantile of sorted latencies (nearest-rank).
+func chaosPercentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}

@@ -1,0 +1,303 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/levelarray/levelarray/internal/server"
+)
+
+// ClientConfig parameterizes a routed cluster client.
+type ClientConfig struct {
+	// Targets seeds the membership discovery: any subset of the cluster's
+	// advertised addresses. The first reachable one supplies the table.
+	Targets []string
+	// HTTPClient overrides the transport. Nil selects one tuned for many
+	// concurrent loopback connections.
+	HTTPClient *http.Client
+	// RouteRounds bounds the refresh-and-retry rounds a routed operation
+	// performs when it hits dead members, stale epochs (412) or moved
+	// partitions (421). Zero selects 8.
+	RouteRounds int
+	// RouteBackoff is the pause between unsuccessful rounds, covering the
+	// window in which a failure has happened but the steward has not pushed
+	// the bumped epoch yet. Zero selects 100ms.
+	RouteBackoff time.Duration
+}
+
+func (c ClientConfig) withDefaults() (ClientConfig, error) {
+	if len(c.Targets) == 0 {
+		return c, fmt.Errorf("cluster: client needs at least one target")
+	}
+	if c.HTTPClient == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConns = 0
+		tr.MaxIdleConnsPerHost = 1024
+		c.HTTPClient = &http.Client{Transport: tr, Timeout: 30 * time.Second}
+	}
+	if c.RouteRounds <= 0 {
+		c.RouteRounds = 8
+	}
+	if c.RouteBackoff <= 0 {
+		c.RouteBackoff = 100 * time.Millisecond
+	}
+	return c, nil
+}
+
+// Client routes lease operations across the cluster: acquires round-robin
+// over live members, renews and releases to the partition's owner, all
+// fenced by the client's table epoch. On ownership or epoch errors it
+// refreshes the table from any reachable member and retries, so routing
+// self-heals across failovers. Safe for concurrent use.
+type Client struct {
+	cfg ClientConfig
+	hc  *http.Client
+
+	mu    sync.RWMutex
+	table Table
+
+	rr atomic.Uint64
+
+	// Routing-health counters, exposed through Counters.
+	refreshes   atomic.Uint64
+	staleEpochs atomic.Uint64
+	misroutes   atomic.Uint64
+	deadHops    atomic.Uint64
+}
+
+// ClientCounters is a snapshot of the client's routing-health counters.
+type ClientCounters struct {
+	// Refreshes counts table re-fetches (startup excluded).
+	Refreshes uint64 `json:"refreshes"`
+	// StaleEpochs counts 412s received, i.e. writes fenced for carrying an
+	// out-of-date epoch.
+	StaleEpochs uint64 `json:"stale_epochs"`
+	// Misroutes counts 421s received, i.e. requests sent to a member that no
+	// longer owned the partition.
+	Misroutes uint64 `json:"misroutes"`
+	// DeadHops counts transport failures against individual members.
+	DeadHops uint64 `json:"dead_hops"`
+}
+
+// NewClient builds a routed client and fetches the initial table from the
+// first reachable target.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{cfg: cfg, hc: cfg.HTTPClient}
+	if !c.fetchTable() {
+		return nil, fmt.Errorf("cluster: no target reachable for the initial table: %v", cfg.Targets)
+	}
+	return c, nil
+}
+
+// Table returns the client's current view of the membership table.
+func (c *Client) Table() Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.table
+}
+
+// Counters returns a snapshot of the routing-health counters.
+func (c *Client) Counters() ClientCounters {
+	return ClientCounters{
+		Refreshes:   c.refreshes.Load(),
+		StaleEpochs: c.staleEpochs.Load(),
+		Misroutes:   c.misroutes.Load(),
+		DeadHops:    c.deadHops.Load(),
+	}
+}
+
+// adoptTable installs t if it is newer than the current view.
+func (c *Client) adoptTable(t Table) bool {
+	if t.Validate() != nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.Epoch <= c.table.Epoch {
+		return false
+	}
+	c.table = t
+	return true
+}
+
+// fetchTable pulls /cluster from the known members (live first), then the
+// seed targets, adopting the first table newer than the current view; it
+// also succeeds when a fetched table matches the current epoch (nothing
+// newer exists). Used at startup and by Refresh.
+func (c *Client) fetchTable() bool {
+	cur := c.Table()
+	var addrs []string
+	for _, m := range cur.Alive() {
+		addrs = append(addrs, m.Addr)
+	}
+	addrs = append(addrs, c.cfg.Targets...)
+	for _, addr := range addrs {
+		var t Table
+		status, err := getJSON(c.hc, addr+"/cluster", &t)
+		if err != nil || status/100 != 2 {
+			continue
+		}
+		if c.adoptTable(t) || t.Epoch == c.Table().Epoch {
+			return true
+		}
+	}
+	return false
+}
+
+// Refresh re-fetches the membership table; routed operations call it
+// automatically, so it is only needed to force a resync.
+func (c *Client) Refresh() bool {
+	c.refreshes.Add(1)
+	return c.fetchTable()
+}
+
+// Acquire requests a lease from any live member, round-robin, skipping dead
+// members and refreshing the table across failovers. It returns the grant
+// and HTTP status; on a cluster-wide 503 the duration carries the smallest
+// Retry-After pacing the members advertised.
+func (c *Client) Acquire(ttlMillis int64) (GrantResponse, int, time.Duration, error) {
+	for round := 0; ; round++ {
+		t := c.Table()
+		alive := t.Alive()
+		start := c.rr.Add(1)
+		sawFull := false
+		hint := time.Duration(0)
+		refresh := false
+		for i := 0; i < len(alive); i++ {
+			m := alive[(start+uint64(i))%uint64(len(alive))]
+			var grant GrantResponse
+			var fence EpochResponse
+			status, header, err := postJSON(c.hc, m.Addr+"/acquire", t.Epoch, server.AcquireRequest{TTLMillis: ttlMillis}, &grant, &fence)
+			switch {
+			case err != nil:
+				c.deadHops.Add(1)
+				refresh = true
+			case status/100 == 2:
+				return grant, status, 0, nil
+			case status == http.StatusServiceUnavailable:
+				sawFull = true
+				if h := server.RetryAfterHint(header, 0); h > 0 && (hint == 0 || h < hint) {
+					hint = h
+				}
+			case status == http.StatusPreconditionFailed:
+				c.staleEpochs.Add(1)
+				refresh = true
+			default:
+				return GrantResponse{}, status, 0, nil
+			}
+		}
+		if sawFull {
+			// At least one member answered authoritatively: the cluster is
+			// saturated (or warming); pacing is the caller's business.
+			return GrantResponse{}, http.StatusServiceUnavailable, hint, nil
+		}
+		if round+1 >= c.cfg.RouteRounds {
+			return GrantResponse{}, 0, 0, fmt.Errorf("cluster: no member served acquire after %d rounds", round+1)
+		}
+		if refresh || len(alive) == 0 {
+			c.Refresh()
+		}
+		time.Sleep(c.cfg.RouteBackoff)
+	}
+}
+
+// routed sends one owner-addressed operation with refresh-and-retry routing.
+func (c *Client) routed(path string, name int, body any, out *GrantResponse) (int, error) {
+	var lastErr error
+	for round := 0; ; round++ {
+		t := c.Table()
+		p := t.PartitionOf(name)
+		if p < 0 {
+			return 0, fmt.Errorf("cluster: name %d outside the namespace [0, %d)", name, t.Size())
+		}
+		owner, ok := t.Owner(p)
+		if ok {
+			var fence EpochResponse
+			// A typed-nil *GrantResponse must become a true nil interface, or
+			// postJSON would try to decode into it and report a transport
+			// error — turning an applied release into a spurious retry.
+			var dst any
+			if out != nil {
+				dst = out
+			}
+			status, _, err := postJSON(c.hc, owner.Addr+path, t.Epoch, body, dst, &fence)
+			switch {
+			case err != nil:
+				c.deadHops.Add(1)
+				lastErr = err
+			case status == http.StatusPreconditionFailed:
+				c.staleEpochs.Add(1)
+				lastErr = fmt.Errorf("cluster: %s fenced by epoch %d (ours %d)", path, fence.Epoch, t.Epoch)
+			case status == http.StatusMisdirectedRequest:
+				c.misroutes.Add(1)
+				lastErr = fmt.Errorf("cluster: member %d no longer owns partition %d", owner.ID, p)
+			default:
+				return status, nil
+			}
+		}
+		if round+1 >= c.cfg.RouteRounds {
+			return 0, fmt.Errorf("cluster: routing %s for name %d failed after %d rounds: %w", path, name, round+1, lastErr)
+		}
+		c.Refresh()
+		time.Sleep(c.cfg.RouteBackoff)
+	}
+}
+
+// Renew extends a lease through the partition's owner.
+func (c *Client) Renew(name int, token uint64, ttlMillis int64) (GrantResponse, int, error) {
+	var grant GrantResponse
+	status, err := c.routed("/renew", name, server.RenewRequest{Name: name, Token: token, TTLMillis: ttlMillis}, &grant)
+	return grant, status, err
+}
+
+// Release frees a lease through the partition's owner.
+func (c *Client) Release(name int, token uint64) (int, error) {
+	return c.routed("/release", name, server.ReleaseRequest{Name: name, Token: token}, nil)
+}
+
+// CollectNode fetches one member's registered names (GET /collect).
+func (c *Client) CollectNode(addr string) ([]int, error) {
+	var resp server.CollectResponse
+	status, err := getJSON(c.hc, addr+"/collect", &resp)
+	if err != nil {
+		return nil, err
+	}
+	if status/100 != 2 {
+		return nil, fmt.Errorf("cluster: collect from %s returned %d", addr, status)
+	}
+	return resp.Names, nil
+}
+
+// NodeStats fetches one member's /stats.
+func (c *Client) NodeStats(addr string) (NodeStatsResponse, error) {
+	var s NodeStatsResponse
+	status, err := getJSON(c.hc, addr+"/stats", &s)
+	if err != nil {
+		return s, err
+	}
+	if status/100 != 2 {
+		return s, fmt.Errorf("cluster: stats from %s returned %d", addr, status)
+	}
+	return s, nil
+}
+
+// ClusterActive sums the active leases over every reachable live member, and
+// reports how many members answered.
+func (c *Client) ClusterActive() (active int64, reporting int) {
+	for _, m := range c.Table().Alive() {
+		s, err := c.NodeStats(m.Addr)
+		if err != nil {
+			continue
+		}
+		active += s.Active
+		reporting++
+	}
+	return active, reporting
+}

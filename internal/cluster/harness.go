@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/core"
+)
+
+// LocalConfig parameterizes an in-process cluster: N real nodes on loopback
+// listeners, each with its own partitions, prober and expirers — the harness
+// behind the cluster tests, the chaos mode of cmd/laload and the loopback
+// benchmark. Process boundaries are the only thing it fakes: everything
+// else (routing, epochs, failover, quarantine) is the production path.
+type LocalConfig struct {
+	// Nodes is N. Zero selects 3.
+	Nodes int
+	// Partitions is P (a power of two). Zero selects 8.
+	Partitions int
+	// Capacity is the total cluster capacity, split evenly over partitions
+	// (rounded up per partition). Zero selects 1024.
+	Capacity int
+	// NewPartitionArray overrides the per-partition array factory. Nil
+	// selects an unsharded LevelArray (ε = 1) seeded per partition.
+	NewPartitionArray func(partition, capacity int, seed uint64) (activity.Array, error)
+	// Seed feeds the per-partition array seeds.
+	Seed uint64
+	// Node carries the per-node knobs (lease tick, TTL bounds, probe
+	// cadence); NodeID, Peers, Partitions and the factory are filled in per
+	// node. Zero values select the NodeConfig defaults.
+	Node NodeConfig
+}
+
+func (c LocalConfig) withDefaults() LocalConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 8
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 1024
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.NewPartitionArray == nil {
+		c.NewPartitionArray = func(partition, capacity int, seed uint64) (activity.Array, error) {
+			return core.New(core.Config{Capacity: capacity, Epsilon: 1, Seed: seed})
+		}
+	}
+	return c
+}
+
+// localNode is one in-process member: the node plus its HTTP front end.
+type localNode struct {
+	node     *Node
+	server   *http.Server
+	listener net.Listener
+	addr     string
+	alive    bool
+}
+
+// Local is a running in-process cluster. The mutex serializes Kill against
+// the liveness reads chaos runs perform from other goroutines.
+type Local struct {
+	cfg LocalConfig
+
+	mu    sync.Mutex
+	nodes []*localNode
+}
+
+// StartLocal boots an in-process cluster: listeners first (so every
+// advertised address works before any prober fires), then the nodes.
+func StartLocal(cfg LocalConfig) (*Local, error) {
+	cfg = cfg.withDefaults()
+	perPartition := (cfg.Capacity + cfg.Partitions - 1) / cfg.Partitions
+
+	l := &Local{cfg: cfg}
+	peers := make([]string, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			l.Close()
+			return nil, fmt.Errorf("cluster: local listener %d: %w", i, err)
+		}
+		l.nodes = append(l.nodes, &localNode{listener: ln, addr: "http://" + ln.Addr().String(), alive: true})
+		peers[i] = l.nodes[i].addr
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		ncfg := cfg.Node
+		ncfg.NodeID = i
+		ncfg.Peers = peers
+		ncfg.Partitions = cfg.Partitions
+		ncfg.NewPartitionArray = func(partition int) (activity.Array, error) {
+			return cfg.NewPartitionArray(partition, perPartition, cfg.Seed+uint64(partition)*0x9E3779B97F4A7C15+1)
+		}
+		node, err := NewNode(ncfg)
+		if err != nil {
+			l.Close()
+			return nil, err
+		}
+		ln := l.nodes[i]
+		ln.node = node
+		ln.server = &http.Server{Handler: node}
+		go func() { _ = ln.server.Serve(ln.listener) }()
+		node.Start()
+	}
+	return l, nil
+}
+
+// Targets returns every member's base URL, dead ones included (the routed
+// client is expected to cope).
+func (l *Local) Targets() []string {
+	out := make([]string, len(l.nodes))
+	for i, n := range l.nodes {
+		out[i] = n.addr
+	}
+	return out
+}
+
+// Node returns member i's Node (nil after Kill).
+func (l *Local) Node(i int) *Node {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if i < 0 || i >= len(l.nodes) || !l.nodes[i].alive {
+		return nil
+	}
+	return l.nodes[i].node
+}
+
+// Nodes returns N, the configured member count.
+func (l *Local) Nodes() int { return len(l.nodes) }
+
+// AliveIDs returns the members not yet killed.
+func (l *Local) AliveIDs() []int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []int
+	for i, n := range l.nodes {
+		if n.alive {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Kill abruptly terminates member i: the listener and every in-flight
+// connection are torn down and the node's managers stop, exactly what a
+// crashed process looks like to the rest of the cluster. Idempotent.
+func (l *Local) Kill(i int) {
+	l.mu.Lock()
+	if i < 0 || i >= len(l.nodes) || !l.nodes[i].alive {
+		l.mu.Unlock()
+		return
+	}
+	n := l.nodes[i]
+	n.alive = false
+	l.mu.Unlock()
+	// A node that failed mid-StartLocal has a listener but no server yet.
+	if n.server != nil {
+		_ = n.server.Close()
+	} else {
+		_ = n.listener.Close()
+	}
+	if n.node != nil {
+		n.node.Close()
+	}
+}
+
+// MaxEpoch polls the surviving members and returns the highest epoch any of
+// them reports (0 when none answer).
+func (l *Local) MaxEpoch() uint64 {
+	l.mu.Lock()
+	var live []*Node
+	for _, n := range l.nodes {
+		if n.alive && n.node != nil {
+			live = append(live, n.node)
+		}
+	}
+	l.mu.Unlock()
+	var max uint64
+	for _, node := range live {
+		if e := node.Epoch(); e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// WaitForEpoch blocks until some surviving member reaches at least epoch, or
+// the timeout elapses; it reports whether the epoch was reached.
+func (l *Local) WaitForEpoch(epoch uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if l.MaxEpoch() >= epoch {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Close kills every remaining member.
+func (l *Local) Close() {
+	for i := range l.nodes {
+		l.Kill(i)
+	}
+}

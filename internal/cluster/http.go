@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+
+	"github.com/levelarray/levelarray/internal/server"
+)
+
+// maxBodyBytes bounds request bodies. Membership tables are the largest
+// payload: a few hundred bytes per member plus one integer per partition.
+const maxBodyBytes = 1 << 20
+
+// decode, writeJSON and writeError delegate to the server package's exported
+// JSON plumbing so both layers share one body-cap and error-shape policy.
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	return server.DecodeJSON(w, r, dst, maxBodyBytes)
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) { server.WriteJSON(w, status, body) }
+
+func writeError(w http.ResponseWriter, status int, code string) { server.WriteError(w, status, code) }
+
+// postJSON sends one JSON request with the given epoch header (when epoch is
+// nonzero) and decodes a 2xx response into out; non-2xx bodies are decoded
+// into errOut when provided. It returns the HTTP status and headers.
+func postJSON(hc *http.Client, url string, epoch uint64, in, out, errOut any) (int, http.Header, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if epoch != 0 {
+		req.Header.Set(EpochHeader, strconv.FormatUint(epoch, 10))
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode/100 == 2 {
+		if out != nil {
+			return resp.StatusCode, resp.Header, json.NewDecoder(resp.Body).Decode(out)
+		}
+		return resp.StatusCode, resp.Header, nil
+	}
+	if errOut != nil {
+		_ = json.NewDecoder(resp.Body).Decode(errOut)
+	}
+	return resp.StatusCode, resp.Header, nil
+}
+
+// getJSON fetches url and decodes a 2xx body into out.
+func getJSON(hc *http.Client, url string, out any) (int, error) {
+	resp, err := hc.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode/100 == 2 && out != nil {
+		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+	}
+	return resp.StatusCode, nil
+}

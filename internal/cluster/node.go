@@ -1,0 +1,828 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/lease"
+	"github.com/levelarray/levelarray/internal/server"
+)
+
+// EpochHeader carries the sender's table epoch on every write. A node whose
+// epoch differs rejects the write with 412, the routing-level analogue of a
+// stale fencing token's 409.
+const EpochHeader = "X-Cluster-Epoch"
+
+// Error codes the cluster node adds to the single-node vocabulary.
+const (
+	// ErrCodeStaleEpoch is the 412 body code: the write's epoch does not
+	// match the node's table.
+	ErrCodeStaleEpoch = "stale_epoch"
+	// ErrCodeNotOwner is the 421 body code: the node does not own the
+	// partition the name belongs to; the client should refresh its table.
+	ErrCodeNotOwner = "not_owner"
+	// ErrCodeWarming is a 503 body code: every open partition the node owns
+	// is still quarantined after a failover adoption.
+	ErrCodeWarming = "warming"
+	// ErrCodeNoPartitions is a 503 body code: the node currently owns no
+	// partitions at all.
+	ErrCodeNoPartitions = "no_partitions"
+)
+
+// GrantResponse is the body of a clustered /acquire and /renew: the lease
+// plus where it lives, so clients can route follow-ups and account sessions
+// per node.
+type GrantResponse struct {
+	Name  int    `json:"name"`
+	Token uint64 `json:"token"`
+	// DeadlineUnixMillis is the lease deadline (always finite in cluster
+	// mode: the quarantine discipline needs every lease TTL-bounded).
+	DeadlineUnixMillis int64  `json:"deadline_unix_ms"`
+	NodeID             int    `json:"node_id"`
+	Partition          int    `json:"partition"`
+	Epoch              uint64 `json:"epoch"`
+}
+
+// EpochResponse is the body of a 412 and of POST /cluster replies: the
+// node's current epoch, so the peer knows how far behind it is.
+type EpochResponse struct {
+	Error   string `json:"error,omitempty"`
+	Adopted bool   `json:"adopted,omitempty"`
+	Epoch   uint64 `json:"epoch"`
+}
+
+// HealthResponse is the body of a clustered /healthz. Epoch rides along so
+// the health probes that drive failure detection double as the anti-entropy
+// signal: a prober that sees a higher epoch pulls the newer table.
+type HealthResponse struct {
+	OK     bool   `json:"ok"`
+	NodeID int    `json:"node_id"`
+	Epoch  uint64 `json:"epoch"`
+}
+
+// NodeLeasesResponse is the body of a clustered /leases page: sessions under
+// cluster-global names, walked across the node's owned partitions in name
+// order.
+type NodeLeasesResponse struct {
+	Sessions []server.SessionJSON `json:"sessions"`
+	Next     int                  `json:"next"`
+	Active   int                  `json:"active"`
+	NodeID   int                  `json:"node_id"`
+	Epoch    uint64               `json:"epoch"`
+}
+
+// PartitionStats describes one owned partition in a /stats response — the
+// per-partition load signal rebalancing decisions read.
+type PartitionStats struct {
+	Partition int `json:"partition"`
+	Capacity  int `json:"capacity"`
+	Size      int `json:"size"`
+	// QuarantinedMillis is the remaining quarantine after a failover
+	// adoption; 0 once the partition serves acquires.
+	QuarantinedMillis int64       `json:"quarantined_ms,omitempty"`
+	LoadFactor        float64     `json:"load_factor"`
+	Lease             lease.Stats `json:"lease"`
+}
+
+// NodeStatsResponse is the body of a clustered /stats.
+type NodeStatsResponse struct {
+	NodeID            int              `json:"node_id"`
+	Epoch             uint64           `json:"epoch"`
+	TickMillis        int64            `json:"tick_ms"`
+	UptimeMillis      int64            `json:"uptime_ms"`
+	Active            int64            `json:"active"`
+	Capacity          int              `json:"capacity"`
+	Adoptions         uint64           `json:"adoptions"`
+	Misroutes         uint64           `json:"misroutes"`
+	StaleEpochRejects uint64           `json:"stale_epoch_rejects"`
+	Partitions        []PartitionStats `json:"partitions"`
+}
+
+// NodeConfig parameterizes one cluster member.
+type NodeConfig struct {
+	// NodeID is this node's index into Peers.
+	NodeID int
+	// Peers lists every member's advertised base URL, in member-ID order;
+	// all nodes must be configured with the same list.
+	Peers []string
+	// Partitions is P, the cluster-wide partition count (a power of two).
+	Partitions int
+	// NewPartitionArray builds the backing array of one partition. Every
+	// node must use an identical factory (same capacity and layout per
+	// partition) so namespaces line up across owners; it is called again on
+	// the new owner when a partition fails over.
+	NewPartitionArray func(partition int) (activity.Array, error)
+	// Lease parameterizes each partition's manager. MaxTTL is forced to the
+	// node's MaxTTL.
+	Lease lease.Config
+	// DefaultTTL is applied when an acquire omits its TTL. Zero selects 10s
+	// (clamped to MaxTTL).
+	DefaultTTL time.Duration
+	// MaxTTL bounds every lease TTL and thereby the failover handover: an
+	// adopted partition is quarantined until every lease the old owner could
+	// still have outstanding has expired. Zero selects 30s. Infinite leases
+	// are rejected in cluster mode.
+	MaxTTL time.Duration
+	// Quarantine overrides the adoption quarantine. Zero selects
+	// MaxTTL + 2 lease ticks, matching the reissue bound the chaos ledger
+	// asserts.
+	Quarantine time.Duration
+	// ProbeInterval is the peer health-probe cadence. Zero selects 250ms.
+	ProbeInterval time.Duration
+	// DownAfter is the consecutive probe misses before a peer is suspected.
+	// Zero selects 3.
+	DownAfter int
+	// HTTPClient is used for probes, pulls and pushes. Nil selects a client
+	// with a 2s timeout.
+	HTTPClient *http.Client
+	// Logf, when set, receives membership-event logs.
+	Logf func(format string, args ...any)
+	// Clock overrides the time source for quarantine arithmetic (tests).
+	// Nil selects time.Now. The lease managers keep their own Config.Clock.
+	Clock func() time.Time
+}
+
+func (c NodeConfig) withDefaults() NodeConfig {
+	if c.DefaultTTL <= 0 {
+		c.DefaultTTL = 10 * time.Second
+	}
+	if c.MaxTTL <= 0 {
+		c.MaxTTL = 30 * time.Second
+	}
+	if c.DefaultTTL > c.MaxTTL {
+		c.DefaultTTL = c.MaxTTL
+	}
+	c.Lease.MaxTTL = c.MaxTTL
+	if c.Lease.TickInterval <= 0 {
+		c.Lease.TickInterval = 100 * time.Millisecond
+	}
+	if c.Quarantine <= 0 {
+		c.Quarantine = c.MaxTTL + 2*c.Lease.TickInterval
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 3
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Timeout: 2 * time.Second}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// partition is one owned slice of the namespace: a lease manager over its
+// own array, plus the quarantine gate applied after a failover adoption.
+type partition struct {
+	id  int
+	mgr *lease.Manager
+	// quarantineUntil gates acquires on an adopted partition: until every
+	// lease the previous owner could still have outstanding has expired, the
+	// partition serves only 503s, so a name granted by the dead node can
+	// never be concurrently reissued here. Zero for initial partitions.
+	quarantineUntil time.Time
+}
+
+// Node is one cluster member: the owned partitions, the membership table,
+// and the HTTP API. Build it with NewNode, then Start it.
+type Node struct {
+	cfg NodeConfig
+	mux *http.ServeMux
+
+	mu       sync.RWMutex
+	table    Table
+	parts    map[int]*partition
+	ownedIDs []int // sorted keys of parts
+
+	rr atomic.Uint64 // acquire round-robin over owned partitions
+
+	adoptions         atomic.Uint64
+	misroutes         atomic.Uint64
+	staleEpochRejects atomic.Uint64
+
+	refreshC chan struct{}
+
+	lifeMu     sync.Mutex
+	running    bool
+	closed     atomic.Bool
+	stopClosed bool
+	stop       chan struct{}
+	done       chan struct{}
+	startedAt  time.Time
+}
+
+// NewNode builds a member from its configuration: the epoch-1 table (every
+// peer up, partitions dealt round-robin) plus the partitions this node
+// initially owns. The background machinery (expirers, prober) starts with
+// Start.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: node needs at least one peer address")
+	}
+	if cfg.NodeID < 0 || cfg.NodeID >= len(cfg.Peers) {
+		return nil, fmt.Errorf("cluster: node id %d outside peer list [0, %d)", cfg.NodeID, len(cfg.Peers))
+	}
+	if cfg.Partitions < 1 || cfg.Partitions&(cfg.Partitions-1) != 0 {
+		return nil, fmt.Errorf("cluster: partition count %d is not a power of two", cfg.Partitions)
+	}
+	if cfg.NewPartitionArray == nil {
+		return nil, fmt.Errorf("cluster: NewPartitionArray must be set")
+	}
+
+	members := make([]Member, len(cfg.Peers))
+	for i, addr := range cfg.Peers {
+		if addr == "" {
+			return nil, fmt.Errorf("cluster: peer %d has an empty address", i)
+		}
+		members[i] = Member{ID: i, Addr: addr}
+	}
+
+	n := &Node{
+		cfg:      cfg,
+		parts:    make(map[int]*partition),
+		refreshC: make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+
+	// Build the initially owned partitions; the first array fixes the
+	// stride every member must agree on (identical factories guarantee it).
+	stride, capacity := 0, 0
+	build := func(p int) (*partition, error) {
+		arr, err := cfg.NewPartitionArray(p)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: building partition %d: %w", p, err)
+		}
+		mgr, err := lease.NewManager(arr, leaseConfigFor(cfg.Lease, 1))
+		if err != nil {
+			return nil, err
+		}
+		return &partition{id: p, mgr: mgr}, nil
+	}
+	for p := 0; p < cfg.Partitions; p++ {
+		if members[p%len(members)].ID != cfg.NodeID {
+			continue
+		}
+		part, err := build(p)
+		if err != nil {
+			return nil, err
+		}
+		n.parts[p] = part
+		if stride == 0 {
+			stride = part.mgr.Size()
+		}
+		capacity = part.mgr.Capacity()
+	}
+	if stride == 0 {
+		// More members than partitions: this node owns nothing initially but
+		// still needs the shared geometry for its table.
+		probe, err := build(0)
+		if err != nil {
+			return nil, err
+		}
+		stride = probe.mgr.Size()
+		capacity = probe.mgr.Capacity()
+		probe.mgr.Close()
+	}
+
+	table, err := NewTable(members, cfg.Partitions, stride, capacity*cfg.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	n.table = table
+	n.rebuildOwnedLocked()
+
+	n.mux = http.NewServeMux()
+	n.mux.HandleFunc("POST /acquire", n.handleAcquire)
+	n.mux.HandleFunc("POST /renew", n.handleRenew)
+	n.mux.HandleFunc("POST /release", n.handleRelease)
+	n.mux.HandleFunc("GET /cluster", n.handleClusterGet)
+	n.mux.HandleFunc("POST /cluster", n.handleClusterPost)
+	n.mux.HandleFunc("GET /collect", n.handleCollect)
+	n.mux.HandleFunc("GET /leases", n.handleLeases)
+	n.mux.HandleFunc("GET /stats", n.handleStats)
+	n.mux.HandleFunc("GET /healthz", n.handleHealthz)
+	return n, nil
+}
+
+// tokenEpochShift places the owning epoch in the high bits of each
+// partition manager's fencing-token sequence: token = ((epoch<<32) +
+// counter) << TokenHandleBits | handle. Successive incarnations of a
+// failed-over partition therefore mint from disjoint token spaces — a dead
+// owner's token can never equal a live one — as long as a partition mints
+// fewer than 2^32 tokens per epoch and epochs stay below 2^16.
+const tokenEpochShift = 32
+
+// leaseConfigFor stamps the owning epoch into the manager's token space.
+func leaseConfigFor(base lease.Config, epoch uint64) lease.Config {
+	base.TokenSeqBase = epoch << tokenEpochShift
+	return base
+}
+
+// rebuildOwnedLocked refreshes the sorted owned-partition index; callers
+// hold mu.
+func (n *Node) rebuildOwnedLocked() {
+	n.ownedIDs = n.ownedIDs[:0]
+	for id := range n.parts {
+		n.ownedIDs = append(n.ownedIDs, id)
+	}
+	sort.Ints(n.ownedIDs)
+}
+
+// ID returns the node's member ID.
+func (n *Node) ID() int { return n.cfg.NodeID }
+
+// Table returns the node's current membership table. The returned value's
+// slices are shared and must not be mutated.
+func (n *Node) Table() Table {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.table
+}
+
+// Epoch returns the node's current table epoch.
+func (n *Node) Epoch() uint64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.table.Epoch
+}
+
+// ServeHTTP dispatches to the clustered lease API.
+func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) { n.mux.ServeHTTP(w, r) }
+
+// Serve starts the node (expirers + prober) and runs its HTTP front end on
+// addr until ctx is cancelled, then shuts the listener down gracefully and
+// closes the node. It returns nil on a clean shutdown.
+func (n *Node) Serve(ctx context.Context, addr string) error {
+	n.Start()
+	srv := &http.Server{Addr: addr, Handler: n}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		n.Close()
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := srv.Shutdown(shutdownCtx)
+	n.Close()
+	if err != nil {
+		return fmt.Errorf("cluster: shutdown: %w", err)
+	}
+	return nil
+}
+
+// ErrStaleEpoch is returned by Adopt when the offered table's epoch is not
+// newer than the node's.
+var ErrStaleEpoch = errors.New("cluster: table epoch not newer than current")
+
+// Adopt installs a newer membership table: partitions this node lost are
+// closed (their leases die with them — the new owner's quarantine covers the
+// holders), partitions gained are built fresh and quarantined for the full
+// handover horizon. Adopting a table that marks this node down self-fences:
+// the node drops every partition and keeps serving only reads.
+func (n *Node) Adopt(t Table) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	cur := n.table
+	if t.Epoch <= cur.Epoch {
+		return ErrStaleEpoch
+	}
+	if t.Partitions != cur.Partitions || t.Stride != cur.Stride || len(t.Members) != len(cur.Members) {
+		return fmt.Errorf("cluster: adopted table changes immutable geometry (partitions/stride/members)")
+	}
+
+	owned := make(map[int]bool)
+	if !t.Members[n.cfg.NodeID].Down {
+		for _, p := range t.PartitionsOf(n.cfg.NodeID) {
+			owned[p] = true
+		}
+	}
+	for id, part := range n.parts {
+		if !owned[id] {
+			part.mgr.Close()
+			delete(n.parts, id)
+			n.cfg.Logf("cluster: node %d epoch %d: dropped partition %d", n.cfg.NodeID, t.Epoch, id)
+		}
+	}
+	now := n.cfg.Clock()
+	for id := range owned {
+		if _, ok := n.parts[id]; ok {
+			continue
+		}
+		arr, err := n.cfg.NewPartitionArray(id)
+		if err != nil {
+			// Leave the partition unserved (clients see 421s) rather than
+			// rejecting the whole table; the epoch still advances.
+			n.cfg.Logf("cluster: node %d epoch %d: building adopted partition %d failed: %v", n.cfg.NodeID, t.Epoch, id, err)
+			continue
+		}
+		mgr, err := lease.NewManager(arr, leaseConfigFor(n.cfg.Lease, t.Epoch))
+		if err != nil {
+			n.cfg.Logf("cluster: node %d epoch %d: manager for adopted partition %d failed: %v", n.cfg.NodeID, t.Epoch, id, err)
+			continue
+		}
+		if n.leasesRunning() {
+			mgr.Start()
+		}
+		n.parts[id] = &partition{id: id, mgr: mgr, quarantineUntil: now.Add(n.cfg.Quarantine)}
+		n.cfg.Logf("cluster: node %d epoch %d: adopted partition %d (quarantined until %v)", n.cfg.NodeID, t.Epoch, id, now.Add(n.cfg.Quarantine).Format(time.TimeOnly))
+	}
+	n.rebuildOwnedLocked()
+	n.table = t
+	n.adoptions.Add(1)
+	return nil
+}
+
+func (n *Node) leasesRunning() bool {
+	n.lifeMu.Lock()
+	defer n.lifeMu.Unlock()
+	return n.running
+}
+
+// Start launches the partition expirers and the peer health prober. It is
+// idempotent and a no-op after Close.
+func (n *Node) Start() {
+	n.lifeMu.Lock()
+	if n.running || n.closed.Load() {
+		n.lifeMu.Unlock()
+		return
+	}
+	n.running = true
+	n.startedAt = n.cfg.Clock()
+	n.lifeMu.Unlock()
+
+	n.mu.RLock()
+	for _, part := range n.parts {
+		part.mgr.Start()
+	}
+	n.mu.RUnlock()
+	go n.probeLoop()
+}
+
+// Close stops the prober and every partition manager and rejects further
+// writes. It is idempotent.
+func (n *Node) Close() {
+	n.lifeMu.Lock()
+	n.closed.Store(true)
+	wasRunning := n.running
+	if !n.stopClosed {
+		close(n.stop)
+		n.stopClosed = true
+	}
+	n.lifeMu.Unlock()
+	if wasRunning {
+		<-n.done
+	}
+	n.mu.Lock()
+	for _, part := range n.parts {
+		part.mgr.Close()
+	}
+	n.mu.Unlock()
+}
+
+// ttlOf maps the wire TTL encoding to the lease layer's. Cluster mode has no
+// infinite leases: negative requests map to MaxTTL, which the managers also
+// enforce as the ceiling.
+func (n *Node) ttlOf(millis int64) time.Duration {
+	switch {
+	case millis == 0:
+		return n.cfg.DefaultTTL
+	case millis < 0:
+		return n.cfg.MaxTTL
+	default:
+		return time.Duration(millis) * time.Millisecond
+	}
+}
+
+// checkEpoch fences a write whose epoch header disagrees with the node's
+// table. Requests without the header pass (curl-friendliness); routed
+// clients always send it. Seeing a *newer* epoch additionally schedules a
+// table refresh: the node itself is behind.
+func (n *Node) checkEpoch(w http.ResponseWriter, r *http.Request) bool {
+	v := r.Header.Get(EpochHeader)
+	if v == "" {
+		return true
+	}
+	e, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, server.ErrCodeBadRequest)
+		return false
+	}
+	cur := n.Epoch()
+	if e == cur {
+		return true
+	}
+	if e > cur {
+		n.requestRefresh()
+	}
+	n.staleEpochRejects.Add(1)
+	writeJSON(w, http.StatusPreconditionFailed, EpochResponse{Error: ErrCodeStaleEpoch, Epoch: cur})
+	return false
+}
+
+// requestRefresh nudges the prober to pull tables from peers; non-blocking.
+func (n *Node) requestRefresh() {
+	select {
+	case n.refreshC <- struct{}{}:
+	default:
+	}
+}
+
+// reply is a deferred HTTP response: handlers compute it under the node
+// lock and write it after releasing, so a slow-reading client can never
+// hold the lock against an Adopt (whose write lock would then stall every
+// other request on the node).
+type reply struct {
+	status   int
+	body     any
+	unavail  string // 503 code; wait carries the Retry-After pacing
+	wait     time.Duration
+	leaseErr error
+}
+
+func (rep reply) write(w http.ResponseWriter) {
+	switch {
+	case rep.leaseErr != nil:
+		server.WriteLeaseError(w, rep.leaseErr)
+	case rep.unavail != "":
+		server.WriteUnavailable(w, rep.unavail, rep.wait)
+	default:
+		writeJSON(w, rep.status, rep.body)
+	}
+}
+
+func (n *Node) handleAcquire(w http.ResponseWriter, r *http.Request) {
+	if !n.checkEpoch(w, r) {
+		return
+	}
+	var req server.AcquireRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	n.acquireLocked(n.ttlOf(req.TTLMillis)).write(w)
+}
+
+func (n *Node) acquireLocked(ttl time.Duration) reply {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if len(n.ownedIDs) == 0 {
+		return reply{unavail: ErrCodeNoPartitions, wait: n.cfg.ProbeInterval}
+	}
+	start := n.rr.Add(1)
+	now := n.cfg.Clock()
+	quarantineWait := time.Duration(-1)
+	sawOpen := false
+	for i := 0; i < len(n.ownedIDs); i++ {
+		// Index math stays in uint64: truncating the counter to a 32-bit int
+		// would eventually go negative and panic the modulo.
+		part := n.parts[n.ownedIDs[(start+uint64(i))%uint64(len(n.ownedIDs))]]
+		if wait := part.quarantineUntil.Sub(now); wait > 0 {
+			if quarantineWait < 0 || wait < quarantineWait {
+				quarantineWait = wait
+			}
+			continue
+		}
+		sawOpen = true
+		l, err := part.mgr.Acquire(ttl)
+		if err == nil {
+			return reply{status: http.StatusOK, body: GrantResponse{
+				Name:               part.id*n.table.Stride + l.Name,
+				Token:              l.Token,
+				DeadlineUnixMillis: l.Deadline.UnixMilli(),
+				NodeID:             n.cfg.NodeID,
+				Partition:          part.id,
+				Epoch:              n.table.Epoch,
+			}}
+		}
+		if errors.Is(err, activity.ErrFull) || errors.Is(err, lease.ErrClosed) {
+			continue
+		}
+		return reply{leaseErr: err}
+	}
+	if sawOpen {
+		// Open partitions exist but every one is full: slots free up as
+		// leases expire, so one expirer tick is the retry pacing.
+		return reply{unavail: server.ErrCodeFull, wait: n.cfg.Lease.TickInterval}
+	}
+	return reply{unavail: ErrCodeWarming, wait: quarantineWait}
+}
+
+// resolveLocked maps a cluster name to the owned partition and local name;
+// callers hold mu. A failure reply carries 409 (outside the namespace) or
+// 421 (another member owns it).
+func (n *Node) resolveLocked(name int) (*partition, int, reply, bool) {
+	p := n.table.PartitionOf(name)
+	if p < 0 {
+		return nil, 0, reply{status: http.StatusConflict, body: server.ErrorResponse{Error: server.ErrCodeNotLeased}}, false
+	}
+	part, owned := n.parts[p]
+	if !owned {
+		n.misroutes.Add(1)
+		return nil, 0, reply{status: http.StatusMisdirectedRequest, body: EpochResponse{Error: ErrCodeNotOwner, Epoch: n.table.Epoch}}, false
+	}
+	return part, name - p*n.table.Stride, reply{}, true
+}
+
+func (n *Node) handleRenew(w http.ResponseWriter, r *http.Request) {
+	if !n.checkEpoch(w, r) {
+		return
+	}
+	var req server.RenewRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	n.renewLocked(req).write(w)
+}
+
+func (n *Node) renewLocked(req server.RenewRequest) reply {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	part, local, rep, ok := n.resolveLocked(req.Name)
+	if !ok {
+		return rep
+	}
+	l, err := part.mgr.Renew(local, req.Token, n.ttlOf(req.TTLMillis))
+	if err != nil {
+		return reply{leaseErr: err}
+	}
+	return reply{status: http.StatusOK, body: GrantResponse{
+		Name:               req.Name,
+		Token:              l.Token,
+		DeadlineUnixMillis: l.Deadline.UnixMilli(),
+		NodeID:             n.cfg.NodeID,
+		Partition:          part.id,
+		Epoch:              n.table.Epoch,
+	}}
+}
+
+func (n *Node) handleRelease(w http.ResponseWriter, r *http.Request) {
+	if !n.checkEpoch(w, r) {
+		return
+	}
+	var req server.ReleaseRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	n.releaseLocked(req).write(w)
+}
+
+func (n *Node) releaseLocked(req server.ReleaseRequest) reply {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	part, local, rep, ok := n.resolveLocked(req.Name)
+	if !ok {
+		return rep
+	}
+	if err := part.mgr.Release(local, req.Token); err != nil {
+		return reply{leaseErr: err}
+	}
+	return reply{status: http.StatusOK, body: server.ReleaseResponse{Released: true}}
+}
+
+func (n *Node) handleClusterGet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, n.Table())
+}
+
+func (n *Node) handleClusterPost(w http.ResponseWriter, r *http.Request) {
+	var t Table
+	if !decode(w, r, &t) {
+		return
+	}
+	err := n.Adopt(t)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, EpochResponse{Adopted: true, Epoch: t.Epoch})
+	case errors.Is(err, ErrStaleEpoch):
+		writeJSON(w, http.StatusPreconditionFailed, EpochResponse{Error: ErrCodeStaleEpoch, Epoch: n.Epoch()})
+	default:
+		writeError(w, http.StatusBadRequest, server.ErrCodeBadRequest)
+	}
+}
+
+// handleCollect merges the owned partitions' Collect under cluster-global
+// names: the node's slice of the registered set, with the underlying
+// arrays' validity guarantee.
+func (n *Node) handleCollect(w http.ResponseWriter, r *http.Request) {
+	names := []int{}
+	var scratch []int
+	n.mu.RLock()
+	for _, id := range n.ownedIDs {
+		scratch = n.parts[id].mgr.Collect(scratch[:0])
+		base := id * n.table.Stride
+		for _, local := range scratch {
+			names = append(names, base+local)
+		}
+	}
+	n.mu.RUnlock()
+	writeJSON(w, http.StatusOK, server.CollectResponse{Count: len(names), Names: names})
+}
+
+func (n *Node) handleLeases(w http.ResponseWriter, r *http.Request) {
+	start, limit, err := server.ParseLeasesQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, server.ErrCodeBadRequest)
+		return
+	}
+	n.mu.RLock()
+	resp := NodeLeasesResponse{
+		Sessions: []server.SessionJSON{},
+		Next:     -1,
+		NodeID:   n.cfg.NodeID,
+		Epoch:    n.table.Epoch,
+	}
+	for _, part := range n.parts {
+		resp.Active += part.mgr.Active()
+	}
+	for i, id := range n.ownedIDs {
+		base := id * n.table.Stride
+		if start >= base+n.table.Stride {
+			continue
+		}
+		localStart := 0
+		if start > base {
+			localStart = start - base
+		}
+		part := n.parts[id]
+		page, next := part.mgr.Sessions(localStart, limit-len(resp.Sessions))
+		for _, sess := range page {
+			j := server.SessionJSON{Name: base + sess.Name, Token: sess.Token}
+			if !sess.Deadline.IsZero() {
+				j.DeadlineUnixMillis = sess.Deadline.UnixMilli()
+			}
+			resp.Sessions = append(resp.Sessions, j)
+		}
+		if len(resp.Sessions) == limit {
+			switch {
+			case next != -1:
+				resp.Next = base + next
+			case i+1 < len(n.ownedIDs):
+				resp.Next = n.ownedIDs[i+1] * n.table.Stride
+			}
+			break
+		}
+	}
+	n.mu.RUnlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
+	n.mu.RLock()
+	now := n.cfg.Clock()
+	resp := NodeStatsResponse{
+		NodeID:            n.cfg.NodeID,
+		Epoch:             n.table.Epoch,
+		TickMillis:        n.cfg.Lease.TickInterval.Milliseconds(),
+		Adoptions:         n.adoptions.Load(),
+		Misroutes:         n.misroutes.Load(),
+		StaleEpochRejects: n.staleEpochRejects.Load(),
+		Partitions:        []PartitionStats{},
+	}
+	n.lifeMu.Lock()
+	if !n.startedAt.IsZero() {
+		resp.UptimeMillis = now.Sub(n.startedAt).Milliseconds()
+	}
+	n.lifeMu.Unlock()
+	for _, id := range n.ownedIDs {
+		part := n.parts[id]
+		ps := PartitionStats{
+			Partition:  id,
+			Capacity:   part.mgr.Capacity(),
+			Size:       part.mgr.Size(),
+			LoadFactor: part.mgr.LoadFactor(),
+			Lease:      part.mgr.Stats(),
+		}
+		if wait := part.quarantineUntil.Sub(now); wait > 0 {
+			ps.QuarantinedMillis = wait.Milliseconds()
+		}
+		resp.Active += ps.Lease.Active
+		resp.Capacity += ps.Capacity
+		resp.Partitions = append(resp.Partitions, ps)
+	}
+	n.mu.RUnlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (n *Node) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{OK: true, NodeID: n.cfg.NodeID, Epoch: n.Epoch()})
+}

@@ -1,0 +1,164 @@
+package cluster
+
+// Failure detection and table propagation: every node health-probes its
+// peers; the steward (lowest-ID live member) turns sustained misses into a
+// reassignment under a bumped epoch and pushes the new table to the
+// survivors. Probes double as anti-entropy — a probed peer reports its
+// epoch, and a node that sees a newer one pulls the table — so a node that
+// missed a push converges on the next probe round.
+
+import (
+	"time"
+)
+
+// probeLoop is the background membership goroutine: periodic peer probes
+// plus on-demand refresh pulls (requested when a request reveals a newer
+// epoch than ours).
+func (n *Node) probeLoop() {
+	defer close(n.done)
+	ticker := time.NewTicker(n.cfg.ProbeInterval)
+	defer ticker.Stop()
+	misses := make(map[int]int)
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-n.refreshC:
+			n.pullFromPeers()
+		case <-ticker.C:
+			n.probeOnce(misses)
+		}
+	}
+}
+
+// probeOnce probes every live peer, pulls newer tables it learns of, and —
+// when this node is the steward for the observed failures — reassigns the
+// partitions of peers that missed DownAfter consecutive probes.
+func (n *Node) probeOnce(misses map[int]int) {
+	t := n.Table()
+	self := n.cfg.NodeID
+	suspected := make(map[int]bool)
+	for _, m := range t.Members {
+		if m.ID == self || m.Down {
+			delete(misses, m.ID)
+			continue
+		}
+		var health HealthResponse
+		status, err := getJSON(n.cfg.HTTPClient, m.Addr+"/healthz", &health)
+		if err == nil && status/100 == 2 {
+			misses[m.ID] = 0
+			if health.Epoch > t.Epoch {
+				n.pullFrom(m.Addr)
+				t = n.Table()
+			}
+			continue
+		}
+		misses[m.ID]++
+		if misses[m.ID] >= n.cfg.DownAfter {
+			suspected[m.ID] = true
+		}
+	}
+	if len(suspected) == 0 {
+		return
+	}
+
+	// Quorum guard: a node that cannot reach half or more of the live
+	// membership must assume IT is the partitioned minority and hold still —
+	// otherwise both sides of a network split would elect stewards, bump
+	// epochs independently, and double-issue names. With the guard, the
+	// minority side never reassigns; its stale epoch is fenced by every
+	// client that has seen the majority's table.
+	live := 0
+	for _, m := range t.Members {
+		if !m.Down {
+			live++
+		}
+	}
+	if len(suspected)*2 >= live {
+		n.cfg.Logf("cluster: node %d: suspecting %d of %d live members — no quorum, holding still", self, len(suspected), live)
+		return
+	}
+
+	// The steward for this failure set is the lowest live member that is not
+	// itself suspected; everyone else holds still and lets the push arrive.
+	steward := -1
+	for _, m := range t.Members {
+		if !m.Down && !suspected[m.ID] {
+			steward = m.ID
+			break
+		}
+	}
+	if steward != self {
+		return
+	}
+
+	cur, changed := t, false
+	for _, m := range t.Members {
+		if !suspected[m.ID] {
+			continue
+		}
+		nt, ok := cur.Reassign(m.ID)
+		if !ok {
+			continue
+		}
+		n.cfg.Logf("cluster: node %d: steward marking member %d down, epoch %d -> %d", self, m.ID, cur.Epoch, nt.Epoch)
+		cur, changed = nt, true
+	}
+	if !changed {
+		return
+	}
+	if err := n.Adopt(cur); err != nil {
+		// Lost a race against a newer table (pull or peer push); the next
+		// probe round re-evaluates against it.
+		n.cfg.Logf("cluster: node %d: adopting own reassignment failed: %v", self, err)
+		return
+	}
+	for id := range suspected {
+		delete(misses, id)
+	}
+	n.pushTable(cur)
+}
+
+// pushTable POSTs the table to every other member, including suspects (a
+// falsely suspected node learns it lost its partitions and self-fences).
+// Best-effort and concurrent: the epoch gate makes duplicate or reordered
+// pushes harmless.
+func (n *Node) pushTable(t Table) {
+	for _, m := range t.Members {
+		if m.ID == n.cfg.NodeID {
+			continue
+		}
+		go func(addr string) {
+			var reply EpochResponse
+			if _, _, err := postJSON(n.cfg.HTTPClient, addr+"/cluster", 0, t, &reply, &reply); err != nil {
+				n.cfg.Logf("cluster: node %d: push epoch %d to %s failed: %v", n.cfg.NodeID, t.Epoch, addr, err)
+			}
+		}(m.Addr)
+	}
+}
+
+// pullFrom fetches one peer's table and adopts it if newer.
+func (n *Node) pullFrom(addr string) {
+	var t Table
+	if status, err := getJSON(n.cfg.HTTPClient, addr+"/cluster", &t); err != nil || status/100 != 2 {
+		return
+	}
+	if err := n.Adopt(t); err == nil {
+		n.cfg.Logf("cluster: node %d: pulled table epoch %d from %s", n.cfg.NodeID, t.Epoch, addr)
+	}
+}
+
+// pullFromPeers tries every live peer until one yields a newer table.
+func (n *Node) pullFromPeers() {
+	t := n.Table()
+	for _, m := range t.Members {
+		if m.ID == n.cfg.NodeID || m.Down {
+			continue
+		}
+		before := n.Epoch()
+		n.pullFrom(m.Addr)
+		if n.Epoch() > before {
+			return
+		}
+	}
+}

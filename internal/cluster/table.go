@@ -1,0 +1,225 @@
+// Package cluster partitions one global LevelArray namespace across N
+// laserve nodes: the cross-process composition of the same aggregate-capacity
+// guarantee the shard layer provides in-process.
+//
+// The namespace is cut into P (a power of two) partitions, each a complete
+// lease manager over its own array on whichever node currently owns it. The
+// encoding mirrors the shard layer one level down: the cluster-global name of
+// local name l on partition p is p*stride + l, so cluster → shard → core all
+// compose — a cluster name resolves to a partition, the partition's array may
+// itself be sharded, and each shard is a paper LevelArray.
+//
+// Ownership lives in an epoch-versioned membership Table that every node
+// serves (GET /cluster) and clients cache to route requests. Failure handling
+// is the lease machinery lifted one level: when a member is marked down
+// (consecutive health-probe misses), the steward — the lowest-ID live node —
+// reassigns its partitions under a bumped epoch and pushes the new table to
+// the survivors. Writes carry the client's epoch and are rejected with 412
+// when stale, exactly as stale fencing tokens are rejected with 409 one layer
+// down. The names the dead node granted are never transferred: they simply
+// expire via their TTLs, and an adopted partition stays quarantined (503)
+// until every lease the old owner could still have outstanding has expired,
+// so no name is ever double-issued across the failover.
+//
+// The model is crash-stop: nodes fail by dying and do not rejoin, and the
+// steward's push plus the epoch fence on every write keep routing convergent
+// without consensus. Failure detection is quorum-guarded: a node that
+// suspects half or more of the live membership assumes it is the partitioned
+// minority and never reassigns, so only the majority side of a network split
+// can bump the epoch; the minority keeps its old epoch and every client that
+// has seen the bumped table is fenced away from it. (A fully consensus-grade
+// membership service is out of scope: with fewer than three live members no
+// failover happens at all.)
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Member is one configured cluster node.
+type Member struct {
+	// ID is the node's index in the configured peer list; IDs are dense,
+	// stable, and double as the steward priority (lowest live ID acts).
+	ID int `json:"id"`
+	// Addr is the node's advertised base URL, e.g. "http://10.0.0.7:8080".
+	Addr string `json:"addr"`
+	// Down marks a member the steward has declared failed. Down is sticky:
+	// the model is crash-stop, so a down member never comes back.
+	Down bool `json:"down"`
+}
+
+// Table is the epoch-versioned membership and partition-ownership map. It is
+// a value type: methods that change it return a copy, and nodes swap whole
+// tables under their lock, so a Table read is always internally consistent.
+type Table struct {
+	// Epoch versions the table; every reassignment bumps it. Writes carry
+	// the client's epoch and are fenced (412) when it does not match.
+	Epoch uint64 `json:"epoch"`
+	// Partitions is P, the partition count (a power of two).
+	Partitions int `json:"partitions"`
+	// Stride is the per-partition namespace size: cluster name =
+	// partition*Stride + local name.
+	Stride int `json:"stride"`
+	// Capacity is the total cluster capacity (sum of partition capacities).
+	Capacity int `json:"capacity"`
+	// Members lists every configured node in ID order, including down ones.
+	Members []Member `json:"members"`
+	// Assignment maps partition -> owning member ID.
+	Assignment []int `json:"assignment"`
+}
+
+// NewTable builds the epoch-1 table: every member up, partitions dealt
+// round-robin in ID order, so all nodes independently construct identical
+// initial tables from the same configuration.
+func NewTable(members []Member, partitions, stride, capacity int) (Table, error) {
+	t := Table{
+		Epoch:      1,
+		Partitions: partitions,
+		Stride:     stride,
+		Capacity:   capacity,
+		Members:    append([]Member(nil), members...),
+		Assignment: make([]int, partitions),
+	}
+	sort.Slice(t.Members, func(i, j int) bool { return t.Members[i].ID < t.Members[j].ID })
+	for p := range t.Assignment {
+		t.Assignment[p] = t.Members[p%len(t.Members)].ID
+	}
+	if err := t.Validate(); err != nil {
+		return Table{}, err
+	}
+	return t, nil
+}
+
+// Validate checks the table's structural invariants; every table accepted
+// over the wire passes through it.
+func (t Table) Validate() error {
+	if t.Epoch == 0 {
+		return fmt.Errorf("cluster: table epoch must be positive")
+	}
+	if t.Partitions < 1 || t.Partitions&(t.Partitions-1) != 0 {
+		return fmt.Errorf("cluster: partition count %d is not a power of two", t.Partitions)
+	}
+	if t.Stride < 1 {
+		return fmt.Errorf("cluster: stride %d must be positive", t.Stride)
+	}
+	if t.Capacity < 1 {
+		return fmt.Errorf("cluster: capacity %d must be positive", t.Capacity)
+	}
+	if len(t.Members) == 0 {
+		return fmt.Errorf("cluster: table has no members")
+	}
+	alive := 0
+	for i, m := range t.Members {
+		if m.ID != i {
+			return fmt.Errorf("cluster: member IDs must be dense and sorted, got %d at index %d", m.ID, i)
+		}
+		if m.Addr == "" {
+			return fmt.Errorf("cluster: member %d has no address", m.ID)
+		}
+		if !m.Down {
+			alive++
+		}
+	}
+	if alive == 0 {
+		return fmt.Errorf("cluster: table has no live members")
+	}
+	if len(t.Assignment) != t.Partitions {
+		return fmt.Errorf("cluster: assignment covers %d partitions, want %d", len(t.Assignment), t.Partitions)
+	}
+	for p, id := range t.Assignment {
+		if id < 0 || id >= len(t.Members) {
+			return fmt.Errorf("cluster: partition %d assigned to unknown member %d", p, id)
+		}
+		if t.Members[id].Down {
+			return fmt.Errorf("cluster: partition %d assigned to down member %d", p, id)
+		}
+	}
+	return nil
+}
+
+// Size returns the cluster-global namespace size.
+func (t Table) Size() int { return t.Partitions * t.Stride }
+
+// PartitionOf maps a cluster-global name to its partition, or -1 when the
+// name lies outside the namespace.
+func (t Table) PartitionOf(name int) int {
+	if name < 0 || name >= t.Size() {
+		return -1
+	}
+	return name / t.Stride
+}
+
+// Owner returns the member owning the given partition.
+func (t Table) Owner(partition int) (Member, bool) {
+	if partition < 0 || partition >= len(t.Assignment) {
+		return Member{}, false
+	}
+	return t.Members[t.Assignment[partition]], true
+}
+
+// PartitionsOf returns the partitions assigned to member id, in order.
+func (t Table) PartitionsOf(id int) []int {
+	var out []int
+	for p, owner := range t.Assignment {
+		if owner == id {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Alive returns the live members, in ID order.
+func (t Table) Alive() []Member {
+	var out []Member
+	for _, m := range t.Members {
+		if !m.Down {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Steward returns the member that acts on failures: the lowest-ID live
+// member.
+func (t Table) Steward() (Member, bool) {
+	for _, m := range t.Members {
+		if !m.Down {
+			return m, true
+		}
+	}
+	return Member{}, false
+}
+
+// Clone returns a deep copy.
+func (t Table) Clone() Table {
+	t.Members = append([]Member(nil), t.Members...)
+	t.Assignment = append([]int(nil), t.Assignment...)
+	return t
+}
+
+// Reassign marks member downID down and deals its partitions round-robin
+// over the surviving members in ID order, under a bumped epoch. The result
+// is a pure function of (table, downID), so any steward that observes the
+// same failure computes the same next table. It returns false when the
+// member is unknown, already down, or the last one standing.
+func (t Table) Reassign(downID int) (Table, bool) {
+	if downID < 0 || downID >= len(t.Members) || t.Members[downID].Down {
+		return Table{}, false
+	}
+	nt := t.Clone()
+	nt.Members[downID].Down = true
+	survivors := nt.Alive()
+	if len(survivors) == 0 {
+		return Table{}, false
+	}
+	next := 0
+	for p, owner := range nt.Assignment {
+		if owner == downID {
+			nt.Assignment[p] = survivors[next%len(survivors)].ID
+			next++
+		}
+	}
+	nt.Epoch = t.Epoch + 1
+	return nt, true
+}

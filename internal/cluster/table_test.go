@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func testMembers(n int) []Member {
+	out := make([]Member, n)
+	for i := range out {
+		out[i] = Member{ID: i, Addr: "http://127.0.0.1:0"}
+	}
+	return out
+}
+
+// TestNewTableDealsRoundRobin asserts the epoch-1 assignment every node
+// computes independently: partition p belongs to member p mod N.
+func TestNewTableDealsRoundRobin(t *testing.T) {
+	tbl, err := NewTable(testMembers(3), 8, 100, 800)
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	if tbl.Epoch != 1 {
+		t.Fatalf("initial epoch %d, want 1", tbl.Epoch)
+	}
+	for p := 0; p < 8; p++ {
+		owner, ok := tbl.Owner(p)
+		if !ok || owner.ID != p%3 {
+			t.Fatalf("partition %d owner %v (ok %v), want member %d", p, owner, ok, p%3)
+		}
+	}
+	if got := tbl.PartitionsOf(0); !reflect.DeepEqual(got, []int{0, 3, 6}) {
+		t.Fatalf("PartitionsOf(0) = %v", got)
+	}
+	if tbl.Size() != 800 {
+		t.Fatalf("Size = %d, want 800", tbl.Size())
+	}
+}
+
+// TestPartitionOfMirrorsShardEncoding checks name = partition*stride+local
+// resolves the way shard names do one level down.
+func TestPartitionOfMirrorsShardEncoding(t *testing.T) {
+	tbl, _ := NewTable(testMembers(2), 4, 100, 400)
+	cases := []struct{ name, part int }{
+		{0, 0}, {99, 0}, {100, 1}, {250, 2}, {399, 3},
+	}
+	for _, c := range cases {
+		if got := tbl.PartitionOf(c.name); got != c.part {
+			t.Fatalf("PartitionOf(%d) = %d, want %d", c.name, got, c.part)
+		}
+	}
+	for _, bad := range []int{-1, 400, 1 << 30} {
+		if got := tbl.PartitionOf(bad); got != -1 {
+			t.Fatalf("PartitionOf(%d) = %d, want -1", bad, got)
+		}
+	}
+}
+
+// TestReassignMovesPartitionsToSurvivors kills members one at a time and
+// checks partitions always land on live nodes under strictly rising epochs,
+// deterministically.
+func TestReassignMovesPartitionsToSurvivors(t *testing.T) {
+	tbl, _ := NewTable(testMembers(3), 8, 100, 800)
+
+	t1, ok := tbl.Reassign(1)
+	if !ok {
+		t.Fatal("Reassign(1) failed")
+	}
+	if t1.Epoch != 2 {
+		t.Fatalf("epoch %d, want 2", t1.Epoch)
+	}
+	if !t1.Members[1].Down {
+		t.Fatal("member 1 not marked down")
+	}
+	if err := t1.Validate(); err != nil {
+		t.Fatalf("reassigned table invalid: %v", err)
+	}
+	for p, owner := range t1.Assignment {
+		if owner == 1 {
+			t.Fatalf("partition %d still assigned to down member", p)
+		}
+	}
+	// Determinism: the same failure observed twice computes the same table.
+	t1b, _ := tbl.Reassign(1)
+	if !reflect.DeepEqual(t1, t1b) {
+		t.Fatal("Reassign is not deterministic")
+	}
+	// The original table is untouched (value semantics).
+	if tbl.Members[1].Down || tbl.Epoch != 1 {
+		t.Fatal("Reassign mutated its receiver")
+	}
+
+	// Second failure: everything lands on the last survivor.
+	t2, ok := t1.Reassign(0)
+	if !ok {
+		t.Fatal("Reassign(0) failed")
+	}
+	for p, owner := range t2.Assignment {
+		if owner != 2 {
+			t.Fatalf("partition %d assigned to %d, want sole survivor 2", p, owner)
+		}
+	}
+	// The last member cannot be reassigned away.
+	if _, ok := t2.Reassign(2); ok {
+		t.Fatal("Reassign of the last live member must fail")
+	}
+	// Reassigning an already-down member is a no-op failure.
+	if _, ok := t2.Reassign(0); ok {
+		t.Fatal("Reassign of a down member must fail")
+	}
+}
+
+// TestTableValidateRejectsCorruption covers the wire-facing validation.
+func TestTableValidateRejectsCorruption(t *testing.T) {
+	good, _ := NewTable(testMembers(2), 4, 10, 40)
+	corrupt := func(f func(*Table)) Table {
+		c := good.Clone()
+		f(&c)
+		return c
+	}
+	cases := map[string]Table{
+		"zero epoch":        corrupt(func(c *Table) { c.Epoch = 0 }),
+		"non-power-of-two":  corrupt(func(c *Table) { c.Partitions = 3 }),
+		"zero stride":       corrupt(func(c *Table) { c.Stride = 0 }),
+		"no members":        corrupt(func(c *Table) { c.Members = nil }),
+		"sparse member ids": corrupt(func(c *Table) { c.Members[1].ID = 5 }),
+		"empty addr":        corrupt(func(c *Table) { c.Members[0].Addr = "" }),
+		"short assignment":  corrupt(func(c *Table) { c.Assignment = c.Assignment[:2] }),
+		"unknown owner":     corrupt(func(c *Table) { c.Assignment[0] = 9 }),
+		"down owner": corrupt(func(c *Table) {
+			c.Members[0].Down = true
+		}),
+		"all down": corrupt(func(c *Table) {
+			c.Members[0].Down = true
+			c.Members[1].Down = true
+		}),
+	}
+	for name, tbl := range cases {
+		if err := tbl.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a corrupt table", name)
+		}
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+}
+
+// TestTableJSONRoundTrip ensures the wire encoding survives push/pull.
+func TestTableJSONRoundTrip(t *testing.T) {
+	tbl, _ := NewTable(testMembers(3), 8, 64, 512)
+	tbl, _ = tbl.Reassign(2)
+	data, err := json.Marshal(tbl)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(tbl, back) {
+		t.Fatalf("round trip mismatch:\n  in  %+v\n  out %+v", tbl, back)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped table invalid: %v", err)
+	}
+}
+
+// TestSteward tracks steward succession as members die.
+func TestSteward(t *testing.T) {
+	tbl, _ := NewTable(testMembers(3), 4, 10, 40)
+	if s, ok := tbl.Steward(); !ok || s.ID != 0 {
+		t.Fatalf("steward %v ok %v, want member 0", s, ok)
+	}
+	t2, _ := tbl.Reassign(0)
+	if s, ok := t2.Steward(); !ok || s.ID != 1 {
+		t.Fatalf("steward after losing 0 = %v ok %v, want member 1", s, ok)
+	}
+}

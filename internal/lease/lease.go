@@ -96,6 +96,15 @@ type Config struct {
 	// infinite (TTL <= 0) lease.
 	MaxTTL time.Duration
 
+	// TokenSeqBase offsets the fencing-token sequence space. Managers whose
+	// lifetimes can overlap over the same namespace window — successive
+	// owners of a failed-over cluster partition — must use distinct bases,
+	// or a token minted by one incarnation could exactly equal a token
+	// minted by another and slip through the fence. The cluster layer
+	// derives the base from the table epoch. Zero starts the sequence at
+	// zero (the single-manager case, where uniqueness is per-manager).
+	TokenSeqBase uint64
+
 	// Clock overrides the time source, for deterministic tests driving the
 	// expirer with Tick. Nil selects time.Now.
 	Clock func() time.Time
@@ -221,6 +230,7 @@ func NewManager(arr activity.Array, cfg Config) (*Manager, error) {
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	m.tokenSeq.Store(cfg.TokenSeqBase)
 	return m, nil
 }
 

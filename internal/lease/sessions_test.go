@@ -1,0 +1,158 @@
+package lease
+
+import (
+	"testing"
+	"time"
+
+	"github.com/levelarray/levelarray/internal/core"
+)
+
+// TestSessionsPagination walks the active-session listing page by page and
+// checks it reports exactly the live leases, in name order, with working
+// cursors.
+func TestSessionsPagination(t *testing.T) {
+	m, _ := newTestManager(t, 16)
+	defer m.Close()
+
+	want := make(map[int]Lease)
+	for i := 0; i < 10; i++ {
+		l, err := m.Acquire(time.Minute)
+		if err != nil {
+			t.Fatalf("Acquire: %v", err)
+		}
+		want[l.Name] = l
+	}
+	// Release a few so the listing has holes to skip.
+	released := 0
+	for name, l := range want {
+		if released == 3 {
+			break
+		}
+		if err := m.Release(name, l.Token); err != nil {
+			t.Fatalf("Release(%d): %v", name, err)
+		}
+		delete(want, name)
+		released++
+	}
+
+	seen := make(map[int]Session)
+	prev := -1
+	for start := 0; start != -1; {
+		page, next := m.Sessions(start, 3)
+		if len(page) > 3 {
+			t.Fatalf("page of %d exceeds limit 3", len(page))
+		}
+		for _, s := range page {
+			if s.Name <= prev {
+				t.Fatalf("session names not ascending: %d after %d", s.Name, prev)
+			}
+			prev = s.Name
+			if _, dup := seen[s.Name]; dup {
+				t.Fatalf("name %d listed twice", s.Name)
+			}
+			seen[s.Name] = s
+		}
+		if next != -1 && next <= start {
+			t.Fatalf("cursor did not advance: start %d -> next %d", start, next)
+		}
+		start = next
+	}
+
+	if len(seen) != len(want) {
+		t.Fatalf("listed %d sessions, want %d", len(seen), len(want))
+	}
+	for name, l := range want {
+		s, ok := seen[name]
+		if !ok {
+			t.Fatalf("active lease %d missing from listing", name)
+		}
+		if s.Token != l.Token {
+			t.Fatalf("session %d token %d, want %d", name, s.Token, l.Token)
+		}
+		if !s.Deadline.Equal(l.Deadline) {
+			t.Fatalf("session %d deadline %v, want %v", name, s.Deadline, l.Deadline)
+		}
+	}
+}
+
+// TestSessionsEdgeCases covers empty tables, negative starts, zero limits and
+// infinite-lease deadlines.
+func TestSessionsEdgeCases(t *testing.T) {
+	m, _ := newTestManager(t, 8)
+	defer m.Close()
+
+	if page, next := m.Sessions(0, 5); len(page) != 0 || next != -1 {
+		t.Fatalf("empty manager listed %d sessions, next %d", len(page), next)
+	}
+
+	l, err := m.Acquire(0) // infinite
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	page, next := m.Sessions(-10, 5)
+	if len(page) != 1 || next != -1 {
+		t.Fatalf("got %d sessions next %d, want 1 and -1", len(page), next)
+	}
+	if !page[0].Deadline.IsZero() {
+		t.Fatalf("infinite lease listed with deadline %v", page[0].Deadline)
+	}
+	if page, next = m.Sessions(l.Name+1, 5); len(page) != 0 || next != -1 {
+		t.Fatalf("listing past the only session returned %d, next %d", len(page), next)
+	}
+	if _, next = m.Sessions(0, 0); next != 0 {
+		t.Fatalf("zero limit should return the start cursor, got %d", next)
+	}
+}
+
+// TestLoadFactor checks the occupancy signal tracks active leases.
+func TestLoadFactor(t *testing.T) {
+	m, _ := newTestManager(t, 8)
+	defer m.Close()
+
+	if lf := m.LoadFactor(); lf != 0 {
+		t.Fatalf("empty load factor %v, want 0", lf)
+	}
+	var leases []Lease
+	for i := 0; i < 4; i++ {
+		l, err := m.Acquire(time.Minute)
+		if err != nil {
+			t.Fatalf("Acquire: %v", err)
+		}
+		leases = append(leases, l)
+	}
+	if lf := m.LoadFactor(); lf != 0.5 {
+		t.Fatalf("load factor %v, want 0.5", lf)
+	}
+	for _, l := range leases {
+		if err := m.Release(l.Name, l.Token); err != nil {
+			t.Fatalf("Release: %v", err)
+		}
+	}
+	if lf := m.LoadFactor(); lf != 0 {
+		t.Fatalf("drained load factor %v, want 0", lf)
+	}
+}
+
+// TestTokenSeqBase checks the fencing-token sequence starts at the
+// configured base: the hook the cluster layer uses to keep successive
+// owners of a failed-over partition in disjoint token spaces.
+func TestTokenSeqBase(t *testing.T) {
+	arr := core.MustNew(core.Config{Capacity: 8})
+	base := uint64(7) << 32
+	m := MustNewManager(arr, Config{TickInterval: testTick, TokenSeqBase: base})
+	defer m.Close()
+	prev := uint64(0)
+	for i := 0; i < 4; i++ {
+		l, err := m.Acquire(0)
+		if err != nil {
+			t.Fatalf("Acquire: %v", err)
+		}
+		if seq := l.Token >> TokenHandleBits; seq <= base {
+			t.Fatalf("token %d has sequence %d, want above base %d", l.Token, seq, base)
+		}
+		if l.Token <= prev {
+			t.Fatalf("tokens not strictly increasing: %d after %d", l.Token, prev)
+		}
+		prev = l.Token
+	}
+}

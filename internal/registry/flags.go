@@ -2,6 +2,8 @@ package registry
 
 import (
 	"fmt"
+	"net/url"
+	"strings"
 
 	"github.com/levelarray/levelarray/internal/core"
 	"github.com/levelarray/levelarray/internal/rng"
@@ -26,7 +28,14 @@ const (
 	ValidShardCounts = "0 (auto: GOMAXPROCS rounded up), 1 (unsharded), or a power of two (2, 4, 8, ...)"
 	// ValidPercentRange describes percentage-valued flags.
 	ValidPercentRange = "0..100"
+	// ValidPartitionCounts describes the cluster -partitions flag domain.
+	ValidPartitionCounts = "0 (auto: 8) or a power of two (1, 2, 4, 8, ...)"
+	// ValidPeersFormat describes the cluster -peers flag format.
+	ValidPeersFormat = "comma-separated http(s) base URLs, one per member, e.g. http://10.0.0.1:8080,http://10.0.0.2:8080"
 )
+
+// DefaultPartitions is the cluster partition count selected by -partitions 0.
+const DefaultPartitions = 8
 
 // ParseRNGFlag maps a -rng flag value to its generator kind.
 func ParseRNGFlag(name string) (rng.Kind, error) {
@@ -84,6 +93,45 @@ func ValidateShardCount(shards int) (int, error) {
 func ValidatePercent(flagName string, v int) error {
 	if v < 0 || v > 100 {
 		return fmt.Errorf("invalid -%s %d (valid: %s)", flagName, v, ValidPercentRange)
+	}
+	return nil
+}
+
+// ValidatePartitionCount checks a cluster -partitions flag value (0 = auto,
+// otherwise a power of two) and resolves 0 to the default.
+func ValidatePartitionCount(partitions int) (int, error) {
+	if partitions < 0 || (partitions > 0 && partitions&(partitions-1) != 0) {
+		return 0, fmt.Errorf("invalid -partitions %d (valid: %s)", partitions, ValidPartitionCounts)
+	}
+	if partitions == 0 {
+		return DefaultPartitions, nil
+	}
+	return partitions, nil
+}
+
+// ParsePeersFlag splits a cluster -peers flag into the member base URLs,
+// trimming whitespace and trailing slashes and validating each entry.
+func ParsePeersFlag(peers string) ([]string, error) {
+	if strings.TrimSpace(peers) == "" {
+		return nil, fmt.Errorf("invalid -peers %q (valid: %s)", peers, ValidPeersFormat)
+	}
+	parts := strings.Split(peers, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		u, err := url.Parse(p)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("invalid -peers entry %q (valid: %s)", p, ValidPeersFormat)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ValidateNodeID checks a cluster -node-id against the parsed peer list.
+func ValidateNodeID(nodeID, peerCount int) error {
+	if nodeID < 0 || nodeID >= peerCount {
+		return fmt.Errorf("invalid -node-id %d (valid: 0..%d, an index into -peers)", nodeID, peerCount-1)
 	}
 	return nil
 }

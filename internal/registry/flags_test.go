@@ -164,3 +164,51 @@ func TestValidatePercent(t *testing.T) {
 		}
 	}
 }
+
+// TestPartitionCountValidation covers the cluster -partitions domain.
+func TestPartitionCountValidation(t *testing.T) {
+	if got, err := ValidatePartitionCount(0); err != nil || got != DefaultPartitions {
+		t.Fatalf("auto partitions = %d err %v, want %d", got, err, DefaultPartitions)
+	}
+	for _, ok := range []int{1, 2, 4, 8, 64} {
+		if got, err := ValidatePartitionCount(ok); err != nil || got != ok {
+			t.Fatalf("ValidatePartitionCount(%d) = %d, %v", ok, got, err)
+		}
+	}
+	for _, bad := range []int{-1, 3, 6, 12, 100} {
+		_, err := ValidatePartitionCount(bad)
+		if err == nil {
+			t.Fatalf("ValidatePartitionCount(%d) accepted a non-power-of-two", bad)
+		}
+		if !strings.Contains(err.Error(), ValidPartitionCounts) {
+			t.Fatalf("error %q does not describe the domain %q", err, ValidPartitionCounts)
+		}
+	}
+}
+
+// TestPeersAndNodeIDValidation covers the cluster -peers/-node-id pair.
+func TestPeersAndNodeIDValidation(t *testing.T) {
+	urls, err := ParsePeersFlag(" http://10.0.0.1:8080 ,http://10.0.0.2:8080/")
+	if err != nil {
+		t.Fatalf("ParsePeersFlag: %v", err)
+	}
+	want := []string{"http://10.0.0.1:8080", "http://10.0.0.2:8080"}
+	for i, u := range urls {
+		if u != want[i] {
+			t.Fatalf("peer %d = %q, want %q (trimmed, no trailing slash)", i, u, want[i])
+		}
+	}
+	for _, bad := range []string{"", "   ", "tcp://x", "http://", "http://a,,http://b"} {
+		if _, err := ParsePeersFlag(bad); err == nil {
+			t.Fatalf("ParsePeersFlag(%q) accepted garbage", bad)
+		}
+	}
+	if err := ValidateNodeID(1, 2); err != nil {
+		t.Fatalf("ValidateNodeID(1, 2): %v", err)
+	}
+	for _, bad := range []int{-1, 2, 99} {
+		if err := ValidateNodeID(bad, 2); err == nil {
+			t.Fatalf("ValidateNodeID(%d, 2) accepted out-of-range id", bad)
+		}
+	}
+}

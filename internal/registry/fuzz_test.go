@@ -1,0 +1,121 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/levelarray/levelarray/internal/tas"
+)
+
+// The Parse*Flag fuzz targets: whatever a user types after a flag — random
+// casing, whitespace, control bytes, absurd lengths — parsing must never
+// panic, and every rejection must still enumerate the full vocabulary so the
+// error is self-documenting. `go test` runs the seed corpus below as plain
+// unit tests on every CI run; `go test -fuzz FuzzParseFlagVocabularies`
+// explores further.
+
+// fuzzSeedInputs mixes valid spellings, near-misses, and hostile input.
+var fuzzSeedInputs = []string{
+	"", " ", "\t\n", "xorshift", "XORSHIFT", " xorshift ", "bitmap",
+	"bitmap-padded", "Bitmap", "word", "slot", "WORD ", "occupancy",
+	"random", "sequential", "rand0m", "\x00\xff", "日本語",
+	strings.Repeat("a", 1<<12), "xorshift,lehmer", "-", "--", "nil",
+}
+
+func FuzzParseRNGFlag(f *testing.F) {
+	for _, s := range fuzzSeedInputs {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		if _, err := ParseRNGFlag(name); err != nil {
+			if !strings.Contains(err.Error(), ValidRNGNames) {
+				t.Fatalf("ParseRNGFlag(%q) error %q does not enumerate %q", name, err, ValidRNGNames)
+			}
+		}
+	})
+}
+
+func FuzzParseSpaceFlag(f *testing.F) {
+	for _, s := range fuzzSeedInputs {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		if _, err := ParseSpaceFlag(name); err != nil {
+			if !strings.Contains(err.Error(), ValidSpaceNames) {
+				t.Fatalf("ParseSpaceFlag(%q) error %q does not enumerate %q", name, err, ValidSpaceNames)
+			}
+		}
+	})
+}
+
+func FuzzParseProbeFlag(f *testing.F) {
+	for _, s := range fuzzSeedInputs {
+		f.Add(s, uint8(tas.KindBitmap))
+	}
+	f.Add("word", uint8(tas.KindCompact)) // valid mode, incompatible space
+	f.Fuzz(func(t *testing.T, name string, space uint8) {
+		_, err := ParseProbeFlag(name, tas.Kind(space))
+		if err != nil && !strings.Contains(err.Error(), "valid:") {
+			t.Fatalf("ParseProbeFlag(%q, %d) error %q does not list valid options", name, space, err)
+		}
+	})
+}
+
+func FuzzParseStealFlag(f *testing.F) {
+	for _, s := range fuzzSeedInputs {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		if _, err := ParseStealFlag(name); err != nil {
+			if !strings.Contains(err.Error(), "occupancy") {
+				t.Fatalf("ParseStealFlag(%q) error %q does not enumerate the policies", name, err)
+			}
+		}
+	})
+}
+
+func FuzzParsePeersFlag(f *testing.F) {
+	for _, s := range fuzzSeedInputs {
+		f.Add(s)
+	}
+	f.Add("http://127.0.0.1:8080,http://127.0.0.1:8081")
+	f.Add("http://a , http://b/")
+	f.Add("ftp://nope")
+	f.Add("http://")
+	f.Add(",,,")
+	f.Fuzz(func(t *testing.T, peers string) {
+		urls, err := ParsePeersFlag(peers)
+		if err != nil {
+			if !strings.Contains(err.Error(), ValidPeersFormat) {
+				t.Fatalf("ParsePeersFlag(%q) error %q does not describe the format", peers, err)
+			}
+			return
+		}
+		if len(urls) == 0 {
+			t.Fatalf("ParsePeersFlag(%q) returned no members and no error", peers)
+		}
+		for _, u := range urls {
+			if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+				t.Fatalf("ParsePeersFlag(%q) accepted non-http entry %q", peers, u)
+			}
+			if strings.HasSuffix(u, "/") {
+				t.Fatalf("ParsePeersFlag(%q) left a trailing slash on %q", peers, u)
+			}
+		}
+	})
+}
+
+func FuzzParseAlgorithm(f *testing.F) {
+	for _, s := range fuzzSeedInputs {
+		f.Add(s)
+	}
+	f.Add("Sharded")
+	f.Add("LevelArray")
+	f.Fuzz(func(t *testing.T, name string) {
+		if _, err := Parse(name); err != nil {
+			if !strings.Contains(err.Error(), KnownNames()) {
+				t.Fatalf("Parse(%q) error %q does not enumerate %q", name, err, KnownNames())
+			}
+		}
+	})
+}

@@ -35,43 +35,50 @@ func NewClient(base string, hc *http.Client) *Client {
 }
 
 // post sends one JSON request and decodes the response into out (on 2xx) or
-// an ErrorResponse (otherwise). It returns the HTTP status.
-func (c *Client) post(path string, in, out any) (int, error) {
+// an ErrorResponse (otherwise). It returns the HTTP status and headers.
+func (c *Client) post(path string, in, out any) (int, http.Header, error) {
 	body, err := json.Marshal(in)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	defer func() {
 		_, _ = io.Copy(io.Discard, resp.Body)
 		_ = resp.Body.Close()
 	}()
 	if resp.StatusCode/100 == 2 && out != nil {
-		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+		return resp.StatusCode, resp.Header, json.NewDecoder(resp.Body).Decode(out)
 	}
-	return resp.StatusCode, nil
+	return resp.StatusCode, resp.Header, nil
 }
 
 // Acquire requests a lease; see AcquireRequest.TTLMillis for the encoding.
-func (c *Client) Acquire(ttlMillis int64) (LeaseResponse, int, error) {
+// On a 503 the returned duration carries the server's Retry-After pacing
+// hint (zero otherwise, or when the server sent none).
+func (c *Client) Acquire(ttlMillis int64) (LeaseResponse, int, time.Duration, error) {
 	var l LeaseResponse
-	status, err := c.post("/acquire", AcquireRequest{TTLMillis: ttlMillis}, &l)
-	return l, status, err
+	status, header, err := c.post("/acquire", AcquireRequest{TTLMillis: ttlMillis}, &l)
+	var hint time.Duration
+	if status == http.StatusServiceUnavailable {
+		hint = RetryAfterHint(header, 0)
+	}
+	return l, status, hint, err
 }
 
 // Renew extends a lease.
 func (c *Client) Renew(name int, token uint64, ttlMillis int64) (LeaseResponse, int, error) {
 	var l LeaseResponse
-	status, err := c.post("/renew", RenewRequest{Name: name, Token: token, TTLMillis: ttlMillis}, &l)
+	status, _, err := c.post("/renew", RenewRequest{Name: name, Token: token, TTLMillis: ttlMillis}, &l)
 	return l, status, err
 }
 
 // Release frees a lease.
 func (c *Client) Release(name int, token uint64) (int, error) {
-	return c.post("/release", ReleaseRequest{Name: name, Token: token}, nil)
+	status, _, err := c.post("/release", ReleaseRequest{Name: name, Token: token}, nil)
+	return status, err
 }
 
 // Stats fetches the service statistics.
@@ -399,7 +406,8 @@ func loadRound(client *Client, cfg LoadConfig, led *ledger, gen rng.Source, tick
 	for {
 		t0 = time.Now()
 		var err error
-		l, status, err = client.Acquire(ttlMillis)
+		var hint time.Duration
+		l, status, hint, err = client.Acquire(ttlMillis)
 		lat := time.Since(t0)
 		if err != nil {
 			return err
@@ -412,9 +420,14 @@ func loadRound(client *Client, cfg LoadConfig, led *ledger, gen rng.Source, tick
 		}
 		if status == http.StatusServiceUnavailable {
 			// Namespace exhausted by not-yet-expired abandoned leases: back
-			// off one tick and retry. Expected at high crash fractions.
+			// off for the server's Retry-After pacing (one expirer tick as
+			// the fallback) so saturation runs measure service time, not
+			// spin. Expected at high crash fractions.
 			led.fullRetries.Add(1)
-			time.Sleep(tick)
+			if hint <= 0 {
+				hint = tick
+			}
+			time.Sleep(hint)
 			continue
 		}
 		return fmt.Errorf("loadgen: acquire returned status %d", status)

@@ -9,13 +9,18 @@
 //	POST /renew    {"name": 3, "token": 97, "ttl_ms": 5000} -> lease
 //	POST /release  {"name": 3, "token": 97}              -> {"released": true}
 //	GET  /collect                                        -> {"count": n, "names": [...]}
+//	GET  /leases?start=0&limit=100                       -> active-session page
 //	GET  /stats                                          -> lease + shard statistics
 //	GET  /healthz                                        -> {"ok": true}
 //
 // Status codes map the lease-layer errors: 503 when the namespace is
 // exhausted (activity.ErrFull) or the manager is shut down, 409 on fencing
 // failures (stale token, not leased), 400 on malformed requests. The 409
-// body carries an error code distinguishing the two fencing cases.
+// body carries an error code distinguishing the two fencing cases. A full
+// 503 carries Retry-After (whole seconds, as HTTP requires) and
+// X-Retry-After-Ms (exact milliseconds, one expirer tick) so saturated
+// clients can pace their retries on the service's reclaim granularity
+// instead of hot-spinning.
 package server
 
 import (
@@ -24,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"github.com/levelarray/levelarray/internal/activity"
@@ -73,6 +79,29 @@ type CollectResponse struct {
 	Count int   `json:"count"`
 	Names []int `json:"names"`
 }
+
+// SessionJSON is one active session in a /leases page.
+type SessionJSON struct {
+	Name  int    `json:"name"`
+	Token uint64 `json:"token"`
+	// DeadlineUnixMillis is the session deadline; 0 for an infinite lease.
+	DeadlineUnixMillis int64 `json:"deadline_unix_ms"`
+}
+
+// LeasesResponse is the body returned by /leases: one page of active
+// sessions in ascending name order. Next is the start cursor of the
+// following page, -1 once the namespace is exhausted.
+type LeasesResponse struct {
+	Sessions []SessionJSON `json:"sessions"`
+	Next     int           `json:"next"`
+	Active   int           `json:"active"`
+}
+
+// /leases pagination bounds.
+const (
+	DefaultLeasesPageLimit = 100
+	MaxLeasesPageLimit     = 1000
+)
 
 // StatsResponse is the body returned by /stats.
 type StatsResponse struct {
@@ -126,6 +155,7 @@ func New(mgr *lease.Manager, cfg Config) *Server {
 	s.mux.HandleFunc("POST /renew", s.handleRenew)
 	s.mux.HandleFunc("POST /release", s.handleRelease)
 	s.mux.HandleFunc("GET /collect", s.handleCollect)
+	s.mux.HandleFunc("GET /leases", s.handleLeases)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
@@ -157,30 +187,82 @@ func (s *Server) Serve(ctx context.Context, addr string) error {
 	return nil
 }
 
-// decode parses a JSON request body into dst with a size cap.
-func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
-	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+// DecodeJSON parses a JSON request body into dst with a size cap, writing
+// the 400 itself on failure. Shared with the cluster node so both layers
+// apply the same strictness and error shape.
+func DecodeJSON(w http.ResponseWriter, r *http.Request, dst any, maxBytes int64) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		writeError(w, http.StatusBadRequest, ErrCodeBadRequest)
+		WriteError(w, http.StatusBadRequest, ErrCodeBadRequest)
 		return false
 	}
 	return true
 }
 
-func writeJSON(w http.ResponseWriter, status int, body any) {
+// decode applies DecodeJSON with this server's body cap.
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	return DecodeJSON(w, r, dst, maxBodyBytes)
+}
+
+// WriteJSON writes one JSON response.
+func WriteJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(body)
 }
 
-func writeError(w http.ResponseWriter, status int, code string) {
-	writeJSON(w, status, ErrorResponse{Error: code})
+func writeJSON(w http.ResponseWriter, status int, body any) { WriteJSON(w, status, body) }
+
+// WriteError writes one ErrorResponse-coded failure.
+func WriteError(w http.ResponseWriter, status int, code string) {
+	WriteJSON(w, status, ErrorResponse{Error: code})
 }
 
-// writeLeaseError maps a lease-layer error to its status and code.
-func writeLeaseError(w http.ResponseWriter, err error) {
+func writeError(w http.ResponseWriter, status int, code string) { WriteError(w, status, code) }
+
+// WriteUnavailable writes a 503 with the given error code and retry hints:
+// the standard Retry-After header in whole seconds (rounded up, as HTTP
+// requires) plus X-Retry-After-Ms carrying the exact wait, so loopback
+// clients are not forced onto a one-second retry floor.
+func WriteUnavailable(w http.ResponseWriter, code string, wait time.Duration) {
+	if wait <= 0 {
+		wait = time.Millisecond
+	}
+	secs := int64((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	millis := wait.Milliseconds()
+	if millis < 1 {
+		millis = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	w.Header().Set("X-Retry-After-Ms", strconv.FormatInt(millis, 10))
+	writeError(w, http.StatusServiceUnavailable, code)
+}
+
+// RetryAfterHint extracts the retry pacing from a 503's headers, preferring
+// the millisecond-precision X-Retry-After-Ms over the whole-second
+// Retry-After; fallback is returned when neither parses.
+func RetryAfterHint(h http.Header, fallback time.Duration) time.Duration {
+	if v := h.Get("X-Retry-After-Ms"); v != "" {
+		if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 {
+			return time.Duration(ms) * time.Millisecond
+		}
+	}
+	if v := h.Get("Retry-After"); v != "" {
+		if secs, err := strconv.ParseInt(v, 10, 64); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return fallback
+}
+
+// WriteLeaseError maps a lease-layer error to its status and code; the
+// cluster node shares it so both layers speak the same error vocabulary.
+func WriteLeaseError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, activity.ErrFull):
 		writeError(w, http.StatusServiceUnavailable, ErrCodeFull)
@@ -225,7 +307,13 @@ func (s *Server) handleAcquire(w http.ResponseWriter, r *http.Request) {
 	}
 	l, err := s.mgr.Acquire(s.ttlOf(req.TTLMillis))
 	if err != nil {
-		writeLeaseError(w, err)
+		if errors.Is(err, activity.ErrFull) {
+			// Slots free up when leases expire, so one expirer tick is the
+			// natural retry pacing for a saturated namespace.
+			WriteUnavailable(w, ErrCodeFull, s.mgr.TickInterval())
+			return
+		}
+		WriteLeaseError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, leaseResponse(l))
@@ -238,7 +326,7 @@ func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
 	}
 	l, err := s.mgr.Renew(req.Name, req.Token, s.ttlOf(req.TTLMillis))
 	if err != nil {
-		writeLeaseError(w, err)
+		WriteLeaseError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, leaseResponse(l))
@@ -250,7 +338,7 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.mgr.Release(req.Name, req.Token); err != nil {
-		writeLeaseError(w, err)
+		WriteLeaseError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ReleaseResponse{Released: true})
@@ -262,6 +350,59 @@ func (s *Server) handleCollect(w http.ResponseWriter, r *http.Request) {
 		names = []int{}
 	}
 	writeJSON(w, http.StatusOK, CollectResponse{Count: len(names), Names: names})
+}
+
+// ParseLeasesQuery reads the start/limit pagination parameters of a /leases
+// request, applying the default and maximum page limits. Shared with the
+// cluster node, whose /leases endpoint pages the same wire API.
+func ParseLeasesQuery(r *http.Request) (start, limit int, err error) {
+	start, limit = 0, DefaultLeasesPageLimit
+	q := r.URL.Query()
+	if v := q.Get("start"); v != "" {
+		n, perr := strconv.Atoi(v)
+		if perr != nil || n < 0 {
+			return 0, 0, fmt.Errorf("invalid start %q", v)
+		}
+		start = n
+	}
+	if v := q.Get("limit"); v != "" {
+		n, perr := strconv.Atoi(v)
+		if perr != nil || n < 1 {
+			return 0, 0, fmt.Errorf("invalid limit %q", v)
+		}
+		limit = n
+	}
+	if limit > MaxLeasesPageLimit {
+		limit = MaxLeasesPageLimit
+	}
+	return start, limit, nil
+}
+
+// LeasesPage turns one Manager.Sessions page into the /leases wire shape.
+func LeasesPage(mgr *lease.Manager, r *http.Request) (LeasesResponse, error) {
+	start, limit, err := ParseLeasesQuery(r)
+	if err != nil {
+		return LeasesResponse{}, err
+	}
+	page, next := mgr.Sessions(start, limit)
+	resp := LeasesResponse{Sessions: make([]SessionJSON, 0, len(page)), Next: next, Active: mgr.Active()}
+	for _, sess := range page {
+		j := SessionJSON{Name: sess.Name, Token: sess.Token}
+		if !sess.Deadline.IsZero() {
+			j.DeadlineUnixMillis = sess.Deadline.UnixMilli()
+		}
+		resp.Sessions = append(resp.Sessions, j)
+	}
+	return resp, nil
+}
+
+func (s *Server) handleLeases(w http.ResponseWriter, r *http.Request) {
+	resp, err := LeasesPage(s.mgr, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

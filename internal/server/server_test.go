@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -33,7 +34,7 @@ func TestAcquireRenewReleaseOverHTTP(t *testing.T) {
 	srv, _ := newTestService(t, 8, 10*time.Millisecond)
 	c := NewClient(srv.URL, srv.Client())
 
-	l, status, err := c.Acquire(5000)
+	l, status, _, err := c.Acquire(5000)
 	if err != nil || status != http.StatusOK {
 		t.Fatalf("acquire: status %d err %v", status, err)
 	}
@@ -64,7 +65,7 @@ func TestAcquireRenewReleaseOverHTTP(t *testing.T) {
 func TestInfiniteTTLOverHTTP(t *testing.T) {
 	srv, _ := newTestService(t, 8, 10*time.Millisecond)
 	c := NewClient(srv.URL, srv.Client())
-	l, status, err := c.Acquire(-1)
+	l, status, _, err := c.Acquire(-1)
 	if err != nil || status != http.StatusOK {
 		t.Fatalf("acquire: status %d err %v", status, err)
 	}
@@ -80,11 +81,11 @@ func TestFullNamespaceReturns503(t *testing.T) {
 	srv, mgr := newTestService(t, 1, 10*time.Millisecond)
 	c := NewClient(srv.URL, srv.Client())
 	for i := 0; i < mgr.Size(); i++ {
-		if _, status, err := c.Acquire(-1); err != nil || status != http.StatusOK {
+		if _, status, _, err := c.Acquire(-1); err != nil || status != http.StatusOK {
 			t.Fatalf("acquire %d: status %d err %v", i, status, err)
 		}
 	}
-	if _, status, _ := c.Acquire(-1); status != http.StatusServiceUnavailable {
+	if _, status, _, _ := c.Acquire(-1); status != http.StatusServiceUnavailable {
 		t.Fatalf("acquire on full namespace status = %d, want 503", status)
 	}
 }
@@ -92,7 +93,7 @@ func TestFullNamespaceReturns503(t *testing.T) {
 func TestCollectAndStatsEndpoints(t *testing.T) {
 	srv, _ := newTestService(t, 8, 10*time.Millisecond)
 	c := NewClient(srv.URL, srv.Client())
-	l, _, err := c.Acquire(5000)
+	l, _, _, err := c.Acquire(5000)
 	if err != nil {
 		t.Fatalf("acquire: %v", err)
 	}
@@ -189,7 +190,7 @@ func TestGracefulShutdown(t *testing.T) {
 	c := NewClient("http://"+addr, nil)
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		if _, _, err := c.Acquire(-1); err == nil {
+		if _, _, _, err := c.Acquire(-1); err == nil {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -300,7 +301,7 @@ func TestLoadgenDetectsViolations(t *testing.T) {
 func TestClientHelpers(t *testing.T) {
 	srv, _ := newTestService(t, 2, 10*time.Millisecond)
 	c := NewClient(srv.URL, nil)
-	l, status, err := c.Acquire(0) // 0 selects the server default TTL
+	l, status, _, err := c.Acquire(0) // 0 selects the server default TTL
 	if err != nil || status != http.StatusOK {
 		t.Fatalf("acquire: status %d err %v", status, err)
 	}
@@ -309,5 +310,139 @@ func TestClientHelpers(t *testing.T) {
 	}
 	if _, err := c.Stats(); err != nil {
 		t.Fatalf("stats: %v", err)
+	}
+}
+
+// TestFullResponseCarriesRetryAfter asserts a saturated acquire advertises
+// its retry pacing in both the standard and millisecond-precision headers,
+// and that the client surfaces it as the hint.
+func TestFullResponseCarriesRetryAfter(t *testing.T) {
+	tick := 30 * time.Millisecond
+	srv, mgr := newTestService(t, 1, tick)
+	c := NewClient(srv.URL, srv.Client())
+	for i := 0; i < mgr.Size(); i++ {
+		if _, status, _, err := c.Acquire(-1); err != nil || status != http.StatusOK {
+			t.Fatalf("acquire %d: status %d err %v", i, status, err)
+		}
+	}
+
+	resp, err := srv.Client().Post(srv.URL+"/acquire", "application/json", bytes.NewReader([]byte(`{"ttl_ms": -1}`)))
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want %q (tick rounded up to whole seconds)", got, "1")
+	}
+	if got := resp.Header.Get("X-Retry-After-Ms"); got != "30" {
+		t.Fatalf("X-Retry-After-Ms = %q, want %q", got, "30")
+	}
+	if hint := RetryAfterHint(resp.Header, 0); hint != tick {
+		t.Fatalf("RetryAfterHint = %v, want %v", hint, tick)
+	}
+
+	if _, status, hint, err := c.Acquire(-1); err != nil || status != http.StatusServiceUnavailable || hint != tick {
+		t.Fatalf("client acquire: status %d hint %v err %v, want 503 hint %v", status, hint, err, tick)
+	}
+}
+
+// TestRetryAfterHintFallbacks covers the header-parsing precedence.
+func TestRetryAfterHintFallbacks(t *testing.T) {
+	h := http.Header{}
+	if got := RetryAfterHint(h, 42*time.Millisecond); got != 42*time.Millisecond {
+		t.Fatalf("empty headers hint = %v, want fallback", got)
+	}
+	h.Set("Retry-After", "2")
+	if got := RetryAfterHint(h, 0); got != 2*time.Second {
+		t.Fatalf("seconds hint = %v, want 2s", got)
+	}
+	h.Set("X-Retry-After-Ms", "150")
+	if got := RetryAfterHint(h, 0); got != 150*time.Millisecond {
+		t.Fatalf("ms hint = %v, want 150ms", got)
+	}
+	h.Set("X-Retry-After-Ms", "garbage")
+	if got := RetryAfterHint(h, 0); got != 2*time.Second {
+		t.Fatalf("bad ms hint = %v, want 2s from Retry-After", got)
+	}
+}
+
+// TestLeasesEndpointPaginates drives GET /leases through multiple pages and
+// checks it lists exactly the active sessions.
+func TestLeasesEndpointPaginates(t *testing.T) {
+	srv, _ := newTestService(t, 16, 10*time.Millisecond)
+	c := NewClient(srv.URL, srv.Client())
+
+	granted := make(map[int]uint64)
+	for i := 0; i < 6; i++ {
+		l, status, _, err := c.Acquire(60_000)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("acquire: status %d err %v", status, err)
+		}
+		granted[l.Name] = l.Token
+	}
+
+	seen := make(map[int]SessionJSON)
+	start := "0"
+	for start != "" {
+		resp, err := srv.Client().Get(srv.URL + "/leases?limit=2&start=" + start)
+		if err != nil {
+			t.Fatalf("GET /leases: %v", err)
+		}
+		var page LeasesResponse
+		if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /leases status = %d", resp.StatusCode)
+		}
+		if page.Active != len(granted) {
+			t.Fatalf("active = %d, want %d", page.Active, len(granted))
+		}
+		if len(page.Sessions) > 2 {
+			t.Fatalf("page of %d exceeds limit 2", len(page.Sessions))
+		}
+		for _, s := range page.Sessions {
+			if _, dup := seen[s.Name]; dup {
+				t.Fatalf("name %d listed twice", s.Name)
+			}
+			seen[s.Name] = s
+		}
+		if page.Next == -1 {
+			start = ""
+		} else {
+			start = fmt.Sprintf("%d", page.Next)
+		}
+	}
+
+	if len(seen) != len(granted) {
+		t.Fatalf("listed %d sessions, want %d", len(seen), len(granted))
+	}
+	for name, token := range granted {
+		s, ok := seen[name]
+		if !ok {
+			t.Fatalf("granted name %d missing from /leases", name)
+		}
+		if s.Token != token {
+			t.Fatalf("name %d token %d, want %d", name, s.Token, token)
+		}
+		if s.DeadlineUnixMillis == 0 {
+			t.Fatalf("finite lease %d listed without deadline", name)
+		}
+	}
+
+	// Malformed cursors are 400s, not panics.
+	for _, q := range []string{"?start=-1", "?start=x", "?limit=0", "?limit=x"} {
+		resp, err := srv.Client().Get(srv.URL + "/leases" + q)
+		if err != nil {
+			t.Fatalf("GET /leases%s: %v", q, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET /leases%s status = %d, want 400", q, resp.StatusCode)
+		}
 	}
 }
