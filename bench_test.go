@@ -16,6 +16,7 @@ package levelarray_test
 
 import (
 	"fmt"
+	"net"
 	"net/http/httptest"
 	"runtime"
 	"sync"
@@ -32,6 +33,7 @@ import (
 	"github.com/levelarray/levelarray/internal/sched"
 	"github.com/levelarray/levelarray/internal/server"
 	"github.com/levelarray/levelarray/internal/shard"
+	"github.com/levelarray/levelarray/internal/wire"
 )
 
 // prefillArray registers `count` resident handles that stay registered for
@@ -842,6 +844,162 @@ func BenchmarkLeaseServiceLoopback(b *testing.B) {
 			wg.Wait()
 		})
 	}
+}
+
+// startWireService boots the full service stack (server -> lease -> shard ->
+// core) behind a real TCP loopback listener speaking the binary wire
+// protocol, and returns its address.
+func startWireService(b *testing.B) (addr string, done func()) {
+	b.Helper()
+	arr := shard.MustNew(shard.Config{Shards: 4, Capacity: 4096, Seed: 71})
+	mgr := lease.MustNewManager(arr, lease.Config{TickInterval: 100 * time.Millisecond})
+	mgr.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		mgr.Close()
+		b.Fatalf("wire listener: %v", err)
+	}
+	srv := wire.NewServer(server.NewWireBackend(mgr, server.Config{}))
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() {
+		_ = srv.Close()
+		mgr.Close()
+	}
+}
+
+// BenchmarkWireServiceLoopback is the wire-protocol counterpart of
+// BenchmarkLeaseServiceLoopback: one acquire+release session as two binary
+// frames over a single pooled connection, with g concurrent clients sharing
+// it (g=8 exercises pipelining and write-combining on one socket). The
+// ns/op delta against the HTTP benchmark is the network tax this protocol
+// exists to close.
+func BenchmarkWireServiceLoopback(b *testing.B) {
+	for _, goroutines := range []int{1, 8} {
+		goroutines := goroutines
+		b.Run(fmt.Sprintf("g=%d", goroutines), func(b *testing.B) {
+			addr, done := startWireService(b)
+			defer done()
+			wc := wire.NewClient(addr, nil)
+			defer wc.Close()
+			client := server.NewWireClient(wc)
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for w := 0; w < goroutines; w++ {
+				iters := b.N / goroutines
+				if w < b.N%goroutines {
+					iters++
+				}
+				wg.Add(1)
+				go func(iters int) {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						l, status, _, err := client.Acquire(60_000)
+						if err != nil || status != 200 {
+							b.Errorf("acquire: status %d err %v", status, err)
+							return
+						}
+						if status, err := client.Release(l.Name, l.Token); err != nil || status != 200 {
+							b.Errorf("release: status %d err %v", status, err)
+							return
+						}
+					}
+				}(iters)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkWireBatchLoopback measures the batched session shape: one
+// AcquireN frame granting 64 leases and one ReleaseN frame returning them,
+// amortizing the wire round trip over the whole batch. ns/lease-op is the
+// amortized per-lease cost (128 lease operations per iteration).
+func BenchmarkWireBatchLoopback(b *testing.B) {
+	const batch = 64
+	addr, done := startWireService(b)
+	defer done()
+	wc := wire.NewClient(addr, nil)
+	defer wc.Close()
+	client := server.NewWireClient(wc)
+	grants := make([]server.LeaseResponse, 0, batch)
+	refs := make([]server.LeaseRef, 0, batch)
+	results := make([]server.RenewResult, 0, batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var status int
+		var err error
+		grants, status, _, err = client.AcquireBatch(batch, 60_000, grants[:0])
+		if err != nil || status != 200 || len(grants) != batch {
+			b.Fatalf("AcquireBatch: status %d, %d grants, err %v", status, len(grants), err)
+		}
+		refs = refs[:0]
+		for _, g := range grants {
+			refs = append(refs, server.LeaseRef{Name: g.Name, Token: g.Token})
+		}
+		results, status, err = client.ReleaseBatch(refs, results[:0])
+		if err != nil || status != 200 {
+			b.Fatalf("ReleaseBatch: status %d err %v", status, err)
+		}
+		for j, r := range results {
+			if r.Status != 200 {
+				b.Fatalf("release item %d: status %d", j, r.Status)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(2*batch), "ns/lease-op")
+}
+
+// BenchmarkServiceAB is the HTTP-vs-wire A/B pair behind scripts/bench.sh
+// --ab: the identical workload (8 clients churning acquire+release sessions
+// against the identical service stack) over both transports, so the ns/op
+// ratio is the wire protocol's speedup. Only the transport differs — JSON
+// POSTs over per-request HTTP handling vs binary frames pipelined on one
+// pooled connection.
+func BenchmarkServiceAB(b *testing.B) {
+	const goroutines = 8
+	session := func(b *testing.B, api server.LeaseAPI) {
+		var wg sync.WaitGroup
+		b.ResetTimer()
+		for w := 0; w < goroutines; w++ {
+			iters := b.N / goroutines
+			if w < b.N%goroutines {
+				iters++
+			}
+			wg.Add(1)
+			go func(iters int) {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					l, status, _, err := api.Acquire(60_000)
+					if err != nil || status != 200 {
+						b.Errorf("acquire: status %d err %v", status, err)
+						return
+					}
+					if status, err := api.Release(l.Name, l.Token); err != nil || status != 200 {
+						b.Errorf("release: status %d err %v", status, err)
+						return
+					}
+				}
+			}(iters)
+		}
+		wg.Wait()
+	}
+	b.Run("proto=http", func(b *testing.B) {
+		arr := shard.MustNew(shard.Config{Shards: 4, Capacity: 4096, Seed: 71})
+		mgr := lease.MustNewManager(arr, lease.Config{TickInterval: 100 * time.Millisecond})
+		mgr.Start()
+		defer mgr.Close()
+		srv := httptest.NewServer(server.New(mgr, server.Config{}))
+		defer srv.Close()
+		session(b, server.NewClient(srv.URL, nil))
+	})
+	b.Run("proto=wire", func(b *testing.B) {
+		addr, done := startWireService(b)
+		defer done()
+		wc := wire.NewClient(addr, nil)
+		defer wc.Close()
+		session(b, server.NewWireClient(wc))
+	})
 }
 
 // BenchmarkLaloadLoopbackSmoke is the laload loopback smoke run in benchmark

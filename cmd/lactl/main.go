@@ -7,6 +7,13 @@
 //
 // members and stats need a cluster member; leases also works against a
 // standalone laserve (which serves the same /leases endpoint).
+//
+// -proto wire reads the same responses over the binary wire protocol
+// instead of HTTP; point -addr at a member's wire endpoint (host:port,
+// the laserve -wire-addr) and lactl walks the rest of the cluster via
+// the wire endpoints advertised in the membership table:
+//
+//	lactl -proto wire -addr 127.0.0.1:7101 stats
 package main
 
 import (
@@ -20,8 +27,10 @@ import (
 	"time"
 
 	"github.com/levelarray/levelarray/internal/cluster"
+	"github.com/levelarray/levelarray/internal/registry"
 	"github.com/levelarray/levelarray/internal/server"
 	"github.com/levelarray/levelarray/internal/stats"
+	"github.com/levelarray/levelarray/internal/wire"
 )
 
 func main() {
@@ -32,34 +41,82 @@ func main() {
 }
 
 func usage() string {
-	return "usage: lactl [-addr URL] [-limit N] members|stats|leases"
+	return "usage: lactl [-addr URL|host:port] [-proto http|wire] [-limit N] members|stats|leases"
 }
 
 func run() error {
-	addr := flag.String("addr", "http://127.0.0.1:8080", "any cluster member (or standalone laserve) base URL")
+	addr := flag.String("addr", "http://127.0.0.1:8080", "any cluster member (or standalone laserve): base URL, or host:port with -proto wire")
+	protoName := flag.String("proto", "http", "transport protocol: "+registry.ValidProtoNames)
 	limit := flag.Int("limit", 50, "maximum sessions to list (leases)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		return fmt.Errorf("%s", usage())
 	}
-	base := strings.TrimRight(*addr, "/")
-	hc := &http.Client{Timeout: 5 * time.Second}
+	proto, err := registry.ParseProtoFlag(*protoName)
+	if err != nil {
+		return err
+	}
+	src := &source{
+		proto:    proto,
+		base:     strings.TrimRight(*addr, "/"),
+		hc:       &http.Client{Timeout: 5 * time.Second},
+		wclients: map[string]*wire.Client{},
+	}
+	defer src.close()
 
 	switch flag.Arg(0) {
 	case "members":
-		return runMembers(hc, base)
+		return runMembers(src)
 	case "stats":
-		return runStats(hc, base)
+		return runStats(src)
 	case "leases":
-		return runLeases(hc, base, *limit)
+		return runLeases(src, *limit)
 	default:
 		return fmt.Errorf("unknown command %q\n%s", flag.Arg(0), usage())
 	}
 }
 
+// source reads inspection responses over either transport. The commands
+// below only ever see decoded JSON bodies; whether they traveled as an
+// HTTP response or as the Blob of a wire read-opcode is decided here.
+type source struct {
+	proto    registry.Proto
+	base     string // HTTP base URL, or a wire host:port
+	hc       *http.Client
+	wclients map[string]*wire.Client // lazy, one per wire endpoint
+}
+
+func (s *source) close() {
+	for _, c := range s.wclients {
+		c.Close()
+	}
+}
+
+// wireFor returns the pooled client for one wire endpoint.
+func (s *source) wireFor(addr string) *wire.Client {
+	c, ok := s.wclients[addr]
+	if !ok {
+		c = wire.NewClient(addr, nil)
+		s.wclients[addr] = c
+	}
+	return c
+}
+
+// wireBlob issues one read opcode and decodes its JSON blob into out.
+func (s *source) wireBlob(addr string, req wire.Request, out any) error {
+	var resp wire.Response
+	if err := s.wireFor(addr).Do(&req, &resp); err != nil {
+		return err
+	}
+	if resp.Status != wire.StatusOK {
+		return fmt.Errorf("wire %s to %s returned status %d (%s)", req.Op, addr, resp.Status, resp.Code)
+	}
+	return json.Unmarshal(resp.Blob, out)
+}
+
 // getJSON fetches url and decodes the 2xx body into out.
-func getJSON(hc *http.Client, url string, out any) error {
-	resp, err := hc.Get(url)
+func (s *source) getJSON(url string, out any) error {
+	resp, err := s.hc.Get(url)
 	if err != nil {
 		return err
 	}
@@ -73,11 +130,45 @@ func getJSON(hc *http.Client, url string, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// fetchTable pulls the membership table; a 404 means the target is a
-// standalone laserve, not a cluster member.
-func fetchTable(hc *http.Client, base string) (cluster.Table, error) {
+// memberAddr picks the transport endpoint for one member; wire mode needs
+// the member to advertise a wire endpoint in the table.
+func (s *source) memberAddr(m cluster.Member) (string, error) {
+	if s.proto == registry.ProtoWire {
+		if m.WireAddr == "" {
+			return "", fmt.Errorf("member %d advertises no wire endpoint", m.ID)
+		}
+		return m.WireAddr, nil
+	}
+	return m.Addr, nil
+}
+
+// nodeStats reads one member's /stats body.
+func (s *source) nodeStats(addr string, out *cluster.NodeStatsResponse) error {
+	if s.proto == registry.ProtoWire {
+		return s.wireBlob(addr, wire.Request{Op: wire.OpStats}, out)
+	}
+	return s.getJSON(addr+"/stats", out)
+}
+
+// leasesPage reads one /leases page from addr.
+func (s *source) leasesPage(addr string, start, limit int, out *server.LeasesResponse) error {
+	if s.proto == registry.ProtoWire {
+		return s.wireBlob(addr, wire.Request{Op: wire.OpLeases, Start: int64(start), Limit: int64(limit)}, out)
+	}
+	return s.getJSON(fmt.Sprintf("%s/leases?start=%d&limit=%d", addr, start, limit), out)
+}
+
+// fetchTable pulls the membership table; a 404 (HTTP) or 400 (wire) means
+// the target is a standalone laserve, not a cluster member.
+func (s *source) fetchTable() (cluster.Table, error) {
 	var t cluster.Table
-	resp, err := hc.Get(base + "/cluster")
+	if s.proto == registry.ProtoWire {
+		if err := s.wireBlob(s.base, wire.Request{Op: wire.OpMembers}, &t); err != nil {
+			return t, fmt.Errorf("%s serves no membership table (standalone laserve?): %w", s.base, err)
+		}
+		return t, t.Validate()
+	}
+	resp, err := s.hc.Get(s.base + "/cluster")
 	if err != nil {
 		return t, err
 	}
@@ -86,10 +177,10 @@ func fetchTable(hc *http.Client, base string) (cluster.Table, error) {
 		_ = resp.Body.Close()
 	}()
 	if resp.StatusCode == http.StatusNotFound {
-		return t, fmt.Errorf("%s serves no /cluster endpoint (standalone laserve?)", base)
+		return t, fmt.Errorf("%s serves no /cluster endpoint (standalone laserve?)", s.base)
 	}
 	if resp.StatusCode/100 != 2 {
-		return t, fmt.Errorf("GET %s/cluster returned %d", base, resp.StatusCode)
+		return t, fmt.Errorf("GET %s/cluster returned %d", s.base, resp.StatusCode)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&t); err != nil {
 		return t, err
@@ -97,28 +188,32 @@ func fetchTable(hc *http.Client, base string) (cluster.Table, error) {
 	return t, t.Validate()
 }
 
-func runMembers(hc *http.Client, base string) error {
-	t, err := fetchTable(hc, base)
+func runMembers(src *source) error {
+	t, err := src.fetchTable()
 	if err != nil {
 		return err
 	}
 	tbl := stats.NewTable(
 		fmt.Sprintf("cluster epoch %d: %d partitions x stride %d (namespace %d, capacity %d)",
 			t.Epoch, t.Partitions, t.Stride, t.Size(), t.Capacity),
-		"member", "addr", "state", "partitions")
+		"member", "addr", "wire", "state", "partitions")
 	for _, m := range t.Members {
 		state := "up"
 		if m.Down {
 			state = "down"
 		}
-		tbl.AddRow(fmt.Sprintf("%d", m.ID), m.Addr, state, fmt.Sprintf("%v", t.PartitionsOf(m.ID)))
+		wireAddr := m.WireAddr
+		if wireAddr == "" {
+			wireAddr = "-"
+		}
+		tbl.AddRow(fmt.Sprintf("%d", m.ID), m.Addr, wireAddr, state, fmt.Sprintf("%v", t.PartitionsOf(m.ID)))
 	}
 	fmt.Println(tbl.String())
 	return nil
 }
 
-func runStats(hc *http.Client, base string) error {
-	t, err := fetchTable(hc, base)
+func runStats(src *source) error {
+	t, err := src.fetchTable()
 	if err != nil {
 		return err
 	}
@@ -127,9 +222,14 @@ func runStats(hc *http.Client, base string) error {
 		"partition", "member", "active", "capacity", "load", "acquires", "expirations", "quarantine")
 	var unreachable []string
 	for _, m := range t.Alive() {
+		addr, err := src.memberAddr(m)
+		if err != nil {
+			unreachable = append(unreachable, fmt.Sprintf("%d (%v)", m.ID, err))
+			continue
+		}
 		var ns cluster.NodeStatsResponse
-		if err := getJSON(hc, m.Addr+"/stats", &ns); err != nil {
-			unreachable = append(unreachable, m.Addr)
+		if err := src.nodeStats(addr, &ns); err != nil {
+			unreachable = append(unreachable, addr)
 			continue
 		}
 		for _, p := range ns.Partitions {
@@ -156,10 +256,10 @@ func runStats(hc *http.Client, base string) error {
 	return nil
 }
 
-func runLeases(hc *http.Client, base string, limit int) error {
+func runLeases(src *source, limit int) error {
 	// Cluster members are walked via the table; a standalone laserve is
 	// paged directly.
-	t, terr := fetchTable(hc, base)
+	t, terr := src.fetchTable()
 	type row struct {
 		name     int
 		token    uint64
@@ -171,8 +271,7 @@ func runLeases(hc *http.Client, base string, limit int) error {
 		start := 0
 		for start != -1 && len(rows) < limit {
 			var resp server.LeasesResponse
-			url := fmt.Sprintf("%s/leases?start=%d&limit=%d", addr, start, min(limit-len(rows), server.MaxLeasesPageLimit))
-			if err := getJSON(hc, url, &resp); err != nil {
+			if err := src.leasesPage(addr, start, min(limit-len(rows), server.MaxLeasesPageLimit), &resp); err != nil {
 				return err
 			}
 			for _, s := range resp.Sessions {
@@ -183,7 +282,7 @@ func runLeases(hc *http.Client, base string, limit int) error {
 		return nil
 	}
 	if terr != nil {
-		if err := page(base, "-"); err != nil {
+		if err := page(src.base, "-"); err != nil {
 			return fmt.Errorf("%v (and not a cluster member: %v)", err, terr)
 		}
 	} else {
@@ -191,8 +290,13 @@ func runLeases(hc *http.Client, base string, limit int) error {
 			if len(rows) >= limit {
 				break
 			}
-			if err := page(m.Addr, fmt.Sprintf("%d", m.ID)); err != nil {
-				fmt.Printf("lactl: member %s unreachable: %v\n", m.Addr, err)
+			addr, err := src.memberAddr(m)
+			if err != nil {
+				fmt.Printf("lactl: member %d skipped: %v\n", m.ID, err)
+				continue
+			}
+			if err := page(addr, fmt.Sprintf("%d", m.ID)); err != nil {
+				fmt.Printf("lactl: member %s unreachable: %v\n", addr, err)
 			}
 		}
 	}

@@ -13,6 +13,18 @@
 //	go run ./cmd/laload -addr http://127.0.0.1:8080 -clients 32 -ops 50000 -crash 10
 //	go run ./cmd/laload -ops 5000 -hold 1ms -renew 25 -json report.json
 //
+// -proto wire speaks the binary wire protocol over pooled persistent
+// connections instead of HTTP/JSON (point -addr at laserve's -wire-addr),
+// and -batch N switches the clients to batched rounds: one AcquireN per
+// round, one bulk RenewSession over the whole set, one ReleaseN for the
+// survivors. The report then includes syscall-efficiency metrics (ops per
+// connection, frames per flush) and the ledger additionally verifies the
+// batch semantics: batch-granted names are distinct and individually
+// fenced, and a bulk renew extends every acknowledged deadline.
+//
+//	go run ./cmd/laload -proto wire -addr 127.0.0.1:7101 -ops 200000
+//	go run ./cmd/laload -proto wire -addr 127.0.0.1:7101 -batch 64 -ops 200000
+//
 // Cluster mode drives a partitioned laserve cluster through the routed
 // client instead, verifying the same contract *across* nodes — zero
 // duplicate names cluster-wide, failed-over names fenced and reissued:
@@ -39,6 +51,7 @@ import (
 	"github.com/levelarray/levelarray/internal/registry"
 	"github.com/levelarray/levelarray/internal/server"
 	"github.com/levelarray/levelarray/internal/stats"
+	"github.com/levelarray/levelarray/internal/wire"
 )
 
 func main() {
@@ -49,7 +62,10 @@ func main() {
 }
 
 func run() error {
-	addr := flag.String("addr", "http://127.0.0.1:8080", "service base URL (standalone mode)")
+	addr := flag.String("addr", "http://127.0.0.1:8080", "service address (standalone mode): base URL for -proto http, host:port for -proto wire")
+	protoName := flag.String("proto", "http", "transport protocol: "+registry.ValidProtoNames)
+	batch := flag.Int("batch", 0, "batch size: >0 drives AcquireN/RenewSession/ReleaseN rounds (-proto wire only)")
+	conns := flag.Int("conns", 0, "pooled wire connections shared by all clients (-proto wire; 0 = one per 8 clients)")
 	targets := flag.String("targets", "", "cluster member URLs ("+registry.ValidPeersFormat+"); selects cluster mode")
 	spawn := flag.Int("spawn", 0, "boot this many in-process cluster nodes and load them (chaos mode)")
 	partitions := flag.Int("partitions", 0, "partitions for -spawn: "+registry.ValidPartitionCounts)
@@ -67,6 +83,16 @@ func run() error {
 	jsonPath := flag.String("json", "", "also write the report as JSON to this file")
 	flag.Parse()
 
+	proto, err := registry.ParseProtoFlag(*protoName)
+	if err != nil {
+		return err
+	}
+	if *batch < 0 {
+		return fmt.Errorf("invalid -batch %d (valid: 0 or a positive batch size)", *batch)
+	}
+	if *batch > 0 && proto != registry.ProtoWire {
+		return fmt.Errorf("-batch needs -proto wire (HTTP has no batch opcodes)")
+	}
 	if err := registry.ValidatePercent("crash", *crash); err != nil {
 		return err
 	}
@@ -84,6 +110,7 @@ func run() error {
 	}
 	if *spawn != 0 || *targets != "" {
 		return runCluster(clusterOptions{
+			proto:      proto,
 			targets:    *targets,
 			spawn:      *spawn,
 			partitions: *partitions,
@@ -102,8 +129,7 @@ func run() error {
 		})
 	}
 
-	report, err := server.RunLoad(server.LoadConfig{
-		BaseURL:      *addr,
+	loadCfg := server.LoadConfig{
 		Clients:      *clients,
 		Acquires:     *ops,
 		TTL:          *ttl,
@@ -111,14 +137,31 @@ func run() error {
 		CrashPercent: *crash,
 		RenewPercent: *renew,
 		Seed:         *seed,
-	})
+		Batch:        *batch,
+	}
+	if proto == registry.ProtoWire {
+		nConns := *conns
+		if nConns <= 0 {
+			nConns = (*clients + 7) / 8
+		}
+		wc := wire.NewClient(*addr, &wire.ClientConfig{Conns: nConns})
+		defer wc.Close()
+		loadCfg.API = server.NewWireClient(wc)
+	} else {
+		loadCfg.BaseURL = *addr
+	}
+	report, err := server.RunLoad(loadCfg)
 	if err != nil {
 		return err
 	}
 
+	mode := ""
+	if *batch > 0 {
+		mode = fmt.Sprintf(", batch %d", *batch)
+	}
 	tbl := stats.NewTable(
-		fmt.Sprintf("laload: %d clients, ttl %v, crash %d%%, renew %d%% against %s",
-			*clients, *ttl, *crash, *renew, *addr),
+		fmt.Sprintf("laload: %d clients, ttl %v, crash %d%%, renew %d%%, proto %s%s against %s",
+			*clients, *ttl, *crash, *renew, proto, mode, *addr),
 		"metric", "value")
 	tbl.AddRow("operations (verified)", fmt.Sprintf("%d", report.Ops()))
 	tbl.AddRow("  acquires", fmt.Sprintf("%d", report.Acquires))
@@ -135,6 +178,13 @@ func run() error {
 	tbl.AddRow("full-namespace retries", fmt.Sprintf("%d", report.FullRetries))
 	tbl.AddRow("server expirations", fmt.Sprintf("%d", report.FinalStats.Lease.Expirations))
 	tbl.AddRow("server renew races", fmt.Sprintf("%d", report.FinalStats.Lease.RenewRaces))
+	if w := report.Wire; w != nil {
+		// Syscall efficiency: how much work each connection and each flush
+		// (one writev) amortized.
+		tbl.AddRow("wire connections dialed", fmt.Sprintf("%d", w.Dials))
+		tbl.AddRow("wire ops per connection", fmt.Sprintf("%.0f", w.OpsPerConn()))
+		tbl.AddRow("wire frames per flush", fmt.Sprintf("%.2f", w.FramesPerFlush()))
+	}
 	fmt.Println(tbl.String())
 
 	if err := writeJSONReport(*jsonPath, report); err != nil {
@@ -152,6 +202,7 @@ func run() error {
 
 // clusterOptions carries the resolved cluster/chaos-mode configuration.
 type clusterOptions struct {
+	proto      registry.Proto
 	targets    string
 	spawn      int
 	partitions int
@@ -173,6 +224,7 @@ type clusterOptions struct {
 // (-targets) or an in-process one (-spawn).
 func runCluster(opts clusterOptions) error {
 	cfg := cluster.ChaosConfig{
+		DisableWire:  opts.proto == registry.ProtoHTTP,
 		Clients:      opts.clients,
 		Acquires:     opts.ops,
 		TTL:          opts.ttl,
@@ -257,6 +309,7 @@ func runCluster(opts clusterOptions) error {
 	tbl.AddRow("killed-session ops fenced", fmt.Sprintf("%d", report.KilledSessions))
 	tbl.AddRow("routing refresh/412/421/dead", fmt.Sprintf("%d/%d/%d/%d",
 		report.Routing.Refreshes, report.Routing.StaleEpochs, report.Routing.Misroutes, report.Routing.DeadHops))
+	tbl.AddRow("wire ops / HTTP fallbacks", fmt.Sprintf("%d/%d", report.Routing.WireOps, report.Routing.WireFallbacks))
 	fmt.Println(tbl.String())
 
 	if err := writeJSONReport(opts.jsonPath, report); err != nil {

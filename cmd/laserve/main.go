@@ -26,6 +26,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,6 +38,7 @@ import (
 	"github.com/levelarray/levelarray/internal/registry"
 	"github.com/levelarray/levelarray/internal/server"
 	"github.com/levelarray/levelarray/internal/shard"
+	"github.com/levelarray/levelarray/internal/wire"
 )
 
 func main() {
@@ -48,6 +50,7 @@ func main() {
 
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	wireAddr := flag.String("wire-addr", "", "binary wire-protocol listen address (host:port); empty = HTTP only")
 	algorithmName := flag.String("algorithm", "Sharded", "algorithm: "+registry.KnownNames())
 	capacity := flag.Int("capacity", 4096, "maximum simultaneously leased names (whole cluster in member mode)")
 	sizeFactor := flag.Float64("size-factor", 2, "namespace size as a multiple of capacity")
@@ -63,6 +66,7 @@ func run() error {
 
 	// Member (cluster) mode.
 	peersFlag := flag.String("peers", "", "cluster member URLs ("+registry.ValidPeersFormat+"); empty = standalone")
+	wirePeersFlag := flag.String("wire-peers", "", "cluster member wire endpoints ("+registry.ValidWirePeersFormat+"); empty = HTTP-only members")
 	nodeID := flag.Int("node-id", 0, "this member's index into -peers")
 	partitions := flag.Int("partitions", 0, "cluster partition count: "+registry.ValidPartitionCounts)
 	probeEvery := flag.Duration("probe-interval", 250*time.Millisecond, "peer health-probe cadence (member mode)")
@@ -119,7 +123,9 @@ func run() error {
 	if *peersFlag != "" {
 		return runMember(ctx, memberOptions{
 			addr:       *addr,
+			wireAddr:   *wireAddr,
 			peers:      *peersFlag,
+			wirePeers:  *wirePeersFlag,
 			nodeID:     *nodeID,
 			partitions: *partitions,
 			capacity:   *capacity,
@@ -144,15 +150,43 @@ func run() error {
 	}
 	mgr.Start()
 
-	fmt.Printf("laserve: %s capacity=%d size=%d tick=%v listening on %s\n",
-		algo, mgr.Capacity(), mgr.Size(), *tick, *addr)
+	if *wireAddr != "" {
+		stop, err := startWire(*wireAddr, server.NewWireBackend(mgr, server.Config{DefaultTTL: *defaultTTL}))
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+	fmt.Printf("laserve: %s capacity=%d size=%d tick=%v listening on %s (wire: %s)\n",
+		algo, mgr.Capacity(), mgr.Size(), *tick, *addr, orNone(*wireAddr))
 	return server.New(mgr, server.Config{DefaultTTL: *defaultTTL}).Serve(ctx, *addr)
+}
+
+// startWire binds and serves the binary protocol next to the HTTP listener,
+// returning its shutdown function.
+func startWire(addr string, backend wire.Backend) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire listener on %s: %w", addr, err)
+	}
+	srv := wire.NewServer(backend)
+	go func() { _ = srv.Serve(ln) }()
+	return func() { _ = srv.Close() }, nil
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "off"
+	}
+	return s
 }
 
 // memberOptions carries the resolved member-mode configuration.
 type memberOptions struct {
 	addr       string
+	wireAddr   string
 	peers      string
+	wirePeers  string
 	nodeID     int
 	partitions int
 	capacity   int
@@ -175,6 +209,15 @@ func runMember(ctx context.Context, opts memberOptions) error {
 	if err := registry.ValidateNodeID(opts.nodeID, len(peers)); err != nil {
 		return err
 	}
+	wirePeers, err := registry.ParseWirePeersFlag(opts.wirePeers, len(peers))
+	if err != nil {
+		return err
+	}
+	// With advertised wire endpoints, this member serves its own entry unless
+	// -wire-addr overrides the bind address (e.g. 0.0.0.0 behind NAT).
+	if len(wirePeers) != 0 && opts.wireAddr == "" {
+		opts.wireAddr = wirePeers[opts.nodeID]
+	}
 	partitions, err := registry.ValidatePartitionCount(opts.partitions)
 	if err != nil {
 		return err
@@ -189,6 +232,7 @@ func runMember(ctx context.Context, opts memberOptions) error {
 	node, err := cluster.NewNode(cluster.NodeConfig{
 		NodeID:     opts.nodeID,
 		Peers:      peers,
+		WirePeers:  wirePeers,
 		Partitions: partitions,
 		NewPartitionArray: func(partition int) (activity.Array, error) {
 			return opts.newArray(perPartition, opts.seed+uint64(partition)*0x9E3779B97F4A7C15+1)
@@ -205,8 +249,15 @@ func runMember(ctx context.Context, opts memberOptions) error {
 	if err != nil {
 		return err
 	}
+	if opts.wireAddr != "" {
+		stop, err := startWire(opts.wireAddr, node)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
 	t := node.Table()
-	fmt.Printf("laserve: member %d/%d, %s x %d partitions (capacity %d each, stride %d, namespace %d), epoch %d, listening on %s\n",
-		opts.nodeID, len(peers), opts.algo, partitions, perPartition, t.Stride, t.Size(), t.Epoch, opts.addr)
+	fmt.Printf("laserve: member %d/%d, %s x %d partitions (capacity %d each, stride %d, namespace %d), epoch %d, listening on %s (wire: %s)\n",
+		opts.nodeID, len(peers), opts.algo, partitions, perPartition, t.Stride, t.Size(), t.Epoch, opts.addr, orNone(opts.wireAddr))
 	return node.Serve(ctx, opts.addr)
 }

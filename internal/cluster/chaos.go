@@ -59,6 +59,9 @@ type ChaosConfig struct {
 	ReclaimSlack time.Duration
 	// HTTPClient overrides the routed client's transport.
 	HTTPClient *http.Client
+	// DisableWire forces the routed client onto HTTP even against members
+	// that advertise wire endpoints.
+	DisableWire bool
 	// Logf, when set, receives run-progress logs.
 	Logf func(format string, args ...any)
 }
@@ -528,10 +531,12 @@ func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 		HTTPClient:   cfg.HTTPClient,
 		RouteRounds:  30,
 		RouteBackoff: 150 * time.Millisecond,
+		DisableWire:  cfg.DisableWire,
 	})
 	if err != nil {
 		return ChaosReport{}, err
 	}
+	defer client.Close()
 
 	// The expirer tick comes from a member so reclaim bounds agree with the
 	// servers' actual granularity.

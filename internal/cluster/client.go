@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/levelarray/levelarray/internal/server"
+	"github.com/levelarray/levelarray/internal/wire"
 )
 
 // ClientConfig parameterizes a routed cluster client.
@@ -26,6 +27,11 @@ type ClientConfig struct {
 	// window in which a failure has happened but the steward has not pushed
 	// the bumped epoch yet. Zero selects 100ms.
 	RouteBackoff time.Duration
+	// DisableWire forces HTTP for every operation even against members that
+	// advertise a wire endpoint. By default the client speaks the binary
+	// protocol to any member with a WireAddr and falls back to HTTP when the
+	// wire hop fails.
+	DisableWire bool
 }
 
 func (c ClientConfig) withDefaults() (ClientConfig, error) {
@@ -61,11 +67,19 @@ type Client struct {
 
 	rr atomic.Uint64
 
+	// Pooled wire connections, one client per advertised wire endpoint,
+	// dialed lazily on first routed hop.
+	wmu      sync.Mutex
+	wclients map[string]*wire.Client
+	closed   bool
+
 	// Routing-health counters, exposed through Counters.
-	refreshes   atomic.Uint64
-	staleEpochs atomic.Uint64
-	misroutes   atomic.Uint64
-	deadHops    atomic.Uint64
+	refreshes     atomic.Uint64
+	staleEpochs   atomic.Uint64
+	misroutes     atomic.Uint64
+	deadHops      atomic.Uint64
+	wireOps       atomic.Uint64
+	wireFallbacks atomic.Uint64
 }
 
 // ClientCounters is a snapshot of the client's routing-health counters.
@@ -80,6 +94,11 @@ type ClientCounters struct {
 	Misroutes uint64 `json:"misroutes"`
 	// DeadHops counts transport failures against individual members.
 	DeadHops uint64 `json:"dead_hops"`
+	// WireOps counts lease operations completed over the binary protocol.
+	WireOps uint64 `json:"wire_ops"`
+	// WireFallbacks counts hops where the wire transport failed and the
+	// client retried the same member over HTTP.
+	WireFallbacks uint64 `json:"wire_fallbacks"`
 }
 
 // NewClient builds a routed client and fetches the initial table from the
@@ -89,11 +108,42 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{cfg: cfg, hc: cfg.HTTPClient}
+	c := &Client{cfg: cfg, hc: cfg.HTTPClient, wclients: make(map[string]*wire.Client)}
 	if !c.fetchTable() {
 		return nil, fmt.Errorf("cluster: no target reachable for the initial table: %v", cfg.Targets)
 	}
 	return c, nil
+}
+
+// Close shuts down the client's pooled wire connections. Routed operations
+// issued after Close fall back to HTTP.
+func (c *Client) Close() {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.closed = true
+	for _, wc := range c.wclients {
+		wc.Close()
+	}
+	c.wclients = nil
+}
+
+// wireFor returns the pooled wire client for a member, dialing lazily, or
+// nil when the member is HTTP-only (or wire is disabled).
+func (c *Client) wireFor(m Member) *wire.Client {
+	if c.cfg.DisableWire || m.WireAddr == "" {
+		return nil
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.closed {
+		return nil
+	}
+	wc := c.wclients[m.WireAddr]
+	if wc == nil {
+		wc = wire.NewClient(m.WireAddr, nil)
+		c.wclients[m.WireAddr] = wc
+	}
+	return wc
 }
 
 // Table returns the client's current view of the membership table.
@@ -106,11 +156,101 @@ func (c *Client) Table() Table {
 // Counters returns a snapshot of the routing-health counters.
 func (c *Client) Counters() ClientCounters {
 	return ClientCounters{
-		Refreshes:   c.refreshes.Load(),
-		StaleEpochs: c.staleEpochs.Load(),
-		Misroutes:   c.misroutes.Load(),
-		DeadHops:    c.deadHops.Load(),
+		Refreshes:     c.refreshes.Load(),
+		StaleEpochs:   c.staleEpochs.Load(),
+		Misroutes:     c.misroutes.Load(),
+		DeadHops:      c.deadHops.Load(),
+		WireOps:       c.wireOps.Load(),
+		WireFallbacks: c.wireFallbacks.Load(),
 	}
+}
+
+// clientCall recycles one wire request/response pair per routed hop.
+type clientCall struct {
+	req  wire.Request
+	resp wire.Response
+}
+
+var clientCallPool = sync.Pool{New: func() any { return new(clientCall) }}
+
+func putClientCall(w *clientCall) {
+	w.req = wire.Request{Items: w.req.Items[:0]}
+	w.resp.Reset()
+	clientCallPool.Put(w)
+}
+
+// grantFromWire converts a frame grant to the JSON-shaped response the
+// client API returns regardless of transport.
+func grantFromWire(g wire.Grant) GrantResponse {
+	return GrantResponse{
+		Name:               int(g.Name),
+		Token:              g.Token,
+		DeadlineUnixMillis: g.DeadlineUnixMilli,
+		NodeID:             int(g.NodeID),
+		Partition:          int(g.Partition),
+		Epoch:              g.Epoch,
+	}
+}
+
+// wireRequestFor translates an owner-addressed HTTP body to its wire opcode;
+// false when the path has no wire equivalent.
+func wireRequestFor(body any, req *wire.Request) bool {
+	switch b := body.(type) {
+	case server.AcquireRequest:
+		req.Op = wire.OpAcquire
+		req.TTLMillis = b.TTLMillis
+		req.Items = req.Items[:0]
+		return true
+	case server.RenewRequest:
+		req.Op = wire.OpRenew
+		req.TTLMillis = b.TTLMillis
+		req.Items = append(req.Items[:0], wire.Ref{Name: int64(b.Name), Token: b.Token})
+		return true
+	case server.ReleaseRequest:
+		req.Op = wire.OpRelease
+		req.Items = append(req.Items[:0], wire.Ref{Name: int64(b.Name), Token: b.Token})
+		return true
+	}
+	return false
+}
+
+// hop sends one epoch-fenced operation to one member, preferring the binary
+// protocol and falling back to HTTP when the wire transport fails. It
+// returns the member's status, the epoch it advertised on a fence, and the
+// retry hint on a 503.
+func (c *Client) hop(m Member, epoch uint64, body any, out *GrantResponse, path string) (status int, fencedAt uint64, retry time.Duration, err error) {
+	if wc := c.wireFor(m); wc != nil {
+		call := clientCallPool.Get().(*clientCall)
+		if wireRequestFor(body, &call.req) {
+			call.req.Epoch = epoch
+			if werr := wc.Do(&call.req, &call.resp); werr == nil {
+				c.wireOps.Add(1)
+				resp := &call.resp
+				if resp.Status == wire.StatusOK && out != nil && len(resp.Grants) == 1 {
+					*out = grantFromWire(resp.Grants[0])
+				}
+				status, fencedAt = int(resp.Status), resp.Epoch
+				retry = time.Duration(resp.RetryAfterMillis) * time.Millisecond
+				putClientCall(call)
+				return status, fencedAt, retry, nil
+			}
+			c.wireFallbacks.Add(1)
+		}
+		putClientCall(call)
+	}
+	var fence EpochResponse
+	// A typed-nil *GrantResponse must become a true nil interface, or
+	// postJSON would try to decode into it and report a transport error —
+	// turning an applied release into a spurious retry.
+	var dst any
+	if out != nil {
+		dst = out
+	}
+	status, header, err := postJSON(c.hc, m.Addr+path, epoch, body, dst, &fence)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return status, fence.Epoch, server.RetryAfterHint(header, 0), nil
 }
 
 // adoptTable installs t if it is newer than the current view.
@@ -173,8 +313,7 @@ func (c *Client) Acquire(ttlMillis int64) (GrantResponse, int, time.Duration, er
 		for i := 0; i < len(alive); i++ {
 			m := alive[(start+uint64(i))%uint64(len(alive))]
 			var grant GrantResponse
-			var fence EpochResponse
-			status, header, err := postJSON(c.hc, m.Addr+"/acquire", t.Epoch, server.AcquireRequest{TTLMillis: ttlMillis}, &grant, &fence)
+			status, _, retry, err := c.hop(m, t.Epoch, server.AcquireRequest{TTLMillis: ttlMillis}, &grant, "/acquire")
 			switch {
 			case err != nil:
 				c.deadHops.Add(1)
@@ -183,8 +322,8 @@ func (c *Client) Acquire(ttlMillis int64) (GrantResponse, int, time.Duration, er
 				return grant, status, 0, nil
 			case status == http.StatusServiceUnavailable:
 				sawFull = true
-				if h := server.RetryAfterHint(header, 0); h > 0 && (hint == 0 || h < hint) {
-					hint = h
+				if retry > 0 && (hint == 0 || retry < hint) {
+					hint = retry
 				}
 			case status == http.StatusPreconditionFailed:
 				c.staleEpochs.Add(1)
@@ -219,22 +358,14 @@ func (c *Client) routed(path string, name int, body any, out *GrantResponse) (in
 		}
 		owner, ok := t.Owner(p)
 		if ok {
-			var fence EpochResponse
-			// A typed-nil *GrantResponse must become a true nil interface, or
-			// postJSON would try to decode into it and report a transport
-			// error — turning an applied release into a spurious retry.
-			var dst any
-			if out != nil {
-				dst = out
-			}
-			status, _, err := postJSON(c.hc, owner.Addr+path, t.Epoch, body, dst, &fence)
+			status, fencedAt, _, err := c.hop(owner, t.Epoch, body, out, path)
 			switch {
 			case err != nil:
 				c.deadHops.Add(1)
 				lastErr = err
 			case status == http.StatusPreconditionFailed:
 				c.staleEpochs.Add(1)
-				lastErr = fmt.Errorf("cluster: %s fenced by epoch %d (ours %d)", path, fence.Epoch, t.Epoch)
+				lastErr = fmt.Errorf("cluster: %s fenced by epoch %d (ours %d)", path, fencedAt, t.Epoch)
 			case status == http.StatusMisdirectedRequest:
 				c.misroutes.Add(1)
 				lastErr = fmt.Errorf("cluster: member %d no longer owns partition %d", owner.ID, p)

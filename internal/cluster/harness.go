@@ -9,6 +9,7 @@ import (
 
 	"github.com/levelarray/levelarray/internal/activity"
 	"github.com/levelarray/levelarray/internal/core"
+	"github.com/levelarray/levelarray/internal/wire"
 )
 
 // LocalConfig parameterizes an in-process cluster: N real nodes on loopback
@@ -33,6 +34,9 @@ type LocalConfig struct {
 	// cadence); NodeID, Peers, Partitions and the factory are filled in per
 	// node. Zero values select the NodeConfig defaults.
 	Node NodeConfig
+	// DisableWire leaves the binary wire listeners unbound, so every member
+	// is HTTP-only. By default each local node serves both protocols.
+	DisableWire bool
 }
 
 func (c LocalConfig) withDefaults() LocalConfig {
@@ -56,12 +60,16 @@ func (c LocalConfig) withDefaults() LocalConfig {
 	return c
 }
 
-// localNode is one in-process member: the node plus its HTTP front end.
+// localNode is one in-process member: the node plus its HTTP and wire front
+// ends.
 type localNode struct {
 	node     *Node
 	server   *http.Server
 	listener net.Listener
 	addr     string
+	wireSrv  *wire.Server
+	wireLn   net.Listener
+	wireAddr string
 	alive    bool
 }
 
@@ -82,20 +90,37 @@ func StartLocal(cfg LocalConfig) (*Local, error) {
 
 	l := &Local{cfg: cfg}
 	peers := make([]string, cfg.Nodes)
+	var wirePeers []string
+	if !cfg.DisableWire {
+		wirePeers = make([]string, cfg.Nodes)
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			l.Close()
 			return nil, fmt.Errorf("cluster: local listener %d: %w", i, err)
 		}
-		l.nodes = append(l.nodes, &localNode{listener: ln, addr: "http://" + ln.Addr().String(), alive: true})
-		peers[i] = l.nodes[i].addr
+		local := &localNode{listener: ln, addr: "http://" + ln.Addr().String(), alive: true}
+		if !cfg.DisableWire {
+			wln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				_ = ln.Close()
+				l.Close()
+				return nil, fmt.Errorf("cluster: local wire listener %d: %w", i, err)
+			}
+			local.wireLn = wln
+			local.wireAddr = wln.Addr().String()
+			wirePeers[i] = local.wireAddr
+		}
+		l.nodes = append(l.nodes, local)
+		peers[i] = local.addr
 	}
 
 	for i := 0; i < cfg.Nodes; i++ {
 		ncfg := cfg.Node
 		ncfg.NodeID = i
 		ncfg.Peers = peers
+		ncfg.WirePeers = wirePeers
 		ncfg.Partitions = cfg.Partitions
 		ncfg.NewPartitionArray = func(partition int) (activity.Array, error) {
 			return cfg.NewPartitionArray(partition, perPartition, cfg.Seed+uint64(partition)*0x9E3779B97F4A7C15+1)
@@ -109,9 +134,23 @@ func StartLocal(cfg LocalConfig) (*Local, error) {
 		ln.node = node
 		ln.server = &http.Server{Handler: node}
 		go func() { _ = ln.server.Serve(ln.listener) }()
+		if ln.wireLn != nil {
+			ln.wireSrv = wire.NewServer(node)
+			go func() { _ = ln.wireSrv.Serve(ln.wireLn) }()
+		}
 		node.Start()
 	}
 	return l, nil
+}
+
+// WireTargets returns every member's wire endpoint (empty strings when wire
+// is disabled), index-aligned with Targets.
+func (l *Local) WireTargets() []string {
+	out := make([]string, len(l.nodes))
+	for i, n := range l.nodes {
+		out[i] = n.wireAddr
+	}
+	return out
 }
 
 // Targets returns every member's base URL, dead ones included (the routed
@@ -167,6 +206,11 @@ func (l *Local) Kill(i int) {
 		_ = n.server.Close()
 	} else {
 		_ = n.listener.Close()
+	}
+	if n.wireSrv != nil {
+		n.wireSrv.Close()
+	} else if n.wireLn != nil {
+		_ = n.wireLn.Close()
 	}
 	if n.node != nil {
 		n.node.Close()

@@ -113,6 +113,11 @@ type NodeConfig struct {
 	// Peers lists every member's advertised base URL, in member-ID order;
 	// all nodes must be configured with the same list.
 	Peers []string
+	// WirePeers optionally lists every member's advertised wire-protocol
+	// endpoint (host:port), index-aligned with Peers; empty entries mean
+	// that member serves HTTP only. All nodes must agree on the list, since
+	// it becomes part of the shared membership table.
+	WirePeers []string
 	// Partitions is P, the cluster-wide partition count (a power of two).
 	Partitions int
 	// NewPartitionArray builds the backing array of one partition. Every
@@ -244,12 +249,18 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		return nil, fmt.Errorf("cluster: NewPartitionArray must be set")
 	}
 
+	if len(cfg.WirePeers) != 0 && len(cfg.WirePeers) != len(cfg.Peers) {
+		return nil, fmt.Errorf("cluster: %d wire peers for %d peers; the lists must be index-aligned", len(cfg.WirePeers), len(cfg.Peers))
+	}
 	members := make([]Member, len(cfg.Peers))
 	for i, addr := range cfg.Peers {
 		if addr == "" {
 			return nil, fmt.Errorf("cluster: peer %d has an empty address", i)
 		}
 		members[i] = Member{ID: i, Addr: addr}
+		if len(cfg.WirePeers) != 0 {
+			members[i].WireAddr = cfg.WirePeers[i]
+		}
 	}
 
 	n := &Node{
@@ -720,10 +731,11 @@ func (n *Node) handleClusterPost(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleCollect merges the owned partitions' Collect under cluster-global
+// collectResponse merges the owned partitions' Collect under cluster-global
 // names: the node's slice of the registered set, with the underlying
-// arrays' validity guarantee.
-func (n *Node) handleCollect(w http.ResponseWriter, r *http.Request) {
+// arrays' validity guarantee. Shared by the HTTP handler and the wire
+// backend so both protocols serve one body.
+func (n *Node) collectResponse() server.CollectResponse {
 	names := []int{}
 	var scratch []int
 	n.mu.RLock()
@@ -735,15 +747,16 @@ func (n *Node) handleCollect(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	n.mu.RUnlock()
-	writeJSON(w, http.StatusOK, server.CollectResponse{Count: len(names), Names: names})
+	return server.CollectResponse{Count: len(names), Names: names}
 }
 
-func (n *Node) handleLeases(w http.ResponseWriter, r *http.Request) {
-	start, limit, err := server.ParseLeasesQuery(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, server.ErrCodeBadRequest)
-		return
-	}
+func (n *Node) handleCollect(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, n.collectResponse())
+}
+
+// leasesResponse pages the node's active sessions under cluster-global
+// names; shared by the HTTP handler and the wire backend.
+func (n *Node) leasesResponse(start, limit int) NodeLeasesResponse {
 	n.mu.RLock()
 	resp := NodeLeasesResponse{
 		Sessions: []server.SessionJSON{},
@@ -783,10 +796,21 @@ func (n *Node) handleLeases(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	n.mu.RUnlock()
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
-func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
+func (n *Node) handleLeases(w http.ResponseWriter, r *http.Request) {
+	start, limit, err := server.ParseLeasesQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, server.ErrCodeBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, n.leasesResponse(start, limit))
+}
+
+// statsResponse builds the node's /stats body; shared by the HTTP handler
+// and the wire backend.
+func (n *Node) statsResponse() NodeStatsResponse {
 	n.mu.RLock()
 	now := n.cfg.Clock()
 	resp := NodeStatsResponse{
@@ -820,7 +844,11 @@ func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Partitions = append(resp.Partitions, ps)
 	}
 	n.mu.RUnlock()
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, n.statsResponse())
 }
 
 func (n *Node) handleHealthz(w http.ResponseWriter, r *http.Request) {

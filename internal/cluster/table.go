@@ -44,6 +44,10 @@ type Member struct {
 	ID int `json:"id"`
 	// Addr is the node's advertised base URL, e.g. "http://10.0.0.7:8080".
 	Addr string `json:"addr"`
+	// WireAddr is the node's advertised binary wire-protocol endpoint
+	// (host:port, no scheme), empty when the node serves HTTP only. Routed
+	// clients prefer it for lease operations and fall back to Addr.
+	WireAddr string `json:"wire_addr,omitempty"`
 	// Down marks a member the steward has declared failed. Down is sticky:
 	// the model is crash-stop, so a down member never comes back.
 	Down bool `json:"down"`

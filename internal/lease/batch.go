@@ -1,0 +1,164 @@
+package lease
+
+import (
+	"errors"
+	"time"
+
+	"github.com/levelarray/levelarray/internal/activity"
+)
+
+// Ref addresses one held lease in a batch operation.
+type Ref struct {
+	Name  int
+	Token uint64
+}
+
+// RenewOutcome is the per-lease result of RenewAll.
+type RenewOutcome struct {
+	// Err is nil on success, else ErrNotLeased or ErrStaleToken.
+	Err error
+	// Deadline is the renewed deadline (zero time = infinite) when Err is nil.
+	Deadline time.Time
+}
+
+// AcquireN grants up to n leases with one shared TTL in a single pass:
+// one clock read and one deadline for the whole batch, and — because every
+// granted lease lands on the same deadline tick — one wheel-bucket lock for
+// all of the timer records instead of one per lease. Grants stop early at
+// the first registration failure (typically activity.ErrFull).
+//
+// It returns the granted prefix appended to dst. The error is non-nil only
+// when nothing was granted: a partially filled batch is a success whose
+// length says how much namespace was left.
+func (m *Manager) AcquireN(n int, ttl time.Duration, dst []Lease) ([]Lease, error) {
+	if m.closed.Load() {
+		return dst, ErrClosed
+	}
+	if n <= 0 {
+		return dst, nil
+	}
+	ttl, err := m.clampTTL(ttl)
+	if err != nil {
+		return dst, err
+	}
+	var deadline int64
+	if ttl > 0 {
+		deadline = m.now().Add(ttl).UnixNano()
+	}
+
+	base := len(dst)
+	var firstErr error
+	for i := 0; i < n; i++ {
+		h := m.getHandle()
+		m.pendingGets.Add(1)
+		name, err := h.Get()
+		if err != nil {
+			m.pendingGets.Add(-1)
+			m.putHandle(h)
+			if errors.Is(err, activity.ErrFull) {
+				m.failedAcquires.Add(1)
+			}
+			firstErr = err
+			break
+		}
+		token := m.mintToken(h)
+		e := &m.entries[name]
+		e.mu.Lock()
+		e.active = true
+		e.token = token
+		e.deadline = deadline
+		e.wheelTick = 0
+		if deadline != 0 {
+			e.wheelTick = m.tickOf(deadline)
+		}
+		e.handle = h
+		e.mu.Unlock()
+		m.pendingGets.Add(-1)
+		dst = append(dst, Lease{Name: name, Token: token, Deadline: fromNanos(deadline)})
+	}
+	granted := dst[base:]
+	if deadline != 0 && len(granted) > 0 {
+		m.wheelInsertBatch(deadline, granted)
+	}
+	m.acquires.Add(uint64(len(granted)))
+	m.active.Add(int64(len(granted)))
+	if len(granted) == 0 && firstErr != nil {
+		return dst, firstErr
+	}
+	return dst, nil
+}
+
+// wheelInsertBatch appends one timer record per lease into the single bucket
+// of the shared deadline tick, locking it once.
+func (m *Manager) wheelInsertBatch(deadlineNanos int64, leases []Lease) {
+	b := &m.wheel[int(m.tickOf(deadlineNanos)%int64(len(m.wheel)))]
+	b.mu.Lock()
+	for _, l := range leases {
+		b.items = append(b.items, wheelItem{name: l.Name, token: l.Token})
+	}
+	b.mu.Unlock()
+}
+
+// RenewAll extends every lease in refs to one shared deadline in a single
+// pass: one clock read for the batch, per-entry fencing exactly as Renew,
+// and the wheel records that do need re-inserting batched into one bucket
+// lock. Outcomes are reported per lease in the returned slice (appended to
+// dst, index-aligned with refs); a stale or missing lease does not stop the
+// rest of the batch. The error is non-nil only for whole-batch failures
+// (ErrClosed, ErrTTLTooLong).
+func (m *Manager) RenewAll(refs []Ref, ttl time.Duration, dst []RenewOutcome) ([]RenewOutcome, error) {
+	if m.closed.Load() {
+		return dst, ErrClosed
+	}
+	ttl, err := m.clampTTL(ttl)
+	if err != nil {
+		return dst, err
+	}
+	var deadline int64
+	if ttl > 0 {
+		deadline = m.now().Add(ttl).UnixNano()
+	}
+	deadlineTime := fromNanos(deadline)
+
+	// Leases whose live wheel record does not cover the new deadline need a
+	// fresh one; collect them and insert under one bucket lock (every record
+	// in the batch shares the deadline, hence the bucket).
+	var inserts []Lease
+	var renewed uint64
+	for _, ref := range refs {
+		if ref.Name < 0 || ref.Name >= len(m.entries) {
+			m.renewRaces.Add(1)
+			dst = append(dst, RenewOutcome{Err: ErrNotLeased})
+			continue
+		}
+		e := &m.entries[ref.Name]
+		e.mu.Lock()
+		if !e.active {
+			e.mu.Unlock()
+			m.renewRaces.Add(1)
+			dst = append(dst, RenewOutcome{Err: ErrNotLeased})
+			continue
+		}
+		if e.token != ref.Token {
+			e.mu.Unlock()
+			m.renewRaces.Add(1)
+			dst = append(dst, RenewOutcome{Err: ErrStaleToken})
+			continue
+		}
+		e.deadline = deadline
+		// Same skip rule as Renew: an existing record at an earlier-or-equal
+		// tick re-hashes to the then-current deadline when it fires.
+		if deadline != 0 && (e.wheelTick == 0 || m.tickOf(deadline) < e.wheelTick) {
+			e.wheelTick = m.tickOf(deadline)
+			inserts = append(inserts, Lease{Name: ref.Name, Token: ref.Token})
+		}
+		e.mu.Unlock()
+		renewed++
+		dst = append(dst, RenewOutcome{Deadline: deadlineTime})
+	}
+	if len(inserts) > 0 {
+		m.wheelInsertBatch(deadline, inserts)
+	}
+	m.renews.Add(renewed)
+	return dst, nil
+}

@@ -2,6 +2,7 @@ package registry
 
 import (
 	"fmt"
+	"net"
 	"net/url"
 	"strings"
 
@@ -32,6 +33,19 @@ const (
 	ValidPartitionCounts = "0 (auto: 8) or a power of two (1, 2, 4, 8, ...)"
 	// ValidPeersFormat describes the cluster -peers flag format.
 	ValidPeersFormat = "comma-separated http(s) base URLs, one per member, e.g. http://10.0.0.1:8080,http://10.0.0.2:8080"
+	// ValidProtoNames lists the -proto flag values of the client commands.
+	ValidProtoNames = "http, wire"
+	// ValidWirePeersFormat describes the cluster -wire-peers flag format.
+	ValidWirePeersFormat = "comma-separated host:port endpoints, one per member and index-aligned with -peers, e.g. 10.0.0.1:7101,10.0.0.2:7101"
+)
+
+// Proto names a client transport protocol.
+type Proto string
+
+// The client transport vocabulary: HTTP/JSON or the binary wire protocol.
+const (
+	ProtoHTTP Proto = "http"
+	ProtoWire Proto = "wire"
 )
 
 // DefaultPartitions is the cluster partition count selected by -partitions 0.
@@ -122,6 +136,39 @@ func ParsePeersFlag(peers string) ([]string, error) {
 		u, err := url.Parse(p)
 		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
 			return nil, fmt.Errorf("invalid -peers entry %q (valid: %s)", p, ValidPeersFormat)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ParseProtoFlag maps a -proto flag value to its transport protocol.
+func ParseProtoFlag(name string) (Proto, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "http":
+		return ProtoHTTP, nil
+	case "wire":
+		return ProtoWire, nil
+	}
+	return "", fmt.Errorf("unknown -proto %q (valid: %s)", name, ValidProtoNames)
+}
+
+// ParseWirePeersFlag splits a cluster -wire-peers flag into per-member wire
+// endpoints, which must be index-aligned with the -peers list (peerCount
+// entries). An empty flag is valid and selects HTTP-only members.
+func ParseWirePeersFlag(wirePeers string, peerCount int) ([]string, error) {
+	if strings.TrimSpace(wirePeers) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(wirePeers, ",")
+	if len(parts) != peerCount {
+		return nil, fmt.Errorf("invalid -wire-peers: %d entries for %d peers (valid: %s)", len(parts), peerCount, ValidWirePeersFormat)
+	}
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if host, port, err := net.SplitHostPort(p); err != nil || host == "" || port == "" {
+			return nil, fmt.Errorf("invalid -wire-peers entry %q (valid: %s)", p, ValidWirePeersFormat)
 		}
 		out = append(out, p)
 	}

@@ -105,6 +105,51 @@ func FuzzParsePeersFlag(f *testing.F) {
 	})
 }
 
+func FuzzParseProtoFlag(f *testing.F) {
+	for _, s := range fuzzSeedInputs {
+		f.Add(s)
+	}
+	f.Add("http")
+	f.Add("wire")
+	f.Add(" WIRE ")
+	f.Add("grpc")
+	f.Fuzz(func(t *testing.T, name string) {
+		proto, err := ParseProtoFlag(name)
+		if err != nil {
+			if !strings.Contains(err.Error(), ValidProtoNames) {
+				t.Fatalf("ParseProtoFlag(%q) error %q does not enumerate %q", name, err, ValidProtoNames)
+			}
+			return
+		}
+		if proto != ProtoHTTP && proto != ProtoWire {
+			t.Fatalf("ParseProtoFlag(%q) accepted unknown proto %q", name, proto)
+		}
+	})
+}
+
+func FuzzParseWirePeersFlag(f *testing.F) {
+	for _, s := range fuzzSeedInputs {
+		f.Add(s, 3)
+	}
+	f.Add("10.0.0.1:7101,10.0.0.2:7101,10.0.0.3:7101", 3)
+	f.Add("a:1,b:2", 3)
+	f.Add("127.0.0.1:0", 1)
+	f.Add(":8080", 1)
+	f.Add("noport", 1)
+	f.Fuzz(func(t *testing.T, wirePeers string, peerCount int) {
+		addrs, err := ParseWirePeersFlag(wirePeers, peerCount)
+		if err != nil {
+			if !strings.Contains(err.Error(), ValidWirePeersFormat) {
+				t.Fatalf("ParseWirePeersFlag(%q, %d) error %q does not describe the format", wirePeers, peerCount, err)
+			}
+			return
+		}
+		if addrs != nil && len(addrs) != peerCount {
+			t.Fatalf("ParseWirePeersFlag(%q, %d) returned %d entries", wirePeers, peerCount, len(addrs))
+		}
+	})
+}
+
 func FuzzParseAlgorithm(f *testing.F) {
 	for _, s := range fuzzSeedInputs {
 		f.Add(s)

@@ -13,7 +13,34 @@ import (
 	"time"
 
 	"github.com/levelarray/levelarray/internal/rng"
+	"github.com/levelarray/levelarray/internal/wire"
 )
+
+// LeaseAPI is the protocol-neutral client surface a load run drives: the
+// HTTP Client and the wire-protocol WireClient both implement it with
+// identical status and TTL semantics, so the same closed-loop verification
+// applies to either protocol.
+type LeaseAPI interface {
+	Acquire(ttlMillis int64) (LeaseResponse, int, time.Duration, error)
+	Renew(name int, token uint64, ttlMillis int64) (LeaseResponse, int, error)
+	Release(name int, token uint64) (int, error)
+	Stats() (StatsResponse, error)
+}
+
+// BatchLeaseAPI extends LeaseAPI with the batch operations of the wire
+// protocol; a load run with Batch > 0 requires it.
+type BatchLeaseAPI interface {
+	LeaseAPI
+	AcquireBatch(n int, ttlMillis int64, dst []LeaseResponse) ([]LeaseResponse, int, time.Duration, error)
+	RenewSession(refs []LeaseRef, ttlMillis int64, dst []RenewResult) ([]RenewResult, int, error)
+	ReleaseBatch(refs []LeaseRef, dst []RenewResult) ([]RenewResult, int, error)
+}
+
+// wireCounted is implemented by APIs backed by a pooled wire client; the
+// load report uses it for syscall-efficiency stats.
+type wireCounted interface {
+	WireCounters() wire.Counters
+}
 
 // Client is a minimal JSON client for the lease API, safe for concurrent use.
 type Client struct {
@@ -96,6 +123,14 @@ func (c *Client) Stats() (StatsResponse, error) {
 type LoadConfig struct {
 	// BaseURL is the service address, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// API, when non-nil, overrides BaseURL with an explicit client — the way
+	// a run is pointed at the wire protocol (or any future transport).
+	API LeaseAPI
+	// Batch, when > 0, switches the clients to batch rounds of that size:
+	// one AcquireN per round, one bulk renew covering the whole set, then a
+	// batch release of the non-crashed remainder. Requires an API
+	// implementing BatchLeaseAPI. Bounded by wire.MaxBatch.
+	Batch int
 	// Clients is the number of concurrent closed-loop clients. Zero selects 16.
 	Clients int
 	// Acquires is the total number of acquire operations to perform across
@@ -127,8 +162,11 @@ type LoadConfig struct {
 }
 
 func (c LoadConfig) withDefaults() (LoadConfig, error) {
-	if c.BaseURL == "" {
-		return c, fmt.Errorf("loadgen: BaseURL must be set")
+	if c.BaseURL == "" && c.API == nil {
+		return c, fmt.Errorf("loadgen: BaseURL or API must be set")
+	}
+	if c.Batch < 0 || c.Batch > wire.MaxBatch {
+		return c, fmt.Errorf("loadgen: batch size %d outside 0..%d", c.Batch, wire.MaxBatch)
 	}
 	if c.Clients <= 0 {
 		c.Clients = 16
@@ -179,8 +217,43 @@ type LoadReport struct {
 	StaleAccepted   uint64 `json:"stale_accepted"`
 	Undrained       int64  `json:"undrained"`
 	ExpiryMismatch  int64  `json:"expiry_mismatch"`
+	// ShortRenewals counts bulk renewals that claimed success without
+	// extending the deadline to at least request-time + TTL: a renew the
+	// server acknowledged but did not actually honor.
+	ShortRenewals uint64 `json:"short_renewals"`
+
+	// Wire carries the syscall-efficiency counters of the run when the API
+	// is backed by a pooled wire client (the deltas across the run): how
+	// many operations each connection amortized and how many frames each
+	// write syscall carried.
+	Wire *WireEfficiency `json:"wire,omitempty"`
 
 	FinalStats StatsResponse `json:"final_stats"`
+}
+
+// WireEfficiency is the syscall-amortization summary of a wire-backed run.
+type WireEfficiency struct {
+	Dials      uint64 `json:"dials"`
+	Ops        uint64 `json:"ops"`
+	FramesSent uint64 `json:"frames_sent"`
+	Flushes    uint64 `json:"flushes"`
+}
+
+// OpsPerConn returns completed operations per connection dialed.
+func (w WireEfficiency) OpsPerConn() float64 {
+	if w.Dials == 0 {
+		return 0
+	}
+	return float64(w.Ops) / float64(w.Dials)
+}
+
+// FramesPerFlush returns request frames per write-side flush (syscall):
+// the write-combining factor of the pipelined connection pool.
+func (w WireEfficiency) FramesPerFlush() float64 {
+	if w.Flushes == 0 {
+		return 0
+	}
+	return float64(w.FramesSent) / float64(w.Flushes)
 }
 
 // Ops returns the total number of verified operations (acquires + renews +
@@ -221,6 +294,9 @@ func (r LoadReport) Violations() []string {
 	if r.ExpiryMismatch != 0 {
 		v = append(v, fmt.Sprintf("expirations diverge from crashes by %d", r.ExpiryMismatch))
 	}
+	if r.ShortRenewals > 0 {
+		v = append(v, fmt.Sprintf("%d bulk renewals acknowledged without extending the deadline", r.ShortRenewals))
+	}
 	return v
 }
 
@@ -245,6 +321,7 @@ type ledger struct {
 	staleAccepted   atomic.Uint64
 	staleRejected   atomic.Uint64
 	fullRetries     atomic.Uint64
+	shortRenewals   atomic.Uint64
 
 	acquires atomic.Uint64
 	renews   atomic.Uint64
@@ -264,7 +341,22 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 	if err != nil {
 		return LoadReport{}, err
 	}
-	client := NewClient(cfg.BaseURL, cfg.HTTPClient)
+	var client LeaseAPI = cfg.API
+	if client == nil {
+		client = NewClient(cfg.BaseURL, cfg.HTTPClient)
+	}
+	var batchClient BatchLeaseAPI
+	if cfg.Batch > 0 {
+		var ok bool
+		if batchClient, ok = client.(BatchLeaseAPI); !ok {
+			return LoadReport{}, fmt.Errorf("loadgen: batch mode needs a batch-capable API (wire protocol)")
+		}
+	}
+	var wireBase wire.Counters
+	counted, hasCounters := client.(wireCounted)
+	if hasCounters {
+		wireBase = counted.WireCounters()
+	}
 
 	// The expirer tick comes from the server so the reclaim checks agree
 	// with its actual granularity.
@@ -327,6 +419,27 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 		go func(id int) {
 			defer wg.Done()
 			gen := rng.New(rng.KindSplitMix, cfg.Seed+uint64(id)*0x9E3779B97F4A7C15+1)
+			if cfg.Batch > 0 {
+				for {
+					left := remaining.Add(-int64(cfg.Batch))
+					n := cfg.Batch
+					if left < 0 {
+						// Partial (or empty) tail of the acquire budget.
+						n += int(left)
+						if n <= 0 {
+							return
+						}
+					}
+					if err := loadBatchRound(batchClient, n, cfg, led, gen, tick, probes, &latMu, &latencies); err != nil {
+						errOnce.Do(func() { runErr = err })
+						remaining.Store(0)
+						return
+					}
+					if left < 0 {
+						return
+					}
+				}
+			}
 			for remaining.Add(-1) >= 0 {
 				if err := loadRound(client, cfg, led, gen, tick, probes, &latMu, &latencies); err != nil {
 					errOnce.Do(func() { runErr = err })
@@ -357,6 +470,16 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 		LostReleases:    led.lostReleases.Load(),
 		UnexpectedStale: led.unexpectedStale.Load(),
 		StaleAccepted:   led.staleAccepted.Load(),
+		ShortRenewals:   led.shortRenewals.Load(),
+	}
+	if hasCounters {
+		after := counted.WireCounters()
+		report.Wire = &WireEfficiency{
+			Dials:      after.Dials - wireBase.Dials,
+			Ops:        after.Ops - wireBase.Ops,
+			FramesSent: after.FramesSent - wireBase.FramesSent,
+			Flushes:    after.Flushes - wireBase.Flushes,
+		}
 	}
 
 	// Drain check: after the latest abandoned deadline plus two ticks plus
@@ -396,7 +519,7 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 
 // loadRound is one closed-loop iteration: acquire (with full-namespace
 // backoff), verify uniqueness, hold, maybe renew, then release or crash.
-func loadRound(client *Client, cfg LoadConfig, led *ledger, gen rng.Source, tick time.Duration, probes chan<- staleProbe, latMu *sync.Mutex, latencies *[]time.Duration) error {
+func loadRound(client LeaseAPI, cfg LoadConfig, led *ledger, gen rng.Source, tick time.Duration, probes chan<- staleProbe, latMu *sync.Mutex, latencies *[]time.Duration) error {
 	ttlMillis := cfg.TTL.Milliseconds()
 	var (
 		l      LeaseResponse
@@ -495,6 +618,147 @@ func loadRound(client *Client, cfg LoadConfig, led *ledger, gen rng.Source, tick
 		return nil
 	}
 	led.releases.Add(1)
+	return nil
+}
+
+// loadBatchRound is one closed-loop batch iteration: one AcquireN for n
+// leases (with full-namespace backoff), distinctness verification across the
+// batch and against every concurrently held lease, one bulk renew covering
+// the whole set (verifying each acknowledged renewal actually extended its
+// deadline), then a per-lease crash draw — crashed leases are abandoned to
+// expiry with their tokens queued for fencing probes, the remainder is freed
+// in one batch release.
+func loadBatchRound(client BatchLeaseAPI, n int, cfg LoadConfig, led *ledger, gen rng.Source, tick time.Duration, probes chan<- staleProbe, latMu *sync.Mutex, latencies *[]time.Duration) error {
+	ttlMillis := cfg.TTL.Milliseconds()
+	var (
+		batch []LeaseResponse
+		t0    time.Time
+	)
+	for {
+		t0 = time.Now()
+		var err error
+		var hint time.Duration
+		var status int
+		batch, status, hint, err = client.AcquireBatch(n, ttlMillis, batch[:0])
+		lat := time.Since(t0)
+		if err != nil {
+			return err
+		}
+		if status/100 == 2 {
+			latMu.Lock()
+			*latencies = append(*latencies, lat)
+			latMu.Unlock()
+			break
+		}
+		if status == http.StatusServiceUnavailable {
+			led.fullRetries.Add(1)
+			if hint <= 0 {
+				hint = tick
+			}
+			time.Sleep(hint)
+			continue
+		}
+		return fmt.Errorf("loadgen: batch acquire returned status %d", status)
+	}
+	led.acquires.Add(uint64(len(batch)))
+
+	// Distinctness within the batch is checked on top of the shared held
+	// map: an AcquireN granting one name twice would otherwise look like a
+	// single-grant round to per-round bookkeeping.
+	seen := make(map[int]struct{}, len(batch))
+	for _, l := range batch {
+		if _, dup := seen[l.Name]; dup {
+			led.duplicates.Add(1)
+		}
+		seen[l.Name] = struct{}{}
+		if _, loaded := led.held.LoadOrStore(l.Name, struct{}{}); loaded {
+			led.duplicates.Add(1)
+		}
+		if earliest, ok := led.abandoned.LoadAndDelete(l.Name); ok {
+			if time.Now().Before(earliest.(time.Time)) {
+				led.earlyReissues.Add(1)
+			}
+		}
+	}
+
+	hold(cfg, gen)
+	extendedAt := t0
+	if cfg.RenewPercent > 0 && gen.Intn(100) < cfg.RenewPercent {
+		refs := make([]LeaseRef, 0, len(batch))
+		for _, l := range batch {
+			refs = append(refs, LeaseRef{Name: l.Name, Token: l.Token})
+		}
+		renewedAt := time.Now()
+		results, status, err := client.RenewSession(refs, ttlMillis, nil)
+		if err != nil {
+			return err
+		}
+		if status/100 != 2 || len(results) != len(refs) {
+			led.unexpectedStale.Add(uint64(len(refs)))
+		} else {
+			extendedAt = renewedAt
+			// Every acknowledged renewal must have pushed its deadline to at
+			// least send-time + TTL (1ms slack for millisecond truncation) —
+			// "extended every deadline it claims to".
+			floor := renewedAt.Add(cfg.TTL).UnixMilli() - 1
+			for i, res := range results {
+				if res.Status/100 != 2 {
+					led.unexpectedStale.Add(1)
+					continue
+				}
+				led.renews.Add(1)
+				if res.DeadlineUnixMillis < floor || res.DeadlineUnixMillis < batch[i].DeadlineUnixMillis {
+					led.shortRenewals.Add(1)
+				}
+			}
+		}
+		hold(cfg, gen)
+	}
+
+	// Per-lease crash draw, exactly as the single-op rounds, so expiry and
+	// fencing are exercised under batch traffic too.
+	release := make([]LeaseRef, 0, len(batch))
+	for _, l := range batch {
+		if cfg.CrashPercent > 0 && gen.Intn(100) < cfg.CrashPercent {
+			led.crashes.Add(1)
+			earliest := extendedAt.Add(cfg.TTL)
+			led.held.Delete(l.Name)
+			led.abandoned.Store(l.Name, earliest)
+			for {
+				last := led.lastDeadline.Load()
+				if earliest.UnixNano() <= last || led.lastDeadline.CompareAndSwap(last, earliest.UnixNano()) {
+					break
+				}
+			}
+			select {
+			case probes <- staleProbe{name: l.Name, token: l.Token, earliestReissue: earliest}:
+			default:
+			}
+			continue
+		}
+		release = append(release, LeaseRef{Name: l.Name, Token: l.Token})
+	}
+	if len(release) == 0 {
+		return nil
+	}
+	for _, ref := range release {
+		led.held.Delete(ref.Name)
+	}
+	results, status, err := client.ReleaseBatch(release, nil)
+	if err != nil {
+		return err
+	}
+	if status/100 != 2 || len(results) != len(release) {
+		led.lostReleases.Add(uint64(len(release)))
+		return nil
+	}
+	for _, res := range results {
+		if res.Status/100 == 2 {
+			led.releases.Add(1)
+		} else {
+			led.lostReleases.Add(1)
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,430 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/lease"
+	"github.com/levelarray/levelarray/internal/shard"
+	"github.com/levelarray/levelarray/internal/wire"
+)
+
+// WireBackend serves the binary wire protocol over one lease.Manager: the
+// standalone-node counterpart of Server, sharing its TTL encoding (0 =
+// default, negative = infinite) and error vocabulary, with the HTTP statuses
+// carried in the frame header. Build it with NewWireBackend and hand it to
+// wire.NewServer.
+type WireBackend struct {
+	mgr     *lease.Manager
+	cfg     Config
+	started time.Time
+}
+
+// NewWireBackend builds a wire backend over mgr with the same defaults as New.
+func NewWireBackend(mgr *lease.Manager, cfg Config) *WireBackend {
+	if cfg.DefaultTTL <= 0 {
+		cfg.DefaultTTL = 10 * time.Second
+	}
+	return &WireBackend{mgr: mgr, cfg: cfg, started: time.Now()}
+}
+
+// ttlOf maps the wire TTL encoding to the lease layer's, as Server.ttlOf.
+func (b *WireBackend) ttlOf(millis int64) time.Duration {
+	switch {
+	case millis == 0:
+		return b.cfg.DefaultTTL
+	case millis < 0:
+		return 0
+	default:
+		return time.Duration(millis) * time.Millisecond
+	}
+}
+
+// wireScratch is the per-call batch workspace, pooled so the batch opcodes
+// stay allocation-free at steady state.
+type wireScratch struct {
+	leases   []lease.Lease
+	refs     []lease.Ref
+	outcomes []lease.RenewOutcome
+}
+
+var wireScratchPool = sync.Pool{New: func() any { return &wireScratch{} }}
+
+// WireLeaseError maps a lease-layer error onto a frame's status and code:
+// the binary counterpart of WriteLeaseError, so both protocols express one
+// error vocabulary.
+func WireLeaseError(err error) (wire.Status, wire.Code) {
+	switch {
+	case errors.Is(err, activity.ErrFull):
+		return wire.StatusUnavailable, wire.CodeFull
+	case errors.Is(err, lease.ErrStaleToken):
+		return wire.StatusConflict, wire.CodeStaleToken
+	case errors.Is(err, lease.ErrNotLeased):
+		return wire.StatusConflict, wire.CodeNotLeased
+	case errors.Is(err, lease.ErrClosed):
+		return wire.StatusUnavailable, wire.CodeClosed
+	case errors.Is(err, lease.ErrTTLTooLong):
+		return wire.StatusBadRequest, wire.CodeTTLTooLong
+	default:
+		return wire.StatusInternal, wire.CodeInternal
+	}
+}
+
+// wireGrant converts one granted lease to its frame shape.
+func wireGrant(l lease.Lease) wire.Grant {
+	g := wire.Grant{Name: int64(l.Name), Token: l.Token}
+	if !l.Deadline.IsZero() {
+		g.DeadlineUnixMilli = l.Deadline.UnixMilli()
+	}
+	return g
+}
+
+// respondLeaseError fills resp for err, attaching the expirer-tick retry
+// pacing to a saturated namespace exactly as the HTTP 503 does.
+func (b *WireBackend) respondLeaseError(resp *wire.Response, err error) {
+	resp.Status, resp.Code = WireLeaseError(err)
+	if resp.Status == wire.StatusUnavailable {
+		wait := b.mgr.TickInterval()
+		if wait <= 0 {
+			wait = time.Millisecond
+		}
+		resp.RetryAfterMillis = wait.Milliseconds()
+		if resp.RetryAfterMillis < 1 {
+			resp.RetryAfterMillis = 1
+		}
+	}
+}
+
+// ServeWire implements wire.Backend over the manager.
+func (b *WireBackend) ServeWire(req *wire.Request, resp *wire.Response) {
+	switch req.Op {
+	case wire.OpPing:
+		// Status OK, empty payload.
+
+	case wire.OpAcquire:
+		l, err := b.mgr.Acquire(b.ttlOf(req.TTLMillis))
+		if err != nil {
+			b.respondLeaseError(resp, err)
+			return
+		}
+		resp.Grants = append(resp.Grants, wireGrant(l))
+
+	case wire.OpRenew:
+		ref := req.Items[0]
+		l, err := b.mgr.Renew(int(ref.Name), ref.Token, b.ttlOf(req.TTLMillis))
+		if err != nil {
+			b.respondLeaseError(resp, err)
+			return
+		}
+		resp.Grants = append(resp.Grants, wireGrant(l))
+
+	case wire.OpRelease:
+		ref := req.Items[0]
+		if err := b.mgr.Release(int(ref.Name), ref.Token); err != nil {
+			b.respondLeaseError(resp, err)
+			return
+		}
+
+	case wire.OpAcquireN:
+		sc := wireScratchPool.Get().(*wireScratch)
+		leases, err := b.mgr.AcquireN(int(req.N), b.ttlOf(req.TTLMillis), sc.leases[:0])
+		sc.leases = leases
+		if len(leases) == 0 {
+			if err == nil {
+				err = activity.ErrFull
+			}
+			b.respondLeaseError(resp, err)
+			wireScratchPool.Put(sc)
+			return
+		}
+		for _, l := range leases {
+			resp.Grants = append(resp.Grants, wireGrant(l))
+		}
+		wireScratchPool.Put(sc)
+
+	case wire.OpReleaseN:
+		for _, ref := range req.Items {
+			it := wire.ItemResult{Status: wire.StatusOK}
+			if err := b.mgr.Release(int(ref.Name), ref.Token); err != nil {
+				it.Status, it.Code = WireLeaseError(err)
+			}
+			resp.Items = append(resp.Items, it)
+		}
+
+	case wire.OpRenewSession:
+		sc := wireScratchPool.Get().(*wireScratch)
+		sc.refs = sc.refs[:0]
+		for _, ref := range req.Items {
+			sc.refs = append(sc.refs, lease.Ref{Name: int(ref.Name), Token: ref.Token})
+		}
+		outcomes, err := b.mgr.RenewAll(sc.refs, b.ttlOf(req.TTLMillis), sc.outcomes[:0])
+		sc.outcomes = outcomes
+		if err != nil {
+			b.respondLeaseError(resp, err)
+			wireScratchPool.Put(sc)
+			return
+		}
+		for _, out := range outcomes {
+			it := wire.ItemResult{Status: wire.StatusOK}
+			if out.Err != nil {
+				it.Status, it.Code = WireLeaseError(out.Err)
+			} else if !out.Deadline.IsZero() {
+				it.DeadlineUnixMilli = out.Deadline.UnixMilli()
+			}
+			resp.Items = append(resp.Items, it)
+		}
+		wireScratchPool.Put(sc)
+
+	case wire.OpCollect:
+		names := b.mgr.Collect(nil)
+		if names == nil {
+			names = []int{}
+		}
+		b.blob(resp, CollectResponse{Count: len(names), Names: names})
+
+	case wire.OpStats:
+		b.blob(resp, b.statsResponse())
+
+	case wire.OpLeases:
+		start, limit := int(req.Start), int(req.Limit)
+		if start < 0 {
+			resp.Status, resp.Code = wire.StatusBadRequest, wire.CodeBadRequest
+			return
+		}
+		if limit <= 0 {
+			limit = DefaultLeasesPageLimit
+		}
+		if limit > MaxLeasesPageLimit {
+			limit = MaxLeasesPageLimit
+		}
+		page, next := b.mgr.Sessions(start, limit)
+		lr := LeasesResponse{Sessions: make([]SessionJSON, 0, len(page)), Next: next, Active: b.mgr.Active()}
+		for _, sess := range page {
+			j := SessionJSON{Name: sess.Name, Token: sess.Token}
+			if !sess.Deadline.IsZero() {
+				j.DeadlineUnixMillis = sess.Deadline.UnixMilli()
+			}
+			lr.Sessions = append(lr.Sessions, j)
+		}
+		b.blob(resp, lr)
+
+	case wire.OpMembers:
+		// A standalone node has no membership table.
+		resp.Status, resp.Code = wire.StatusBadRequest, wire.CodeBadRequest
+
+	default:
+		resp.Status, resp.Code = wire.StatusBadRequest, wire.CodeBadRequest
+	}
+}
+
+// statsResponse mirrors the HTTP /stats body.
+func (b *WireBackend) statsResponse() StatsResponse {
+	resp := StatsResponse{
+		Lease:        b.mgr.Stats(),
+		Capacity:     b.mgr.Capacity(),
+		Size:         b.mgr.Size(),
+		TickMillis:   b.mgr.TickInterval().Milliseconds(),
+		UptimeMillis: time.Since(b.started).Milliseconds(),
+	}
+	if sharded, ok := b.mgr.Array().(*shard.Sharded); ok {
+		resp.Shards = sharded.ShardStats()
+	}
+	return resp
+}
+
+// blob JSON-encodes body into the response payload. The read-side debug
+// opcodes are the one place the binary protocol carries JSON — they exist so
+// debug tooling can ride the same connection, not for speed.
+func (b *WireBackend) blob(resp *wire.Response, body any) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		resp.Status, resp.Code = wire.StatusInternal, wire.CodeInternal
+		return
+	}
+	resp.Blob = append(resp.Blob[:0], buf...)
+}
+
+// LeaseRef addresses one held lease in a client-side batch call.
+type LeaseRef struct {
+	Name  int
+	Token uint64
+}
+
+// RenewResult is the per-lease outcome of a bulk renew (and, without the
+// deadline, of a batch release): the HTTP-valued status, the error code
+// string on failure, and the renewed deadline on success.
+type RenewResult struct {
+	Status             int
+	Code               string
+	DeadlineUnixMillis int64
+}
+
+// WireClient adapts a wire.Client to the lease-API surface of the HTTP
+// Client — identical signatures, statuses and TTL encoding — plus the batch
+// operations only the binary protocol offers. Safe for concurrent use.
+type WireClient struct {
+	c *wire.Client
+}
+
+// NewWireClient wraps c. The caller keeps ownership (and Close duty) of c.
+func NewWireClient(c *wire.Client) *WireClient { return &WireClient{c: c} }
+
+// Wire exposes the underlying wire client (for counters and Close).
+func (w *WireClient) Wire() *wire.Client { return w.c }
+
+// wireCall is a pooled request/response pair so concurrent callers do not
+// allocate per operation.
+type wireCall struct {
+	req  wire.Request
+	resp wire.Response
+}
+
+var wireCallPool = sync.Pool{New: func() any { return &wireCall{} }}
+
+// begin readies a pooled call for op.
+func begin(op wire.Opcode) *wireCall {
+	ca := wireCallPool.Get().(*wireCall)
+	ca.req.Op = op
+	ca.req.Epoch = 0
+	ca.req.TTLMillis = 0
+	ca.req.N = 0
+	ca.req.Start, ca.req.Limit = 0, 0
+	ca.req.Items = ca.req.Items[:0]
+	return ca
+}
+
+func grantLease(g wire.Grant) LeaseResponse {
+	return LeaseResponse{Name: int(g.Name), Token: g.Token, DeadlineUnixMillis: g.DeadlineUnixMilli}
+}
+
+// Acquire requests one lease; same contract as Client.Acquire, with the
+// frame's retry-after field standing in for the Retry-After headers.
+func (w *WireClient) Acquire(ttlMillis int64) (LeaseResponse, int, time.Duration, error) {
+	ca := begin(wire.OpAcquire)
+	defer wireCallPool.Put(ca)
+	ca.req.TTLMillis = ttlMillis
+	if err := w.c.Do(&ca.req, &ca.resp); err != nil {
+		return LeaseResponse{}, 0, 0, err
+	}
+	status := int(ca.resp.Status)
+	if ca.resp.Status == wire.StatusUnavailable {
+		return LeaseResponse{}, status, time.Duration(ca.resp.RetryAfterMillis) * time.Millisecond, nil
+	}
+	if ca.resp.Status != wire.StatusOK {
+		return LeaseResponse{}, status, 0, nil
+	}
+	return grantLease(ca.resp.Grants[0]), status, 0, nil
+}
+
+// Renew extends a lease; same contract as Client.Renew.
+func (w *WireClient) Renew(name int, token uint64, ttlMillis int64) (LeaseResponse, int, error) {
+	ca := begin(wire.OpRenew)
+	defer wireCallPool.Put(ca)
+	ca.req.TTLMillis = ttlMillis
+	ca.req.Items = append(ca.req.Items, wire.Ref{Name: int64(name), Token: token})
+	if err := w.c.Do(&ca.req, &ca.resp); err != nil {
+		return LeaseResponse{}, 0, err
+	}
+	if ca.resp.Status != wire.StatusOK {
+		return LeaseResponse{}, int(ca.resp.Status), nil
+	}
+	return grantLease(ca.resp.Grants[0]), int(ca.resp.Status), nil
+}
+
+// Release frees a lease; same contract as Client.Release.
+func (w *WireClient) Release(name int, token uint64) (int, error) {
+	ca := begin(wire.OpRelease)
+	defer wireCallPool.Put(ca)
+	ca.req.Items = append(ca.req.Items, wire.Ref{Name: int64(name), Token: token})
+	if err := w.c.Do(&ca.req, &ca.resp); err != nil {
+		return 0, err
+	}
+	return int(ca.resp.Status), nil
+}
+
+// Stats fetches the service statistics over the wire connection.
+func (w *WireClient) Stats() (StatsResponse, error) {
+	ca := begin(wire.OpStats)
+	defer wireCallPool.Put(ca)
+	var s StatsResponse
+	if err := w.c.Do(&ca.req, &ca.resp); err != nil {
+		return s, err
+	}
+	if ca.resp.Status != wire.StatusOK {
+		return s, fmt.Errorf("server: wire stats returned status %d (%s)", ca.resp.Status, ca.resp.Code)
+	}
+	return s, json.Unmarshal(ca.resp.Blob, &s)
+}
+
+// AcquireBatch grants up to n leases in one frame. A 503 (nothing granted)
+// carries the server's retry pacing; a partial grant is a 200 whose length
+// says how much namespace was left.
+func (w *WireClient) AcquireBatch(n int, ttlMillis int64, dst []LeaseResponse) ([]LeaseResponse, int, time.Duration, error) {
+	ca := begin(wire.OpAcquireN)
+	defer wireCallPool.Put(ca)
+	ca.req.TTLMillis = ttlMillis
+	ca.req.N = uint32(n)
+	if err := w.c.Do(&ca.req, &ca.resp); err != nil {
+		return dst, 0, 0, err
+	}
+	status := int(ca.resp.Status)
+	if ca.resp.Status == wire.StatusUnavailable {
+		return dst, status, time.Duration(ca.resp.RetryAfterMillis) * time.Millisecond, nil
+	}
+	if ca.resp.Status != wire.StatusOK {
+		return dst, status, 0, nil
+	}
+	for _, g := range ca.resp.Grants {
+		dst = append(dst, grantLease(g))
+	}
+	return dst, status, 0, nil
+}
+
+// RenewSession bulk-renews every lease in refs to one shared TTL, one round
+// trip for the whole session set. Results are index-aligned with refs.
+func (w *WireClient) RenewSession(refs []LeaseRef, ttlMillis int64, dst []RenewResult) ([]RenewResult, int, error) {
+	ca := begin(wire.OpRenewSession)
+	defer wireCallPool.Put(ca)
+	ca.req.TTLMillis = ttlMillis
+	for _, ref := range refs {
+		ca.req.Items = append(ca.req.Items, wire.Ref{Name: int64(ref.Name), Token: ref.Token})
+	}
+	if err := w.c.Do(&ca.req, &ca.resp); err != nil {
+		return dst, 0, err
+	}
+	if ca.resp.Status != wire.StatusOK {
+		return dst, int(ca.resp.Status), nil
+	}
+	for _, it := range ca.resp.Items {
+		dst = append(dst, RenewResult{Status: int(it.Status), Code: it.Code.String(), DeadlineUnixMillis: it.DeadlineUnixMilli})
+	}
+	return dst, int(ca.resp.Status), nil
+}
+
+// ReleaseBatch frees every lease in refs in one round trip. Results are
+// index-aligned with refs; deadlines are always zero.
+func (w *WireClient) ReleaseBatch(refs []LeaseRef, dst []RenewResult) ([]RenewResult, int, error) {
+	ca := begin(wire.OpReleaseN)
+	defer wireCallPool.Put(ca)
+	for _, ref := range refs {
+		ca.req.Items = append(ca.req.Items, wire.Ref{Name: int64(ref.Name), Token: ref.Token})
+	}
+	if err := w.c.Do(&ca.req, &ca.resp); err != nil {
+		return dst, 0, err
+	}
+	if ca.resp.Status != wire.StatusOK {
+		return dst, int(ca.resp.Status), nil
+	}
+	for _, it := range ca.resp.Items {
+		dst = append(dst, RenewResult{Status: int(it.Status), Code: it.Code.String()})
+	}
+	return dst, int(ca.resp.Status), nil
+}
+
+// WireCounters exposes the underlying connection pool's syscall-efficiency
+// telemetry; loadgen reports it when the API it drives offers it.
+func (w *WireClient) WireCounters() wire.Counters { return w.c.Counters() }

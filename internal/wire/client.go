@@ -1,0 +1,335 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClientClosed is returned by calls issued after Close.
+var ErrClientClosed = errors.New("wire: client closed")
+
+// ClientConfig tunes a Client. The zero value is usable: 1 connection,
+// 5s dial timeout, 10s call timeout.
+type ClientConfig struct {
+	// Conns is the number of pooled connections (calls are distributed
+	// round-robin; many callers pipelining on few conns is the sweet spot).
+	Conns int
+	// DialTimeout bounds connection establishment.
+	DialTimeout time.Duration
+	// CallTimeout bounds one request/response exchange. A timeout marks the
+	// connection dead (responses could no longer be matched reliably).
+	CallTimeout time.Duration
+}
+
+func (c *ClientConfig) withDefaults() ClientConfig {
+	out := ClientConfig{Conns: 1, DialTimeout: 5 * time.Second, CallTimeout: 10 * time.Second}
+	if c == nil {
+		return out
+	}
+	if c.Conns > 0 {
+		out.Conns = c.Conns
+	}
+	if c.DialTimeout > 0 {
+		out.DialTimeout = c.DialTimeout
+	}
+	if c.CallTimeout > 0 {
+		out.CallTimeout = c.CallTimeout
+	}
+	return out
+}
+
+// Counters is a snapshot of a client's syscall-efficiency telemetry.
+type Counters struct {
+	Dials      uint64 // connections established (first dial + reconnects)
+	Ops        uint64 // requests completed (success or error response)
+	FramesSent uint64 // request frames written
+	Flushes    uint64 // write-side flushes (syscalls); FramesSent/Flushes = frames per flush
+}
+
+// Client is a pooled wire-protocol client. Each pooled connection supports
+// pipelining: concurrent callers enqueue frames under a short write lock and
+// a single reader goroutine matches responses by request ID, so in-flight
+// depth scales with callers, not connections. Dead connections are redialed
+// lazily on the next call that lands on them.
+type Client struct {
+	addr string
+	cfg  ClientConfig
+
+	nextID   atomic.Uint64
+	nextSlot atomic.Uint64
+	closed   atomic.Bool
+	slots    []*slot
+
+	dials      atomic.Uint64
+	ops        atomic.Uint64
+	framesSent atomic.Uint64
+	flushes    atomic.Uint64
+}
+
+// slot is one pooled-connection cell; c is nil until first use and after a
+// connection is torn down.
+type slot struct {
+	mu sync.Mutex // guards dialing/replacing c
+	c  atomic.Pointer[conn]
+}
+
+// conn is one live connection plus its pipelining state.
+type conn struct {
+	cl  *Client
+	nc  net.Conn
+	wmu sync.Mutex // serializes frame writes
+	bw  *bufio.Writer
+	// queued counts callers that have committed to writing but not yet
+	// finished; the last writer out flushes, so bursts of concurrent calls
+	// coalesce into one syscall (write-combining).
+	queued atomic.Int32
+
+	pmu     sync.Mutex
+	pending map[uint64]*call
+	dead    atomic.Bool
+	err     error // first fatal error, set before dead; read after dead
+}
+
+// call is one in-flight request awaiting its response frame.
+type call struct {
+	done chan struct{}
+	resp Response
+	err  error
+}
+
+var callPool = sync.Pool{New: func() any { return &call{done: make(chan struct{}, 1)} }}
+
+// NewClient returns a client for the wire endpoint at addr (host:port).
+// No connection is made until the first call.
+func NewClient(addr string, cfg *ClientConfig) *Client {
+	c := &Client{addr: addr, cfg: cfg.withDefaults()}
+	c.slots = make([]*slot, c.cfg.Conns)
+	for i := range c.slots {
+		c.slots[i] = &slot{}
+	}
+	return c
+}
+
+// Addr returns the endpoint this client dials.
+func (c *Client) Addr() string { return c.addr }
+
+// Counters snapshots the client's telemetry.
+func (c *Client) Counters() Counters {
+	return Counters{
+		Dials:      c.dials.Load(),
+		Ops:        c.ops.Load(),
+		FramesSent: c.framesSent.Load(),
+		Flushes:    c.flushes.Load(),
+	}
+}
+
+// Close tears down every pooled connection. In-flight calls fail with
+// ErrClientClosed.
+func (c *Client) Close() {
+	c.closed.Store(true)
+	for _, s := range c.slots {
+		s.mu.Lock()
+		if cn := s.c.Swap(nil); cn != nil {
+			cn.fail(ErrClientClosed)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Do performs one request/response exchange. req.ID is assigned by the
+// client. resp's storage is owned by the caller and reused across calls.
+func (c *Client) Do(req *Request, resp *Response) error {
+	if c.closed.Load() {
+		return ErrClientClosed
+	}
+	s := c.slots[c.nextSlot.Add(1)%uint64(len(c.slots))]
+	cn, err := c.connFor(s)
+	if err != nil {
+		return err
+	}
+	return cn.roundTrip(req, resp, c.cfg.CallTimeout)
+}
+
+// connFor returns the slot's live connection, dialing if absent or dead.
+func (c *Client) connFor(s *slot) (*conn, error) {
+	if cn := s.c.Load(); cn != nil && !cn.dead.Load() {
+		return cn, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cn := s.c.Load(); cn != nil && !cn.dead.Load() {
+		return cn, nil
+	}
+	if c.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	nc, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	cn := &conn{
+		cl:      c,
+		nc:      nc,
+		bw:      bufio.NewWriterSize(nc, 64<<10),
+		pending: make(map[uint64]*call),
+	}
+	c.dials.Add(1)
+	s.c.Store(cn)
+	go cn.readLoop()
+	return cn, nil
+}
+
+// roundTrip sends req and blocks for its response (other callers' frames may
+// interleave on the same connection meanwhile).
+func (cn *conn) roundTrip(req *Request, resp *Response, timeout time.Duration) error {
+	id := cn.cl.nextID.Add(1)
+	req.ID = id
+
+	ca := callPool.Get().(*call)
+	ca.err = nil
+
+	cn.pmu.Lock()
+	if cn.dead.Load() {
+		cn.pmu.Unlock()
+		callPool.Put(ca)
+		return cn.errOr(io.ErrClosedPipe)
+	}
+	cn.pending[id] = ca
+	cn.pmu.Unlock()
+
+	// Write the frame. queued is incremented before taking the write lock:
+	// a writer that sees queued > 0 after its own write skips the flush,
+	// because a later writer is already committed to flushing.
+	cn.queued.Add(1)
+	cn.wmu.Lock()
+	frame := AppendRequest(writeBufPool.Get().([]byte)[:0], req)
+	_, werr := cn.bw.Write(frame)
+	writeBufPool.Put(frame[:0])
+	cn.cl.framesSent.Add(1)
+	if werr == nil && cn.queued.Add(-1) == 0 {
+		werr = cn.bw.Flush()
+		cn.cl.flushes.Add(1)
+	} else if werr != nil {
+		cn.queued.Add(-1)
+	}
+	cn.wmu.Unlock()
+	if werr != nil {
+		cn.fail(werr)
+	}
+
+	var timer *time.Timer
+	var timeoutCh <-chan time.Time
+	if timeout > 0 {
+		timer = time.NewTimer(timeout)
+		timeoutCh = timer.C
+	}
+	select {
+	case <-ca.done:
+		if timer != nil {
+			timer.Stop()
+		}
+		err := ca.err
+		if err == nil {
+			// Move the response out before pooling the call; swapping the
+			// backing storage keeps both sides allocation-free.
+			*resp, ca.resp = ca.resp, *resp
+		}
+		callPool.Put(ca)
+		cn.cl.ops.Add(1)
+		return err
+	case <-timeoutCh:
+		// The response stream can no longer be trusted to line up with
+		// pending IDs cheaply; kill the connection. The reader (or fail)
+		// completes ca, which we must wait for before pooling it. If the
+		// response raced the timer and won, honor it.
+		cn.fail(fmt.Errorf("wire: call timeout after %v", timeout))
+		<-ca.done
+		err := ca.err
+		if err == nil {
+			*resp, ca.resp = ca.resp, *resp
+		}
+		callPool.Put(ca)
+		if err == nil {
+			cn.cl.ops.Add(1)
+		}
+		return err
+	}
+}
+
+var writeBufPool = sync.Pool{New: func() any { return make([]byte, 0, 4096) }}
+
+// readLoop is the connection's single reader: it decodes response frames and
+// completes the matching pending call.
+func (cn *conn) readLoop() {
+	br := bufio.NewReaderSize(cn.nc, 64<<10)
+	var hdr [HeaderLen]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			cn.fail(err)
+			return
+		}
+		h, err := ParseHeader(hdr[:])
+		if err != nil {
+			cn.fail(err)
+			return
+		}
+		if int(h.Len) > cap(payload) {
+			payload = make([]byte, h.Len)
+		}
+		payload = payload[:h.Len]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			cn.fail(err)
+			return
+		}
+
+		cn.pmu.Lock()
+		ca := cn.pending[h.ID]
+		delete(cn.pending, h.ID)
+		cn.pmu.Unlock()
+		if ca == nil {
+			continue // cancelled call (timeout already failed the conn) or bug
+		}
+		ca.err = DecodeResponse(h, payload, &ca.resp)
+		ca.done <- struct{}{}
+	}
+}
+
+// fail marks the connection dead, closes it, and completes every pending
+// call with err. Safe to call multiple times; the first error wins.
+func (cn *conn) fail(err error) {
+	cn.pmu.Lock()
+	if cn.dead.Load() {
+		cn.pmu.Unlock()
+		return
+	}
+	cn.err = err
+	cn.dead.Store(true)
+	pending := cn.pending
+	cn.pending = make(map[uint64]*call)
+	cn.pmu.Unlock()
+	cn.nc.Close()
+	for _, ca := range pending {
+		ca.err = err
+		ca.done <- struct{}{}
+	}
+}
+
+// errOr returns the connection's recorded fatal error, or fallback.
+func (cn *conn) errOr(fallback error) error {
+	cn.pmu.Lock()
+	defer cn.pmu.Unlock()
+	if cn.err != nil {
+		return cn.err
+	}
+	return fallback
+}

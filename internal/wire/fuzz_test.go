@@ -1,0 +1,105 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// decodeErrOK reports whether err is one of the package's typed decode
+// errors (possibly wrapped). The frame decoder's contract is that malformed
+// input maps to exactly this vocabulary — never a panic, never an ad-hoc
+// error a caller can't switch on.
+func decodeErrOK(err error) bool {
+	for _, typed := range []error{
+		ErrBadMagic, ErrBadVersion, ErrOversizedFrame,
+		ErrTruncatedFrame, ErrBadPayload, ErrBatchTooLarge,
+	} {
+		if errors.Is(err, typed) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzDecodeFrame feeds arbitrary bytes through the full decode surface:
+// header parse, then request and response decode under that header. Any
+// input must either decode cleanly or fail with a typed error; decoded
+// requests must survive a re-encode/re-decode round trip unchanged.
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed with one valid frame per opcode, both directions.
+	reqs := []Request{
+		{Op: OpPing, ID: 1},
+		{Op: OpAcquire, ID: 2, Epoch: 3, TTLMillis: 1000},
+		{Op: OpRenew, ID: 4, TTLMillis: 100, Items: []Ref{{Name: 7, Token: 8}}},
+		{Op: OpRelease, ID: 5, Items: []Ref{{Name: 7, Token: 8}}},
+		{Op: OpAcquireN, ID: 6, TTLMillis: 50, N: 16},
+		{Op: OpReleaseN, ID: 7, Items: []Ref{{Name: 1, Token: 2}, {Name: 3, Token: 4}}},
+		{Op: OpRenewSession, ID: 8, TTLMillis: 200, Items: []Ref{{Name: 1, Token: 2}}},
+		{Op: OpCollect, ID: 9},
+		{Op: OpStats, ID: 10},
+		{Op: OpLeases, ID: 11, Start: 5, Limit: 10},
+		{Op: OpMembers, ID: 12},
+	}
+	for i := range reqs {
+		f.Add(AppendRequest(nil, &reqs[i]))
+	}
+	grant := Grant{Name: 1, Token: 2, DeadlineUnixMilli: 3, NodeID: 4, Partition: 5, Epoch: 6}
+	resps := []struct {
+		op   Opcode
+		resp Response
+	}{
+		{OpAcquire, Response{Status: StatusOK, Grants: []Grant{grant}}},
+		{OpAcquireN, Response{Status: StatusOK, Grants: []Grant{grant, grant}}},
+		{OpRenewSession, Response{Status: StatusOK, Items: []ItemResult{{Status: StatusOK, DeadlineUnixMilli: 9}}}},
+		{OpStats, Response{Status: StatusOK, Blob: []byte(`{"active":1}`)}},
+		{OpAcquire, Response{Status: StatusUnavailable, Code: CodeFull, RetryAfterMillis: 100}},
+	}
+	for _, tc := range resps {
+		f.Add(AppendResponse(nil, tc.op, 1, &tc.resp))
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, HeaderLen+64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ParseHeader(data)
+		if err != nil {
+			if !decodeErrOK(err) {
+				t.Fatalf("ParseHeader returned untyped error: %v", err)
+			}
+			return
+		}
+		payload := data[HeaderLen:]
+		if len(payload) > int(h.Len) {
+			payload = payload[:h.Len]
+		}
+
+		var req Request
+		if err := DecodeRequest(h, payload, &req); err != nil {
+			if !decodeErrOK(err) {
+				t.Fatalf("DecodeRequest returned untyped error: %v", err)
+			}
+		} else {
+			// Round trip: what decoded must re-encode to a frame that decodes
+			// to the same request (canonical-form check). AcquireN's count is
+			// carried in the payload, not Items, so re-encode is exact.
+			frame := AppendRequest(nil, &req)
+			h2, err := ParseHeader(frame)
+			if err != nil {
+				t.Fatalf("re-encoded frame does not parse: %v", err)
+			}
+			var req2 Request
+			if err := DecodeRequest(h2, frame[HeaderLen:], &req2); err != nil {
+				t.Fatalf("re-encoded frame does not decode: %v", err)
+			}
+			if !reqEqual(req, req2) {
+				t.Fatalf("round trip diverged: %+v vs %+v", req, req2)
+			}
+		}
+
+		var resp Response
+		if err := DecodeResponse(h, payload, &resp); err != nil && !decodeErrOK(err) {
+			t.Fatalf("DecodeResponse returned untyped error: %v", err)
+		}
+	})
+}

@@ -11,6 +11,7 @@
 #                                    # incl. the laload loopback smoke (one full
 #                                    # verified closed-loop run per iteration)
 #   COUNT=5 scripts/bench.sh         # repetitions for stable statistics
+#   scripts/bench.sh --ab            # HTTP-vs-wire A/B only -> benchmarks/wire-ab.txt
 #
 # latest.txt is the raw `go test -bench` output; latest.json maps benchmark
 # name -> ns/op (averaged over COUNT repetitions), so the perf trajectory is
@@ -22,6 +23,38 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# --ab: run only the protocol A/B pair (the identical acquire+release
+# workload over HTTP/JSON and over the binary wire protocol) and record the
+# speedup factor in benchmarks/wire-ab.txt.
+if [ "${1:-}" = "--ab" ]; then
+  COUNT="${COUNT:-3}"
+  BENCHTIME="${BENCHTIME:-1s}"
+  OUT_DIR=benchmarks
+  OUT_AB="$OUT_DIR/wire-ab.txt"
+  mkdir -p "$OUT_DIR"
+  {
+    echo "# go test -bench BenchmarkServiceAB -benchtime $BENCHTIME -count $COUNT"
+    echo "# $(date -u +"%Y-%m-%dT%H:%M:%SZ") $(go version)"
+    go test -run xxx -bench 'BenchmarkServiceAB' -benchtime "$BENCHTIME" -count "$COUNT" .
+  } | tee "$OUT_AB.raw"
+  # Average repetitions per protocol and append the headline speedup factor.
+  awk '
+    /^BenchmarkServiceAB\/proto=http/ { http += $3; nh++ }
+    /^BenchmarkServiceAB\/proto=wire/ { wire += $3; nw++ }
+    { print }
+    END {
+      if (nh > 0 && nw > 0 && wire > 0) {
+        printf "\n# http %.0f ns/op, wire %.0f ns/op over %d reps\n", http / nh, wire / nw, nh
+        printf "# wire speedup over HTTP: %.2fx\n", (http / nh) / (wire / nw)
+      }
+    }
+  ' "$OUT_AB.raw" > "$OUT_AB"
+  rm -f "$OUT_AB.raw"
+  tail -3 "$OUT_AB"
+  echo "wrote $OUT_AB"
+  exit 0
+fi
 
 BENCH="${BENCH:-.}"
 COUNT="${COUNT:-1}"
