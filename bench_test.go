@@ -1091,3 +1091,51 @@ func BenchmarkClusterRouteLoopback(b *testing.B) {
 		})
 	}
 }
+
+// calSink keeps the calibration loop's result observable so the compiler
+// cannot elide the work.
+var calSink uint64
+
+// calMem is the calibration benchmark's scatter-read target: 8 MiB, well past
+// L2, so the anchor samples the same cache/memory subsystem the probe-loop
+// benchmarks live in, not just the ALU.
+var calMem []uint64
+
+// BenchmarkCalibration is the regression gate's machine-speed anchor: a fixed
+// blend of integer work (splitmix64 rounds) and dependent scatter reads over
+// an 8 MiB array, touching no levelarray code path. The gated benchmarks are
+// probe loops over large arrays, so the anchor must track both CPU speed and
+// memory-subsystem contention — a pure-register spin stays fast while a noisy
+// co-tenant trashes the cache, and would mis-scale the baseline exactly when
+// scaling matters most. The gate in scripts/bench.sh multiplies the committed
+// baseline by the ratio of this benchmark's ns/op now vs at baseline-
+// recording time, so "5% slower" means slower relative to the machine, not
+// relative to whatever hardware recorded the baseline.
+func BenchmarkCalibration(b *testing.B) {
+	const words = 1 << 20 // 8 MiB of uint64
+	if calMem == nil {
+		calMem = make([]uint64, words)
+		for i := range calMem {
+			calMem[i] = uint64(i) * 0x9E3779B97F4A7C15
+		}
+	}
+	var acc uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := uint64(i)
+		for r := 0; r < 64; r++ {
+			x += 0x9E3779B97F4A7C15
+			z := x
+			z ^= z >> 30
+			z *= 0xBF58476D1CE4E5B9
+			z ^= z >> 27
+			z *= 0x94D049BB133111EB
+			z ^= z >> 31
+			// Dependent scatter read: the next index derives from the loaded
+			// value, so the loop pays real memory latency every round.
+			x += calMem[z&(words-1)]
+			acc += z
+		}
+	}
+	calSink = acc
+}

@@ -27,6 +27,8 @@ import (
 	"time"
 
 	"github.com/levelarray/levelarray/internal/cluster"
+	"github.com/levelarray/levelarray/internal/lease"
+	"github.com/levelarray/levelarray/internal/metrics"
 	"github.com/levelarray/levelarray/internal/registry"
 	"github.com/levelarray/levelarray/internal/server"
 	"github.com/levelarray/levelarray/internal/stats"
@@ -41,13 +43,14 @@ func main() {
 }
 
 func usage() string {
-	return "usage: lactl [-addr URL|host:port] [-proto http|wire] [-limit N] members|stats|leases"
+	return "usage: lactl [-addr URL|host:port] [-proto http|wire] [-limit N] [-verify] members|stats|leases|metrics"
 }
 
 func run() error {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "any cluster member (or standalone laserve): base URL, or host:port with -proto wire")
 	protoName := flag.String("proto", "http", "transport protocol: "+registry.ValidProtoNames)
 	limit := flag.Int("limit", 50, "maximum sessions to list (leases)")
+	verify := flag.Bool("verify", false, "metrics: fail unless occupancy gauges agree with /stats (within concurrent churn)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		return fmt.Errorf("%s", usage())
@@ -71,6 +74,8 @@ func run() error {
 		return runStats(src)
 	case "leases":
 		return runLeases(src, *limit)
+	case "metrics":
+		return runMetrics(src, *verify)
 	default:
 		return fmt.Errorf("unknown command %q\n%s", flag.Arg(0), usage())
 	}
@@ -252,6 +257,178 @@ func runStats(src *source) error {
 	fmt.Println(tbl.String())
 	for _, addr := range unreachable {
 		fmt.Printf("lactl: member %s unreachable\n", addr)
+	}
+	return nil
+}
+
+// httpBase coerces an address to an HTTP base URL: the metrics endpoint is
+// HTTP-only, so a bare host:port (wire style) gets the scheme prefixed.
+func httpBase(addr string) string {
+	addr = strings.TrimRight(addr, "/")
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return addr
+}
+
+// scrapeMetrics fetches and parses one node's /metrics exposition. The
+// metrics endpoint is HTTP-only, so this always uses the member's base URL
+// even when -proto wire reads everything else over frames.
+func (s *source) scrapeMetrics(base string) ([]metrics.Sample, error) {
+	resp, err := s.hc.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("GET %s/metrics returned %d (metrics disabled or served elsewhere?)", base, resp.StatusCode)
+	}
+	return metrics.ParseText(resp.Body)
+}
+
+// hasSample reports whether any sample of the family is present.
+func hasSample(samples []metrics.Sample, name string) bool {
+	_, ok := metrics.Find(samples, name)
+	return ok
+}
+
+// statsProbe covers both /stats shapes: the clustered body carries a
+// top-level active plus partitions, the standalone body a single lease block.
+type statsProbe struct {
+	Active     int64                    `json:"active"`
+	Lease      lease.Stats              `json:"lease"`
+	Partitions []cluster.PartitionStats `json:"partitions"`
+}
+
+func (p statsProbe) active() int64 {
+	if len(p.Partitions) > 0 || p.Active != 0 {
+		return p.Active
+	}
+	return p.Lease.Active
+}
+
+// opsTotal sums the operations that can move the node's occupancy; the delta
+// between two snapshots bounds how far a mid-scrape gauge may drift.
+func (p statsProbe) opsTotal() uint64 {
+	ops := p.Lease.Acquires + p.Lease.Releases + p.Lease.Expirations + p.Lease.OrphansReclaimed
+	for _, part := range p.Partitions {
+		ops += part.Lease.Acquires + part.Lease.Releases + part.Lease.Expirations + part.Lease.OrphansReclaimed
+	}
+	return ops
+}
+
+// verifyNode checks one member's occupancy gauges against its /stats,
+// bracketing a fresh scrape with two stats snapshots so concurrent churn
+// cannot produce a false failure: the gauge must land inside the snapshot
+// envelope widened by the operations that happened in between.
+func (s *source) verifyNode(base string) error {
+	var before, after statsProbe
+	if err := s.getJSON(base+"/stats", &before); err != nil {
+		return err
+	}
+	samples, err := s.scrapeMetrics(base)
+	if err != nil {
+		return err
+	}
+	if err := s.getJSON(base+"/stats", &after); err != nil {
+		return err
+	}
+	var gauge float64
+	switch {
+	case hasSample(samples, "la_partition_active"):
+		gauge = metrics.Sum(samples, "la_partition_active")
+	case hasSample(samples, "la_leases_active"):
+		gauge, _ = metrics.Find(samples, "la_leases_active")
+	default:
+		return fmt.Errorf("%s: no occupancy gauge (la_partition_active / la_leases_active) in /metrics", base)
+	}
+	lo, hi := before.active(), after.active()
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	churn := int64(after.opsTotal() - before.opsTotal())
+	if churn < 0 {
+		churn = -churn
+	}
+	if int64(gauge) < lo-churn || int64(gauge) > hi+churn {
+		return fmt.Errorf("%s: occupancy gauge %d outside /stats envelope [%d, %d] (churn %d)", base, int64(gauge), lo-churn, hi+churn, churn)
+	}
+	return nil
+}
+
+// runMetrics scrapes /metrics from every member (or the standalone target)
+// and renders per-partition occupancy plus a per-node operation summary.
+func runMetrics(src *source, verify bool) error {
+	bases := []string{httpBase(src.base)}
+	t, terr := src.fetchTable()
+	if terr == nil {
+		bases = bases[:0]
+		for _, m := range t.Alive() {
+			bases = append(bases, httpBase(m.Addr))
+		}
+	}
+
+	parts := stats.NewTable("per-partition occupancy (scraped from /metrics)",
+		"partition", "node", "active", "capacity", "load", "quarantine")
+	nodes := stats.NewTable("per-node operations",
+		"node", "ops", "fences", "503s", "acquire p50", "acquire p99", "goroutines")
+	var failures []string
+	for _, base := range bases {
+		samples, err := src.scrapeMetrics(base)
+		if err != nil {
+			failures = append(failures, err.Error())
+			continue
+		}
+		nodeName := base
+		if v, ok := metrics.Find(samples, "la_cluster_epoch"); ok {
+			nodeName = fmt.Sprintf("%s (epoch %.0f)", base, v)
+		}
+		for _, sm := range samples {
+			if sm.Name != "la_partition_active" {
+				continue
+			}
+			p := sm.Label("partition")
+			capacity, _ := metrics.Find(samples, "la_partition_capacity", metrics.L("partition", p))
+			load, _ := metrics.Find(samples, "la_partition_load_factor", metrics.L("partition", p))
+			quarantine := "-"
+			if q, ok := metrics.Find(samples, "la_partition_quarantine_seconds", metrics.L("partition", p)); ok && q > 0 {
+				quarantine = fmt.Sprintf("%.1fs", q)
+			}
+			parts.AddRow(p, base, fmt.Sprintf("%.0f", sm.Value), fmt.Sprintf("%.0f", capacity), fmt.Sprintf("%.0f%%", load*100), quarantine)
+		}
+		if active, ok := metrics.Find(samples, "la_leases_active"); ok {
+			capacity, _ := metrics.Find(samples, "la_lease_capacity")
+			load, _ := metrics.Find(samples, "la_lease_load_factor")
+			parts.AddRow("-", base, fmt.Sprintf("%.0f", active), fmt.Sprintf("%.0f", capacity), fmt.Sprintf("%.0f%%", load*100), "-")
+		}
+		ops := metrics.Sum(samples, "la_ops_total")
+		fences := metrics.Sum(samples, "la_fence_rejections_total")
+		unavail := metrics.Sum(samples, "la_unavailable_total")
+		goroutines, _ := metrics.Find(samples, "go_goroutines")
+		p50, p99 := "-", "-"
+		if q, ok := metrics.SampleQuantile(samples, "la_acquire_latency_seconds", 0.50); ok {
+			p50 = (time.Duration(q * float64(time.Second))).Round(time.Microsecond).String()
+		}
+		if q, ok := metrics.SampleQuantile(samples, "la_acquire_latency_seconds", 0.99); ok {
+			p99 = (time.Duration(q * float64(time.Second))).Round(time.Microsecond).String()
+		}
+		nodes.AddRow(nodeName, fmt.Sprintf("%.0f", ops), fmt.Sprintf("%.0f", fences), fmt.Sprintf("%.0f", unavail), p50, p99, fmt.Sprintf("%.0f", goroutines))
+		if verify {
+			if err := src.verifyNode(base); err != nil {
+				failures = append(failures, err.Error())
+			}
+		}
+	}
+	fmt.Println(parts.String())
+	fmt.Println(nodes.String())
+	if len(failures) > 0 {
+		return fmt.Errorf("metrics check failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	if verify {
+		fmt.Println("lactl: occupancy gauges agree with /stats on every scraped node")
 	}
 	return nil
 }

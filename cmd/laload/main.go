@@ -310,6 +310,12 @@ func runCluster(opts clusterOptions) error {
 	tbl.AddRow("routing refresh/412/421/dead", fmt.Sprintf("%d/%d/%d/%d",
 		report.Routing.Refreshes, report.Routing.StaleEpochs, report.Routing.Misroutes, report.Routing.DeadHops))
 	tbl.AddRow("wire ops / HTTP fallbacks", fmt.Sprintf("%d/%d", report.Routing.WireOps, report.Routing.WireFallbacks))
+	if report.MetricsDisabled {
+		tbl.AddRow("metrics watcher", "disabled (/metrics 404)")
+	} else {
+		tbl.AddRow("metrics scrapes", fmt.Sprintf("%d", report.MetricsScrapes))
+		tbl.AddRow("quarantines seen in /metrics", fmt.Sprintf("%d (mid-kill snapshots %v)", report.MetricsQuarantines, report.MetricsMidKillQuarantines))
+	}
 	fmt.Println(tbl.String())
 
 	if err := writeJSONReport(opts.jsonPath, report); err != nil {

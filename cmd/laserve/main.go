@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,6 +36,7 @@ import (
 	"github.com/levelarray/levelarray/internal/activity"
 	"github.com/levelarray/levelarray/internal/cluster"
 	"github.com/levelarray/levelarray/internal/lease"
+	"github.com/levelarray/levelarray/internal/metrics"
 	"github.com/levelarray/levelarray/internal/registry"
 	"github.com/levelarray/levelarray/internal/server"
 	"github.com/levelarray/levelarray/internal/shard"
@@ -59,6 +61,7 @@ func run() error {
 	spaceName := flag.String("space", "bitmap", "slot substrate: "+registry.ValidSpaceNames)
 	probeName := flag.String("probe", "word", "LevelArray probe strategy (word claims suit high service fill)")
 	rngName := flag.String("rng", "xorshift", "random generator: "+registry.ValidRNGNames)
+	metricsAddr := flag.String("metrics-addr", "main", "metrics + pprof endpoint: "+registry.ValidMetricsAddrs)
 	tick := flag.Duration("tick", 100*time.Millisecond, "lease expirer tick interval")
 	defaultTTL := flag.Duration("default-ttl", 10*time.Second, "TTL applied when an acquire omits ttl_ms")
 	maxTTL := flag.Duration("max-ttl", 0, "reject TTLs above this (0: unlimited standalone, 30s in member mode)")
@@ -117,6 +120,11 @@ func run() error {
 		})
 	}
 
+	ms, err := newMetricsSetup(*metricsAddr)
+	if err != nil {
+		return err
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -137,6 +145,7 @@ func run() error {
 			seed:       *seed,
 			algo:       algo,
 			newArray:   newArray,
+			ms:         ms,
 		})
 	}
 
@@ -149,29 +158,94 @@ func run() error {
 		return err
 	}
 	mgr.Start()
+	if ms.m != nil {
+		server.RegisterManager(ms.m.Registry, mgr)
+		server.RegisterShardStats(ms.m.Registry, mgr.Array())
+	}
 
 	if *wireAddr != "" {
-		stop, err := startWire(*wireAddr, server.NewWireBackend(mgr, server.Config{DefaultTTL: *defaultTTL}))
+		ws, stop, err := startWire(*wireAddr, server.NewWireBackend(mgr, server.Config{DefaultTTL: *defaultTTL, Metrics: ms.m}))
 		if err != nil {
 			return err
 		}
 		defer stop()
+		if ms.m != nil {
+			server.RegisterWireServer(ms.m.Registry, ws)
+		}
 	}
-	fmt.Printf("laserve: %s capacity=%d size=%d tick=%v listening on %s (wire: %s)\n",
-		algo, mgr.Capacity(), mgr.Size(), *tick, *addr, orNone(*wireAddr))
-	return server.New(mgr, server.Config{DefaultTTL: *defaultTTL}).Serve(ctx, *addr)
+	stopMetrics, err := ms.serveDedicated()
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
+	fmt.Printf("laserve: %s capacity=%d size=%d tick=%v listening on %s (wire: %s, metrics: %s)\n",
+		algo, mgr.Capacity(), mgr.Size(), *tick, *addr, orNone(*wireAddr), ms.describe())
+	return server.New(mgr, server.Config{DefaultTTL: *defaultTTL, Metrics: ms.m, MetricsElsewhere: ms.elsewhere()}).Serve(ctx, *addr)
+}
+
+// metricsSetup resolves the -metrics-addr mode into the shared
+// instrumentation bundle (nil when metrics are off) and, for host:port
+// values, the dedicated listener.
+type metricsSetup struct {
+	mode registry.MetricsMode
+	addr string
+	m    *server.Metrics
+}
+
+func newMetricsSetup(flagVal string) (*metricsSetup, error) {
+	mode, addr, err := registry.ParseMetricsAddrFlag(flagVal)
+	if err != nil {
+		return nil, err
+	}
+	ms := &metricsSetup{mode: mode, addr: addr}
+	if mode != registry.MetricsOff {
+		reg := metrics.NewRegistry()
+		metrics.RegisterRuntime(reg)
+		ms.m = server.NewMetrics(reg)
+	}
+	return ms, nil
+}
+
+func (ms *metricsSetup) elsewhere() bool { return ms.mode == registry.MetricsDedicated }
+
+func (ms *metricsSetup) describe() string {
+	switch ms.mode {
+	case registry.MetricsOff:
+		return "off"
+	case registry.MetricsDedicated:
+		return ms.addr
+	default:
+		return "main"
+	}
+}
+
+// serveDedicated starts the dedicated metrics listener when one is
+// configured, returning its shutdown function.
+func (ms *metricsSetup) serveDedicated() (func(), error) {
+	if ms.mode != registry.MetricsDedicated {
+		return func() {}, nil
+	}
+	mux := http.NewServeMux()
+	server.MountMetrics(mux, ms.m.Registry)
+	ln, err := net.Listen("tcp", ms.addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener on %s: %w", ms.addr, err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return func() { _ = srv.Close() }, nil
 }
 
 // startWire binds and serves the binary protocol next to the HTTP listener,
-// returning its shutdown function.
-func startWire(addr string, backend wire.Backend) (func(), error) {
+// returning the server (for counter registration) and its shutdown function.
+func startWire(addr string, backend wire.Backend) (*wire.Server, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("wire listener on %s: %w", addr, err)
+		return nil, nil, fmt.Errorf("wire listener on %s: %w", addr, err)
 	}
 	srv := wire.NewServer(backend)
 	go func() { _ = srv.Serve(ln) }()
-	return func() { _ = srv.Close() }, nil
+	return srv, func() { _ = srv.Close() }, nil
 }
 
 func orNone(s string) string {
@@ -198,6 +272,7 @@ type memberOptions struct {
 	seed       uint64
 	algo       registry.Algorithm
 	newArray   func(capacity int, seed uint64) (activity.Array, error)
+	ms         *metricsSetup
 }
 
 // runMember boots one cluster member.
@@ -237,11 +312,13 @@ func runMember(ctx context.Context, opts memberOptions) error {
 		NewPartitionArray: func(partition int) (activity.Array, error) {
 			return opts.newArray(perPartition, opts.seed+uint64(partition)*0x9E3779B97F4A7C15+1)
 		},
-		Lease:         lease.Config{TickInterval: opts.tick},
-		DefaultTTL:    opts.defaultTTL,
-		MaxTTL:        opts.maxTTL,
-		ProbeInterval: opts.probeEvery,
-		DownAfter:     opts.downAfter,
+		Lease:            lease.Config{TickInterval: opts.tick},
+		DefaultTTL:       opts.defaultTTL,
+		MaxTTL:           opts.maxTTL,
+		ProbeInterval:    opts.probeEvery,
+		DownAfter:        opts.downAfter,
+		Metrics:          opts.ms.m,
+		MetricsElsewhere: opts.ms.elsewhere(),
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},
@@ -250,14 +327,22 @@ func runMember(ctx context.Context, opts memberOptions) error {
 		return err
 	}
 	if opts.wireAddr != "" {
-		stop, err := startWire(opts.wireAddr, node)
+		ws, stop, err := startWire(opts.wireAddr, node)
 		if err != nil {
 			return err
 		}
 		defer stop()
+		if opts.ms.m != nil {
+			server.RegisterWireServer(opts.ms.m.Registry, ws)
+		}
 	}
+	stopMetrics, err := opts.ms.serveDedicated()
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
 	t := node.Table()
-	fmt.Printf("laserve: member %d/%d, %s x %d partitions (capacity %d each, stride %d, namespace %d), epoch %d, listening on %s (wire: %s)\n",
-		opts.nodeID, len(peers), opts.algo, partitions, perPartition, t.Stride, t.Size(), t.Epoch, opts.addr, orNone(opts.wireAddr))
+	fmt.Printf("laserve: member %d/%d, %s x %d partitions (capacity %d each, stride %d, namespace %d), epoch %d, listening on %s (wire: %s, metrics: %s)\n",
+		opts.nodeID, len(peers), opts.algo, partitions, perPartition, t.Stride, t.Size(), t.Epoch, opts.addr, orNone(opts.wireAddr), opts.ms.describe())
 	return node.Serve(ctx, opts.addr)
 }

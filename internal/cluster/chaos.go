@@ -165,6 +165,24 @@ type ChaosReport struct {
 	FailoverTimeouts int   `json:"failover_timeouts"`
 	Undrained        int64 `json:"undrained"`
 
+	// Metrics-watcher verdict: the run is scraped from /metrics every
+	// chaosScrapeInterval and the observability surface itself is verified.
+	// MetricsScrapes is 0 and MetricsDisabled true when the targets serve no
+	// /metrics (watcher auto-disables on a first-scrape 404).
+	MetricsScrapes                int      `json:"metrics_scrapes"`
+	MetricsDisabled               bool     `json:"metrics_disabled,omitempty"`
+	MetricsFamiliesMissing        []string `json:"metrics_families_missing,omitempty"`
+	MetricsMonotonicityViolations uint64   `json:"metrics_monotonicity_violations"`
+	// MetricsQuarantines is the highest cluster-wide quarantine-counter sum
+	// any sweep observed; MetricsMidKillQuarantines snapshots it at the first
+	// sweep after each kill — failover visible in metrics alone.
+	MetricsQuarantines        uint64   `json:"metrics_quarantines"`
+	MetricsMidKillQuarantines []uint64 `json:"metrics_mid_kill_quarantines,omitempty"`
+	// MetricsAdoptedUnobserved counts failed-over partitions that never
+	// reappeared in any surviving member's per-partition gauges.
+	MetricsAdoptedUnobserved      int      `json:"metrics_adopted_unobserved"`
+	MetricsOccupancyDisagreements []string `json:"metrics_occupancy_disagreements,omitempty"`
+
 	Routing ClientCounters      `json:"routing"`
 	Nodes   []NodeStatsResponse `json:"nodes"`
 }
@@ -211,6 +229,21 @@ func (r ChaosReport) Violations() []string {
 	}
 	if r.Undrained != 0 {
 		v = append(v, fmt.Sprintf("%d leases still active after every deadline passed", r.Undrained))
+	}
+	if r.MetricsMonotonicityViolations > 0 {
+		v = append(v, fmt.Sprintf("%d counter series went backward between scrapes", r.MetricsMonotonicityViolations))
+	}
+	if len(r.MetricsFamiliesMissing) > 0 {
+		v = append(v, fmt.Sprintf("required metric families missing from healthy scrapes: %v", r.MetricsFamiliesMissing))
+	}
+	if r.MetricsAdoptedUnobserved > 0 {
+		v = append(v, fmt.Sprintf("%d failed-over partitions never reappeared in survivors' /metrics", r.MetricsAdoptedUnobserved))
+	}
+	if len(r.MetricsOccupancyDisagreements) > 0 {
+		v = append(v, fmt.Sprintf("occupancy gauges disagree with /stats: %v", r.MetricsOccupancyDisagreements))
+	}
+	if !r.MetricsDisabled && r.MetricsScrapes > 0 && r.Kills > 0 && r.EpochBumps > 0 && r.MetricsQuarantines == 0 {
+		v = append(v, "failover invisible in metrics: quarantine counter never moved despite epoch bumps")
 	}
 	return v
 }
@@ -549,6 +582,10 @@ func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 	// of its leases could still run, plus two wheel ticks, plus slack.
 	reclaimBound := cfg.TTL + 2*tick + cfg.ReclaimSlack
 
+	// The metrics watcher scrapes /metrics from every member throughout the
+	// run; a first-scrape 404 (metrics disabled) silently turns it off.
+	watch := startMetricsWatcher(cfg.Targets, cfg.HTTPClient, cfg.Logf)
+
 	led := newChaosLedger()
 	var (
 		remaining atomic.Int64
@@ -638,6 +675,7 @@ func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 				}
 				reportMu.Unlock()
 				cfg.Logf("chaos: node %d dead; epoch now %d (bump observed: %v)", victim, cfg.Local.MaxEpoch(), bumped)
+				watch.noteKill(victimParts)
 				for _, p := range led.onKill(victim, victimParts, bumpAt, reclaimBound) {
 					select {
 					case probes <- p:
@@ -672,6 +710,7 @@ func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 	close(probes)
 	probeWG.Wait()
 	if runErr != nil {
+		watch.finalize(&report)
 		return ChaosReport{}, fmt.Errorf("chaos: %w", runErr)
 	}
 
@@ -683,6 +722,7 @@ func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 		fillStart := time.Now()
 		unserved, err := adoptionProbe(client, cfg, led)
 		if err != nil {
+			watch.finalize(&report)
 			return report, err
 		}
 		report.AdoptedUnserved = unserved
@@ -726,6 +766,9 @@ func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
+	// Stop the watcher and fold its verdict in while the cluster is still
+	// up: the end-of-run occupancy agreement re-scrapes every live member.
+	watch.finalize(&report)
 	report.FinalEpoch = client.Table().Epoch
 	for _, m := range client.Table().Alive() {
 		if s, err := client.NodeStats(m.Addr); err == nil {

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/levelarray/levelarray/internal/lease"
+)
+
+// TestMetricsDuringChaos kills a node mid-run while the metrics watcher
+// scrapes every member: the failover must be visible in /metrics alone — the
+// quarantine counter moves, every adopted partition reappears under a
+// survivor's gauges — with no counter regressions, no missing families, and
+// occupancy gauges that agree with /stats at the end. Scrapers run
+// concurrently with the load and the killer, so the race detector gets the
+// full read path too.
+func TestMetricsDuringChaos(t *testing.T) {
+	l := fastLocal(t, 3, 4, 128)
+	report, err := RunChaos(ChaosConfig{
+		Local:        l,
+		Clients:      8,
+		Acquires:     4000,
+		TTL:          300 * time.Millisecond,
+		HoldMean:     time.Millisecond,
+		CrashPercent: 10,
+		RenewPercent: 20,
+		Seed:         17,
+		KillEvery:    150 * time.Millisecond,
+		MinAlive:     2,
+		ReclaimSlack: 400 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("RunChaos: %v", err)
+	}
+	if v := report.Violations(); v != nil {
+		t.Fatalf("chaos violations: %v\nreport: %+v", v, report)
+	}
+	if report.Kills != 1 {
+		t.Fatalf("kills = %d, want exactly 1", report.Kills)
+	}
+	if report.MetricsDisabled {
+		t.Fatal("metrics watcher disabled against a metrics-enabled harness")
+	}
+	if report.MetricsScrapes == 0 {
+		t.Fatal("metrics watcher recorded no scrapes")
+	}
+	if report.MetricsQuarantines == 0 {
+		t.Fatal("quarantine counter never moved in /metrics despite a kill")
+	}
+	if len(report.MetricsMidKillQuarantines) != report.Kills {
+		t.Fatalf("mid-kill snapshots %v, want one per kill (%d)", report.MetricsMidKillQuarantines, report.Kills)
+	}
+	if report.MetricsAdoptedUnobserved != 0 {
+		t.Fatalf("%d adopted partitions never reappeared in survivors' /metrics", report.MetricsAdoptedUnobserved)
+	}
+	if report.MetricsMonotonicityViolations != 0 {
+		t.Fatalf("%d counter series went backward", report.MetricsMonotonicityViolations)
+	}
+	if len(report.MetricsFamiliesMissing) != 0 {
+		t.Fatalf("required families missing: %v", report.MetricsFamiliesMissing)
+	}
+	if len(report.MetricsOccupancyDisagreements) != 0 {
+		t.Fatalf("occupancy disagreements: %v", report.MetricsOccupancyDisagreements)
+	}
+}
+
+// TestChaosMetricsDisabled runs a short healthy chaos pass against a cluster
+// booted without registries: the watcher must self-disable on the 404 and
+// report no metrics violations rather than failing the run.
+func TestChaosMetricsDisabled(t *testing.T) {
+	l, err := StartLocal(LocalConfig{
+		Nodes:          3,
+		Partitions:     4,
+		Capacity:       128,
+		Seed:           7,
+		DisableMetrics: true,
+		Node: NodeConfig{
+			Lease:         lease.Config{TickInterval: 20 * time.Millisecond},
+			DefaultTTL:    300 * time.Millisecond,
+			MaxTTL:        300 * time.Millisecond,
+			ProbeInterval: 25 * time.Millisecond,
+			DownAfter:     2,
+			Logf:          t.Logf,
+		},
+	})
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	t.Cleanup(l.Close)
+	report, err := RunChaos(ChaosConfig{
+		Local:    l,
+		Clients:  4,
+		Acquires: 400,
+		TTL:      300 * time.Millisecond,
+		Seed:     19,
+	})
+	if err != nil {
+		t.Fatalf("RunChaos: %v", err)
+	}
+	if !report.MetricsDisabled {
+		t.Fatal("watcher did not self-disable against a metrics-less cluster")
+	}
+	if report.MetricsScrapes != 0 {
+		t.Fatalf("scrapes = %d on a metrics-less cluster", report.MetricsScrapes)
+	}
+	if v := report.Violations(); v != nil {
+		t.Fatalf("violations: %v", v)
+	}
+}

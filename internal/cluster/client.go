@@ -67,6 +67,9 @@ type Client struct {
 
 	rr atomic.Uint64
 
+	// ridSeq mints per-operation request ids (see nextRID).
+	ridSeq atomic.Uint64
+
 	// Pooled wire connections, one client per advertised wire endpoint,
 	// dialed lazily on first routed hop.
 	wmu      sync.Mutex
@@ -165,6 +168,16 @@ func (c *Client) Counters() ClientCounters {
 	}
 }
 
+// nextRID mints one trace id per routed operation. The high bit is set so a
+// caller-provided frame ID can never collide with the wire client pool's
+// auto-assigned sequence (which counts up from 1); every retry hop of one
+// operation carries the same id, over both transports.
+func (c *Client) nextRID() uint64 { return c.ridSeq.Add(1) | 1<<63 }
+
+// ridString renders a trace id in the X-Request-ID vocabulary, so the HTTP
+// fallback hop carries the same identity the wire frame would.
+func ridString(rid uint64) string { return fmt.Sprintf("la-rt-%x", rid) }
+
 // clientCall recycles one wire request/response pair per routed hop.
 type clientCall struct {
 	req  wire.Request
@@ -218,11 +231,12 @@ func wireRequestFor(body any, req *wire.Request) bool {
 // protocol and falling back to HTTP when the wire transport fails. It
 // returns the member's status, the epoch it advertised on a fence, and the
 // retry hint on a 503.
-func (c *Client) hop(m Member, epoch uint64, body any, out *GrantResponse, path string) (status int, fencedAt uint64, retry time.Duration, err error) {
+func (c *Client) hop(m Member, epoch uint64, rid uint64, body any, out *GrantResponse, path string) (status int, fencedAt uint64, retry time.Duration, err error) {
 	if wc := c.wireFor(m); wc != nil {
 		call := clientCallPool.Get().(*clientCall)
 		if wireRequestFor(body, &call.req) {
 			call.req.Epoch = epoch
+			call.req.ID = rid
 			if werr := wc.Do(&call.req, &call.resp); werr == nil {
 				c.wireOps.Add(1)
 				resp := &call.resp
@@ -246,7 +260,7 @@ func (c *Client) hop(m Member, epoch uint64, body any, out *GrantResponse, path 
 	if out != nil {
 		dst = out
 	}
-	status, header, err := postJSON(c.hc, m.Addr+path, epoch, body, dst, &fence)
+	status, header, err := postJSON(c.hc, m.Addr+path, epoch, ridString(rid), body, dst, &fence)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -303,6 +317,7 @@ func (c *Client) Refresh() bool {
 // and HTTP status; on a cluster-wide 503 the duration carries the smallest
 // Retry-After pacing the members advertised.
 func (c *Client) Acquire(ttlMillis int64) (GrantResponse, int, time.Duration, error) {
+	rid := c.nextRID()
 	for round := 0; ; round++ {
 		t := c.Table()
 		alive := t.Alive()
@@ -313,7 +328,7 @@ func (c *Client) Acquire(ttlMillis int64) (GrantResponse, int, time.Duration, er
 		for i := 0; i < len(alive); i++ {
 			m := alive[(start+uint64(i))%uint64(len(alive))]
 			var grant GrantResponse
-			status, _, retry, err := c.hop(m, t.Epoch, server.AcquireRequest{TTLMillis: ttlMillis}, &grant, "/acquire")
+			status, _, retry, err := c.hop(m, t.Epoch, rid, server.AcquireRequest{TTLMillis: ttlMillis}, &grant, "/acquire")
 			switch {
 			case err != nil:
 				c.deadHops.Add(1)
@@ -338,7 +353,7 @@ func (c *Client) Acquire(ttlMillis int64) (GrantResponse, int, time.Duration, er
 			return GrantResponse{}, http.StatusServiceUnavailable, hint, nil
 		}
 		if round+1 >= c.cfg.RouteRounds {
-			return GrantResponse{}, 0, 0, fmt.Errorf("cluster: no member served acquire after %d rounds", round+1)
+			return GrantResponse{}, 0, 0, fmt.Errorf("cluster: no member served acquire after %d rounds (rid=%s)", round+1, ridString(rid))
 		}
 		if refresh || len(alive) == 0 {
 			c.Refresh()
@@ -349,6 +364,7 @@ func (c *Client) Acquire(ttlMillis int64) (GrantResponse, int, time.Duration, er
 
 // routed sends one owner-addressed operation with refresh-and-retry routing.
 func (c *Client) routed(path string, name int, body any, out *GrantResponse) (int, error) {
+	rid := c.nextRID()
 	var lastErr error
 	for round := 0; ; round++ {
 		t := c.Table()
@@ -358,17 +374,17 @@ func (c *Client) routed(path string, name int, body any, out *GrantResponse) (in
 		}
 		owner, ok := t.Owner(p)
 		if ok {
-			status, fencedAt, _, err := c.hop(owner, t.Epoch, body, out, path)
+			status, fencedAt, _, err := c.hop(owner, t.Epoch, rid, body, out, path)
 			switch {
 			case err != nil:
 				c.deadHops.Add(1)
 				lastErr = err
 			case status == http.StatusPreconditionFailed:
 				c.staleEpochs.Add(1)
-				lastErr = fmt.Errorf("cluster: %s fenced by epoch %d (ours %d)", path, fencedAt, t.Epoch)
+				lastErr = fmt.Errorf("cluster: %s fenced by epoch %d (ours %d, rid=%s)", path, fencedAt, t.Epoch, ridString(rid))
 			case status == http.StatusMisdirectedRequest:
 				c.misroutes.Add(1)
-				lastErr = fmt.Errorf("cluster: member %d no longer owns partition %d", owner.ID, p)
+				lastErr = fmt.Errorf("cluster: member %d no longer owns partition %d (rid=%s)", owner.ID, p, ridString(rid))
 			default:
 				return status, nil
 			}

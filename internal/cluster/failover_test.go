@@ -170,13 +170,13 @@ func TestFailoverEndToEnd(t *testing.T) {
 	survivorAddr := survivor.Table().Members[survivor.ID()].Addr
 	var fence EpochResponse
 	hc := &http.Client{Timeout: 2 * time.Second}
-	status, _, err := postJSON(hc, survivorAddr+"/acquire", 1, map[string]any{"ttl_ms": 300}, nil, &fence)
+	status, _, err := postJSON(hc, survivorAddr+"/acquire", 1, "", map[string]any{"ttl_ms": 300}, nil, &fence)
 	if err != nil || status != http.StatusPreconditionFailed || fence.Error != ErrCodeStaleEpoch {
 		t.Fatalf("old-epoch write: status %d body %+v err %v, want 412 stale_epoch", status, fence, err)
 	}
 
 	// The dead node's address refuses connections (crash-stop, not zombie).
-	if _, _, err := postJSON(hc, victimAddr+"/acquire", 0, map[string]any{}, nil, nil); err == nil {
+	if _, _, err := postJSON(hc, victimAddr+"/acquire", 0, "", map[string]any{}, nil, nil); err == nil {
 		t.Fatal("killed node still answering")
 	}
 

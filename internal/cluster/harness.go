@@ -9,6 +9,8 @@ import (
 
 	"github.com/levelarray/levelarray/internal/activity"
 	"github.com/levelarray/levelarray/internal/core"
+	"github.com/levelarray/levelarray/internal/metrics"
+	"github.com/levelarray/levelarray/internal/server"
 	"github.com/levelarray/levelarray/internal/wire"
 )
 
@@ -37,6 +39,9 @@ type LocalConfig struct {
 	// DisableWire leaves the binary wire listeners unbound, so every member
 	// is HTTP-only. By default each local node serves both protocols.
 	DisableWire bool
+	// DisableMetrics leaves the members without registries, so /metrics
+	// returns 404 — the shape of a deployment that opted out.
+	DisableMetrics bool
 }
 
 func (c LocalConfig) withDefaults() LocalConfig {
@@ -124,6 +129,13 @@ func StartLocal(cfg LocalConfig) (*Local, error) {
 		ncfg.Partitions = cfg.Partitions
 		ncfg.NewPartitionArray = func(partition int) (activity.Array, error) {
 			return cfg.NewPartitionArray(partition, perPartition, cfg.Seed+uint64(partition)*0x9E3779B97F4A7C15+1)
+		}
+		// Each member gets its own registry — exactly what separate processes
+		// would have — so chaos runs can verify the metrics surface per node.
+		if ncfg.Metrics == nil && !cfg.DisableMetrics {
+			reg := metrics.NewRegistry()
+			metrics.RegisterRuntime(reg)
+			ncfg.Metrics = server.NewMetrics(reg)
 		}
 		node, err := NewNode(ncfg)
 		if err != nil {

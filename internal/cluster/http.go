@@ -25,9 +25,10 @@ func writeJSON(w http.ResponseWriter, status int, body any) { server.WriteJSON(w
 func writeError(w http.ResponseWriter, status int, code string) { server.WriteError(w, status, code) }
 
 // postJSON sends one JSON request with the given epoch header (when epoch is
-// nonzero) and decodes a 2xx response into out; non-2xx bodies are decoded
-// into errOut when provided. It returns the HTTP status and headers.
-func postJSON(hc *http.Client, url string, epoch uint64, in, out, errOut any) (int, http.Header, error) {
+// nonzero) and request-ID header (when rid is nonempty), and decodes a 2xx
+// response into out; non-2xx bodies are decoded into errOut when provided.
+// It returns the HTTP status and headers.
+func postJSON(hc *http.Client, url string, epoch uint64, rid string, in, out, errOut any) (int, http.Header, error) {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return 0, nil, err
@@ -39,6 +40,9 @@ func postJSON(hc *http.Client, url string, epoch uint64, in, out, errOut any) (i
 	req.Header.Set("Content-Type", "application/json")
 	if epoch != 0 {
 		req.Header.Set(EpochHeader, strconv.FormatUint(epoch, 10))
+	}
+	if rid != "" {
+		req.Header.Set(server.RequestIDHeader, rid)
 	}
 	resp, err := hc.Do(req)
 	if err != nil {

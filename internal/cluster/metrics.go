@@ -1,0 +1,137 @@
+package cluster
+
+// Cluster-side instrumentation. The node shares the server package's Metrics
+// bundle (one latency/ops/fence vocabulary for both facades) and adds the
+// membership families on the same registry: table epoch, adoption and
+// quarantine counters, prober activity, and per-partition occupancy sampled
+// under the table lock at scrape time — the hot paths never touch a map or
+// a label; everything dynamic is read when /metrics is scraped.
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/levelarray/levelarray/internal/lease"
+	"github.com/levelarray/levelarray/internal/metrics"
+	"github.com/levelarray/levelarray/internal/server"
+)
+
+// registerMetrics adds the cluster families to the node's registry. Called
+// once from NewNode when a Metrics bundle is configured.
+func (n *Node) registerMetrics() {
+	m := n.cfg.Metrics
+	reg := m.Registry
+
+	reg.GaugeFunc("la_cluster_epoch", "Current membership-table epoch.", func() float64 {
+		return float64(n.Epoch())
+	})
+	reg.CounterFunc("la_cluster_adoptions_total", "Membership tables adopted (epoch advances).", n.adoptions.Load)
+	reg.CounterFunc("la_cluster_quarantines_total", "Partitions adopted under failover quarantine.", n.quarantines.Load)
+	reg.CounterFunc("la_cluster_probes_total", "Peer health probes sent.", n.probes.Load)
+	reg.CounterFunc("la_cluster_probe_misses_total", "Peer health probes that failed.", n.probeMisses.Load)
+	reg.CounterFunc("la_cluster_failovers_total", "Steward reassignments this node performed.", n.failovers.Load)
+	reg.CounterFunc("la_cluster_table_pushes_total", "Membership tables pushed to peers.", n.tablePushes.Load)
+	reg.CounterFunc("la_cluster_table_pulls_total", "Newer membership tables pulled from peers.", n.tablePulls.Load)
+
+	// The routing fences already have dedicated atomics on the node; expose
+	// them as label values of the shared fence family.
+	m.FenceFunc(ErrCodeStaleEpoch, n.staleEpochRejects.Load)
+	m.FenceFunc(ErrCodeNotOwner, n.misroutes.Load)
+
+	// Per-partition series: ownership changes across failovers, so the label
+	// set is discovered at scrape time under the table lock.
+	sample := func(name, help, typ string, read func(p *partition, now time.Time) float64) {
+		reg.Sampler(name, help, typ, func(emit metrics.Emit) {
+			now := n.cfg.Clock()
+			n.mu.RLock()
+			defer n.mu.RUnlock()
+			for _, id := range n.ownedIDs {
+				emit(read(n.parts[id], now), metrics.L("partition", strconv.Itoa(id)))
+			}
+		})
+	}
+	stat := func(read func(s lease.Stats) uint64) func(p *partition, now time.Time) float64 {
+		return func(p *partition, _ time.Time) float64 { return float64(read(p.mgr.Stats())) }
+	}
+	sample("la_partition_active", "Active leases per owned partition.", metrics.TypeGauge, func(p *partition, _ time.Time) float64 {
+		return float64(p.mgr.Active())
+	})
+	sample("la_partition_capacity", "Lease capacity per owned partition.", metrics.TypeGauge, func(p *partition, _ time.Time) float64 {
+		return float64(p.mgr.Capacity())
+	})
+	sample("la_partition_load_factor", "Active leases over capacity per owned partition.", metrics.TypeGauge, func(p *partition, _ time.Time) float64 {
+		return p.mgr.LoadFactor()
+	})
+	sample("la_partition_quarantine_seconds", "Remaining adoption quarantine per owned partition (0 when serving).", metrics.TypeGauge, func(p *partition, now time.Time) float64 {
+		if wait := p.quarantineUntil.Sub(now); wait > 0 {
+			return wait.Seconds()
+		}
+		return 0
+	})
+	sample("la_partition_acquires_total", "Successful acquires per owned partition.", metrics.TypeCounter, stat(func(s lease.Stats) uint64 { return s.Acquires }))
+	sample("la_partition_renews_total", "Successful renews per owned partition.", metrics.TypeCounter, stat(func(s lease.Stats) uint64 { return s.Renews }))
+	sample("la_partition_releases_total", "Successful releases per owned partition.", metrics.TypeCounter, stat(func(s lease.Stats) uint64 { return s.Releases }))
+	sample("la_partition_expirations_total", "Leases reaped by the expirer per owned partition.", metrics.TypeCounter, stat(func(s lease.Stats) uint64 { return s.Expirations }))
+	sample("la_partition_failed_acquires_total", "Full-partition acquire failures per owned partition.", metrics.TypeCounter, stat(func(s lease.Stats) uint64 { return s.FailedAcquires }))
+	sample("la_partition_orphans_reclaimed_total", "Orphaned bits reclaimed per owned partition.", metrics.TypeCounter, stat(func(s lease.Stats) uint64 { return s.OrphansReclaimed }))
+}
+
+// countReply bumps the failure counter a deferred reply maps to. The 412/421
+// routing fences are not counted here — their node atomics feed the fence
+// family via FenceFunc, so counting again would double-report.
+func (n *Node) countReply(rep reply) {
+	m := n.cfg.Metrics
+	switch {
+	case rep.leaseErr != nil:
+		m.CountLeaseError(rep.leaseErr)
+	case rep.unavail != "":
+		m.Unavailable(rep.unavail).Inc()
+	case rep.status == http.StatusConflict:
+		if er, ok := rep.body.(server.ErrorResponse); ok {
+			m.Fence(er.Error).Inc()
+		}
+	}
+}
+
+// acquireOp, renewOp and releaseOp wrap the locked operation cores with
+// instrumentation; both the HTTP handlers and the wire backend go through
+// them, so one histogram covers both protocols.
+func (n *Node) acquireOp(ttl time.Duration) reply {
+	m := n.cfg.Metrics
+	if m == nil {
+		return n.acquireLocked(ttl)
+	}
+	start := time.Now()
+	rep := n.acquireLocked(ttl)
+	m.AcquireLatency.Observe(time.Since(start))
+	m.AcquireOps.Inc()
+	n.countReply(rep)
+	return rep
+}
+
+func (n *Node) renewOp(req server.RenewRequest) reply {
+	m := n.cfg.Metrics
+	if m == nil {
+		return n.renewLocked(req)
+	}
+	start := time.Now()
+	rep := n.renewLocked(req)
+	m.RenewLatency.Observe(time.Since(start))
+	m.RenewOps.Inc()
+	n.countReply(rep)
+	return rep
+}
+
+func (n *Node) releaseOp(req server.ReleaseRequest) reply {
+	m := n.cfg.Metrics
+	if m == nil {
+		return n.releaseLocked(req)
+	}
+	start := time.Now()
+	rep := n.releaseLocked(req)
+	m.ReleaseLatency.Observe(time.Since(start))
+	m.ReleaseOps.Inc()
+	n.countReply(rep)
+	return rep
+}

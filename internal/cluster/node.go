@@ -101,6 +101,7 @@ type NodeStatsResponse struct {
 	Active            int64            `json:"active"`
 	Capacity          int              `json:"capacity"`
 	Adoptions         uint64           `json:"adoptions"`
+	Quarantines       uint64           `json:"quarantines"`
 	Misroutes         uint64           `json:"misroutes"`
 	StaleEpochRejects uint64           `json:"stale_epoch_rejects"`
 	Partitions        []PartitionStats `json:"partitions"`
@@ -148,6 +149,13 @@ type NodeConfig struct {
 	// HTTPClient is used for probes, pulls and pushes. Nil selects a client
 	// with a 2s timeout.
 	HTTPClient *http.Client
+	// Metrics, when non-nil, instruments the lease operations, registers the
+	// cluster families on its registry, and mounts GET /metrics plus the
+	// pprof routes on this node's mux.
+	Metrics *server.Metrics
+	// MetricsElsewhere suppresses the /metrics + pprof mounts (operations
+	// still record) when the registry is served on a dedicated listener.
+	MetricsElsewhere bool
 	// Logf, when set, receives membership-event logs.
 	Logf func(format string, args ...any)
 	// Clock overrides the time source for quarantine arithmetic (tests).
@@ -207,6 +215,7 @@ type partition struct {
 type Node struct {
 	cfg NodeConfig
 	mux *http.ServeMux
+	h   http.Handler
 
 	mu       sync.RWMutex
 	table    Table
@@ -216,8 +225,16 @@ type Node struct {
 	rr atomic.Uint64 // acquire round-robin over owned partitions
 
 	adoptions         atomic.Uint64
+	quarantines       atomic.Uint64
 	misroutes         atomic.Uint64
 	staleEpochRejects atomic.Uint64
+
+	// Prober telemetry (see registerMetrics).
+	probes      atomic.Uint64
+	probeMisses atomic.Uint64
+	failovers   atomic.Uint64
+	tablePushes atomic.Uint64
+	tablePulls  atomic.Uint64
 
 	refreshC chan struct{}
 
@@ -328,6 +345,13 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	n.mux.HandleFunc("GET /leases", n.handleLeases)
 	n.mux.HandleFunc("GET /stats", n.handleStats)
 	n.mux.HandleFunc("GET /healthz", n.handleHealthz)
+	if cfg.Metrics != nil {
+		n.registerMetrics()
+		if !cfg.MetricsElsewhere {
+			server.MountMetrics(n.mux, cfg.Metrics.Registry)
+		}
+	}
+	n.h = server.WithRequestID(n.mux)
 	return n, nil
 }
 
@@ -373,8 +397,9 @@ func (n *Node) Epoch() uint64 {
 	return n.table.Epoch
 }
 
-// ServeHTTP dispatches to the clustered lease API.
-func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) { n.mux.ServeHTTP(w, r) }
+// ServeHTTP dispatches to the clustered lease API through the request-ID
+// middleware.
+func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) { n.h.ServeHTTP(w, r) }
 
 // Serve starts the node (expirers + prober) and runs its HTTP front end on
 // addr until ctx is cancelled, then shuts the listener down gracefully and
@@ -457,6 +482,7 @@ func (n *Node) Adopt(t Table) error {
 			mgr.Start()
 		}
 		n.parts[id] = &partition{id: id, mgr: mgr, quarantineUntil: now.Add(n.cfg.Quarantine)}
+		n.quarantines.Add(1)
 		n.cfg.Logf("cluster: node %d epoch %d: adopted partition %d (quarantined until %v)", n.cfg.NodeID, t.Epoch, id, now.Add(n.cfg.Quarantine).Format(time.TimeOnly))
 	}
 	n.rebuildOwnedLocked()
@@ -548,6 +574,7 @@ func (n *Node) checkEpoch(w http.ResponseWriter, r *http.Request) bool {
 		n.requestRefresh()
 	}
 	n.staleEpochRejects.Add(1)
+	n.cfg.Logf("cluster: node %d: 412 stale epoch %d (ours %d) rid=%s", n.cfg.NodeID, e, cur, server.RequestID(r))
 	writeJSON(w, http.StatusPreconditionFailed, EpochResponse{Error: ErrCodeStaleEpoch, Epoch: cur})
 	return false
 }
@@ -579,6 +606,12 @@ func (rep reply) write(w http.ResponseWriter) {
 	case rep.unavail != "":
 		server.WriteUnavailable(w, rep.unavail, rep.wait)
 	default:
+		// Deferred error bodies are built under the node lock, before the
+		// writer is in hand; stamp the trace id at write time.
+		if er, ok := rep.body.(server.ErrorResponse); ok && er.RequestID == "" {
+			er.RequestID = server.ResponseRequestID(w)
+			rep.body = er
+		}
 		writeJSON(w, rep.status, rep.body)
 	}
 }
@@ -591,7 +624,7 @@ func (n *Node) handleAcquire(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	n.acquireLocked(n.ttlOf(req.TTLMillis)).write(w)
+	n.acquireOp(n.ttlOf(req.TTLMillis)).write(w)
 }
 
 func (n *Node) acquireLocked(ttl time.Duration) reply {
@@ -663,7 +696,7 @@ func (n *Node) handleRenew(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	n.renewLocked(req).write(w)
+	n.renewOp(req).write(w)
 }
 
 func (n *Node) renewLocked(req server.RenewRequest) reply {
@@ -695,7 +728,7 @@ func (n *Node) handleRelease(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	n.releaseLocked(req).write(w)
+	n.releaseOp(req).write(w)
 }
 
 func (n *Node) releaseLocked(req server.ReleaseRequest) reply {
@@ -818,6 +851,7 @@ func (n *Node) statsResponse() NodeStatsResponse {
 		Epoch:             n.table.Epoch,
 		TickMillis:        n.cfg.Lease.TickInterval.Milliseconds(),
 		Adoptions:         n.adoptions.Load(),
+		Quarantines:       n.quarantines.Load(),
 		Misroutes:         n.misroutes.Load(),
 		StaleEpochRejects: n.staleEpochRejects.Load(),
 		Partitions:        []PartitionStats{},

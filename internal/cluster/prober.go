@@ -44,6 +44,7 @@ func (n *Node) probeOnce(misses map[int]int) {
 			continue
 		}
 		var health HealthResponse
+		n.probes.Add(1)
 		status, err := getJSON(n.cfg.HTTPClient, m.Addr+"/healthz", &health)
 		if err == nil && status/100 == 2 {
 			misses[m.ID] = 0
@@ -53,6 +54,7 @@ func (n *Node) probeOnce(misses map[int]int) {
 			}
 			continue
 		}
+		n.probeMisses.Add(1)
 		misses[m.ID]++
 		if misses[m.ID] >= n.cfg.DownAfter {
 			suspected[m.ID] = true
@@ -113,6 +115,7 @@ func (n *Node) probeOnce(misses map[int]int) {
 		n.cfg.Logf("cluster: node %d: adopting own reassignment failed: %v", self, err)
 		return
 	}
+	n.failovers.Add(1)
 	for id := range suspected {
 		delete(misses, id)
 	}
@@ -129,8 +132,9 @@ func (n *Node) pushTable(t Table) {
 			continue
 		}
 		go func(addr string) {
+			n.tablePushes.Add(1)
 			var reply EpochResponse
-			if _, _, err := postJSON(n.cfg.HTTPClient, addr+"/cluster", 0, t, &reply, &reply); err != nil {
+			if _, _, err := postJSON(n.cfg.HTTPClient, addr+"/cluster", 0, "", t, &reply, &reply); err != nil {
 				n.cfg.Logf("cluster: node %d: push epoch %d to %s failed: %v", n.cfg.NodeID, t.Epoch, addr, err)
 			}
 		}(m.Addr)
@@ -144,6 +148,7 @@ func (n *Node) pullFrom(addr string) {
 		return
 	}
 	if err := n.Adopt(t); err == nil {
+		n.tablePulls.Add(1)
 		n.cfg.Logf("cluster: node %d: pulled table epoch %d from %s", n.cfg.NodeID, t.Epoch, addr)
 	}
 }

@@ -99,19 +99,22 @@ func replyToWire(rep reply, resp *wire.Response) {
 
 // wireCheckEpoch fences a write whose frame epoch disagrees with the node's
 // table, exactly as checkEpoch does for the HTTP header. Epoch 0 (unfenced)
-// passes; a newer epoch additionally schedules a table refresh.
-func (n *Node) wireCheckEpoch(epoch uint64, resp *wire.Response) bool {
-	if epoch == 0 {
+// passes; a newer epoch additionally schedules a table refresh. The frame's
+// request id is the binary protocol's trace id, logged on the fence so the
+// rejection can be matched to the client that carried it.
+func (n *Node) wireCheckEpoch(req *wire.Request, resp *wire.Response) bool {
+	if req.Epoch == 0 {
 		return true
 	}
 	cur := n.Epoch()
-	if epoch == cur {
+	if req.Epoch == cur {
 		return true
 	}
-	if epoch > cur {
+	if req.Epoch > cur {
 		n.requestRefresh()
 	}
 	n.staleEpochRejects.Add(1)
+	n.cfg.Logf("cluster: node %d: wire 412 stale epoch %d (ours %d) rid=%#x", n.cfg.NodeID, req.Epoch, cur, req.ID)
 	resp.Status = wire.StatusStaleEpoch
 	resp.Code = wire.CodeStaleEpoch
 	resp.Epoch = cur
@@ -126,42 +129,51 @@ func (n *Node) ServeWire(req *wire.Request, resp *wire.Response) {
 		// OK; the epoch rides back in the header below.
 
 	case wire.OpAcquire:
-		if !n.wireCheckEpoch(req.Epoch, resp) {
+		if !n.wireCheckEpoch(req, resp) {
 			return
 		}
-		replyToWire(n.acquireLocked(n.ttlOf(req.TTLMillis)), resp)
+		replyToWire(n.acquireOp(n.ttlOf(req.TTLMillis)), resp)
 
 	case wire.OpRenew:
-		if !n.wireCheckEpoch(req.Epoch, resp) {
+		if !n.wireCheckEpoch(req, resp) {
 			return
 		}
 		ref := req.Items[0]
-		replyToWire(n.renewLocked(server.RenewRequest{
+		replyToWire(n.renewOp(server.RenewRequest{
 			Name: int(ref.Name), Token: ref.Token, TTLMillis: req.TTLMillis,
 		}), resp)
 
 	case wire.OpRelease:
-		if !n.wireCheckEpoch(req.Epoch, resp) {
+		if !n.wireCheckEpoch(req, resp) {
 			return
 		}
 		ref := req.Items[0]
-		replyToWire(n.releaseLocked(server.ReleaseRequest{Name: int(ref.Name), Token: ref.Token}), resp)
+		replyToWire(n.releaseOp(server.ReleaseRequest{Name: int(ref.Name), Token: ref.Token}), resp)
 
 	case wire.OpAcquireN:
-		if !n.wireCheckEpoch(req.Epoch, resp) {
+		if !n.wireCheckEpoch(req, resp) {
 			return
+		}
+		if n.cfg.Metrics != nil {
+			n.cfg.Metrics.BatchOps.Inc()
 		}
 		n.acquireNWire(int(req.N), n.ttlOf(req.TTLMillis), resp)
 
 	case wire.OpReleaseN:
-		if !n.wireCheckEpoch(req.Epoch, resp) {
+		if !n.wireCheckEpoch(req, resp) {
 			return
+		}
+		if n.cfg.Metrics != nil {
+			n.cfg.Metrics.BatchOps.Inc()
 		}
 		n.releaseNWire(req.Items, resp)
 
 	case wire.OpRenewSession:
-		if !n.wireCheckEpoch(req.Epoch, resp) {
+		if !n.wireCheckEpoch(req, resp) {
 			return
+		}
+		if n.cfg.Metrics != nil {
+			n.cfg.Metrics.BatchOps.Inc()
 		}
 		n.renewSessionWire(req.Items, n.ttlOf(req.TTLMillis), resp)
 

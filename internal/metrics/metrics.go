@@ -1,0 +1,143 @@
+// Package metrics is the repository's zero-dependency instrumentation
+// layer: lock-free counters and gauges, fixed-bucket latency histograms, and
+// a Registry that renders the Prometheus text exposition format
+// (text/plain; version=0.0.4). It deliberately implements only what the
+// name service needs — no labels-as-maps, no metric vectors with dynamic
+// lifecycle, no client library — so the module keeps its empty go.mod.
+//
+// Two registration styles cover every producer in the stack:
+//
+//   - Owned instruments (Counter/Gauge/Histogram) for hot-path code that
+//     increments directly: one atomic op per observation, no allocation.
+//   - Func-backed series and Samplers for state that already lives in
+//     someone else's atomics (wire connection counters, the cluster node's
+//     fence counters, per-partition lease stats): the value is read at
+//     scrape time, so the hot path pays nothing at all.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready to
+// use, but counters are normally created through Registry.Counter so they
+// render.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 that can go up and down, stored as atomic bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta (CAS loop; deltas are rare and uncontended
+// in this codebase — hot-path occupancy is func-backed instead).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		cur := math.Float64frombits(old)
+		if g.bits.CompareAndSwap(old, math.Float64bits(cur+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts duration observations into fixed exponential buckets.
+// Observations and scrapes are both lock-free; a scrape taken mid-observation
+// may see the bucket increment before the sum (or vice versa), which the
+// Prometheus exposition model explicitly tolerates.
+type Histogram struct {
+	bounds  []float64 // upper bounds in seconds, ascending
+	buckets []atomic.Uint64
+	inf     atomic.Uint64 // observations above the last bound
+	sumNs   atomic.Uint64 // total observed time in nanoseconds
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds (in
+// seconds). Registry.Histogram is the normal constructor.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("metrics: histogram bounds must be ascending")
+	}
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds))}
+}
+
+// ExpBuckets returns n ascending bounds starting at start seconds, each
+// factor times the previous: the standard latency-histogram shape.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("metrics: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	b := start
+	for i := range out {
+		out[i] = b
+		b *= factor
+	}
+	return out
+}
+
+// LatencyBuckets is the default bucket layout for the service's operation
+// latencies: 500ns up to ~8.4s in powers of four, covering the in-process
+// sub-microsecond path and a saturated server's multi-second retry tail.
+func LatencyBuckets() []float64 { return ExpBuckets(500e-9, 4, 13) }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := d.Seconds()
+	// Linear scan: bucket counts are small (~13) and the branch history is
+	// dominated by the low buckets, so this beats a binary search in
+	// practice and keeps the loop allocation- and bounds-check-friendly.
+	for i, b := range h.bounds {
+		if s <= b {
+			h.buckets[i].Add(1)
+			h.sumNs.Add(uint64(d))
+			return
+		}
+	}
+	h.inf.Add(1)
+	h.sumNs.Add(uint64(d))
+}
+
+// Snapshot returns the per-bucket counts (aligned with Bounds, with the
+// +Inf bucket appended), the total observation count, and the sum.
+func (h *Histogram) Snapshot() (counts []uint64, count uint64, sum time.Duration) {
+	counts = make([]uint64, len(h.buckets)+1)
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		counts[i] = c
+		count += c
+	}
+	c := h.inf.Load()
+	counts[len(h.buckets)] = c
+	count += c
+	return counts, count, time.Duration(h.sumNs.Load())
+}
+
+// Bounds returns the bucket upper bounds in seconds (without +Inf).
+func (h *Histogram) Bounds() []float64 { return h.bounds }

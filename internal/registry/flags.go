@@ -182,3 +182,68 @@ func ValidateNodeID(nodeID, peerCount int) error {
 	}
 	return nil
 }
+
+// ValidMetricsAddrs describes the -metrics-addr flag vocabulary.
+const ValidMetricsAddrs = "main (serve /metrics and /debug/pprof on the service listener), off (disable metrics and pprof), or a dedicated host:port to serve them on their own listener"
+
+// MetricsMode says where (whether) a serving process exposes its metrics
+// and pprof endpoints.
+type MetricsMode int
+
+const (
+	// MetricsMain mounts /metrics and /debug/pprof on the service mux.
+	MetricsMain MetricsMode = iota
+	// MetricsOff disables instrumentation endpoints entirely.
+	MetricsOff
+	// MetricsDedicated serves them on a separate listener.
+	MetricsDedicated
+)
+
+// ParseMetricsAddrFlag maps a -metrics-addr flag value to its mode. For
+// MetricsDedicated the returned addr is the host:port to listen on;
+// otherwise addr is empty.
+func ParseMetricsAddrFlag(v string) (MetricsMode, string, error) {
+	switch strings.ToLower(strings.TrimSpace(v)) {
+	case "", "main":
+		return MetricsMain, "", nil
+	case "off", "none", "disabled":
+		return MetricsOff, "", nil
+	}
+	addr := strings.TrimSpace(v)
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil || port == "" {
+		return 0, "", fmt.Errorf("invalid -metrics-addr %q (valid: %s)", v, ValidMetricsAddrs)
+	}
+	_ = host // an empty host means all interfaces, like net.Listen
+	return MetricsDedicated, addr, nil
+}
+
+// ValidRequestIDFormat describes the accepted X-Request-ID shape, shared by
+// the HTTP facade and anything minting IDs for the wire header.
+const ValidRequestIDFormat = "1..64 characters drawn from A-Z a-z 0-9 . _ -"
+
+// MaxRequestIDLen bounds an accepted request ID.
+const MaxRequestIDLen = 64
+
+// ParseRequestID validates a caller-supplied request ID (e.g. an incoming
+// X-Request-ID header). Surrounding whitespace is trimmed; an empty or
+// malformed value is rejected so handlers fall back to generating one.
+func ParseRequestID(v string) (string, error) {
+	id := strings.TrimSpace(v)
+	if id == "" {
+		return "", fmt.Errorf("empty request id (valid: %s)", ValidRequestIDFormat)
+	}
+	if len(id) > MaxRequestIDLen {
+		return "", fmt.Errorf("request id of %d bytes too long (valid: %s)", len(id), ValidRequestIDFormat)
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return "", fmt.Errorf("request id byte %q not allowed (valid: %s)", c, ValidRequestIDFormat)
+		}
+	}
+	return id, nil
+}

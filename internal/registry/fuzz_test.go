@@ -164,3 +164,55 @@ func FuzzParseAlgorithm(f *testing.F) {
 		}
 	})
 }
+
+func FuzzParseMetricsAddrFlag(f *testing.F) {
+	for _, s := range fuzzSeedInputs {
+		f.Add(s)
+	}
+	f.Add("main")
+	f.Add("off")
+	f.Add("127.0.0.1:9100")
+	f.Add(":9100")
+	f.Add("[::1]:9100")
+	f.Add("no-port")
+	f.Fuzz(func(t *testing.T, v string) {
+		mode, addr, err := ParseMetricsAddrFlag(v)
+		if err != nil {
+			if !strings.Contains(err.Error(), ValidMetricsAddrs) {
+				t.Fatalf("ParseMetricsAddrFlag(%q) error %q does not enumerate %q", v, err, ValidMetricsAddrs)
+			}
+			return
+		}
+		if (mode == MetricsDedicated) != (addr != "") {
+			t.Fatalf("ParseMetricsAddrFlag(%q) = mode %d with addr %q", v, mode, addr)
+		}
+	})
+}
+
+func FuzzParseRequestID(f *testing.F) {
+	for _, s := range fuzzSeedInputs {
+		f.Add(s)
+	}
+	f.Add("la-4f2a-17")
+	f.Add("X_y.z-9")
+	f.Add(" padded-id ")
+	f.Add(strings.Repeat("r", 65))
+	f.Add("emoji\U0001F600")
+	f.Fuzz(func(t *testing.T, v string) {
+		id, err := ParseRequestID(v)
+		if err != nil {
+			if !strings.Contains(err.Error(), ValidRequestIDFormat) {
+				t.Fatalf("ParseRequestID(%q) error %q does not enumerate %q", v, err, ValidRequestIDFormat)
+			}
+			return
+		}
+		if id == "" || len(id) > MaxRequestIDLen {
+			t.Fatalf("ParseRequestID(%q) accepted out-of-bounds id %q", v, id)
+		}
+		// Accepted IDs must be idempotent under re-validation: they go
+		// straight back out in response headers.
+		if again, err := ParseRequestID(id); err != nil || again != id {
+			t.Fatalf("ParseRequestID not idempotent: %q -> %q, %v", id, again, err)
+		}
+	})
+}

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"github.com/levelarray/levelarray/internal/registry"
+)
+
+// RequestIDHeader is the HTTP request-tracing header. The binary protocol's
+// equivalent is the frame header's 8-byte request id, which the routed
+// cluster client mints from the same per-operation sequence, so one
+// operation keeps one identity across protocol hops.
+const RequestIDHeader = "X-Request-ID"
+
+type ridCtxKey struct{}
+
+var (
+	ridSalt string
+	ridSeq  atomic.Uint64
+)
+
+func init() {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		ridSalt = hex.EncodeToString(b[:])
+	} else {
+		ridSalt = "00000000"
+	}
+}
+
+// NewRequestID mints a process-unique request id: a per-process random salt
+// plus a sequence number, e.g. "la-9f2c41aa-1b".
+func NewRequestID() string {
+	return fmt.Sprintf("la-%s-%x", ridSalt, ridSeq.Add(1))
+}
+
+// WithRequestID is the tracing middleware both facades (standalone server
+// and cluster node) wrap their mux with: it honors a well-formed incoming
+// X-Request-ID, mints one otherwise, echoes it on the response, and makes it
+// available to handlers (RequestID) and to the shared error writers
+// (ResponseRequestID), so every error payload names the request it failed.
+func WithRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid, err := registry.ParseRequestID(r.Header.Get(RequestIDHeader))
+		if err != nil {
+			rid = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, rid)
+		rw := &ridResponseWriter{ResponseWriter: w, rid: rid}
+		next.ServeHTTP(rw, r.WithContext(context.WithValue(r.Context(), ridCtxKey{}, rid)))
+	})
+}
+
+// RequestID returns the request's trace id ("" outside the middleware).
+func RequestID(r *http.Request) string {
+	v, _ := r.Context().Value(ridCtxKey{}).(string)
+	return v
+}
+
+// ridResponseWriter carries the request id down to the shared JSON error
+// writers without changing their signatures at every call site.
+type ridResponseWriter struct {
+	http.ResponseWriter
+	rid string
+}
+
+func (w *ridResponseWriter) RequestID() string { return w.rid }
+
+// ResponseRequestID recovers the trace id from a middleware-wrapped
+// ResponseWriter ("" when the middleware is not installed).
+func ResponseRequestID(w http.ResponseWriter) string {
+	if rw, ok := w.(interface{ RequestID() string }); ok {
+		return rw.RequestID()
+	}
+	return ""
+}

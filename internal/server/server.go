@@ -113,9 +113,12 @@ type StatsResponse struct {
 	Shards       []shard.ShardStats `json:"shards,omitempty"`
 }
 
-// ErrorResponse is the body of every non-2xx response.
+// ErrorResponse is the body of every non-2xx response. RequestID echoes the
+// request's trace id (the X-Request-ID header, minted when absent) so a
+// failed operation can be matched to server logs without header archaeology.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Error codes returned in ErrorResponse.Error.
@@ -133,6 +136,12 @@ type Config struct {
 	// DefaultTTL is applied when an acquire request omits its TTL (or sends
 	// 0). Zero selects 10s.
 	DefaultTTL time.Duration
+	// Metrics, when non-nil, instruments the lease operations and mounts
+	// GET /metrics plus the pprof routes on this server's mux.
+	Metrics *Metrics
+	// MetricsElsewhere suppresses the /metrics + pprof mounts (the operations
+	// still record) when the registry is served on a dedicated listener.
+	MetricsElsewhere bool
 }
 
 // Server serves the lease API for one manager. Build it with New; it
@@ -141,6 +150,7 @@ type Server struct {
 	mgr     *lease.Manager
 	cfg     Config
 	mux     *http.ServeMux
+	h       http.Handler
 	started time.Time
 }
 
@@ -158,11 +168,15 @@ func New(mgr *lease.Manager, cfg Config) *Server {
 	s.mux.HandleFunc("GET /leases", s.handleLeases)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if cfg.Metrics != nil && !cfg.MetricsElsewhere {
+		MountMetrics(s.mux, cfg.Metrics.Registry)
+	}
+	s.h = WithRequestID(s.mux)
 	return s
 }
 
-// ServeHTTP dispatches to the lease API.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP dispatches to the lease API through the request-ID middleware.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.h.ServeHTTP(w, r) }
 
 // Serve runs the service on addr until ctx is cancelled, then shuts the
 // listener down gracefully (draining in-flight requests) and closes the
@@ -215,9 +229,10 @@ func WriteJSON(w http.ResponseWriter, status int, body any) {
 
 func writeJSON(w http.ResponseWriter, status int, body any) { WriteJSON(w, status, body) }
 
-// WriteError writes one ErrorResponse-coded failure.
+// WriteError writes one ErrorResponse-coded failure, echoing the request's
+// trace id when the ResponseWriter passed through WithRequestID.
 func WriteError(w http.ResponseWriter, status int, code string) {
-	WriteJSON(w, status, ErrorResponse{Error: code})
+	WriteJSON(w, status, ErrorResponse{Error: code, RequestID: ResponseRequestID(w)})
 }
 
 func writeError(w http.ResponseWriter, status int, code string) { WriteError(w, status, code) }
@@ -305,7 +320,9 @@ func (s *Server) handleAcquire(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	start := time.Now()
 	l, err := s.mgr.Acquire(s.ttlOf(req.TTLMillis))
+	s.cfg.Metrics.ObserveAcquire(start, err)
 	if err != nil {
 		if errors.Is(err, activity.ErrFull) {
 			// Slots free up when leases expire, so one expirer tick is the
@@ -324,7 +341,9 @@ func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	start := time.Now()
 	l, err := s.mgr.Renew(req.Name, req.Token, s.ttlOf(req.TTLMillis))
+	s.cfg.Metrics.ObserveRenew(start, err)
 	if err != nil {
 		WriteLeaseError(w, err)
 		return
@@ -337,7 +356,10 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	if err := s.mgr.Release(req.Name, req.Token); err != nil {
+	start := time.Now()
+	err := s.mgr.Release(req.Name, req.Token)
+	s.cfg.Metrics.ObserveRelease(start, err)
+	if err != nil {
 		WriteLeaseError(w, err)
 		return
 	}

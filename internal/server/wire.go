@@ -106,7 +106,9 @@ func (b *WireBackend) ServeWire(req *wire.Request, resp *wire.Response) {
 		// Status OK, empty payload.
 
 	case wire.OpAcquire:
+		start := time.Now()
 		l, err := b.mgr.Acquire(b.ttlOf(req.TTLMillis))
+		b.cfg.Metrics.ObserveAcquire(start, err)
 		if err != nil {
 			b.respondLeaseError(resp, err)
 			return
@@ -115,7 +117,9 @@ func (b *WireBackend) ServeWire(req *wire.Request, resp *wire.Response) {
 
 	case wire.OpRenew:
 		ref := req.Items[0]
+		start := time.Now()
 		l, err := b.mgr.Renew(int(ref.Name), ref.Token, b.ttlOf(req.TTLMillis))
+		b.cfg.Metrics.ObserveRenew(start, err)
 		if err != nil {
 			b.respondLeaseError(resp, err)
 			return
@@ -124,12 +128,18 @@ func (b *WireBackend) ServeWire(req *wire.Request, resp *wire.Response) {
 
 	case wire.OpRelease:
 		ref := req.Items[0]
-		if err := b.mgr.Release(int(ref.Name), ref.Token); err != nil {
+		start := time.Now()
+		err := b.mgr.Release(int(ref.Name), ref.Token)
+		b.cfg.Metrics.ObserveRelease(start, err)
+		if err != nil {
 			b.respondLeaseError(resp, err)
 			return
 		}
 
 	case wire.OpAcquireN:
+		if b.cfg.Metrics != nil {
+			b.cfg.Metrics.BatchOps.Inc()
+		}
 		sc := wireScratchPool.Get().(*wireScratch)
 		leases, err := b.mgr.AcquireN(int(req.N), b.ttlOf(req.TTLMillis), sc.leases[:0])
 		sc.leases = leases
@@ -147,6 +157,9 @@ func (b *WireBackend) ServeWire(req *wire.Request, resp *wire.Response) {
 		wireScratchPool.Put(sc)
 
 	case wire.OpReleaseN:
+		if b.cfg.Metrics != nil {
+			b.cfg.Metrics.BatchOps.Inc()
+		}
 		for _, ref := range req.Items {
 			it := wire.ItemResult{Status: wire.StatusOK}
 			if err := b.mgr.Release(int(ref.Name), ref.Token); err != nil {
@@ -156,6 +169,9 @@ func (b *WireBackend) ServeWire(req *wire.Request, resp *wire.Response) {
 		}
 
 	case wire.OpRenewSession:
+		if b.cfg.Metrics != nil {
+			b.cfg.Metrics.BatchOps.Inc()
+		}
 		sc := wireScratchPool.Get().(*wireScratch)
 		sc.refs = sc.refs[:0]
 		for _, ref := range req.Items {
@@ -289,6 +305,7 @@ var wireCallPool = sync.Pool{New: func() any { return &wireCall{} }}
 func begin(op wire.Opcode) *wireCall {
 	ca := wireCallPool.Get().(*wireCall)
 	ca.req.Op = op
+	ca.req.ID = 0 // pooled: a stale nonzero ID would bypass client assignment
 	ca.req.Epoch = 0
 	ca.req.TTLMillis = 0
 	ca.req.N = 0

@@ -142,8 +142,12 @@ func (c *Client) Close() {
 	}
 }
 
-// Do performs one request/response exchange. req.ID is assigned by the
-// client. resp's storage is owned by the caller and reused across calls.
+// Do performs one request/response exchange. When req.ID is zero the client
+// assigns one; a caller may pre-set a nonzero ID to thread its own request
+// identifier through the frame header (for cross-hop tracing), in which case
+// the caller is responsible for keeping in-flight IDs unique on this client —
+// the pipelining match is by ID. resp's storage is owned by the caller and
+// reused across calls.
 func (c *Client) Do(req *Request, resp *Response) error {
 	if c.closed.Load() {
 		return ErrClientClosed
@@ -191,8 +195,11 @@ func (c *Client) connFor(s *slot) (*conn, error) {
 // roundTrip sends req and blocks for its response (other callers' frames may
 // interleave on the same connection meanwhile).
 func (cn *conn) roundTrip(req *Request, resp *Response, timeout time.Duration) error {
-	id := cn.cl.nextID.Add(1)
-	req.ID = id
+	id := req.ID
+	if id == 0 {
+		id = cn.cl.nextID.Add(1)
+		req.ID = id
+	}
 
 	ca := callPool.Get().(*call)
 	ca.err = nil

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // Backend is the semantic half of a wire server: it receives one decoded
@@ -24,6 +25,42 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+
+	// Scrape-friendly counters (see Counters); maintained off the mutex.
+	accepted      atomic.Uint64
+	framesRead    atomic.Uint64
+	framesWritten atomic.Uint64
+	flushes       atomic.Uint64
+	decodeErrors  atomic.Uint64
+}
+
+// ServerCounters is a point-in-time snapshot of a Server's transport
+// counters: the server-side mirror of the client's Counters, and the source
+// for the la_wire_server_* metric families.
+type ServerCounters struct {
+	// ConnsAccepted counts accepted connections over the server's lifetime.
+	ConnsAccepted uint64
+	// FramesRead and FramesWritten count whole frames, requests in and
+	// responses out.
+	FramesRead    uint64
+	FramesWritten uint64
+	// Flushes counts syscall-level writes; FramesWritten/Flushes is the
+	// server-side write-combining ratio.
+	Flushes uint64
+	// DecodeErrors counts malformed payloads answered with 400 (framing
+	// errors close the connection and are not counted here).
+	DecodeErrors uint64
+}
+
+// Counters snapshots the server's transport counters.
+func (s *Server) Counters() ServerCounters {
+	return ServerCounters{
+		ConnsAccepted: s.accepted.Load(),
+		FramesRead:    s.framesRead.Load(),
+		FramesWritten: s.framesWritten.Load(),
+		Flushes:       s.flushes.Load(),
+		DecodeErrors:  s.decodeErrors.Load(),
+	}
 }
 
 // NewServer returns a server that answers requests via backend.
@@ -63,6 +100,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.conns[c] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
+		s.accepted.Add(1)
 		go func() {
 			defer s.wg.Done()
 			s.serveConn(c)
@@ -132,8 +170,10 @@ func (s *Server) serveConn(c net.Conn) {
 			return
 		}
 
+		s.framesRead.Add(1)
 		resp.Reset()
 		if err := DecodeRequest(h, payload, &req); err != nil {
+			s.decodeErrors.Add(1)
 			resp.Status = StatusBadRequest
 			resp.Code = CodeBadRequest
 		} else {
@@ -144,6 +184,7 @@ func (s *Server) serveConn(c net.Conn) {
 		if _, err := w.Write(out); err != nil {
 			return
 		}
+		s.framesWritten.Add(1)
 		// Flush only when the read side has gone quiet: if more request
 		// bytes are already buffered, the client is pipelining and will
 		// happily wait one more turn for a combined flush.
@@ -151,6 +192,7 @@ func (s *Server) serveConn(c net.Conn) {
 			if err := w.Flush(); err != nil {
 				return
 			}
+			s.flushes.Add(1)
 		}
 	}
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Re-measures the regression-gate benchmarks on this machine and promotes the
+# result to benchmarks/baseline.json — the file scripts/bench.sh --gate (and
+# the CI bench-gate job) compares against. Run it after deliberate performance
+# work, commit the new baseline with the change that earned it, and the gate
+# will hold every later change to within BENCH_MAX_REGRESSION_PCT of it.
+#
+# The baseline records BenchmarkCalibration alongside the gated benchmarks,
+# so a baseline promoted on a fast laptop still gates correctly on a slow CI
+# runner: the gate rescales by the calibration ratio before comparing.
+#
+#   scripts/bench-update.sh            # default gate set, 3 reps
+#   COUNT=5 scripts/bench-update.sh    # more reps for a steadier minimum
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BASELINE=benchmarks/baseline.json
+GATE_OUT="$BASELINE" BENCH_GATE_SKIP_COMPARE=1 scripts/bench.sh --gate
+echo "promoted $BASELINE:"
+cat "$BASELINE"

@@ -12,6 +12,29 @@
 #                                    # verified closed-loop run per iteration)
 #   COUNT=5 scripts/bench.sh         # repetitions for stable statistics
 #   scripts/bench.sh --ab            # HTTP-vs-wire A/B only -> benchmarks/wire-ab.txt
+#   scripts/bench.sh --gate          # regression gate vs benchmarks/baseline.json
+#   scripts/bench.sh --gate-check    # re-compare the last --gate run (no re-run)
+#
+# The gate makes "fast" a checked invariant: --gate runs the GATE_BENCH
+# benchmarks COUNT times, keeps each benchmark's median ns/op (robust to the
+# one rep that hit a GC or a noisy co-tenant), writes the flat `"name": ns_op`
+# result to GATE_OUT, and fails if any benchmark is more than
+# BENCH_MAX_REGRESSION_PCT percent slower than benchmarks/baseline.json. Before comparing, the baseline
+# is scaled by the ratio of BenchmarkCalibration (a fixed pure-CPU anchor) now
+# vs at baseline-recording time, so the gate measures the tree, not the
+# machine. Knobs:
+#
+#   GATE_BENCH                 benchmarks to gate (default the stable subset)
+#   COUNT                      repetitions, median taken (default 5 for --gate)
+#   BENCH_MAX_REGRESSION_PCT   allowed slowdown in percent (default 5)
+#   BENCH_BASELINE_SCALE       multiplies baseline ns/op before comparing;
+#                              0.5 pretends the baseline was twice as fast —
+#                              CI uses it to prove the gate actually fails
+#   GATE_OUT                   where the run's JSON goes (default
+#                              /tmp/la-gate-latest.json)
+#   BENCH_GATE_SKIP_COMPARE    1 = run and record but do not compare
+#                              (scripts/bench-update.sh uses this to promote
+#                              a fresh baseline)
 #
 # latest.txt is the raw `go test -bench` output; latest.json maps benchmark
 # name -> ns/op (averaged over COUNT repetitions), so the perf trajectory is
@@ -53,6 +76,125 @@ if [ "${1:-}" = "--ab" ]; then
   rm -f "$OUT_AB.raw"
   tail -3 "$OUT_AB"
   echo "wrote $OUT_AB"
+  exit 0
+fi
+
+# --gate / --gate-check: the benchmark regression gate.
+if [ "${1:-}" = "--gate" ] || [ "${1:-}" = "--gate-check" ]; then
+  # Default gate set: the pure CPU paths. The ttl=1s lease variants are
+  # excluded — they interleave with the expirer's timer wheel, and wall-clock
+  # timer noise swamps a 5% band on shared runners.
+  GATE_BENCH="${GATE_BENCH:-(UncontendedGetFree|LeaseAcquireRelease)/(LevelArray|Random|LinearProbing|Deterministic|ttl=inf)}"
+  COUNT="${COUNT:-5}"
+  BENCHTIME="${BENCHTIME:-1s}"
+  BENCH_MAX_REGRESSION_PCT="${BENCH_MAX_REGRESSION_PCT:-5}"
+  BENCH_BASELINE_SCALE="${BENCH_BASELINE_SCALE:-1}"
+  GATE_OUT="${GATE_OUT:-/tmp/la-gate-latest.json}"
+  BASELINE=benchmarks/baseline.json
+
+  if [ "$1" = "--gate" ]; then
+    RAW="$(mktemp)"
+    trap 'rm -f "$RAW"' EXIT
+    echo "# gate run: -bench '$GATE_BENCH' -benchtime $BENCHTIME -count $COUNT (calibration bracketed)"
+    # Calibration brackets the main run — samples before AND after, pooled by
+    # median — so machine-speed drift across the run (turbo decay, container
+    # throttling, co-tenants arriving) lands inside the calibration estimate
+    # instead of silently skewing every comparison.
+    go test -run xxx -bench '^BenchmarkCalibration$' -benchtime "$BENCHTIME" -count 2 . | tee "$RAW"
+    go test -run xxx -bench "$GATE_BENCH" -benchtime "$BENCHTIME" -count "$COUNT" . | tee -a "$RAW"
+    go test -run xxx -bench '^BenchmarkCalibration$' -benchtime "$BENCHTIME" -count 2 . | tee -a "$RAW"
+    # Distill to flat `"name": median_ns_op` JSON: the median over
+    # repetitions shrugs off the one rep that hit a GC, a turbo step or a
+    # noisy co-tenant, where both mean and min would follow it.
+    awk '
+      /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        for (i = 3; i < NF; i++) {
+          if ($(i + 1) == "ns/op") {
+            if (!(name in cnt)) order[++k] = name
+            vals[name, ++cnt[name]] = $(i) + 0
+          }
+        }
+      }
+      END {
+        printf "{\n"
+        for (j = 1; j <= k; j++) {
+          n = order[j]
+          m = cnt[n]
+          for (a = 2; a <= m; a++) {          # insertion sort; m is tiny
+            v = vals[n, a]
+            for (b = a - 1; b >= 1 && vals[n, b] > v; b--) vals[n, b + 1] = vals[n, b]
+            vals[n, b + 1] = v
+          }
+          if (m % 2) med = vals[n, (m + 1) / 2]
+          else med = (vals[n, m / 2] + vals[n, m / 2 + 1]) / 2
+          printf "  \"%s\": %.2f%s\n", n, med, (j < k ? "," : "")
+        }
+        printf "}\n"
+      }
+    ' "$RAW" > "$GATE_OUT"
+    echo "wrote $GATE_OUT"
+    if [ "${BENCH_GATE_SKIP_COMPARE:-0}" = "1" ]; then
+      exit 0
+    fi
+  fi
+
+  if [ ! -f "$GATE_OUT" ]; then
+    echo "bench gate: $GATE_OUT missing; run scripts/bench.sh --gate first" >&2
+    exit 2
+  fi
+  if [ ! -f "$BASELINE" ]; then
+    echo "bench gate: $BASELINE missing; promote one with scripts/bench-update.sh" >&2
+    exit 2
+  fi
+
+  # Compare the gate run against the calibration-scaled baseline. Every
+  # baseline benchmark must be present in the run (missing coverage is a
+  # failure, never silent) and be within the allowed slowdown.
+  awk -F'"' -v maxpct="$BENCH_MAX_REGRESSION_PCT" -v bscale="$BENCH_BASELINE_SCALE" '
+    /":/ {
+      name = $2
+      val = $3
+      gsub(/[:, ]/, "", val)
+      if (NR == FNR) { base[name] = val + 0; border[++bk] = name; next }
+      new[name] = val + 0
+    }
+    END {
+      cal = 1.0
+      if (("BenchmarkCalibration" in base) && ("BenchmarkCalibration" in new) && base["BenchmarkCalibration"] > 0) {
+        cal = new["BenchmarkCalibration"] / base["BenchmarkCalibration"]
+      }
+      printf "benchmark regression gate: max +%.1f%%, calibration scale %.3f, baseline scale %s\n", maxpct, cal, bscale
+      printf "%-60s %12s %12s %8s  %s\n", "benchmark", "allowed", "new ns/op", "delta", "verdict"
+      fail = 0
+      for (j = 1; j <= bk; j++) {
+        n = border[j]
+        if (n == "BenchmarkCalibration") continue
+        allowed = base[n] * cal * bscale
+        if (!(n in new)) {
+          printf "%-60s %12.2f %12s %8s  MISSING (not run)\n", n, allowed, "-", "-"
+          fail = 1
+          continue
+        }
+        pct = (new[n] - allowed) / allowed * 100
+        verdict = "ok"
+        if (pct > maxpct) { verdict = "REGRESSION"; fail = 1 }
+        printf "%-60s %12.2f %12.2f %+7.1f%%  %s\n", n, allowed, new[n], pct, verdict
+      }
+      for (n in new) {
+        if (!(n in base) && n != "BenchmarkCalibration") {
+          printf "%-60s %12s %12.2f %8s  new (not in baseline)\n", n, "-", new[n], "-"
+        }
+      }
+      exit fail
+    }
+  ' "$BASELINE" "$GATE_OUT" && status=0 || status=$?
+  if [ $status -ne 0 ]; then
+    echo "bench gate: FAILED (regression beyond ${BENCH_MAX_REGRESSION_PCT}% or missing coverage)" >&2
+    exit 1
+  fi
+  echo "bench gate: ok"
   exit 0
 fi
 
@@ -105,9 +247,13 @@ awk '
 
 # Per-benchmark delta table against the rotated previous run. Both files are
 # the flat `"name": ns_op` JSON written above, so plain awk can join them.
+# Deltas inside the +/- NOISE_BAND_PCT band (default 10%) are annotated as
+# noise: single-rep timings on a busy machine routinely wander that far, and
+# an unmarked "+7%" next to a real regression teaches readers to ignore both.
 OUT_DELTA="$OUT_DIR/delta.txt"
+NOISE_BAND_PCT="${NOISE_BAND_PCT:-10}"
 if [ -f "$OUT_DIR/previous.json" ]; then
-  awk -F'"' '
+  awk -F'"' -v band="$NOISE_BAND_PCT" '
     /":/ {
       name = $2
       val = $3
@@ -117,12 +263,15 @@ if [ -f "$OUT_DIR/previous.json" ]; then
       new[name] = val
     }
     END {
-      printf "%-60s %12s %12s %8s\n", "benchmark", "prev ns/op", "new ns/op", "delta"
+      printf "%-60s %12s %12s %8s  %s\n", "benchmark", "prev ns/op", "new ns/op", "delta", "note"
       for (j = 1; j <= k; j++) {
         n = order[j]
         if (n in prev && prev[n] + 0 > 0) {
           pct = (new[n] - prev[n]) / prev[n] * 100
-          printf "%-60s %12.2f %12.2f %+7.1f%%\n", n, prev[n], new[n], pct
+          note = sprintf("~ within +/-%g%% noise band", band)
+          if (pct > band) note = "SLOWER (outside noise band)"
+          else if (pct < -band) note = "faster (outside noise band)"
+          printf "%-60s %12.2f %12.2f %+7.1f%%  %s\n", n, prev[n], new[n], pct, note
         } else {
           printf "%-60s %12s %12.2f %8s\n", n, "-", new[n], "new"
         }
