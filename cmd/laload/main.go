@@ -37,6 +37,14 @@
 //
 //	go run ./cmd/laload -spawn 3 -partitions 8 -capacity 4096 \
 //	    -ops 100000 -crash 10 -kill-every 4s
+//
+// With -data-dir the spawned nodes journal lease state to per-node WALs, and
+// -restart-after brings each killed node back on the same addresses after the
+// given pause — the ledger keeps verifying across the restart, so a reissued
+// or double-granted name from a bad replay fails the run:
+//
+//	go run ./cmd/laload -spawn 3 -partitions 8 -data-dir /tmp/laload \
+//	    -ops 100000 -kill-every 4s -restart-after 2s
 package main
 
 import (
@@ -71,6 +79,9 @@ func run() error {
 	partitions := flag.Int("partitions", 0, "partitions for -spawn: "+registry.ValidPartitionCounts)
 	capacity := flag.Int("capacity", 4096, "total capacity for -spawn")
 	killEvery := flag.Duration("kill-every", 0, "kill one live node every interval (requires -spawn; 0 = never)")
+	restartAfter := flag.Duration("restart-after", 0, "restart each killed node on its old addresses after this pause (requires -spawn and -kill-every; 0 = stay dead)")
+	dataDir := flag.String("data-dir", "", "journal spawned nodes' lease state under this directory (one WAL per node, replayed on -restart-after)")
+	snapshotAdopt := flag.Bool("snapshot-adopt", false, "adopt failed-over partitions from the dead node's fenced snapshot instead of quarantining (requires -data-dir)")
 	minAlive := flag.Int("min-alive", 2, "the node killer stops at this many survivors")
 	tick := flag.Duration("tick", 100*time.Millisecond, "lease expirer tick for -spawn nodes")
 	clients := flag.Int("clients", 16, "concurrent closed-loop clients")
@@ -108,24 +119,36 @@ func run() error {
 	if *killEvery > 0 && *spawn == 0 {
 		return fmt.Errorf("-kill-every needs -spawn (laload can only kill nodes it booted)")
 	}
+	if *restartAfter > 0 && *killEvery == 0 {
+		return fmt.Errorf("-restart-after needs -kill-every (nothing dies, nothing restarts)")
+	}
+	if *dataDir != "" && *spawn == 0 {
+		return fmt.Errorf("-data-dir needs -spawn (external nodes own their own directories)")
+	}
+	if *snapshotAdopt && *dataDir == "" {
+		return fmt.Errorf("-snapshot-adopt needs -data-dir (there is no snapshot to adopt without a journal)")
+	}
 	if *spawn != 0 || *targets != "" {
 		return runCluster(clusterOptions{
-			proto:      proto,
-			targets:    *targets,
-			spawn:      *spawn,
-			partitions: *partitions,
-			capacity:   *capacity,
-			killEvery:  *killEvery,
-			minAlive:   *minAlive,
-			tick:       *tick,
-			clients:    *clients,
-			ops:        *ops,
-			ttl:        *ttl,
-			holdMean:   *holdMean,
-			crash:      *crash,
-			renew:      *renew,
-			seed:       *seed,
-			jsonPath:   *jsonPath,
+			proto:         proto,
+			targets:       *targets,
+			spawn:         *spawn,
+			partitions:    *partitions,
+			capacity:      *capacity,
+			killEvery:     *killEvery,
+			restartAfter:  *restartAfter,
+			dataDir:       *dataDir,
+			snapshotAdopt: *snapshotAdopt,
+			minAlive:      *minAlive,
+			tick:          *tick,
+			clients:       *clients,
+			ops:           *ops,
+			ttl:           *ttl,
+			holdMean:      *holdMean,
+			crash:         *crash,
+			renew:         *renew,
+			seed:          *seed,
+			jsonPath:      *jsonPath,
 		})
 	}
 
@@ -202,22 +225,25 @@ func run() error {
 
 // clusterOptions carries the resolved cluster/chaos-mode configuration.
 type clusterOptions struct {
-	proto      registry.Proto
-	targets    string
-	spawn      int
-	partitions int
-	capacity   int
-	killEvery  time.Duration
-	minAlive   int
-	tick       time.Duration
-	clients    int
-	ops        int64
-	ttl        time.Duration
-	holdMean   time.Duration
-	crash      int
-	renew      int
-	seed       uint64
-	jsonPath   string
+	proto         registry.Proto
+	targets       string
+	spawn         int
+	partitions    int
+	capacity      int
+	killEvery     time.Duration
+	restartAfter  time.Duration
+	dataDir       string
+	snapshotAdopt bool
+	minAlive      int
+	tick          time.Duration
+	clients       int
+	ops           int64
+	ttl           time.Duration
+	holdMean      time.Duration
+	crash         int
+	renew         int
+	seed          uint64
+	jsonPath      string
 }
 
 // runCluster drives the chaos verifier against an external cluster
@@ -233,6 +259,7 @@ func runCluster(opts clusterOptions) error {
 		RenewPercent: opts.renew,
 		Seed:         opts.seed,
 		KillEvery:    opts.killEvery,
+		RestartAfter: opts.restartAfter,
 		MinAlive:     opts.minAlive,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
@@ -251,10 +278,12 @@ func runCluster(opts clusterOptions) error {
 			return fmt.Errorf("invalid -capacity %d (valid: at least -partitions = %d)", opts.capacity, partitions)
 		}
 		local, err := cluster.StartLocal(cluster.LocalConfig{
-			Nodes:      opts.spawn,
-			Partitions: partitions,
-			Capacity:   opts.capacity,
-			Seed:       opts.seed,
+			Nodes:         opts.spawn,
+			Partitions:    partitions,
+			Capacity:      opts.capacity,
+			Seed:          opts.seed,
+			DataDir:       opts.dataDir,
+			SnapshotAdopt: opts.snapshotAdopt,
 			Node: cluster.NodeConfig{
 				Lease:      lease.Config{TickInterval: opts.tick},
 				DefaultTTL: opts.ttl,
@@ -304,6 +333,10 @@ func runCluster(opts clusterOptions) error {
 	tbl.AddRow("acquire latency max", report.AcquireMax.String())
 	tbl.AddRow("full/warming retries", fmt.Sprintf("%d", report.FullRetries))
 	tbl.AddRow("nodes killed", fmt.Sprintf("%d %v", report.Kills, report.KilledNodes))
+	if opts.restartAfter > 0 {
+		tbl.AddRow("nodes restarted", fmt.Sprintf("%d %v", report.Restarts, report.RestartedNodes))
+		tbl.AddRow("failovers preempted by restart", fmt.Sprintf("%d", report.RestartPreempts))
+	}
 	tbl.AddRow("epoch bumps observed", fmt.Sprintf("%d (final epoch %d)", report.EpochBumps, report.FinalEpoch))
 	tbl.AddRow("orphaned by kills", fmt.Sprintf("%d (reissued %d)", report.OrphanEvents, report.OrphansReissued))
 	tbl.AddRow("killed-session ops fenced", fmt.Sprintf("%d", report.KilledSessions))

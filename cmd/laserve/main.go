@@ -30,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -40,6 +41,7 @@ import (
 	"github.com/levelarray/levelarray/internal/registry"
 	"github.com/levelarray/levelarray/internal/server"
 	"github.com/levelarray/levelarray/internal/shard"
+	"github.com/levelarray/levelarray/internal/wal"
 	"github.com/levelarray/levelarray/internal/wire"
 )
 
@@ -66,6 +68,12 @@ func run() error {
 	defaultTTL := flag.Duration("default-ttl", 10*time.Second, "TTL applied when an acquire omits ttl_ms")
 	maxTTL := flag.Duration("max-ttl", 0, "reject TTLs above this (0: unlimited standalone, 30s in member mode)")
 	seed := flag.Uint64("seed", 1, "base random seed")
+
+	// Durability.
+	dataDir := flag.String("data-dir", "", "durable state directory (per-partition WAL + snapshots); empty = in-memory only")
+	walSyncName := flag.String("wal-sync", "always", "WAL durability policy: "+registry.ValidWALSyncNames)
+	walSyncEvery := flag.Duration("wal-sync-interval", 25*time.Millisecond, "fsync cadence under -wal-sync interval")
+	checkpointEvery := flag.Duration("checkpoint-every", 30*time.Second, "snapshot cadence when -data-dir is set (log truncates at each snapshot)")
 
 	// Member (cluster) mode.
 	peersFlag := flag.String("peers", "", "cluster member URLs ("+registry.ValidPeersFormat+"); empty = standalone")
@@ -106,6 +114,10 @@ func run() error {
 	if *tick <= 0 {
 		return fmt.Errorf("invalid -tick %v (valid: above 0)", *tick)
 	}
+	walSync, err := registry.ParseWALSyncFlag(*walSyncName)
+	if err != nil {
+		return err
+	}
 
 	newArray := func(capacity int, seed uint64) (activity.Array, error) {
 		return registry.New(algo, registry.Options{
@@ -130,22 +142,26 @@ func run() error {
 
 	if *peersFlag != "" {
 		return runMember(ctx, memberOptions{
-			addr:       *addr,
-			wireAddr:   *wireAddr,
-			peers:      *peersFlag,
-			wirePeers:  *wirePeersFlag,
-			nodeID:     *nodeID,
-			partitions: *partitions,
-			capacity:   *capacity,
-			tick:       *tick,
-			defaultTTL: *defaultTTL,
-			maxTTL:     *maxTTL,
-			probeEvery: *probeEvery,
-			downAfter:  *downAfter,
-			seed:       *seed,
-			algo:       algo,
-			newArray:   newArray,
-			ms:         ms,
+			addr:            *addr,
+			wireAddr:        *wireAddr,
+			peers:           *peersFlag,
+			wirePeers:       *wirePeersFlag,
+			nodeID:          *nodeID,
+			partitions:      *partitions,
+			capacity:        *capacity,
+			tick:            *tick,
+			defaultTTL:      *defaultTTL,
+			maxTTL:          *maxTTL,
+			probeEvery:      *probeEvery,
+			downAfter:       *downAfter,
+			seed:            *seed,
+			algo:            algo,
+			newArray:        newArray,
+			ms:              ms,
+			dataDir:         *dataDir,
+			walSync:         walSync,
+			walSyncEvery:    *walSyncEvery,
+			checkpointEvery: *checkpointEvery,
 		})
 	}
 
@@ -153,14 +169,52 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	mgr, err := lease.NewManager(arr, lease.Config{TickInterval: *tick, MaxTTL: *maxTTL})
+	leaseCfg := lease.Config{TickInterval: *tick, MaxTTL: *maxTTL}
+	var store *wal.Store
+	if *dataDir != "" {
+		store, err = wal.Open(filepath.Join(*dataDir, "p0"), walSync, *walSyncEvery)
+		if err != nil {
+			return err
+		}
+		leaseCfg.Journal = store
+	}
+	mgr, err := lease.NewManager(arr, leaseCfg)
 	if err != nil {
 		return err
+	}
+	var recovered time.Duration
+	if store != nil {
+		begin := time.Now()
+		rst, err := mgr.Restore()
+		if err != nil {
+			return fmt.Errorf("restoring from %s: %w", *dataDir, err)
+		}
+		recovered = time.Since(begin)
+		fmt.Printf("laserve: restored %d sessions (%d lapsed, %d tail records, %d orphan bits) from %s in %v\n",
+			rst.Sessions, rst.Expired, rst.Records, rst.OrphanWords, *dataDir, recovered.Round(time.Microsecond))
+		stopCk := mgr.StartCheckpoints(*checkpointEvery, func() (uint32, uint64) { return 0, 0 }, func(err error) {
+			fmt.Fprintln(os.Stderr, "laserve: checkpoint:", err)
+		})
+		// Serve closes the manager on shutdown; once it returns no append can
+		// race the final clean snapshot, which the next boot replays alone.
+		defer func() {
+			stopCk()
+			if err := mgr.Checkpoint(0, 0, true); err != nil {
+				fmt.Fprintln(os.Stderr, "laserve: final checkpoint:", err)
+			}
+			if err := store.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "laserve: closing wal:", err)
+			}
+		}()
 	}
 	mgr.Start()
 	if ms.m != nil {
 		server.RegisterManager(ms.m.Registry, mgr)
 		server.RegisterShardStats(ms.m.Registry, mgr.Array())
+		if store != nil {
+			server.RegisterWAL(ms.m.Registry, store)
+			server.RegisterRecovery(ms.m.Registry, func() float64 { return recovered.Seconds() })
+		}
 	}
 
 	if *wireAddr != "" {
@@ -273,6 +327,11 @@ type memberOptions struct {
 	algo       registry.Algorithm
 	newArray   func(capacity int, seed uint64) (activity.Array, error)
 	ms         *metricsSetup
+
+	dataDir         string
+	walSync         wal.SyncPolicy
+	walSyncEvery    time.Duration
+	checkpointEvery time.Duration
 }
 
 // runMember boots one cluster member.
@@ -317,6 +376,10 @@ func runMember(ctx context.Context, opts memberOptions) error {
 		MaxTTL:           opts.maxTTL,
 		ProbeInterval:    opts.probeEvery,
 		DownAfter:        opts.downAfter,
+		DataDir:          opts.dataDir,
+		WALSync:          opts.walSync,
+		WALSyncInterval:  opts.walSyncEvery,
+		CheckpointEvery:  opts.checkpointEvery,
 		Metrics:          opts.ms.m,
 		MetricsElsewhere: opts.ms.elsewhere(),
 		Logf: func(format string, args ...any) {

@@ -54,6 +54,13 @@ type ChaosConfig struct {
 	KillEvery time.Duration
 	// MinAlive is the floor the killer respects. Zero selects 2.
 	MinAlive int
+	// RestartAfter, when positive, brings each killed node back that long
+	// after its kill (same addresses, fresh process state; durable members
+	// replay their WAL). The ledger keeps verifying throughout: a restarted
+	// node rejoining with a stale epoch must be fenced — any lease it
+	// double-issues shows up as a duplicate/stale-accepted violation.
+	// Requires Local.
+	RestartAfter time.Duration
 	// ReclaimSlack pads every reclaim/reissue deadline, absorbing HTTP,
 	// scheduler and failover-observation latency. Zero selects 750ms.
 	ReclaimSlack time.Duration
@@ -75,6 +82,9 @@ func (c ChaosConfig) withDefaults() (ChaosConfig, error) {
 	}
 	if c.KillEvery > 0 && c.Local == nil {
 		return c, fmt.Errorf("chaos: node kills need an in-process cluster (Local)")
+	}
+	if c.RestartAfter > 0 && c.Local == nil {
+		return c, fmt.Errorf("chaos: node restarts need an in-process cluster (Local)")
 	}
 	if c.Clients <= 0 {
 		c.Clients = 16
@@ -119,8 +129,17 @@ type ChaosReport struct {
 	AcquireMax time.Duration `json:"acquire_max_ns"`
 
 	// Failover accounting.
-	Kills           int    `json:"kills"`
-	KilledNodes     []int  `json:"killed_nodes"`
+	Kills           int   `json:"kills"`
+	KilledNodes     []int `json:"killed_nodes"`
+	Restarts        int   `json:"restarts"`
+	RestartedNodes  []int `json:"restarted_nodes,omitempty"`
+	RestartFailures int   `json:"restart_failures"`
+	// RestartPreempts counts kills resolved by the victim restarting before
+	// any failover: the epoch never moved and the victim resumed its recorded
+	// partitions from its journal. A legitimate outcome in restart mode (the
+	// survivors may lack quorum, or the restart simply won the race); without
+	// RestartAfter the same silence is a FailoverTimeout.
+	RestartPreempts int    `json:"restart_preempts,omitempty"`
 	EpochBumps      int    `json:"epoch_bumps"`
 	FinalEpoch      uint64 `json:"final_epoch"`
 	OrphanEvents    int    `json:"orphan_events"`
@@ -226,6 +245,9 @@ func (r ChaosReport) Violations() []string {
 	}
 	if r.FailoverTimeouts > 0 {
 		v = append(v, fmt.Sprintf("%d node kills produced no epoch bump", r.FailoverTimeouts))
+	}
+	if r.RestartFailures > 0 {
+		v = append(v, fmt.Sprintf("%d killed nodes failed to restart", r.RestartFailures))
 	}
 	if r.Undrained != 0 {
 		v = append(v, fmt.Sprintf("%d leases still active after every deadline passed", r.Undrained))
@@ -598,6 +620,7 @@ func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 		runErr    error
 		killDone  = make(chan struct{})
 		killStop  = make(chan struct{})
+		restartWG sync.WaitGroup
 		report    ChaosReport
 		reportMu  sync.Mutex // guards report's failover fields written by the killer
 	)
@@ -635,6 +658,27 @@ func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 		}()
 	}
 
+	// awaitFailover waits for a kill to resolve: the survivors bump the epoch
+	// past before, or — in restart mode — the victim returns first and
+	// resumes its recorded partitions under the unchanged epoch (the
+	// survivors may lack quorum to fail over at all, and the victim's journal
+	// makes the resume safe). Returns (bumped, resumed).
+	awaitFailover := func(local *Local, before uint64, victim int, restartMode bool, timeout time.Duration) (bool, bool) {
+		deadline := time.Now().Add(timeout)
+		for {
+			if local.MaxEpoch() > before {
+				return true, false
+			}
+			if restartMode && local.Node(victim) != nil {
+				return false, true
+			}
+			if time.Now().After(deadline) {
+				return false, false
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
 	// The killer: every KillEvery, one random live node dies abruptly; the
 	// run then observes the epoch bump and sweeps the dead node's leases
 	// into the orphan ledger.
@@ -663,18 +707,52 @@ func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 				before := cfg.Local.MaxEpoch()
 				cfg.Logf("chaos: killing node %d (epoch %d, %d alive, partitions %v)", victim, before, len(alive), victimParts)
 				cfg.Local.Kill(victim)
-				bumped := cfg.Local.WaitForEpoch(before+1, 30*time.Second)
+				// The restart races the failover from the moment of death,
+				// exactly as a supervised process would in production.
+				if cfg.RestartAfter > 0 {
+					restartWG.Add(1)
+					go func(victim int) {
+						defer restartWG.Done()
+						time.Sleep(cfg.RestartAfter)
+						// A back-to-back kill/restart pair on the same victim
+						// may already have brought it back; skip, don't fail.
+						if cfg.Local.Node(victim) != nil {
+							return
+						}
+						// Before the node answers a single scrape: its fresh
+						// registry resets every counter, and a fenced rejoin
+						// owns no partitions.
+						watch.noteRestart(cfg.Targets[victim])
+						if err := cfg.Local.Restart(victim); err != nil {
+							cfg.Logf("chaos: restarting node %d: %v", victim, err)
+							reportMu.Lock()
+							report.RestartFailures++
+							reportMu.Unlock()
+							return
+						}
+						cfg.Logf("chaos: node %d restarted (ledger keeps watching)", victim)
+						reportMu.Lock()
+						report.Restarts++
+						report.RestartedNodes = append(report.RestartedNodes, victim)
+						reportMu.Unlock()
+					}(victim)
+				}
+				bumped, resumed := awaitFailover(cfg.Local, before, victim, cfg.RestartAfter > 0, 30*time.Second)
 				bumpAt := time.Now()
 				reportMu.Lock()
 				report.Kills++
 				report.KilledNodes = append(report.KilledNodes, victim)
-				if bumped {
+				switch {
+				case bumped:
 					report.EpochBumps++
-				} else {
+				case resumed:
+					report.RestartPreempts++
+				default:
 					report.FailoverTimeouts++
 				}
 				reportMu.Unlock()
-				cfg.Logf("chaos: node %d dead; epoch now %d (bump observed: %v)", victim, cfg.Local.MaxEpoch(), bumped)
+				cfg.Logf("chaos: node %d dead; epoch now %d (bump observed: %v, restart preempted: %v)",
+					victim, cfg.Local.MaxEpoch(), bumped, resumed)
 				watch.noteKill(victimParts)
 				for _, p := range led.onKill(victim, victimParts, bumpAt, reclaimBound) {
 					select {
@@ -707,6 +785,10 @@ func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 	report.Elapsed = time.Since(start)
 	close(killStop)
 	<-killDone
+	// Pending restarts must land before verification: a restarted node that
+	// double-issues would otherwise dodge the ledger, and the caller may
+	// Close the cluster as soon as we return.
+	restartWG.Wait()
 	close(probes)
 	probeWG.Wait()
 	if runErr != nil {

@@ -68,6 +68,11 @@ type metricsWatcher struct {
 	// once some still-scrapable member exports its gauges (only owners emit
 	// per-partition series, so presence on a survivor proves adoption).
 	watchParts map[int]bool
+	// restarted marks targets brought back after a kill: a restart resets the
+	// member's counters (a fresh process), so its monotonic baseline is
+	// cleared, and a fenced rejoin owns no partitions, so the per-partition
+	// families are legitimately absent from its scrapes.
+	restarted map[string]bool
 
 	stop     chan struct{}
 	done     chan struct{}
@@ -87,6 +92,7 @@ func startMetricsWatcher(targets []string, hc *http.Client, logf func(string, ..
 		missing:    make(map[string]bool),
 		last:       make(map[string]map[string]float64),
 		watchParts: make(map[int]bool),
+		restarted:  make(map[string]bool),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 	}
@@ -163,7 +169,7 @@ func (w *metricsWatcher) sweep() bool {
 		w.maxQuarantines = quarSum
 	}
 	for _, r := range results {
-		w.checkFamilies(r.samples)
+		w.checkFamilies(r.target, r.samples)
 		w.checkMonotonic(r.target, r.samples)
 		for _, sm := range r.samples {
 			if sm.Name != "la_partition_active" {
@@ -198,15 +204,21 @@ func (w *metricsWatcher) scrape(target string) ([]metrics.Sample, int, error) {
 }
 
 // checkFamilies records required families absent from this healthy scrape.
-func (w *metricsWatcher) checkFamilies(samples []metrics.Sample) {
+// Per-partition families are exempt on restarted members: a fenced rejoin
+// owns no partitions, so those samplers legitimately emit nothing.
+func (w *metricsWatcher) checkFamilies(target string, samples []metrics.Sample) {
 	present := make(map[string]bool, len(samples))
 	for _, sm := range samples {
 		present[sm.Name] = true
 	}
 	for _, fam := range chaosRequiredFamilies {
-		if !present[fam] {
-			w.missing[fam] = true
+		if present[fam] {
+			continue
 		}
+		if w.restarted[target] && strings.HasPrefix(fam, "la_partition_") {
+			continue
+		}
+		w.missing[fam] = true
 	}
 }
 
@@ -247,6 +259,19 @@ func seriesKey(sm metrics.Sample) string {
 	}
 	sort.Strings(pairs)
 	return sm.Name + "{" + strings.Join(pairs, ",") + "}"
+}
+
+// noteRestart tells the watcher a killed member is back on target: its
+// counters restarted from zero (fresh process), so the monotonic baseline is
+// dropped and the target is marked for the partition-family exemption.
+func (w *metricsWatcher) noteRestart(target string) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.last, target)
+	w.restarted[target] = true
 }
 
 // noteKill tells the watcher a node just died and which partitions must

@@ -23,10 +23,15 @@ type ClientConfig struct {
 	// performs when it hits dead members, stale epochs (412) or moved
 	// partitions (421). Zero selects 8.
 	RouteRounds int
-	// RouteBackoff is the pause between unsuccessful rounds, covering the
-	// window in which a failure has happened but the steward has not pushed
-	// the bumped epoch yet. Zero selects 100ms.
+	// RouteBackoff is the base pause between unsuccessful rounds, covering
+	// the window in which a failure has happened but the steward has not
+	// pushed the bumped epoch yet. It doubles per round (with jitter) up to
+	// RouteBackoffMax, so the many clients that observe the same member death
+	// at once spread their retry storms out. Zero selects 100ms.
 	RouteBackoff time.Duration
+	// RouteBackoffMax caps the per-round backoff. Zero selects the larger of
+	// 1s and RouteBackoff.
+	RouteBackoffMax time.Duration
 	// DisableWire forces HTTP for every operation even against members that
 	// advertise a wire endpoint. By default the client speaks the binary
 	// protocol to any member with a WireAddr and falls back to HTTP when the
@@ -49,6 +54,12 @@ func (c ClientConfig) withDefaults() (ClientConfig, error) {
 	}
 	if c.RouteBackoff <= 0 {
 		c.RouteBackoff = 100 * time.Millisecond
+	}
+	if c.RouteBackoffMax <= 0 {
+		c.RouteBackoffMax = time.Second
+		if c.RouteBackoff > c.RouteBackoffMax {
+			c.RouteBackoffMax = c.RouteBackoff
+		}
 	}
 	return c, nil
 }
@@ -83,6 +94,8 @@ type Client struct {
 	deadHops      atomic.Uint64
 	wireOps       atomic.Uint64
 	wireFallbacks atomic.Uint64
+	backoffs      atomic.Uint64
+	jitter        atomic.Uint64 // splitmix state for backoff jitter
 }
 
 // ClientCounters is a snapshot of the client's routing-health counters.
@@ -102,6 +115,9 @@ type ClientCounters struct {
 	// WireFallbacks counts hops where the wire transport failed and the
 	// client retried the same member over HTTP.
 	WireFallbacks uint64 `json:"wire_fallbacks"`
+	// Backoffs counts inter-round pauses taken after a full sweep of the
+	// table failed to land the operation.
+	Backoffs uint64 `json:"backoffs"`
 }
 
 // NewClient builds a routed client and fetches the initial table from the
@@ -112,6 +128,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		return nil, err
 	}
 	c := &Client{cfg: cfg, hc: cfg.HTTPClient, wclients: make(map[string]*wire.Client)}
+	c.jitter.Store(uint64(time.Now().UnixNano()))
 	if !c.fetchTable() {
 		return nil, fmt.Errorf("cluster: no target reachable for the initial table: %v", cfg.Targets)
 	}
@@ -165,7 +182,16 @@ func (c *Client) Counters() ClientCounters {
 		DeadHops:      c.deadHops.Load(),
 		WireOps:       c.wireOps.Load(),
 		WireFallbacks: c.wireFallbacks.Load(),
+		Backoffs:      c.backoffs.Load(),
 	}
+}
+
+// backoffSleep pauses between routing rounds: RouteBackoff doubled per round
+// and jittered, capped at RouteBackoffMax, so clients hammering a cluster
+// mid-failover spread out instead of sweeping the table in lockstep.
+func (c *Client) backoffSleep(round int) {
+	c.backoffs.Add(1)
+	time.Sleep(wire.Backoff(c.cfg.RouteBackoff, c.cfg.RouteBackoffMax, round, &c.jitter))
 }
 
 // nextRID mints one trace id per routed operation. The high bit is set so a
@@ -358,7 +384,7 @@ func (c *Client) Acquire(ttlMillis int64) (GrantResponse, int, time.Duration, er
 		if refresh || len(alive) == 0 {
 			c.Refresh()
 		}
-		time.Sleep(c.cfg.RouteBackoff)
+		c.backoffSleep(round)
 	}
 }
 
@@ -393,7 +419,7 @@ func (c *Client) routed(path string, name int, body any, out *GrantResponse) (in
 			return 0, fmt.Errorf("cluster: routing %s for name %d failed after %d rounds: %w", path, name, round+1, lastErr)
 		}
 		c.Refresh()
-		time.Sleep(c.cfg.RouteBackoff)
+		c.backoffSleep(round)
 	}
 }
 

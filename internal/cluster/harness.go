@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -36,6 +37,16 @@ type LocalConfig struct {
 	// cadence); NodeID, Peers, Partitions and the factory are filled in per
 	// node. Zero values select the NodeConfig defaults.
 	Node NodeConfig
+	// DataDir, when set, gives every member durable lease state under
+	// DataDir/node<i>/ (per-partition WALs and snapshots). Kill then models a
+	// crash — no clean snapshot is written — and Restart can bring the member
+	// back on the same addresses, replaying its recorded state.
+	DataDir string
+	// SnapshotAdopt additionally wires the fenced snapshot-adoption path:
+	// a member that adopts a failed peer's partition fences and imports the
+	// peer's on-disk state (under DataDir/node<prevOwner>/) instead of
+	// quarantining the partition. Requires DataDir.
+	SnapshotAdopt bool
 	// DisableWire leaves the binary wire listeners unbound, so every member
 	// is HTTP-only. By default each local node serves both protocols.
 	DisableWire bool
@@ -78,10 +89,14 @@ type localNode struct {
 	alive    bool
 }
 
-// Local is a running in-process cluster. The mutex serializes Kill against
-// the liveness reads chaos runs perform from other goroutines.
+// Local is a running in-process cluster. The mutex serializes Kill and
+// Restart against the liveness reads chaos runs perform from other
+// goroutines.
 type Local struct {
-	cfg LocalConfig
+	cfg          LocalConfig
+	peers        []string
+	wirePeers    []string
+	perPartition int
 
 	mu    sync.Mutex
 	nodes []*localNode
@@ -120,39 +135,65 @@ func StartLocal(cfg LocalConfig) (*Local, error) {
 		l.nodes = append(l.nodes, local)
 		peers[i] = local.addr
 	}
+	l.peers = peers
+	l.wirePeers = wirePeers
+	l.perPartition = perPartition
 
 	for i := 0; i < cfg.Nodes; i++ {
-		ncfg := cfg.Node
-		ncfg.NodeID = i
-		ncfg.Peers = peers
-		ncfg.WirePeers = wirePeers
-		ncfg.Partitions = cfg.Partitions
-		ncfg.NewPartitionArray = func(partition int) (activity.Array, error) {
-			return cfg.NewPartitionArray(partition, perPartition, cfg.Seed+uint64(partition)*0x9E3779B97F4A7C15+1)
-		}
-		// Each member gets its own registry — exactly what separate processes
-		// would have — so chaos runs can verify the metrics surface per node.
-		if ncfg.Metrics == nil && !cfg.DisableMetrics {
-			reg := metrics.NewRegistry()
-			metrics.RegisterRuntime(reg)
-			ncfg.Metrics = server.NewMetrics(reg)
-		}
-		node, err := NewNode(ncfg)
-		if err != nil {
+		if err := l.startNode(i); err != nil {
 			l.Close()
 			return nil, err
 		}
-		ln := l.nodes[i]
-		ln.node = node
-		ln.server = &http.Server{Handler: node}
-		go func() { _ = ln.server.Serve(ln.listener) }()
-		if ln.wireLn != nil {
-			ln.wireSrv = wire.NewServer(node)
-			go func() { _ = ln.wireSrv.Serve(ln.wireLn) }()
-		}
-		node.Start()
 	}
 	return l, nil
+}
+
+// nodeConfigFor builds member i's NodeConfig from the local config — the one
+// place the per-node knobs are assembled, shared by boot and Restart.
+func (l *Local) nodeConfigFor(i int) NodeConfig {
+	cfg := l.cfg
+	ncfg := cfg.Node
+	ncfg.NodeID = i
+	ncfg.Peers = l.peers
+	ncfg.WirePeers = l.wirePeers
+	ncfg.Partitions = cfg.Partitions
+	ncfg.NewPartitionArray = func(partition int) (activity.Array, error) {
+		return cfg.NewPartitionArray(partition, l.perPartition, cfg.Seed+uint64(partition)*0x9E3779B97F4A7C15+1)
+	}
+	if cfg.DataDir != "" {
+		ncfg.DataDir = filepath.Join(cfg.DataDir, fmt.Sprintf("node%d", i))
+		if cfg.SnapshotAdopt {
+			ncfg.SnapshotAdopt = func(partition, prevOwner int) string {
+				return filepath.Join(cfg.DataDir, fmt.Sprintf("node%d", prevOwner), fmt.Sprintf("p%d", partition))
+			}
+		}
+	}
+	// Each member gets its own registry — exactly what separate processes
+	// would have — so chaos runs can verify the metrics surface per node.
+	if ncfg.Metrics == nil && !cfg.DisableMetrics {
+		reg := metrics.NewRegistry()
+		metrics.RegisterRuntime(reg)
+		ncfg.Metrics = server.NewMetrics(reg)
+	}
+	return ncfg
+}
+
+// startNode builds and starts member i on its already-bound listeners.
+func (l *Local) startNode(i int) error {
+	node, err := NewNode(l.nodeConfigFor(i))
+	if err != nil {
+		return err
+	}
+	ln := l.nodes[i]
+	ln.node = node
+	ln.server = &http.Server{Handler: node}
+	go func() { _ = ln.server.Serve(ln.listener) }()
+	if ln.wireLn != nil {
+		ln.wireSrv = wire.NewServer(node)
+		go func() { _ = ln.wireSrv.Serve(ln.wireLn) }()
+	}
+	node.Start()
+	return nil
 }
 
 // WireTargets returns every member's wire endpoint (empty strings when wire
@@ -203,8 +244,16 @@ func (l *Local) AliveIDs() []int {
 
 // Kill abruptly terminates member i: the listener and every in-flight
 // connection are torn down and the node's managers stop, exactly what a
-// crashed process looks like to the rest of the cluster. Idempotent.
+// crashed process looks like to the rest of the cluster. No clean-shutdown
+// snapshot is written — a durable member restarted after Kill replays its
+// WAL tail like a real crash. Idempotent.
 func (l *Local) Kill(i int) {
+	l.stop(i, false)
+}
+
+// stop tears member i down; clean selects a graceful shutdown (final clean
+// snapshot on durable members) versus a simulated crash.
+func (l *Local) stop(i int, clean bool) {
 	l.mu.Lock()
 	if i < 0 || i >= len(l.nodes) || !l.nodes[i].alive {
 		l.mu.Unlock()
@@ -225,8 +274,71 @@ func (l *Local) Kill(i int) {
 		_ = n.wireLn.Close()
 	}
 	if n.node != nil {
-		n.node.Close()
+		if clean {
+			n.node.Close()
+		} else {
+			n.node.Kill()
+		}
 	}
+}
+
+// Restart brings a killed member back on the same advertised addresses: the
+// listeners are rebound to the recorded ports, a fresh Node is built (with a
+// fresh registry, like a new process), and — when the harness has a DataDir —
+// the node replays its durable state and rejoins at its recorded epoch.
+func (l *Local) Restart(i int) error {
+	l.mu.Lock()
+	if i < 0 || i >= len(l.nodes) {
+		l.mu.Unlock()
+		return fmt.Errorf("cluster: restart member %d: no such member", i)
+	}
+	n := l.nodes[i]
+	if n.alive {
+		l.mu.Unlock()
+		return fmt.Errorf("cluster: restart member %d: still alive", i)
+	}
+	l.mu.Unlock()
+
+	// Rebind the same ports. The old listeners were closed by Kill, but an
+	// in-flight accept can hold the port for a beat — retry briefly.
+	ln, err := relisten(n.listener.Addr().String())
+	if err != nil {
+		return fmt.Errorf("cluster: restart member %d: %w", i, err)
+	}
+	n.listener = ln
+	if n.wireAddr != "" {
+		wln, err := relisten(n.wireAddr)
+		if err != nil {
+			_ = ln.Close()
+			return fmt.Errorf("cluster: restart member %d (wire): %w", i, err)
+		}
+		n.wireLn = wln
+	}
+	if err := l.startNode(i); err != nil {
+		_ = n.listener.Close()
+		if n.wireLn != nil {
+			_ = n.wireLn.Close()
+		}
+		return fmt.Errorf("cluster: restart member %d: %w", i, err)
+	}
+	l.mu.Lock()
+	n.alive = true
+	l.mu.Unlock()
+	return nil
+}
+
+// relisten rebinds a specific host:port, retrying briefly while the old
+// socket drains.
+func relisten(addr string) (net.Listener, error) {
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		var ln net.Listener
+		if ln, err = net.Listen("tcp", addr); err == nil {
+			return ln, nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return nil, err
 }
 
 // MaxEpoch polls the surviving members and returns the highest epoch any of
@@ -264,9 +376,11 @@ func (l *Local) WaitForEpoch(epoch uint64, timeout time.Duration) bool {
 	}
 }
 
-// Close kills every remaining member.
+// Close shuts every remaining member down gracefully (durable members write
+// a final clean snapshot, so a later StartLocal on the same DataDir resumes
+// without replaying a tail).
 func (l *Local) Close() {
 	for i := range l.nodes {
-		l.Kill(i)
+		l.stop(i, true)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"github.com/levelarray/levelarray/internal/lease"
 	"github.com/levelarray/levelarray/internal/metrics"
 	"github.com/levelarray/levelarray/internal/server"
+	"github.com/levelarray/levelarray/internal/wal"
 )
 
 // registerMetrics adds the cluster families to the node's registry. Called
@@ -33,6 +34,11 @@ func (n *Node) registerMetrics() {
 	reg.CounterFunc("la_cluster_failovers_total", "Steward reassignments this node performed.", n.failovers.Load)
 	reg.CounterFunc("la_cluster_table_pushes_total", "Membership tables pushed to peers.", n.tablePushes.Load)
 	reg.CounterFunc("la_cluster_table_pulls_total", "Newer membership tables pulled from peers.", n.tablePulls.Load)
+	reg.CounterFunc("la_cluster_snapshot_adopts_total", "Partitions adopted via fenced snapshot import (quarantine skipped).", n.snapshotAdopts.Load)
+	reg.CounterFunc("la_cluster_restored_sessions_total", "Lease sessions rebuilt from durable state (boot replay and fenced imports).", n.restoredSessions.Load)
+	reg.GaugeFunc("la_recovery_seconds", "Cumulative duration of durable-state recovery (boot WAL replay plus fenced imports).", func() float64 {
+		return time.Duration(n.recoveryNanos.Load()).Seconds()
+	})
 
 	// The routing fences already have dedicated atomics on the node; expose
 	// them as label values of the shared fence family.
@@ -75,6 +81,27 @@ func (n *Node) registerMetrics() {
 	sample("la_partition_expirations_total", "Leases reaped by the expirer per owned partition.", metrics.TypeCounter, stat(func(s lease.Stats) uint64 { return s.Expirations }))
 	sample("la_partition_failed_acquires_total", "Full-partition acquire failures per owned partition.", metrics.TypeCounter, stat(func(s lease.Stats) uint64 { return s.FailedAcquires }))
 	sample("la_partition_orphans_reclaimed_total", "Orphaned bits reclaimed per owned partition.", metrics.TypeCounter, stat(func(s lease.Stats) uint64 { return s.OrphansReclaimed }))
+
+	// WAL families, labeled by partition. Partitions without a journal (no
+	// -data-dir) emit nothing, so the families are absent rather than zero on
+	// a memory-only node — scrapers can key durability dashboards off presence.
+	walSample := func(name, help string, read func(c wal.Counters) uint64) {
+		reg.Sampler(name, help, metrics.TypeCounter, func(emit metrics.Emit) {
+			n.mu.RLock()
+			defer n.mu.RUnlock()
+			for _, id := range n.ownedIDs {
+				if st := n.parts[id].store; st != nil {
+					emit(float64(read(st.Counters())), metrics.L("partition", strconv.Itoa(id)))
+				}
+			}
+		})
+	}
+	walSample("la_wal_appends_total", "Lease records appended to the WAL per owned partition.", func(c wal.Counters) uint64 { return c.Appends })
+	walSample("la_wal_syncs_total", "WAL fsyncs per owned partition (appends/syncs = group-commit batching).", func(c wal.Counters) uint64 { return c.Syncs })
+	walSample("la_wal_bytes_total", "Bytes appended to the WAL per owned partition.", func(c wal.Counters) uint64 { return c.Bytes })
+	walSample("la_wal_checkpoints_total", "Snapshots checkpointed per owned partition.", func(c wal.Counters) uint64 { return c.Checkpoints })
+	walSample("la_wal_replay_records_total", "Log records replayed at open per owned partition.", func(c wal.Counters) uint64 { return c.ReplayRecords })
+	walSample("la_wal_torn_tails_total", "Torn trailing records truncated at open per owned partition.", func(c wal.Counters) uint64 { return c.TornTails })
 }
 
 // countReply bumps the failure counter a deferred reply maps to. The 412/421

@@ -2,9 +2,12 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
@@ -14,6 +17,7 @@ import (
 	"github.com/levelarray/levelarray/internal/activity"
 	"github.com/levelarray/levelarray/internal/lease"
 	"github.com/levelarray/levelarray/internal/server"
+	"github.com/levelarray/levelarray/internal/wal"
 )
 
 // EpochHeader carries the sender's table epoch on every write. A node whose
@@ -149,6 +153,35 @@ type NodeConfig struct {
 	// HTTPClient is used for probes, pulls and pushes. Nil selects a client
 	// with a 2s timeout.
 	HTTPClient *http.Client
+	// DataDir enables durable lease state: each owned partition journals its
+	// transitions to DataDir/p<ID> (WAL + periodic snapshots) and the node
+	// persists every adopted membership table to DataDir/node.json. A
+	// restarted node replays its partitions and rejoins at its recorded
+	// epoch: a fast restart (before the peers detect the crash) resumes with
+	// every lease intact and no quarantine; a restart after a failover finds
+	// its directories fenced (or its epoch stale) and self-fences instead of
+	// double-issuing. Empty keeps the node purely in-memory.
+	DataDir string
+	// WALSync is the journal durability policy (default wal.SyncAlways:
+	// group-committed fsync before every ack).
+	WALSync wal.SyncPolicy
+	// WALSyncInterval is the fsync cadence under wal.SyncInterval. Zero
+	// selects 25ms.
+	WALSyncInterval time.Duration
+	// CheckpointEvery is the per-partition snapshot cadence (the log
+	// truncates at each snapshot). Zero selects 30s.
+	CheckpointEvery time.Duration
+	// SnapshotAdopt, when set together with DataDir, maps a partition and
+	// its failed previous owner to that owner's durable state directory
+	// (shared or replicated storage). On failover the adopter durably fences
+	// that directory BEFORE reading it, folds the recovered snapshot+tail
+	// into its fresh manager, checkpoints the import into its own journal,
+	// and skips the MaxTTL quarantine entirely: the fence ordering (the old
+	// owner re-checks the fence after every durable append and before every
+	// ack) guarantees every grant the old owner acknowledged is visible to
+	// the adopter's read. Nil, or an empty return, falls back to the
+	// quarantine handover.
+	SnapshotAdopt func(partition, prevOwner int) string
 	// Metrics, when non-nil, instruments the lease operations, registers the
 	// cluster families on its registry, and mounts GET /metrics plus the
 	// pprof routes on this node's mux.
@@ -189,6 +222,12 @@ func (c NodeConfig) withDefaults() NodeConfig {
 	if c.HTTPClient == nil {
 		c.HTTPClient = &http.Client{Timeout: 2 * time.Second}
 	}
+	if c.WALSyncInterval <= 0 {
+		c.WALSyncInterval = 25 * time.Millisecond
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 30 * time.Second
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -203,11 +242,53 @@ func (c NodeConfig) withDefaults() NodeConfig {
 type partition struct {
 	id  int
 	mgr *lease.Manager
+	// store is the partition's durable journal (nil without DataDir); the
+	// manager journals through it and stopCk halts its checkpoint loop.
+	store  *wal.Store
+	stopCk func()
 	// quarantineUntil gates acquires on an adopted partition: until every
 	// lease the previous owner could still have outstanding has expired, the
 	// partition serves only 503s, so a name granted by the dead node can
-	// never be concurrently reissued here. Zero for initial partitions.
+	// never be concurrently reissued here. Zero for initial partitions and
+	// for fenced snapshot adoptions (the fence replaces the wait).
 	quarantineUntil time.Time
+}
+
+// startCheckpoints launches the partition's periodic snapshot loop (no-op
+// without a journal); idempotent per incarnation via the stopCk handoff.
+func (part *partition) startCheckpoints(n *Node) {
+	if part.store == nil || part.stopCk != nil {
+		return
+	}
+	id := uint32(part.id)
+	part.stopCk = part.mgr.StartCheckpoints(n.cfg.CheckpointEvery, func() (uint32, uint64) {
+		return id, n.Epoch()
+	}, func(err error) {
+		n.cfg.Logf("cluster: node %d: checkpoint partition %d: %v", n.cfg.NodeID, part.id, err)
+	})
+}
+
+// close stops the partition's machinery. With clean set (graceful shutdown)
+// it writes a final clean-shutdown snapshot, which the next boot replays
+// alone; without it (crash simulation, or losing the partition to a newer
+// table whose owner may be reading these files) nothing more is written.
+func (part *partition) close(n *Node, epoch uint64, clean bool) {
+	if part.stopCk != nil {
+		part.stopCk()
+		part.stopCk = nil
+	}
+	part.mgr.Close()
+	if part.store == nil {
+		return
+	}
+	if clean {
+		if err := part.mgr.Checkpoint(uint32(part.id), epoch, true); err != nil {
+			n.cfg.Logf("cluster: node %d: final checkpoint partition %d: %v", n.cfg.NodeID, part.id, err)
+		}
+	}
+	if err := part.store.Close(); err != nil {
+		n.cfg.Logf("cluster: node %d: closing wal partition %d: %v", n.cfg.NodeID, part.id, err)
+	}
 }
 
 // Node is one cluster member: the owned partitions, the membership table,
@@ -237,6 +318,14 @@ type Node struct {
 	tablePulls  atomic.Uint64
 
 	refreshC chan struct{}
+
+	// Durability telemetry: boot replay duration, sessions restored, and
+	// fenced snapshot adoptions (recoveredBoot also triggers an immediate
+	// anti-entropy pull, since the recorded epoch may be stale).
+	recoveryNanos    atomic.Int64
+	restoredSessions atomic.Uint64
+	snapshotAdopts   atomic.Uint64
+	recoveredBoot    bool
 
 	lifeMu     sync.Mutex
 	running    bool
@@ -288,38 +377,111 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		done:     make(chan struct{}),
 	}
 
+	// A durable node rejoins at the last table it adopted: the recorded
+	// epoch keeps its fencing-token space and lets a fast restart resume
+	// seamlessly, while a stale record is corrected by the boot-time pull.
+	initialEpoch := uint64(1)
+	var recorded *Table
+	if cfg.DataDir != "" {
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("cluster: data dir: %w", err)
+		}
+		if t, ok := loadNodeTable(cfg.DataDir); ok {
+			if t.Partitions != cfg.Partitions || len(t.Members) != len(cfg.Peers) {
+				return nil, fmt.Errorf("cluster: recorded table in %s has %d partitions over %d members, configured %d over %d",
+					cfg.DataDir, t.Partitions, len(t.Members), cfg.Partitions, len(cfg.Peers))
+			}
+			recorded = &t
+			initialEpoch = t.Epoch
+			n.recoveredBoot = true
+		}
+	}
+
 	// Build the initially owned partitions; the first array fixes the
 	// stride every member must agree on (identical factories guarantee it).
 	stride, capacity := 0, 0
-	build := func(p int) (*partition, error) {
+	build := func(p int, epoch uint64, journal bool) (*partition, error) {
 		arr, err := cfg.NewPartitionArray(p)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: building partition %d: %w", p, err)
 		}
-		mgr, err := lease.NewManager(arr, leaseConfigFor(cfg.Lease, 1))
+		lcfg := leaseConfigFor(cfg.Lease, epoch)
+		var store *wal.Store
+		if journal && cfg.DataDir != "" {
+			store, err = wal.Open(n.partDir(p), cfg.WALSync, cfg.WALSyncInterval)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: opening wal for partition %d: %w", p, err)
+			}
+			lcfg.Journal = store
+		}
+		mgr, err := lease.NewManager(arr, lcfg)
 		if err != nil {
+			if store != nil {
+				_ = store.Close()
+			}
 			return nil, err
 		}
-		return &partition{id: p, mgr: mgr}, nil
+		return &partition{id: p, mgr: mgr, store: store}, nil
+	}
+
+	// Initial ownership: the recorded assignment when one survived, the
+	// round-robin deal otherwise. A node whose own record marks it down was
+	// failed over before this restart: it owns nothing until a newer table
+	// says otherwise.
+	owned := make(map[int]bool)
+	if recorded != nil {
+		if !recorded.Members[cfg.NodeID].Down {
+			for _, p := range recorded.PartitionsOf(cfg.NodeID) {
+				owned[p] = true
+			}
+		}
+	} else {
+		for p := 0; p < cfg.Partitions; p++ {
+			if members[p%len(members)].ID == cfg.NodeID {
+				owned[p] = true
+			}
+		}
 	}
 	for p := 0; p < cfg.Partitions; p++ {
-		if members[p%len(members)].ID != cfg.NodeID {
+		if !owned[p] {
 			continue
 		}
-		part, err := build(p)
+		part, err := build(p, initialEpoch, true)
 		if err != nil {
 			return nil, err
 		}
-		n.parts[p] = part
 		if stride == 0 {
 			stride = part.mgr.Size()
 		}
 		capacity = part.mgr.Capacity()
+		if part.store != nil && part.store.Fenced() {
+			// Another node adopted this partition's state while we were
+			// down: a newer table exists somewhere. Refuse to serve it
+			// (clients see 421s until the pull lands) rather than reissue.
+			cfg.Logf("cluster: node %d: partition %d fenced on disk; not serving it", cfg.NodeID, p)
+			part.close(n, initialEpoch, false)
+			continue
+		}
+		if part.store != nil {
+			begin := time.Now()
+			rst, err := part.mgr.Restore()
+			if err != nil {
+				part.close(n, initialEpoch, false)
+				return nil, fmt.Errorf("cluster: restoring partition %d: %w", p, err)
+			}
+			n.recoveryNanos.Add(time.Since(begin).Nanoseconds())
+			n.restoredSessions.Add(uint64(rst.Sessions))
+			if rst.Sessions > 0 || rst.Records > 0 {
+				cfg.Logf("cluster: node %d: partition %d restored %d sessions (%d lapsed, %d tail records)",
+					cfg.NodeID, p, rst.Sessions, rst.Expired, rst.Records)
+			}
+		}
+		n.parts[p] = part
 	}
 	if stride == 0 {
-		// More members than partitions: this node owns nothing initially but
-		// still needs the shared geometry for its table.
-		probe, err := build(0)
+		// More members than partitions (or nothing owned): this node still
+		// needs the shared geometry for its table.
+		probe, err := build(0, initialEpoch, false)
 		if err != nil {
 			return nil, err
 		}
@@ -328,11 +490,24 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		probe.mgr.Close()
 	}
 
-	table, err := NewTable(members, cfg.Partitions, stride, capacity*cfg.Partitions)
-	if err != nil {
-		return nil, err
+	if recorded != nil {
+		if recorded.Stride != stride {
+			n.closeParts(initialEpoch, false)
+			return nil, fmt.Errorf("cluster: recorded table stride %d does not match built stride %d", recorded.Stride, stride)
+		}
+		n.table = *recorded
+	} else {
+		table, err := NewTable(members, cfg.Partitions, stride, capacity*cfg.Partitions)
+		if err != nil {
+			return nil, err
+		}
+		n.table = table
+		if cfg.DataDir != "" {
+			if err := persistNodeTable(cfg.DataDir, table); err != nil {
+				cfg.Logf("cluster: node %d: persisting initial table: %v", cfg.NodeID, err)
+			}
+		}
 	}
-	n.table = table
 	n.rebuildOwnedLocked()
 
 	n.mux = http.NewServeMux()
@@ -367,6 +542,73 @@ const tokenEpochShift = 32
 func leaseConfigFor(base lease.Config, epoch uint64) lease.Config {
 	base.TokenSeqBase = epoch << tokenEpochShift
 	return base
+}
+
+// partDir is the durable state directory of one partition.
+func (n *Node) partDir(p int) string {
+	return filepath.Join(n.cfg.DataDir, fmt.Sprintf("p%d", p))
+}
+
+// closeParts closes every owned partition; single-threaded callers only
+// (NewNode failure paths and shutdown after the prober has stopped).
+func (n *Node) closeParts(epoch uint64, clean bool) {
+	for _, part := range n.parts {
+		part.close(n, epoch, clean)
+	}
+}
+
+// nodeTableFile is the persisted membership record inside DataDir: the last
+// table this node adopted, re-advertised on restart.
+const nodeTableFile = "node.json"
+
+// persistNodeTable atomically records the adopted table (tmp + fsync +
+// rename, like a snapshot), so a crash can never leave a torn record.
+func persistNodeTable(dir string, t Table) error {
+	b, err := json.Marshal(t)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, nodeTableFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, nodeTableFile)); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// loadNodeTable reads the recorded table; a missing, torn or invalid record
+// simply means a fresh boot.
+func loadNodeTable(dir string) (Table, bool) {
+	b, err := os.ReadFile(filepath.Join(dir, nodeTableFile))
+	if err != nil {
+		return Table{}, false
+	}
+	var t Table
+	if err := json.Unmarshal(b, &t); err != nil {
+		return Table{}, false
+	}
+	if err := t.Validate(); err != nil {
+		return Table{}, false
+	}
+	return t, true
 }
 
 // rebuildOwnedLocked refreshes the sorted owned-partition index; callers
@@ -456,7 +698,9 @@ func (n *Node) Adopt(t Table) error {
 	}
 	for id, part := range n.parts {
 		if !owned[id] {
-			part.mgr.Close()
+			// No clean snapshot: the partition's new owner may be reading
+			// (and has possibly fenced) these very files.
+			part.close(n, cur.Epoch, false)
 			delete(n.parts, id)
 			n.cfg.Logf("cluster: node %d epoch %d: dropped partition %d", n.cfg.NodeID, t.Epoch, id)
 		}
@@ -466,28 +710,116 @@ func (n *Node) Adopt(t Table) error {
 		if _, ok := n.parts[id]; ok {
 			continue
 		}
-		arr, err := n.cfg.NewPartitionArray(id)
-		if err != nil {
-			// Leave the partition unserved (clients see 421s) rather than
-			// rejecting the whole table; the epoch still advances.
-			n.cfg.Logf("cluster: node %d epoch %d: building adopted partition %d failed: %v", n.cfg.NodeID, t.Epoch, id, err)
-			continue
-		}
-		mgr, err := lease.NewManager(arr, leaseConfigFor(n.cfg.Lease, t.Epoch))
-		if err != nil {
-			n.cfg.Logf("cluster: node %d epoch %d: manager for adopted partition %d failed: %v", n.cfg.NodeID, t.Epoch, id, err)
-			continue
-		}
-		if n.leasesRunning() {
-			mgr.Start()
-		}
-		n.parts[id] = &partition{id: id, mgr: mgr, quarantineUntil: now.Add(n.cfg.Quarantine)}
-		n.quarantines.Add(1)
-		n.cfg.Logf("cluster: node %d epoch %d: adopted partition %d (quarantined until %v)", n.cfg.NodeID, t.Epoch, id, now.Add(n.cfg.Quarantine).Format(time.TimeOnly))
+		n.adoptPartitionLocked(id, t, cur.Assignment[id], now)
 	}
 	n.rebuildOwnedLocked()
 	n.table = t
 	n.adoptions.Add(1)
+	if n.cfg.DataDir != "" {
+		if err := persistNodeTable(n.cfg.DataDir, t); err != nil {
+			n.cfg.Logf("cluster: node %d: persisting table epoch %d: %v", n.cfg.NodeID, t.Epoch, err)
+		}
+	}
+	return nil
+}
+
+// adoptPartitionLocked builds one gained partition under a new table. The
+// fast path — shared storage plus SnapshotAdopt — fences the failed owner's
+// directory and imports its state, serving immediately; otherwise the
+// partition starts empty behind the MaxTTL quarantine. Build failures leave
+// the partition unserved (clients see 421s) rather than rejecting the whole
+// table; the epoch still advances. Callers hold mu.
+func (n *Node) adoptPartitionLocked(id int, t Table, prevOwner int, now time.Time) {
+	if n.cfg.DataDir != "" {
+		// A fresh incarnation: any state left from a previous ownership of
+		// this partition was retired by the fence/quarantine discipline.
+		if err := os.RemoveAll(n.partDir(id)); err != nil {
+			n.cfg.Logf("cluster: node %d epoch %d: clearing stale state of partition %d: %v", n.cfg.NodeID, t.Epoch, id, err)
+		}
+	}
+	arr, err := n.cfg.NewPartitionArray(id)
+	if err != nil {
+		n.cfg.Logf("cluster: node %d epoch %d: building adopted partition %d failed: %v", n.cfg.NodeID, t.Epoch, id, err)
+		return
+	}
+	lcfg := leaseConfigFor(n.cfg.Lease, t.Epoch)
+	var store *wal.Store
+	if n.cfg.DataDir != "" {
+		store, err = wal.Open(n.partDir(id), n.cfg.WALSync, n.cfg.WALSyncInterval)
+		if err != nil {
+			n.cfg.Logf("cluster: node %d epoch %d: wal for adopted partition %d failed: %v", n.cfg.NodeID, t.Epoch, id, err)
+		} else {
+			lcfg.Journal = store
+		}
+	}
+	mgr, err := lease.NewManager(arr, lcfg)
+	if err != nil {
+		if store != nil {
+			_ = store.Close()
+		}
+		n.cfg.Logf("cluster: node %d epoch %d: manager for adopted partition %d failed: %v", n.cfg.NodeID, t.Epoch, id, err)
+		return
+	}
+	part := &partition{id: id, mgr: mgr, store: store}
+
+	imported := false
+	if n.cfg.SnapshotAdopt != nil && prevOwner >= 0 {
+		if dir := n.cfg.SnapshotAdopt(id, prevOwner); dir != "" {
+			if err := n.importFenced(part, dir, t.Epoch); err != nil {
+				n.cfg.Logf("cluster: node %d epoch %d: snapshot adoption of partition %d from %s failed (falling back to quarantine): %v",
+					n.cfg.NodeID, t.Epoch, id, dir, err)
+			} else {
+				imported = true
+				n.snapshotAdopts.Add(1)
+			}
+		}
+	}
+	if !imported {
+		part.quarantineUntil = now.Add(n.cfg.Quarantine)
+		n.quarantines.Add(1)
+	}
+	if n.leasesRunning() {
+		mgr.Start()
+		part.startCheckpoints(n)
+	}
+	n.parts[id] = part
+	if imported {
+		n.cfg.Logf("cluster: node %d epoch %d: adopted partition %d from fenced snapshot (%d sessions live, no quarantine)",
+			n.cfg.NodeID, t.Epoch, id, mgr.Active())
+	} else {
+		n.cfg.Logf("cluster: node %d epoch %d: adopted partition %d (quarantined until %v)",
+			n.cfg.NodeID, t.Epoch, id, part.quarantineUntil.Format(time.TimeOnly))
+	}
+}
+
+// importFenced executes the fenced snapshot-adoption protocol: durably
+// fence the failed owner's directory FIRST, then read its snapshot+tail and
+// fold them into the fresh manager, then checkpoint the import into our own
+// journal. The fence ordering makes the read complete — the old owner
+// re-checks the fence after every durable append and acks only if absent,
+// so every grant it ever acknowledged is in what we just read — which is
+// exactly why the MaxTTL quarantine is unnecessary on this path.
+func (n *Node) importFenced(part *partition, dir string, epoch uint64) error {
+	if err := wal.Fence(dir, epoch); err != nil {
+		return fmt.Errorf("fencing: %w", err)
+	}
+	snap, tail, err := wal.ReadState(dir)
+	if err != nil {
+		return fmt.Errorf("reading fenced state: %w", err)
+	}
+	rst, err := part.mgr.RestoreState(snap, tail)
+	if err != nil {
+		return fmt.Errorf("restoring fenced state: %w", err)
+	}
+	if part.store != nil {
+		// The import must be durable here before a single request is served:
+		// a crash right after adoption must not forget the old owner's
+		// sessions (our restart would otherwise double-issue their names).
+		if err := part.mgr.Checkpoint(uint32(part.id), epoch, false); err != nil {
+			return fmt.Errorf("checkpointing import: %w", err)
+		}
+	}
+	n.restoredSessions.Add(uint64(rst.Sessions))
 	return nil
 }
 
@@ -512,14 +844,29 @@ func (n *Node) Start() {
 	n.mu.RLock()
 	for _, part := range n.parts {
 		part.mgr.Start()
+		part.startCheckpoints(n)
 	}
 	n.mu.RUnlock()
+	if n.recoveredBoot {
+		// A restarted node's recorded epoch may be stale (a failover happened
+		// while it was down): pull before the first probe round, shrinking
+		// the window in which it would serve under the old epoch.
+		n.requestRefresh()
+	}
 	go n.probeLoop()
 }
 
-// Close stops the prober and every partition manager and rejects further
-// writes. It is idempotent.
-func (n *Node) Close() {
+// Close stops the prober and every partition manager, writes a final
+// clean-shutdown snapshot per durable partition (the next boot replays the
+// snapshot alone), and rejects further writes. It is idempotent.
+func (n *Node) Close() { n.shutdown(true) }
+
+// Kill is Close without the final snapshots: the crash-simulation path (the
+// local harness's kill switch). On-disk state is left exactly as the last
+// group commit wrote it — what a real crash leaves for replay.
+func (n *Node) Kill() { n.shutdown(false) }
+
+func (n *Node) shutdown(clean bool) {
 	n.lifeMu.Lock()
 	n.closed.Store(true)
 	wasRunning := n.running
@@ -532,9 +879,7 @@ func (n *Node) Close() {
 		<-n.done
 	}
 	n.mu.Lock()
-	for _, part := range n.parts {
-		part.mgr.Close()
-	}
+	n.closeParts(n.table.Epoch, clean)
 	n.mu.Unlock()
 }
 
@@ -662,6 +1007,9 @@ func (n *Node) acquireLocked(ttl time.Duration) reply {
 		if errors.Is(err, activity.ErrFull) || errors.Is(err, lease.ErrClosed) {
 			continue
 		}
+		if rep, fenced := n.fencedReplyLocked(err); fenced {
+			return rep
+		}
 		return reply{leaseErr: err}
 	}
 	if sawOpen {
@@ -670,6 +1018,19 @@ func (n *Node) acquireLocked(ttl time.Duration) reply {
 		return reply{unavail: server.ErrCodeFull, wait: n.cfg.Lease.TickInterval}
 	}
 	return reply{unavail: ErrCodeWarming, wait: quarantineWait}
+}
+
+// fencedReplyLocked maps a journal fence (wal.ErrFenced) to the 412 a stale
+// epoch earns: an adopter fenced this partition's state on disk, so the
+// node is behind exactly as if its table were stale — reject the write and
+// schedule a pull. Callers hold mu for read.
+func (n *Node) fencedReplyLocked(err error) (reply, bool) {
+	if !errors.Is(err, wal.ErrFenced) {
+		return reply{}, false
+	}
+	n.staleEpochRejects.Add(1)
+	n.requestRefresh()
+	return reply{status: http.StatusPreconditionFailed, body: EpochResponse{Error: ErrCodeStaleEpoch, Epoch: n.table.Epoch}}, true
 }
 
 // resolveLocked maps a cluster name to the owned partition and local name;
@@ -708,6 +1069,9 @@ func (n *Node) renewLocked(req server.RenewRequest) reply {
 	}
 	l, err := part.mgr.Renew(local, req.Token, n.ttlOf(req.TTLMillis))
 	if err != nil {
+		if rep, fenced := n.fencedReplyLocked(err); fenced {
+			return rep
+		}
 		return reply{leaseErr: err}
 	}
 	return reply{status: http.StatusOK, body: GrantResponse{
@@ -739,6 +1103,9 @@ func (n *Node) releaseLocked(req server.ReleaseRequest) reply {
 		return rep
 	}
 	if err := part.mgr.Release(local, req.Token); err != nil {
+		if rep, fenced := n.fencedReplyLocked(err); fenced {
+			return rep
+		}
 		return reply{leaseErr: err}
 	}
 	return reply{status: http.StatusOK, body: server.ReleaseResponse{Released: true}}

@@ -1,0 +1,84 @@
+package cluster
+
+// The recovery-time-objective benchmark: how long a crashed durable member
+// takes to serve again. Each iteration boots a fresh durable cluster, loads
+// it with live leases, kills the node without warning (no clean snapshot —
+// the WAL tail is all there is), and times Restart up to the first granted
+// acquire on the restarted process. MaxTTL is deliberately large: without
+// the journal the only safe rejoin is a full MaxTTL quarantine, so the
+// measured RTO against the quarantine-avoided metric is the durability
+// subsystem's headline number. An RTO that ever reaches MaxTTL fails the
+// benchmark outright — that would mean the restarted node fell back to
+// quarantine instead of replaying.
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/levelarray/levelarray/internal/lease"
+)
+
+func BenchmarkRestartRTO(b *testing.B) {
+	const heldLeases = 256
+	maxTTL := 10 * time.Second
+
+	var rtoSum, restoredSum float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		l, err := StartLocal(LocalConfig{
+			Nodes:      1,
+			Partitions: 8,
+			Capacity:   4096,
+			Seed:       7,
+			DataDir:    b.TempDir(),
+			Node: NodeConfig{
+				Lease:      lease.Config{TickInterval: 20 * time.Millisecond},
+				DefaultTTL: maxTTL,
+				MaxTTL:     maxTTL,
+			},
+		})
+		if err != nil {
+			b.Fatalf("StartLocal: %v", err)
+		}
+		c, err := NewClient(ClientConfig{Targets: l.Targets()})
+		if err != nil {
+			l.Close()
+			b.Fatalf("NewClient: %v", err)
+		}
+		for j := 0; j < heldLeases; j++ {
+			if _, status, _, err := c.Acquire(maxTTL.Milliseconds()); err != nil || status != http.StatusOK {
+				b.Fatalf("preload acquire: status %d err %v", status, err)
+			}
+		}
+		l.Kill(0)
+
+		b.StartTimer()
+		start := time.Now()
+		if err := l.Restart(0); err != nil {
+			b.Fatalf("Restart: %v", err)
+		}
+		for {
+			_, status, _, err := c.Acquire(maxTTL.Milliseconds())
+			if err == nil && status == http.StatusOK {
+				break
+			}
+			if time.Since(start) >= maxTTL {
+				b.Fatalf("no grant within MaxTTL=%v after restart: the node quarantined instead of replaying (last status %d err %v)", maxTTL, status, err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		rto := time.Since(start)
+		b.StopTimer()
+
+		rtoSum += rto.Seconds()
+		if n := l.Node(0); n != nil {
+			restoredSum += float64(n.restoredSessions.Load())
+		}
+		c.Close()
+		l.Close()
+	}
+	b.ReportMetric(rtoSum/float64(b.N), "rto-seconds")
+	b.ReportMetric(restoredSum/float64(b.N), "restored-sessions")
+	b.ReportMetric(maxTTL.Seconds(), "quarantine-avoided-seconds")
+}

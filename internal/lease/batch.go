@@ -2,9 +2,11 @@ package lease
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/wal"
 )
 
 // Ref addresses one held lease in a batch operation.
@@ -48,6 +50,8 @@ func (m *Manager) AcquireN(n int, ttl time.Duration, dst []Lease) ([]Lease, erro
 
 	base := len(dst)
 	var firstErr error
+	var recs []wal.Record
+	m.journalRLock()
 	for i := 0; i < n; i++ {
 		h := m.getHandle()
 		m.pendingGets.Add(1)
@@ -74,8 +78,34 @@ func (m *Manager) AcquireN(n int, ttl time.Duration, dst []Lease) ([]Lease, erro
 		e.handle = h
 		e.mu.Unlock()
 		m.pendingGets.Add(-1)
+		if m.journal != nil {
+			recs = append(recs, wal.Record{Op: wal.OpAcquire, Name: uint32(name), Token: token, Deadline: deadline})
+		}
 		dst = append(dst, Lease{Name: name, Token: token, Deadline: fromNanos(deadline)})
 	}
+	if m.journal != nil && len(recs) > 0 {
+		// One group commit covers the whole batch. On failure the grants are
+		// rolled back before any token escapes: nobody but this goroutine
+		// knows them, so the token re-check below is purely defensive.
+		if err := m.journal.AppendBatch(recs); err != nil {
+			for _, l := range dst[base:] {
+				e := &m.entries[l.Name]
+				e.mu.Lock()
+				if e.active && e.token == l.Token {
+					h := e.handle
+					e.active = false
+					e.wheelTick = 0
+					e.handle = nil
+					_ = h.Free()
+					m.putHandle(h)
+				}
+				e.mu.Unlock()
+			}
+			m.journalRUnlock()
+			return dst[:base], fmt.Errorf("lease: journal acquire batch: %w", err)
+		}
+	}
+	m.journalRUnlock()
 	granted := dst[base:]
 	if deadline != 0 && len(granted) > 0 {
 		m.wheelInsertBatch(deadline, granted)
@@ -124,7 +154,9 @@ func (m *Manager) RenewAll(refs []Ref, ttl time.Duration, dst []RenewOutcome) ([
 	// fresh one; collect them and insert under one bucket lock (every record
 	// in the batch shares the deadline, hence the bucket).
 	var inserts []Lease
+	var recs []wal.Record
 	var renewed uint64
+	m.journalRLock()
 	for _, ref := range refs {
 		if ref.Name < 0 || ref.Name >= len(m.entries) {
 			m.renewRaces.Add(1)
@@ -153,9 +185,23 @@ func (m *Manager) RenewAll(refs []Ref, ttl time.Duration, dst []RenewOutcome) ([
 			inserts = append(inserts, Lease{Name: ref.Name, Token: ref.Token})
 		}
 		e.mu.Unlock()
+		if m.journal != nil {
+			recs = append(recs, wal.Record{Op: wal.OpRenew, Name: uint32(ref.Name), Token: ref.Token, Deadline: deadline})
+		}
 		renewed++
 		dst = append(dst, RenewOutcome{Deadline: deadlineTime})
 	}
+	if m.journal != nil && len(recs) > 0 {
+		// One group commit for the batch, durable before any outcome is
+		// acked. On failure the batch reports a whole-batch error; the
+		// in-memory extensions stand, which only lengthens the leases
+		// relative to what the (unacked) callers believe — the safe side.
+		if err := m.journal.AppendBatch(recs); err != nil {
+			m.journalRUnlock()
+			return dst, fmt.Errorf("lease: journal renew batch: %w", err)
+		}
+	}
+	m.journalRUnlock()
 	if len(inserts) > 0 {
 		m.wheelInsertBatch(deadline, inserts)
 	}

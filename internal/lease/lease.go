@@ -38,6 +38,7 @@ import (
 	"github.com/levelarray/levelarray/internal/activity"
 	"github.com/levelarray/levelarray/internal/shard"
 	"github.com/levelarray/levelarray/internal/tas"
+	"github.com/levelarray/levelarray/internal/wal"
 )
 
 // Errors returned by the Manager beyond those of the underlying array.
@@ -108,6 +109,13 @@ type Config struct {
 	// Clock overrides the time source, for deterministic tests driving the
 	// expirer with Tick. Nil selects time.Now.
 	Clock func() time.Time
+
+	// Journal, when non-nil, makes lease transitions durable: every acquire,
+	// renew, release and expiry is appended to it before the operation is
+	// acknowledged (rollback on append failure keeps the in-memory grant and
+	// the log in agreement), and Restore rebuilds the manager from its
+	// recovered state after a crash. Nil keeps the manager purely in-memory.
+	Journal Journal
 }
 
 func (c Config) withDefaults() Config {
@@ -183,6 +191,14 @@ type Manager struct {
 	pool   []activity.Handle // free handles, LIFO so hot handles stay hot
 	all    []activity.Handle // every handle ever created, for ProbeStats
 
+	// journal mirrors cfg.Journal; journalMu is the checkpoint barrier. Every
+	// journaling mutation holds it for read across (entry mutation + append);
+	// Checkpoint holds it for write while it records the log cut and captures
+	// the session table, so cut and capture form one consistent point.
+	journal   Journal
+	journalMu sync.RWMutex
+	restored  atomic.Uint64
+
 	tokenSeq atomic.Uint64
 	// pendingGets counts Acquire calls between their Get and the activation
 	// of the entry. The orphan sweep refuses to reclaim while any are in
@@ -231,7 +247,22 @@ func NewManager(arr activity.Array, cfg Config) (*Manager, error) {
 		done:     make(chan struct{}),
 	}
 	m.tokenSeq.Store(cfg.TokenSeqBase)
+	m.journal = cfg.Journal
 	return m, nil
+}
+
+// journalRLock/journalRUnlock bracket a journaling mutation; no-ops when the
+// manager runs without a journal, so the in-memory hot path is unchanged.
+func (m *Manager) journalRLock() {
+	if m.journal != nil {
+		m.journalMu.RLock()
+	}
+}
+
+func (m *Manager) journalRUnlock() {
+	if m.journal != nil {
+		m.journalMu.RUnlock()
+	}
 }
 
 // MustNewManager is NewManager but panics on error; for tests and examples.
@@ -390,6 +421,7 @@ func (m *Manager) Acquire(ttl time.Duration) (Lease, error) {
 		deadline = m.now().Add(ttl).UnixNano()
 	}
 	e := &m.entries[name]
+	m.journalRLock()
 	e.mu.Lock()
 	e.active = true
 	e.token = token
@@ -399,7 +431,24 @@ func (m *Manager) Acquire(ttl time.Duration) (Lease, error) {
 		e.wheelTick = m.tickOf(deadline)
 	}
 	e.handle = h
+	if m.journal != nil {
+		// Durable-before-ack: the grant is journaled (and, under SyncAlways,
+		// fsynced) before the token leaves this function. A failed append
+		// rolls the grant back so memory and log stay in agreement.
+		if err := m.journal.Append(wal.OpAcquire, uint32(name), token, deadline); err != nil {
+			e.active = false
+			e.wheelTick = 0
+			e.handle = nil
+			e.mu.Unlock()
+			m.journalRUnlock()
+			m.pendingGets.Add(-1)
+			_ = h.Free()
+			m.putHandle(h)
+			return Lease{}, fmt.Errorf("lease: journal acquire: %w", err)
+		}
+	}
 	e.mu.Unlock()
+	m.journalRUnlock()
 	m.pendingGets.Add(-1)
 	if deadline != 0 {
 		m.wheelInsert(deadline, name, token)
@@ -427,17 +476,21 @@ func (m *Manager) Renew(name int, token uint64, ttl time.Duration) (Lease, error
 		deadline = m.now().Add(ttl).UnixNano()
 	}
 	e := &m.entries[name]
+	m.journalRLock()
 	e.mu.Lock()
 	if !e.active {
 		e.mu.Unlock()
+		m.journalRUnlock()
 		m.renewRaces.Add(1)
 		return Lease{}, ErrNotLeased
 	}
 	if e.token != token {
 		e.mu.Unlock()
+		m.journalRUnlock()
 		m.renewRaces.Add(1)
 		return Lease{}, ErrStaleToken
 	}
+	oldDeadline, oldWheelTick := e.deadline, e.wheelTick
 	e.deadline = deadline
 	// A new wheel record is only needed when no live record covers the new
 	// deadline: an existing record at an earlier-or-equal tick will fire and
@@ -447,7 +500,19 @@ func (m *Manager) Renew(name int, token uint64, ttl time.Duration) (Lease, error
 	if insert {
 		e.wheelTick = m.tickOf(deadline)
 	}
+	if m.journal != nil {
+		// Durable-before-ack, same as Acquire: an extension the client may
+		// act on must survive a crash, or replay would expire the lease
+		// earlier than the deadline this call stated.
+		if err := m.journal.Append(wal.OpRenew, uint32(name), token, deadline); err != nil {
+			e.deadline, e.wheelTick = oldDeadline, oldWheelTick
+			e.mu.Unlock()
+			m.journalRUnlock()
+			return Lease{}, fmt.Errorf("lease: journal renew: %w", err)
+		}
+	}
 	e.mu.Unlock()
+	m.journalRUnlock()
 	if insert {
 		m.wheelInsert(deadline, name, token)
 	}
@@ -466,16 +531,30 @@ func (m *Manager) Release(name int, token uint64) error {
 		return fmt.Errorf("lease: name %d outside namespace [0, %d): %w", name, len(m.entries), ErrNotLeased)
 	}
 	e := &m.entries[name]
+	m.journalRLock()
 	e.mu.Lock()
 	if !e.active {
 		e.mu.Unlock()
+		m.journalRUnlock()
 		m.releaseRaces.Add(1)
 		return ErrNotLeased
 	}
 	if e.token != token {
 		e.mu.Unlock()
+		m.journalRUnlock()
 		m.releaseRaces.Add(1)
 		return ErrStaleToken
+	}
+	if m.journal != nil {
+		// Journal before freeing: a failed append leaves the lease held (the
+		// client can retry) rather than freed-in-memory but held-on-replay.
+		// The reverse loss — record durable, crash before the in-memory free
+		// — is invisible: the process died with it.
+		if err := m.journal.Append(wal.OpRelease, uint32(name), token, 0); err != nil {
+			e.mu.Unlock()
+			m.journalRUnlock()
+			return fmt.Errorf("lease: journal release: %w", err)
+		}
 	}
 	h := e.handle
 	err := h.Free()
@@ -483,6 +562,7 @@ func (m *Manager) Release(name int, token uint64) error {
 	e.wheelTick = 0
 	e.handle = nil
 	e.mu.Unlock()
+	m.journalRUnlock()
 	m.putHandle(h)
 	m.active.Add(-1)
 	m.releases.Add(1)

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/levelarray/levelarray/internal/activity"
+	"github.com/levelarray/levelarray/internal/wal"
 )
 
 // tickOf maps a deadline to the first tick at or after it, so a lease is
@@ -63,9 +64,11 @@ func (m *Manager) expireBucket(b *bucket, t int64) {
 
 	for _, it := range items {
 		e := &m.entries[it.name]
+		m.journalRLock()
 		e.mu.Lock()
 		if !e.active || e.token != it.token {
 			e.mu.Unlock()
+			m.journalRUnlock()
 			continue
 		}
 		if e.deadline == 0 {
@@ -77,6 +80,7 @@ func (m *Manager) expireBucket(b *bucket, t int64) {
 			// never expire.
 			e.wheelTick = 0
 			e.mu.Unlock()
+			m.journalRUnlock()
 			continue
 		}
 		if m.tickOf(e.deadline) > t {
@@ -85,8 +89,15 @@ func (m *Manager) expireBucket(b *bucket, t int64) {
 			deadline := e.deadline
 			e.wheelTick = m.tickOf(deadline)
 			e.mu.Unlock()
+			m.journalRUnlock()
 			m.wheelInsert(deadline, it.name, it.token)
 			continue
+		}
+		if m.journal != nil {
+			// Best-effort: there is no client to ack, and a lost expiry
+			// record merely replays the lease as held until its (already
+			// lapsed) deadline expires it again after restore.
+			_ = m.journal.Append(wal.OpExpire, uint32(it.name), it.token, 0)
 		}
 		h := e.handle
 		_ = h.Free()
@@ -94,6 +105,7 @@ func (m *Manager) expireBucket(b *bucket, t int64) {
 		e.wheelTick = 0
 		e.handle = nil
 		e.mu.Unlock()
+		m.journalRUnlock()
 		m.putHandle(h)
 		m.active.Add(-1)
 		m.expirations.Add(1)
@@ -114,6 +126,10 @@ func (m *Manager) sweep() {
 	if len(m.views) == 0 {
 		return
 	}
+	// Orphan reclaims mutate bitmap bits outside any journaled transition,
+	// so they must not interleave with a checkpoint's word capture.
+	m.journalRLock()
+	defer m.journalRUnlock()
 	next := make(map[int]struct{})
 	for _, v := range m.views {
 		v.space.ForEachSet(v.base, func(name int) bool {

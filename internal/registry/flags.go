@@ -10,6 +10,7 @@ import (
 	"github.com/levelarray/levelarray/internal/rng"
 	"github.com/levelarray/levelarray/internal/shard"
 	"github.com/levelarray/levelarray/internal/tas"
+	"github.com/levelarray/levelarray/internal/wal"
 )
 
 // Flag-vocabulary helpers shared by the cmd/ drivers (larun, benchshard,
@@ -216,6 +217,22 @@ func ParseMetricsAddrFlag(v string) (MetricsMode, string, error) {
 	}
 	_ = host // an empty host means all interfaces, like net.Listen
 	return MetricsDedicated, addr, nil
+}
+
+// ValidWALSyncNames lists the -wal-sync flag values.
+const ValidWALSyncNames = "always (fsync before every ack, group-committed), interval (background fsync cadence), never (leave flushing to the OS)"
+
+// ParseWALSyncFlag maps a -wal-sync flag value to its durability policy.
+func ParseWALSyncFlag(name string) (wal.SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "always":
+		return wal.SyncAlways, nil
+	case "interval":
+		return wal.SyncInterval, nil
+	case "never":
+		return wal.SyncNever, nil
+	}
+	return 0, fmt.Errorf("unknown -wal-sync %q (valid: %s)", name, ValidWALSyncNames)
 }
 
 // ValidRequestIDFormat describes the accepted X-Request-ID shape, shared by

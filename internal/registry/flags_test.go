@@ -8,6 +8,7 @@ import (
 	"github.com/levelarray/levelarray/internal/rng"
 	"github.com/levelarray/levelarray/internal/shard"
 	"github.com/levelarray/levelarray/internal/tas"
+	"github.com/levelarray/levelarray/internal/wal"
 )
 
 // splitNames splits a ", "-separated vocabulary constant.
@@ -210,5 +211,38 @@ func TestPeersAndNodeIDValidation(t *testing.T) {
 		if err := ValidateNodeID(bad, 2); err == nil {
 			t.Fatalf("ValidateNodeID(%d, 2) accepted out-of-range id", bad)
 		}
+	}
+}
+
+func TestParseWALSyncFlagVocabulary(t *testing.T) {
+	cases := map[string]wal.SyncPolicy{
+		"always":   wal.SyncAlways,
+		"":         wal.SyncAlways,
+		"interval": wal.SyncInterval,
+		"never":    wal.SyncNever,
+		" Never ":  wal.SyncNever,
+	}
+	for in, want := range cases {
+		got, err := ParseWALSyncFlag(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseWALSyncFlag(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseWALSyncFlag("sometimes"); err == nil {
+		t.Fatal("ParseWALSyncFlag must reject unknown policies")
+	} else if !strings.Contains(err.Error(), ValidWALSyncNames) {
+		t.Fatalf("error %q does not list the vocabulary %q", err, ValidWALSyncNames)
+	}
+	// Every policy named in the vocabulary string must parse to a distinct value.
+	seen := map[wal.SyncPolicy]bool{}
+	for _, name := range []string{"always", "interval", "never"} {
+		p, err := ParseWALSyncFlag(name)
+		if err != nil {
+			t.Fatalf("vocabulary name %q does not parse: %v", name, err)
+		}
+		if seen[p] {
+			t.Fatalf("vocabulary name %q aliases another policy", name)
+		}
+		seen[p] = true
 	}
 }

@@ -216,3 +216,21 @@ func FuzzParseRequestID(f *testing.F) {
 		}
 	})
 }
+
+func FuzzParseWALSyncFlag(f *testing.F) {
+	for _, s := range fuzzSeedInputs {
+		f.Add(s)
+	}
+	f.Add("always")
+	f.Add("interval")
+	f.Add("never")
+	f.Add("ALWAYS ")
+	f.Add("sometimes")
+	f.Fuzz(func(t *testing.T, v string) {
+		if _, err := ParseWALSyncFlag(v); err != nil {
+			if !strings.Contains(err.Error(), ValidWALSyncNames) {
+				t.Fatalf("ParseWALSyncFlag(%q) error %q does not enumerate %q", v, err, ValidWALSyncNames)
+			}
+		}
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"github.com/levelarray/levelarray/internal/lease"
 	"github.com/levelarray/levelarray/internal/metrics"
 	"github.com/levelarray/levelarray/internal/shard"
+	"github.com/levelarray/levelarray/internal/wal"
 	"github.com/levelarray/levelarray/internal/wire"
 )
 
@@ -234,6 +235,33 @@ func RegisterWireServer(reg *metrics.Registry, ws *wire.Server) {
 	reg.CounterFunc("la_wire_server_decode_errors_total", "Malformed wire payloads answered 400.", func() uint64 {
 		return ws.Counters().DecodeErrors
 	})
+}
+
+// RegisterWAL exposes one partition store's durability counters — the
+// la_wal_* families the service smoke test scrapes. The cluster node
+// registers partition-labeled samplers instead.
+func RegisterWAL(reg *metrics.Registry, st *wal.Store) {
+	type cf struct {
+		name, help string
+		read       func(wal.Counters) uint64
+	}
+	for _, c := range []cf{
+		{"la_wal_appends_total", "Lease records appended to the WAL.", func(c wal.Counters) uint64 { return c.Appends }},
+		{"la_wal_syncs_total", "WAL fsyncs (appends/syncs = group-commit batching).", func(c wal.Counters) uint64 { return c.Syncs }},
+		{"la_wal_bytes_total", "Bytes appended to the WAL.", func(c wal.Counters) uint64 { return c.Bytes }},
+		{"la_wal_checkpoints_total", "Snapshot checkpoints completed.", func(c wal.Counters) uint64 { return c.Checkpoints }},
+		{"la_wal_replay_records_total", "Records replayed from the log on boot.", func(c wal.Counters) uint64 { return c.ReplayRecords }},
+		{"la_wal_torn_tails_total", "Torn final records truncated during replay.", func(c wal.Counters) uint64 { return c.TornTails }},
+	} {
+		read := c.read
+		reg.CounterFunc(c.name, c.help, func() uint64 { return read(st.Counters()) })
+	}
+}
+
+// RegisterRecovery exposes the boot replay duration, 0 until a recovery has
+// run (la_recovery_seconds, asserted by the restart smoke test).
+func RegisterRecovery(reg *metrics.Registry, seconds func() float64) {
+	reg.GaugeFunc("la_recovery_seconds", "Duration of the boot WAL replay (snapshot + tail + re-adoption).", seconds)
 }
 
 // RegisterDebug mounts the stdlib pprof handlers on mux (the ones

@@ -1,0 +1,56 @@
+package shard
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/levelarray/levelarray/internal/activity"
+)
+
+// TestAdoptClaimsExactName covers the restore primitive: Adopt must claim
+// the precise global name, collide with an existing holder, and round-trip
+// through Free like a normal Get.
+func TestAdoptClaimsExactName(t *testing.T) {
+	arr := MustNew(Config{Shards: 4, Capacity: 64, Seed: 7})
+	h := arr.Handle().(*Handle)
+	// A name in a non-home shard: adoption must route by stride, not home.
+	name := 3*arr.Stride() + 2
+	if err := h.Adopt(name); err != nil {
+		t.Fatalf("Adopt(%d): %v", name, err)
+	}
+	if got, ok := h.Name(); !ok || got != name {
+		t.Fatalf("Name() = %d,%v want %d,true", got, ok, name)
+	}
+	if h.LastProbes() != 1 {
+		t.Fatalf("LastProbes = %d, want 1 (adoption is one TAS)", h.LastProbes())
+	}
+
+	// A second adopter of the same name must fail with ErrFull.
+	h2 := arr.Handle().(*Handle)
+	if err := h2.Adopt(name); !errors.Is(err, activity.ErrFull) {
+		t.Fatalf("second Adopt = %v, want ErrFull", err)
+	}
+	// Out-of-range names fail without panicking.
+	if err := h2.Adopt(-1); !errors.Is(err, activity.ErrFull) {
+		t.Fatalf("Adopt(-1) = %v, want ErrFull", err)
+	}
+	if err := h2.Adopt(arr.Size()); !errors.Is(err, activity.ErrFull) {
+		t.Fatalf("Adopt(Size()) = %v, want ErrFull", err)
+	}
+
+	// Free releases it; the name becomes adoptable again.
+	if err := h.Free(); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if err := h2.Adopt(name); err != nil {
+		t.Fatalf("re-Adopt after free: %v", err)
+	}
+	// A held handle refuses a second registration.
+	if err := h2.Adopt(name + 1); !errors.Is(err, activity.ErrAlreadyRegistered) {
+		t.Fatalf("Adopt while held = %v, want ErrAlreadyRegistered", err)
+	}
+	// Adoption is excluded from cumulative stats.
+	if got := h2.Stats().Ops; got != 0 {
+		t.Fatalf("Stats().Ops = %d after adopt-only history, want 0", got)
+	}
+}

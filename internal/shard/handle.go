@@ -237,6 +237,34 @@ func (h *Handle) stealOrder() []stealTarget {
 	return h.order
 }
 
+// Adopt claims a specific global name — the restore path's primitive. The
+// name is mapped to its owning shard and adopted there via the shard's own
+// Adopt (a single test-and-set), so a name already held anywhere fails with
+// ErrFull. Like core.Handle.Adopt it is excluded from cumulative probe
+// statistics: replayed history must not skew the paper's probe counts.
+func (h *Handle) Adopt(name int) error {
+	if h.held {
+		return activity.ErrAlreadyRegistered
+	}
+	if name < 0 || name >= len(h.arr.shards)*h.arr.stride {
+		return activity.ErrFull
+	}
+	s, local := name/h.arr.stride, name%h.arr.stride
+	adopter, ok := h.sub(s).(interface{ Adopt(int) error })
+	if !ok {
+		return activity.ErrFull
+	}
+	if err := adopter.Adopt(local); err != nil {
+		return err
+	}
+	h.cur = s
+	h.name = name
+	h.held = true
+	h.lastProbes = 1
+	h.lastStolen = false
+	return nil
+}
+
 // Free releases the global name acquired by the most recent Get.
 func (h *Handle) Free() error {
 	if !h.held {

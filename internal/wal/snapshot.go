@@ -1,0 +1,198 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Session is one held lease as captured in a snapshot (and as reconstructed
+// by replay): the name, the fencing token, and the absolute deadline.
+type Session struct {
+	Name     uint32
+	Token    uint64
+	Deadline int64 // UnixNano; 0 = infinite
+}
+
+// Snapshot is a consistent checkpoint of one partition's lease state. The
+// bitmap words come from tas.BitmapSpace.SnapshotWords and serve as a
+// cross-check against the session table during restore; LastLSN is the
+// journal position the snapshot folds in (replay skips records at or below
+// it); TokenSeq is the token-sequence high-water mark at capture time.
+type Snapshot struct {
+	Partition uint32
+	Epoch     uint64
+	LastLSN   uint64
+	TokenSeq  uint64
+	Clean     bool // clean-shutdown marker: snapshot is authoritative, skip tail
+	Words     []uint64
+	Sessions  []Session
+}
+
+const (
+	snapshotMagic   = 0x6C61_7761 // "lawa"
+	snapshotVersion = 1
+
+	snapFlagClean = 1 << 0
+
+	snapshotName = "snapshot"
+	snapshotTmp  = "snapshot.tmp"
+)
+
+// encodeSnapshot serializes s with a trailing CRC32-C over everything
+// before it.
+func encodeSnapshot(s *Snapshot) []byte {
+	n := 4 + 2 + 2 + 4 + 8 + 8 + 8 + 4 + len(s.Words)*8 + 4 + len(s.Sessions)*20 + 4
+	buf := make([]byte, 0, n)
+	var tmp [8]byte
+
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:4], v)
+		buf = append(buf, tmp[:4]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:8], v)
+		buf = append(buf, tmp[:8]...)
+	}
+
+	put32(snapshotMagic)
+	var flags uint16
+	if s.Clean {
+		flags |= snapFlagClean
+	}
+	binary.LittleEndian.PutUint16(tmp[:2], snapshotVersion)
+	buf = append(buf, tmp[:2]...)
+	binary.LittleEndian.PutUint16(tmp[:2], flags)
+	buf = append(buf, tmp[:2]...)
+	put32(s.Partition)
+	put64(s.Epoch)
+	put64(s.LastLSN)
+	put64(s.TokenSeq)
+	put32(uint32(len(s.Words)))
+	for _, w := range s.Words {
+		put64(w)
+	}
+	put32(uint32(len(s.Sessions)))
+	for _, sess := range s.Sessions {
+		put32(sess.Name)
+		put64(sess.Token)
+		put64(uint64(sess.Deadline))
+	}
+	put32(crc32.Checksum(buf, castagnoli))
+	return buf
+}
+
+// decodeSnapshot parses an encoded snapshot, verifying magic, version and
+// the trailing CRC. Any mismatch returns ErrTorn — a half-written or
+// bit-rotted snapshot is treated exactly like a torn record: ignored.
+func decodeSnapshot(b []byte) (*Snapshot, error) {
+	if len(b) < 4+2+2+4+8+8+8+4+4+4 {
+		return nil, ErrTorn
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
+		return nil, ErrTorn
+	}
+	off := 0
+	get32 := func() uint32 {
+		v := binary.LittleEndian.Uint32(body[off:])
+		off += 4
+		return v
+	}
+	get64 := func() uint64 {
+		v := binary.LittleEndian.Uint64(body[off:])
+		off += 8
+		return v
+	}
+	if get32() != snapshotMagic {
+		return nil, ErrTorn
+	}
+	version := binary.LittleEndian.Uint16(body[off:])
+	off += 2
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("wal: snapshot version %d unsupported", version)
+	}
+	flags := binary.LittleEndian.Uint16(body[off:])
+	off += 2
+	s := &Snapshot{Clean: flags&snapFlagClean != 0}
+	s.Partition = get32()
+	s.Epoch = get64()
+	s.LastLSN = get64()
+	s.TokenSeq = get64()
+	nw := get32()
+	if off+int(nw)*8+4 > len(body) {
+		return nil, ErrTorn
+	}
+	s.Words = make([]uint64, nw)
+	for i := range s.Words {
+		s.Words[i] = get64()
+	}
+	ns := get32()
+	if off+int(ns)*20 != len(body) {
+		return nil, ErrTorn
+	}
+	s.Sessions = make([]Session, ns)
+	for i := range s.Sessions {
+		s.Sessions[i].Name = get32()
+		s.Sessions[i].Token = get64()
+		s.Sessions[i].Deadline = int64(get64())
+	}
+	return s, nil
+}
+
+// writeSnapshot persists s atomically: write snapshot.tmp, fsync it, rename
+// over snapshot, fsync the directory. A crash at any point leaves either
+// the old snapshot or the new one, never a torn mix.
+func writeSnapshot(dir string, s *Snapshot) error {
+	tmp := filepath.Join(dir, snapshotTmp)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot tmp: %w", err)
+	}
+	if _, err := f.Write(encodeSnapshot(s)); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapshotName)); err != nil {
+		return fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// readSnapshot loads the partition's snapshot, or (nil, nil) when none
+// exists or the file is torn — a missing/corrupt snapshot degrades to a
+// full log replay, it is never fatal.
+func readSnapshot(dir string) (*Snapshot, error) {
+	b, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	s, err := decodeSnapshot(b)
+	if err != nil {
+		return nil, nil // torn snapshot: fall back to pure log replay
+	}
+	return s, nil
+}
+
+// syncDir fsyncs a directory so renames and unlinks within it are durable.
+// Best-effort: some filesystems refuse directory fsync, and losing a
+// rename's durability only costs a little extra replay.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}

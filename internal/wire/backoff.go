@@ -1,0 +1,37 @@
+package wire
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Backoff returns the pause before retry number attempt (0-based): base
+// doubled per attempt, capped at ceil, then jittered uniformly into
+// [d/2, d] so the many clients that observe the same failure at the same
+// instant (a member death, a dropped listener) spread their retries out
+// instead of thundering back in lockstep. state threads a cheap splitmix64
+// sequence; any *atomic.Uint64 owned by the caller works, and concurrent
+// callers may share one.
+func Backoff(base, ceil time.Duration, attempt int, state *atomic.Uint64) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 0; i < attempt && d < ceil; i++ {
+		d <<= 1
+	}
+	if ceil > 0 && d > ceil {
+		d = ceil
+	}
+	if d <= 1 {
+		return d
+	}
+	z := state.Add(0x9E3779B97F4A7C15)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	half := uint64(d / 2)
+	return time.Duration(half + z%(half+1))
+}

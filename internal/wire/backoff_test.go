@@ -1,0 +1,52 @@
+package wire
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBackoffGrowthAndCap: the pause doubles per attempt from base, never
+// exceeds the ceiling, and the jitter keeps every sample in [d/2, d].
+func TestBackoffGrowthAndCap(t *testing.T) {
+	var state atomic.Uint64
+	state.Store(12345)
+	base, ceil := 10*time.Millisecond, 100*time.Millisecond
+	for attempt := 0; attempt < 12; attempt++ {
+		want := base << attempt
+		if want > ceil || want <= 0 {
+			want = ceil
+		}
+		for i := 0; i < 50; i++ {
+			got := Backoff(base, ceil, attempt, &state)
+			if got < want/2 || got > want {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, got, want/2, want)
+			}
+		}
+	}
+}
+
+// TestBackoffZeroBase: a zero or negative base disables the pause entirely.
+func TestBackoffZeroBase(t *testing.T) {
+	var state atomic.Uint64
+	if got := Backoff(0, time.Second, 5, &state); got != 0 {
+		t.Fatalf("zero base: got %v, want 0", got)
+	}
+	if got := Backoff(-time.Second, time.Second, 5, &state); got != 0 {
+		t.Fatalf("negative base: got %v, want 0", got)
+	}
+}
+
+// TestBackoffJitterVaries: consecutive calls at the same attempt draw
+// different pauses (the splitmix sequence advances per call).
+func TestBackoffJitterVaries(t *testing.T) {
+	var state atomic.Uint64
+	state.Store(99)
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 32; i++ {
+		seen[Backoff(time.Second, 8*time.Second, 3, &state)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("expected jittered backoffs to vary, got a single value")
+	}
+}

@@ -14,6 +14,13 @@ import (
 // ErrClientClosed is returned by calls issued after Close.
 var ErrClientClosed = errors.New("wire: client closed")
 
+// ErrDialBackoff is returned (wrapped) by calls that land on a slot whose
+// redial is suppressed by the exponential backoff window: the previous dial
+// failed recently enough that retrying now would only hammer a dead or
+// drowning endpoint. Callers with an alternative transport (the routed
+// cluster client's HTTP fallback) should fail over immediately.
+var ErrDialBackoff = errors.New("wire: dial suppressed by backoff")
+
 // ClientConfig tunes a Client. The zero value is usable: 1 connection,
 // 5s dial timeout, 10s call timeout.
 type ClientConfig struct {
@@ -25,10 +32,25 @@ type ClientConfig struct {
 	// CallTimeout bounds one request/response exchange. A timeout marks the
 	// connection dead (responses could no longer be matched reliably).
 	CallTimeout time.Duration
+	// RedialBackoff is the base pause before redialing a slot whose dial just
+	// failed, doubled per consecutive failure (with jitter) up to
+	// RedialBackoffMax; calls landing on the slot inside the window fail fast
+	// with ErrDialBackoff instead of paying another dial timeout. The first
+	// redial after a live connection dies is always immediate. Zero selects
+	// 25ms.
+	RedialBackoff time.Duration
+	// RedialBackoffMax caps the redial backoff. Zero selects 2s.
+	RedialBackoffMax time.Duration
 }
 
 func (c *ClientConfig) withDefaults() ClientConfig {
-	out := ClientConfig{Conns: 1, DialTimeout: 5 * time.Second, CallTimeout: 10 * time.Second}
+	out := ClientConfig{
+		Conns:            1,
+		DialTimeout:      5 * time.Second,
+		CallTimeout:      10 * time.Second,
+		RedialBackoff:    25 * time.Millisecond,
+		RedialBackoffMax: 2 * time.Second,
+	}
 	if c == nil {
 		return out
 	}
@@ -41,6 +63,12 @@ func (c *ClientConfig) withDefaults() ClientConfig {
 	if c.CallTimeout > 0 {
 		out.CallTimeout = c.CallTimeout
 	}
+	if c.RedialBackoff > 0 {
+		out.RedialBackoff = c.RedialBackoff
+	}
+	if c.RedialBackoffMax > 0 {
+		out.RedialBackoffMax = c.RedialBackoffMax
+	}
 	return out
 }
 
@@ -50,6 +78,7 @@ type Counters struct {
 	Ops        uint64 // requests completed (success or error response)
 	FramesSent uint64 // request frames written
 	Flushes    uint64 // write-side flushes (syscalls); FramesSent/Flushes = frames per flush
+	Backoffs   uint64 // calls failed fast inside a redial-backoff window
 }
 
 // Client is a pooled wire-protocol client. Each pooled connection supports
@@ -70,13 +99,18 @@ type Client struct {
 	ops        atomic.Uint64
 	framesSent atomic.Uint64
 	flushes    atomic.Uint64
+	backoffs   atomic.Uint64
+	jitter     atomic.Uint64 // splitmix state for backoff jitter
 }
 
 // slot is one pooled-connection cell; c is nil until first use and after a
-// connection is torn down.
+// connection is torn down. fails/nextDialAt (guarded by mu) drive the
+// exponential redial backoff after consecutive dial failures.
 type slot struct {
-	mu sync.Mutex // guards dialing/replacing c
-	c  atomic.Pointer[conn]
+	mu         sync.Mutex // guards dialing/replacing c
+	c          atomic.Pointer[conn]
+	fails      int
+	nextDialAt time.Time
 }
 
 // conn is one live connection plus its pipelining state.
@@ -109,6 +143,7 @@ var callPool = sync.Pool{New: func() any { return &call{done: make(chan struct{}
 // No connection is made until the first call.
 func NewClient(addr string, cfg *ClientConfig) *Client {
 	c := &Client{addr: addr, cfg: cfg.withDefaults()}
+	c.jitter.Store(uint64(time.Now().UnixNano()))
 	c.slots = make([]*slot, c.cfg.Conns)
 	for i := range c.slots {
 		c.slots[i] = &slot{}
@@ -126,6 +161,7 @@ func (c *Client) Counters() Counters {
 		Ops:        c.ops.Load(),
 		FramesSent: c.framesSent.Load(),
 		Flushes:    c.flushes.Load(),
+		Backoffs:   c.backoffs.Load(),
 	}
 }
 
@@ -173,10 +209,17 @@ func (c *Client) connFor(s *slot) (*conn, error) {
 	if c.closed.Load() {
 		return nil, ErrClientClosed
 	}
+	if wait := time.Until(s.nextDialAt); wait > 0 {
+		c.backoffs.Add(1)
+		return nil, fmt.Errorf("%w: %s unreachable, retry in %v", ErrDialBackoff, c.addr, wait.Round(time.Millisecond))
+	}
 	nc, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
 	if err != nil {
+		s.nextDialAt = time.Now().Add(Backoff(c.cfg.RedialBackoff, c.cfg.RedialBackoffMax, s.fails, &c.jitter))
+		s.fails++
 		return nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
 	}
+	s.fails, s.nextDialAt = 0, time.Time{}
 	if tc, ok := nc.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}

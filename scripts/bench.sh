@@ -12,6 +12,8 @@
 #                                    # verified closed-loop run per iteration)
 #   COUNT=5 scripts/bench.sh         # repetitions for stable statistics
 #   scripts/bench.sh --ab            # HTTP-vs-wire A/B only -> benchmarks/wire-ab.txt
+#   scripts/bench.sh --rto           # crash-restart recovery benchmark
+#                                    #   -> benchmarks/recovery-rto.txt
 #   scripts/bench.sh --gate          # regression gate vs benchmarks/baseline.json
 #   scripts/bench.sh --gate-check    # re-compare the last --gate run (no re-run)
 #
@@ -76,6 +78,44 @@ if [ "${1:-}" = "--ab" ]; then
   rm -f "$OUT_AB.raw"
   tail -3 "$OUT_AB"
   echo "wrote $OUT_AB"
+  exit 0
+fi
+
+# --rto: the crash-restart recovery-time-objective benchmark. Each iteration
+# kills a durable member holding live leases and times restart-to-first-grant;
+# the recorded rto-seconds against quarantine-avoided-seconds (MaxTTL) is the
+# headline durability number. The benchmark itself fails if any iteration's
+# RTO reaches MaxTTL (i.e. the node quarantined instead of replaying).
+if [ "${1:-}" = "--rto" ]; then
+  COUNT="${COUNT:-1}"
+  BENCHTIME="${BENCHTIME:-10x}"
+  OUT_RTO=benchmarks/recovery-rto.txt
+  mkdir -p benchmarks
+  {
+    echo "# go test -bench BenchmarkRestartRTO -benchtime $BENCHTIME -count $COUNT ./internal/cluster/"
+    echo "# $(date -u +"%Y-%m-%dT%H:%M:%SZ") $(go version)"
+    go test -run xxx -bench 'BenchmarkRestartRTO' -benchtime "$BENCHTIME" -count "$COUNT" ./internal/cluster/
+  } | tee "$OUT_RTO.raw"
+  # Append the headline: mean RTO vs the MaxTTL quarantine a journal-less
+  # rejoin would have to sit out.
+  awk '
+    /^BenchmarkRestartRTO/ {
+      for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "rto-seconds")                { rto += $(i);  nr++ }
+        if ($(i + 1) == "quarantine-avoided-seconds") { quar = $(i) }
+        if ($(i + 1) == "restored-sessions")          { sess = $(i) }
+      }
+    }
+    { print }
+    END {
+      if (nr > 0 && quar > 0) {
+        printf "\n# mean RTO %.3fs (%.0f sessions replayed) vs %.0fs MaxTTL quarantine avoided: %.0fx faster rejoin\n", rto / nr, sess, quar, quar / (rto / nr)
+      }
+    }
+  ' "$OUT_RTO.raw" > "$OUT_RTO"
+  rm -f "$OUT_RTO.raw"
+  tail -2 "$OUT_RTO"
+  echo "wrote $OUT_RTO"
   exit 0
 fi
 
