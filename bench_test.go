@@ -33,6 +33,7 @@ import (
 	"github.com/levelarray/levelarray/internal/sched"
 	"github.com/levelarray/levelarray/internal/server"
 	"github.com/levelarray/levelarray/internal/shard"
+	"github.com/levelarray/levelarray/internal/trace"
 	"github.com/levelarray/levelarray/internal/wire"
 )
 
@@ -850,6 +851,12 @@ func BenchmarkLeaseServiceLoopback(b *testing.B) {
 // core) behind a real TCP loopback listener speaking the binary wire
 // protocol, and returns its address.
 func startWireService(b *testing.B) (addr string, done func()) {
+	return startWireServiceTraced(b, nil)
+}
+
+// startWireServiceTraced is startWireService with a flight recorder installed
+// on the wire server (nil = untraced), for the trace-overhead A/B benchmark.
+func startWireServiceTraced(b *testing.B, rec *trace.Recorder) (addr string, done func()) {
 	b.Helper()
 	arr := shard.MustNew(shard.Config{Shards: 4, Capacity: 4096, Seed: 71})
 	mgr := lease.MustNewManager(arr, lease.Config{TickInterval: 100 * time.Millisecond})
@@ -859,7 +866,8 @@ func startWireService(b *testing.B) (addr string, done func()) {
 		mgr.Close()
 		b.Fatalf("wire listener: %v", err)
 	}
-	srv := wire.NewServer(server.NewWireBackend(mgr, server.Config{}))
+	srv := wire.NewServer(server.NewWireBackend(mgr, server.Config{Tracer: rec}))
+	srv.SetTracer(rec)
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), func() {
 		_ = srv.Close()
@@ -878,6 +886,57 @@ func BenchmarkWireServiceLoopback(b *testing.B) {
 		goroutines := goroutines
 		b.Run(fmt.Sprintf("g=%d", goroutines), func(b *testing.B) {
 			addr, done := startWireService(b)
+			defer done()
+			wc := wire.NewClient(addr, nil)
+			defer wc.Close()
+			client := server.NewWireClient(wc)
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for w := 0; w < goroutines; w++ {
+				iters := b.N / goroutines
+				if w < b.N%goroutines {
+					iters++
+				}
+				wg.Add(1)
+				go func(iters int) {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						l, status, _, err := client.Acquire(60_000)
+						if err != nil || status != 200 {
+							b.Errorf("acquire: status %d err %v", status, err)
+							return
+						}
+						if status, err := client.Release(l.Name, l.Token); err != nil || status != 200 {
+							b.Errorf("release: status %d err %v", status, err)
+							return
+						}
+					}
+				}(iters)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkWireServiceTraceAB is the flight-recorder overhead gate, run by
+// scripts/bench.sh --trace-ab: the same acquire+release session as
+// BenchmarkWireServiceLoopback g=8 under three recorder states. "none" has
+// no recorder installed; "off" has one installed but disabled (the default
+// production shape — per frame it costs one atomic load and a nil-span
+// check); "on" records every span with full phase attribution. The gate
+// holds off within 2% of none and on within 10%.
+func BenchmarkWireServiceTraceAB(b *testing.B) {
+	const goroutines = 8
+	for _, mode := range []string{"none", "off", "on"} {
+		var rec *trace.Recorder
+		switch mode {
+		case "off":
+			rec = trace.New(trace.Config{Enabled: false})
+		case "on":
+			rec = trace.New(trace.Config{Enabled: true})
+		}
+		b.Run("trace="+mode, func(b *testing.B) {
+			addr, done := startWireServiceTraced(b, rec)
 			defer done()
 			wc := wire.NewClient(addr, nil)
 			defer wc.Close()

@@ -14,6 +14,11 @@
 // the wire endpoints advertised in the membership table:
 //
 //	lactl -proto wire -addr 127.0.0.1:7101 stats
+//
+// trace and events read the flight recorder (laserve -trace):
+//
+//	lactl trace     # slow ops with per-phase latency breakdown
+//	lactl events    # cluster-wide control-plane timeline, merged
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -32,6 +38,7 @@ import (
 	"github.com/levelarray/levelarray/internal/registry"
 	"github.com/levelarray/levelarray/internal/server"
 	"github.com/levelarray/levelarray/internal/stats"
+	"github.com/levelarray/levelarray/internal/trace"
 	"github.com/levelarray/levelarray/internal/wire"
 )
 
@@ -43,7 +50,7 @@ func main() {
 }
 
 func usage() string {
-	return "usage: lactl [-addr URL|host:port] [-proto http|wire] [-limit N] [-verify] members|stats|leases|metrics"
+	return "usage: lactl [-addr URL|host:port] [-proto http|wire] [-limit N] [-verify] members|stats|leases|metrics|trace|events"
 }
 
 func run() error {
@@ -76,6 +83,10 @@ func run() error {
 		return runLeases(src, *limit)
 	case "metrics":
 		return runMetrics(src, *verify)
+	case "trace":
+		return runTrace(src, *limit)
+	case "events":
+		return runEvents(src, *limit)
 	default:
 		return fmt.Errorf("unknown command %q\n%s", flag.Arg(0), usage())
 	}
@@ -430,6 +441,173 @@ func runMetrics(src *source, verify bool) error {
 	if verify {
 		fmt.Println("lactl: occupancy gauges agree with /stats on every scraped node")
 	}
+	return nil
+}
+
+// debugBases lists the HTTP base URLs to read debug endpoints from: every
+// live member of a cluster, or the standalone target itself. The debug
+// endpoints are HTTP-only, like /metrics.
+func debugBases(src *source) []string {
+	t, err := src.fetchTable()
+	if err != nil {
+		return []string{httpBase(src.base)}
+	}
+	var bases []string
+	for _, m := range t.Alive() {
+		bases = append(bases, httpBase(m.Addr))
+	}
+	return bases
+}
+
+// fmtNanos renders a nanosecond latency compactly ("-" for zero).
+func fmtNanos(ns int64) string {
+	if ns == 0 {
+		return "-"
+	}
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+// runTrace fetches every node's slow-op ring (falling back to the sampled
+// ring when no op has crossed the threshold yet) and renders the slowest ops
+// with their per-phase latency breakdown, plus an aggregate phase footer —
+// the "where does the p99 go" view. Fsync wait is its own column so the
+// durability tax is never conflated with lock contention.
+func runTrace(src *source, limit int) error {
+	type nodeSpans struct {
+		base string
+		resp trace.TraceResponse
+	}
+	var (
+		all      []trace.SpanJSON
+		disabled []string
+		failures []string
+		slowOnly = true
+	)
+	for _, base := range debugBases(src) {
+		var ns nodeSpans
+		ns.base = base
+		if err := src.getJSON(base+"/debug/trace/slow", &ns.resp); err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", base, err))
+			continue
+		}
+		if !ns.resp.Enabled {
+			disabled = append(disabled, base)
+			continue
+		}
+		if len(ns.resp.Spans) == 0 {
+			// Nothing slow yet: fall back to the sampled ring so the command
+			// still shows where time goes on a healthy node.
+			var sampled trace.TraceResponse
+			if err := src.getJSON(base+"/debug/trace", &sampled); err == nil && len(sampled.Spans) > 0 {
+				ns.resp.Spans = sampled.Spans
+				slowOnly = false
+			}
+		}
+		all = append(all, ns.resp.Spans...)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("trace fetch failed (laserve without /debug/trace?):\n  %s", strings.Join(failures, "\n  "))
+	}
+	if len(disabled) > 0 && len(all) == 0 {
+		return fmt.Errorf("tracing is disabled on %s (start laserve with -trace)", strings.Join(disabled, ", "))
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].DurationNanos > all[j].DurationNanos })
+	if len(all) > limit {
+		all = all[:limit]
+	}
+
+	title := fmt.Sprintf("slowest ops (top %d of the slow-op rings)", limit)
+	if !slowOnly {
+		title = fmt.Sprintf("slowest ops (top %d; nothing over the slow threshold yet, showing sampled spans)", limit)
+	}
+	tbl := stats.NewTable(title,
+		"rid", "op", "node", "part", "err", "total", "fsync-wait", "lock-wait", "other phases")
+	agg := map[string]int64{}
+	var aggTotal int64
+	for _, s := range all {
+		var other []string
+		for _, name := range trace.PhaseNames() {
+			ns := s.Phases[name]
+			if ns == 0 {
+				continue
+			}
+			agg[name] += ns
+			if name != "fsync-wait" && name != "lock-wait" {
+				other = append(other, fmt.Sprintf("%s=%s", name, fmtNanos(ns)))
+			}
+		}
+		aggTotal += s.DurationNanos
+		errCode := s.Err
+		if errCode == "" {
+			errCode = "-"
+		}
+		otherCol := strings.Join(other, " ")
+		if otherCol == "" {
+			otherCol = "-"
+		}
+		tbl.AddRow(s.RID, s.Op, fmt.Sprintf("%d", s.Node), fmt.Sprintf("%d", s.Partition), errCode,
+			fmtNanos(s.DurationNanos), fmtNanos(s.Phases["fsync-wait"]), fmtNanos(s.Phases["lock-wait"]), otherCol)
+	}
+	fmt.Println(tbl.String())
+	if aggTotal > 0 {
+		var parts []string
+		for _, name := range trace.PhaseNames() {
+			if ns := agg[name]; ns > 0 {
+				parts = append(parts, fmt.Sprintf("%s %s (%.0f%%)", name, fmtNanos(ns), 100*float64(ns)/float64(aggTotal)))
+			}
+		}
+		fmt.Printf("lactl: aggregate phase attribution over %d spans: %s\n", len(all), strings.Join(parts, ", "))
+	}
+	return nil
+}
+
+// runEvents merges every node's control-plane journal into one causally
+// ordered timeline: who bumped which epoch and why, which failovers were
+// decided on what evidence, where fences were written.
+func runEvents(src *source, limit int) error {
+	var (
+		journals [][]trace.Event
+		failures []string
+	)
+	for _, base := range debugBases(src) {
+		var resp trace.EventsResponse
+		if err := src.getJSON(base+"/debug/events", &resp); err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", base, err))
+			continue
+		}
+		journals = append(journals, resp.Events)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("events fetch failed (laserve without /debug/events?):\n  %s", strings.Join(failures, "\n  "))
+	}
+	merged := trace.MergeEvents(journals...)
+	if len(merged) > limit {
+		merged = merged[len(merged)-limit:]
+	}
+	tbl := stats.NewTable(
+		fmt.Sprintf("cluster event timeline (most recent %d, merged across %d journals)", limit, len(journals)),
+		"time", "node", "epoch", "type", "part", "cause", "detail")
+	for _, e := range merged {
+		part := "-"
+		if e.Partition >= 0 {
+			part = fmt.Sprintf("%d", e.Partition)
+		}
+		cause := e.Cause
+		if cause == "" {
+			cause = "-"
+		}
+		detail := e.Detail
+		if e.RID != "" {
+			detail = fmt.Sprintf("[%s] %s", e.RID, detail)
+		}
+		tbl.AddRow(
+			time.Unix(0, e.TimeUnixNano).Format("15:04:05.000"),
+			fmt.Sprintf("%d", e.Node),
+			fmt.Sprintf("%d", e.Epoch),
+			e.Type, part, cause, detail,
+		)
+	}
+	fmt.Println(tbl.String())
 	return nil
 }
 

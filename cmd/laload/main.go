@@ -59,6 +59,7 @@ import (
 	"github.com/levelarray/levelarray/internal/registry"
 	"github.com/levelarray/levelarray/internal/server"
 	"github.com/levelarray/levelarray/internal/stats"
+	"github.com/levelarray/levelarray/internal/trace"
 	"github.com/levelarray/levelarray/internal/wire"
 )
 
@@ -91,6 +92,7 @@ func run() error {
 	crash := flag.Int("crash", 10, "percentage of leases abandoned without release: "+registry.ValidPercentRange)
 	renew := flag.Int("renew", 20, "percentage of held leases renewed once mid-hold: "+registry.ValidPercentRange)
 	seed := flag.Uint64("seed", 1, "base random seed")
+	traceOn := flag.Bool("trace", false, "give every -spawn node a flight recorder (read mid-run with lactl trace / curl /debug/trace)")
 	jsonPath := flag.String("json", "", "also write the report as JSON to this file")
 	flag.Parse()
 
@@ -128,6 +130,9 @@ func run() error {
 	if *snapshotAdopt && *dataDir == "" {
 		return fmt.Errorf("-snapshot-adopt needs -data-dir (there is no snapshot to adopt without a journal)")
 	}
+	if *traceOn && *spawn == 0 {
+		return fmt.Errorf("-trace needs -spawn (external nodes own their own recorders; start laserve with -trace)")
+	}
 	if *spawn != 0 || *targets != "" {
 		return runCluster(clusterOptions{
 			proto:         proto,
@@ -139,6 +144,7 @@ func run() error {
 			restartAfter:  *restartAfter,
 			dataDir:       *dataDir,
 			snapshotAdopt: *snapshotAdopt,
+			trace:         *traceOn,
 			minAlive:      *minAlive,
 			tick:          *tick,
 			clients:       *clients,
@@ -207,6 +213,7 @@ func run() error {
 		tbl.AddRow("wire connections dialed", fmt.Sprintf("%d", w.Dials))
 		tbl.AddRow("wire ops per connection", fmt.Sprintf("%.0f", w.OpsPerConn()))
 		tbl.AddRow("wire frames per flush", fmt.Sprintf("%.2f", w.FramesPerFlush()))
+		tbl.AddRow("wire redial backoffs", fmt.Sprintf("%d", w.Backoffs))
 	}
 	fmt.Println(tbl.String())
 
@@ -234,6 +241,7 @@ type clusterOptions struct {
 	restartAfter  time.Duration
 	dataDir       string
 	snapshotAdopt bool
+	trace         bool
 	minAlive      int
 	tick          time.Duration
 	clients       int
@@ -284,6 +292,7 @@ func runCluster(opts clusterOptions) error {
 			Seed:          opts.seed,
 			DataDir:       opts.dataDir,
 			SnapshotAdopt: opts.snapshotAdopt,
+			Trace:         opts.trace,
 			Node: cluster.NodeConfig{
 				Lease:      lease.Config{TickInterval: opts.tick},
 				DefaultTTL: opts.ttl,
@@ -343,11 +352,19 @@ func runCluster(opts clusterOptions) error {
 	tbl.AddRow("routing refresh/412/421/dead", fmt.Sprintf("%d/%d/%d/%d",
 		report.Routing.Refreshes, report.Routing.StaleEpochs, report.Routing.Misroutes, report.Routing.DeadHops))
 	tbl.AddRow("wire ops / HTTP fallbacks", fmt.Sprintf("%d/%d", report.Routing.WireOps, report.Routing.WireFallbacks))
+	tbl.AddRow("routing backoff pauses", fmt.Sprintf("%d", report.Routing.Backoffs))
 	if report.MetricsDisabled {
 		tbl.AddRow("metrics watcher", "disabled (/metrics 404)")
 	} else {
 		tbl.AddRow("metrics scrapes", fmt.Sprintf("%d", report.MetricsScrapes))
 		tbl.AddRow("quarantines seen in /metrics", fmt.Sprintf("%d (mid-kill snapshots %v)", report.MetricsQuarantines, report.MetricsMidKillQuarantines))
+	}
+	if report.EventsDisabled {
+		tbl.AddRow("events watcher", "disabled (/debug/events 404)")
+	} else {
+		tbl.AddRow("cluster events captured", fmt.Sprintf("%d (epoch bumps %d, failover decisions %d, quarantine starts %d)",
+			report.EventsCaptured, report.EventCounts[trace.EvEpochBump],
+			report.EventCounts[trace.EvFailoverDecision], report.EventCounts[trace.EvQuarantineStart]))
 	}
 	fmt.Println(tbl.String())
 

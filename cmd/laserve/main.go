@@ -41,6 +41,7 @@ import (
 	"github.com/levelarray/levelarray/internal/registry"
 	"github.com/levelarray/levelarray/internal/server"
 	"github.com/levelarray/levelarray/internal/shard"
+	"github.com/levelarray/levelarray/internal/trace"
 	"github.com/levelarray/levelarray/internal/wal"
 	"github.com/levelarray/levelarray/internal/wire"
 )
@@ -74,6 +75,12 @@ func run() error {
 	walSyncName := flag.String("wal-sync", "always", "WAL durability policy: "+registry.ValidWALSyncNames)
 	walSyncEvery := flag.Duration("wal-sync-interval", 25*time.Millisecond, "fsync cadence under -wal-sync interval")
 	checkpointEvery := flag.Duration("checkpoint-every", 30*time.Second, "snapshot cadence when -data-dir is set (log truncates at each snapshot)")
+
+	// Tracing (the flight recorder). The event journal on /debug/events is
+	// always on — it is the structured log — but spans cost a -trace opt-in.
+	traceOn := flag.Bool("trace", false, "enable the flight recorder: phase-attributed spans on /debug/trace, slow ops on /debug/trace/slow")
+	traceSample := flag.Int("trace-sample", 1, "retain one in N finished spans in the main trace ring (slow-op capture sees every span)")
+	traceSlow := flag.Duration("trace-slow", trace.DefaultSlowThreshold, "latency at or above which a span is kept as a slow op")
 
 	// Member (cluster) mode.
 	peersFlag := flag.String("peers", "", "cluster member URLs ("+registry.ValidPeersFormat+"); empty = standalone")
@@ -137,6 +144,15 @@ func run() error {
 		return err
 	}
 
+	newTracer := func(node int) *trace.Recorder {
+		if !*traceOn {
+			return nil
+		}
+		return trace.New(trace.Config{
+			Enabled: true, SampleEvery: *traceSample, SlowThreshold: *traceSlow, Node: node,
+		})
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -162,8 +178,13 @@ func run() error {
 			walSync:         walSync,
 			walSyncEvery:    *walSyncEvery,
 			checkpointEvery: *checkpointEvery,
+			tracer:          newTracer(*nodeID),
 		})
 	}
+
+	tracer := newTracer(-1)
+	events := trace.NewEventLog(trace.EventConfig{Node: -1, Dir: *dataDir})
+	defer events.Close()
 
 	arr, err := newArray(*capacity, *seed)
 	if err != nil {
@@ -192,6 +213,8 @@ func run() error {
 		recovered = time.Since(begin)
 		fmt.Printf("laserve: restored %d sessions (%d lapsed, %d tail records, %d orphan bits) from %s in %v\n",
 			rst.Sessions, rst.Expired, rst.Records, rst.OrphanWords, *dataDir, recovered.Round(time.Microsecond))
+		events.Eventf(trace.EvReplay, 0, 0, "restart", "restored %d sessions (%d lapsed, %d tail records) in %v",
+			rst.Sessions, rst.Expired, rst.Records, recovered.Round(time.Microsecond))
 		stopCk := mgr.StartCheckpoints(*checkpointEvery, func() (uint32, uint64) { return 0, 0 }, func(err error) {
 			fmt.Fprintln(os.Stderr, "laserve: checkpoint:", err)
 		})
@@ -215,10 +238,13 @@ func run() error {
 			server.RegisterWAL(ms.m.Registry, store)
 			server.RegisterRecovery(ms.m.Registry, func() float64 { return recovered.Seconds() })
 		}
+		if tracer != nil {
+			server.RegisterTracer(ms.m.Registry, tracer)
+		}
 	}
 
 	if *wireAddr != "" {
-		ws, stop, err := startWire(*wireAddr, server.NewWireBackend(mgr, server.Config{DefaultTTL: *defaultTTL, Metrics: ms.m}))
+		ws, stop, err := startWire(*wireAddr, server.NewWireBackend(mgr, server.Config{DefaultTTL: *defaultTTL, Metrics: ms.m, Tracer: tracer}), tracer)
 		if err != nil {
 			return err
 		}
@@ -234,7 +260,10 @@ func run() error {
 	defer stopMetrics()
 	fmt.Printf("laserve: %s capacity=%d size=%d tick=%v listening on %s (wire: %s, metrics: %s)\n",
 		algo, mgr.Capacity(), mgr.Size(), *tick, *addr, orNone(*wireAddr), ms.describe())
-	return server.New(mgr, server.Config{DefaultTTL: *defaultTTL, Metrics: ms.m, MetricsElsewhere: ms.elsewhere()}).Serve(ctx, *addr)
+	return server.New(mgr, server.Config{
+		DefaultTTL: *defaultTTL, Metrics: ms.m, MetricsElsewhere: ms.elsewhere(),
+		Tracer: tracer, Events: events,
+	}).Serve(ctx, *addr)
 }
 
 // metricsSetup resolves the -metrics-addr mode into the shared
@@ -292,12 +321,13 @@ func (ms *metricsSetup) serveDedicated() (func(), error) {
 
 // startWire binds and serves the binary protocol next to the HTTP listener,
 // returning the server (for counter registration) and its shutdown function.
-func startWire(addr string, backend wire.Backend) (*wire.Server, func(), error) {
+func startWire(addr string, backend wire.Backend, tracer *trace.Recorder) (*wire.Server, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, fmt.Errorf("wire listener on %s: %w", addr, err)
 	}
 	srv := wire.NewServer(backend)
+	srv.SetTracer(tracer)
 	go func() { _ = srv.Serve(ln) }()
 	return srv, func() { _ = srv.Close() }, nil
 }
@@ -332,6 +362,7 @@ type memberOptions struct {
 	walSync         wal.SyncPolicy
 	walSyncEvery    time.Duration
 	checkpointEvery time.Duration
+	tracer          *trace.Recorder
 }
 
 // runMember boots one cluster member.
@@ -382,6 +413,7 @@ func runMember(ctx context.Context, opts memberOptions) error {
 		CheckpointEvery:  opts.checkpointEvery,
 		Metrics:          opts.ms.m,
 		MetricsElsewhere: opts.ms.elsewhere(),
+		Tracer:           opts.tracer,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},
@@ -390,7 +422,7 @@ func runMember(ctx context.Context, opts memberOptions) error {
 		return err
 	}
 	if opts.wireAddr != "" {
-		ws, stop, err := startWire(opts.wireAddr, node)
+		ws, stop, err := startWire(opts.wireAddr, node, opts.tracer)
 		if err != nil {
 			return err
 		}

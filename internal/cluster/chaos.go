@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"github.com/levelarray/levelarray/internal/rng"
+	"github.com/levelarray/levelarray/internal/trace"
 )
 
 // ChaosConfig parameterizes one chaos run.
@@ -202,6 +203,22 @@ type ChaosReport struct {
 	MetricsAdoptedUnobserved      int      `json:"metrics_adopted_unobserved"`
 	MetricsOccupancyDisagreements []string `json:"metrics_occupancy_disagreements,omitempty"`
 
+	// Event-journal verdict: the run sweeps every member's /debug/events on
+	// the metrics cadence and audits the merged timeline — the journal must
+	// explain every ledger-relevant transition. EventCounts tallies the
+	// captured timeline by event type.
+	EventsCaptured int            `json:"events_captured"`
+	EventsDisabled bool           `json:"events_disabled,omitempty"`
+	EventCounts    map[string]int `json:"event_counts,omitempty"`
+	// EventsUnexplainedBumps counts epoch_bump events with no recorded cause;
+	// EventsDecisionlessFailovers counts steward reassignments whose epoch has
+	// no failover_decision event (a failover the journal cannot explain);
+	// EventsUnfencedAdoptions counts snapshot_adopt events with no fence_write
+	// at the same epoch and partition.
+	EventsUnexplainedBumps      int `json:"events_unexplained_bumps"`
+	EventsDecisionlessFailovers int `json:"events_decisionless_failovers"`
+	EventsUnfencedAdoptions     int `json:"events_unfenced_adoptions"`
+
 	Routing ClientCounters      `json:"routing"`
 	Nodes   []NodeStatsResponse `json:"nodes"`
 }
@@ -266,6 +283,21 @@ func (r ChaosReport) Violations() []string {
 	}
 	if !r.MetricsDisabled && r.MetricsScrapes > 0 && r.Kills > 0 && r.EpochBumps > 0 && r.MetricsQuarantines == 0 {
 		v = append(v, "failover invisible in metrics: quarantine counter never moved despite epoch bumps")
+	}
+	if r.EventsUnexplainedBumps > 0 {
+		v = append(v, fmt.Sprintf("%d epoch bumps journaled without a cause", r.EventsUnexplainedBumps))
+	}
+	if r.EventsDecisionlessFailovers > 0 {
+		v = append(v, fmt.Sprintf("%d steward reassignments have no failover_decision event at their epoch", r.EventsDecisionlessFailovers))
+	}
+	if r.EventsUnfencedAdoptions > 0 {
+		v = append(v, fmt.Sprintf("%d snapshot adoptions have no fence_write event", r.EventsUnfencedAdoptions))
+	}
+	if !r.EventsDisabled && r.EpochBumps > 0 && r.EventCounts[trace.EvEpochBump] == 0 {
+		v = append(v, "epoch bumps invisible in the event journal")
+	}
+	if !r.EventsDisabled && r.EventsCaptured > 0 && r.MetricsQuarantines > 0 && r.EventCounts[trace.EvQuarantineStart] == 0 {
+		v = append(v, "quarantine adoptions invisible in the event journal")
 	}
 	return v
 }
@@ -605,8 +637,11 @@ func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 	reclaimBound := cfg.TTL + 2*tick + cfg.ReclaimSlack
 
 	// The metrics watcher scrapes /metrics from every member throughout the
-	// run; a first-scrape 404 (metrics disabled) silently turns it off.
+	// run; a first-scrape 404 (metrics disabled) silently turns it off. The
+	// events watcher sweeps /debug/events the same way, assembling the
+	// cluster timeline before kills can destroy in-memory rings.
 	watch := startMetricsWatcher(cfg.Targets, cfg.HTTPClient, cfg.Logf)
+	evwatch := startEventsWatcher(cfg.Targets, cfg.HTTPClient, cfg.Logf)
 
 	led := newChaosLedger()
 	var (
@@ -793,6 +828,7 @@ func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 	probeWG.Wait()
 	if runErr != nil {
 		watch.finalize(&report)
+		evwatch.finalize(&report)
 		return ChaosReport{}, fmt.Errorf("chaos: %w", runErr)
 	}
 
@@ -805,6 +841,7 @@ func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 		unserved, err := adoptionProbe(client, cfg, led)
 		if err != nil {
 			watch.finalize(&report)
+			evwatch.finalize(&report)
 			return report, err
 		}
 		report.AdoptedUnserved = unserved
@@ -848,9 +885,11 @@ func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-	// Stop the watcher and fold its verdict in while the cluster is still
-	// up: the end-of-run occupancy agreement re-scrapes every live member.
+	// Stop the watchers and fold their verdicts in while the cluster is
+	// still up: the end-of-run occupancy agreement re-scrapes every live
+	// member, and the last event sweep catches the final adoptions.
 	watch.finalize(&report)
+	evwatch.finalize(&report)
 	report.FinalEpoch = client.Table().Epoch
 	for _, m := range client.Table().Alive() {
 		if s, err := client.NodeStats(m.Addr); err == nil {

@@ -3,11 +3,13 @@ package cluster
 import (
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/levelarray/levelarray/internal/server"
+	"github.com/levelarray/levelarray/internal/trace"
 	"github.com/levelarray/levelarray/internal/wire"
 )
 
@@ -37,6 +39,12 @@ type ClientConfig struct {
 	// protocol to any member with a WireAddr and falls back to HTTP when the
 	// wire hop fails.
 	DisableWire bool
+	// Tracer, when non-nil, records one client-side span per routed
+	// operation: route time per hop, backoff time between rounds, one rid
+	// across every retry — the client-side stitch of a cross-failover trace.
+	// Traced operations also carry the trace flag to the member they land
+	// on, forcing the server-side span of the same rid past sampling.
+	Tracer *trace.Recorder
 }
 
 func (c ClientConfig) withDefaults() (ClientConfig, error) {
@@ -189,9 +197,11 @@ func (c *Client) Counters() ClientCounters {
 // backoffSleep pauses between routing rounds: RouteBackoff doubled per round
 // and jittered, capped at RouteBackoffMax, so clients hammering a cluster
 // mid-failover spread out instead of sweeping the table in lockstep.
-func (c *Client) backoffSleep(round int) {
+func (c *Client) backoffSleep(round int, sp *trace.Op) {
 	c.backoffs.Add(1)
-	time.Sleep(wire.Backoff(c.cfg.RouteBackoff, c.cfg.RouteBackoffMax, round, &c.jitter))
+	d := wire.Backoff(c.cfg.RouteBackoff, c.cfg.RouteBackoffMax, round, &c.jitter)
+	time.Sleep(d)
+	sp.Phase(trace.PhaseBackoff, d)
 }
 
 // nextRID mints one trace id per routed operation. The high bit is set so a
@@ -202,7 +212,14 @@ func (c *Client) nextRID() uint64 { return c.ridSeq.Add(1) | 1<<63 }
 
 // ridString renders a trace id in the X-Request-ID vocabulary, so the HTTP
 // fallback hop carries the same identity the wire frame would.
-func ridString(rid uint64) string { return fmt.Sprintf("la-rt-%x", rid) }
+func ridString(rid uint64) string { return wire.RIDString(rid) }
+
+// beginSpan opens the client-side span of one routed operation. The same rid
+// the member-side spans record makes `lactl trace` joinable across the two
+// rings; hop time lands in the route phase, inter-round sleeps in backoff.
+func (c *Client) beginSpan(op string, rid uint64) *trace.Op {
+	return c.cfg.Tracer.Begin(op, ridString(rid))
+}
 
 // clientCall recycles one wire request/response pair per routed hop.
 type clientCall struct {
@@ -257,12 +274,18 @@ func wireRequestFor(body any, req *wire.Request) bool {
 // protocol and falling back to HTTP when the wire transport fails. It
 // returns the member's status, the epoch it advertised on a fence, and the
 // retry hint on a 503.
-func (c *Client) hop(m Member, epoch uint64, rid uint64, body any, out *GrantResponse, path string) (status int, fencedAt uint64, retry time.Duration, err error) {
+func (c *Client) hop(m Member, epoch uint64, rid uint64, sp *trace.Op, body any, out *GrantResponse, path string) (status int, fencedAt uint64, retry time.Duration, err error) {
+	var mark time.Time
+	if sp != nil {
+		mark = time.Now()
+		defer func() { sp.Phase(trace.PhaseRoute, time.Since(mark)) }()
+	}
 	if wc := c.wireFor(m); wc != nil {
 		call := clientCallPool.Get().(*clientCall)
 		if wireRequestFor(body, &call.req) {
 			call.req.Epoch = epoch
 			call.req.ID = rid
+			call.req.Trace = sp.Traced()
 			if werr := wc.Do(&call.req, &call.resp); werr == nil {
 				c.wireOps.Add(1)
 				resp := &call.resp
@@ -286,7 +309,7 @@ func (c *Client) hop(m Member, epoch uint64, rid uint64, body any, out *GrantRes
 	if out != nil {
 		dst = out
 	}
-	status, header, err := postJSON(c.hc, m.Addr+path, epoch, ridString(rid), body, dst, &fence)
+	status, header, err := postJSONTraced(c.hc, m.Addr+path, epoch, ridString(rid), sp.Traced(), body, dst, &fence)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -344,6 +367,7 @@ func (c *Client) Refresh() bool {
 // Retry-After pacing the members advertised.
 func (c *Client) Acquire(ttlMillis int64) (GrantResponse, int, time.Duration, error) {
 	rid := c.nextRID()
+	sp := c.beginSpan("client.acquire", rid)
 	for round := 0; ; round++ {
 		t := c.Table()
 		alive := t.Alive()
@@ -354,12 +378,17 @@ func (c *Client) Acquire(ttlMillis int64) (GrantResponse, int, time.Duration, er
 		for i := 0; i < len(alive); i++ {
 			m := alive[(start+uint64(i))%uint64(len(alive))]
 			var grant GrantResponse
-			status, _, retry, err := c.hop(m, t.Epoch, rid, server.AcquireRequest{TTLMillis: ttlMillis}, &grant, "/acquire")
+			status, _, retry, err := c.hop(m, t.Epoch, rid, sp, server.AcquireRequest{TTLMillis: ttlMillis}, &grant, "/acquire")
 			switch {
 			case err != nil:
 				c.deadHops.Add(1)
 				refresh = true
 			case status/100 == 2:
+				if sp != nil {
+					sp.SetNode(grant.NodeID, grant.Partition)
+					sp.SetEpoch(grant.Epoch)
+					sp.Finish("")
+				}
 				return grant, status, 0, nil
 			case status == http.StatusServiceUnavailable:
 				sawFull = true
@@ -370,37 +399,42 @@ func (c *Client) Acquire(ttlMillis int64) (GrantResponse, int, time.Duration, er
 				c.staleEpochs.Add(1)
 				refresh = true
 			default:
+				sp.Finish(fmt.Sprintf("http_%d", status))
 				return GrantResponse{}, status, 0, nil
 			}
 		}
 		if sawFull {
 			// At least one member answered authoritatively: the cluster is
 			// saturated (or warming); pacing is the caller's business.
+			sp.Finish(server.ErrCodeFull)
 			return GrantResponse{}, http.StatusServiceUnavailable, hint, nil
 		}
 		if round+1 >= c.cfg.RouteRounds {
+			sp.Finish("route_exhausted")
 			return GrantResponse{}, 0, 0, fmt.Errorf("cluster: no member served acquire after %d rounds (rid=%s)", round+1, ridString(rid))
 		}
 		if refresh || len(alive) == 0 {
 			c.Refresh()
 		}
-		c.backoffSleep(round)
+		c.backoffSleep(round, sp)
 	}
 }
 
 // routed sends one owner-addressed operation with refresh-and-retry routing.
 func (c *Client) routed(path string, name int, body any, out *GrantResponse) (int, error) {
 	rid := c.nextRID()
+	sp := c.beginSpan("client"+strings.ReplaceAll(path, "/", "."), rid)
 	var lastErr error
 	for round := 0; ; round++ {
 		t := c.Table()
 		p := t.PartitionOf(name)
 		if p < 0 {
+			sp.Finish(server.ErrCodeBadRequest)
 			return 0, fmt.Errorf("cluster: name %d outside the namespace [0, %d)", name, t.Size())
 		}
 		owner, ok := t.Owner(p)
 		if ok {
-			status, fencedAt, _, err := c.hop(owner, t.Epoch, rid, body, out, path)
+			status, fencedAt, _, err := c.hop(owner, t.Epoch, rid, sp, body, out, path)
 			switch {
 			case err != nil:
 				c.deadHops.Add(1)
@@ -412,14 +446,24 @@ func (c *Client) routed(path string, name int, body any, out *GrantResponse) (in
 				c.misroutes.Add(1)
 				lastErr = fmt.Errorf("cluster: member %d no longer owns partition %d (rid=%s)", owner.ID, p, ridString(rid))
 			default:
+				if sp != nil {
+					sp.SetNode(owner.ID, p)
+					sp.SetEpoch(t.Epoch)
+					if status/100 == 2 {
+						sp.Finish("")
+					} else {
+						sp.Finish(fmt.Sprintf("http_%d", status))
+					}
+				}
 				return status, nil
 			}
 		}
 		if round+1 >= c.cfg.RouteRounds {
+			sp.Finish("route_exhausted")
 			return 0, fmt.Errorf("cluster: routing %s for name %d failed after %d rounds: %w", path, name, round+1, lastErr)
 		}
 		c.Refresh()
-		c.backoffSleep(round)
+		c.backoffSleep(round, sp)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"github.com/levelarray/levelarray/internal/core"
 	"github.com/levelarray/levelarray/internal/metrics"
 	"github.com/levelarray/levelarray/internal/server"
+	"github.com/levelarray/levelarray/internal/trace"
 	"github.com/levelarray/levelarray/internal/wire"
 )
 
@@ -53,6 +54,10 @@ type LocalConfig struct {
 	// DisableMetrics leaves the members without registries, so /metrics
 	// returns 404 — the shape of a deployment that opted out.
 	DisableMetrics bool
+	// Trace gives every member its own flight recorder (enabled, default
+	// sampling), serving /debug/trace and /debug/trace/slow — what a
+	// deployment running laserve -trace looks like.
+	Trace bool
 }
 
 func (c LocalConfig) withDefaults() LocalConfig {
@@ -175,12 +180,16 @@ func (l *Local) nodeConfigFor(i int) NodeConfig {
 		metrics.RegisterRuntime(reg)
 		ncfg.Metrics = server.NewMetrics(reg)
 	}
+	if ncfg.Tracer == nil && cfg.Trace {
+		ncfg.Tracer = trace.New(trace.Config{Enabled: true, Node: i})
+	}
 	return ncfg
 }
 
 // startNode builds and starts member i on its already-bound listeners.
 func (l *Local) startNode(i int) error {
-	node, err := NewNode(l.nodeConfigFor(i))
+	ncfg := l.nodeConfigFor(i)
+	node, err := NewNode(ncfg)
 	if err != nil {
 		return err
 	}
@@ -190,6 +199,7 @@ func (l *Local) startNode(i int) error {
 	go func() { _ = ln.server.Serve(ln.listener) }()
 	if ln.wireLn != nil {
 		ln.wireSrv = wire.NewServer(node)
+		ln.wireSrv.SetTracer(ncfg.Tracer)
 		go func() { _ = ln.wireSrv.Serve(ln.wireLn) }()
 	}
 	node.Start()

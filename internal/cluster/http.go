@@ -29,6 +29,12 @@ func writeError(w http.ResponseWriter, status int, code string) { server.WriteEr
 // response into out; non-2xx bodies are decoded into errOut when provided.
 // It returns the HTTP status and headers.
 func postJSON(hc *http.Client, url string, epoch uint64, rid string, in, out, errOut any) (int, http.Header, error) {
+	return postJSONTraced(hc, url, epoch, rid, false, in, out, errOut)
+}
+
+// postJSONTraced is postJSON plus the trace-force header: a traced routed
+// operation tells the member to retain its server-side span past sampling.
+func postJSONTraced(hc *http.Client, url string, epoch uint64, rid string, traced bool, in, out, errOut any) (int, http.Header, error) {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return 0, nil, err
@@ -43,6 +49,9 @@ func postJSON(hc *http.Client, url string, epoch uint64, rid string, in, out, er
 	}
 	if rid != "" {
 		req.Header.Set(server.RequestIDHeader, rid)
+	}
+	if traced {
+		req.Header.Set(server.TraceForceHeader, "1")
 	}
 	resp, err := hc.Do(req)
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"github.com/levelarray/levelarray/internal/lease"
 	"github.com/levelarray/levelarray/internal/metrics"
 	"github.com/levelarray/levelarray/internal/server"
+	"github.com/levelarray/levelarray/internal/trace"
 	"github.com/levelarray/levelarray/internal/wal"
 )
 
@@ -24,6 +25,9 @@ func (n *Node) registerMetrics() {
 	m := n.cfg.Metrics
 	reg := m.Registry
 
+	if n.cfg.Tracer != nil {
+		server.RegisterTracer(reg, n.cfg.Tracer)
+	}
 	reg.GaugeFunc("la_cluster_epoch", "Current membership-table epoch.", func() float64 {
 		return float64(n.Epoch())
 	})
@@ -124,40 +128,40 @@ func (n *Node) countReply(rep reply) {
 // acquireOp, renewOp and releaseOp wrap the locked operation cores with
 // instrumentation; both the HTTP handlers and the wire backend go through
 // them, so one histogram covers both protocols.
-func (n *Node) acquireOp(ttl time.Duration) reply {
+func (n *Node) acquireOp(ttl time.Duration, sp *trace.Op) reply {
 	m := n.cfg.Metrics
 	if m == nil {
-		return n.acquireLocked(ttl)
+		return n.acquireLocked(ttl, sp)
 	}
 	start := time.Now()
-	rep := n.acquireLocked(ttl)
-	m.AcquireLatency.Observe(time.Since(start))
+	rep := n.acquireLocked(ttl, sp)
+	m.AcquireLatency.ObserveEx(time.Since(start), sp.RID())
 	m.AcquireOps.Inc()
 	n.countReply(rep)
 	return rep
 }
 
-func (n *Node) renewOp(req server.RenewRequest) reply {
+func (n *Node) renewOp(req server.RenewRequest, sp *trace.Op) reply {
 	m := n.cfg.Metrics
 	if m == nil {
-		return n.renewLocked(req)
+		return n.renewLocked(req, sp)
 	}
 	start := time.Now()
-	rep := n.renewLocked(req)
-	m.RenewLatency.Observe(time.Since(start))
+	rep := n.renewLocked(req, sp)
+	m.RenewLatency.ObserveEx(time.Since(start), sp.RID())
 	m.RenewOps.Inc()
 	n.countReply(rep)
 	return rep
 }
 
-func (n *Node) releaseOp(req server.ReleaseRequest) reply {
+func (n *Node) releaseOp(req server.ReleaseRequest, sp *trace.Op) reply {
 	m := n.cfg.Metrics
 	if m == nil {
-		return n.releaseLocked(req)
+		return n.releaseLocked(req, sp)
 	}
 	start := time.Now()
-	rep := n.releaseLocked(req)
-	m.ReleaseLatency.Observe(time.Since(start))
+	rep := n.releaseLocked(req, sp)
+	m.ReleaseLatency.ObserveEx(time.Since(start), sp.RID())
 	m.ReleaseOps.Inc()
 	n.countReply(rep)
 	return rep

@@ -14,9 +14,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"runtime"
+
 	"github.com/levelarray/levelarray/internal/activity"
 	"github.com/levelarray/levelarray/internal/lease"
 	"github.com/levelarray/levelarray/internal/server"
+	"github.com/levelarray/levelarray/internal/trace"
 	"github.com/levelarray/levelarray/internal/wal"
 )
 
@@ -65,11 +68,16 @@ type EpochResponse struct {
 
 // HealthResponse is the body of a clustered /healthz. Epoch rides along so
 // the health probes that drive failure detection double as the anti-entropy
-// signal: a prober that sees a higher epoch pulls the newer table.
+// signal: a prober that sees a higher epoch pulls the newer table. Build and
+// uptime identity ride along too, so a probe can tell a fresh restart from a
+// long-lived process.
 type HealthResponse struct {
-	OK     bool   `json:"ok"`
-	NodeID int    `json:"node_id"`
-	Epoch  uint64 `json:"epoch"`
+	OK           bool   `json:"ok"`
+	NodeID       int    `json:"node_id"`
+	Epoch        uint64 `json:"epoch"`
+	Version      string `json:"version,omitempty"`
+	GoVersion    string `json:"go_version,omitempty"`
+	UptimeMillis int64  `json:"uptime_ms,omitempty"`
 }
 
 // NodeLeasesResponse is the body of a clustered /leases page: sessions under
@@ -189,8 +197,17 @@ type NodeConfig struct {
 	// MetricsElsewhere suppresses the /metrics + pprof mounts (operations
 	// still record) when the registry is served on a dedicated listener.
 	MetricsElsewhere bool
-	// Logf, when set, receives membership-event logs.
+	// Logf, when set, receives membership-event logs (including the
+	// formatted mirror of every structured event the node journals).
 	Logf func(format string, args ...any)
+	// Tracer, when non-nil, is the node's flight recorder: every lease
+	// operation (both protocols) records a phase-attributed span, served at
+	// GET /debug/trace and /debug/trace/slow.
+	Tracer *trace.Recorder
+	// Events overrides the node's control-plane journal. Nil builds one
+	// automatically (ring of 1024, mirrored to Logf, durable under DataDir),
+	// so GET /debug/events always answers.
+	Events *trace.EventLog
 	// Clock overrides the time source for quarantine arithmetic (tests).
 	// Nil selects time.Now. The lease managers keep their own Config.Clock.
 	Clock func() time.Time
@@ -298,6 +315,11 @@ type Node struct {
 	mux *http.ServeMux
 	h   http.Handler
 
+	// events is the control-plane journal (never nil after NewNode);
+	// ownEvents marks a journal the node built itself and must close.
+	events    *trace.EventLog
+	ownEvents bool
+
 	mu       sync.RWMutex
 	table    Table
 	parts    map[int]*partition
@@ -375,6 +397,20 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		refreshC: make(chan struct{}, 1),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
+	}
+
+	// The control-plane journal exists before any partition state is touched
+	// so boot-time transitions (fenced partitions, replay summaries) are the
+	// journal's first entries rather than lost to plain logs.
+	n.events = cfg.Events
+	if n.events == nil {
+		n.events = trace.NewEventLog(trace.EventConfig{
+			Node:  cfg.NodeID,
+			Sink:  cfg.Logf,
+			Dir:   cfg.DataDir,
+			Clock: cfg.Clock,
+		})
+		n.ownEvents = true
 	}
 
 	// A durable node rejoins at the last table it adopted: the recorded
@@ -458,7 +494,11 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 			// Another node adopted this partition's state while we were
 			// down: a newer table exists somewhere. Refuse to serve it
 			// (clients see 421s until the pull lands) rather than reissue.
-			cfg.Logf("cluster: node %d: partition %d fenced on disk; not serving it", cfg.NodeID, p)
+			n.events.Emit(trace.Event{
+				Type: trace.EvFencedOnDisk, Level: trace.LevelWarn,
+				Epoch: initialEpoch, Partition: p, Cause: "fence_marker",
+				Detail: "fenced on disk; not serving it",
+			})
 			part.close(n, initialEpoch, false)
 			continue
 		}
@@ -472,8 +512,9 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 			n.recoveryNanos.Add(time.Since(begin).Nanoseconds())
 			n.restoredSessions.Add(uint64(rst.Sessions))
 			if rst.Sessions > 0 || rst.Records > 0 {
-				cfg.Logf("cluster: node %d: partition %d restored %d sessions (%d lapsed, %d tail records)",
-					cfg.NodeID, p, rst.Sessions, rst.Expired, rst.Records)
+				n.events.Eventf(trace.EvReplay, initialEpoch, p, "restart",
+					"restored %d sessions (%d lapsed, %d tail records)",
+					rst.Sessions, rst.Expired, rst.Records)
 			}
 		}
 		n.parts[p] = part
@@ -520,6 +561,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	n.mux.HandleFunc("GET /leases", n.handleLeases)
 	n.mux.HandleFunc("GET /stats", n.handleStats)
 	n.mux.HandleFunc("GET /healthz", n.handleHealthz)
+	trace.Mount(n.mux, cfg.Tracer, n.events)
 	if cfg.Metrics != nil {
 		n.registerMetrics()
 		if !cfg.MetricsElsewhere {
@@ -676,7 +718,14 @@ var ErrStaleEpoch = errors.New("cluster: table epoch not newer than current")
 // holders), partitions gained are built fresh and quarantined for the full
 // handover horizon. Adopting a table that marks this node down self-fences:
 // the node drops every partition and keeps serving only reads.
-func (n *Node) Adopt(t Table) error {
+func (n *Node) Adopt(t Table) error { return n.adoptTable(t, "api") }
+
+// adoptTable is Adopt with the cause of the transition threaded through, so
+// the event journal can say *why* each epoch bump happened: "peer_push" (a
+// steward pushed its table), "anti_entropy_pull" (this node pulled a newer
+// epoch it saw in a probe), "steward_reassign" (this node decided a
+// failover itself) or "api" (an operator called Adopt directly).
+func (n *Node) adoptTable(t Table, cause string) error {
 	if err := t.Validate(); err != nil {
 		return err
 	}
@@ -689,6 +738,8 @@ func (n *Node) Adopt(t Table) error {
 	if t.Partitions != cur.Partitions || t.Stride != cur.Stride || len(t.Members) != len(cur.Members) {
 		return fmt.Errorf("cluster: adopted table changes immutable geometry (partitions/stride/members)")
 	}
+	n.events.Eventf(trace.EvEpochBump, t.Epoch, -1, cause,
+		"epoch %d -> %d; now owning %v", cur.Epoch, t.Epoch, t.PartitionsOf(n.cfg.NodeID))
 
 	owned := make(map[int]bool)
 	if !t.Members[n.cfg.NodeID].Down {
@@ -702,7 +753,7 @@ func (n *Node) Adopt(t Table) error {
 			// (and has possibly fenced) these very files.
 			part.close(n, cur.Epoch, false)
 			delete(n.parts, id)
-			n.cfg.Logf("cluster: node %d epoch %d: dropped partition %d", n.cfg.NodeID, t.Epoch, id)
+			n.events.Eventf(trace.EvPartitionDrop, t.Epoch, id, cause, "dropped partition %d", id)
 		}
 	}
 	now := n.cfg.Clock()
@@ -710,7 +761,7 @@ func (n *Node) Adopt(t Table) error {
 		if _, ok := n.parts[id]; ok {
 			continue
 		}
-		n.adoptPartitionLocked(id, t, cur.Assignment[id], now)
+		n.adoptPartitionLocked(id, t, cur.Assignment[id], now, cause)
 	}
 	n.rebuildOwnedLocked()
 	n.table = t
@@ -729,7 +780,7 @@ func (n *Node) Adopt(t Table) error {
 // partition starts empty behind the MaxTTL quarantine. Build failures leave
 // the partition unserved (clients see 421s) rather than rejecting the whole
 // table; the epoch still advances. Callers hold mu.
-func (n *Node) adoptPartitionLocked(id int, t Table, prevOwner int, now time.Time) {
+func (n *Node) adoptPartitionLocked(id int, t Table, prevOwner int, now time.Time, cause string) {
 	if n.cfg.DataDir != "" {
 		// A fresh incarnation: any state left from a previous ownership of
 		// this partition was retired by the fence/quarantine discipline.
@@ -784,11 +835,19 @@ func (n *Node) adoptPartitionLocked(id int, t Table, prevOwner int, now time.Tim
 	}
 	n.parts[id] = part
 	if imported {
-		n.cfg.Logf("cluster: node %d epoch %d: adopted partition %d from fenced snapshot (%d sessions live, no quarantine)",
-			n.cfg.NodeID, t.Epoch, id, mgr.Active())
+		n.events.Eventf(trace.EvSnapshotAdopt, t.Epoch, id, cause,
+			"adopted from fenced snapshot of node %d (%d sessions live, no quarantine)", prevOwner, mgr.Active())
 	} else {
-		n.cfg.Logf("cluster: node %d epoch %d: adopted partition %d (quarantined until %v)",
-			n.cfg.NodeID, t.Epoch, id, part.quarantineUntil.Format(time.TimeOnly))
+		n.events.Eventf(trace.EvQuarantineStart, t.Epoch, id, cause,
+			"adopted empty; quarantined until %v", part.quarantineUntil.Format(time.TimeOnly))
+		// Journal the matching end so a timeline shows when acquires opened
+		// up; guarded on closed so a killed node never journals after death.
+		time.AfterFunc(n.cfg.Quarantine, func() {
+			if !n.closed.Load() {
+				n.events.Eventf(trace.EvQuarantineEnd, t.Epoch, id, "quarantine_elapsed",
+					"handover horizon passed; serving acquires")
+			}
+		})
 	}
 }
 
@@ -803,6 +862,8 @@ func (n *Node) importFenced(part *partition, dir string, epoch uint64) error {
 	if err := wal.Fence(dir, epoch); err != nil {
 		return fmt.Errorf("fencing: %w", err)
 	}
+	n.events.Eventf(trace.EvFenceWrite, epoch, part.id, "snapshot_adopt",
+		"fenced previous owner's journal at %s", dir)
 	snap, tail, err := wal.ReadState(dir)
 	if err != nil {
 		return fmt.Errorf("reading fenced state: %w", err)
@@ -881,6 +942,9 @@ func (n *Node) shutdown(clean bool) {
 	n.mu.Lock()
 	n.closeParts(n.table.Epoch, clean)
 	n.mu.Unlock()
+	if n.ownEvents {
+		n.events.Close()
+	}
 }
 
 // ttlOf maps the wire TTL encoding to the lease layer's. Cluster mode has no
@@ -919,7 +983,11 @@ func (n *Node) checkEpoch(w http.ResponseWriter, r *http.Request) bool {
 		n.requestRefresh()
 	}
 	n.staleEpochRejects.Add(1)
-	n.cfg.Logf("cluster: node %d: 412 stale epoch %d (ours %d) rid=%s", n.cfg.NodeID, e, cur, server.RequestID(r))
+	n.events.Emit(trace.Event{
+		Type: trace.EvStaleEpoch, Level: trace.LevelDebug,
+		Epoch: cur, Partition: -1, Cause: "epoch_header", RID: server.RequestID(r),
+		Detail: fmt.Sprintf("412: request carried epoch %d, ours is %d", e, cur),
+	})
 	writeJSON(w, http.StatusPreconditionFailed, EpochResponse{Error: ErrCodeStaleEpoch, Epoch: cur})
 	return false
 }
@@ -942,6 +1010,24 @@ type reply struct {
 	unavail  string // 503 code; wait carries the Retry-After pacing
 	wait     time.Duration
 	leaseErr error
+}
+
+// errCode names the failure a reply carries, for span attribution; "" for a
+// success.
+func (rep reply) errCode() string {
+	if rep.leaseErr != nil {
+		return server.LeaseErrCode(rep.leaseErr)
+	}
+	if rep.unavail != "" {
+		return rep.unavail
+	}
+	switch body := rep.body.(type) {
+	case server.ErrorResponse:
+		return body.Error
+	case EpochResponse:
+		return body.Error
+	}
+	return ""
 }
 
 func (rep reply) write(w http.ResponseWriter) {
@@ -969,12 +1055,34 @@ func (n *Node) handleAcquire(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	n.acquireOp(n.ttlOf(req.TTLMillis)).write(w)
+	sp := n.beginSpan("acquire", r)
+	rep := n.acquireOp(n.ttlOf(req.TTLMillis), sp)
+	sp.Finish(rep.errCode())
+	rep.write(w)
 }
 
-func (n *Node) acquireLocked(ttl time.Duration) reply {
+// beginSpan opens a flight-recorder span for one HTTP op, keyed by the
+// request ID the middleware assigned; the X-Trace header forces retention
+// past sampling (mirroring the wire protocol's trace flag).
+func (n *Node) beginSpan(op string, r *http.Request) *trace.Op {
+	sp := n.cfg.Tracer.Begin(op, server.RequestID(r))
+	if sp != nil && r.Header.Get(server.TraceForceHeader) != "" {
+		sp.Force()
+	}
+	return sp
+}
+
+func (n *Node) acquireLocked(ttl time.Duration, sp *trace.Op) reply {
+	var mark time.Time
+	if sp != nil {
+		mark = time.Now()
+	}
 	n.mu.RLock()
 	defer n.mu.RUnlock()
+	if sp != nil {
+		sp.Phase(trace.PhaseQueue, time.Since(mark))
+		sp.SetEpoch(n.table.Epoch)
+	}
 	if len(n.ownedIDs) == 0 {
 		return reply{unavail: ErrCodeNoPartitions, wait: n.cfg.ProbeInterval}
 	}
@@ -993,7 +1101,8 @@ func (n *Node) acquireLocked(ttl time.Duration) reply {
 			continue
 		}
 		sawOpen = true
-		l, err := part.mgr.Acquire(ttl)
+		sp.SetNode(n.cfg.NodeID, part.id)
+		l, err := part.mgr.AcquireSpan(ttl, sp)
 		if err == nil {
 			return reply{status: http.StatusOK, body: GrantResponse{
 				Name:               part.id*n.table.Stride + l.Name,
@@ -1057,17 +1166,29 @@ func (n *Node) handleRenew(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	n.renewOp(req).write(w)
+	sp := n.beginSpan("renew", r)
+	rep := n.renewOp(req, sp)
+	sp.Finish(rep.errCode())
+	rep.write(w)
 }
 
-func (n *Node) renewLocked(req server.RenewRequest) reply {
+func (n *Node) renewLocked(req server.RenewRequest, sp *trace.Op) reply {
+	var mark time.Time
+	if sp != nil {
+		mark = time.Now()
+	}
 	n.mu.RLock()
 	defer n.mu.RUnlock()
+	if sp != nil {
+		sp.Phase(trace.PhaseQueue, time.Since(mark))
+		sp.SetEpoch(n.table.Epoch)
+	}
 	part, local, rep, ok := n.resolveLocked(req.Name)
 	if !ok {
 		return rep
 	}
-	l, err := part.mgr.Renew(local, req.Token, n.ttlOf(req.TTLMillis))
+	sp.SetNode(n.cfg.NodeID, part.id)
+	l, err := part.mgr.RenewSpan(local, req.Token, n.ttlOf(req.TTLMillis), sp)
 	if err != nil {
 		if rep, fenced := n.fencedReplyLocked(err); fenced {
 			return rep
@@ -1092,17 +1213,29 @@ func (n *Node) handleRelease(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	n.releaseOp(req).write(w)
+	sp := n.beginSpan("release", r)
+	rep := n.releaseOp(req, sp)
+	sp.Finish(rep.errCode())
+	rep.write(w)
 }
 
-func (n *Node) releaseLocked(req server.ReleaseRequest) reply {
+func (n *Node) releaseLocked(req server.ReleaseRequest, sp *trace.Op) reply {
+	var mark time.Time
+	if sp != nil {
+		mark = time.Now()
+	}
 	n.mu.RLock()
 	defer n.mu.RUnlock()
+	if sp != nil {
+		sp.Phase(trace.PhaseQueue, time.Since(mark))
+		sp.SetEpoch(n.table.Epoch)
+	}
 	part, local, rep, ok := n.resolveLocked(req.Name)
 	if !ok {
 		return rep
 	}
-	if err := part.mgr.Release(local, req.Token); err != nil {
+	sp.SetNode(n.cfg.NodeID, part.id)
+	if err := part.mgr.ReleaseSpan(local, req.Token, sp); err != nil {
 		if rep, fenced := n.fencedReplyLocked(err); fenced {
 			return rep
 		}
@@ -1120,7 +1253,7 @@ func (n *Node) handleClusterPost(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &t) {
 		return
 	}
-	err := n.Adopt(t)
+	err := n.adoptTable(t, "peer_push")
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, EpochResponse{Adopted: true, Epoch: t.Epoch})
@@ -1253,5 +1386,17 @@ func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (n *Node) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{OK: true, NodeID: n.cfg.NodeID, Epoch: n.Epoch()})
+	resp := HealthResponse{
+		OK:        true,
+		NodeID:    n.cfg.NodeID,
+		Epoch:     n.Epoch(),
+		Version:   server.BuildVersion(),
+		GoVersion: runtime.Version(),
+	}
+	n.lifeMu.Lock()
+	if !n.startedAt.IsZero() {
+		resp.UptimeMillis = n.cfg.Clock().Sub(n.startedAt).Milliseconds()
+	}
+	n.lifeMu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
 }

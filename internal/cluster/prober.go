@@ -8,7 +8,11 @@ package cluster
 // missed a push converges on the next probe round.
 
 import (
+	"fmt"
+	"sort"
 	"time"
+
+	"github.com/levelarray/levelarray/internal/trace"
 )
 
 // probeLoop is the background membership goroutine: periodic peer probes
@@ -77,7 +81,11 @@ func (n *Node) probeOnce(misses map[int]int) {
 		}
 	}
 	if len(suspected)*2 >= live {
-		n.cfg.Logf("cluster: node %d: suspecting %d of %d live members — no quorum, holding still", self, len(suspected), live)
+		n.events.Emit(trace.Event{
+			Type: trace.EvQuorumHold, Level: trace.LevelWarn,
+			Epoch: t.Epoch, Partition: -1, Cause: "probe_timeout",
+			Detail: fmt.Sprintf("suspecting %v of %d live members — no quorum, holding still", suspectSet(suspected), live),
+		})
 		return
 	}
 
@@ -103,13 +111,18 @@ func (n *Node) probeOnce(misses map[int]int) {
 		if !ok {
 			continue
 		}
-		n.cfg.Logf("cluster: node %d: steward marking member %d down, epoch %d -> %d", self, m.ID, cur.Epoch, nt.Epoch)
+		n.events.Emit(trace.Event{
+			Type: trace.EvFailoverDecision, Level: trace.LevelWarn,
+			Epoch: nt.Epoch, Partition: -1, Cause: "probe_timeout",
+			Detail: fmt.Sprintf("steward marking member %d down after %d missed probes (suspects %v, %d live), epoch %d -> %d",
+				m.ID, misses[m.ID], suspectSet(suspected), live, cur.Epoch, nt.Epoch),
+		})
 		cur, changed = nt, true
 	}
 	if !changed {
 		return
 	}
-	if err := n.Adopt(cur); err != nil {
+	if err := n.adoptTable(cur, "steward_reassign"); err != nil {
 		// Lost a race against a newer table (pull or peer push); the next
 		// probe round re-evaluates against it.
 		n.cfg.Logf("cluster: node %d: adopting own reassignment failed: %v", self, err)
@@ -147,10 +160,21 @@ func (n *Node) pullFrom(addr string) {
 	if status, err := getJSON(n.cfg.HTTPClient, addr+"/cluster", &t); err != nil || status/100 != 2 {
 		return
 	}
-	if err := n.Adopt(t); err == nil {
+	if err := n.adoptTable(t, "anti_entropy_pull"); err == nil {
 		n.tablePulls.Add(1)
 		n.cfg.Logf("cluster: node %d: pulled table epoch %d from %s", n.cfg.NodeID, t.Epoch, addr)
 	}
+}
+
+// suspectSet renders a suspicion map as a sorted member-ID list — the vote
+// set a failover decision journals.
+func suspectSet(suspected map[int]bool) []int {
+	ids := make([]int, 0, len(suspected))
+	for id := range suspected {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // pullFromPeers tries every live peer until one yields a newer table.

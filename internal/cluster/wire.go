@@ -11,12 +11,14 @@ package cluster
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
 	"github.com/levelarray/levelarray/internal/activity"
 	"github.com/levelarray/levelarray/internal/lease"
 	"github.com/levelarray/levelarray/internal/server"
+	"github.com/levelarray/levelarray/internal/trace"
 	"github.com/levelarray/levelarray/internal/wire"
 )
 
@@ -114,7 +116,11 @@ func (n *Node) wireCheckEpoch(req *wire.Request, resp *wire.Response) bool {
 		n.requestRefresh()
 	}
 	n.staleEpochRejects.Add(1)
-	n.cfg.Logf("cluster: node %d: wire 412 stale epoch %d (ours %d) rid=%#x", n.cfg.NodeID, req.Epoch, cur, req.ID)
+	n.events.Emit(trace.Event{
+		Type: trace.EvStaleEpoch, Level: trace.LevelDebug,
+		Epoch: cur, Partition: -1, Cause: "frame_epoch", RID: wire.RIDString(req.ID),
+		Detail: fmt.Sprintf("wire 412: request carried epoch %d, ours is %d", req.Epoch, cur),
+	})
 	resp.Status = wire.StatusStaleEpoch
 	resp.Code = wire.CodeStaleEpoch
 	resp.Epoch = cur
@@ -132,7 +138,7 @@ func (n *Node) ServeWire(req *wire.Request, resp *wire.Response) {
 		if !n.wireCheckEpoch(req, resp) {
 			return
 		}
-		replyToWire(n.acquireOp(n.ttlOf(req.TTLMillis)), resp)
+		replyToWire(n.acquireOp(n.ttlOf(req.TTLMillis), req.Span), resp)
 
 	case wire.OpRenew:
 		if !n.wireCheckEpoch(req, resp) {
@@ -141,14 +147,14 @@ func (n *Node) ServeWire(req *wire.Request, resp *wire.Response) {
 		ref := req.Items[0]
 		replyToWire(n.renewOp(server.RenewRequest{
 			Name: int(ref.Name), Token: ref.Token, TTLMillis: req.TTLMillis,
-		}), resp)
+		}, req.Span), resp)
 
 	case wire.OpRelease:
 		if !n.wireCheckEpoch(req, resp) {
 			return
 		}
 		ref := req.Items[0]
-		replyToWire(n.releaseOp(server.ReleaseRequest{Name: int(ref.Name), Token: ref.Token}), resp)
+		replyToWire(n.releaseOp(server.ReleaseRequest{Name: int(ref.Name), Token: ref.Token}, req.Span), resp)
 
 	case wire.OpAcquireN:
 		if !n.wireCheckEpoch(req, resp) {

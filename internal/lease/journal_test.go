@@ -333,9 +333,9 @@ func (f *failingJournal) AppendBatch(recs []wal.Record) error {
 	return nil
 }
 
-func (f *failingJournal) BeginCheckpoint() (uint64, error)           { return 0, errJournalDown }
-func (f *failingJournal) CompleteCheckpoint(s *wal.Snapshot) error   { return errJournalDown }
-func (f *failingJournal) Recovered() (*wal.Snapshot, []wal.Record)   { return nil, nil }
+func (f *failingJournal) BeginCheckpoint() (uint64, error)         { return 0, errJournalDown }
+func (f *failingJournal) CompleteCheckpoint(s *wal.Snapshot) error { return errJournalDown }
+func (f *failingJournal) Recovered() (*wal.Snapshot, []wal.Record) { return nil, nil }
 
 func TestJournalFailureRollsBackGrant(t *testing.T) {
 	arr := core.MustNew(core.Config{Capacity: 8})

@@ -38,6 +38,7 @@ import (
 	"github.com/levelarray/levelarray/internal/activity"
 	"github.com/levelarray/levelarray/internal/shard"
 	"github.com/levelarray/levelarray/internal/tas"
+	"github.com/levelarray/levelarray/internal/trace"
 	"github.com/levelarray/levelarray/internal/wal"
 )
 
@@ -397,6 +398,15 @@ func (m *Manager) mintToken(h activity.Handle) uint64 {
 // unchanged when registration fails — activity.ErrFull means every slot is
 // leased or awaiting expiry.
 func (m *Manager) Acquire(ttl time.Duration) (Lease, error) {
+	return m.AcquireSpan(ttl, nil)
+}
+
+// AcquireSpan is Acquire with flight-recorder phase attribution: the array
+// probe is charged to lease-table, the entry-lock (plus checkpoint-barrier)
+// wait to lock-wait, and — through the journal — the WAL write and group
+// fsync to wal-append and fsync-wait. A nil span records nothing and costs
+// only nil checks.
+func (m *Manager) AcquireSpan(ttl time.Duration, sp *trace.Op) (Lease, error) {
 	if m.closed.Load() {
 		return Lease{}, ErrClosed
 	}
@@ -406,7 +416,14 @@ func (m *Manager) Acquire(ttl time.Duration) (Lease, error) {
 	}
 	h := m.getHandle()
 	m.pendingGets.Add(1)
+	var mark time.Time
+	if sp != nil {
+		mark = time.Now()
+	}
 	name, err := h.Get()
+	if sp != nil {
+		sp.Phase(trace.PhaseLeaseTable, time.Since(mark))
+	}
 	if err != nil {
 		m.pendingGets.Add(-1)
 		m.putHandle(h)
@@ -421,8 +438,14 @@ func (m *Manager) Acquire(ttl time.Duration) (Lease, error) {
 		deadline = m.now().Add(ttl).UnixNano()
 	}
 	e := &m.entries[name]
+	if sp != nil {
+		mark = time.Now()
+	}
 	m.journalRLock()
 	e.mu.Lock()
+	if sp != nil {
+		sp.Phase(trace.PhaseLockWait, time.Since(mark))
+	}
 	e.active = true
 	e.token = token
 	e.deadline = deadline
@@ -435,7 +458,7 @@ func (m *Manager) Acquire(ttl time.Duration) (Lease, error) {
 		// Durable-before-ack: the grant is journaled (and, under SyncAlways,
 		// fsynced) before the token leaves this function. A failed append
 		// rolls the grant back so memory and log stay in agreement.
-		if err := m.journal.Append(wal.OpAcquire, uint32(name), token, deadline); err != nil {
+		if err := m.journalAppend(sp, wal.OpAcquire, uint32(name), token, deadline); err != nil {
 			e.active = false
 			e.wheelTick = 0
 			e.handle = nil
@@ -461,6 +484,11 @@ func (m *Manager) Acquire(ttl time.Duration) (Lease, error) {
 // Renew extends (or shortens, or makes infinite) the lease on name, fenced
 // by token. A stale token is counted as a renew race and rejected.
 func (m *Manager) Renew(name int, token uint64, ttl time.Duration) (Lease, error) {
+	return m.RenewSpan(name, token, ttl, nil)
+}
+
+// RenewSpan is Renew with flight-recorder phase attribution (see AcquireSpan).
+func (m *Manager) RenewSpan(name int, token uint64, ttl time.Duration, sp *trace.Op) (Lease, error) {
 	if m.closed.Load() {
 		return Lease{}, ErrClosed
 	}
@@ -476,8 +504,15 @@ func (m *Manager) Renew(name int, token uint64, ttl time.Duration) (Lease, error
 		deadline = m.now().Add(ttl).UnixNano()
 	}
 	e := &m.entries[name]
+	var mark time.Time
+	if sp != nil {
+		mark = time.Now()
+	}
 	m.journalRLock()
 	e.mu.Lock()
+	if sp != nil {
+		sp.Phase(trace.PhaseLockWait, time.Since(mark))
+	}
 	if !e.active {
 		e.mu.Unlock()
 		m.journalRUnlock()
@@ -504,7 +539,7 @@ func (m *Manager) Renew(name int, token uint64, ttl time.Duration) (Lease, error
 		// Durable-before-ack, same as Acquire: an extension the client may
 		// act on must survive a crash, or replay would expire the lease
 		// earlier than the deadline this call stated.
-		if err := m.journal.Append(wal.OpRenew, uint32(name), token, deadline); err != nil {
+		if err := m.journalAppend(sp, wal.OpRenew, uint32(name), token, deadline); err != nil {
 			e.deadline, e.wheelTick = oldDeadline, oldWheelTick
 			e.mu.Unlock()
 			m.journalRUnlock()
@@ -524,6 +559,12 @@ func (m *Manager) Renew(name int, token uint64, ttl time.Duration) (Lease, error
 // release race and rejected, so a double release (or a release racing a
 // reissue) can never free another holder's slot.
 func (m *Manager) Release(name int, token uint64) error {
+	return m.ReleaseSpan(name, token, nil)
+}
+
+// ReleaseSpan is Release with flight-recorder phase attribution (see
+// AcquireSpan).
+func (m *Manager) ReleaseSpan(name int, token uint64, sp *trace.Op) error {
 	if m.closed.Load() {
 		return ErrClosed
 	}
@@ -531,8 +572,15 @@ func (m *Manager) Release(name int, token uint64) error {
 		return fmt.Errorf("lease: name %d outside namespace [0, %d): %w", name, len(m.entries), ErrNotLeased)
 	}
 	e := &m.entries[name]
+	var mark time.Time
+	if sp != nil {
+		mark = time.Now()
+	}
 	m.journalRLock()
 	e.mu.Lock()
+	if sp != nil {
+		sp.Phase(trace.PhaseLockWait, time.Since(mark))
+	}
 	if !e.active {
 		e.mu.Unlock()
 		m.journalRUnlock()
@@ -550,7 +598,7 @@ func (m *Manager) Release(name int, token uint64) error {
 		// client can retry) rather than freed-in-memory but held-on-replay.
 		// The reverse loss — record durable, crash before the in-memory free
 		// — is invisible: the process died with it.
-		if err := m.journal.Append(wal.OpRelease, uint32(name), token, 0); err != nil {
+		if err := m.journalAppend(sp, wal.OpRelease, uint32(name), token, 0); err != nil {
 			e.mu.Unlock()
 			m.journalRUnlock()
 			return fmt.Errorf("lease: journal release: %w", err)
@@ -567,6 +615,24 @@ func (m *Manager) Release(name int, token uint64) error {
 	m.active.Add(-1)
 	m.releases.Add(1)
 	return err
+}
+
+// tracedJournal is the optional Journal extension that attributes WAL queue,
+// append and group-fsync time into a span. *wal.Store implements it; plain
+// Journal implementations (including test doubles) are used untraced.
+type tracedJournal interface {
+	AppendTraced(sp *trace.Op, op wal.Op, name uint32, token uint64, deadline int64) error
+}
+
+// journalAppend routes one record through the traced append when a span is
+// live and the journal supports it, and through the plain append otherwise.
+func (m *Manager) journalAppend(sp *trace.Op, op wal.Op, name uint32, token uint64, deadline int64) error {
+	if sp != nil {
+		if tj, ok := m.journal.(tracedJournal); ok {
+			return tj.AppendTraced(sp, op, name, token, deadline)
+		}
+	}
+	return m.journal.Append(op, name, token, deadline)
 }
 
 // fromNanos converts a deadline in UnixNano (0 = infinite) to a time.Time.

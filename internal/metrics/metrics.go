@@ -66,11 +66,29 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // may see the bucket increment before the sum (or vice versa), which the
 // Prometheus exposition model explicitly tolerates.
 type Histogram struct {
-	bounds  []float64 // upper bounds in seconds, ascending
-	buckets []atomic.Uint64
-	inf     atomic.Uint64 // observations above the last bound
-	sumNs   atomic.Uint64 // total observed time in nanoseconds
+	bounds    []float64 // upper bounds in seconds, ascending
+	buckets   []atomic.Uint64
+	inf       atomic.Uint64 // observations above the last bound
+	sumNs     atomic.Uint64 // total observed time in nanoseconds
+	exemplars []atomic.Pointer[Exemplar]
 }
+
+// Exemplar ties one observation's request ID to a bucket: the trace handle
+// behind "which op landed here?". Each bucket retains the slowest recent
+// observation offered with a request ID; exemplars are immutable once
+// published.
+type Exemplar struct {
+	// RID is the observation's request ID — a trace key for /debug/trace.
+	RID string
+	// DurationNanos is the observed latency.
+	DurationNanos int64
+	// AtUnixNano is when the observation was made.
+	AtUnixNano int64
+}
+
+// exemplarMaxAge bounds how long a bucket's exemplar blocks replacement by a
+// faster one, so exemplars track recent traffic instead of the all-time max.
+const exemplarMaxAge = int64(60 * time.Second)
 
 // NewHistogram builds a histogram over the given ascending upper bounds (in
 // seconds). Registry.Histogram is the normal constructor.
@@ -81,7 +99,11 @@ func NewHistogram(bounds []float64) *Histogram {
 	if !sort.Float64sAreSorted(bounds) {
 		panic("metrics: histogram bounds must be ascending")
 	}
-	return &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds))}
+	return &Histogram{
+		bounds:    bounds,
+		buckets:   make([]atomic.Uint64, len(bounds)),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
+	}
 }
 
 // ExpBuckets returns n ascending bounds starting at start seconds, each
@@ -106,22 +128,65 @@ func LatencyBuckets() []float64 { return ExpBuckets(500e-9, 4, 13) }
 
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
+	h.ObserveEx(d, "")
+}
+
+// ObserveEx records one duration and, when rid is non-empty, offers it as
+// the bucket's exemplar. The bucket keeps the offer when it is slower than
+// the current exemplar or the current one has aged out, so each bucket
+// advertises the request ID of its slowest recent landing — the handle to
+// pull that op's phase breakdown from /debug/trace.
+func (h *Histogram) ObserveEx(d time.Duration, rid string) {
 	if d < 0 {
 		d = 0
 	}
 	s := d.Seconds()
+	idx := len(h.bounds)
 	// Linear scan: bucket counts are small (~13) and the branch history is
 	// dominated by the low buckets, so this beats a binary search in
 	// practice and keeps the loop allocation- and bounds-check-friendly.
 	for i, b := range h.bounds {
 		if s <= b {
-			h.buckets[i].Add(1)
-			h.sumNs.Add(uint64(d))
+			idx = i
+			break
+		}
+	}
+	if idx == len(h.bounds) {
+		h.inf.Add(1)
+	} else {
+		h.buckets[idx].Add(1)
+	}
+	h.sumNs.Add(uint64(d))
+	if rid != "" {
+		h.offerExemplar(idx, rid, d)
+	}
+}
+
+// offerExemplar publishes rid as bucket idx's exemplar unless a slower,
+// still-fresh one is already in place. Lock-free: a lost CAS means a
+// concurrent offer won; retry against the new incumbent.
+func (h *Histogram) offerExemplar(idx int, rid string, d time.Duration) {
+	now := time.Now().UnixNano()
+	slot := &h.exemplars[idx]
+	for {
+		cur := slot.Load()
+		if cur != nil && cur.DurationNanos >= int64(d) && now-cur.AtUnixNano < exemplarMaxAge {
+			return
+		}
+		if slot.CompareAndSwap(cur, &Exemplar{RID: rid, DurationNanos: int64(d), AtUnixNano: now}) {
 			return
 		}
 	}
-	h.inf.Add(1)
-	h.sumNs.Add(uint64(d))
+}
+
+// Exemplars snapshots the per-bucket exemplars (aligned with Bounds, +Inf
+// appended); entries are nil where no observation carried a request ID.
+func (h *Histogram) Exemplars() []*Exemplar {
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
 }
 
 // Snapshot returns the per-bucket counts (aligned with Bounds, with the

@@ -213,17 +213,43 @@ func renderFamily(b *strings.Builder, f *family) {
 
 // writeHistogram renders the _bucket/_sum/_count triplet with cumulative
 // bucket counts, per the exposition invariants (le is cumulative and ends
-// at +Inf; _count equals the +Inf bucket).
+// at +Inf; _count equals the +Inf bucket). Buckets that captured an
+// exemplar get a trailing comment line — text-format 0.0.4 parsers skip
+// comments, and operators get the trace ID of each bucket's slowest recent
+// op for free on every scrape.
 func writeHistogram(b *strings.Builder, name, labels string, h *Histogram) {
 	counts, count, sum := h.Snapshot()
+	exemplars := h.Exemplars()
 	var cum uint64
 	for i, bound := range h.bounds {
 		cum += counts[i]
-		writeUintSample(b, name+"_bucket", joinLabels(labels, `le="`+formatFloat(bound)+`"`), cum)
+		le := joinLabels(labels, `le="`+formatFloat(bound)+`"`)
+		writeUintSample(b, name+"_bucket", le, cum)
+		writeExemplar(b, name, le, exemplars[i])
 	}
-	writeUintSample(b, name+"_bucket", joinLabels(labels, `le="+Inf"`), count)
+	leInf := joinLabels(labels, `le="+Inf"`)
+	writeUintSample(b, name+"_bucket", leInf, count)
+	writeExemplar(b, name, leInf, exemplars[len(h.bounds)])
 	writeSample(b, name+"_sum", labels, sum.Seconds())
 	writeUintSample(b, name+"_count", labels, count)
+}
+
+// writeExemplar renders one bucket exemplar as an exposition comment:
+//
+//	# exemplar la_acquire_latency_seconds_bucket{le="0.002"} rid=la-1a2b-3 duration_ns=1830211
+func writeExemplar(b *strings.Builder, name, le string, e *Exemplar) {
+	if e == nil {
+		return
+	}
+	b.WriteString("# exemplar ")
+	b.WriteString(name)
+	b.WriteString("_bucket{")
+	b.WriteString(le)
+	b.WriteString("} rid=")
+	b.WriteString(e.RID)
+	b.WriteString(" duration_ns=")
+	b.WriteString(strconv.FormatInt(e.DurationNanos, 10))
+	b.WriteByte('\n')
 }
 
 func writeSample(b *strings.Builder, name, labels string, v float64) {

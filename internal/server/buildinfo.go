@@ -1,0 +1,67 @@
+package server
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"github.com/levelarray/levelarray/internal/metrics"
+	"github.com/levelarray/levelarray/internal/trace"
+)
+
+// buildVersion resolves the binary's version once: the module version when
+// stamped, else the VCS revision, else "devel".
+var buildVersion = sync.OnceValue(func() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			if len(s.Value) > 12 {
+				return s.Value[:12]
+			}
+			return s.Value
+		}
+	}
+	return "devel"
+})
+
+// BuildVersion returns the binary's build identity, shared by /healthz and
+// the la_build_info metric.
+func BuildVersion() string { return buildVersion() }
+
+// RegisterBuildInfo exposes la_build_info{version,go_version}: constant 1,
+// the standard identity-as-labels convention, so dashboards can join any
+// other family against the deployed build.
+func RegisterBuildInfo(reg *metrics.Registry) {
+	reg.GaugeFunc("la_build_info", "Build identity; the value is always 1.",
+		func() float64 { return 1 },
+		metrics.L("version", BuildVersion()), metrics.L("go_version", runtime.Version()))
+}
+
+// RegisterTracer exposes the flight recorder's span accounting so scrapes
+// can see tracing state and slow-op pressure without hitting /debug/trace.
+func RegisterTracer(reg *metrics.Registry, rec *trace.Recorder) {
+	reg.GaugeFunc("la_trace_enabled", "1 when the flight recorder is recording.", func() float64 {
+		if rec.Enabled() {
+			return 1
+		}
+		return 0
+	})
+	reg.CounterFunc("la_trace_spans_started_total", "Spans opened by the flight recorder.", func() uint64 {
+		started, _, _ := rec.Counters()
+		return started
+	})
+	reg.CounterFunc("la_trace_spans_finished_total", "Spans sealed by the flight recorder.", func() uint64 {
+		_, finished, _ := rec.Counters()
+		return finished
+	})
+	reg.CounterFunc("la_trace_slow_spans_total", "Spans retained as slow ops.", func() uint64 {
+		_, _, slow := rec.Counters()
+		return slow
+	})
+}

@@ -231,12 +231,17 @@ type LoadReport struct {
 	FinalStats StatsResponse `json:"final_stats"`
 }
 
-// WireEfficiency is the syscall-amortization summary of a wire-backed run.
+// WireEfficiency is the syscall-amortization summary of a wire-backed run:
+// the pooled client's own counters, as deltas over the run, so the report
+// carries the client-side health that used to live only in exit logs.
 type WireEfficiency struct {
 	Dials      uint64 `json:"dials"`
 	Ops        uint64 `json:"ops"`
 	FramesSent uint64 `json:"frames_sent"`
 	Flushes    uint64 `json:"flushes"`
+	// Backoffs counts calls failed fast inside a redial-backoff window — a
+	// nonzero value means the run was hitting a dead or flapping endpoint.
+	Backoffs uint64 `json:"backoffs"`
 }
 
 // OpsPerConn returns completed operations per connection dialed.
@@ -479,6 +484,7 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 			Ops:        after.Ops - wireBase.Ops,
 			FramesSent: after.FramesSent - wireBase.FramesSent,
 			Flushes:    after.Flushes - wireBase.Flushes,
+			Backoffs:   after.Backoffs - wireBase.Backoffs,
 		}
 	}
 

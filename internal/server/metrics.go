@@ -67,6 +67,7 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 	m.Fence(ErrCodeNotLeased)
 	m.Unavailable(ErrCodeFull)
 	m.Unavailable(ErrCodeClosed)
+	RegisterBuildInfo(reg)
 	return m
 }
 
@@ -131,30 +132,46 @@ func (m *Metrics) observeLeaseErr(err error) {
 // ObserveAcquire records one acquire attempt: latency, the attempt counter,
 // and the failure class when err is non-nil. Safe on a nil receiver.
 func (m *Metrics) ObserveAcquire(start time.Time, err error) {
+	m.ObserveAcquireRID(start, err, "")
+}
+
+// ObserveAcquireRID is ObserveAcquire with the request ID offered as the
+// latency bucket's exemplar, tying the histogram to the flight recorder.
+func (m *Metrics) ObserveAcquireRID(start time.Time, err error, rid string) {
 	if m == nil {
 		return
 	}
-	m.AcquireLatency.Observe(time.Since(start))
+	m.AcquireLatency.ObserveEx(time.Since(start), rid)
 	m.AcquireOps.Inc()
 	m.observeLeaseErr(err)
 }
 
 // ObserveRenew records one renew attempt.
 func (m *Metrics) ObserveRenew(start time.Time, err error) {
+	m.ObserveRenewRID(start, err, "")
+}
+
+// ObserveRenewRID is ObserveRenew with a bucket-exemplar request ID.
+func (m *Metrics) ObserveRenewRID(start time.Time, err error, rid string) {
 	if m == nil {
 		return
 	}
-	m.RenewLatency.Observe(time.Since(start))
+	m.RenewLatency.ObserveEx(time.Since(start), rid)
 	m.RenewOps.Inc()
 	m.observeLeaseErr(err)
 }
 
 // ObserveRelease records one release attempt.
 func (m *Metrics) ObserveRelease(start time.Time, err error) {
+	m.ObserveReleaseRID(start, err, "")
+}
+
+// ObserveReleaseRID is ObserveRelease with a bucket-exemplar request ID.
+func (m *Metrics) ObserveReleaseRID(start time.Time, err error, rid string) {
 	if m == nil {
 		return
 	}
-	m.ReleaseLatency.Observe(time.Since(start))
+	m.ReleaseLatency.ObserveEx(time.Since(start), rid)
 	m.ReleaseOps.Inc()
 	m.observeLeaseErr(err)
 }

@@ -11,7 +11,7 @@
 //	GET  /collect                                        -> {"count": n, "names": [...]}
 //	GET  /leases?start=0&limit=100                       -> active-session page
 //	GET  /stats                                          -> lease + shard statistics
-//	GET  /healthz                                        -> {"ok": true}
+//	GET  /healthz                                        -> build + uptime identity
 //
 // Status codes map the lease-layer errors: 503 when the namespace is
 // exhausted (activity.ErrFull) or the manager is shut down, 409 on fencing
@@ -32,9 +32,12 @@ import (
 	"strconv"
 	"time"
 
+	"runtime"
+
 	"github.com/levelarray/levelarray/internal/activity"
 	"github.com/levelarray/levelarray/internal/lease"
 	"github.com/levelarray/levelarray/internal/shard"
+	"github.com/levelarray/levelarray/internal/trace"
 )
 
 // maxBodyBytes bounds request bodies; every request fits in a handful of
@@ -142,6 +145,12 @@ type Config struct {
 	// MetricsElsewhere suppresses the /metrics + pprof mounts (the operations
 	// still record) when the registry is served on a dedicated listener.
 	MetricsElsewhere bool
+	// Tracer, when non-nil, opens a phase-attributed span per lease operation
+	// and serves the span rings at GET /debug/trace and /debug/trace/slow.
+	Tracer *trace.Recorder
+	// Events, when non-nil, is the node's control-plane journal, served at
+	// GET /debug/events.
+	Events *trace.EventLog
 }
 
 // Server serves the lease API for one manager. Build it with New; it
@@ -171,6 +180,7 @@ func New(mgr *lease.Manager, cfg Config) *Server {
 	if cfg.Metrics != nil && !cfg.MetricsElsewhere {
 		MountMetrics(s.mux, cfg.Metrics.Registry)
 	}
+	trace.Mount(s.mux, cfg.Tracer, cfg.Events)
 	s.h = WithRequestID(s.mux)
 	return s
 }
@@ -294,6 +304,41 @@ func WriteLeaseError(w http.ResponseWriter, err error) {
 	}
 }
 
+// LeaseErrCode maps a lease-layer error to its wire error code ("" for nil):
+// the span-outcome counterpart of WriteLeaseError's status mapping.
+func LeaseErrCode(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, activity.ErrFull):
+		return ErrCodeFull
+	case errors.Is(err, lease.ErrStaleToken):
+		return ErrCodeStaleToken
+	case errors.Is(err, lease.ErrNotLeased):
+		return ErrCodeNotLeased
+	case errors.Is(err, lease.ErrClosed):
+		return ErrCodeClosed
+	case errors.Is(err, lease.ErrTTLTooLong):
+		return ErrCodeTTL
+	default:
+		return ErrCodeBadRequest
+	}
+}
+
+// TraceForceHeader, when present on a request, forces the operation's span
+// past the recorder's sampling — the HTTP analogue of the wire trace flag.
+const TraceForceHeader = "X-Trace"
+
+// beginSpan opens the handler-side span for one operation, keyed by the
+// request's trace id. Returns nil (a valid no-op span) when tracing is off.
+func (s *Server) beginSpan(op string, r *http.Request) *trace.Op {
+	sp := s.cfg.Tracer.Begin(op, RequestID(r))
+	if sp != nil && r.Header.Get(TraceForceHeader) != "" {
+		sp.Force()
+	}
+	return sp
+}
+
 // ttlOf maps the wire TTL encoding (0 = server default, negative = infinite)
 // to the lease layer's (<= 0 = infinite).
 func (s *Server) ttlOf(millis int64) time.Duration {
@@ -320,9 +365,11 @@ func (s *Server) handleAcquire(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	sp := s.beginSpan("acquire", r)
 	start := time.Now()
-	l, err := s.mgr.Acquire(s.ttlOf(req.TTLMillis))
-	s.cfg.Metrics.ObserveAcquire(start, err)
+	l, err := s.mgr.AcquireSpan(s.ttlOf(req.TTLMillis), sp)
+	s.cfg.Metrics.ObserveAcquireRID(start, err, sp.RID())
+	sp.Finish(LeaseErrCode(err))
 	if err != nil {
 		if errors.Is(err, activity.ErrFull) {
 			// Slots free up when leases expire, so one expirer tick is the
@@ -341,9 +388,11 @@ func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	sp := s.beginSpan("renew", r)
 	start := time.Now()
-	l, err := s.mgr.Renew(req.Name, req.Token, s.ttlOf(req.TTLMillis))
-	s.cfg.Metrics.ObserveRenew(start, err)
+	l, err := s.mgr.RenewSpan(req.Name, req.Token, s.ttlOf(req.TTLMillis), sp)
+	s.cfg.Metrics.ObserveRenewRID(start, err, sp.RID())
+	sp.Finish(LeaseErrCode(err))
 	if err != nil {
 		WriteLeaseError(w, err)
 		return
@@ -356,9 +405,11 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	sp := s.beginSpan("release", r)
 	start := time.Now()
-	err := s.mgr.Release(req.Name, req.Token)
-	s.cfg.Metrics.ObserveRelease(start, err)
+	err := s.mgr.ReleaseSpan(req.Name, req.Token, sp)
+	s.cfg.Metrics.ObserveReleaseRID(start, err, sp.RID())
+	sp.Finish(LeaseErrCode(err))
 	if err != nil {
 		WriteLeaseError(w, err)
 		return
@@ -441,6 +492,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// HealthzResponse is the body of GET /healthz: liveness plus enough build
+// and uptime identity to tell a fresh restart from a long-lived process.
+type HealthzResponse struct {
+	OK           bool   `json:"ok"`
+	Version      string `json:"version"`
+	GoVersion    string `json:"go_version"`
+	UptimeMillis int64  `json:"uptime_ms"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	writeJSON(w, http.StatusOK, HealthzResponse{
+		OK:           true,
+		Version:      BuildVersion(),
+		GoVersion:    runtime.Version(),
+		UptimeMillis: time.Since(s.started).Milliseconds(),
+	})
 }

@@ -107,8 +107,8 @@ func (b *WireBackend) ServeWire(req *wire.Request, resp *wire.Response) {
 
 	case wire.OpAcquire:
 		start := time.Now()
-		l, err := b.mgr.Acquire(b.ttlOf(req.TTLMillis))
-		b.cfg.Metrics.ObserveAcquire(start, err)
+		l, err := b.mgr.AcquireSpan(b.ttlOf(req.TTLMillis), req.Span)
+		b.cfg.Metrics.ObserveAcquireRID(start, err, req.Span.RID())
 		if err != nil {
 			b.respondLeaseError(resp, err)
 			return
@@ -118,8 +118,8 @@ func (b *WireBackend) ServeWire(req *wire.Request, resp *wire.Response) {
 	case wire.OpRenew:
 		ref := req.Items[0]
 		start := time.Now()
-		l, err := b.mgr.Renew(int(ref.Name), ref.Token, b.ttlOf(req.TTLMillis))
-		b.cfg.Metrics.ObserveRenew(start, err)
+		l, err := b.mgr.RenewSpan(int(ref.Name), ref.Token, b.ttlOf(req.TTLMillis), req.Span)
+		b.cfg.Metrics.ObserveRenewRID(start, err, req.Span.RID())
 		if err != nil {
 			b.respondLeaseError(resp, err)
 			return
@@ -129,8 +129,8 @@ func (b *WireBackend) ServeWire(req *wire.Request, resp *wire.Response) {
 	case wire.OpRelease:
 		ref := req.Items[0]
 		start := time.Now()
-		err := b.mgr.Release(int(ref.Name), ref.Token)
-		b.cfg.Metrics.ObserveRelease(start, err)
+		err := b.mgr.ReleaseSpan(int(ref.Name), ref.Token, req.Span)
+		b.cfg.Metrics.ObserveReleaseRID(start, err, req.Span.RID())
 		if err != nil {
 			b.respondLeaseError(resp, err)
 			return
@@ -311,6 +311,8 @@ func begin(op wire.Opcode) *wireCall {
 	ca.req.N = 0
 	ca.req.Start, ca.req.Limit = 0, 0
 	ca.req.Items = ca.req.Items[:0]
+	ca.req.Trace = false
+	ca.req.Span = nil
 	return ca
 }
 

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+)
+
+// TraceResponse is the wire shape of /debug/trace and /debug/trace/slow.
+type TraceResponse struct {
+	Enabled             bool       `json:"enabled"`
+	SlowThresholdMillis int64      `json:"slow_threshold_ms"`
+	SpansStarted        uint64     `json:"spans_started"`
+	SpansFinished       uint64     `json:"spans_finished"`
+	SlowSpans           uint64     `json:"slow_spans"`
+	Spans               []SpanJSON `json:"spans"`
+}
+
+// traceResponse assembles the wire shape from one snapshot, oldest first.
+func traceResponse(r *Recorder, spans []Span) TraceResponse {
+	started, finished, slow := r.Counters()
+	resp := TraceResponse{
+		Enabled:             r.Enabled(),
+		SlowThresholdMillis: r.SlowThreshold().Milliseconds(),
+		SpansStarted:        started,
+		SpansFinished:       finished,
+		SlowSpans:           slow,
+		Spans:               make([]SpanJSON, 0, len(spans)),
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].StartUnixNano < spans[j].StartUnixNano })
+	for i := range spans {
+		resp.Spans = append(resp.Spans, spans[i].JSON())
+	}
+	return resp
+}
+
+func writeJSON(w http.ResponseWriter, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// Handler serves GET /debug/trace: the sampled span ring.
+func Handler(r *Recorder) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, traceResponse(r, r.Spans()))
+	}
+}
+
+// SlowHandler serves GET /debug/trace/slow: spans that met the threshold.
+func SlowHandler(r *Recorder) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, traceResponse(r, r.SlowSpans()))
+	}
+}
+
+// EventsHandler serves GET /debug/events: the node's control-plane journal.
+func EventsHandler(l *EventLog) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		resp := EventsResponse{Node: -1, Events: l.Events()}
+		if l != nil {
+			resp.Node = l.node
+		}
+		if resp.Events == nil {
+			resp.Events = []Event{}
+		}
+		writeJSON(w, resp)
+	}
+}
+
+// Mount attaches the three debug endpoints to mux. Either argument may be
+// nil; the endpoints still answer (with empty state) so probes can
+// distinguish "tracing off" from "endpoint missing".
+func Mount(mux *http.ServeMux, r *Recorder, l *EventLog) {
+	mux.HandleFunc("GET /debug/trace", Handler(r))
+	mux.HandleFunc("GET /debug/trace/slow", SlowHandler(r))
+	mux.HandleFunc("GET /debug/events", EventsHandler(l))
+}

@@ -30,9 +30,9 @@ func buildSeedLog() []byte {
 func FuzzWALReplay(f *testing.F) {
 	seed := buildSeedLog()
 	f.Add(seed)
-	f.Add(seed[:len(seed)-1])          // torn final byte
-	f.Add(seed[:frameLen+frameLen/2])  // torn mid-record
-	f.Add([]byte{})                    // empty segment
+	f.Add(seed[:len(seed)-1])             // torn final byte
+	f.Add(seed[:frameLen+frameLen/2])     // torn mid-record
+	f.Add([]byte{})                       // empty segment
 	f.Add(bytes.Repeat([]byte{0xFF}, 64)) // garbage
 	mut := append([]byte(nil), seed...)
 	mut[frameLen+9] ^= 0x40 // flip a payload bit in record 2

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/levelarray/levelarray/internal/trace"
 )
 
 // SyncPolicy selects when appended records are forced to stable storage.
@@ -149,9 +151,22 @@ func (l *log) intervalLoop() {
 }
 
 // append writes the encoded frames and, under SyncAlways, blocks until an
-// fsync covering them completes. Returns the write ticket (for tests).
-func (l *log) append(frames []byte) error {
+// fsync covering them completes. When sp is non-nil the wait for the log
+// mutex is attributed to the queue phase, the buffered write to wal-append,
+// and the group-commit wait (own fsync or a covering one) to fsync-wait —
+// so a slow-op trace separates "stuck behind the log lock" from "paying the
+// durability tax".
+func (l *log) append(sp *trace.Op, frames []byte) error {
+	var mark time.Time
+	if sp != nil {
+		mark = time.Now()
+	}
 	l.mu.Lock()
+	if sp != nil {
+		now := time.Now()
+		sp.Phase(trace.PhaseQueue, now.Sub(mark))
+		mark = now
+	}
 	if l.f == nil {
 		l.mu.Unlock()
 		return fmt.Errorf("wal: log closed")
@@ -164,6 +179,11 @@ func (l *log) append(frames []byte) error {
 	ticket := l.writes
 	l.appends.Add(1)
 	l.bytes.Add(uint64(len(frames)))
+	if sp != nil {
+		now := time.Now()
+		sp.Phase(trace.PhaseWALAppend, now.Sub(mark))
+		mark = now
+	}
 
 	if l.policy != SyncAlways {
 		l.mu.Unlock()
@@ -173,6 +193,11 @@ func (l *log) append(frames []byte) error {
 	// Group commit: wait until some fsync covers our ticket. If nobody is
 	// flushing, become the flusher; otherwise wait for the current flush
 	// to land and re-check (it may have started before our write).
+	defer func() {
+		if sp != nil {
+			sp.Phase(trace.PhaseFsyncWait, time.Since(mark))
+		}
+	}()
 	for l.synced < ticket {
 		if !l.syncing {
 			l.syncing = true

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"sync/atomic"
 	"time"
+
+	"github.com/levelarray/levelarray/internal/trace"
 )
 
 // fenceName is the adoption fence marker. A steward adopting this
@@ -178,13 +180,25 @@ func (s *Store) Fenced() bool { return s.fenced.Load() }
 // fence has been re-checked — an Append that returns nil is a grant the
 // adopter is guaranteed to see.
 func (s *Store) Append(op Op, name uint32, token uint64, deadline int64) error {
-	return s.AppendBatch([]Record{{Op: op, Name: name, Token: token, Deadline: deadline}})
+	return s.AppendTraced(nil, op, name, token, deadline)
+}
+
+// AppendTraced is Append with flight-recorder phase attribution: the span
+// (when non-nil) is charged queue, wal-append and fsync-wait time. It is the
+// lease manager's tracedJournal hook.
+func (s *Store) AppendTraced(sp *trace.Op, op Op, name uint32, token uint64, deadline int64) error {
+	return s.AppendBatchTraced(sp, []Record{{Op: op, Name: name, Token: token, Deadline: deadline}})
 }
 
 // AppendBatch journals several records with a single durability wait —
 // the batch-op path (AcquireN, RenewAll) pays one group commit for the
 // whole round.
 func (s *Store) AppendBatch(recs []Record) error {
+	return s.AppendBatchTraced(nil, recs)
+}
+
+// AppendBatchTraced is AppendBatch with flight-recorder phase attribution.
+func (s *Store) AppendBatchTraced(sp *trace.Op, recs []Record) error {
 	if len(recs) == 0 {
 		return nil
 	}
@@ -196,7 +210,7 @@ func (s *Store) AppendBatch(recs []Record) error {
 		recs[i].LSN = s.lsn.Add(1)
 		buf = appendRecord(buf, recs[i])
 	}
-	if err := s.log.append(buf); err != nil {
+	if err := s.log.append(sp, buf); err != nil {
 		return err
 	}
 	if s.policy == SyncAlways && s.checkFence() {

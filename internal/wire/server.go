@@ -6,6 +6,9 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"github.com/levelarray/levelarray/internal/trace"
 )
 
 // Backend is the semantic half of a wire server: it receives one decoded
@@ -19,6 +22,7 @@ type Backend interface {
 // Server accepts wire connections and drives one serve loop per connection.
 type Server struct {
 	backend Backend
+	tracer  *trace.Recorder
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -67,6 +71,12 @@ func (s *Server) Counters() ServerCounters {
 func NewServer(backend Backend) *Server {
 	return &Server{backend: backend, conns: make(map[net.Conn]struct{})}
 }
+
+// SetTracer installs the node's flight recorder: every frame served while
+// the recorder is enabled opens a span (keyed by the frame's request ID)
+// that the backend attributes phase time into via Request.Span, and the
+// server itself attributes response encoding and flush. Call before Serve.
+func (s *Server) SetTracer(r *trace.Recorder) { s.tracer = r }
 
 // Serve accepts connections on ln until the listener fails or the server is
 // closed. It blocks; run it in its own goroutine.
@@ -172,15 +182,27 @@ func (s *Server) serveConn(c net.Conn) {
 
 		s.framesRead.Add(1)
 		resp.Reset()
+		var sp *trace.Op
 		if err := DecodeRequest(h, payload, &req); err != nil {
 			s.decodeErrors.Add(1)
 			resp.Status = StatusBadRequest
 			resp.Code = CodeBadRequest
 		} else {
+			if sp = s.tracer.Begin(req.Op.String(), RIDString(req.ID)); sp != nil && req.Trace {
+				sp.Force()
+			}
+			req.Span = sp
 			s.backend.ServeWire(&req, &resp)
 		}
 
+		var mark time.Time
+		if sp != nil {
+			mark = time.Now()
+		}
 		out = AppendResponse(out[:0], h.Op, h.ID, &resp)
+		if sp != nil {
+			sp.Phase(trace.PhaseWireEncode, time.Since(mark))
+		}
 		if _, err := w.Write(out); err != nil {
 			return
 		}
@@ -189,10 +211,23 @@ func (s *Server) serveConn(c net.Conn) {
 		// bytes are already buffered, the client is pipelining and will
 		// happily wait one more turn for a combined flush.
 		if r.Buffered() == 0 {
+			if sp != nil {
+				mark = time.Now()
+			}
 			if err := w.Flush(); err != nil {
 				return
 			}
 			s.flushes.Add(1)
+			if sp != nil {
+				sp.Phase(trace.PhaseFlush, time.Since(mark))
+			}
+		}
+		if sp != nil {
+			errCode := ""
+			if resp.Status != StatusOK {
+				errCode = resp.Code.String()
+			}
+			sp.Finish(errCode)
 		}
 	}
 }

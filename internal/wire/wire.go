@@ -13,7 +13,8 @@
 //	0      2   magic 0x616C ("la")
 //	2      1   version (currently 1)
 //	3      1   opcode
-//	4      2   status (0 in requests; HTTP-aligned status in responses)
+//	4      2   status (flags in requests — bit 0 is the trace flag;
+//	           HTTP-aligned status in responses)
 //	6      2   code (0 none; error-code enum mirroring the JSON error strings)
 //	8      8   request ID (echoed verbatim in the response)
 //	16     8   epoch (cluster table epoch; 0 = unfenced)
@@ -52,6 +53,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"github.com/levelarray/levelarray/internal/trace"
 )
 
 // Frame geometry.
@@ -65,6 +68,11 @@ const (
 	// MaxPayload bounds a frame payload; larger length fields are rejected
 	// before any allocation, so a hostile peer cannot balloon memory.
 	MaxPayload = 1 << 20
+	// TraceFlag is the request-header flag (carried in the otherwise-unused
+	// status field of a request frame) asking the server to trace this
+	// operation under the frame's request ID. Servers that predate the flag
+	// ignore request status entirely, so the bit is backward compatible.
+	TraceFlag uint16 = 1 << 0
 	// MaxBatch bounds the item count of AcquireN/ReleaseN/RenewSession.
 	MaxBatch = 4096
 	// GrantLen is the encoded size of one Grant.
@@ -256,6 +264,11 @@ func ParseHeader(buf []byte) (Header, error) {
 	return h, nil
 }
 
+// RIDString renders a frame request ID in the canonical request-ID spelling
+// the routed cluster client uses for its HTTP hops ("la-rt-%x"), so one
+// operation keeps one trace identity across both protocols.
+func RIDString(id uint64) string { return fmt.Sprintf("la-rt-%x", id) }
+
 // Ref addresses one lease in a request: the fencing pair every Renew and
 // Release must present.
 type Ref struct {
@@ -311,6 +324,13 @@ type Request struct {
 	Op    Opcode
 	ID    uint64
 	Epoch uint64
+	// Trace asks the server to record a span for this operation under the
+	// frame's request ID (the TraceFlag bit of the request status field).
+	Trace bool
+	// Span is the server-side flight-recorder span for this request, opened
+	// by the wire server before dispatch so backends can attribute phase
+	// time into it. Never encoded; nil when tracing is off.
+	Span *trace.Op
 
 	// TTLMillis is the requested TTL for Acquire/Renew/AcquireN/RenewSession
 	// (0 = server default, negative = infinite where permitted).
@@ -335,6 +355,8 @@ func DecodeRequest(h Header, payload []byte, req *Request) error {
 	req.Op = h.Op
 	req.ID = h.ID
 	req.Epoch = h.Epoch
+	req.Trace = uint16(h.Status)&TraceFlag != 0
+	req.Span = nil
 	req.TTLMillis = 0
 	req.N = 0
 	req.Start, req.Limit = 0, 0
@@ -442,9 +464,13 @@ func AppendRequest(dst []byte, req *Request) []byte {
 	case OpLeases:
 		payload = 16
 	}
+	var flags Status
+	if req.Trace {
+		flags = Status(TraceFlag)
+	}
 	base := len(dst)
 	dst = append(dst, make([]byte, HeaderLen+payload)...)
-	PutHeader(dst[base:], Header{Op: req.Op, ID: req.ID, Epoch: req.Epoch, Len: uint32(payload)})
+	PutHeader(dst[base:], Header{Op: req.Op, Status: flags, ID: req.ID, Epoch: req.Epoch, Len: uint32(payload)})
 	p := dst[base+HeaderLen:]
 	switch req.Op {
 	case OpAcquire:

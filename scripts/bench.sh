@@ -12,6 +12,8 @@
 #                                    # verified closed-loop run per iteration)
 #   COUNT=5 scripts/bench.sh         # repetitions for stable statistics
 #   scripts/bench.sh --ab            # HTTP-vs-wire A/B only -> benchmarks/wire-ab.txt
+#   scripts/bench.sh --trace-ab      # flight-recorder overhead gate
+#                                    #   -> benchmarks/trace-ab.txt
 #   scripts/bench.sh --rto           # crash-restart recovery benchmark
 #                                    #   -> benchmarks/recovery-rto.txt
 #   scripts/bench.sh --gate          # regression gate vs benchmarks/baseline.json
@@ -78,6 +80,57 @@ if [ "${1:-}" = "--ab" ]; then
   rm -f "$OUT_AB.raw"
   tail -3 "$OUT_AB"
   echo "wrote $OUT_AB"
+  exit 0
+fi
+
+# --trace-ab: the flight-recorder overhead gate. Runs the same wire
+# acquire+release workload three ways — no recorder installed, a recorder
+# installed but disabled (the default production shape), and a recorder
+# recording every span — and fails if the disabled recorder costs more than
+# TRACE_OFF_MAX_PCT (default 2) percent or full recording more than
+# TRACE_ON_MAX_PCT (default 10) percent over the no-recorder baseline.
+if [ "${1:-}" = "--trace-ab" ]; then
+  COUNT="${COUNT:-5}"
+  BENCHTIME="${BENCHTIME:-1s}"
+  TRACE_OFF_MAX_PCT="${TRACE_OFF_MAX_PCT:-2}"
+  TRACE_ON_MAX_PCT="${TRACE_ON_MAX_PCT:-10}"
+  OUT_TAB=benchmarks/trace-ab.txt
+  mkdir -p benchmarks
+  {
+    echo "# go test -bench BenchmarkWireServiceTraceAB -benchtime $BENCHTIME -count $COUNT"
+    echo "# $(date -u +"%Y-%m-%dT%H:%M:%SZ") $(go version)"
+    go test -run xxx -bench 'BenchmarkWireServiceTraceAB' -benchtime "$BENCHTIME" -count "$COUNT" .
+  } | tee "$OUT_TAB.raw"
+  # Average repetitions per variant and gate the overhead percentages.
+  awk -v offmax="$TRACE_OFF_MAX_PCT" -v onmax="$TRACE_ON_MAX_PCT" '
+    /^BenchmarkWireServiceTraceAB\/trace=none/ { none += $3; nn++ }
+    /^BenchmarkWireServiceTraceAB\/trace=off/  { off  += $3; no++ }
+    /^BenchmarkWireServiceTraceAB\/trace=on/   { on   += $3; nb++ }
+    { print }
+    END {
+      if (nn == 0 || no == 0 || nb == 0 || none == 0) {
+        print "# FAIL: missing trace A/B variants"
+        exit 1
+      }
+      base = none / nn
+      offpct = (off / no - base) / base * 100
+      onpct  = (on / nb - base) / base * 100
+      printf "\n# none %.0f ns/op, off %.0f ns/op (%+.1f%%), on %.0f ns/op (%+.1f%%) over %d reps\n", base, off / no, offpct, on / nb, onpct, nn
+      fail = 0
+      if (offpct > offmax) { printf "# FAIL: tracing-off overhead %+.1f%% exceeds %.1f%%\n", offpct, offmax; fail = 1 }
+      if (onpct > onmax)   { printf "# FAIL: tracing-on overhead %+.1f%% exceeds %.1f%%\n", onpct, onmax; fail = 1 }
+      if (!fail) printf "# PASS: tracing-off within %.1f%%, tracing-on within %.1f%%\n", offmax, onmax
+      exit fail
+    }
+  ' "$OUT_TAB.raw" > "$OUT_TAB" || {
+    rm -f "$OUT_TAB.raw"
+    tail -4 "$OUT_TAB"
+    echo "trace A/B gate: FAILED" >&2
+    exit 1
+  }
+  rm -f "$OUT_TAB.raw"
+  tail -3 "$OUT_TAB"
+  echo "wrote $OUT_TAB"
   exit 0
 fi
 
