@@ -17,11 +17,20 @@
 //
 // trace and events read the flight recorder (laserve -trace):
 //
-//	lactl trace     # slow ops with per-phase latency breakdown
-//	lactl events    # cluster-wide control-plane timeline, merged
+//	lactl trace                     # slow ops with per-phase latency breakdown
+//	lactl events                    # cluster-wide control-plane timeline, merged
+//	lactl events -type migration    # only migration_plan/cutover/abort events
+//
+// join, drain and rebalance drive elastic membership (proxied to the
+// steward from any member):
+//
+//	lactl join http://10.0.0.9:8080          # admit a member by advertised URL
+//	lactl drain 2                            # migrate member 2 empty, then retire it
+//	lactl rebalance                          # force one planner round now
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -50,7 +60,8 @@ func main() {
 }
 
 func usage() string {
-	return "usage: lactl [-addr URL|host:port] [-proto http|wire] [-limit N] [-verify] members|stats|leases|metrics|trace|events"
+	return "usage: lactl [-addr URL|host:port] [-proto http|wire] [-limit N] [-verify] [-type SUBSTR] " +
+		"members|stats|leases|metrics|trace|events|rebalance | join ADDR [WIREADDR] | drain MEMBER"
 }
 
 func run() error {
@@ -58,8 +69,26 @@ func run() error {
 	protoName := flag.String("proto", "http", "transport protocol: "+registry.ValidProtoNames)
 	limit := flag.Int("limit", 50, "maximum sessions to list (leases)")
 	verify := flag.Bool("verify", false, "metrics: fail unless occupancy gauges agree with /stats (within concurrent churn)")
+	evType := flag.String("type", "", "events: only show event types containing this substring (e.g. migration, member_drain)")
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
+		return fmt.Errorf("%s", usage())
+	}
+	cmd := flag.Arg(0)
+	rest := flag.Args()[1:]
+	// Flags may also follow the command word (lactl events -type migration).
+	if len(rest) > 0 && strings.HasPrefix(rest[0], "-") {
+		if err := flag.CommandLine.Parse(rest); err != nil {
+			return err
+		}
+		rest = flag.Args()
+	}
+	wantArgs := map[string][2]int{"join": {1, 2}, "drain": {1, 1}}
+	lo, hi := 0, 0
+	if w, ok := wantArgs[cmd]; ok {
+		lo, hi = w[0], w[1]
+	}
+	if len(rest) < lo || len(rest) > hi {
 		return fmt.Errorf("%s", usage())
 	}
 	proto, err := registry.ParseProtoFlag(*protoName)
@@ -74,7 +103,7 @@ func run() error {
 	}
 	defer src.close()
 
-	switch flag.Arg(0) {
+	switch cmd {
 	case "members":
 		return runMembers(src)
 	case "stats":
@@ -86,9 +115,19 @@ func run() error {
 	case "trace":
 		return runTrace(src, *limit)
 	case "events":
-		return runEvents(src, *limit)
+		return runEvents(src, *limit, *evType)
+	case "join":
+		wireAddr := ""
+		if len(rest) == 2 {
+			wireAddr = rest[1]
+		}
+		return runJoin(src, rest[0], wireAddr)
+	case "drain":
+		return runDrain(src, rest[0])
+	case "rebalance":
+		return runRebalance(src)
 	default:
-		return fmt.Errorf("unknown command %q\n%s", flag.Arg(0), usage())
+		return fmt.Errorf("unknown command %q\n%s", cmd, usage())
 	}
 }
 
@@ -212,17 +251,17 @@ func runMembers(src *source) error {
 	tbl := stats.NewTable(
 		fmt.Sprintf("cluster epoch %d: %d partitions x stride %d (namespace %d, capacity %d)",
 			t.Epoch, t.Partitions, t.Stride, t.Size(), t.Capacity),
-		"member", "addr", "wire", "state", "partitions")
+		"member", "addr", "wire", "state", "changed", "partitions")
 	for _, m := range t.Members {
-		state := "up"
-		if m.Down {
-			state = "down"
-		}
 		wireAddr := m.WireAddr
 		if wireAddr == "" {
 			wireAddr = "-"
 		}
-		tbl.AddRow(fmt.Sprintf("%d", m.ID), m.Addr, wireAddr, state, fmt.Sprintf("%v", t.PartitionsOf(m.ID)))
+		changed := "-"
+		if m.ChangedAtUnixMillis > 0 {
+			changed = time.Since(time.UnixMilli(m.ChangedAtUnixMillis)).Round(time.Second).String() + " ago"
+		}
+		tbl.AddRow(fmt.Sprintf("%d", m.ID), m.Addr, wireAddr, m.EffectiveState(), changed, fmt.Sprintf("%v", t.PartitionsOf(m.ID)))
 	}
 	fmt.Println(tbl.String())
 	return nil
@@ -563,8 +602,11 @@ func runTrace(src *source, limit int) error {
 
 // runEvents merges every node's control-plane journal into one causally
 // ordered timeline: who bumped which epoch and why, which failovers were
-// decided on what evidence, where fences were written.
-func runEvents(src *source, limit int) error {
+// decided on what evidence, where fences were written, which partitions
+// migrated where. typeFilter narrows by substring of the event type — e.g.
+// "migration" keeps migration_plan/migration_cutover/migration_abort, and
+// "member" keeps member_join/member_rejoin/member_drain.
+func runEvents(src *source, limit int, typeFilter string) error {
 	var (
 		journals [][]trace.Event
 		failures []string
@@ -581,11 +623,21 @@ func runEvents(src *source, limit int) error {
 		return fmt.Errorf("events fetch failed (laserve without /debug/events?):\n  %s", strings.Join(failures, "\n  "))
 	}
 	merged := trace.MergeEvents(journals...)
+	title := fmt.Sprintf("cluster event timeline (most recent %d, merged across %d journals)", limit, len(journals))
+	if typeFilter != "" {
+		var kept []trace.Event
+		for _, e := range merged {
+			if strings.Contains(e.Type, typeFilter) {
+				kept = append(kept, e)
+			}
+		}
+		merged = kept
+		title = fmt.Sprintf("cluster event timeline (most recent %d of type *%s*, merged across %d journals)", limit, typeFilter, len(journals))
+	}
 	if len(merged) > limit {
 		merged = merged[len(merged)-limit:]
 	}
-	tbl := stats.NewTable(
-		fmt.Sprintf("cluster event timeline (most recent %d, merged across %d journals)", limit, len(journals)),
+	tbl := stats.NewTable(title,
 		"time", "node", "epoch", "type", "part", "cause", "detail")
 	for _, e := range merged {
 		part := "-"
@@ -608,6 +660,131 @@ func runEvents(src *source, limit int) error {
 		)
 	}
 	fmt.Println(tbl.String())
+	return nil
+}
+
+// postJSON POSTs in as JSON and decodes the 2xx body into out; non-2xx
+// replies surface the server's error code when the body carries one.
+func (s *source) postJSON(url string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	resp, err := s.hc.Post(url, "application/json", body)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var fail cluster.EpochResponse
+		if json.Unmarshal(data, &fail) == nil && fail.Error != "" {
+			return fmt.Errorf("POST %s returned %d (%s)", url, resp.StatusCode, fail.Error)
+		}
+		return fmt.Errorf("POST %s returned %d", url, resp.StatusCode)
+	}
+	return json.Unmarshal(data, out)
+}
+
+// control issues one membership control call over the configured transport.
+// HTTP posts to any member (the handlers proxy to the steward); the wire
+// control plane is steward-direct, so wire mode resolves the steward from
+// the membership table first.
+func (s *source) control(path string, op wire.Opcode, in, out any) error {
+	if s.proto != registry.ProtoWire {
+		return s.postJSON(s.base+path, in, out)
+	}
+	t, err := s.fetchTable()
+	if err != nil {
+		return err
+	}
+	st, ok := t.Steward()
+	if !ok {
+		return fmt.Errorf("cluster has no steward (no serving member)")
+	}
+	if st.WireAddr == "" {
+		return fmt.Errorf("steward %d advertises no wire endpoint; use -proto http", st.ID)
+	}
+	req := wire.Request{Op: op}
+	if in != nil {
+		if req.Blob, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	var resp wire.Response
+	if err := s.wireFor(st.WireAddr).Do(&req, &resp); err != nil {
+		return err
+	}
+	if resp.Status != wire.StatusOK {
+		return fmt.Errorf("wire %s to steward %d returned status %d (%s)", op, st.ID, resp.Status, resp.Code)
+	}
+	return json.Unmarshal(resp.Blob, out)
+}
+
+// runJoin admits a member by its advertised URL. Admission is idempotent per
+// address: pre-admitting here and then booting the laserve with -join hands
+// it the same member ID.
+func runJoin(src *source, addr, wireAddr string) error {
+	adv, err := registry.ParseJoinFlag(addr)
+	if err != nil {
+		return fmt.Errorf("join address: %w", err)
+	}
+	if adv == "" {
+		return fmt.Errorf("join needs the member's advertised base URL\n%s", usage())
+	}
+	var out cluster.JoinResponse
+	if err := src.control("/cluster/join", wire.OpJoin, cluster.JoinRequest{Addr: adv, WireAddr: wireAddr}, &out); err != nil {
+		return err
+	}
+	fmt.Printf("lactl: admitted %s as member %d at epoch %d (%d members); boot it with: laserve -join %s -advertise %s\n",
+		adv, out.ID, out.Table.Epoch, len(out.Table.Members), src.base, adv)
+	return nil
+}
+
+// runDrain starts draining one member: the planner migrates it empty, then
+// the steward retires it (left) under a bumped epoch.
+func runDrain(src *source, arg string) error {
+	id, err := strconv.Atoi(arg)
+	if err != nil {
+		return fmt.Errorf("drain needs a member ID, got %q\n%s", arg, usage())
+	}
+	var out cluster.EpochResponse
+	if err := src.control("/cluster/drain", wire.OpDrain, cluster.DrainRequest{ID: id}, &out); err != nil {
+		return err
+	}
+	fmt.Printf("lactl: member %d draining at epoch %d; the planner migrates it empty, then retires it\n", id, out.Epoch)
+	return nil
+}
+
+// runRebalance forces one planner round on the steward and reports what it
+// decided — the on-demand version of the periodic load-spreading pass.
+func runRebalance(src *source) error {
+	var out cluster.RebalanceResponse
+	if err := src.control("/cluster/rebalance", wire.OpRebalance, nil, &out); err != nil {
+		return err
+	}
+	if out.Error != "" {
+		return fmt.Errorf("rebalance on steward %d failed at epoch %d: %s", out.Steward, out.Epoch, out.Error)
+	}
+	if out.Moved {
+		fmt.Printf("lactl: steward %d moved a partition (%s); epoch now %d\n", out.Steward, out.Plan, out.Epoch)
+	} else {
+		reason := out.Reason
+		if reason == "" {
+			reason = "nothing to move"
+		}
+		fmt.Printf("lactl: steward %d moved nothing (%s); epoch %d\n", out.Steward, reason, out.Epoch)
+	}
 	return nil
 }
 

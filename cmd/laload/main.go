@@ -84,6 +84,10 @@ func run() error {
 	dataDir := flag.String("data-dir", "", "journal spawned nodes' lease state under this directory (one WAL per node, replayed on -restart-after)")
 	snapshotAdopt := flag.Bool("snapshot-adopt", false, "adopt failed-over partitions from the dead node's fenced snapshot instead of quarantining (requires -data-dir)")
 	minAlive := flag.Int("min-alive", 2, "the node killer stops at this many survivors")
+	growTo := flag.Int("grow-to", 0, "join fresh members under load until the cluster reaches this size (requires -spawn; 0 = never)")
+	growEvery := flag.Duration("grow-every", time.Second, "pause between joins (and before the -drain-one drain)")
+	drainOne := flag.Bool("drain-one", false, "after growth, drain the highest-ID original member and verify it retires empty (requires -spawn)")
+	rebalanceThreshold := flag.String("rebalance-threshold", "0", "plan a load_spread migration when the hottest member exceeds the coolest by this load-factor gap (requires -spawn; 0 disables)")
 	tick := flag.Duration("tick", 100*time.Millisecond, "lease expirer tick for -spawn nodes")
 	clients := flag.Int("clients", 16, "concurrent closed-loop clients")
 	ops := flag.Int64("ops", 10000, "total acquire operations (renews/releases come on top)")
@@ -133,6 +137,19 @@ func run() error {
 	if *traceOn && *spawn == 0 {
 		return fmt.Errorf("-trace needs -spawn (external nodes own their own recorders; start laserve with -trace)")
 	}
+	if (*growTo > 0 || *drainOne) && *spawn == 0 {
+		return fmt.Errorf("-grow-to/-drain-one need -spawn (laload can only grow a cluster it booted)")
+	}
+	if *growTo > 0 && *growTo <= *spawn {
+		return fmt.Errorf("invalid -grow-to %d (valid: above -spawn = %d)", *growTo, *spawn)
+	}
+	threshold, err := registry.ParseRebalanceThresholdFlag(*rebalanceThreshold)
+	if err != nil {
+		return err
+	}
+	if threshold > 0 && *spawn == 0 {
+		return fmt.Errorf("-rebalance-threshold needs -spawn (external nodes set their own)")
+	}
 	if *spawn != 0 || *targets != "" {
 		return runCluster(clusterOptions{
 			proto:         proto,
@@ -146,6 +163,10 @@ func run() error {
 			snapshotAdopt: *snapshotAdopt,
 			trace:         *traceOn,
 			minAlive:      *minAlive,
+			growTo:        *growTo,
+			growEvery:     *growEvery,
+			drainOne:      *drainOne,
+			threshold:     threshold,
 			tick:          *tick,
 			clients:       *clients,
 			ops:           *ops,
@@ -243,6 +264,10 @@ type clusterOptions struct {
 	snapshotAdopt bool
 	trace         bool
 	minAlive      int
+	growTo        int
+	growEvery     time.Duration
+	drainOne      bool
+	threshold     float64
 	tick          time.Duration
 	clients       int
 	ops           int64
@@ -269,6 +294,9 @@ func runCluster(opts clusterOptions) error {
 		KillEvery:    opts.killEvery,
 		RestartAfter: opts.restartAfter,
 		MinAlive:     opts.minAlive,
+		GrowTo:       opts.growTo,
+		GrowEvery:    opts.growEvery,
+		DrainOne:     opts.drainOne,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},
@@ -298,7 +326,8 @@ func runCluster(opts clusterOptions) error {
 				DefaultTTL: opts.ttl,
 				// MaxTTL bounds the failover quarantine; matching the load's
 				// TTL keeps the reissue window exactly TTL + 2 ticks.
-				MaxTTL: opts.ttl,
+				MaxTTL:             opts.ttl,
+				RebalanceThreshold: opts.threshold,
 				Logf: func(format string, args ...any) {
 					fmt.Printf(format+"\n", args...)
 				},
@@ -347,6 +376,12 @@ func runCluster(opts clusterOptions) error {
 		tbl.AddRow("failovers preempted by restart", fmt.Sprintf("%d", report.RestartPreempts))
 	}
 	tbl.AddRow("epoch bumps observed", fmt.Sprintf("%d (final epoch %d)", report.EpochBumps, report.FinalEpoch))
+	if opts.growTo > 0 || opts.drainOne {
+		tbl.AddRow("members joined", fmt.Sprintf("%d %v", report.Joins, report.JoinedNodes))
+		tbl.AddRow("members drained", fmt.Sprintf("%d %v", report.Drains, report.DrainedNodes))
+		tbl.AddRow("migrations planned/staged/cutover/aborted", fmt.Sprintf("%d/%d/%d/%d",
+			report.MigrationsPlanned, report.MigrationsStaged, report.MigrationsCutover, report.MigrationsAborted))
+	}
 	tbl.AddRow("orphaned by kills", fmt.Sprintf("%d (reissued %d)", report.OrphanEvents, report.OrphansReissued))
 	tbl.AddRow("killed-session ops fenced", fmt.Sprintf("%d", report.KilledSessions))
 	tbl.AddRow("routing refresh/412/421/dead", fmt.Sprintf("%d/%d/%d/%d",

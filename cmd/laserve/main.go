@@ -89,6 +89,9 @@ func run() error {
 	partitions := flag.Int("partitions", 0, "cluster partition count: "+registry.ValidPartitionCounts)
 	probeEvery := flag.Duration("probe-interval", 250*time.Millisecond, "peer health-probe cadence (member mode)")
 	downAfter := flag.Int("down-after", 3, "consecutive probe misses before a peer is marked down (member mode)")
+	joinFlag := flag.String("join", "", "join a running cluster through this member instead of booting from -peers/-node-id: "+registry.ValidJoinFormat)
+	advertise := flag.String("advertise", "", "this member's advertised base URL in -join mode, e.g. http://10.0.0.3:8080 (default: http://<-addr>)")
+	rebalanceFlag := flag.String("rebalance-threshold", "0", "steward plans a load_spread migration when the hottest member's load factor exceeds the coolest's by this gap: "+registry.ValidRebalanceThresholds)
 	flag.Parse()
 
 	algo, err := registry.Parse(*algorithmName)
@@ -125,6 +128,17 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	joinSeed, err := registry.ParseJoinFlag(*joinFlag)
+	if err != nil {
+		return err
+	}
+	rebalanceThreshold, err := registry.ParseRebalanceThresholdFlag(*rebalanceFlag)
+	if err != nil {
+		return err
+	}
+	if joinSeed != "" && *peersFlag != "" {
+		return fmt.Errorf("-join and -peers are exclusive: join discovers the peer list from the seed")
+	}
 
 	newArray := func(capacity int, seed uint64) (activity.Array, error) {
 		return registry.New(algo, registry.Options{
@@ -156,12 +170,15 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *peersFlag != "" {
+	if *peersFlag != "" || joinSeed != "" {
 		return runMember(ctx, memberOptions{
 			addr:            *addr,
 			wireAddr:        *wireAddr,
 			peers:           *peersFlag,
 			wirePeers:       *wirePeersFlag,
+			joinSeed:        joinSeed,
+			advertise:       *advertise,
+			threshold:       rebalanceThreshold,
 			nodeID:          *nodeID,
 			partitions:      *partitions,
 			capacity:        *capacity,
@@ -345,6 +362,9 @@ type memberOptions struct {
 	wireAddr   string
 	peers      string
 	wirePeers  string
+	joinSeed   string
+	advertise  string
+	threshold  float64
 	nodeID     int
 	partitions int
 	capacity   int
@@ -365,27 +385,61 @@ type memberOptions struct {
 	tracer          *trace.Recorder
 }
 
-// runMember boots one cluster member.
+// runMember boots one cluster member: from its static -peers/-node-id
+// identity, or — with -join — by asking a running member for admission and
+// taking its identity (ID, peer list, partition count) from the admitted
+// table.
 func runMember(ctx context.Context, opts memberOptions) error {
-	peers, err := registry.ParsePeersFlag(opts.peers)
-	if err != nil {
-		return err
-	}
-	if err := registry.ValidateNodeID(opts.nodeID, len(peers)); err != nil {
-		return err
-	}
-	wirePeers, err := registry.ParseWirePeersFlag(opts.wirePeers, len(peers))
-	if err != nil {
-		return err
+	var (
+		peers     []string
+		wirePeers []string
+		boot      *cluster.Table
+		err       error
+	)
+	partitions := 0
+	if opts.joinSeed != "" {
+		adv := opts.advertise
+		if adv == "" {
+			adv = "http://" + opts.addr
+		}
+		if adv, err = registry.ParseJoinFlag(adv); err != nil || adv == "" {
+			return fmt.Errorf("invalid -advertise %q: a join needs a reachable base URL (e.g. http://10.0.0.3:8080)", opts.advertise)
+		}
+		id, table, jerr := cluster.JoinCluster(nil, opts.joinSeed, adv, opts.wireAddr)
+		if jerr != nil {
+			return fmt.Errorf("joining via %s: %w", opts.joinSeed, jerr)
+		}
+		opts.nodeID = id
+		boot = &table
+		partitions = len(table.Assignment)
+		anyWire := false
+		for _, m := range table.Members {
+			peers = append(peers, m.Addr)
+			wirePeers = append(wirePeers, m.WireAddr)
+			anyWire = anyWire || m.WireAddr != ""
+		}
+		if !anyWire {
+			wirePeers = nil
+		}
+		fmt.Printf("laserve: admitted as member %d at epoch %d (joining; the steward promotes and fills this node)\n", id, table.Epoch)
+	} else {
+		if peers, err = registry.ParsePeersFlag(opts.peers); err != nil {
+			return err
+		}
+		if err := registry.ValidateNodeID(opts.nodeID, len(peers)); err != nil {
+			return err
+		}
+		if wirePeers, err = registry.ParseWirePeersFlag(opts.wirePeers, len(peers)); err != nil {
+			return err
+		}
+		if partitions, err = registry.ValidatePartitionCount(opts.partitions); err != nil {
+			return err
+		}
 	}
 	// With advertised wire endpoints, this member serves its own entry unless
 	// -wire-addr overrides the bind address (e.g. 0.0.0.0 behind NAT).
 	if len(wirePeers) != 0 && opts.wireAddr == "" {
 		opts.wireAddr = wirePeers[opts.nodeID]
-	}
-	partitions, err := registry.ValidatePartitionCount(opts.partitions)
-	if err != nil {
-		return err
 	}
 	if opts.maxTTL <= 0 {
 		// The failover quarantine is bounded by MaxTTL, so member mode needs
@@ -402,18 +456,20 @@ func runMember(ctx context.Context, opts memberOptions) error {
 		NewPartitionArray: func(partition int) (activity.Array, error) {
 			return opts.newArray(perPartition, opts.seed+uint64(partition)*0x9E3779B97F4A7C15+1)
 		},
-		Lease:            lease.Config{TickInterval: opts.tick},
-		DefaultTTL:       opts.defaultTTL,
-		MaxTTL:           opts.maxTTL,
-		ProbeInterval:    opts.probeEvery,
-		DownAfter:        opts.downAfter,
-		DataDir:          opts.dataDir,
-		WALSync:          opts.walSync,
-		WALSyncInterval:  opts.walSyncEvery,
-		CheckpointEvery:  opts.checkpointEvery,
-		Metrics:          opts.ms.m,
-		MetricsElsewhere: opts.ms.elsewhere(),
-		Tracer:           opts.tracer,
+		Lease:              lease.Config{TickInterval: opts.tick},
+		DefaultTTL:         opts.defaultTTL,
+		MaxTTL:             opts.maxTTL,
+		ProbeInterval:      opts.probeEvery,
+		DownAfter:          opts.downAfter,
+		Bootstrap:          boot,
+		RebalanceThreshold: opts.threshold,
+		DataDir:            opts.dataDir,
+		WALSync:            opts.walSync,
+		WALSyncInterval:    opts.walSyncEvery,
+		CheckpointEvery:    opts.checkpointEvery,
+		Metrics:            opts.ms.m,
+		MetricsElsewhere:   opts.ms.elsewhere(),
+		Tracer:             opts.tracer,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},

@@ -62,6 +62,16 @@ type ChaosConfig struct {
 	// double-issues shows up as a duplicate/stale-accepted violation.
 	// Requires Local.
 	RestartAfter time.Duration
+	// GrowTo, when above the starting member count, has the run join fresh
+	// members one at a time (every GrowEvery) until the cluster reaches that
+	// size — elastic scale under load, with the ledger watching the
+	// migrations that fill the joiners. Requires Local.
+	GrowTo int
+	// GrowEvery paces the joins (and the optional drain). Zero selects 1s.
+	GrowEvery time.Duration
+	// DrainOne, once growth completes, drains the highest-ID original member:
+	// the planner must migrate it empty and retire it without losing a lease.
+	DrainOne bool
 	// ReclaimSlack pads every reclaim/reissue deadline, absorbing HTTP,
 	// scheduler and failover-observation latency. Zero selects 750ms.
 	ReclaimSlack time.Duration
@@ -86,6 +96,12 @@ func (c ChaosConfig) withDefaults() (ChaosConfig, error) {
 	}
 	if c.RestartAfter > 0 && c.Local == nil {
 		return c, fmt.Errorf("chaos: node restarts need an in-process cluster (Local)")
+	}
+	if (c.GrowTo > 0 || c.DrainOne) && c.Local == nil {
+		return c, fmt.Errorf("chaos: membership growth needs an in-process cluster (Local)")
+	}
+	if c.GrowEvery <= 0 {
+		c.GrowEvery = time.Second
 	}
 	if c.Clients <= 0 {
 		c.Clients = 16
@@ -143,8 +159,26 @@ type ChaosReport struct {
 	RestartPreempts int    `json:"restart_preempts,omitempty"`
 	EpochBumps      int    `json:"epoch_bumps"`
 	FinalEpoch      uint64 `json:"final_epoch"`
-	OrphanEvents    int    `json:"orphan_events"`
-	OrphansReissued int    `json:"orphans_reissued"`
+
+	// Membership accounting (GrowTo / DrainOne runs).
+	Joins        int   `json:"joins,omitempty"`
+	JoinedNodes  []int `json:"joined_nodes,omitempty"`
+	JoinFailures int   `json:"join_failures,omitempty"`
+	Drains       int   `json:"drains,omitempty"`
+	DrainedNodes []int `json:"drained_nodes,omitempty"`
+	// DrainFailures counts drain requests the steward rejected; DrainStuck
+	// counts requested drains whose member was never observed retired (left).
+	DrainFailures int `json:"drain_failures,omitempty"`
+	DrainStuck    int `json:"drain_stuck,omitempty"`
+	// Migration totals summed across the members' final /stats: plans the
+	// stewards issued, snapshots shipped by sources, cutovers completed by
+	// targets, plans unwound. Retired or dead members' counts are absent.
+	MigrationsPlanned uint64 `json:"migrations_planned,omitempty"`
+	MigrationsStaged  uint64 `json:"migrations_staged,omitempty"`
+	MigrationsCutover uint64 `json:"migrations_cutover,omitempty"`
+	MigrationsAborted uint64 `json:"migrations_aborted,omitempty"`
+	OrphanEvents      int    `json:"orphan_events"`
+	OrphansReissued   int    `json:"orphans_reissued"`
 	// OrphansFree counts orphans never observed reissued but verified free
 	// (absent from the new owner's /collect) after the reclaim deadline —
 	// equally healed, just not re-granted during the run.
@@ -266,6 +300,18 @@ func (r ChaosReport) Violations() []string {
 	if r.RestartFailures > 0 {
 		v = append(v, fmt.Sprintf("%d killed nodes failed to restart", r.RestartFailures))
 	}
+	if r.JoinFailures > 0 {
+		v = append(v, fmt.Sprintf("%d join attempts failed", r.JoinFailures))
+	}
+	if r.DrainFailures > 0 {
+		v = append(v, fmt.Sprintf("%d drain requests rejected", r.DrainFailures))
+	}
+	if r.DrainStuck > 0 {
+		v = append(v, fmt.Sprintf("%d drained members never retired", r.DrainStuck))
+	}
+	if r.Joins > 0 && r.MigrationsCutover == 0 {
+		v = append(v, "members joined but no migration ever cut over (joiners never filled)")
+	}
 	if r.Undrained != 0 {
 		v = append(v, fmt.Sprintf("%d leases still active after every deadline passed", r.Undrained))
 	}
@@ -304,10 +350,15 @@ func (r ChaosReport) Violations() []string {
 
 // heldInfo is the ledger's record of one lease some client currently holds.
 // deadline is the server's own statement from the grant (or last renew).
+// node is the granting (or last-renewing) member — advisory only, since a
+// live migration can move the lease to a new owner behind the holder's back.
+// partition is authoritative: a name's partition never changes, only the
+// partition's owner does, so kill sweeps go by partition.
 type heldInfo struct {
-	token    uint64
-	node     int
-	deadline time.Time
+	token     uint64
+	node      int
+	partition int
+	deadline  time.Time
 }
 
 // orphanInfo tracks one name a killed node held: when it may legitimately
@@ -422,15 +473,18 @@ func (led *chaosLedger) onAcquire(g GrantResponse, now time.Time) {
 			delete(led.abandoned, g.Name)
 		}
 	}
-	led.held[g.Name] = heldInfo{token: g.Token, node: g.NodeID, deadline: time.UnixMilli(g.DeadlineUnixMillis)}
+	led.held[g.Name] = heldInfo{token: g.Token, node: g.NodeID, partition: g.Partition, deadline: time.UnixMilli(g.DeadlineUnixMillis)}
 	led.acquires.Add(1)
 }
 
-// onRenewOK installs the renewed deadline.
-func (led *chaosLedger) onRenewOK(name int, token uint64, deadlineMillis int64) {
+// onRenewOK installs the renewed deadline and refreshes the node attribution:
+// the renew response names the current owner, which a migration may have
+// moved since the grant.
+func (led *chaosLedger) onRenewOK(name int, token uint64, renewed GrantResponse) {
 	led.mu.Lock()
 	if h, ok := led.held[name]; ok && h.token == token {
-		h.deadline = time.UnixMilli(deadlineMillis)
+		h.deadline = time.UnixMilli(renewed.DeadlineUnixMillis)
+		h.node = renewed.NodeID
 		led.held[name] = h
 	}
 	led.mu.Unlock()
@@ -514,19 +568,24 @@ func (led *chaosLedger) onCrash(name int, token uint64) (time.Time, bool) {
 	return h.deadline, true
 }
 
-// onKill sweeps every lease granted by the killed node into the orphan set,
+// onKill sweeps every lease living on the killed node into the orphan set,
 // records the partitions that changed hands, and returns the swept records
-// for fencing verification.
+// for fencing verification. The sweep keys on the victim's owned partitions
+// at death, not on which node granted the lease: a lease granted elsewhere
+// and migrated onto the victim died with it, while one migrated off the
+// victim before the kill is alive on its new owner and must not be orphaned.
 func (led *chaosLedger) onKill(victim int, victimParts []int, bumpAt time.Time, reclaimBound time.Duration) []staleProbe {
 	led.mu.Lock()
 	defer led.mu.Unlock()
 	led.killed[victim] = true
+	victimSet := make(map[int]bool, len(victimParts))
 	for _, p := range victimParts {
 		led.adopted[p] = true
+		victimSet[p] = true
 	}
 	var probes []staleProbe
 	for name, h := range led.held {
-		if h.node != victim {
+		if !victimSet[h.partition] {
 			continue
 		}
 		rec := &orphanInfo{
@@ -714,6 +773,14 @@ func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 		}
 	}
 
+	// DrainOne's target: the highest-ID original member. The killer leaves
+	// it alone — its fate is the drain's to decide (the kill-during-drain
+	// interleaving has its own dedicated test).
+	drainee := -1
+	if cfg.DrainOne {
+		drainee = cfg.Local.Nodes() - 1
+	}
+
 	// The killer: every KillEvery, one random live node dies abruptly; the
 	// run then observes the epoch bump and sweeps the dead node's leases
 	// into the orphan ledger.
@@ -734,8 +801,18 @@ func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 					return
 				}
 				victim := alive[gen.Intn(len(alive))]
+				if victim == drainee {
+					continue
+				}
 				node := cfg.Local.Node(victim)
 				if node == nil {
+					continue
+				}
+				// Only serving members are kill-worthy: the prober never
+				// suspects a still-joining member and a retired one triggers
+				// no failover, so killing either stalls awaitFailover with
+				// nothing to verify.
+				if tb := node.Table(); victim >= len(tb.Members) || !tb.Members[victim].Serving() {
 					continue
 				}
 				victimParts := node.Table().PartitionsOf(victim)
@@ -802,6 +879,83 @@ func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 		close(killDone)
 	}
 
+	// The grower: elastic scale under load. Every GrowEvery it joins one
+	// fresh member until the cluster reaches GrowTo — the steward admits it,
+	// the prober promotes it, the planner migrates partitions onto it — all
+	// while the clients keep hammering and the killer keeps killing. Once
+	// growth completes, DrainOne drains its target and the run verifies the
+	// member is migrated empty and retired without losing a single lease.
+	growDone := make(chan struct{})
+	if cfg.GrowTo > 0 || cfg.DrainOne {
+		go func() {
+			defer close(growDone)
+			pace := func() bool {
+				select {
+				case <-killStop:
+					return false
+				case <-time.After(cfg.GrowEvery):
+					return true
+				}
+			}
+			for cfg.GrowTo > 0 && cfg.Local.Nodes() < cfg.GrowTo {
+				if !pace() {
+					break
+				}
+				id, err := cfg.Local.Join()
+				if err != nil {
+					cfg.Logf("chaos: join attempt failed: %v", err)
+					reportMu.Lock()
+					report.JoinFailures++
+					reportMu.Unlock()
+					continue
+				}
+				cfg.Logf("chaos: member %d joined (cluster now %d members)", id, cfg.Local.Nodes())
+				reportMu.Lock()
+				report.Joins++
+				report.JoinedNodes = append(report.JoinedNodes, id)
+				reportMu.Unlock()
+			}
+			if drainee < 0 {
+				return
+			}
+			// Drain under load when the run allows; if the load finished
+			// first the drain still runs — the retirement verdict is part of
+			// the run either way.
+			pace()
+			cfg.Logf("chaos: draining member %d", drainee)
+			if err := cfg.Local.Drain(drainee); err != nil {
+				cfg.Logf("chaos: drain of member %d failed: %v", drainee, err)
+				reportMu.Lock()
+				report.DrainFailures++
+				reportMu.Unlock()
+				return
+			}
+			reportMu.Lock()
+			report.Drains++
+			report.DrainedNodes = append(report.DrainedNodes, drainee)
+			reportMu.Unlock()
+			if drainee < len(cfg.Targets) {
+				watch.noteDrained(cfg.Targets[drainee])
+			}
+			// Retirement may land after the load ends; keep watching past
+			// killStop with a hard bound so the run always reaches a verdict.
+			retireBy := time.Now().Add(30 * time.Second)
+			for time.Now().Before(retireBy) {
+				if tb := cfg.Local.maxEpochTable(); drainee < len(tb.Members) &&
+					tb.Members[drainee].EffectiveState() == StateLeft && len(tb.PartitionsOf(drainee)) == 0 {
+					cfg.Logf("chaos: member %d migrated empty and retired", drainee)
+					return
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			reportMu.Lock()
+			report.DrainStuck++
+			reportMu.Unlock()
+		}()
+	} else {
+		close(growDone)
+	}
+
 	start := time.Now()
 	for c := 0; c < cfg.Clients; c++ {
 		wg.Add(1)
@@ -820,6 +974,7 @@ func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 	report.Elapsed = time.Since(start)
 	close(killStop)
 	<-killDone
+	<-growDone
 	// Pending restarts must land before verification: a restarted node that
 	// double-issues would otherwise dodge the ledger, and the caller may
 	// Close the cluster as soon as we return.
@@ -896,6 +1051,12 @@ func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 			report.Nodes = append(report.Nodes, s)
 		}
 	}
+	for _, s := range report.Nodes {
+		report.MigrationsPlanned += s.Migrations.Planned
+		report.MigrationsStaged += s.Migrations.Staged
+		report.MigrationsCutover += s.Migrations.Cutover
+		report.MigrationsAborted += s.Migrations.Aborted
+	}
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	report.AcquireP50 = chaosPercentile(latencies, 0.50)
@@ -957,7 +1118,7 @@ func chaosRound(client *Client, cfg ChaosConfig, led *chaosLedger, gen rng.Sourc
 			}
 			led.unexpectedStale.Add(1)
 		default:
-			led.onRenewOK(g.Name, g.Token, renewed.DeadlineUnixMillis)
+			led.onRenewOK(g.Name, g.Token, renewed)
 		}
 		chaosHold(cfg, gen)
 	}

@@ -73,6 +73,10 @@ type metricsWatcher struct {
 	// cleared, and a fenced rejoin owns no partitions, so the per-partition
 	// families are legitimately absent from its scrapes.
 	restarted map[string]bool
+	// emptied marks targets being drained: the planner migrates every
+	// partition off a draining member, so its per-partition families vanish
+	// from an otherwise healthy scrape once the last cutover lands.
+	emptied map[string]bool
 
 	stop     chan struct{}
 	done     chan struct{}
@@ -93,6 +97,7 @@ func startMetricsWatcher(targets []string, hc *http.Client, logf func(string, ..
 		last:       make(map[string]map[string]float64),
 		watchParts: make(map[int]bool),
 		restarted:  make(map[string]bool),
+		emptied:    make(map[string]bool),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 	}
@@ -204,8 +209,9 @@ func (w *metricsWatcher) scrape(target string) ([]metrics.Sample, int, error) {
 }
 
 // checkFamilies records required families absent from this healthy scrape.
-// Per-partition families are exempt on restarted members: a fenced rejoin
-// owns no partitions, so those samplers legitimately emit nothing.
+// Per-partition families are exempt on restarted and draining members: a
+// fenced rejoin owns no partitions, and a draining member is migrated empty,
+// so those samplers legitimately emit nothing.
 func (w *metricsWatcher) checkFamilies(target string, samples []metrics.Sample) {
 	present := make(map[string]bool, len(samples))
 	for _, sm := range samples {
@@ -215,7 +221,7 @@ func (w *metricsWatcher) checkFamilies(target string, samples []metrics.Sample) 
 		if present[fam] {
 			continue
 		}
-		if w.restarted[target] && strings.HasPrefix(fam, "la_partition_") {
+		if (w.restarted[target] || w.emptied[target]) && strings.HasPrefix(fam, "la_partition_") {
 			continue
 		}
 		w.missing[fam] = true
@@ -224,13 +230,18 @@ func (w *metricsWatcher) checkFamilies(target string, samples []metrics.Sample) 
 
 // checkMonotonic verifies no counter series went backward since the member's
 // previous scrape. Counters are identified by exposition convention: _total
-// families plus histogram _count/_sum series.
+// families plus histogram _count/_sum series. Per-partition counters live
+// and die with ownership: a partition that migrates away takes its series
+// with it, and a later migration back starts a fresh manager at zero — so
+// baselines for partition series absent from this scrape are dropped rather
+// than held against the member.
 func (w *metricsWatcher) checkMonotonic(target string, samples []metrics.Sample) {
 	prev := w.last[target]
 	if prev == nil {
 		prev = make(map[string]float64)
 		w.last[target] = prev
 	}
+	seen := make(map[string]bool, len(samples))
 	for _, sm := range samples {
 		if !strings.HasSuffix(sm.Name, "_total") &&
 			!strings.HasSuffix(sm.Name, "_count") &&
@@ -238,6 +249,7 @@ func (w *metricsWatcher) checkMonotonic(target string, samples []metrics.Sample)
 			continue
 		}
 		key := seriesKey(sm)
+		seen[key] = true
 		if old, ok := prev[key]; ok && sm.Value < old {
 			w.monoViol++
 			if w.logf != nil {
@@ -245,6 +257,11 @@ func (w *metricsWatcher) checkMonotonic(target string, samples []metrics.Sample)
 			}
 		}
 		prev[key] = sm.Value
+	}
+	for key := range prev {
+		if !seen[key] && strings.HasPrefix(key, "la_partition_") {
+			delete(prev, key)
+		}
 	}
 }
 
@@ -272,6 +289,18 @@ func (w *metricsWatcher) noteRestart(target string) {
 	defer w.mu.Unlock()
 	delete(w.last, target)
 	w.restarted[target] = true
+}
+
+// noteDrained tells the watcher the member on target is being drained: the
+// planner will migrate it empty, after which its per-partition families are
+// legitimately absent from its scrapes.
+func (w *metricsWatcher) noteDrained(target string) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.emptied[target] = true
 }
 
 // noteKill tells the watcher a node just died and which partitions must

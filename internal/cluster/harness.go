@@ -92,6 +92,9 @@ type localNode struct {
 	wireLn   net.Listener
 	wireAddr string
 	alive    bool
+	// boot is the admission table of a member added by Join; nil for the
+	// original members (they construct the epoch-1 table from Peers).
+	boot *Table
 }
 
 // Local is a running in-process cluster. The mutex serializes Kill and
@@ -154,13 +157,18 @@ func StartLocal(cfg LocalConfig) (*Local, error) {
 }
 
 // nodeConfigFor builds member i's NodeConfig from the local config — the one
-// place the per-node knobs are assembled, shared by boot and Restart.
+// place the per-node knobs are assembled, shared by boot, Restart and Join.
+// The peer snapshot is taken under the mutex because Join grows the lists
+// copy-on-write while chaos restarts read them.
 func (l *Local) nodeConfigFor(i int) NodeConfig {
 	cfg := l.cfg
 	ncfg := cfg.Node
 	ncfg.NodeID = i
+	l.mu.Lock()
 	ncfg.Peers = l.peers
 	ncfg.WirePeers = l.wirePeers
+	ncfg.Bootstrap = l.nodes[i].boot
+	l.mu.Unlock()
 	ncfg.Partitions = cfg.Partitions
 	ncfg.NewPartitionArray = func(partition int) (activity.Array, error) {
 		return cfg.NewPartitionArray(partition, l.perPartition, cfg.Seed+uint64(partition)*0x9E3779B97F4A7C15+1)
@@ -206,11 +214,21 @@ func (l *Local) startNode(i int) error {
 	return nil
 }
 
+// snapshot returns the current member list. Join replaces the slice
+// wholesale (copy-on-write) rather than mutating it, so the returned slice
+// is immutable and safe to walk without the lock.
+func (l *Local) snapshot() []*localNode {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nodes
+}
+
 // WireTargets returns every member's wire endpoint (empty strings when wire
 // is disabled), index-aligned with Targets.
 func (l *Local) WireTargets() []string {
-	out := make([]string, len(l.nodes))
-	for i, n := range l.nodes {
+	nodes := l.snapshot()
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
 		out[i] = n.wireAddr
 	}
 	return out
@@ -219,8 +237,9 @@ func (l *Local) WireTargets() []string {
 // Targets returns every member's base URL, dead ones included (the routed
 // client is expected to cope).
 func (l *Local) Targets() []string {
-	out := make([]string, len(l.nodes))
-	for i, n := range l.nodes {
+	nodes := l.snapshot()
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
 		out[i] = n.addr
 	}
 	return out
@@ -236,8 +255,8 @@ func (l *Local) Node(i int) *Node {
 	return l.nodes[i].node
 }
 
-// Nodes returns N, the configured member count.
-func (l *Local) Nodes() int { return len(l.nodes) }
+// Nodes returns the current member count (growing as members Join).
+func (l *Local) Nodes() int { return len(l.snapshot()) }
 
 // AliveIDs returns the members not yet killed.
 func (l *Local) AliveIDs() []int {
@@ -337,6 +356,103 @@ func (l *Local) Restart(i int) error {
 	return nil
 }
 
+// Join grows the cluster by one member: fresh listeners are bound, a live
+// member is asked for admission (POST /cluster/join, proxied to the steward),
+// and the new node boots from the admission table as a joining member. The
+// steward promotes it to live once it answers probes, and the planner then
+// migrates partitions onto it. Returns the new member's ID.
+func (l *Local) Join() (int, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return -1, fmt.Errorf("cluster: join listener: %w", err)
+	}
+	local := &localNode{listener: ln, addr: "http://" + ln.Addr().String(), alive: true}
+	if !l.cfg.DisableWire {
+		wln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			_ = ln.Close()
+			return -1, fmt.Errorf("cluster: join wire listener: %w", err)
+		}
+		local.wireLn = wln
+		local.wireAddr = wln.Addr().String()
+	}
+	teardown := func() {
+		_ = ln.Close()
+		if local.wireLn != nil {
+			_ = local.wireLn.Close()
+		}
+	}
+
+	seed := ""
+	l.mu.Lock()
+	for _, n := range l.nodes {
+		if n.alive {
+			seed = n.addr
+			break
+		}
+	}
+	l.mu.Unlock()
+	if seed == "" {
+		teardown()
+		return -1, fmt.Errorf("cluster: join: no live member to ask")
+	}
+	id, table, err := JoinCluster(nil, seed, local.addr, local.wireAddr)
+	if err != nil {
+		teardown()
+		return -1, err
+	}
+	local.boot = &table
+
+	l.mu.Lock()
+	if id != len(l.nodes) {
+		l.mu.Unlock()
+		teardown()
+		return -1, fmt.Errorf("cluster: join assigned id %d, harness expected %d", id, len(l.nodes))
+	}
+	// Copy-on-write: concurrent restarts snapshot these slice headers.
+	l.nodes = append(append([]*localNode(nil), l.nodes...), local)
+	l.peers = append(append([]string(nil), l.peers...), local.addr)
+	if l.wirePeers != nil {
+		l.wirePeers = append(append([]string(nil), l.wirePeers...), local.wireAddr)
+	}
+	l.mu.Unlock()
+
+	if err := l.startNode(id); err != nil {
+		teardown()
+		return id, fmt.Errorf("cluster: starting joined member %d: %w", id, err)
+	}
+	return id, nil
+}
+
+// Drain asks the cluster to drain member id: the planner migrates it empty,
+// then retires it. The member keeps serving (draining) until retired; tear
+// it down with Kill (or leave it — a left member holding no partitions is
+// harmless).
+func (l *Local) Drain(id int) error {
+	seed := ""
+	l.mu.Lock()
+	for _, n := range l.nodes {
+		if n.alive {
+			seed = n.addr
+			break
+		}
+	}
+	l.mu.Unlock()
+	if seed == "" {
+		return fmt.Errorf("cluster: drain: no live member to ask")
+	}
+	var out, fail EpochResponse
+	hc := &http.Client{Timeout: 5 * time.Second}
+	status, _, err := postJSON(hc, seed+"/cluster/drain", 0, "", DrainRequest{ID: id}, &out, &fail)
+	if err != nil {
+		return err
+	}
+	if status/100 != 2 {
+		return fmt.Errorf("cluster: drain member %d: status %d (%s)", id, status, fail.Error)
+	}
+	return nil
+}
+
 // relisten rebinds a specific host:port, retrying briefly while the old
 // socket drains.
 func relisten(addr string) (net.Listener, error) {
@@ -371,6 +487,26 @@ func (l *Local) MaxEpoch() uint64 {
 	return max
 }
 
+// maxEpochTable returns the highest-epoch membership table any surviving
+// member holds — the most current cluster view available.
+func (l *Local) maxEpochTable() Table {
+	l.mu.Lock()
+	var live []*Node
+	for _, n := range l.nodes {
+		if n.alive && n.node != nil {
+			live = append(live, n.node)
+		}
+	}
+	l.mu.Unlock()
+	var best Table
+	for _, node := range live {
+		if t := node.Table(); t.Epoch > best.Epoch || best.Members == nil {
+			best = t
+		}
+	}
+	return best
+}
+
 // WaitForEpoch blocks until some surviving member reaches at least epoch, or
 // the timeout elapses; it reports whether the epoch was reached.
 func (l *Local) WaitForEpoch(epoch uint64, timeout time.Duration) bool {
@@ -390,7 +526,7 @@ func (l *Local) WaitForEpoch(epoch uint64, timeout time.Duration) bool {
 // a final clean snapshot, so a later StartLocal on the same DataDir resumes
 // without replaying a tail).
 func (l *Local) Close() {
-	for i := range l.nodes {
+	for i := range l.snapshot() {
 		l.stop(i, true)
 	}
 }

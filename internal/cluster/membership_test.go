@@ -1,0 +1,360 @@
+package cluster
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/levelarray/levelarray/internal/lease"
+)
+
+// elasticLocal boots a cluster tuned for fast membership convergence: quick
+// probes, a 50ms planner tick and a short migration fence.
+func elasticLocal(t *testing.T, nodes, partitions, capacity int, mutate func(*LocalConfig)) *Local {
+	t.Helper()
+	cfg := LocalConfig{
+		Nodes:      nodes,
+		Partitions: partitions,
+		Capacity:   capacity,
+		Seed:       7,
+		Node: NodeConfig{
+			Lease:          lease.Config{TickInterval: 20 * time.Millisecond},
+			DefaultTTL:     time.Minute,
+			MaxTTL:         time.Minute,
+			ProbeInterval:  25 * time.Millisecond,
+			DownAfter:      2,
+			RebalanceEvery: 50 * time.Millisecond,
+			MigrateTimeout: 2 * time.Second,
+			Logf:           t.Logf,
+		},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	l, err := StartLocal(cfg)
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	t.Cleanup(l.Close)
+	return l
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// stewardTable returns the highest-epoch table any live member holds.
+func stewardTable(l *Local) Table {
+	return l.maxEpochTable()
+}
+
+// migrationsCut sums completed cutovers across the live members.
+func migrationsCut(l *Local) uint64 {
+	var sum uint64
+	for _, id := range l.AliveIDs() {
+		if n := l.Node(id); n != nil {
+			sum += n.migCutover.Load()
+		}
+	}
+	return sum
+}
+
+// TestJoinFillsNewMember grows a 2-node cluster to 3: the joiner is admitted
+// joining, promoted live by the steward, and handed a partition by the
+// planner — with every lease granted before the join still renewable after.
+func TestJoinFillsNewMember(t *testing.T) {
+	l := elasticLocal(t, 2, 4, 256, nil)
+	c, err := NewClient(ClientConfig{Targets: l.Targets()})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	held := map[int]uint64{}
+	for i := 0; i < 48; i++ {
+		g, status, _, err := c.Acquire(60_000)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("acquire %d: status %d err %v", i, status, err)
+		}
+		held[g.Name] = g.Token
+	}
+
+	id, err := l.Join()
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if id != 2 {
+		t.Fatalf("joined as member %d, want 2", id)
+	}
+	waitFor(t, 10*time.Second, "joiner promoted and filled", func() bool {
+		tb := stewardTable(l)
+		return len(tb.Members) == 3 &&
+			tb.Members[2].EffectiveState() == StateLive &&
+			len(tb.PartitionsOf(2)) >= 1
+	})
+	if migrationsCut(l) == 0 {
+		t.Fatal("join_fill completed without a migration cutover")
+	}
+
+	// Every pre-join lease survived the migration (the routed client follows
+	// the cutover's 421/412s transparently).
+	for name, token := range held {
+		if _, status, err := c.Renew(name, token, 60_000); err != nil || status != http.StatusOK {
+			t.Fatalf("renew %d after join: status %d err %v", name, status, err)
+		}
+	}
+	// And the grown cluster still never double-issues.
+	for i := 0; i < 48; i++ {
+		g, status, _, err := c.Acquire(60_000)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("post-join acquire %d: status %d err %v", i, status, err)
+		}
+		if _, dup := held[g.Name]; dup {
+			t.Fatalf("name %d granted twice while held", g.Name)
+		}
+		held[g.Name] = g.Token
+	}
+}
+
+// TestRejoinAfterRestart is the Down-sticky regression test: a member that
+// crashes, is failed over, and comes back is re-upped by the steward (live,
+// owning nothing) and then re-filled by the planner — instead of staying
+// down forever.
+func TestRejoinAfterRestart(t *testing.T) {
+	l := elasticLocal(t, 3, 8, 256, nil)
+	c, err := NewClient(ClientConfig{Targets: l.Targets()})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	// A little load so the cluster is not idle.
+	for i := 0; i < 24; i++ {
+		if _, status, _, err := c.Acquire(60_000); err != nil || status != http.StatusOK {
+			t.Fatalf("acquire %d: status %d err %v", i, status, err)
+		}
+	}
+
+	l.Kill(2)
+	waitFor(t, 10*time.Second, "member 2 marked down", func() bool {
+		tb := stewardTable(l)
+		return tb.Members[2].EffectiveState() == StateDown && len(tb.PartitionsOf(2)) == 0
+	})
+
+	if err := l.Restart(2); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	waitFor(t, 10*time.Second, "member 2 rejoined live", func() bool {
+		return stewardTable(l).Members[2].EffectiveState() == StateLive
+	})
+	waitFor(t, 10*time.Second, "member 2 re-filled by the planner", func() bool {
+		return len(stewardTable(l).PartitionsOf(2)) >= 1
+	})
+
+	// The rejoined member serves again: keep acquiring until a grant lands on
+	// node 2.
+	waitFor(t, 10*time.Second, "a grant from the rejoined member", func() bool {
+		g, status, _, err := c.Acquire(60_000)
+		return err == nil && status == http.StatusOK && g.NodeID == 2
+	})
+}
+
+// TestDrainRetiresMember drains a member: the planner migrates it empty one
+// partition at a time, every migrated lease stays renewable, and the emptied
+// member is retired (left).
+func TestDrainRetiresMember(t *testing.T) {
+	l := elasticLocal(t, 3, 8, 256, nil)
+	c, err := NewClient(ClientConfig{Targets: l.Targets()})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	held := map[int]uint64{}
+	fromDrained := 0
+	for i := 0; i < 96; i++ {
+		g, status, _, err := c.Acquire(60_000)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("acquire %d: status %d err %v", i, status, err)
+		}
+		held[g.Name] = g.Token
+		if g.NodeID == 2 {
+			fromDrained++
+		}
+	}
+	if fromDrained == 0 {
+		t.Fatal("no lease landed on the member to be drained; test is vacuous")
+	}
+
+	if err := l.Drain(2); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	waitFor(t, 15*time.Second, "member 2 drained empty and retired", func() bool {
+		tb := stewardTable(l)
+		return tb.Members[2].EffectiveState() == StateLeft && len(tb.PartitionsOf(2)) == 0
+	})
+	if migrationsCut(l) == 0 {
+		t.Fatal("drain emptied the member without a migration cutover")
+	}
+
+	// Zero lost leases: every grant — including those migrated off the
+	// drained member — still renews.
+	for name, token := range held {
+		if _, status, err := c.Renew(name, token, 60_000); err != nil || status != http.StatusOK {
+			t.Fatalf("renew %d after drain: status %d err %v", name, status, err)
+		}
+	}
+}
+
+// TestMigrateAbortUnfences drives the prepare path against an unreachable
+// target: the ship fails, the fence is released immediately, and the
+// partition serves again with its leases intact.
+func TestMigrateAbortUnfences(t *testing.T) {
+	l := elasticLocal(t, 2, 4, 64, func(cfg *LocalConfig) {
+		cfg.Node.RebalanceEvery = -1 // planner off: this test drives prepare by hand
+	})
+	c, err := NewClient(ClientConfig{Targets: l.Targets()})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	g, status, _, err := c.Acquire(60_000)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("acquire: status %d err %v", status, err)
+	}
+	src := l.Node(g.NodeID)
+
+	rep, st := src.migratePrepare(MigratePrepareRequest{
+		Partition:  g.Partition,
+		Epoch:      src.Epoch() + 1,
+		TargetID:   1 - g.NodeID,
+		TargetAddr: "http://127.0.0.1:1", // nothing listens here
+	})
+	if rep.OK || st/100 == 2 {
+		t.Fatalf("prepare against a dead target succeeded: %+v (status %d)", rep, st)
+	}
+	if got := src.migAborted.Load(); got != 1 {
+		t.Fatalf("aborted migrations = %d, want 1", got)
+	}
+	if got := src.migStaged.Load(); got != 0 {
+		t.Fatalf("staged migrations = %d, want 0", got)
+	}
+	// The fence is gone: the lease on the partition renews immediately.
+	if _, status, err := c.Renew(g.Name, g.Token, 60_000); err != nil || status != http.StatusOK {
+		t.Fatalf("renew after abort: status %d err %v", status, err)
+	}
+}
+
+// TestMigrationSourceKilledMidTransfer kills a draining member while the
+// planner is migrating it empty. Whatever instant the kill lands at —
+// before the fence, mid-ship, staged-but-not-cut-over — the outcome must be
+// clean: the survivors adopt its partitions from its durable state, every
+// lease stays renewable, and no name is double-issued.
+func TestMigrationSourceKilledMidTransfer(t *testing.T) {
+	l := elasticLocal(t, 3, 8, 256, func(cfg *LocalConfig) {
+		cfg.DataDir = t.TempDir()
+		cfg.SnapshotAdopt = true
+	})
+	c, err := NewClient(ClientConfig{Targets: l.Targets()})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	held := map[int]uint64{}
+	for i := 0; i < 96; i++ {
+		g, status, _, err := c.Acquire(60_000)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("acquire %d: status %d err %v", i, status, err)
+		}
+		held[g.Name] = g.Token
+	}
+
+	// Start the drain (the planner begins migrating member 2 empty) and kill
+	// the source almost immediately — with a 50ms planner tick the kill lands
+	// around the first fence/ship.
+	if err := l.Drain(2); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	l.Kill(2)
+
+	waitFor(t, 15*time.Second, "member 2 out of the serving set", func() bool {
+		tb := stewardTable(l)
+		return !tb.Members[2].Serving() && len(tb.PartitionsOf(2)) == 0
+	})
+
+	// Ledger-clean either way: every lease renews (migrated, failed over, or
+	// untouched), and fresh acquires never collide with held names.
+	for name, token := range held {
+		if _, status, err := c.Renew(name, token, 60_000); err != nil || status != http.StatusOK {
+			t.Fatalf("renew %d after source kill: status %d err %v", name, status, err)
+		}
+	}
+	for i := 0; i < 48; i++ {
+		g, status, _, err := c.Acquire(60_000)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("post-kill acquire %d: status %d err %v", i, status, err)
+		}
+		if _, dup := held[g.Name]; dup {
+			t.Fatalf("name %d granted twice while held", g.Name)
+		}
+		held[g.Name] = g.Token
+	}
+}
+
+// TestChaosGrowAndDrain is the elastic-scale acceptance run: the chaos
+// verifier grows a 3-node cluster to 5 under load, then drains the
+// highest-ID original member — all while the ledger checks every grant.
+// Zero violations means no duplicate names, no early reissues, no lost
+// releases, and no migrated lease lost across any join_fill or drain
+// migration.
+func TestChaosGrowAndDrain(t *testing.T) {
+	l := elasticLocal(t, 3, 8, 512, nil)
+	report, err := RunChaos(ChaosConfig{
+		Local:        l,
+		Clients:      8,
+		Acquires:     8000,
+		TTL:          400 * time.Millisecond,
+		HoldMean:     time.Millisecond, // stretch the run past the joins and the drain
+		CrashPercent: 10,
+		RenewPercent: 20,
+		Seed:         17,
+		GrowTo:       5,
+		GrowEvery:    300 * time.Millisecond,
+		DrainOne:     true,
+		ReclaimSlack: 400 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("RunChaos: %v", err)
+	}
+	if v := report.Violations(); v != nil {
+		t.Fatalf("chaos violations: %v\nreport: %+v", v, report)
+	}
+	if report.Joins != 2 {
+		t.Fatalf("joins = %d %v, want 2 (grow 3 -> 5)", report.Joins, report.JoinedNodes)
+	}
+	if report.Drains != 1 || report.DrainStuck != 0 {
+		t.Fatalf("drains = %d (stuck %d), want exactly 1 clean retirement", report.Drains, report.DrainStuck)
+	}
+	if report.MigrationsCutover == 0 {
+		t.Fatal("grow + drain completed without a single migration cutover")
+	}
+	// The drained member must be gone from the serving set; the joiners must
+	// be serving partitions.
+	tb := stewardTable(l)
+	if tb.Members[2].EffectiveState() != StateLeft || len(tb.PartitionsOf(2)) != 0 {
+		t.Fatalf("drained member 2 not retired: state %q, %d partitions", tb.Members[2].EffectiveState(), len(tb.PartitionsOf(2)))
+	}
+	filled := 0
+	for _, id := range report.JoinedNodes {
+		if len(tb.PartitionsOf(id)) > 0 {
+			filled++
+		}
+	}
+	if filled == 0 {
+		t.Fatalf("no joined member owns a partition: %+v", tb.Assignment)
+	}
+}

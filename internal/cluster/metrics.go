@@ -49,6 +49,22 @@ func (n *Node) registerMetrics() {
 	m.FenceFunc(ErrCodeStaleEpoch, n.staleEpochRejects.Load)
 	m.FenceFunc(ErrCodeNotOwner, n.misroutes.Load)
 
+	// Migration lifecycle, one series per phase: planned >= staged >= cutover,
+	// planned = cutover + aborted when the cluster is quiescent.
+	reg.Sampler("la_cluster_migrations_total", "Partition migrations by lifecycle phase.", metrics.TypeCounter, func(emit metrics.Emit) {
+		emit(float64(n.migPlanned.Load()), metrics.L("phase", "planned"))
+		emit(float64(n.migStaged.Load()), metrics.L("phase", "staged"))
+		emit(float64(n.migCutover.Load()), metrics.L("phase", "cutover"))
+		emit(float64(n.migAborted.Load()), metrics.L("phase", "aborted"))
+	})
+	// Membership by lifecycle state, sampled from the current table.
+	reg.Sampler("la_cluster_members", "Cluster members by lifecycle state.", metrics.TypeGauge, func(emit metrics.Emit) {
+		states := n.Table().MemberStates()
+		for _, state := range []string{StateJoining, StateLive, StateDraining, StateDown, StateLeft} {
+			emit(float64(states[state]), metrics.L("state", state))
+		}
+	})
+
 	// Per-partition series: ownership changes across failovers, so the label
 	// set is discovered at scrape time under the table lock.
 	sample := func(name, help, typ string, read func(p *partition, now time.Time) float64) {

@@ -18,6 +18,7 @@ import (
 
 	"github.com/levelarray/levelarray/internal/activity"
 	"github.com/levelarray/levelarray/internal/lease"
+	"github.com/levelarray/levelarray/internal/rebalance"
 	"github.com/levelarray/levelarray/internal/server"
 	"github.com/levelarray/levelarray/internal/trace"
 	"github.com/levelarray/levelarray/internal/wal"
@@ -104,10 +105,22 @@ type PartitionStats struct {
 	Lease             lease.Stats `json:"lease"`
 }
 
+// MigrationStats counts one node's live-migration activity by phase: plans
+// it stewarded, snapshots it shipped as a source, cutovers it completed as a
+// target, and plans unwound before cutover.
+type MigrationStats struct {
+	Planned uint64 `json:"planned"`
+	Staged  uint64 `json:"staged"`
+	Cutover uint64 `json:"cutover"`
+	Aborted uint64 `json:"aborted"`
+}
+
 // NodeStatsResponse is the body of a clustered /stats.
 type NodeStatsResponse struct {
-	NodeID            int              `json:"node_id"`
-	Epoch             uint64           `json:"epoch"`
+	NodeID int    `json:"node_id"`
+	Epoch  uint64 `json:"epoch"`
+	// State is this member's lifecycle state in its own table view.
+	State             string           `json:"state,omitempty"`
 	TickMillis        int64            `json:"tick_ms"`
 	UptimeMillis      int64            `json:"uptime_ms"`
 	Active            int64            `json:"active"`
@@ -116,6 +129,7 @@ type NodeStatsResponse struct {
 	Quarantines       uint64           `json:"quarantines"`
 	Misroutes         uint64           `json:"misroutes"`
 	StaleEpochRejects uint64           `json:"stale_epoch_rejects"`
+	Migrations        MigrationStats   `json:"migrations"`
 	Partitions        []PartitionStats `json:"partitions"`
 }
 
@@ -211,6 +225,36 @@ type NodeConfig struct {
 	// Clock overrides the time source for quarantine arithmetic (tests).
 	// Nil selects time.Now. The lease managers keep their own Config.Clock.
 	Clock func() time.Time
+	// Bootstrap, when set, is the membership table a join admission returned:
+	// the node boots from it (typically as a joining member owning nothing)
+	// instead of constructing the epoch-1 table from Peers. Peers/WirePeers
+	// may be left empty; they are derived from the table's members. A
+	// recorded table in DataDir still wins (restart of a joined node).
+	Bootstrap *Table
+	// RejoinAfter is the number of consecutive healthy probes of a down
+	// member before the steward re-ups it (live, owning nothing; the planner
+	// hands it partitions again). Zero selects 2; negative disables rejoin,
+	// restoring the crash-stop Down-sticky behavior.
+	RejoinAfter int
+	// RebalanceEvery is the steward's migration-planner cadence. Each round
+	// observes every serving member's per-partition load factors and performs
+	// at most one move: emptying draining members first, then filling live
+	// members that own nothing, then (only with RebalanceThreshold > 0)
+	// spreading load. Zero selects 1s; negative disables the planner.
+	RebalanceEvery time.Duration
+	// RebalanceThreshold is the mean load-factor spread between the hottest
+	// and coolest live members above which the planner moves a hot partition
+	// downhill. Zero disables load-driven moves; drain and join-fill moves
+	// always run while the planner itself is enabled.
+	RebalanceThreshold float64
+	// MigrateTimeout bounds a migration's fence window on the source: if no
+	// cutover or abort arrives within it (steward death, lost push), the
+	// source unfences the partition and resumes serving it. Zero selects 3s
+	// — well inside the routed client's 421 retry budget, so even a stuck
+	// migration resolves before clients give up. A shipped snapshot staged
+	// on the target expires after half this, so a stale stage can never
+	// install after its source has unfenced.
+	MigrateTimeout time.Duration
 }
 
 func (c NodeConfig) withDefaults() NodeConfig {
@@ -251,6 +295,15 @@ func (c NodeConfig) withDefaults() NodeConfig {
 	if c.Clock == nil {
 		c.Clock = time.Now
 	}
+	if c.RejoinAfter == 0 {
+		c.RejoinAfter = 2
+	}
+	if c.RebalanceEvery == 0 {
+		c.RebalanceEvery = time.Second
+	}
+	if c.MigrateTimeout <= 0 {
+		c.MigrateTimeout = 3 * time.Second
+	}
 	return c
 }
 
@@ -269,6 +322,14 @@ type partition struct {
 	// never be concurrently reissued here. Zero for initial partitions and
 	// for fenced snapshot adoptions (the fence replaces the wait).
 	quarantineUntil time.Time
+	// migrating fences the partition during a live migration: acquires skip
+	// it and renew/release answer 421, so once the fence is taken (under the
+	// table write lock, which waits out every in-flight op) the exported
+	// snapshot is the partition's final word bar expirations. migrateEpoch is
+	// the cutover epoch the fence was taken for; the fence self-releases at
+	// the configured MigrateTimeout if neither cutover nor abort arrived.
+	migrating    bool
+	migrateEpoch uint64
 }
 
 // startCheckpoints launches the partition's periodic snapshot loop (no-op
@@ -324,6 +385,11 @@ type Node struct {
 	table    Table
 	parts    map[int]*partition
 	ownedIDs []int // sorted keys of parts
+	// staged holds snapshots shipped by migration sources, keyed by
+	// partition, waiting for the cutover table to install them (guarded by
+	// mu). Entries expire (stale plans must never install) and are dropped
+	// the moment the partition is adopted or superseded.
+	staged map[int]stagedSnapshot
 
 	rr atomic.Uint64 // acquire round-robin over owned partitions
 
@@ -331,6 +397,17 @@ type Node struct {
 	quarantines       atomic.Uint64
 	misroutes         atomic.Uint64
 	staleEpochRejects atomic.Uint64
+
+	// Migration telemetry (see MigrationStats).
+	migPlanned atomic.Uint64
+	migStaged  atomic.Uint64
+	migCutover atomic.Uint64
+	migAborted atomic.Uint64
+
+	// loads is the steward's planner cache, fed concurrently by per-member
+	// stats fetches each planner round.
+	loads       *rebalance.Cache
+	rebalanceMu sync.Mutex // serializes planner rounds (ticker vs forced)
 
 	// Prober telemetry (see registerMetrics).
 	probes      atomic.Uint64
@@ -355,7 +432,19 @@ type Node struct {
 	stopClosed bool
 	stop       chan struct{}
 	done       chan struct{}
-	startedAt  time.Time
+	// planDone is closed when the rebalance planner loop exits; nil when the
+	// planner is disabled.
+	planDone  chan struct{}
+	startedAt time.Time
+}
+
+// stagedSnapshot is a migration snapshot parked on the target between the
+// source's ship and the cutover table's arrival.
+type stagedSnapshot struct {
+	epoch     uint64 // the cutover epoch the plan was computed for
+	prevOwner int
+	snap      *wal.Snapshot
+	expires   time.Time
 }
 
 // NewNode builds a member from its configuration: the epoch-1 table (every
@@ -364,11 +453,30 @@ type Node struct {
 // Start.
 func NewNode(cfg NodeConfig) (*Node, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Bootstrap != nil {
+		if err := cfg.Bootstrap.Validate(); err != nil {
+			return nil, fmt.Errorf("cluster: bootstrap table: %w", err)
+		}
+		if cfg.Bootstrap.Partitions != cfg.Partitions {
+			return nil, fmt.Errorf("cluster: bootstrap table has %d partitions, configured %d", cfg.Bootstrap.Partitions, cfg.Partitions)
+		}
+		if len(cfg.Peers) == 0 {
+			// A joiner configures itself from the admission table: the peer
+			// lists are just the members' advertised addresses.
+			for _, m := range cfg.Bootstrap.Members {
+				cfg.Peers = append(cfg.Peers, m.Addr)
+				cfg.WirePeers = append(cfg.WirePeers, m.WireAddr)
+			}
+		}
+	}
 	if len(cfg.Peers) == 0 {
 		return nil, fmt.Errorf("cluster: node needs at least one peer address")
 	}
 	if cfg.NodeID < 0 || cfg.NodeID >= len(cfg.Peers) {
 		return nil, fmt.Errorf("cluster: node id %d outside peer list [0, %d)", cfg.NodeID, len(cfg.Peers))
+	}
+	if cfg.Bootstrap != nil && cfg.NodeID >= len(cfg.Bootstrap.Members) {
+		return nil, fmt.Errorf("cluster: node id %d outside bootstrap member list [0, %d)", cfg.NodeID, len(cfg.Bootstrap.Members))
 	}
 	if cfg.Partitions < 1 || cfg.Partitions&(cfg.Partitions-1) != 0 {
 		return nil, fmt.Errorf("cluster: partition count %d is not a power of two", cfg.Partitions)
@@ -394,6 +502,8 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	n := &Node{
 		cfg:      cfg,
 		parts:    make(map[int]*partition),
+		staged:   make(map[int]stagedSnapshot),
+		loads:    rebalance.NewCache(),
 		refreshC: make(chan struct{}, 1),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
@@ -423,14 +533,24 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 			return nil, fmt.Errorf("cluster: data dir: %w", err)
 		}
 		if t, ok := loadNodeTable(cfg.DataDir); ok {
-			if t.Partitions != cfg.Partitions || len(t.Members) != len(cfg.Peers) {
-				return nil, fmt.Errorf("cluster: recorded table in %s has %d partitions over %d members, configured %d over %d",
-					cfg.DataDir, t.Partitions, len(t.Members), cfg.Partitions, len(cfg.Peers))
+			// Membership may have grown or shrunk around a restart, so the
+			// recorded member count may disagree with Peers in either
+			// direction (the boot-time pull reconciles); it just has to
+			// know this node, and the partition geometry is immutable.
+			if t.Partitions != cfg.Partitions || cfg.NodeID >= len(t.Members) {
+				return nil, fmt.Errorf("cluster: recorded table in %s has %d partitions over %d members, configured %d partitions as node %d",
+					cfg.DataDir, t.Partitions, len(t.Members), cfg.Partitions, cfg.NodeID)
 			}
 			recorded = &t
 			initialEpoch = t.Epoch
 			n.recoveredBoot = true
 		}
+	}
+	if recorded == nil && cfg.Bootstrap != nil {
+		initialEpoch = cfg.Bootstrap.Epoch
+		// The admission table may already be stale (the steward keeps
+		// moving); pull before the first probe round, like a restart.
+		n.recoveredBoot = true
 	}
 
 	// Build the initially owned partitions; the first array fixes the
@@ -465,13 +585,22 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	// failed over before this restart: it owns nothing until a newer table
 	// says otherwise.
 	owned := make(map[int]bool)
-	if recorded != nil {
-		if !recorded.Members[cfg.NodeID].Down {
+	switch {
+	case recorded != nil:
+		if recorded.Members[cfg.NodeID].Serving() {
 			for _, p := range recorded.PartitionsOf(cfg.NodeID) {
 				owned[p] = true
 			}
 		}
-	} else {
+	case cfg.Bootstrap != nil:
+		// A joiner owns whatever the admission table says — typically
+		// nothing (state joining); the planner fills it after promotion.
+		if cfg.Bootstrap.Members[cfg.NodeID].Serving() {
+			for _, p := range cfg.Bootstrap.PartitionsOf(cfg.NodeID) {
+				owned[p] = true
+			}
+		}
+	default:
 		for p := 0; p < cfg.Partitions; p++ {
 			if members[p%len(members)].ID == cfg.NodeID {
 				owned[p] = true
@@ -531,13 +660,25 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		probe.mgr.Close()
 	}
 
-	if recorded != nil {
+	switch {
+	case recorded != nil:
 		if recorded.Stride != stride {
 			n.closeParts(initialEpoch, false)
 			return nil, fmt.Errorf("cluster: recorded table stride %d does not match built stride %d", recorded.Stride, stride)
 		}
 		n.table = *recorded
-	} else {
+	case cfg.Bootstrap != nil:
+		if cfg.Bootstrap.Stride != stride {
+			n.closeParts(initialEpoch, false)
+			return nil, fmt.Errorf("cluster: bootstrap table stride %d does not match built stride %d", cfg.Bootstrap.Stride, stride)
+		}
+		n.table = cfg.Bootstrap.Clone()
+		if cfg.DataDir != "" {
+			if err := persistNodeTable(cfg.DataDir, n.table); err != nil {
+				cfg.Logf("cluster: node %d: persisting bootstrap table: %v", cfg.NodeID, err)
+			}
+		}
+	default:
 		table, err := NewTable(members, cfg.Partitions, stride, capacity*cfg.Partitions)
 		if err != nil {
 			return nil, err
@@ -557,6 +698,12 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	n.mux.HandleFunc("POST /release", n.handleRelease)
 	n.mux.HandleFunc("GET /cluster", n.handleClusterGet)
 	n.mux.HandleFunc("POST /cluster", n.handleClusterPost)
+	n.mux.HandleFunc("POST /cluster/join", n.handleJoin)
+	n.mux.HandleFunc("POST /cluster/drain", n.handleDrain)
+	n.mux.HandleFunc("POST /cluster/rebalance", n.handleRebalance)
+	n.mux.HandleFunc("POST /migrate/prepare", n.handleMigratePrepare)
+	n.mux.HandleFunc("POST /migrate/stage", n.handleMigrateStage)
+	n.mux.HandleFunc("POST /migrate/abort", n.handleMigrateAbort)
 	n.mux.HandleFunc("GET /collect", n.handleCollect)
 	n.mux.HandleFunc("GET /leases", n.handleLeases)
 	n.mux.HandleFunc("GET /stats", n.handleStats)
@@ -735,8 +882,18 @@ func (n *Node) adoptTable(t Table, cause string) error {
 	if t.Epoch <= cur.Epoch {
 		return ErrStaleEpoch
 	}
-	if t.Partitions != cur.Partitions || t.Stride != cur.Stride || len(t.Members) != len(cur.Members) {
-		return fmt.Errorf("cluster: adopted table changes immutable geometry (partitions/stride/members)")
+	if t.Partitions != cur.Partitions || t.Stride != cur.Stride {
+		return fmt.Errorf("cluster: adopted table changes immutable geometry (partitions/stride)")
+	}
+	// Membership grows (joins) but never shrinks — retired members stay in
+	// the table as left — and an existing member's identity is immutable.
+	if len(t.Members) < len(cur.Members) {
+		return fmt.Errorf("cluster: adopted table drops members (%d -> %d)", len(cur.Members), len(t.Members))
+	}
+	for i := range cur.Members {
+		if t.Members[i].Addr != cur.Members[i].Addr {
+			return fmt.Errorf("cluster: adopted table rewrites member %d address %q -> %q", i, cur.Members[i].Addr, t.Members[i].Addr)
+		}
 	}
 	n.events.Eventf(trace.EvEpochBump, t.Epoch, -1, cause,
 		"epoch %d -> %d; now owning %v", cur.Epoch, t.Epoch, t.PartitionsOf(n.cfg.NodeID))
@@ -754,6 +911,13 @@ func (n *Node) adoptTable(t Table, cause string) error {
 			part.close(n, cur.Epoch, false)
 			delete(n.parts, id)
 			n.events.Eventf(trace.EvPartitionDrop, t.Epoch, id, cause, "dropped partition %d", id)
+		} else if part.migrating {
+			// The partition stayed ours under a newer epoch: whatever plan
+			// fenced it died with the old epoch. Unfence and resume serving.
+			part.migrating = false
+			n.migAborted.Add(1)
+			n.events.Eventf(trace.EvMigrationAbort, t.Epoch, id, "epoch_superseded",
+				"migration fence released: partition %d kept under epoch %d", id, t.Epoch)
 		}
 	}
 	now := n.cfg.Clock()
@@ -762,6 +926,11 @@ func (n *Node) adoptTable(t Table, cause string) error {
 			continue
 		}
 		n.adoptPartitionLocked(id, t, cur.Assignment[id], now, cause)
+	}
+	// Any snapshot still staged for a partition we did not just adopt was
+	// shipped for a plan this table supersedes; drop it.
+	for id := range n.staged {
+		delete(n.staged, id)
 	}
 	n.rebuildOwnedLocked()
 	n.table = t
@@ -813,8 +982,20 @@ func (n *Node) adoptPartitionLocked(id int, t Table, prevOwner int, now time.Tim
 	}
 	part := &partition{id: id, mgr: mgr, store: store}
 
-	imported := false
-	if n.cfg.SnapshotAdopt != nil && prevOwner >= 0 {
+	imported, cutover := false, false
+	if st, ok := n.staged[id]; ok {
+		delete(n.staged, id)
+		if st.epoch == t.Epoch && now.Before(st.expires) {
+			if err := n.installStagedLocked(part, st, t.Epoch); err != nil {
+				n.cfg.Logf("cluster: node %d epoch %d: installing staged migration snapshot of partition %d failed (falling back): %v",
+					n.cfg.NodeID, t.Epoch, id, err)
+			} else {
+				imported, cutover = true, true
+				n.migCutover.Add(1)
+			}
+		}
+	}
+	if !imported && n.cfg.SnapshotAdopt != nil && prevOwner >= 0 {
 		if dir := n.cfg.SnapshotAdopt(id, prevOwner); dir != "" {
 			if err := n.importFenced(part, dir, t.Epoch); err != nil {
 				n.cfg.Logf("cluster: node %d epoch %d: snapshot adoption of partition %d from %s failed (falling back to quarantine): %v",
@@ -834,10 +1015,14 @@ func (n *Node) adoptPartitionLocked(id int, t Table, prevOwner int, now time.Tim
 		part.startCheckpoints(n)
 	}
 	n.parts[id] = part
-	if imported {
+	switch {
+	case cutover:
+		n.events.Eventf(trace.EvMigrationCutover, t.Epoch, id, cause,
+			"cutover: installed snapshot shipped by node %d (%d sessions live, no quarantine)", prevOwner, mgr.Active())
+	case imported:
 		n.events.Eventf(trace.EvSnapshotAdopt, t.Epoch, id, cause,
 			"adopted from fenced snapshot of node %d (%d sessions live, no quarantine)", prevOwner, mgr.Active())
-	} else {
+	default:
 		n.events.Eventf(trace.EvQuarantineStart, t.Epoch, id, cause,
 			"adopted empty; quarantined until %v", part.quarantineUntil.Format(time.TimeOnly))
 		// Journal the matching end so a timeline shows when acquires opened
@@ -884,6 +1069,27 @@ func (n *Node) importFenced(part *partition, dir string, epoch uint64) error {
 	return nil
 }
 
+// installStagedLocked folds a migration snapshot the source shipped into a
+// freshly built partition — the cutover half of a live migration. No
+// quarantine: the source fenced the partition before exporting, so the
+// snapshot is complete (every grant the source ever acknowledged), and the
+// epoch bump routes every client to us. Like importFenced, the import is
+// checkpointed into our own journal before a single request is served.
+// Callers hold mu.
+func (n *Node) installStagedLocked(part *partition, st stagedSnapshot, epoch uint64) error {
+	rst, err := part.mgr.RestoreState(st.snap, nil)
+	if err != nil {
+		return fmt.Errorf("restoring staged snapshot: %w", err)
+	}
+	if part.store != nil {
+		if err := part.mgr.Checkpoint(uint32(part.id), epoch, false); err != nil {
+			return fmt.Errorf("checkpointing staged import: %w", err)
+		}
+	}
+	n.restoredSessions.Add(uint64(rst.Sessions))
+	return nil
+}
+
 func (n *Node) leasesRunning() bool {
 	n.lifeMu.Lock()
 	defer n.lifeMu.Unlock()
@@ -900,6 +1106,9 @@ func (n *Node) Start() {
 	}
 	n.running = true
 	n.startedAt = n.cfg.Clock()
+	if n.cfg.RebalanceEvery > 0 {
+		n.planDone = make(chan struct{})
+	}
 	n.lifeMu.Unlock()
 
 	n.mu.RLock()
@@ -915,6 +1124,9 @@ func (n *Node) Start() {
 		n.requestRefresh()
 	}
 	go n.probeLoop()
+	if n.planDone != nil {
+		go n.rebalanceLoop(n.planDone)
+	}
 }
 
 // Close stops the prober and every partition manager, writes a final
@@ -935,9 +1147,13 @@ func (n *Node) shutdown(clean bool) {
 		close(n.stop)
 		n.stopClosed = true
 	}
+	planDone := n.planDone
 	n.lifeMu.Unlock()
 	if wasRunning {
 		<-n.done
+		if planDone != nil {
+			<-planDone
+		}
 	}
 	n.mu.Lock()
 	n.closeParts(n.table.Epoch, clean)
@@ -1094,6 +1310,14 @@ func (n *Node) acquireLocked(ttl time.Duration, sp *trace.Op) reply {
 		// Index math stays in uint64: truncating the counter to a 32-bit int
 		// would eventually go negative and panic the modulo.
 		part := n.parts[n.ownedIDs[(start+uint64(i))%uint64(len(n.ownedIDs))]]
+		if part.migrating {
+			// Fenced for a migration about to cut over; the next table
+			// routes acquires elsewhere, so pace like a short quarantine.
+			if quarantineWait < 0 || n.cfg.ProbeInterval < quarantineWait {
+				quarantineWait = n.cfg.ProbeInterval
+			}
+			continue
+		}
 		if wait := part.quarantineUntil.Sub(now); wait > 0 {
 			if quarantineWait < 0 || wait < quarantineWait {
 				quarantineWait = wait
@@ -1151,7 +1375,12 @@ func (n *Node) resolveLocked(name int) (*partition, int, reply, bool) {
 		return nil, 0, reply{status: http.StatusConflict, body: server.ErrorResponse{Error: server.ErrCodeNotLeased}}, false
 	}
 	part, owned := n.parts[p]
-	if !owned {
+	if !owned || part.migrating {
+		// A migrating partition answers 421 like one we no longer own: the
+		// fence must hold every mutation out of the exported snapshot, and
+		// the routed client's refresh-and-retry lands the op on whichever
+		// side the plan resolves to (the target after cutover, or back here
+		// after an abort).
 		n.misroutes.Add(1)
 		return nil, 0, reply{status: http.StatusMisdirectedRequest, body: EpochResponse{Error: ErrCodeNotOwner, Epoch: n.table.Epoch}}, false
 	}
@@ -1354,7 +1583,16 @@ func (n *Node) statsResponse() NodeStatsResponse {
 		Quarantines:       n.quarantines.Load(),
 		Misroutes:         n.misroutes.Load(),
 		StaleEpochRejects: n.staleEpochRejects.Load(),
-		Partitions:        []PartitionStats{},
+		Migrations: MigrationStats{
+			Planned: n.migPlanned.Load(),
+			Staged:  n.migStaged.Load(),
+			Cutover: n.migCutover.Load(),
+			Aborted: n.migAborted.Load(),
+		},
+		Partitions: []PartitionStats{},
+	}
+	if n.cfg.NodeID < len(n.table.Members) {
+		resp.State = n.table.Members[n.cfg.NodeID].EffectiveState()
 	}
 	n.lifeMu.Lock()
 	if !n.startedAt.IsZero() {

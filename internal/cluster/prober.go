@@ -23,6 +23,7 @@ func (n *Node) probeLoop() {
 	ticker := time.NewTicker(n.cfg.ProbeInterval)
 	defer ticker.Stop()
 	misses := make(map[int]int)
+	recovers := make(map[int]int)
 	for {
 		select {
 		case <-n.stop:
@@ -30,21 +31,46 @@ func (n *Node) probeLoop() {
 		case <-n.refreshC:
 			n.pullFromPeers()
 		case <-ticker.C:
-			n.probeOnce(misses)
+			n.probeOnce(misses, recovers)
 		}
 	}
 }
 
-// probeOnce probes every live peer, pulls newer tables it learns of, and —
-// when this node is the steward for the observed failures — reassigns the
-// partitions of peers that missed DownAfter consecutive probes.
-func (n *Node) probeOnce(misses map[int]int) {
+// probeOnce probes every peer, pulls newer tables it learns of, and — when
+// this node is the steward — admits recovered or joining members and
+// reassigns the partitions of peers that missed DownAfter consecutive
+// probes. Down members are probed too (unless rejoin is disabled): one that
+// answers again is a rejoin candidate rather than down-sticky forever.
+func (n *Node) probeOnce(misses, recovers map[int]int) {
 	t := n.Table()
 	self := n.cfg.NodeID
 	suspected := make(map[int]bool)
+	oks := make(map[int]bool)
 	for _, m := range t.Members {
-		if m.ID == self || m.Down {
+		st := m.EffectiveState()
+		if m.ID == self || st == StateLeft {
 			delete(misses, m.ID)
+			delete(recovers, m.ID)
+			continue
+		}
+		if st == StateDown {
+			// Recovery probing only: a down member owns nothing, so misses
+			// cost nothing, and consecutive answers feed the rejoin counter.
+			if n.cfg.RejoinAfter < 0 {
+				continue
+			}
+			var health HealthResponse
+			n.probes.Add(1)
+			status, err := getJSON(n.cfg.HTTPClient, m.Addr+"/healthz", &health)
+			if err == nil && status/100 == 2 {
+				recovers[m.ID]++
+				if health.Epoch > t.Epoch {
+					n.pullFrom(m.Addr)
+					t = n.Table()
+				}
+			} else {
+				delete(recovers, m.ID)
+			}
 			continue
 		}
 		var health HealthResponse
@@ -52,6 +78,7 @@ func (n *Node) probeOnce(misses map[int]int) {
 		status, err := getJSON(n.cfg.HTTPClient, m.Addr+"/healthz", &health)
 		if err == nil && status/100 == 2 {
 			misses[m.ID] = 0
+			oks[m.ID] = true
 			if health.Epoch > t.Epoch {
 				n.pullFrom(m.Addr)
 				t = n.Table()
@@ -60,10 +87,17 @@ func (n *Node) probeOnce(misses map[int]int) {
 		}
 		n.probeMisses.Add(1)
 		misses[m.ID]++
-		if misses[m.ID] >= n.cfg.DownAfter {
+		// A joining member is not serving yet — a dead joiner costs nothing,
+		// so it is simply never promoted rather than suspected.
+		if misses[m.ID] >= n.cfg.DownAfter && st != StateJoining {
 			suspected[m.ID] = true
 		}
 	}
+
+	// Steward admissions run before failure handling so a recovery and a
+	// concurrent failure resolve in separate epochs.
+	t = n.stewardAdmissions(t, oks, recovers)
+
 	if len(suspected) == 0 {
 		return
 	}
@@ -76,7 +110,7 @@ func (n *Node) probeOnce(misses map[int]int) {
 	// client that has seen the majority's table.
 	live := 0
 	for _, m := range t.Members {
-		if !m.Down {
+		if m.Serving() {
 			live++
 		}
 	}
@@ -93,7 +127,7 @@ func (n *Node) probeOnce(misses map[int]int) {
 	// itself suspected; everyone else holds still and lets the push arrive.
 	steward := -1
 	for _, m := range t.Members {
-		if !m.Down && !suspected[m.ID] {
+		if m.Serving() && !suspected[m.ID] {
 			steward = m.ID
 			break
 		}
@@ -133,6 +167,58 @@ func (n *Node) probeOnce(misses map[int]int) {
 		delete(misses, id)
 	}
 	n.pushTable(cur)
+}
+
+// stewardAdmissions is the steward's membership upkeep each probe round:
+// joining members that answered this round's probe are promoted to live
+// (the planner then fills them), and down members that answered RejoinAfter
+// consecutive probes rejoin as live with no partitions instead of staying
+// down-sticky. Non-stewards return the table unchanged.
+func (n *Node) stewardAdmissions(t Table, oks map[int]bool, recovers map[int]int) Table {
+	st, ok := t.Steward()
+	if !ok || st.ID != n.cfg.NodeID {
+		return t
+	}
+	now := n.cfg.Clock().UnixMilli()
+	cur, changed := t, false
+	for _, m := range t.Members {
+		switch m.EffectiveState() {
+		case StateJoining:
+			if !oks[m.ID] {
+				continue
+			}
+			nt, ok := cur.SetState(m.ID, StateLive, now)
+			if !ok {
+				continue
+			}
+			n.events.Eventf(trace.EvMemberJoin, nt.Epoch, -1, "probe_ok",
+				"member %d answered probes; joining -> live, epoch %d -> %d", m.ID, cur.Epoch, nt.Epoch)
+			cur, changed = nt, true
+		case StateDown:
+			if n.cfg.RejoinAfter < 0 || recovers[m.ID] < n.cfg.RejoinAfter {
+				continue
+			}
+			nt, ok := cur.Rejoin(m.ID, now)
+			if !ok {
+				continue
+			}
+			n.events.Eventf(trace.EvMemberRejoin, nt.Epoch, -1, "probe_recovered",
+				"member %d answered %d probes; rejoining live with no partitions, epoch %d -> %d",
+				m.ID, recovers[m.ID], cur.Epoch, nt.Epoch)
+			cur, changed = nt, true
+			delete(recovers, m.ID)
+		}
+	}
+	if !changed {
+		return t
+	}
+	if err := n.adoptTable(cur, "member_update"); err != nil {
+		// Lost a race against a newer table; re-evaluate next round.
+		n.cfg.Logf("cluster: node %d: adopting admission table failed: %v", n.cfg.NodeID, err)
+		return n.Table()
+	}
+	n.pushTable(cur)
+	return cur
 }
 
 // pushTable POSTs the table to every other member, including suspects (a

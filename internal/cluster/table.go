@@ -37,6 +37,20 @@ import (
 	"sort"
 )
 
+// Member lifecycle states. Down stays the wire-compatible liveness bit
+// (state down or left implies Down); State refines it for dynamic
+// membership: a joining member is admitted but owns nothing yet, a draining
+// member still serves what it owns while the planner migrates it empty, and
+// a left member drained cleanly and is never auto-rejoined (unlike a down
+// member, which a steward re-ups once its probes recover).
+const (
+	StateJoining  = "joining"
+	StateLive     = "live"
+	StateDraining = "draining"
+	StateDown     = "down"
+	StateLeft     = "left"
+)
+
 // Member is one configured cluster node.
 type Member struct {
 	// ID is the node's index in the configured peer list; IDs are dense,
@@ -48,9 +62,40 @@ type Member struct {
 	// (host:port, no scheme), empty when the node serves HTTP only. Routed
 	// clients prefer it for lease operations and fall back to Addr.
 	WireAddr string `json:"wire_addr,omitempty"`
-	// Down marks a member the steward has declared failed. Down is sticky:
-	// the model is crash-stop, so a down member never comes back.
+	// Down marks a member the steward has declared failed (or drained away).
+	// It is kept consistent with State so tables from older builds — which
+	// only know Down — keep meaning the same thing.
 	Down bool `json:"down"`
+	// State is the member's lifecycle state (one of the State* constants).
+	// Empty in tables written by older builds; read it through the
+	// Member.state accessor, which derives live/down from Down.
+	State string `json:"state,omitempty"`
+	// ChangedAtUnixMillis is when the member last changed state, stamped by
+	// the membership transforms; 0 in boot tables and tables from older
+	// builds. `lactl members` renders it as the last-transition age.
+	ChangedAtUnixMillis int64 `json:"changed_at_unix_ms,omitempty"`
+}
+
+// state returns the member's effective lifecycle state, deriving it from the
+// legacy Down bit when State is unset.
+func (m Member) state() string {
+	if m.State != "" {
+		return m.State
+	}
+	if m.Down {
+		return StateDown
+	}
+	return StateLive
+}
+
+// EffectiveState is the exported form of state, for CLIs and harnesses.
+func (m Member) EffectiveState() string { return m.state() }
+
+// Serving reports whether the member may own partitions: live and draining
+// members serve; joining, down and left members do not.
+func (m Member) Serving() bool {
+	s := m.state()
+	return s == StateLive || s == StateDraining
 }
 
 // Table is the epoch-versioned membership and partition-ownership map. It is
@@ -121,6 +166,14 @@ func (t Table) Validate() error {
 		if m.Addr == "" {
 			return fmt.Errorf("cluster: member %d has no address", m.ID)
 		}
+		switch s := m.state(); s {
+		case StateJoining, StateLive, StateDraining, StateDown, StateLeft:
+		default:
+			return fmt.Errorf("cluster: member %d has unknown state %q", m.ID, s)
+		}
+		if m.Down != (m.state() == StateDown || m.state() == StateLeft) {
+			return fmt.Errorf("cluster: member %d state %q disagrees with down=%v", m.ID, m.state(), m.Down)
+		}
 		if !m.Down {
 			alive++
 		}
@@ -135,8 +188,8 @@ func (t Table) Validate() error {
 		if id < 0 || id >= len(t.Members) {
 			return fmt.Errorf("cluster: partition %d assigned to unknown member %d", p, id)
 		}
-		if t.Members[id].Down {
-			return fmt.Errorf("cluster: partition %d assigned to down member %d", p, id)
+		if !t.Members[id].Serving() {
+			return fmt.Errorf("cluster: partition %d assigned to non-serving member %d (%s)", p, id, t.Members[id].state())
 		}
 	}
 	return nil
@@ -184,11 +237,12 @@ func (t Table) Alive() []Member {
 	return out
 }
 
-// Steward returns the member that acts on failures: the lowest-ID live
-// member.
+// Steward returns the member that acts on failures and migrations: the
+// lowest-ID serving member. Joining members are skipped — they own nothing
+// and may not even have converged on the table yet.
 func (t Table) Steward() (Member, bool) {
 	for _, m := range t.Members {
-		if !m.Down {
+		if m.Serving() {
 			return m, true
 		}
 	}
@@ -213,7 +267,13 @@ func (t Table) Reassign(downID int) (Table, bool) {
 	}
 	nt := t.Clone()
 	nt.Members[downID].Down = true
-	survivors := nt.Alive()
+	nt.Members[downID].State = StateDown
+	var survivors []Member
+	for _, m := range nt.Members {
+		if m.Serving() {
+			survivors = append(survivors, m)
+		}
+	}
 	if len(survivors) == 0 {
 		return Table{}, false
 	}
@@ -226,4 +286,117 @@ func (t Table) Reassign(downID int) (Table, bool) {
 	}
 	nt.Epoch = t.Epoch + 1
 	return nt, true
+}
+
+// The membership transforms below are, like Reassign, pure functions of the
+// table: they return a copy under a bumped epoch and never mutate the
+// receiver, so a steward can compute a next table, attempt a side effect
+// (snapshot ship, admission RPC) and only then adopt and push it. `at` is
+// the transition timestamp stamped into the member (Unix millis).
+
+// AddMember admits a new node in the joining state: it gets the next dense
+// ID, owns nothing, and is promoted to live by the steward once it answers
+// probes. If addr is already a member, the table is returned unchanged with
+// that member's ID (join is idempotent).
+func (t Table) AddMember(addr, wireAddr string, at int64) (Table, int, bool) {
+	if addr == "" {
+		return Table{}, -1, false
+	}
+	for _, m := range t.Members {
+		if m.Addr == addr {
+			return t, m.ID, true
+		}
+	}
+	nt := t.Clone()
+	id := len(nt.Members)
+	nt.Members = append(nt.Members, Member{
+		ID: id, Addr: addr, WireAddr: wireAddr,
+		State: StateJoining, ChangedAtUnixMillis: at,
+	})
+	nt.Epoch = t.Epoch + 1
+	return nt, id, true
+}
+
+// SetState moves one member to the given lifecycle state under a bumped
+// epoch, keeping the legacy Down bit consistent. It does not touch the
+// assignment, so callers must only request transitions that keep the table
+// valid (e.g. a member still owning partitions cannot go down or left).
+func (t Table) SetState(id int, state string, at int64) (Table, bool) {
+	if id < 0 || id >= len(t.Members) || t.Members[id].state() == state {
+		return Table{}, false
+	}
+	nt := t.Clone()
+	nt.Members[id].State = state
+	nt.Members[id].Down = state == StateDown || state == StateLeft
+	nt.Members[id].ChangedAtUnixMillis = at
+	nt.Epoch = t.Epoch + 1
+	return nt, true
+}
+
+// Rejoin re-ups a down member: it returns live owning nothing, and the
+// planner hands it partitions afterwards. Members that left cleanly are not
+// rejoined — leaving is the one deliberate, sticky exit.
+func (t Table) Rejoin(id int, at int64) (Table, bool) {
+	if id < 0 || id >= len(t.Members) || t.Members[id].state() != StateDown {
+		return Table{}, false
+	}
+	return t.SetState(id, StateLive, at)
+}
+
+// Drain marks a member draining: it keeps serving what it owns while the
+// planner migrates it empty, after which Leave retires it. Refused when the
+// member is not live or is the only serving member.
+func (t Table) Drain(id int, at int64) (Table, bool) {
+	if id < 0 || id >= len(t.Members) || t.Members[id].state() != StateLive {
+		return Table{}, false
+	}
+	serving := 0
+	for _, m := range t.Members {
+		if m.Serving() {
+			serving++
+		}
+	}
+	if serving <= 1 {
+		return Table{}, false
+	}
+	return t.SetState(id, StateDraining, at)
+}
+
+// Leave retires a drained member. Refused while it still owns partitions:
+// the planner must migrate it empty first.
+func (t Table) Leave(id int, at int64) (Table, bool) {
+	if id < 0 || id >= len(t.Members) || t.Members[id].state() != StateDraining {
+		return Table{}, false
+	}
+	if len(t.PartitionsOf(id)) != 0 {
+		return Table{}, false
+	}
+	return t.SetState(id, StateLeft, at)
+}
+
+// Move reassigns one partition to member `to` under a bumped epoch — the
+// routing half of a live migration; the state ships separately (fence →
+// snapshot → cutover). Refused when the target cannot serve or already owns
+// the partition.
+func (t Table) Move(p, to int) (Table, bool) {
+	if p < 0 || p >= len(t.Assignment) || to < 0 || to >= len(t.Members) {
+		return Table{}, false
+	}
+	if t.Members[to].state() != StateLive || t.Assignment[p] == to {
+		return Table{}, false
+	}
+	nt := t.Clone()
+	nt.Assignment[p] = to
+	nt.Epoch = t.Epoch + 1
+	return nt, true
+}
+
+// MemberStates counts members per effective lifecycle state — the
+// la_cluster_members{state} gauge and the `lactl members` summary line.
+func (t Table) MemberStates() map[string]int {
+	out := make(map[string]int, 5)
+	for _, m := range t.Members {
+		out[m.state()]++
+	}
+	return out
 }

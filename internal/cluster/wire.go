@@ -206,6 +206,28 @@ func (n *Node) ServeWire(req *wire.Request, resp *wire.Response) {
 	case wire.OpMembers:
 		nodeBlob(resp, n.Table())
 
+	case wire.OpJoin:
+		// The wire control plane is steward-direct: no HTTP-style proxying.
+		// A non-steward answers 421 and the client tries the steward (its
+		// identity rides in the members blob).
+		var jr JoinRequest
+		if err := json.Unmarshal(req.Blob, &jr); err != nil || jr.Addr == "" {
+			resp.Status, resp.Code = wire.StatusBadRequest, wire.CodeBadRequest
+			break
+		}
+		n.controlToWire(resp, func() (int, any) { return n.admitJoin(jr) })
+
+	case wire.OpDrain:
+		var dr DrainRequest
+		if err := json.Unmarshal(req.Blob, &dr); err != nil {
+			resp.Status, resp.Code = wire.StatusBadRequest, wire.CodeBadRequest
+			break
+		}
+		n.controlToWire(resp, func() (int, any) { return n.applyDrain(dr) })
+
+	case wire.OpRebalance:
+		n.controlToWire(resp, func() (int, any) { return 200, n.rebalanceOnce("wire") })
+
 	default:
 		resp.Status, resp.Code = wire.StatusBadRequest, wire.CodeBadRequest
 	}
@@ -222,6 +244,34 @@ func nodeBlob(resp *wire.Response, body any) {
 		return
 	}
 	resp.Blob = append(resp.Blob[:0], buf...)
+}
+
+// controlToWire runs a steward-only membership operation and maps its
+// HTTP-shaped (status, body) reply onto a wire frame. Non-stewards answer
+// 421/not_owner — the wire control plane does not proxy; the client reads
+// the steward's identity from an OpMembers blob and redials.
+func (n *Node) controlToWire(resp *wire.Response, op func() (int, any)) {
+	st, ok := n.Table().Steward()
+	if !ok {
+		resp.Status, resp.Code = wire.StatusUnavailable, wire.CodeNoPartitions
+		resp.RetryAfterMillis = n.cfg.ProbeInterval.Milliseconds()
+		return
+	}
+	if st.ID != n.cfg.NodeID {
+		resp.Status, resp.Code = wire.StatusNotOwner, wire.CodeNotOwner
+		return
+	}
+	status, body := op()
+	if status/100 != 2 {
+		resp.Status = wire.Status(status)
+		if er, ok := body.(EpochResponse); ok {
+			resp.Code = wireCode(er.Error)
+		} else {
+			resp.Code = wire.CodeInternal
+		}
+		return
+	}
+	nodeBlob(resp, body)
 }
 
 // acquireNWire grants up to want leases in one pass, filling across the
@@ -242,6 +292,12 @@ func (n *Node) acquireNWire(want int, ttl time.Duration, resp *wire.Response) {
 	var hardErr error
 	for i := 0; i < len(n.ownedIDs) && len(resp.Grants) < want; i++ {
 		part := n.parts[n.ownedIDs[(start+uint64(i))%uint64(len(n.ownedIDs))]]
+		if part.migrating {
+			if quarantineWait < 0 || n.cfg.ProbeInterval < quarantineWait {
+				quarantineWait = n.cfg.ProbeInterval
+			}
+			continue
+		}
 		if wait := part.quarantineUntil.Sub(now); wait > 0 {
 			if quarantineWait < 0 || wait < quarantineWait {
 				quarantineWait = wait
@@ -306,7 +362,7 @@ func (n *Node) resolveItemLocked(name int, it *wire.ItemResult) (*partition, int
 		return nil, 0, false
 	}
 	part, owned := n.parts[p]
-	if !owned {
+	if !owned || part.migrating {
 		n.misroutes.Add(1)
 		it.Status, it.Code = wire.StatusNotOwner, wire.CodeNotOwner
 		return nil, 0, false

@@ -215,6 +215,43 @@ func (m *Manager) Checkpoint(partition uint32, epoch uint64, clean bool) error {
 	return m.journal.CompleteCheckpoint(snap)
 }
 
+// ExportState captures a consistent snapshot of the manager's live state and
+// returns it — the ship half of a live partition migration. It is
+// Checkpoint's capture under the same write barrier (excluding every
+// journaling mutation), but it does not touch the journal: no log seal, no
+// persisted snapshot, no truncation. The caller must have fenced the
+// partition against new grants first (the cluster holds its table write lock
+// and marks the partition migrating); expirations may still race the export,
+// which is safe — the importer re-expires any lapsed session itself, and an
+// expired name is never re-granted by the fenced source. Works on journal-
+// less managers too (the barrier is then only against other exports).
+func (m *Manager) ExportState(partition uint32, epoch uint64) *wal.Snapshot {
+	m.journalMu.Lock()
+	defer m.journalMu.Unlock()
+	snap := &wal.Snapshot{
+		Partition: partition,
+		Epoch:     epoch,
+		TokenSeq:  m.tokenSeq.Load(),
+		Clean:     true,
+	}
+	for name := range m.entries {
+		e := &m.entries[name]
+		e.mu.Lock()
+		if e.active {
+			snap.Sessions = append(snap.Sessions, wal.Session{
+				Name:     uint32(name),
+				Token:    e.token,
+				Deadline: e.deadline,
+			})
+		}
+		e.mu.Unlock()
+	}
+	for _, v := range m.views {
+		snap.Words = append(snap.Words, v.space.SnapshotWords()...)
+	}
+	return snap
+}
+
 // checkpointLoop drives periodic checkpoints. meta supplies the partition id
 // and current epoch stamped into each snapshot.
 type checkpointLoop struct {

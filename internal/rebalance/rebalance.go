@@ -1,0 +1,275 @@
+// Package rebalance plans live partition migrations for the cluster layer.
+// It is deliberately pure and dependency-free: the planner maps an observed
+// load topology (who owns which partitions, how loaded each is, which
+// members are draining or empty) to at most one migration Plan, and the
+// cluster's steward executes it — fence, snapshot ship, fenced cutover —
+// then observes again. One move per round keeps the system quiescent
+// between epochs and makes every decision individually auditable in the
+// event journal.
+package rebalance
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// MemberLoad is one serving member's observed load: the partitions it owns
+// and each partition's load factor (active leases / capacity, the same
+// signal /stats and /metrics export).
+type MemberLoad struct {
+	// ID is the member's cluster ID.
+	ID int
+	// State is the member's lifecycle state (cluster.State* vocabulary:
+	// "joining", "live", "draining", "down", "left").
+	State string
+	// Partitions maps owned partition -> load factor in [0, 1].
+	Partitions map[int]float64
+}
+
+// Plan is one migration decision: move Partition from member From to member
+// To. Reason names the rule that fired, for the journal.
+type Plan struct {
+	Partition int
+	From      int
+	To        int
+	Reason    string
+}
+
+func (p Plan) String() string {
+	return fmt.Sprintf("partition %d: %d -> %d (%s)", p.Partition, p.From, p.To, p.Reason)
+}
+
+// Config parameterizes the planner.
+type Config struct {
+	// Threshold is the load-factor spread (max member mean load - min member
+	// mean load) above which the planner moves a hot partition to the
+	// coolest member. Zero or negative disables load-driven moves; drain
+	// and empty-member moves always run (they are correctness-adjacent:
+	// a draining member must empty, a joined member must receive work).
+	Threshold float64
+}
+
+// Next returns the single next migration to perform, or ok=false when the
+// topology needs no move. Decision order:
+//
+//  1. drain: a draining member still owns partitions — move its hottest one
+//     to the live member owning the fewest partitions.
+//  2. empty: a live member owns nothing (fresh join or rejoin) — move the
+//     hottest partition of the most-loaded donor that can spare one.
+//  3. spread (only with Threshold > 0, and only when the mean-load spread
+//     between the hottest and coolest live members exceeds it):
+//     count balance first — while the biggest owner is two or more
+//     partitions ahead of the smallest, its coolest partition moves to the
+//     smallest owner (under routing that spreads requests per member,
+//     per-partition load is inversely proportional to ownership, so equal
+//     counts are the balanced state; moving the coolest, not the hottest,
+//     partition keeps hot partitions from bouncing). Once counts are within
+//     one, a remaining spread is content skew: the hot member's hottest
+//     partition moves downhill to the coolest member.
+//
+// The function is deterministic: equal candidates tie-break on lowest ID,
+// so concurrent stewards (which cannot happen, but cheap insurance) and
+// replayed decisions agree.
+func Next(members []MemberLoad, cfg Config) (Plan, bool) {
+	var live, draining []MemberLoad
+	for _, m := range members {
+		switch m.State {
+		case "live":
+			live = append(live, m)
+		case "draining":
+			draining = append(draining, m)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].ID < live[j].ID })
+	sort.Slice(draining, func(i, j int) bool { return draining[i].ID < draining[j].ID })
+	if len(live) == 0 {
+		return Plan{}, false
+	}
+
+	// Rule 1: drain. Any partition on a draining member must move. The
+	// target is the fewest-owned live member, not the lowest-mean one:
+	// owning many partitions dilutes a member's mean load, so a mean-load
+	// target would keep "winning" and absorb the whole drain itself.
+	for _, d := range draining {
+		if len(d.Partitions) == 0 {
+			continue
+		}
+		p, _ := hottest(d.Partitions)
+		to := fewestOwned(live)
+		return Plan{Partition: p, From: d.ID, To: to, Reason: "drain"}, true
+	}
+
+	// Rule 2: empty live member. Donate from the most-loaded member that
+	// owns at least two partitions (never strip a member bare to fill
+	// another).
+	for _, m := range live {
+		if len(m.Partitions) != 0 {
+			continue
+		}
+		donor, ok := biggestDonor(live)
+		if !ok {
+			break
+		}
+		p, _ := hottest(donor.Partitions)
+		return Plan{Partition: p, From: donor.ID, To: m.ID, Reason: "join_fill"}, true
+	}
+
+	// Rule 3: load spread.
+	if cfg.Threshold <= 0 || len(live) < 2 {
+		return Plan{}, false
+	}
+	hi, lo := live[0], live[0]
+	for _, m := range live[1:] {
+		if meanLoad(m) > meanLoad(hi) {
+			hi = m
+		}
+		if meanLoad(m) < meanLoad(lo) {
+			lo = m
+		}
+	}
+	if hi.ID == lo.ID || meanLoad(hi)-meanLoad(lo) <= cfg.Threshold {
+		return Plan{}, false
+	}
+	// Count balance first: while ownership counts are uneven the spread is
+	// (at least partly) structural, and count moves converge — every move
+	// shrinks the count gap, so this sub-rule runs itself quiet instead of
+	// trading partitions back and forth with the content-skew move below.
+	smallest := live[0]
+	for _, m := range live[1:] {
+		if len(m.Partitions) < len(smallest.Partitions) {
+			smallest = m
+		}
+	}
+	if donor, ok := biggestDonor(live); ok && len(donor.Partitions) >= len(smallest.Partitions)+2 {
+		p, _ := coolestPartition(donor.Partitions)
+		return Plan{Partition: p, From: donor.ID, To: smallest.ID, Reason: "load_spread"}, true
+	}
+	// Counts are within one: a remaining spread is content skew. The hot
+	// member's hottest partition moves downhill to the coolest member —
+	// provided it can spare one.
+	if len(hi.Partitions) < 2 {
+		return Plan{}, false
+	}
+	p, _ := hottest(hi.Partitions)
+	return Plan{Partition: p, From: hi.ID, To: lo.ID, Reason: "load_spread"}, true
+}
+
+// hottest returns the highest-load partition in the map (lowest ID on
+// ties).
+func hottest(parts map[int]float64) (int, float64) {
+	best, bestLoad := -1, -1.0
+	for p, load := range parts {
+		if load > bestLoad || (load == bestLoad && p < best) {
+			best, bestLoad = p, load
+		}
+	}
+	return best, bestLoad
+}
+
+// coolestPartition returns the lowest-load partition in the map (lowest ID
+// on ties).
+func coolestPartition(parts map[int]float64) (int, float64) {
+	best, bestLoad := -1, 2.0
+	for p, load := range parts {
+		if load < bestLoad || (load == bestLoad && p < best) {
+			best, bestLoad = p, load
+		}
+	}
+	return best, bestLoad
+}
+
+// fewestOwned returns the live member ID owning the fewest partitions
+// (lowest mean load breaks ties, then lowest ID). live must be non-empty
+// and ID-sorted.
+func fewestOwned(live []MemberLoad) int {
+	best := live[0]
+	for _, m := range live[1:] {
+		if len(m.Partitions) < len(best.Partitions) ||
+			(len(m.Partitions) == len(best.Partitions) && meanLoad(m) < meanLoad(best)) {
+			best = m
+		}
+	}
+	return best.ID
+}
+
+// biggestDonor returns the live member owning the most partitions, provided
+// it can spare one (owns >= 2).
+func biggestDonor(live []MemberLoad) (MemberLoad, bool) {
+	var best MemberLoad
+	found := false
+	for _, m := range live {
+		if len(m.Partitions) < 2 {
+			continue
+		}
+		if !found || len(m.Partitions) > len(best.Partitions) {
+			best, found = m, true
+		}
+	}
+	return best, found
+}
+
+// meanLoad is the member's average partition load factor; 0 when it owns
+// nothing.
+func meanLoad(m MemberLoad) float64 {
+	if len(m.Partitions) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, l := range m.Partitions {
+		sum += l
+	}
+	return sum / float64(len(m.Partitions))
+}
+
+// Cache is the steward's concurrent view of observed loads: stats fetchers
+// write per-member observations from their own goroutines while the planner
+// snapshots the whole topology. A plain mutex — observation rates are a few
+// per second, never hot.
+type Cache struct {
+	mu      sync.Mutex
+	members map[int]MemberLoad
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{members: make(map[int]MemberLoad)}
+}
+
+// Observe records one member's current load, replacing any previous
+// observation. The partitions map is copied, so callers may reuse theirs.
+func (c *Cache) Observe(m MemberLoad) {
+	parts := make(map[int]float64, len(m.Partitions))
+	for p, l := range m.Partitions {
+		parts[p] = l
+	}
+	m.Partitions = parts
+	c.mu.Lock()
+	c.members[m.ID] = m
+	c.mu.Unlock()
+}
+
+// Forget drops a member's observation (it died or left).
+func (c *Cache) Forget(id int) {
+	c.mu.Lock()
+	delete(c.members, id)
+	c.mu.Unlock()
+}
+
+// Snapshot returns every current observation, ID-sorted. The returned
+// slice and its maps are copies the caller owns.
+func (c *Cache) Snapshot() []MemberLoad {
+	c.mu.Lock()
+	out := make([]MemberLoad, 0, len(c.members))
+	for _, m := range c.members {
+		parts := make(map[int]float64, len(m.Partitions))
+		for p, l := range m.Partitions {
+			parts[p] = l
+		}
+		m.Partitions = parts
+		out = append(out, m)
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,181 @@
+package rebalance
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestNextDrainFirst(t *testing.T) {
+	members := []MemberLoad{
+		{ID: 0, State: "live", Partitions: map[int]float64{0: 0.9, 1: 0.9}},
+		{ID: 1, State: "draining", Partitions: map[int]float64{2: 0.1, 3: 0.7}},
+		{ID: 2, State: "live", Partitions: map[int]float64{4: 0.0}},
+	}
+	plan, ok := Next(members, Config{Threshold: 0.1})
+	if !ok {
+		t.Fatal("expected a drain plan")
+	}
+	if plan.From != 1 || plan.Reason != "drain" {
+		t.Fatalf("expected drain from member 1, got %+v", plan)
+	}
+	if plan.Partition != 3 {
+		t.Fatalf("expected the hottest partition (3) to move first, got %d", plan.Partition)
+	}
+	if plan.To != 2 {
+		t.Fatalf("expected the fewest-owned live member (2) as target, got %d", plan.To)
+	}
+}
+
+func TestNextFillsEmptyMember(t *testing.T) {
+	members := []MemberLoad{
+		{ID: 0, State: "live", Partitions: map[int]float64{0: 0.5, 1: 0.8, 2: 0.2}},
+		{ID: 1, State: "live", Partitions: map[int]float64{3: 0.4}},
+		{ID: 2, State: "live", Partitions: map[int]float64{}},
+	}
+	plan, ok := Next(members, Config{})
+	if !ok {
+		t.Fatal("expected a join_fill plan")
+	}
+	if plan != (Plan{Partition: 1, From: 0, To: 2, Reason: "join_fill"}) {
+		t.Fatalf("unexpected plan %+v", plan)
+	}
+}
+
+func TestNextNeverStripsSinglePartitionDonor(t *testing.T) {
+	members := []MemberLoad{
+		{ID: 0, State: "live", Partitions: map[int]float64{0: 1.0}},
+		{ID: 1, State: "live", Partitions: map[int]float64{}},
+	}
+	if plan, ok := Next(members, Config{Threshold: 0.01}); ok {
+		t.Fatalf("expected no plan (donor owns a single partition), got %+v", plan)
+	}
+}
+
+func TestNextLoadSpread(t *testing.T) {
+	members := []MemberLoad{
+		{ID: 0, State: "live", Partitions: map[int]float64{0: 0.9, 1: 0.8}},
+		{ID: 1, State: "live", Partitions: map[int]float64{2: 0.1, 3: 0.1}},
+	}
+	plan, ok := Next(members, Config{Threshold: 0.2})
+	if !ok {
+		t.Fatal("expected a load_spread plan")
+	}
+	if plan != (Plan{Partition: 0, From: 0, To: 1, Reason: "load_spread"}) {
+		t.Fatalf("unexpected plan %+v", plan)
+	}
+	// Below the threshold: no move.
+	if plan, ok := Next(members, Config{Threshold: 0.9}); ok {
+		t.Fatalf("expected no plan under a 0.9 threshold, got %+v", plan)
+	}
+	// Threshold disabled: no move.
+	if plan, ok := Next(members, Config{}); ok {
+		t.Fatalf("expected no plan with load moves disabled, got %+v", plan)
+	}
+}
+
+// TestNextLoadSpreadPullsToStarvedMember covers the pull-downhill branch:
+// the hottest member owns a single partition (per-member routing concentrates
+// its share on it), so the biggest owner sheds its coolest partition to it.
+func TestNextLoadSpreadPullsToStarvedMember(t *testing.T) {
+	members := []MemberLoad{
+		{ID: 0, State: "live", Partitions: map[int]float64{0: 0.2, 1: 0.1, 2: 0.2, 3: 0.2}},
+		{ID: 1, State: "live", Partitions: map[int]float64{4: 0.2, 5: 0.2, 6: 0.2}},
+		{ID: 2, State: "live", Partitions: map[int]float64{7: 0.8}},
+	}
+	plan, ok := Next(members, Config{Threshold: 0.2})
+	if !ok {
+		t.Fatal("expected a pull-downhill load_spread plan")
+	}
+	if plan != (Plan{Partition: 1, From: 0, To: 2, Reason: "load_spread"}) {
+		t.Fatalf("expected the biggest owner's coolest partition to move to the starved member, got %+v", plan)
+	}
+}
+
+// TestNextLoadSpreadStopsAtBalancedCounts: when the biggest owner is at most
+// one partition ahead of the starved member, the topology is as balanced as
+// the partition count allows — a persistent spread plans nothing rather than
+// ping-ponging the single-partition hole between members.
+func TestNextLoadSpreadStopsAtBalancedCounts(t *testing.T) {
+	members := []MemberLoad{
+		{ID: 0, State: "live", Partitions: map[int]float64{0: 0.2, 1: 0.2}},
+		{ID: 1, State: "live", Partitions: map[int]float64{2: 0.2, 3: 0.2}},
+		{ID: 2, State: "live", Partitions: map[int]float64{4: 0.8}},
+	}
+	if plan, ok := Next(members, Config{Threshold: 0.2}); ok {
+		t.Fatalf("counts differ by one: expected no plan, got %+v", plan)
+	}
+}
+
+func TestNextQuiescent(t *testing.T) {
+	members := []MemberLoad{
+		{ID: 0, State: "live", Partitions: map[int]float64{0: 0.5, 1: 0.5}},
+		{ID: 1, State: "live", Partitions: map[int]float64{2: 0.5, 3: 0.5}},
+		{ID: 2, State: "down", Partitions: nil},
+	}
+	if plan, ok := Next(members, Config{Threshold: 0.2}); ok {
+		t.Fatalf("balanced topology should plan nothing, got %+v", plan)
+	}
+}
+
+// TestCacheConcurrency hammers the load cache from concurrent observers and
+// planners; run under -race it is the planner-cache race test.
+func TestCacheConcurrency(t *testing.T) {
+	c := NewCache()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Observe(MemberLoad{
+					ID:    w,
+					State: "live",
+					Partitions: map[int]float64{
+						i % 8: float64(i) / 500,
+					},
+				})
+				if i%50 == 0 {
+					c.Forget((w + 1) % 4)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			snap := c.Snapshot()
+			// The snapshot must be safe to read and mutate while observers
+			// keep writing.
+			for i := range snap {
+				snap[i].Partitions[99] = 1
+			}
+			_, _ = Next(snap, Config{Threshold: 0.1})
+		}
+	}()
+	wg.Wait()
+}
+
+func TestCacheSnapshotIsACopy(t *testing.T) {
+	c := NewCache()
+	parts := map[int]float64{0: 0.5}
+	c.Observe(MemberLoad{ID: 0, State: "live", Partitions: parts})
+	parts[0] = 0.9 // caller reuses its map; the cache must not see it
+	snap := c.Snapshot()
+	if got := snap[0].Partitions[0]; got != 0.5 {
+		t.Fatalf("cache aliased the caller's map: load %v", got)
+	}
+	snap[0].Partitions[0] = 0.1 // and mutating the snapshot must not write back
+	if got := c.Snapshot()[0].Partitions[0]; got != 0.5 {
+		t.Fatalf("snapshot aliased the cache: load %v", got)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	got := Plan{Partition: 3, From: 1, To: 2, Reason: "drain"}.String()
+	want := fmt.Sprintf("partition %d: %d -> %d (drain)", 3, 1, 2)
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -2,8 +2,10 @@ package registry
 
 import (
 	"fmt"
+	"math"
 	"net"
 	"net/url"
+	"strconv"
 	"strings"
 
 	"github.com/levelarray/levelarray/internal/core"
@@ -233,6 +235,47 @@ func ParseWALSyncFlag(name string) (wal.SyncPolicy, error) {
 		return wal.SyncNever, nil
 	}
 	return 0, fmt.Errorf("unknown -wal-sync %q (valid: %s)", name, ValidWALSyncNames)
+}
+
+// ValidJoinFormat describes the cluster -join flag format.
+const ValidJoinFormat = "empty (boot from -peers/-node-id) or one http(s) base URL of any live member to join through, e.g. http://10.0.0.1:8080"
+
+// ParseJoinFlag validates a cluster -join flag: the seed member a fresh node
+// asks for admission. Empty is valid (no join: the node boots from its
+// static -peers/-node-id identity); otherwise the value must be a single
+// http(s) base URL, returned trimmed with any trailing slash removed.
+func ParseJoinFlag(join string) (string, error) {
+	seed := strings.TrimRight(strings.TrimSpace(join), "/")
+	if seed == "" {
+		return "", nil
+	}
+	if strings.Contains(seed, ",") {
+		return "", fmt.Errorf("invalid -join %q: one seed member, not a list (valid: %s)", join, ValidJoinFormat)
+	}
+	u, err := url.Parse(seed)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", fmt.Errorf("invalid -join %q (valid: %s)", join, ValidJoinFormat)
+	}
+	return seed, nil
+}
+
+// ValidRebalanceThresholds describes the -rebalance-threshold flag domain.
+const ValidRebalanceThresholds = "0 (load spreading disabled) or a load-factor gap in (0, 1], e.g. 0.25"
+
+// ParseRebalanceThresholdFlag validates a -rebalance-threshold flag: the
+// load-factor gap between the hottest and coolest member above which the
+// steward plans a load_spread migration. Zero disables load spreading
+// (drain and join_fill migrations still run).
+func ParseRebalanceThresholdFlag(v string) (float64, error) {
+	s := strings.TrimSpace(v)
+	if s == "" {
+		return 0, nil
+	}
+	gap, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(gap) || math.IsInf(gap, 0) || gap < 0 || gap > 1 {
+		return 0, fmt.Errorf("invalid -rebalance-threshold %q (valid: %s)", v, ValidRebalanceThresholds)
+	}
+	return gap, nil
 }
 
 // ValidRequestIDFormat describes the accepted X-Request-ID shape, shared by

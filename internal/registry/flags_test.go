@@ -246,3 +246,49 @@ func TestParseWALSyncFlagVocabulary(t *testing.T) {
 		seen[p] = true
 	}
 }
+
+func TestParseJoinFlag(t *testing.T) {
+	cases := map[string]string{
+		"":                          "",
+		"   ":                       "",
+		"http://10.0.0.1:8080":      "http://10.0.0.1:8080",
+		" http://10.0.0.1:8080/ ":   "http://10.0.0.1:8080",
+		"https://seed.example:443/": "https://seed.example:443",
+	}
+	for in, want := range cases {
+		got, err := ParseJoinFlag(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseJoinFlag(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"tcp://x", "http://", "http://a,http://b", "seed:8080"} {
+		if _, err := ParseJoinFlag(bad); err == nil {
+			t.Fatalf("ParseJoinFlag(%q) accepted garbage", bad)
+		} else if !strings.Contains(err.Error(), ValidJoinFormat) {
+			t.Fatalf("ParseJoinFlag(%q) error %q does not describe the format", bad, err)
+		}
+	}
+}
+
+func TestParseRebalanceThresholdFlag(t *testing.T) {
+	cases := map[string]float64{
+		"":     0,
+		"0":    0,
+		"0.25": 0.25,
+		" 1 ":  1,
+		"1e-2": 0.01,
+	}
+	for in, want := range cases {
+		got, err := ParseRebalanceThresholdFlag(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseRebalanceThresholdFlag(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"-0.1", "1.5", "NaN", "+Inf", "lots", "0,5"} {
+		if _, err := ParseRebalanceThresholdFlag(bad); err == nil {
+			t.Fatalf("ParseRebalanceThresholdFlag(%q) accepted garbage", bad)
+		} else if !strings.Contains(err.Error(), ValidRebalanceThresholds) {
+			t.Fatalf("ParseRebalanceThresholdFlag(%q) error %q does not describe the domain", bad, err)
+		}
+	}
+}

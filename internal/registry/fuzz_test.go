@@ -234,3 +234,63 @@ func FuzzParseWALSyncFlag(f *testing.F) {
 		}
 	})
 }
+
+func FuzzParseJoinFlag(f *testing.F) {
+	for _, s := range fuzzSeedInputs {
+		f.Add(s)
+	}
+	f.Add("http://127.0.0.1:8080")
+	f.Add(" http://10.0.0.1:8080/ ")
+	f.Add("https://seed.example")
+	f.Add("http://a,http://b")
+	f.Add("ftp://nope")
+	f.Add("http://")
+	f.Fuzz(func(t *testing.T, v string) {
+		seed, err := ParseJoinFlag(v)
+		if err != nil {
+			if !strings.Contains(err.Error(), ValidJoinFormat) {
+				t.Fatalf("ParseJoinFlag(%q) error %q does not describe the format", v, err)
+			}
+			return
+		}
+		if seed == "" {
+			return // empty = no join, always valid
+		}
+		if !strings.HasPrefix(seed, "http://") && !strings.HasPrefix(seed, "https://") {
+			t.Fatalf("ParseJoinFlag(%q) accepted non-http seed %q", v, seed)
+		}
+		if strings.HasSuffix(seed, "/") || strings.Contains(seed, ",") {
+			t.Fatalf("ParseJoinFlag(%q) returned unnormalized seed %q", v, seed)
+		}
+		// Accepted seeds must be idempotent: they go straight into JoinCluster.
+		if again, err := ParseJoinFlag(seed); err != nil || again != seed {
+			t.Fatalf("ParseJoinFlag not idempotent: %q -> %q, %v", seed, again, err)
+		}
+	})
+}
+
+func FuzzParseRebalanceThresholdFlag(f *testing.F) {
+	for _, s := range fuzzSeedInputs {
+		f.Add(s)
+	}
+	f.Add("0")
+	f.Add("0.25")
+	f.Add(" 1 ")
+	f.Add("1.5")
+	f.Add("-0.1")
+	f.Add("NaN")
+	f.Add("Inf")
+	f.Add("1e-9")
+	f.Fuzz(func(t *testing.T, v string) {
+		gap, err := ParseRebalanceThresholdFlag(v)
+		if err != nil {
+			if !strings.Contains(err.Error(), ValidRebalanceThresholds) {
+				t.Fatalf("ParseRebalanceThresholdFlag(%q) error %q does not describe the domain", v, err)
+			}
+			return
+		}
+		if gap != gap || gap < 0 || gap > 1 {
+			t.Fatalf("ParseRebalanceThresholdFlag(%q) accepted out-of-domain gap %v", v, gap)
+		}
+	})
+}

@@ -39,6 +39,24 @@ const (
 	EvFencedOnDisk = "fenced_on_disk"
 	// EvStaleEpoch records a write rejected by the epoch fence (412).
 	EvStaleEpoch = "stale_epoch_reject"
+	// EvMemberJoin records the steward admitting a new member (joining),
+	// and its later promotion to live once it answers probes.
+	EvMemberJoin = "member_join"
+	// EvMemberRejoin records the steward re-upping a down member whose
+	// probes recovered.
+	EvMemberRejoin = "member_rejoin"
+	// EvMemberDrain records a member entering draining, and its retirement
+	// (left) once the planner has migrated it empty.
+	EvMemberDrain = "member_drain"
+	// EvMigrationPlan records the steward deciding to move one partition
+	// (the plan's source, target and reason).
+	EvMigrationPlan = "migration_plan"
+	// EvMigrationCutover records a target installing a shipped snapshot and
+	// taking over a migrated partition without quarantine.
+	EvMigrationCutover = "migration_cutover"
+	// EvMigrationAbort records a migration unwound before cutover (ship
+	// failure or steward loss); the source unfences and resumes serving.
+	EvMigrationAbort = "migration_abort"
 )
 
 // Levels order event severity for the structured-log mirror.

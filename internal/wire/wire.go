@@ -98,6 +98,9 @@ const (
 	OpStats        Opcode = 9  // resp payload: stats JSON
 	OpLeases       Opcode = 10 // req: start i64, limit i64 -> resp payload: leases JSON
 	OpMembers      Opcode = 11 // resp payload: cluster Table JSON (cluster only)
+	OpJoin         Opcode = 12 // req payload: JoinRequest JSON -> resp payload: JoinResponse JSON
+	OpDrain        Opcode = 13 // req payload: DrainRequest JSON -> resp payload: epoch JSON
+	OpRebalance    Opcode = 14 // empty req -> resp payload: RebalanceResponse JSON
 )
 
 // String names the opcode for logs and errors.
@@ -125,6 +128,12 @@ func (o Opcode) String() string {
 		return "leases"
 	case OpMembers:
 		return "members"
+	case OpJoin:
+		return "join"
+	case OpDrain:
+		return "drain"
+	case OpRebalance:
+		return "rebalance"
 	default:
 		return fmt.Sprintf("opcode(%d)", uint8(o))
 	}
@@ -342,6 +351,9 @@ type Request struct {
 	// Items carries the lease refs of Renew/Release (Items[:1]) and the
 	// batch refs of ReleaseN/RenewSession.
 	Items []Ref
+	// Blob is the JSON payload of the membership control opcodes
+	// (Join/Drain); empty for Rebalance. Decode reuses its backing array.
+	Blob []byte
 }
 
 // DecodeRequest parses a request frame's payload under its header, reusing
@@ -361,13 +373,16 @@ func DecodeRequest(h Header, payload []byte, req *Request) error {
 	req.N = 0
 	req.Start, req.Limit = 0, 0
 	req.Items = req.Items[:0]
+	req.Blob = req.Blob[:0]
 
 	need := func(n int) bool { return len(payload) == n }
 	switch h.Op {
-	case OpPing, OpCollect, OpStats, OpMembers:
+	case OpPing, OpCollect, OpStats, OpMembers, OpRebalance:
 		if !need(0) {
 			return ErrBadPayload
 		}
+	case OpJoin, OpDrain:
+		req.Blob = append(req.Blob, payload...)
 	case OpAcquire:
 		if !need(8) {
 			return ErrBadPayload
@@ -448,7 +463,9 @@ func decodeRefBatch(payload []byte, off int, req *Request) error {
 func AppendRequest(dst []byte, req *Request) []byte {
 	var payload int
 	switch req.Op {
-	case OpPing, OpCollect, OpStats, OpMembers:
+	case OpPing, OpCollect, OpStats, OpMembers, OpRebalance:
+	case OpJoin, OpDrain:
+		payload = len(req.Blob)
 	case OpAcquire:
 		payload = 8
 	case OpRenew:
@@ -473,6 +490,8 @@ func AppendRequest(dst []byte, req *Request) []byte {
 	PutHeader(dst[base:], Header{Op: req.Op, Status: flags, ID: req.ID, Epoch: req.Epoch, Len: uint32(payload)})
 	p := dst[base+HeaderLen:]
 	switch req.Op {
+	case OpJoin, OpDrain:
+		copy(p, req.Blob)
 	case OpAcquire:
 		binary.LittleEndian.PutUint64(p, uint64(req.TTLMillis))
 	case OpRenew:
@@ -558,7 +577,7 @@ func AppendResponse(dst []byte, op Opcode, id uint64, resp *Response) []byte {
 			payload = 4 + len(resp.Items)*4
 		case OpRenewSession:
 			payload = 4 + len(resp.Items)*12
-		case OpCollect, OpStats, OpLeases, OpMembers:
+		case OpCollect, OpStats, OpLeases, OpMembers, OpJoin, OpDrain, OpRebalance:
 			payload = len(resp.Blob)
 		}
 	}
@@ -600,7 +619,7 @@ func AppendResponse(dst []byte, op Opcode, id uint64, resp *Response) []byte {
 				binary.LittleEndian.PutUint64(p[off+4:], uint64(it.DeadlineUnixMilli))
 				off += 12
 			}
-		case OpCollect, OpStats, OpLeases, OpMembers:
+		case OpCollect, OpStats, OpLeases, OpMembers, OpJoin, OpDrain, OpRebalance:
 			copy(p, resp.Blob)
 		}
 	}
@@ -680,7 +699,7 @@ func DecodeResponse(h Header, payload []byte, resp *Response) error {
 				DeadlineUnixMilli: int64(binary.LittleEndian.Uint64(payload[off+4:])),
 			})
 		}
-	case OpCollect, OpStats, OpLeases, OpMembers:
+	case OpCollect, OpStats, OpLeases, OpMembers, OpJoin, OpDrain, OpRebalance:
 		resp.Blob = append(resp.Blob, payload...)
 	default:
 		return fmt.Errorf("%w: unknown opcode %d", ErrBadPayload, uint8(h.Op))

@@ -73,7 +73,7 @@ func reqEqual(a, b Request) bool {
 			return false
 		}
 	}
-	return true
+	return bytes.Equal(a.Blob, b.Blob)
 }
 
 func requestCases() []Request {
@@ -90,6 +90,9 @@ func requestCases() []Request {
 		{Op: OpStats, ID: 10},
 		{Op: OpLeases, ID: 11, Start: 100, Limit: 50},
 		{Op: OpMembers, ID: 12},
+		{Op: OpJoin, ID: 13, Blob: []byte(`{"addr":"http://127.0.0.1:7001"}`)},
+		{Op: OpDrain, ID: 14, Blob: []byte(`{"id":2}`)},
+		{Op: OpRebalance, ID: 15},
 	}
 }
 
@@ -183,6 +186,10 @@ func TestResponseRoundTrip(t *testing.T) {
 		{OpReleaseN, Response{Status: StatusOK, Items: []ItemResult{{Status: StatusOK}, {Status: StatusConflict, Code: CodeStaleToken}}}},
 		{OpRenewSession, Response{Status: StatusOK, Items: []ItemResult{{Status: StatusOK, DeadlineUnixMilli: 123456}, {Status: StatusConflict, Code: CodeNotLeased}}}},
 		{OpStats, Response{Status: StatusOK, Blob: []byte(`{"active":3}`)}},
+		{OpJoin, Response{Status: StatusOK, Blob: []byte(`{"id":3}`)}},
+		{OpDrain, Response{Status: StatusOK, Blob: []byte(`{"adopted":true,"epoch":8}`)}},
+		{OpRebalance, Response{Status: StatusOK, Blob: []byte(`{"moved":true}`)}},
+		{OpJoin, Response{Status: StatusNotOwner, Code: CodeNotOwner, Epoch: 4}},
 		{OpAcquire, Response{Status: StatusUnavailable, Code: CodeFull, Epoch: 2, RetryAfterMillis: 150}},
 		{OpRenew, Response{Status: StatusConflict, Code: CodeStaleToken}},
 		{OpAcquire, Response{Status: StatusStaleEpoch, Code: CodeStaleEpoch, Epoch: 9}},
